@@ -1,0 +1,130 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/logging.h"
+#include "common/table_printer.h"
+
+namespace gemrec::bench {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  return std::atof(value);
+}
+
+}  // namespace
+
+double BenchScale() { return EnvDouble("GEMREC_BENCH_SCALE", 1.0); }
+
+uint64_t BenchSamples() {
+  return static_cast<uint64_t>(
+      EnvDouble("GEMREC_BENCH_SAMPLES", 2000000.0));
+}
+
+size_t BenchMaxCases() {
+  return static_cast<size_t>(EnvDouble("GEMREC_BENCH_CASES", 400.0));
+}
+
+size_t BenchSeeds() {
+  return static_cast<size_t>(EnvDouble("GEMREC_BENCH_SEEDS", 1.0));
+}
+
+eval::AccuracyResult AverageResults(
+    const std::vector<eval::AccuracyResult>& results) {
+  GEMREC_CHECK(!results.empty());
+  eval::AccuracyResult avg = results.front();
+  for (size_t r = 1; r < results.size(); ++r) {
+    GEMREC_CHECK(results[r].cutoffs == avg.cutoffs);
+    for (size_t i = 0; i < avg.accuracy.size(); ++i) {
+      avg.accuracy[i] += results[r].accuracy[i];
+      avg.ndcg[i] += results[r].ndcg[i];
+    }
+    avg.mrr += results[r].mrr;
+    avg.mean_rank += results[r].mean_rank;
+    avg.num_cases += results[r].num_cases;
+  }
+  const double n = static_cast<double>(results.size());
+  for (size_t i = 0; i < avg.accuracy.size(); ++i) {
+    avg.accuracy[i] /= n;
+    avg.ndcg[i] /= n;
+  }
+  avg.mrr /= n;
+  avg.mean_rank /= n;
+  return avg;
+}
+
+CityBundle MakeCity(ebsn::SyntheticConfig config,
+                    bool remove_truth_friendships) {
+  CityBundle city;
+  city.name = config.name;
+  city.data = ebsn::GenerateSynthetic(config);
+  city.split =
+      std::make_unique<ebsn::ChronologicalSplit>(city.data.dataset);
+  city.truth =
+      eval::BuildPartnerGroundTruth(city.data.dataset, *city.split);
+
+  graph::GraphBuilderOptions options;
+  if (remove_truth_friendships) {
+    options.removed_friendships = eval::FriendshipsToRemove(city.truth);
+  }
+  auto graphs =
+      graph::BuildEbsnGraphs(city.data.dataset, *city.split, options);
+  GEMREC_CHECK(graphs.ok()) << graphs.status().ToString();
+  city.graphs =
+      std::make_unique<graph::EbsnGraphs>(std::move(graphs).value());
+  return city;
+}
+
+std::unique_ptr<embedding::JointTrainer> TrainEmbedding(
+    const CityBundle& city, embedding::TrainerOptions options,
+    uint64_t samples) {
+  options.num_samples = samples == 0 ? BenchSamples() : samples;
+  auto trainer = std::make_unique<embedding::JointTrainer>(
+      city.graphs.get(), options);
+  trainer->Train();
+  return trainer;
+}
+
+eval::AccuracyResult EvalColdStart(const recommend::RecModel& model,
+                                   const CityBundle& city) {
+  eval::ProtocolOptions options;
+  options.max_cases = BenchMaxCases();
+  return eval::EvaluateColdStartEvents(model, city.dataset(),
+                                       *city.split, options);
+}
+
+eval::AccuracyResult EvalPartner(const recommend::RecModel& model,
+                                 const CityBundle& city) {
+  eval::ProtocolOptions options;
+  options.max_cases = BenchMaxCases();
+  return eval::EvaluateEventPartner(model, city.dataset(), *city.split,
+                                    city.truth, options);
+}
+
+void PrintAccuracySeries(const std::string& title,
+                         const std::vector<AccuracyRow>& rows) {
+  PrintBanner(std::cout, title);
+  if (rows.empty()) return;
+  std::vector<std::string> header = {"model"};
+  for (size_t n : rows.front().result.cutoffs) {
+    header.push_back("Ac@" + std::to_string(n));
+  }
+  TablePrinter table(header);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {row.model};
+    for (double a : row.result.accuracy) {
+      cells.push_back(TablePrinter::Num(a, 3));
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print(std::cout);
+}
+
+void PrintNote(const std::string& text) {
+  std::cout << text << "\n";
+}
+
+}  // namespace gemrec::bench

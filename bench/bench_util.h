@@ -1,0 +1,86 @@
+#ifndef GEMREC_BENCH_BENCH_UTIL_H_
+#define GEMREC_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/cbpf.h"
+#include "baselines/cfapr.h"
+#include "baselines/pcmf.h"
+#include "baselines/per.h"
+#include "ebsn/split.h"
+#include "ebsn/synthetic.h"
+#include "embedding/trainer.h"
+#include "eval/ground_truth.h"
+#include "eval/protocol.h"
+#include "graph/graph_builder.h"
+#include "recommend/gem_model.h"
+
+namespace gemrec::bench {
+
+/// Global knobs, read from the environment so the whole suite can be
+/// scaled up or down without rebuilding:
+///   GEMREC_BENCH_SCALE    multiplies dataset sizes   (default 1.0)
+///   GEMREC_BENCH_SAMPLES  gradient steps per trained model
+///                         (default 400000)
+///   GEMREC_BENCH_CASES    max evaluation cases       (default 400)
+///   GEMREC_BENCH_SEEDS    dataset seeds averaged by fig3/4/5
+///                         (default 1; 3+ shrinks run-to-run noise)
+double BenchScale();
+uint64_t BenchSamples();
+size_t BenchMaxCases();
+size_t BenchSeeds();
+
+/// Averages parallel AccuracyResults (same cutoffs) element-wise.
+eval::AccuracyResult AverageResults(
+    const std::vector<eval::AccuracyResult>& results);
+
+/// A fully prepared city: synthetic data, chronological split,
+/// training graphs (scenario 1 — all friendships present) and the
+/// event-partner ground truth.
+struct CityBundle {
+  std::string name;
+  ebsn::SyntheticData data;
+  std::unique_ptr<ebsn::ChronologicalSplit> split;
+  std::unique_ptr<graph::EbsnGraphs> graphs;
+  std::vector<eval::PartnerTriple> truth;
+
+  const ebsn::Dataset& dataset() const { return data.dataset; }
+};
+
+/// Builds a city bundle from a synthetic config (scaled by
+/// BenchScale()). `remove_truth_friendships` switches the graphs to
+/// the paper's scenario 2 (potential friends).
+CityBundle MakeCity(ebsn::SyntheticConfig config,
+                    bool remove_truth_friendships = false);
+
+/// Trains a GEM/PTE configuration for `samples` steps (BenchSamples()
+/// if 0) and returns the trainer (it owns the embeddings).
+std::unique_ptr<embedding::JointTrainer> TrainEmbedding(
+    const CityBundle& city, embedding::TrainerOptions options,
+    uint64_t samples = 0);
+
+/// Evaluation wrappers with bench defaults.
+eval::AccuracyResult EvalColdStart(const recommend::RecModel& model,
+                                   const CityBundle& city);
+eval::AccuracyResult EvalPartner(const recommend::RecModel& model,
+                                 const CityBundle& city);
+
+/// One output row: a model name plus its Accuracy@n series.
+struct AccuracyRow {
+  std::string model;
+  eval::AccuracyResult result;
+};
+
+/// Prints a measured accuracy table (one row per model, one column per
+/// cutoff) under a banner.
+void PrintAccuracySeries(const std::string& title,
+                         const std::vector<AccuracyRow>& rows);
+
+/// Prints a free-form note block (used for the paper-reference rows).
+void PrintNote(const std::string& text);
+
+}  // namespace gemrec::bench
+
+#endif  // GEMREC_BENCH_BENCH_UTIL_H_

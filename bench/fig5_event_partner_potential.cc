@@ -1,0 +1,89 @@
+// Reproduces Figure 5: joint event-partner recommendation, scenario 2
+// (partners are *potential* friends: every ground-truth pair's social
+// link is removed from G_UU during training, so the models must
+// predict both the event and the future friendship).
+//
+// Paper reference: same ordering as Figure 4 but uniformly lower
+// accuracies, because the second scenario is strictly harder.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace gemrec::bench {
+namespace {
+
+eval::AccuracyResult Scenario1Gem(const ebsn::SyntheticConfig& config) {
+  CityBundle city = MakeCity(config, /*remove_truth_friendships=*/false);
+  auto trainer = TrainEmbedding(city, embedding::TrainerOptions::GemA());
+  recommend::GemModel model(&trainer->store(), "GEM-A");
+  return EvalPartner(model, city);
+}
+
+void RunCity(const ebsn::SyntheticConfig& config) {
+  CityBundle city = MakeCity(config, /*remove_truth_friendships=*/true);
+  std::vector<AccuracyRow> rows;
+
+  auto gem_a = TrainEmbedding(city, embedding::TrainerOptions::GemA());
+  recommend::GemModel gem_a_model(&gem_a->store(), "GEM-A");
+  rows.push_back({"GEM-A", EvalPartner(gem_a_model, city)});
+
+  {
+    auto trainer = TrainEmbedding(city, embedding::TrainerOptions::GemP());
+    recommend::GemModel model(&trainer->store(), "GEM-P");
+    rows.push_back({"GEM-P", EvalPartner(model, city)});
+  }
+  {
+    auto trainer = TrainEmbedding(city, embedding::TrainerOptions::Pte());
+    recommend::GemModel model(&trainer->store(), "PTE");
+    rows.push_back({"PTE", EvalPartner(model, city)});
+  }
+  {
+    baselines::CfaprEModel model(city.dataset(), *city.split,
+                                 *city.graphs, &gem_a_model);
+    rows.push_back({"CFAPR-E", EvalPartner(model, city)});
+  }
+  {
+    baselines::CbpfModel model(city.dataset(), *city.split, *city.graphs,
+                               baselines::CbpfOptions{});
+    rows.push_back({"CBPF", EvalPartner(model, city)});
+  }
+  {
+    baselines::PerModel model(city.dataset(), *city.split, *city.graphs,
+                              baselines::PerOptions{});
+    rows.push_back({"PER", EvalPartner(model, city)});
+  }
+  {
+    baselines::PcmfOptions options;
+    options.num_samples = BenchSamples();
+    baselines::PcmfModel model(*city.graphs, options);
+    rows.push_back({"PCMF", EvalPartner(model, city)});
+  }
+
+  PrintAccuracySeries("Figure 5: joint event-partner recommendation, "
+                      "scenario 2 — partners are potential friends (" +
+                          city.name + ")",
+                      rows);
+
+  // Shape check against Figure 4: scenario 2 must be harder for GEM-A.
+  const auto scenario1 = Scenario1Gem(config);
+  PrintNote("shape check (" + city.name + "): GEM-A Ac@10 scenario 1 = " +
+            std::to_string(scenario1.At(10)) + " vs scenario 2 = " +
+            std::to_string(rows.front().result.At(10)) +
+            " (paper: scenario 2 uniformly lower)");
+}
+
+void Run() {
+  PrintNote("paper reference: same ordering as Figure 4, lower values "
+            "(harder task: the friendship must be predicted too)");
+  RunCity(ebsn::SyntheticConfig::Beijing(BenchScale()));
+  RunCity(ebsn::SyntheticConfig::Shanghai(BenchScale()));
+}
+
+}  // namespace
+}  // namespace gemrec::bench
+
+int main() {
+  gemrec::bench::Run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Performance bench (not a paper table): gradient-step throughput per
+// trainer configuration, isolating the cost of the three noise
+// samplers and of bidirectional sampling. Complements the paper's
+// complexity analysis (§III-A/B: each step is O(K·M); the adaptive
+// sampler's amortized cost per draw is O(K) thanks to the periodic
+// ranking recomputation).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace gemrec::bench {
+namespace {
+
+CityBundle* City() {
+  static CityBundle* city = new CityBundle(
+      MakeCity(ebsn::SyntheticConfig::Beijing(BenchScale())));
+  return city;
+}
+
+void RunSteps(benchmark::State& state,
+              embedding::TrainerOptions options) {
+  CityBundle* city = City();
+  options.num_samples = 200000;
+  embedding::JointTrainer trainer(city->graphs.get(), options);
+  // Warm up (and build the adaptive rankings).
+  trainer.TrainChunk(5000);
+  for (auto _ : state) {
+    trainer.TrainChunk(20000);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+
+void BM_GemA(benchmark::State& state) {
+  RunSteps(state, embedding::TrainerOptions::GemA());
+}
+void BM_GemP(benchmark::State& state) {
+  RunSteps(state, embedding::TrainerOptions::GemP());
+}
+void BM_Pte(benchmark::State& state) {
+  RunSteps(state, embedding::TrainerOptions::Pte());
+}
+void BM_GemUniformNoise(benchmark::State& state) {
+  auto options = embedding::TrainerOptions::GemA();
+  options.sampler = embedding::NoiseSamplerKind::kUniform;
+  RunSteps(state, options);
+}
+void BM_GemAHighDim(benchmark::State& state) {
+  auto options = embedding::TrainerOptions::GemA();
+  options.dim = static_cast<uint32_t>(state.range(0));
+  RunSteps(state, options);
+}
+
+BENCHMARK(BM_GemA)->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_GemP)->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_Pte)->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_GemUniformNoise)
+    ->Unit(benchmark::kMillisecond)->Iterations(5);
+BENCHMARK(BM_GemAHighDim)
+    ->Arg(20)->Arg(60)->Arg(100)
+    ->Unit(benchmark::kMillisecond)->Iterations(5);
+
+}  // namespace
+}  // namespace gemrec::bench
+
+int main(int argc, char** argv) {
+  gemrec::bench::PrintNote(
+      "training throughput by configuration (items = gradient steps); "
+      "expected shape: cost grows linearly with K; the adaptive "
+      "sampler's amortized overhead vs degree sampling stays within a "
+      "small constant factor (paper §III-B complexity analysis).");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

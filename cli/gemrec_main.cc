@@ -1,0 +1,361 @@
+// gemrec — command-line front end for the library.
+//
+//   gemrec generate  --city beijing --scale 0.5 --out DIR
+//   gemrec profile   --data DIR
+//   gemrec train     --data DIR [--config gem-a|gem-p|pte]
+//                    [--samples N] [--dim K] [--threads T] --model FILE
+//   gemrec evaluate  --data DIR --model FILE [--cases N]
+//   gemrec recommend --data DIR --model FILE --user U [--n N]
+//                    [--top-k K] [--weekend] [--explain]
+//
+// The CLI covers the full offline/online workflow: synthesize (or
+// bring) a dataset, inspect it, train GEM embeddings, evaluate both
+// paper tasks, and serve joint event-partner recommendations.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ebsn/io.h"
+#include "ebsn/tfidf.h"
+#include "ebsn/split.h"
+#include "ebsn/stats.h"
+#include "ebsn/synthetic.h"
+#include "embedding/online_update.h"
+#include "embedding/serialization.h"
+#include "embedding/trainer.h"
+#include "eval/ground_truth.h"
+#include "eval/protocol.h"
+#include "graph/graph_builder.h"
+#include "recommend/explain.h"
+#include "recommend/filters.h"
+#include "recommend/recommender.h"
+
+namespace gemrec::cli {
+namespace {
+
+/// Minimal --flag value parser; flags without a value store "true".
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
+    }
+  }
+
+  std::optional<std::string> Get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::string GetOr(const std::string& key,
+                    const std::string& fallback) const {
+    return Get(key).value_or(fallback);
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto v = Get(key);
+    return v ? std::atof(v->c_str()) : fallback;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto v = Get(key);
+    return v ? std::atoll(v->c_str()) : fallback;
+  }
+  bool Has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "gemrec: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  gemrec generate  --city beijing|shanghai [--scale S] --out DIR\n"
+      "  gemrec profile   --data DIR\n"
+      "  gemrec train     --data DIR [--config gem-a|gem-p|pte]\n"
+      "                   [--samples N] [--dim K] [--threads T] "
+      "--model FILE\n"
+      "  gemrec evaluate  --data DIR --model FILE [--cases N]\n"
+      "  gemrec recommend --data DIR --model FILE --user U [--n N]\n"
+      "                   [--top-k K] [--weekend] [--explain]\n"
+      "  gemrec foldin    --data DIR --model FILE --event X\n"
+      "                   [--out FILE]   (online cold-event fold-in)\n");
+  return 2;
+}
+
+int CmdGenerate(const Args& args) {
+  const std::string city = args.GetOr("city", "beijing");
+  const auto out = args.Get("out");
+  if (!out) return Fail("--out is required");
+  const double scale = args.GetDouble("scale", 1.0);
+  ebsn::SyntheticConfig config =
+      city == "shanghai" ? ebsn::SyntheticConfig::Shanghai(scale)
+                         : ebsn::SyntheticConfig::Beijing(scale);
+  if (const auto seed = args.Get("seed")) {
+    config.seed = std::strtoull(seed->c_str(), nullptr, 10);
+  }
+  const auto data = ebsn::GenerateSynthetic(config);
+  if (const Status s = ebsn::SaveDataset(data.dataset, *out); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  const auto stats = data.dataset.Stats();
+  std::printf("wrote %s: %zu users, %zu events, %zu attendances, "
+              "%zu friendships\n",
+              out->c_str(), stats.num_users, stats.num_events,
+              stats.num_attendances, stats.num_friendships);
+  return 0;
+}
+
+int CmdProfile(const Args& args) {
+  const auto dir = args.Get("data");
+  if (!dir) return Fail("--data is required");
+  auto dataset = ebsn::LoadDataset(*dir);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  const auto profile = ebsn::ProfileDataset(*dataset);
+  auto print = [](const char* name,
+                  const ebsn::DistributionSummary& s) {
+    std::printf("%-18s mean %.1f  p50 %zu  p90 %zu  p99 %zu  max %zu  "
+                "gini %.2f\n",
+                name, s.mean, s.p50, s.p90, s.p99, s.max, s.gini);
+  };
+  print("events/user", profile.events_per_user);
+  print("users/event", profile.users_per_event);
+  print("friends/user", profile.friends_per_user);
+  print("words/event", profile.words_per_event);
+  std::printf("active users (>=5 events): %zu\n", profile.active_users);
+  std::printf("attendances with a co-attending friend: %.1f%%\n",
+              100.0 * profile.coattendance_fraction);
+  return 0;
+}
+
+struct LoadedWorld {
+  ebsn::Dataset dataset;
+  std::unique_ptr<ebsn::ChronologicalSplit> split;
+  std::unique_ptr<graph::EbsnGraphs> graphs;
+};
+
+Result<LoadedWorld> LoadWorld(const std::string& dir) {
+  GEMREC_ASSIGN_OR_RETURN(auto dataset, ebsn::LoadDataset(dir));
+  LoadedWorld world{std::move(dataset), nullptr, nullptr};
+  world.split =
+      std::make_unique<ebsn::ChronologicalSplit>(world.dataset);
+  GEMREC_ASSIGN_OR_RETURN(
+      auto graphs,
+      graph::BuildEbsnGraphs(world.dataset, *world.split, {}));
+  world.graphs =
+      std::make_unique<graph::EbsnGraphs>(std::move(graphs));
+  return world;
+}
+
+int CmdTrain(const Args& args) {
+  const auto dir = args.Get("data");
+  const auto model_path = args.Get("model");
+  if (!dir || !model_path) {
+    return Fail("--data and --model are required");
+  }
+  auto world = LoadWorld(*dir);
+  if (!world.ok()) return Fail(world.status().ToString());
+
+  const std::string config_name = args.GetOr("config", "gem-a");
+  embedding::TrainerOptions options;
+  if (config_name == "gem-a") {
+    options = embedding::TrainerOptions::GemA();
+  } else if (config_name == "gem-p") {
+    options = embedding::TrainerOptions::GemP();
+  } else if (config_name == "pte") {
+    options = embedding::TrainerOptions::Pte();
+  } else {
+    return Fail("unknown --config " + config_name);
+  }
+  options.num_samples =
+      static_cast<uint64_t>(args.GetInt("samples", 2000000));
+  options.dim = static_cast<uint32_t>(args.GetInt("dim", 60));
+  options.num_threads =
+      static_cast<uint32_t>(args.GetInt("threads", 1));
+
+  embedding::JointTrainer trainer(world->graphs.get(), options);
+  std::printf("training %s: N=%llu K=%u threads=%u ...\n",
+              config_name.c_str(),
+              static_cast<unsigned long long>(options.num_samples),
+              options.dim, options.num_threads);
+  trainer.Train();
+  if (const Status s =
+          embedding::SaveEmbeddingStore(trainer.store(), *model_path);
+      !s.ok()) {
+    return Fail(s.ToString());
+  }
+  std::printf("wrote %s\n", model_path->c_str());
+  return 0;
+}
+
+int CmdEvaluate(const Args& args) {
+  const auto dir = args.Get("data");
+  const auto model_path = args.Get("model");
+  if (!dir || !model_path) {
+    return Fail("--data and --model are required");
+  }
+  auto world = LoadWorld(*dir);
+  if (!world.ok()) return Fail(world.status().ToString());
+  auto store = embedding::LoadEmbeddingStore(*model_path);
+  if (!store.ok()) return Fail(store.status().ToString());
+  recommend::GemModel model(&store.value(), "gem");
+
+  eval::ProtocolOptions options;
+  options.max_cases = static_cast<size_t>(args.GetInt("cases", 400));
+  const auto events = eval::EvaluateColdStartEvents(
+      model, world->dataset, *world->split, options);
+  std::printf("cold-start event recommendation (%zu cases):\n",
+              events.num_cases);
+  for (size_t i = 0; i < events.cutoffs.size(); ++i) {
+    std::printf("  Ac@%-3zu %.3f   NDCG@%-3zu %.3f\n", events.cutoffs[i],
+                events.accuracy[i], events.cutoffs[i], events.ndcg[i]);
+  }
+  std::printf("  MRR %.3f  mean rank %.1f\n", events.mrr,
+              events.mean_rank);
+
+  const auto truth =
+      eval::BuildPartnerGroundTruth(world->dataset, *world->split);
+  const auto partners = eval::EvaluateEventPartner(
+      model, world->dataset, *world->split, truth, options);
+  std::printf("joint event-partner recommendation (%zu cases):\n",
+              partners.num_cases);
+  for (size_t i = 0; i < partners.cutoffs.size(); ++i) {
+    std::printf("  Ac@%-3zu %.3f   NDCG@%-3zu %.3f\n",
+                partners.cutoffs[i], partners.accuracy[i],
+                partners.cutoffs[i], partners.ndcg[i]);
+  }
+  std::printf("  MRR %.3f  mean rank %.1f\n", partners.mrr,
+              partners.mean_rank);
+  return 0;
+}
+
+int CmdRecommend(const Args& args) {
+  const auto dir = args.Get("data");
+  const auto model_path = args.Get("model");
+  const auto user_arg = args.Get("user");
+  if (!dir || !model_path || !user_arg) {
+    return Fail("--data, --model and --user are required");
+  }
+  auto world = LoadWorld(*dir);
+  if (!world.ok()) return Fail(world.status().ToString());
+  auto store = embedding::LoadEmbeddingStore(*model_path);
+  if (!store.ok()) return Fail(store.status().ToString());
+  recommend::GemModel model(&store.value(), "gem");
+
+  const auto user =
+      static_cast<ebsn::UserId>(std::atoll(user_arg->c_str()));
+  if (user >= world->dataset.num_users()) {
+    return Fail("user id out of range");
+  }
+
+  std::vector<ebsn::EventId> pool = world->split->test_events();
+  if (args.Has("weekend")) {
+    recommend::EventFilter filter;
+    filter.weekpart = recommend::EventFilter::Weekpart::kWeekendOnly;
+    pool = recommend::FilterEvents(world->dataset, pool, filter);
+  }
+  if (pool.empty()) return Fail("no recommendable events after filters");
+
+  recommend::RecommenderOptions rec_options;
+  rec_options.top_k_events_per_partner =
+      static_cast<uint32_t>(args.GetInt("top-k", 20));
+  recommend::EventPartnerRecommender recommender(
+      &model, pool, world->dataset.num_users(), rec_options);
+  const size_t n = static_cast<size_t>(args.GetInt("n", 10));
+  for (const auto& r : recommender.Recommend(user, n)) {
+    std::printf("event %6u  partner %6u  score %.3f\n", r.event,
+                r.partner, r.score);
+    if (args.Has("explain")) {
+      const auto explanation = recommend::ExplainRecommendation(
+          model, world->dataset, *world->graphs, user, r.event,
+          r.partner);
+      std::printf("%s\n", explanation.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdFoldin(const Args& args) {
+  const auto dir = args.Get("data");
+  const auto model_path = args.Get("model");
+  const auto event_arg = args.Get("event");
+  if (!dir || !model_path || !event_arg) {
+    return Fail("--data, --model and --event are required");
+  }
+  auto world = LoadWorld(*dir);
+  if (!world.ok()) return Fail(world.status().ToString());
+  auto store = embedding::LoadEmbeddingStore(*model_path);
+  if (!store.ok()) return Fail(store.status().ToString());
+
+  const auto event =
+      static_cast<ebsn::EventId>(std::atoll(event_arg->c_str()));
+  if (event >= world->dataset.num_events()) {
+    return Fail("event id out of range");
+  }
+
+  // TF-IDF signals against the corpus, as a serving system would
+  // compute them for a just-published event.
+  std::vector<std::vector<ebsn::WordId>> docs(
+      world->dataset.num_events());
+  for (uint32_t x = 0; x < world->dataset.num_events(); ++x) {
+    docs[x] = world->dataset.event(x).words;
+  }
+  const auto tfidf =
+      ebsn::ComputeTfIdf(docs, world->dataset.vocab_size());
+  embedding::NewEventSignals signals;
+  for (const auto& ww : tfidf[event]) {
+    signals.words.push_back({ww.word, static_cast<float>(ww.weight)});
+  }
+  signals.region = world->graphs->event_region[event];
+  signals.start_time = world->dataset.event(event).start_time;
+
+  if (const Status s = embedding::FoldInColdEvent(&store.value(), event,
+                                                  signals, {});
+      !s.ok()) {
+    return Fail(s.ToString());
+  }
+  const std::string out = args.GetOr("out", *model_path);
+  if (const Status s = embedding::SaveEmbeddingStore(store.value(), out);
+      !s.ok()) {
+    return Fail(s.ToString());
+  }
+  std::printf("folded event %u in from %zu words + region + time; "
+              "wrote %s\n",
+              event, signals.words.size(), out.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "profile") return CmdProfile(args);
+  if (command == "train") return CmdTrain(args);
+  if (command == "evaluate") return CmdEvaluate(args);
+  if (command == "recommend") return CmdRecommend(args);
+  if (command == "foldin") return CmdFoldin(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace gemrec::cli
+
+int main(int argc, char** argv) { return gemrec::cli::Main(argc, argv); }

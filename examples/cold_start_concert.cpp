@@ -1,0 +1,82 @@
+// Cold-start scenario: a brand-new concert is announced — no one has
+// registered yet, so collaborative signals are empty. GEM still ranks
+// it for users because the event's *content words*, *venue region* and
+// *start time* all have trained embeddings, and the new event's vector
+// is learned from those (the paper's central cold-start argument).
+//
+// This example trains on a city, then scores every user against one
+// held-out "concert" event and prints the best-matched audience,
+// comparing against a popularity baseline that is blind to content.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/top_k.h"
+#include "ebsn/split.h"
+#include "ebsn/synthetic.h"
+#include "ebsn/time_slots.h"
+#include "embedding/trainer.h"
+#include "graph/graph_builder.h"
+#include "recommend/gem_model.h"
+
+int main() {
+  using namespace gemrec;  // NOLINT: example brevity
+
+  ebsn::SyntheticConfig config;
+  config.num_users = 600;
+  config.num_events = 400;
+  config.num_venues = 80;
+  config.seed = 7;
+  ebsn::SyntheticData data = ebsn::GenerateSynthetic(config);
+  const ebsn::Dataset& dataset = data.dataset;
+  ebsn::ChronologicalSplit split(dataset);
+
+  auto graphs = graph::BuildEbsnGraphs(dataset, split, {});
+  if (!graphs.ok()) return 1;
+  auto options = embedding::TrainerOptions::GemA();
+  options.num_samples = 300000;
+  embedding::JointTrainer trainer(&graphs.value(), options);
+  trainer.Train();
+  recommend::GemModel model(&trainer.store(), "GEM-A");
+
+  // Pick the "concert": a test event (zero visible registrations).
+  const ebsn::EventId concert = split.test_events().front();
+  const ebsn::Event& event = dataset.event(concert);
+  std::printf("new event %u: venue %u, %s at %s, %zu content words, "
+              "0 visible registrations\n",
+              concert, event.venue,
+              ebsn::TimeSlotName(ebsn::TimeSlotsFor(event.start_time)[1]),
+              ebsn::TimeSlotName(ebsn::TimeSlotsFor(event.start_time)[0]),
+              event.words.size());
+
+  // Rank all users for this event by the learned embeddings.
+  TopK<ebsn::UserId> audience(10);
+  for (ebsn::UserId u = 0; u < dataset.num_users(); ++u) {
+    audience.Push(u, model.ScoreUserEvent(u, concert));
+  }
+  std::printf("\nbest-matched audience (GEM-A, content/venue/time "
+              "driven):\n");
+  size_t actual_attendees = 0;
+  for (const auto& entry : audience.TakeSortedDescending()) {
+    const bool attends = dataset.Attends(entry.id, concert);
+    actual_attendees += attends ? 1 : 0;
+    std::printf("  user %4u  score %.3f  %s\n", entry.id, entry.score,
+                attends ? "<- actually registered (held-out)" : "");
+  }
+  std::printf("\n%zu of the top-10 turn out to be actual (held-out) "
+              "registrants.\n", actual_attendees);
+
+  // Popularity baseline: most active users, blind to the event.
+  TopK<ebsn::UserId> popular(10);
+  for (ebsn::UserId u = 0; u < dataset.num_users(); ++u) {
+    popular.Push(u, static_cast<float>(dataset.EventsOf(u).size()));
+  }
+  size_t popular_hits = 0;
+  for (const auto& entry : popular.TakeSortedDescending()) {
+    if (dataset.Attends(entry.id, concert)) ++popular_hits;
+  }
+  std::printf("popularity baseline finds %zu of its top-10 among the "
+              "registrants.\n", popular_hits);
+  return 0;
+}

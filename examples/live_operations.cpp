@@ -1,0 +1,110 @@
+// Live operations: what an EBSN runs *between* nightly retrains.
+//
+//   1. train GEM-A offline and checkpoint it to disk;
+//   2. reload the checkpoint (as the serving process would);
+//   3. a brand-new event is published -> fold its vector in online
+//      from content + venue + time, without retraining (milliseconds);
+//   4. serve joint event-partner recommendations including the new
+//      event, with human-readable explanations.
+
+#include <cmath>
+#include <cstdio>
+
+#include "ebsn/split.h"
+#include "ebsn/synthetic.h"
+#include "ebsn/tfidf.h"
+#include "embedding/online_update.h"
+#include "embedding/serialization.h"
+#include "embedding/trainer.h"
+#include "graph/graph_builder.h"
+#include "recommend/explain.h"
+#include "recommend/recommender.h"
+
+int main() {
+  using namespace gemrec;  // NOLINT: example brevity
+
+  // ---- Offline: train and checkpoint. ------------------------------
+  ebsn::SyntheticConfig config;
+  config.num_users = 600;
+  config.num_events = 400;
+  config.num_venues = 60;
+  config.seed = 17;
+  ebsn::SyntheticData data = ebsn::GenerateSynthetic(config);
+  const ebsn::Dataset& dataset = data.dataset;
+  ebsn::ChronologicalSplit split(dataset);
+  auto graphs = graph::BuildEbsnGraphs(dataset, split, {});
+  if (!graphs.ok()) return 1;
+  auto options = embedding::TrainerOptions::GemA();
+  options.num_samples = 400000;
+  embedding::JointTrainer trainer(&graphs.value(), options);
+  trainer.Train();
+  const std::string checkpoint = "/tmp/gemrec_live_model.bin";
+  if (!embedding::SaveEmbeddingStore(trainer.store(), checkpoint).ok()) {
+    return 1;
+  }
+  std::printf("checkpointed trained model to %s\n", checkpoint.c_str());
+
+  // ---- Serving process: reload the checkpoint. ----------------------
+  auto store = embedding::LoadEmbeddingStore(checkpoint);
+  if (!store.ok()) return 1;
+  recommend::GemModel model(&store.value(), "GEM-A");
+
+  // ---- A new event is published. ------------------------------------
+  // Pretend the *last* test event was just created: wipe its vector
+  // and rebuild it purely online from its signals.
+  const ebsn::EventId fresh = split.test_events().back();
+  const ebsn::Event& event = dataset.event(fresh);
+  float* v = store->VectorOf(graph::NodeType::kEvent, fresh);
+  std::vector<float> offline_vector(v, v + store->dim());
+
+  embedding::NewEventSignals signals;
+  {
+    // TF-IDF weights against the full corpus (a serving system keeps
+    // the document-frequency table around).
+    std::vector<std::vector<ebsn::WordId>> docs(dataset.num_events());
+    for (uint32_t x = 0; x < dataset.num_events(); ++x) {
+      docs[x] = dataset.event(x).words;
+    }
+    const auto tfidf = ebsn::ComputeTfIdf(docs, dataset.vocab_size());
+    for (const auto& ww : tfidf[fresh]) {
+      signals.words.push_back({ww.word, static_cast<float>(ww.weight)});
+    }
+  }
+  signals.region = graphs->event_region[fresh];
+  signals.start_time = event.start_time;
+
+  if (!embedding::FoldInColdEvent(&store.value(), fresh, signals, {})
+           .ok()) {
+    return 1;
+  }
+  std::printf("folded in new event %u from %zu words + region + time\n",
+              fresh, signals.words.size());
+
+  // How close did the online fold-in get to the offline vector?
+  float dot = 0.0f;
+  float n1 = 0.0f;
+  float n2 = 0.0f;
+  for (uint32_t f = 0; f < store->dim(); ++f) {
+    dot += v[f] * offline_vector[f];
+    n1 += v[f] * v[f];
+    n2 += offline_vector[f] * offline_vector[f];
+  }
+  std::printf("cosine(online fold-in, offline training) = %.3f\n",
+              dot / std::max(1e-9f, std::sqrt(n1) * std::sqrt(n2)));
+
+  // ---- Serve recommendations involving the fresh event. -------------
+  recommend::RecommenderOptions rec_options;
+  rec_options.top_k_events_per_partner = 15;
+  recommend::EventPartnerRecommender recommender(
+      &model, split.test_events(), dataset.num_users(), rec_options);
+  const ebsn::UserId user = 11;
+  std::printf("\ntop-3 joint recommendations for user %u:\n", user);
+  for (const auto& r : recommender.Recommend(user, 3)) {
+    std::printf("\nevent %u with partner %u (score %.3f)\n", r.event,
+                r.partner, r.score);
+    const auto explanation = recommend::ExplainRecommendation(
+        model, dataset, graphs.value(), user, r.event, r.partner);
+    std::printf("%s\n", explanation.ToString().c_str());
+  }
+  return 0;
+}

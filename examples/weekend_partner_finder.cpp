@@ -1,0 +1,69 @@
+// Weekend partner finder: the paper's motivating use case — "most of
+// young people boast Facebook friends that number in the hundreds but
+// in reality they often stay alone as they have nobody to hang out
+// with". For a target user we recommend *weekend* event-partner pairs,
+// and show whether each suggested partner is an existing friend or a
+// potential friend (GEM does not restrict partners to friends).
+
+#include <cstdio>
+
+#include "ebsn/split.h"
+#include "ebsn/synthetic.h"
+#include "ebsn/time_slots.h"
+#include "embedding/trainer.h"
+#include "graph/graph_builder.h"
+#include "recommend/recommender.h"
+
+int main() {
+  using namespace gemrec;  // NOLINT: example brevity
+
+  ebsn::SyntheticConfig config;
+  config.num_users = 600;
+  config.num_events = 400;
+  config.num_venues = 70;
+  config.seed = 11;
+  ebsn::SyntheticData data = ebsn::GenerateSynthetic(config);
+  const ebsn::Dataset& dataset = data.dataset;
+  ebsn::ChronologicalSplit split(dataset);
+
+  auto graphs = graph::BuildEbsnGraphs(dataset, split, {});
+  if (!graphs.ok()) return 1;
+  auto options = embedding::TrainerOptions::GemA();
+  options.num_samples = 300000;
+  embedding::JointTrainer trainer(&graphs.value(), options);
+  trainer.Train();
+  recommend::GemModel model(&trainer.store(), "GEM-A");
+
+  // Restrict the recommendable pool to upcoming *weekend* events.
+  std::vector<ebsn::EventId> weekend_events;
+  for (ebsn::EventId x : split.test_events()) {
+    if (ebsn::IsWeekend(dataset.event(x).start_time)) {
+      weekend_events.push_back(x);
+    }
+  }
+  std::printf("%zu upcoming weekend events out of %zu upcoming "
+              "events\n", weekend_events.size(),
+              split.test_events().size());
+  if (weekend_events.empty()) return 0;
+
+  recommend::RecommenderOptions rec_options;
+  rec_options.top_k_events_per_partner = 15;
+  recommend::EventPartnerRecommender recommender(
+      &model, weekend_events, dataset.num_users(), rec_options);
+
+  const ebsn::UserId user = 99;
+  std::printf("\nweekend plans for user %u (%zu friends):\n", user,
+              dataset.FriendsOf(user).size());
+  for (const auto& r : recommender.Recommend(user, 8)) {
+    const ebsn::Event& event = dataset.event(r.event);
+    const auto slots = ebsn::TimeSlotsFor(event.start_time);
+    std::printf("  %s %s: event %4u with %-17s %4u  (score %.3f)\n",
+                ebsn::TimeSlotName(slots[1]),
+                ebsn::TimeSlotName(slots[0]), r.event,
+                dataset.AreFriends(user, r.partner)
+                    ? "friend"
+                    : "potential friend",
+                r.partner, r.score);
+  }
+  return 0;
+}

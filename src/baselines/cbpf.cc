@@ -1,0 +1,128 @@
+#include "baselines/cbpf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/vec_math.h"
+#include "ebsn/time_slots.h"
+
+namespace gemrec::baselines {
+namespace {
+
+constexpr float kMinRate = 1e-6f;  // Poisson rate floor
+
+}  // namespace
+
+CbpfModel::CbpfModel(const ebsn::Dataset& dataset,
+                     const ebsn::ChronologicalSplit& split,
+                     const graph::EbsnGraphs& graphs,
+                     const CbpfOptions& options)
+    : options_(options), rng_(options.seed) {
+  const uint32_t dim = options_.dim;
+  theta_ = Matrix(dataset.num_users(), dim);
+  eta_word_ = Matrix(dataset.vocab_size(), dim);
+  eta_region_ = Matrix(graphs.num_regions, dim);
+  eta_time_ = Matrix(ebsn::kNumTimeSlots, dim);
+  // Gamma-prior-like nonnegative initialization.
+  theta_.FillAbsGaussian(&rng_, 0.1, 0.05);
+  eta_word_.FillAbsGaussian(&rng_, 0.1, 0.05);
+  eta_region_.FillAbsGaussian(&rng_, 0.1, 0.05);
+  eta_time_.FillAbsGaussian(&rng_, 0.1, 0.05);
+
+  event_region_ = graphs.event_region;
+  event_words_.resize(dataset.num_events());
+  event_time_.resize(dataset.num_events());
+  for (uint32_t x = 0; x < dataset.num_events(); ++x) {
+    auto words = dataset.event(x).words;
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+    event_words_[x] = std::move(words);
+    event_time_[x] = dataset.event(x).start_time;
+  }
+  Train(dataset, split);
+}
+
+void CbpfModel::EventVector(ebsn::EventId x, float* out) const {
+  const uint32_t dim = options_.dim;
+  std::fill(out, out + dim, 0.0f);
+  size_t parts = 0;
+  for (ebsn::WordId w : event_words_[x]) {
+    Axpy(1.0f, eta_word_.Row(w), out, dim);
+    ++parts;
+  }
+  Axpy(1.0f, eta_region_.Row(event_region_[x]), out, dim);
+  ++parts;
+  for (ebsn::TimeSlotId slot : ebsn::TimeSlotsFor(event_time_[x])) {
+    Axpy(1.0f, eta_time_.Row(slot), out, dim);
+    ++parts;
+  }
+  const float inv = 1.0f / static_cast<float>(parts);
+  for (uint32_t f = 0; f < dim; ++f) out[f] *= inv;
+}
+
+void CbpfModel::Train(const ebsn::Dataset& dataset,
+                      const ebsn::ChronologicalSplit& split) {
+  const auto observations =
+      split.AttendancesIn(dataset, ebsn::Split::kTraining);
+  if (observations.empty()) return;
+  const auto& training_events = split.training_events();
+  const uint32_t dim = options_.dim;
+  const float lr = options_.learning_rate;
+  std::vector<float> beta(dim);
+
+  // One projected-ascent update for response y at (u, x):
+  //   μ = θ_uᵀβ_x,  ∂ll/∂θ = (y/μ − 1)·β,  ∂ll/∂aux = (y/μ − 1)·θ/P
+  // where P is the number of auxiliary parts averaged into β_x.
+  auto update = [&](ebsn::UserId u, ebsn::EventId x, float y) {
+    EventVector(x, beta.data());
+    float* theta = theta_.Row(u);
+    const float mu = std::max(kMinRate, Dot(theta, beta.data(), dim));
+    const float coeff = y / mu - 1.0f;
+
+    const size_t parts = event_words_[x].size() + 1 + 3;
+    const float aux_coeff =
+        lr * coeff / static_cast<float>(parts);
+    for (ebsn::WordId w : event_words_[x]) {
+      float* eta = eta_word_.Row(w);
+      Axpy(aux_coeff, theta, eta, dim);
+      ReluInPlace(eta, dim);
+    }
+    {
+      float* eta = eta_region_.Row(event_region_[x]);
+      Axpy(aux_coeff, theta, eta, dim);
+      ReluInPlace(eta, dim);
+    }
+    for (ebsn::TimeSlotId slot : ebsn::TimeSlotsFor(event_time_[x])) {
+      float* eta = eta_time_.Row(slot);
+      Axpy(aux_coeff, theta, eta, dim);
+      ReluInPlace(eta, dim);
+    }
+    Axpy(lr * coeff, beta.data(), theta, dim);
+    ReluInPlace(theta, dim);
+  };
+
+  for (uint32_t epoch = 0; epoch < options_.num_epochs; ++epoch) {
+    for (const auto& att : observations) {
+      update(att.user, att.event, 1.0f);
+      for (uint32_t z = 0; z < options_.zeros_per_positive; ++z) {
+        const ebsn::EventId x =
+            training_events[rng_.UniformInt(training_events.size())];
+        if (dataset.Attends(att.user, x)) continue;
+        update(att.user, x, 0.0f);
+      }
+    }
+  }
+}
+
+float CbpfModel::ScoreUserEvent(ebsn::UserId u, ebsn::EventId x) const {
+  std::vector<float> beta(options_.dim);
+  EventVector(x, beta.data());
+  return Dot(theta_.Row(u), beta.data(), options_.dim);
+}
+
+float CbpfModel::ScoreUserUser(ebsn::UserId u, ebsn::UserId v) const {
+  return Dot(theta_.Row(u), theta_.Row(v), options_.dim);
+}
+
+}  // namespace gemrec::baselines

@@ -1,0 +1,44 @@
+#include "baselines/cfapr.h"
+
+#include "common/logging.h"
+
+namespace gemrec::baselines {
+
+CfaprEModel::CfaprEModel(const ebsn::Dataset& dataset,
+                         const ebsn::ChronologicalSplit& split,
+                         const graph::EbsnGraphs& graphs,
+                         const recommend::GemModel* gem)
+    : gem_(gem) {
+  GEMREC_CHECK(gem != nullptr);
+  history_.resize(dataset.num_users());
+  for (ebsn::EventId x : split.training_events()) {
+    const auto& attendees = dataset.UsersOf(x);
+    for (size_t i = 0; i < attendees.size(); ++i) {
+      for (size_t j = i + 1; j < attendees.size(); ++j) {
+        const ebsn::UserId u = attendees[i];
+        const ebsn::UserId v = attendees[j];
+        if (!graphs.user_user->HasEdge(u, v)) continue;
+        history_[u][v] += 1.0f;
+        history_[v][u] += 1.0f;
+      }
+    }
+  }
+  for (const auto& h : history_) {
+    if (!h.empty()) ++users_with_history_;
+  }
+}
+
+float CfaprEModel::ScoreUserEvent(ebsn::UserId u, ebsn::EventId x) const {
+  return gem_->ScoreUserEvent(u, x);
+}
+
+float CfaprEModel::ScoreUserUser(ebsn::UserId u, ebsn::UserId v) const {
+  const auto& h = history_[u];
+  const auto it = h.find(v);
+  if (it == h.end()) return 0.0f;  // not a historical partner
+  // Saturating normalization keeps the affinity on the same order as
+  // the GEM inner products it is combined with.
+  return it->second / (1.0f + it->second);
+}
+
+}  // namespace gemrec::baselines

@@ -1,0 +1,55 @@
+#ifndef GEMREC_BASELINES_CFAPR_H_
+#define GEMREC_BASELINES_CFAPR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ebsn/dataset.h"
+#include "ebsn/split.h"
+#include "graph/graph_builder.h"
+#include "recommend/gem_model.h"
+#include "recommend/rec_model.h"
+
+namespace gemrec::baselines {
+
+/// CFAPR-E: the activity-partner recommender of Tu et al. (PAKDD'15),
+/// extended for the joint task as §V-C describes. The partner side is
+/// collaborative filtering over *historical partner* data: u' is a
+/// historical partner of u if the two are friends and co-attended a
+/// training event; the partner affinity is the (normalized) count of
+/// such co-attendances. The event side p(x|u) reuses the GEM-A
+/// embedding scores (as the paper's experiment does).
+///
+/// Its two structural limitations are kept on purpose (the paper's
+/// Figure 4/5 discussion): partners are limited to historical partners
+/// (anyone else has zero affinity), and users with no history of
+/// attending events with partners get no partner signal at all.
+class CfaprEModel : public recommend::RecModel {
+ public:
+  /// `gem` must outlive this model.
+  /// `graphs` supplies the social links (G_UU honours the scenario-2
+  /// link removals; the raw dataset does not).
+  CfaprEModel(const ebsn::Dataset& dataset,
+              const ebsn::ChronologicalSplit& split,
+              const graph::EbsnGraphs& graphs,
+              const recommend::GemModel* gem);
+
+  std::string Name() const override { return "CFAPR-E"; }
+  float ScoreUserEvent(ebsn::UserId u, ebsn::EventId x) const override;
+  float ScoreUserUser(ebsn::UserId u, ebsn::UserId v) const override;
+
+  /// Number of users with at least one historical partner.
+  size_t users_with_history() const { return users_with_history_; }
+
+ private:
+  const recommend::GemModel* gem_;
+  /// partner -> co-attendance count, per user.
+  std::vector<std::unordered_map<ebsn::UserId, float>> history_;
+  size_t users_with_history_ = 0;
+};
+
+}  // namespace gemrec::baselines
+
+#endif  // GEMREC_BASELINES_CFAPR_H_

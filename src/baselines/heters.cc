@@ -1,0 +1,102 @@
+#include "baselines/heters.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace gemrec::baselines {
+
+HetersModel::HetersModel(const ebsn::Dataset& dataset,
+                         const graph::EbsnGraphs& graphs,
+                         const HetersOptions& options)
+    : options_(options) {
+  GEMREC_CHECK(options.restart > 0.0 && options.restart < 1.0);
+  const std::array<uint32_t, 5> counts = {
+      graphs.num_users, graphs.num_events, graphs.num_regions,
+      graphs.num_time_slots, graphs.num_words};
+  offsets_[0] = 0;
+  for (size_t t = 0; t < 5; ++t) offsets_[t + 1] = offsets_[t] + counts[t];
+  transitions_.resize(offsets_[5]);
+
+  AddRelation(*graphs.user_event, /*mirror=*/true);
+  AddRelation(*graphs.event_location, /*mirror=*/true);
+  AddRelation(*graphs.event_time, /*mirror=*/true);
+  AddRelation(*graphs.event_word, /*mirror=*/true);
+  // G_UU already stores both (a,b) and (b,a).
+  AddRelation(*graphs.user_user, /*mirror=*/false);
+
+  // Row-normalize so every node's outgoing mass is 1 (dangling nodes
+  // keep an empty row; their mass restarts).
+  for (auto& row : transitions_) {
+    double total = 0.0;
+    for (const auto& [target, weight] : row) total += weight;
+    if (total <= 0.0) continue;
+    for (auto& [target, weight] : row) {
+      weight = static_cast<float>(weight / total);
+    }
+  }
+  (void)dataset;
+}
+
+uint32_t HetersModel::NodeIndex(graph::NodeType type, uint32_t id) const {
+  return offsets_[static_cast<size_t>(type)] + id;
+}
+
+void HetersModel::AddRelation(const graph::BipartiteGraph& g,
+                              bool mirror) {
+  for (const auto& e : g.edges()) {
+    const uint32_t a = NodeIndex(g.type_a(), e.a);
+    const uint32_t b = NodeIndex(g.type_b(), e.b);
+    transitions_[a].push_back({b, static_cast<float>(e.weight)});
+    if (mirror) {
+      transitions_[b].push_back({a, static_cast<float>(e.weight)});
+    }
+  }
+}
+
+std::vector<float> HetersModel::WalkFrom(ebsn::UserId user) const {
+  const uint32_t source = NodeIndex(graph::NodeType::kUser, user);
+  const size_t n = transitions_.size();
+  std::vector<float> current(n, 0.0f);
+  std::vector<float> next(n, 0.0f);
+  current[source] = 1.0f;
+  const float restart = static_cast<float>(options_.restart);
+  for (uint32_t it = 0; it < options_.iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0f);
+    float moved = 0.0f;
+    for (size_t v = 0; v < n; ++v) {
+      const float mass = current[v];
+      if (mass <= 0.0f) continue;
+      const float spread = mass * (1.0f - restart);
+      for (const auto& [target, probability] : transitions_[v]) {
+        next[target] += spread * probability;
+      }
+      if (!transitions_[v].empty()) moved += spread;
+    }
+    // Restart mass plus the mass of dangling nodes returns to the
+    // source, keeping the distribution normalized.
+    float total = 0.0f;
+    for (float p : next) total += p;
+    next[source] += 1.0f - total;
+    current.swap(next);
+  }
+  return current;
+}
+
+float HetersModel::ScoreUserEvent(ebsn::UserId u, ebsn::EventId x) const {
+  if (cached_user_ != u) {
+    cached_walk_ = WalkFrom(u);
+    cached_user_ = u;
+  }
+  return cached_walk_[NodeIndex(graph::NodeType::kEvent, x)];
+}
+
+float HetersModel::ScoreUserUser(ebsn::UserId u, ebsn::UserId v) const {
+  if (cached_user_ != u) {
+    cached_walk_ = WalkFrom(u);
+    cached_user_ = u;
+  }
+  return cached_walk_[NodeIndex(graph::NodeType::kUser, v)];
+}
+
+}  // namespace gemrec::baselines

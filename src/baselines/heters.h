@@ -1,0 +1,76 @@
+#ifndef GEMREC_BASELINES_HETERS_H_
+#define GEMREC_BASELINES_HETERS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ebsn/dataset.h"
+#include "ebsn/split.h"
+#include "graph/graph_builder.h"
+#include "recommend/rec_model.h"
+
+namespace gemrec::baselines {
+
+/// Hyper-parameters of the HeteRS baseline.
+struct HetersOptions {
+  /// Restart probability of the random walk.
+  double restart = 0.15;
+  /// Power-iteration steps per query.
+  uint32_t iterations = 20;
+};
+
+/// HeteRS (Pham et al., ICDE'15): a general graph-based recommender
+/// for EBSNs that ranks items by the stationary visiting probability
+/// of a random walk with restart (their multivariate Markov chain)
+/// over the heterogeneous graph. §VI-A of our paper discusses it and
+/// *excludes* it from the comparison because the walk runs at query
+/// time and "results in an unbearably long response time" — unlike the
+/// latent-factor models whose training is offline.
+///
+/// We implement it over the same five training graphs: one unified
+/// node space (users ⊕ events ⊕ regions ⊕ slots ⊕ words), row-
+/// normalized transition matrix with equal mass per relation type, and
+/// per-query power iteration from the target user. Scoring a single
+/// (u, x) pair costs a full walk from u (cached per user within one
+/// protocol pass), which reproduces the response-time gap the paper
+/// reports — measured by bench/ext_heters_latency.
+class HetersModel : public recommend::RecModel {
+ public:
+  HetersModel(const ebsn::Dataset& dataset,
+              const graph::EbsnGraphs& graphs,
+              const HetersOptions& options);
+
+  std::string Name() const override { return "HeteRS"; }
+  float ScoreUserEvent(ebsn::UserId u, ebsn::EventId x) const override;
+  float ScoreUserUser(ebsn::UserId u, ebsn::UserId v) const override;
+
+  /// Runs the random walk with restart from `user` and returns the
+  /// stationary distribution over the unified node space. Exposed for
+  /// tests and for the latency bench.
+  std::vector<float> WalkFrom(ebsn::UserId user) const;
+
+  size_t num_nodes() const { return offsets_.back(); }
+
+ private:
+  /// Unified node index blocks: [users | events | regions | slots |
+  /// words]; offsets_[t] is the first index of block t, offsets_[5]
+  /// the total count.
+  uint32_t NodeIndex(graph::NodeType type, uint32_t id) const;
+  void AddRelation(const graph::BipartiteGraph& g, bool mirror);
+
+  HetersOptions options_;
+  std::array<uint32_t, 6> offsets_{};
+  /// CSR-ish adjacency with per-edge transition probabilities.
+  std::vector<std::vector<std::pair<uint32_t, float>>> transitions_;
+
+  /// One-entry walk cache: protocol passes score one user against many
+  /// candidates; recomputing the walk per pair would square the cost.
+  mutable ebsn::UserId cached_user_ = ebsn::kInvalidId;
+  mutable std::vector<float> cached_walk_;
+};
+
+}  // namespace gemrec::baselines
+
+#endif  // GEMREC_BASELINES_HETERS_H_

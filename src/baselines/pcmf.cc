@@ -1,0 +1,77 @@
+#include "baselines/pcmf.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/vec_math.h"
+
+namespace gemrec::baselines {
+
+PcmfModel::PcmfModel(const graph::EbsnGraphs& graphs,
+                     const PcmfOptions& options)
+    : options_(options), rng_(options.seed) {
+  store_ = std::make_unique<embedding::EmbeddingStore>(
+      options_.dim,
+      std::array<uint32_t, embedding::EmbeddingStore::kNumTypes>{
+          graphs.num_users, graphs.num_events, graphs.num_regions,
+          graphs.num_time_slots, graphs.num_words});
+  store_->InitGaussian(&rng_, 0.01);
+  Train(graphs);
+}
+
+void PcmfModel::Train(const graph::EbsnGraphs& graphs) {
+  std::vector<const graph::BipartiteGraph*> relations;
+  for (const auto* g : graphs.All()) {
+    if (g->num_edges() > 0) relations.push_back(g);
+  }
+  GEMREC_CHECK(!relations.empty());
+  const uint32_t dim = options_.dim;
+  const float lr = options_.learning_rate;
+  const float reg = options_.l2_reg;
+
+  for (uint64_t step = 0; step < options_.num_samples; ++step) {
+    // Relations are drawn uniformly: PCMF treats every matrix equally.
+    const graph::BipartiteGraph& g =
+        *relations[rng_.UniformInt(relations.size())];
+    // Binary relation: positive edges are drawn uniformly, ignoring
+    // the weight the richer models exploit.
+    const graph::Edge& edge = g.edges()[rng_.UniformInt(g.num_edges())];
+    // Uniform negative right-hand node (the paper's critique: PCMF
+    // uses the uniform noise distribution).
+    uint32_t negative = static_cast<uint32_t>(rng_.UniformInt(g.num_b()));
+    for (int attempt = 0;
+         attempt < 8 && g.HasEdge(edge.a, negative); ++attempt) {
+      negative = static_cast<uint32_t>(rng_.UniformInt(g.num_b()));
+    }
+
+    float* va = store_->VectorOf(g.type_a(), edge.a);
+    float* vb = store_->VectorOf(g.type_b(), edge.b);
+    float* vn = store_->VectorOf(g.type_b(), negative);
+
+    // BPR: maximize log σ(va·vb − va·vn).
+    const float margin = Dot(va, vb, dim) - Dot(va, vn, dim);
+    const float coeff = 1.0f - Sigmoid(margin);
+    for (uint32_t f = 0; f < dim; ++f) {
+      const float a = va[f];
+      const float b = vb[f];
+      const float n = vn[f];
+      va[f] += lr * (coeff * (b - n) - reg * a);
+      vb[f] += lr * (coeff * a - reg * b);
+      vn[f] += lr * (-coeff * a - reg * n);
+    }
+  }
+}
+
+float PcmfModel::ScoreUserEvent(ebsn::UserId u, ebsn::EventId x) const {
+  return Dot(store_->VectorOf(graph::NodeType::kUser, u),
+             store_->VectorOf(graph::NodeType::kEvent, x),
+             options_.dim);
+}
+
+float PcmfModel::ScoreUserUser(ebsn::UserId u, ebsn::UserId v) const {
+  return Dot(store_->VectorOf(graph::NodeType::kUser, u),
+             store_->VectorOf(graph::NodeType::kUser, v),
+             options_.dim);
+}
+
+}  // namespace gemrec::baselines

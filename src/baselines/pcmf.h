@@ -1,0 +1,56 @@
+#ifndef GEMREC_BASELINES_PCMF_H_
+#define GEMREC_BASELINES_PCMF_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "embedding/embedding_store.h"
+#include "graph/graph_builder.h"
+#include "recommend/rec_model.h"
+
+namespace gemrec::baselines {
+
+/// Hyper-parameters of the PCMF baseline.
+struct PcmfOptions {
+  uint32_t dim = 60;
+  uint64_t num_samples = 2'000'000;
+  float learning_rate = 0.05f;
+  float l2_reg = 0.01f;
+  uint64_t seed = 11;
+};
+
+/// PCMF (Qiao et al., AAAI'14): probabilistic collective matrix
+/// factorization — BPR-style pairwise ranking extended to multiple
+/// relations, with one shared K-vector per entity.
+///
+/// Reproduced with its two distinguishing limitations intact (§V-C):
+/// relations are treated as *binary* (edge weights such as TF-IDF and
+/// co-attendance counts are discarded), and negative items are drawn
+/// from the *uniform* distribution. Each training step draws a
+/// relation, a positive edge (uniformly — binary relations have no
+/// weights), a uniform negative right-hand node, and applies the BPR
+/// update maximizing σ(v_aᵀv_b − v_aᵀv_b').
+class PcmfModel : public recommend::RecModel {
+ public:
+  /// Trains on construction. `graphs` is only read during training.
+  PcmfModel(const graph::EbsnGraphs& graphs, const PcmfOptions& options);
+
+  std::string Name() const override { return "PCMF"; }
+  float ScoreUserEvent(ebsn::UserId u, ebsn::EventId x) const override;
+  float ScoreUserUser(ebsn::UserId u, ebsn::UserId v) const override;
+
+  const embedding::EmbeddingStore& store() const { return *store_; }
+
+ private:
+  void Train(const graph::EbsnGraphs& graphs);
+
+  PcmfOptions options_;
+  std::unique_ptr<embedding::EmbeddingStore> store_;
+  Rng rng_;
+};
+
+}  // namespace gemrec::baselines
+
+#endif  // GEMREC_BASELINES_PCMF_H_

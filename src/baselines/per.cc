@@ -1,0 +1,224 @@
+#include "baselines/per.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/vec_math.h"
+#include "ebsn/tfidf.h"
+#include "ebsn/time_slots.h"
+
+namespace gemrec::baselines {
+
+PerModel::PerModel(const ebsn::Dataset& dataset,
+                   const ebsn::ChronologicalSplit& split,
+                   const graph::EbsnGraphs& graphs,
+                   const PerOptions& options)
+    : options_(options), dataset_(&dataset) {
+  BuildProfiles(dataset, split, graphs);
+  TrainWeights(dataset, split);
+}
+
+void PerModel::BuildProfiles(const ebsn::Dataset& dataset,
+                             const ebsn::ChronologicalSplit& split,
+                             const graph::EbsnGraphs& graphs) {
+  const uint32_t num_users = dataset.num_users();
+  const uint32_t num_events = dataset.num_events();
+
+  is_training_event_.assign(num_events, false);
+  for (uint32_t x = 0; x < num_events; ++x) {
+    is_training_event_[x] = split.IsTraining(x);
+  }
+
+  // Social links come from the (possibly scenario-2 filtered) G_UU.
+  friends_.assign(num_users, {});
+  for (const auto& e : graphs.user_user->edges()) {
+    friends_[e.a].push_back(e.b);
+  }
+  for (auto& v : friends_) std::sort(v.begin(), v.end());
+
+  event_region_ = graphs.event_region;
+  event_train_users_.resize(num_events);
+  for (const auto& att : dataset.attendances()) {
+    if (split.IsTraining(att.event)) {
+      event_train_users_[att.event].push_back(att.user);
+    }
+  }
+  for (auto& v : event_train_users_) std::sort(v.begin(), v.end());
+
+  // TF-IDF vectors per event.
+  std::vector<std::vector<ebsn::WordId>> documents(num_events);
+  for (uint32_t x = 0; x < num_events; ++x) {
+    documents[x] = dataset.event(x).words;
+  }
+  const auto tfidf = ebsn::ComputeTfIdf(documents, dataset.vocab_size());
+  event_tfidf_.resize(num_events);
+  event_tfidf_norm_.assign(num_events, 0.0f);
+  for (uint32_t x = 0; x < num_events; ++x) {
+    double norm_sq = 0.0;
+    for (const auto& ww : tfidf[x]) {
+      event_tfidf_[x].emplace_back(ww.word,
+                                   static_cast<float>(ww.weight));
+      norm_sq += ww.weight * ww.weight;
+    }
+    event_tfidf_norm_[x] = static_cast<float>(std::sqrt(norm_sq));
+  }
+
+  // Per-user training profiles.
+  region_profile_.resize(num_users);
+  slot_profile_.assign(num_users, {});
+  content_profile_.resize(num_users);
+  content_profile_norm_.assign(num_users, 0.0f);
+  training_degree_.assign(num_users, 0);
+  for (uint32_t u = 0; u < num_users; ++u) {
+    for (ebsn::EventId x : dataset.EventsOf(u)) {
+      if (!split.IsTraining(x)) continue;
+      ++training_degree_[u];
+      region_profile_[u][event_region_[x]] += 1.0f;
+      for (ebsn::TimeSlotId slot :
+           ebsn::TimeSlotsFor(dataset.event(x).start_time)) {
+        slot_profile_[u][slot] += 1.0f;
+      }
+      for (const auto& [word, weight] : event_tfidf_[x]) {
+        content_profile_[u][word] += weight;
+      }
+    }
+    const float degree =
+        std::max(1.0f, static_cast<float>(training_degree_[u]));
+    for (auto& [region, count] : region_profile_[u]) count /= degree;
+    for (auto& count : slot_profile_[u]) count /= degree * 3.0f;
+    double norm_sq = 0.0;
+    for (auto& [word, weight] : content_profile_[u]) {
+      weight /= degree;
+      norm_sq += static_cast<double>(weight) * weight;
+    }
+    content_profile_norm_[u] = static_cast<float>(std::sqrt(norm_sq));
+  }
+}
+
+std::array<float, PerModel::kNumFeatures> PerModel::Features(
+    ebsn::UserId u, ebsn::EventId x) const {
+  std::array<float, kNumFeatures> f{};
+
+  // F0: region match.
+  const auto region_it = region_profile_[u].find(event_region_[x]);
+  f[0] = region_it == region_profile_[u].end() ? 0.0f
+                                               : region_it->second;
+
+  // F1: time-slot overlap.
+  float slot_overlap = 0.0f;
+  for (ebsn::TimeSlotId slot :
+       ebsn::TimeSlotsFor(dataset_->event(x).start_time)) {
+    slot_overlap += slot_profile_[u][slot];
+  }
+  f[1] = slot_overlap;
+
+  // F2: content cosine.
+  const auto& profile = content_profile_[u];
+  float dot = 0.0f;
+  for (const auto& [word, weight] : event_tfidf_[x]) {
+    const auto it = profile.find(word);
+    if (it != profile.end()) dot += weight * it->second;
+  }
+  const float denom = content_profile_norm_[u] * event_tfidf_norm_[x];
+  f[2] = denom > 1e-12f ? dot / denom : 0.0f;
+
+  // F3: friends attending (training attendance only).
+  const auto& friends = friends_[u];
+  const auto& attendees = event_train_users_[x];
+  size_t friend_hits = 0;
+  for (ebsn::UserId v : friends) {
+    if (std::binary_search(attendees.begin(), attendees.end(), v)) {
+      ++friend_hits;
+    }
+  }
+  f[3] = friends.empty() ? 0.0f
+                         : static_cast<float>(friend_hits) /
+                               static_cast<float>(friends.size());
+
+  // F4: co-attendance path count, PathSim-style normalized.
+  float path_count = 0.0f;
+  for (ebsn::UserId v : attendees) {
+    if (v == u) continue;
+    path_count += TrainingCommonEvents(u, v);
+  }
+  const float norm =
+      static_cast<float>(training_degree_[u] + attendees.size()) + 1.0f;
+  f[4] = 2.0f * path_count / norm;
+  return f;
+}
+
+void PerModel::TrainWeights(const ebsn::Dataset& dataset,
+                            const ebsn::ChronologicalSplit& split) {
+  Rng rng(options_.seed);
+  const auto observations =
+      split.AttendancesIn(dataset, ebsn::Split::kTraining);
+  const auto& training_events = split.training_events();
+  if (observations.empty() || training_events.empty()) return;
+  weights_.fill(0.1f);
+
+  for (uint64_t step = 0; step < options_.num_bpr_steps; ++step) {
+    const auto& att = observations[rng.UniformInt(observations.size())];
+    ebsn::EventId negative =
+        training_events[rng.UniformInt(training_events.size())];
+    for (int attempt = 0;
+         attempt < 8 && dataset.Attends(att.user, negative); ++attempt) {
+      negative = training_events[rng.UniformInt(training_events.size())];
+    }
+    const auto pos = Features(att.user, att.event);
+    const auto neg = Features(att.user, negative);
+    float margin = 0.0f;
+    for (size_t i = 0; i < kNumFeatures; ++i) {
+      margin += weights_[i] * (pos[i] - neg[i]);
+    }
+    const float coeff = 1.0f - Sigmoid(margin);
+    for (size_t i = 0; i < kNumFeatures; ++i) {
+      weights_[i] += options_.learning_rate *
+                     (coeff * (pos[i] - neg[i]) -
+                      options_.l2_reg * weights_[i]);
+    }
+  }
+}
+
+float PerModel::ScoreUserEvent(ebsn::UserId u, ebsn::EventId x) const {
+  const auto f = Features(u, x);
+  float score = 0.0f;
+  for (size_t i = 0; i < kNumFeatures; ++i) score += weights_[i] * f[i];
+  return score;
+}
+
+float PerModel::TrainingCommonEvents(ebsn::UserId u,
+                                     ebsn::UserId v) const {
+  const auto& xu = dataset_->EventsOf(u);
+  const auto& xv = dataset_->EventsOf(v);
+  float common = 0.0f;
+  auto iu = xu.begin();
+  auto iv = xv.begin();
+  while (iu != xu.end() && iv != xv.end()) {
+    if (*iu < *iv) {
+      ++iu;
+    } else if (*iv < *iu) {
+      ++iv;
+    } else {
+      if (is_training_event_[*iu]) common += 1.0f;
+      ++iu;
+      ++iv;
+    }
+  }
+  return common;
+}
+
+float PerModel::ScoreUserUser(ebsn::UserId u, ebsn::UserId v) const {
+  // Meta path U→X→U: PathSim over co-attendance, plus the direct
+  // social link.
+  const float common = TrainingCommonEvents(u, v);
+  const float denom = static_cast<float>(training_degree_[u] +
+                                         training_degree_[v]) +
+                      1.0f;
+  const float pathsim = 2.0f * common / denom;
+  const bool linked =
+      std::binary_search(friends_[u].begin(), friends_[u].end(), v);
+  return pathsim + (linked ? 1.0f : 0.0f);
+}
+
+}  // namespace gemrec::baselines

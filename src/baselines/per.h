@@ -1,0 +1,97 @@
+#ifndef GEMREC_BASELINES_PER_H_
+#define GEMREC_BASELINES_PER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "ebsn/dataset.h"
+#include "ebsn/split.h"
+#include "graph/graph_builder.h"
+#include "recommend/rec_model.h"
+
+namespace gemrec::baselines {
+
+/// Hyper-parameters of the PER baseline.
+struct PerOptions {
+  uint64_t num_bpr_steps = 200'000;
+  float learning_rate = 0.05f;
+  float l2_reg = 0.001f;
+  uint64_t seed = 17;
+};
+
+/// PER (Yu et al., WSDM'14): personalized entity recommendation over a
+/// heterogeneous information network via meta-path latent features.
+///
+/// We extract one similarity feature per meta path from the user's
+/// training history to a candidate event:
+///   F0  U→X→L→X : fraction of the user's events in the event's region
+///   F1  U→X→T→X : time-slot profile overlap
+///   F2  U→X→C→X : cosine similarity of TF-IDF content centroids
+///   F3  U→U→X   : fraction of the user's friends attending the event
+///   F4  U→X→U→X : co-attendance path count (PathSim-normalized)
+/// and combine them linearly with weights learned by BPR on the
+/// training attendances. F3/F4 vanish on cold-start test events (their
+/// attendance is withheld) — the structural reason PER trails the
+/// embedding models in Figure 3.
+class PerModel : public recommend::RecModel {
+ public:
+  static constexpr size_t kNumFeatures = 5;
+
+  PerModel(const ebsn::Dataset& dataset,
+           const ebsn::ChronologicalSplit& split,
+           const graph::EbsnGraphs& graphs, const PerOptions& options);
+
+  std::string Name() const override { return "PER"; }
+  float ScoreUserEvent(ebsn::UserId u, ebsn::EventId x) const override;
+  float ScoreUserUser(ebsn::UserId u, ebsn::UserId v) const override;
+
+  /// The raw meta-path feature vector for (u, x); exposed for tests.
+  std::array<float, kNumFeatures> Features(ebsn::UserId u,
+                                           ebsn::EventId x) const;
+
+  const std::array<float, kNumFeatures>& weights() const {
+    return weights_;
+  }
+
+ private:
+  void BuildProfiles(const ebsn::Dataset& dataset,
+                     const ebsn::ChronologicalSplit& split,
+                     const graph::EbsnGraphs& graphs);
+  void TrainWeights(const ebsn::Dataset& dataset,
+                    const ebsn::ChronologicalSplit& split);
+
+  /// |X_u ∩ X_v| restricted to training events, so no test-split
+  /// co-attendance leaks into similarity scores.
+  float TrainingCommonEvents(ebsn::UserId u, ebsn::UserId v) const;
+
+  PerOptions options_;
+  const ebsn::Dataset* dataset_;
+  std::vector<bool> is_training_event_;
+  /// Friend adjacency taken from G_UU (NOT the raw dataset), so the
+  /// scenario-2 link removals are honoured.
+  std::vector<std::vector<ebsn::UserId>> friends_;
+
+  // Per-user profiles over the training split.
+  std::vector<std::unordered_map<ebsn::RegionId, float>> region_profile_;
+  std::vector<std::array<float, 33>> slot_profile_;
+  std::vector<std::unordered_map<ebsn::WordId, float>> content_profile_;
+  std::vector<float> content_profile_norm_;
+  std::vector<uint32_t> training_degree_;
+
+  // Per-event derived data.
+  std::vector<ebsn::RegionId> event_region_;
+  std::vector<std::vector<std::pair<ebsn::WordId, float>>> event_tfidf_;
+  std::vector<float> event_tfidf_norm_;
+  /// Training attendees per event (empty for test events).
+  std::vector<std::vector<ebsn::UserId>> event_train_users_;
+
+  std::array<float, kNumFeatures> weights_{};
+};
+
+}  // namespace gemrec::baselines
+
+#endif  // GEMREC_BASELINES_PER_H_

@@ -1,0 +1,61 @@
+#include "common/alias_table.h"
+
+#include "common/logging.h"
+
+namespace gemrec {
+
+void AliasTable::Build(const std::vector<double>& weights) {
+  probability_.clear();
+  alias_.clear();
+  total_weight_ = 0.0;
+  for (double w : weights) {
+    GEMREC_CHECK(w >= 0.0) << "alias table weight must be nonnegative";
+    total_weight_ += w;
+  }
+  if (weights.empty() || total_weight_ <= 0.0) return;
+
+  const size_t n = weights.size();
+  probability_.assign(n, 0.0f);
+  alias_.assign(n, 0);
+
+  // Scaled weights sum to n; split into under- and over-full buckets.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total_weight_;
+  }
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<uint32_t>(i));
+    } else {
+      large.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    probability_[s] = static_cast<float>(scaled[s]);
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Remaining buckets are (numerically) exactly full.
+  for (uint32_t s : small) probability_[s] = 1.0f;
+  for (uint32_t l : large) probability_[l] = 1.0f;
+}
+
+size_t AliasTable::Sample(Rng* rng) const {
+  GEMREC_DCHECK(!empty());
+  const size_t bucket = rng->UniformInt(probability_.size());
+  if (rng->UniformFloat() < probability_[bucket]) return bucket;
+  return alias_[bucket];
+}
+
+}  // namespace gemrec

@@ -1,0 +1,47 @@
+#ifndef GEMREC_COMMON_ALIAS_TABLE_H_
+#define GEMREC_COMMON_ALIAS_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gemrec {
+
+/// Walker's alias method: O(n) construction, O(1) sampling from a fixed
+/// discrete distribution given by unnormalized nonnegative weights.
+///
+/// Used for (a) drawing positive edges with probability proportional to
+/// their weight and (b) the degree-based noise distribution d^0.75.
+class AliasTable {
+ public:
+  /// Constructs an empty table; Sample() on it is invalid.
+  AliasTable() = default;
+
+  /// Builds the table from unnormalized weights. Negative weights are a
+  /// checked error; an all-zero or empty vector yields an empty table.
+  explicit AliasTable(const std::vector<double>& weights) { Build(weights); }
+
+  /// Rebuilds the table in place.
+  void Build(const std::vector<double>& weights);
+
+  /// Number of outcomes.
+  size_t size() const { return probability_.size(); }
+  bool empty() const { return probability_.empty(); }
+
+  /// Draws one outcome index in [0, size()). Requires !empty().
+  size_t Sample(Rng* rng) const;
+
+  /// Total unnormalized weight the table was built from.
+  double total_weight() const { return total_weight_; }
+
+ private:
+  std::vector<float> probability_;
+  std::vector<uint32_t> alias_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace gemrec
+
+#endif  // GEMREC_COMMON_ALIAS_TABLE_H_

@@ -1,0 +1,28 @@
+#include "common/geometric_sampler.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gemrec {
+
+GeometricSampler::GeometricSampler(double lambda, uint64_t max_rank)
+    : lambda_(lambda), max_rank_(max_rank) {
+  GEMREC_CHECK(lambda > 0.0) << "lambda must be positive";
+  GEMREC_CHECK(max_rank > 0) << "max_rank must be positive";
+  inside_mass_ =
+      1.0 - std::exp(-static_cast<double>(max_rank) / lambda_);
+}
+
+uint64_t GeometricSampler::Sample(Rng* rng) const {
+  // Inverse CDF of Exp(1/lambda), with u scaled so the result lands in
+  // [0, max_rank) directly — an exact truncated sample, no rejection
+  // loop needed.
+  const double u = rng->UniformDouble() * inside_mass_;
+  const double x = -lambda_ * std::log1p(-u);
+  uint64_t rank = static_cast<uint64_t>(x);
+  if (rank >= max_rank_) rank = max_rank_ - 1;  // numeric edge guard
+  return rank;
+}
+
+}  // namespace gemrec

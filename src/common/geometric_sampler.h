@@ -1,0 +1,40 @@
+#ifndef GEMREC_COMMON_GEOMETRIC_SAMPLER_H_
+#define GEMREC_COMMON_GEOMETRIC_SAMPLER_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace gemrec {
+
+/// Samples ranks s in {0, 1, ..., max_rank-1} from the truncated
+/// geometric distribution p(s) ∝ exp(-s / lambda) used by the paper's
+/// adaptive noise sampler (Eqn 6): small ranks (strong, adversarial
+/// noise candidates) are exponentially more likely.
+///
+/// Uses inverse-CDF sampling of the continuous exponential, floored and
+/// rejected against the truncation bound, so a draw is O(1) expected.
+class GeometricSampler {
+ public:
+  /// `lambda` tunes the density (paper's λ; larger means flatter);
+  /// `max_rank` is the exclusive upper bound on returned ranks.
+  /// Requires lambda > 0 and max_rank > 0.
+  GeometricSampler(double lambda, uint64_t max_rank);
+
+  /// Draws one rank in [0, max_rank).
+  uint64_t Sample(Rng* rng) const;
+
+  double lambda() const { return lambda_; }
+  uint64_t max_rank() const { return max_rank_; }
+
+ private:
+  double lambda_;
+  uint64_t max_rank_;
+  // Probability mass of the untruncated distribution that lies inside
+  // [0, max_rank); used to decide between fast path and clamping.
+  double inside_mass_;
+};
+
+}  // namespace gemrec
+
+#endif  // GEMREC_COMMON_GEOMETRIC_SAMPLER_H_

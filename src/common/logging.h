@@ -1,0 +1,84 @@
+#ifndef GEMREC_COMMON_LOGGING_H_
+#define GEMREC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace gemrec {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level emitted by GEMREC_LOG. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink that emits one line on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gemrec
+
+#define GEMREC_LOG(level)                                              \
+  ::gemrec::internal::LogMessage(::gemrec::LogLevel::k##level,         \
+                                 __FILE__, __LINE__)                   \
+      .stream()
+
+/// Fatal invariant check, always on. Streams extra context:
+///   GEMREC_CHECK(n > 0) << "need positive n, got " << n;
+#define GEMREC_CHECK(condition)                                        \
+  (condition) ? (void)0                                                \
+              : ::gemrec::internal::FatalVoidify() &                   \
+                    ::gemrec::internal::FatalMessage(__FILE__,         \
+                                                     __LINE__,         \
+                                                     #condition)       \
+                        .stream()
+
+/// Debug-only invariant check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define GEMREC_DCHECK(condition) \
+  while (false) GEMREC_CHECK(condition)
+#else
+#define GEMREC_DCHECK(condition) GEMREC_CHECK(condition)
+#endif
+
+namespace gemrec::internal {
+
+/// Helper giving GEMREC_CHECK a void expression type so it can be used in
+/// ternary position.
+struct FatalVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace gemrec::internal
+
+#endif  // GEMREC_COMMON_LOGGING_H_

@@ -1,0 +1,45 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+namespace gemrec {
+
+void Matrix::FillGaussian(Rng* rng, double mean, double stddev) {
+  for (float& v : data_) {
+    v = static_cast<float>(rng->Gaussian(mean, stddev));
+  }
+}
+
+void Matrix::FillAbsGaussian(Rng* rng, double mean, double stddev) {
+  for (float& v : data_) {
+    v = static_cast<float>(std::fabs(rng->Gaussian(mean, stddev)));
+  }
+}
+
+void Matrix::Fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+std::vector<float> Matrix::ColumnVariances() const {
+  std::vector<float> variances(cols_, 0.0f);
+  if (rows_ == 0) return variances;
+  std::vector<double> sum(cols_, 0.0);
+  std::vector<double> sum_sq(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* row = Row(r);
+    for (size_t c = 0; c < cols_; ++c) {
+      sum[c] += row[c];
+      sum_sq[c] += static_cast<double>(row[c]) * row[c];
+    }
+  }
+  const double n = static_cast<double>(rows_);
+  for (size_t c = 0; c < cols_; ++c) {
+    const double mean = sum[c] / n;
+    double var = sum_sq[c] / n - mean * mean;
+    if (var < 0.0) var = 0.0;  // numeric guard
+    variances[c] = static_cast<float>(var);
+  }
+  return variances;
+}
+
+}  // namespace gemrec

@@ -1,0 +1,73 @@
+#ifndef GEMREC_COMMON_MATRIX_H_
+#define GEMREC_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace gemrec {
+
+/// Dense row-major float matrix used to store embeddings: one row per
+/// node, one column per latent dimension. Rows are handed out as raw
+/// float spans so hot SGD loops stay allocation-free.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Allocates rows*cols floats, zero-initialized.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float* Row(size_t r) {
+    GEMREC_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(size_t r) const {
+    GEMREC_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  float& At(size_t r, size_t c) {
+    GEMREC_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float At(size_t r, size_t c) const {
+    GEMREC_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Fills every entry with independent N(mean, stddev) draws — the
+  /// paper's random Gaussian initialization N(0, 0.01).
+  void FillGaussian(Rng* rng, double mean, double stddev);
+
+  /// Fills every entry with |N(mean, stddev)| draws; used when the model
+  /// requires nonnegative parameters from the start (Poisson factors,
+  /// ReLU-projected embeddings).
+  void FillAbsGaussian(Rng* rng, double mean, double stddev);
+
+  /// Fills with a constant.
+  void Fill(float value);
+
+  /// Per-column variance over all rows: Var(v_{.,f}) in the paper's
+  /// adaptive-sampler dimension draw. Returns a cols()-sized vector.
+  std::vector<float> ColumnVariances() const;
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace gemrec
+
+#endif  // GEMREC_COMMON_MATRIX_H_

@@ -1,0 +1,99 @@
+#ifndef GEMREC_COMMON_RNG_H_
+#define GEMREC_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gemrec {
+
+/// SplitMix64 — used to seed the main generator and as a cheap
+/// stateless mixer. Reference: Steele, Lea & Flood (2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Deterministic pseudo-random generator used throughout the library.
+/// Implements xoshiro256** (Blackman & Vigna), seeded via SplitMix64 so
+/// that any 64-bit seed yields a well-mixed state.
+///
+/// Not thread-safe; give each thread its own Rng (see Fork()).
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x8f1db60ed3f9a9ceULL);
+
+  /// Uniform 64-bit value (UniformRandomBitGenerator interface).
+  uint64_t operator()() { return Next64(); }
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+
+  uint64_t Next64();
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
+  /// multiply-shift rejection method to avoid modulo bias.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform integer in [lo, hi). Requires lo < hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform float in [0, 1).
+  float UniformFloat();
+
+  /// Standard normal via Box-Muller (cached spare value).
+  double Gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Samples an index from unnormalized nonnegative weights in O(n).
+  /// Returns weights.size()-1 if all weights are zero. Requires
+  /// !weights.empty(). For repeated sampling use AliasTable instead.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Poisson-distributed count (Knuth's method; fine for small means).
+  int Poisson(double mean);
+
+  /// Returns an independently seeded child generator; deterministic in
+  /// (parent state, call order). Use to hand one Rng per thread.
+  Rng Fork();
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+}  // namespace gemrec
+
+#endif  // GEMREC_COMMON_RNG_H_

@@ -1,0 +1,148 @@
+#ifndef GEMREC_COMMON_STATUS_H_
+#define GEMREC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gemrec {
+
+/// Error categories used across the library. Modeled after the
+/// Status idiom used by RocksDB/Arrow: library code never throws;
+/// fallible operations return a Status (or Result<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a StatusCode ("Ok",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error container, analogous to absl::StatusOr<T>.
+///
+/// Accessing value() on an error Result is a checked fatal error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error Status keeps
+  /// call sites terse (`return value;` / `return Status::NotFound(..)`).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                         // NOLINT(runtime/explicit)
+      : data_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Returns the contained status; Ok if a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(std::get<T>(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::variant<T, Status> data_;
+};
+
+namespace internal {
+[[noreturn]] void FatalResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::FatalResultAccess(std::get<Status>(data_));
+}
+
+}  // namespace gemrec
+
+/// Propagates an error Status from an expression, else continues.
+#define GEMREC_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::gemrec::Status gemrec_status_ = (expr);         \
+    if (!gemrec_status_.ok()) return gemrec_status_;  \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error. `lhs` may include a declaration, e.g.
+/// GEMREC_ASSIGN_OR_RETURN(auto g, BuildGraph(...));
+#define GEMREC_ASSIGN_OR_RETURN(lhs, expr)                       \
+  GEMREC_ASSIGN_OR_RETURN_IMPL_(                                 \
+      GEMREC_STATUS_CONCAT_(gemrec_result_, __LINE__), lhs, expr)
+
+#define GEMREC_STATUS_CONCAT_INNER_(a, b) a##b
+#define GEMREC_STATUS_CONCAT_(a, b) GEMREC_STATUS_CONCAT_INNER_(a, b)
+#define GEMREC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // GEMREC_COMMON_STATUS_H_

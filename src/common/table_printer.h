@@ -1,0 +1,35 @@
+#ifndef GEMREC_COMMON_TABLE_PRINTER_H_
+#define GEMREC_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gemrec {
+
+/// Formats aligned plain-text tables for the benchmark harness so every
+/// bench binary prints its paper table/figure series the same way.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; it is padded or truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string Num(double value, int precision = 3);
+
+  /// Renders the table with a header rule.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner used before each bench table.
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace gemrec
+
+#endif  // GEMREC_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,71 @@
+#ifndef GEMREC_COMMON_TOP_K_H_
+#define GEMREC_COMMON_TOP_K_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gemrec {
+
+/// Bounded max-collector: keeps the k items with the largest scores seen
+/// so far, with O(log k) insertion via a min-heap.
+///
+/// `Id` is any copyable handle type (typically uint32_t).
+template <typename Id, typename Score = float>
+class TopK {
+ public:
+  struct Entry {
+    Score score;
+    Id id;
+  };
+
+  explicit TopK(size_t k) : k_(k) { GEMREC_CHECK(k > 0); }
+
+  /// Offers an item; keeps it only if it beats the current k-th best.
+  void Push(Id id, Score score) {
+    if (heap_.size() < k_) {
+      heap_.push_back(Entry{score, id});
+      std::push_heap(heap_.begin(), heap_.end(), MinFirst);
+      return;
+    }
+    if (score <= heap_.front().score) return;
+    std::pop_heap(heap_.begin(), heap_.end(), MinFirst);
+    heap_.back() = Entry{score, id};
+    std::push_heap(heap_.begin(), heap_.end(), MinFirst);
+  }
+
+  size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() == k_; }
+
+  /// Smallest retained score; only meaningful when full().
+  Score Threshold() const {
+    GEMREC_DCHECK(!heap_.empty());
+    return heap_.front().score;
+  }
+
+  /// Extracts the retained entries ordered by descending score.
+  /// Leaves the collector empty.
+  std::vector<Entry> TakeSortedDescending() {
+    std::vector<Entry> out = std::move(heap_);
+    heap_.clear();
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      return a.score > b.score;
+    });
+    return out;
+  }
+
+ private:
+  static bool MinFirst(const Entry& a, const Entry& b) {
+    return a.score > b.score;
+  }
+
+  size_t k_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace gemrec
+
+#endif  // GEMREC_COMMON_TOP_K_H_

@@ -1,0 +1,43 @@
+#ifndef GEMREC_COMMON_VEC_MATH_H_
+#define GEMREC_COMMON_VEC_MATH_H_
+
+#include <cmath>
+#include <cstddef>
+
+namespace gemrec {
+
+/// Numerically clamped logistic sigmoid (the paper's f(x)).
+inline float Sigmoid(float x) {
+  if (x > 15.0f) return 1.0f;
+  if (x < -15.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+/// Dense dot product over contiguous float spans of length n.
+inline float Dot(const float* a, const float* b, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// y += alpha * x, over contiguous spans of length n.
+inline void Axpy(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+/// Clamps every coordinate to be nonnegative (the paper's rectifier
+/// projection applied after each SGD update).
+inline void ReluInPlace(float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (x[i] < 0.0f) x[i] = 0.0f;
+  }
+}
+
+/// Euclidean norm.
+inline float Norm(const float* x, size_t n) {
+  return std::sqrt(Dot(x, x, n));
+}
+
+}  // namespace gemrec
+
+#endif  // GEMREC_COMMON_VEC_MATH_H_

@@ -1,0 +1,164 @@
+#include "ebsn/dataset.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gemrec::ebsn {
+
+void Dataset::AddVenue(Venue venue) {
+  GEMREC_CHECK(venue.id == venues_.size()) << "venue ids must be dense";
+  venues_.push_back(std::move(venue));
+  finalized_ = false;
+}
+
+void Dataset::AddEvent(Event event) {
+  GEMREC_CHECK(event.id == events_.size()) << "event ids must be dense";
+  GEMREC_CHECK(event.venue < venues_.size())
+      << "event references unknown venue " << event.venue;
+  events_.push_back(std::move(event));
+  finalized_ = false;
+}
+
+void Dataset::AddAttendance(UserId user, EventId event) {
+  attendances_.push_back(Attendance{user, event});
+  finalized_ = false;
+}
+
+void Dataset::AddFriendship(UserId a, UserId b) {
+  GEMREC_CHECK(a != b) << "self-friendship";
+  if (a > b) std::swap(a, b);
+  friendships_.push_back(Friendship{a, b});
+  finalized_ = false;
+}
+
+Status Dataset::Finalize() {
+  for (const auto& att : attendances_) {
+    if (att.user >= num_users_ || att.event >= events_.size()) {
+      return Status::InvalidArgument("attendance references unknown id");
+    }
+  }
+  for (const auto& f : friendships_) {
+    if (f.a >= num_users_ || f.b >= num_users_) {
+      return Status::InvalidArgument("friendship references unknown user");
+    }
+  }
+
+  // Deduplicate attendance records.
+  std::sort(attendances_.begin(), attendances_.end(),
+            [](const Attendance& x, const Attendance& y) {
+              return x.user != y.user ? x.user < y.user
+                                      : x.event < y.event;
+            });
+  attendances_.erase(
+      std::unique(attendances_.begin(), attendances_.end(),
+                  [](const Attendance& x, const Attendance& y) {
+                    return x.user == y.user && x.event == y.event;
+                  }),
+      attendances_.end());
+
+  // Deduplicate friendships (already normalized a < b by AddFriendship).
+  std::sort(friendships_.begin(), friendships_.end(),
+            [](const Friendship& x, const Friendship& y) {
+              return x.a != y.a ? x.a < y.a : x.b < y.b;
+            });
+  friendships_.erase(
+      std::unique(friendships_.begin(), friendships_.end(),
+                  [](const Friendship& x, const Friendship& y) {
+                    return x.a == y.a && x.b == y.b;
+                  }),
+      friendships_.end());
+
+  user_events_.assign(num_users_, {});
+  event_users_.assign(events_.size(), {});
+  user_friends_.assign(num_users_, {});
+  for (const auto& att : attendances_) {
+    user_events_[att.user].push_back(att.event);
+    event_users_[att.event].push_back(att.user);
+  }
+  for (const auto& f : friendships_) {
+    user_friends_[f.a].push_back(f.b);
+    user_friends_[f.b].push_back(f.a);
+  }
+  for (auto& v : user_events_) std::sort(v.begin(), v.end());
+  for (auto& v : event_users_) std::sort(v.begin(), v.end());
+  for (auto& v : user_friends_) std::sort(v.begin(), v.end());
+
+  finalized_ = true;
+  return Status::Ok();
+}
+
+const Event& Dataset::event(EventId x) const {
+  GEMREC_CHECK(x < events_.size());
+  return events_[x];
+}
+
+const Venue& Dataset::venue(VenueId v) const {
+  GEMREC_CHECK(v < venues_.size());
+  return venues_[v];
+}
+
+const std::vector<EventId>& Dataset::EventsOf(UserId u) const {
+  GEMREC_DCHECK(finalized_);
+  GEMREC_CHECK(u < num_users_);
+  return user_events_[u];
+}
+
+const std::vector<UserId>& Dataset::UsersOf(EventId x) const {
+  GEMREC_DCHECK(finalized_);
+  GEMREC_CHECK(x < events_.size());
+  return event_users_[x];
+}
+
+const std::vector<UserId>& Dataset::FriendsOf(UserId u) const {
+  GEMREC_DCHECK(finalized_);
+  GEMREC_CHECK(u < num_users_);
+  return user_friends_[u];
+}
+
+bool Dataset::AreFriends(UserId a, UserId b) const {
+  const auto& friends = FriendsOf(a);
+  return std::binary_search(friends.begin(), friends.end(), b);
+}
+
+bool Dataset::Attends(UserId u, EventId x) const {
+  const auto& events = EventsOf(u);
+  return std::binary_search(events.begin(), events.end(), x);
+}
+
+size_t Dataset::CommonEventCount(UserId a, UserId b) const {
+  const auto& xa = EventsOf(a);
+  const auto& xb = EventsOf(b);
+  size_t count = 0;
+  auto ia = xa.begin();
+  auto ib = xb.begin();
+  while (ia != xa.end() && ib != xb.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+const GeoPoint& Dataset::EventLocation(EventId x) const {
+  return venue(event(x).venue).location;
+}
+
+DatasetStats Dataset::Stats() const {
+  DatasetStats stats;
+  stats.num_users = num_users_;
+  stats.num_events = events_.size();
+  stats.num_venues = venues_.size();
+  stats.num_attendances = attendances_.size();
+  stats.num_friendships = friendships_.size();
+  stats.vocab_size = vocab_size_;
+  return stats;
+}
+
+}  // namespace gemrec::ebsn

@@ -1,0 +1,125 @@
+#ifndef GEMREC_EBSN_DATASET_H_
+#define GEMREC_EBSN_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ebsn/types.h"
+
+namespace gemrec::ebsn {
+
+/// Summary statistics matching the paper's Table I.
+struct DatasetStats {
+  size_t num_users = 0;
+  size_t num_events = 0;
+  size_t num_venues = 0;
+  size_t num_attendances = 0;
+  size_t num_friendships = 0;
+  size_t vocab_size = 0;
+};
+
+/// An event-based social network dataset: users, events (with venue,
+/// time and text content), venues, RSVP attendance records and the
+/// social friendship graph. This is the heterogeneous graph G of
+/// Definition 1, in record form.
+///
+/// Users are implicit (dense ids 0..num_users-1). Adjacency accessors
+/// (EventsOf / UsersOf / FriendsOf) are built lazily by Finalize().
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Movable but not copyable: attendance indexes can be large.
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+
+  // --- construction -------------------------------------------------
+
+  void set_num_users(uint32_t n) { num_users_ = n; }
+  void set_vocab_size(uint32_t n) { vocab_size_ = n; }
+
+  /// Appends a venue; its id must equal the current venue count.
+  void AddVenue(Venue venue);
+
+  /// Appends an event; its id must equal the current event count and its
+  /// venue must already exist.
+  void AddEvent(Event event);
+
+  /// Records that `user` attends `event`. Duplicate records are merged
+  /// by Finalize().
+  void AddAttendance(UserId user, EventId event);
+
+  /// Records an undirected friendship; self-links are a checked error.
+  void AddFriendship(UserId a, UserId b);
+
+  /// Builds (or rebuilds) adjacency indexes: per-user attended events,
+  /// per-event attendee lists, per-user friend lists. Deduplicates
+  /// attendances and friendships. Must be called before the adjacency
+  /// accessors below; returns an error on dangling ids.
+  Status Finalize();
+
+  // --- accessors ----------------------------------------------------
+
+  uint32_t num_users() const { return num_users_; }
+  uint32_t num_events() const {
+    return static_cast<uint32_t>(events_.size());
+  }
+  uint32_t num_venues() const {
+    return static_cast<uint32_t>(venues_.size());
+  }
+  uint32_t vocab_size() const { return vocab_size_; }
+
+  const Event& event(EventId x) const;
+  const Venue& venue(VenueId v) const;
+  const std::vector<Event>& events() const { return events_; }
+  const std::vector<Venue>& venues() const { return venues_; }
+  const std::vector<Attendance>& attendances() const {
+    return attendances_;
+  }
+  const std::vector<Friendship>& friendships() const {
+    return friendships_;
+  }
+
+  /// X_u — events user u attends (sorted). Requires Finalize().
+  const std::vector<EventId>& EventsOf(UserId u) const;
+
+  /// U_x — users attending event x (sorted). Requires Finalize().
+  const std::vector<UserId>& UsersOf(EventId x) const;
+
+  /// Friends of u (sorted). Requires Finalize().
+  const std::vector<UserId>& FriendsOf(UserId u) const;
+
+  bool AreFriends(UserId a, UserId b) const;
+  bool Attends(UserId u, EventId x) const;
+
+  /// |X_u ∩ X_u'| — number of common events two users attended; the
+  /// paper uses 1 + this as the user-user edge weight.
+  size_t CommonEventCount(UserId a, UserId b) const;
+
+  /// Geographic location of an event (its venue's coordinates).
+  const GeoPoint& EventLocation(EventId x) const;
+
+  DatasetStats Stats() const;
+  bool finalized() const { return finalized_; }
+
+ private:
+  uint32_t num_users_ = 0;
+  uint32_t vocab_size_ = 0;
+  std::vector<Venue> venues_;
+  std::vector<Event> events_;
+  std::vector<Attendance> attendances_;
+  std::vector<Friendship> friendships_;
+
+  bool finalized_ = false;
+  std::vector<std::vector<EventId>> user_events_;
+  std::vector<std::vector<UserId>> event_users_;
+  std::vector<std::vector<UserId>> user_friends_;
+};
+
+}  // namespace gemrec::ebsn
+
+#endif  // GEMREC_EBSN_DATASET_H_

@@ -1,0 +1,145 @@
+#include "ebsn/dbscan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace gemrec::ebsn {
+namespace {
+
+constexpr RegionId kUnvisited = 0xfffffffeu;
+constexpr RegionId kNoise = 0xffffffffu;
+
+/// Uniform grid over lat/lon with cell size chosen so that all
+/// eps-neighbors of a point lie in the 3x3 cell block around it.
+class GeoGrid {
+ public:
+  GeoGrid(const std::vector<GeoPoint>& points, double eps_km)
+      : points_(points) {
+    // 1 degree latitude ~ 111.19 km; longitude shrinks by cos(lat).
+    cell_deg_lat_ = eps_km / 111.19;
+    double max_abs_lat = 0.0;
+    for (const auto& p : points) {
+      max_abs_lat = std::max(max_abs_lat, std::fabs(p.lat));
+    }
+    const double cos_lat =
+        std::max(0.1, std::cos(max_abs_lat * M_PI / 180.0));
+    cell_deg_lon_ = eps_km / (111.19 * cos_lat);
+    for (size_t i = 0; i < points.size(); ++i) {
+      cells_[KeyOf(points[i])].push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  /// Appends indices of all points within eps_km of `center` to `out`
+  /// (including `center` itself if it is one of the points).
+  void Neighbors(const GeoPoint& center, double eps_km,
+                 std::vector<uint32_t>* out) const {
+    out->clear();
+    const int64_t ci = CellLat(center.lat);
+    const int64_t cj = CellLon(center.lon);
+    for (int64_t di = -1; di <= 1; ++di) {
+      for (int64_t dj = -1; dj <= 1; ++dj) {
+        auto it = cells_.find(Key(ci + di, cj + dj));
+        if (it == cells_.end()) continue;
+        for (uint32_t idx : it->second) {
+          if (HaversineKm(points_[idx], center) <= eps_km) {
+            out->push_back(idx);
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  int64_t CellLat(double lat) const {
+    return static_cast<int64_t>(std::floor(lat / cell_deg_lat_));
+  }
+  int64_t CellLon(double lon) const {
+    return static_cast<int64_t>(std::floor(lon / cell_deg_lon_));
+  }
+  static uint64_t Key(int64_t i, int64_t j) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(i)) << 32) |
+           static_cast<uint32_t>(j);
+  }
+  uint64_t KeyOf(const GeoPoint& p) const {
+    return Key(CellLat(p.lat), CellLon(p.lon));
+  }
+
+  const std::vector<GeoPoint>& points_;
+  double cell_deg_lat_;
+  double cell_deg_lon_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> cells_;
+};
+
+}  // namespace
+
+DbscanResult RunDbscan(const std::vector<GeoPoint>& points,
+                       const DbscanParams& params) {
+  GEMREC_CHECK(params.eps_km > 0.0);
+  GEMREC_CHECK(params.min_pts > 0);
+  DbscanResult result;
+  const size_t n = points.size();
+  result.label.assign(n, kUnvisited);
+  if (n == 0) return result;
+
+  GeoGrid grid(points, params.eps_km);
+  std::vector<uint32_t> neighbors;
+  std::vector<uint32_t> expansion;
+  uint32_t next_cluster = 0;
+
+  for (size_t i = 0; i < n; ++i) {
+    if (result.label[i] != kUnvisited) continue;
+    grid.Neighbors(points[i], params.eps_km, &neighbors);
+    if (neighbors.size() < params.min_pts) {
+      result.label[i] = kNoise;
+      continue;
+    }
+    const uint32_t cluster = next_cluster++;
+    result.label[i] = cluster;
+    std::deque<uint32_t> frontier(neighbors.begin(), neighbors.end());
+    while (!frontier.empty()) {
+      const uint32_t q = frontier.front();
+      frontier.pop_front();
+      if (result.label[q] == kNoise) result.label[q] = cluster;
+      if (result.label[q] != kUnvisited) continue;
+      result.label[q] = cluster;
+      grid.Neighbors(points[q], params.eps_km, &expansion);
+      if (expansion.size() >= params.min_pts) {
+        frontier.insert(frontier.end(), expansion.begin(),
+                        expansion.end());
+      }
+    }
+  }
+
+  // Assign residual noise points so every event has a region node:
+  // nearest cluster point within 3 eps, else a fresh singleton region.
+  for (size_t i = 0; i < n; ++i) {
+    if (result.label[i] != kNoise) continue;
+    ++result.noise_points;
+    grid.Neighbors(points[i], params.eps_km, &neighbors);
+    double best_dist = std::numeric_limits<double>::infinity();
+    RegionId best_region = kNoise;
+    for (uint32_t j : neighbors) {
+      if (result.label[j] == kNoise || result.label[j] == kUnvisited ||
+          j == i) {
+        continue;
+      }
+      const double d = HaversineKm(points[i], points[j]);
+      if (d < best_dist) {
+        best_dist = d;
+        best_region = result.label[j];
+      }
+    }
+    result.label[i] =
+        (best_region != kNoise) ? best_region : next_cluster++;
+  }
+
+  result.num_regions = next_cluster;
+  return result;
+}
+
+}  // namespace gemrec::ebsn

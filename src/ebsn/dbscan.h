@@ -1,0 +1,44 @@
+#ifndef GEMREC_EBSN_DBSCAN_H_
+#define GEMREC_EBSN_DBSCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ebsn/types.h"
+
+namespace gemrec::ebsn {
+
+/// Parameters of the density clustering used to discretize event
+/// coordinates into region nodes (the paper divides all events into a
+/// set of regions V_L with DBSCAN on their geographic coordinates).
+struct DbscanParams {
+  /// Neighborhood radius in kilometers.
+  double eps_km = 1.0;
+  /// Minimum neighborhood size (including the point itself) for a core
+  /// point.
+  uint32_t min_pts = 5;
+};
+
+/// Result of a DBSCAN run: a dense region label per input point.
+struct DbscanResult {
+  /// label[i] in [0, num_regions). Noise points that fall in no cluster
+  /// are assigned to the nearest cluster when one exists within
+  /// 3*eps_km, otherwise each becomes a singleton region, so every
+  /// event always maps to some region node.
+  std::vector<RegionId> label;
+  uint32_t num_regions = 0;
+  /// Number of points DBSCAN originally marked as noise (before the
+  /// nearest-cluster / singleton assignment above).
+  size_t noise_points = 0;
+};
+
+/// Runs DBSCAN over geographic points with haversine distances, using a
+/// uniform lat/lon grid index so neighborhood queries do not scan all
+/// points. Deterministic: cluster ids follow first-discovery order.
+DbscanResult RunDbscan(const std::vector<GeoPoint>& points,
+                       const DbscanParams& params);
+
+}  // namespace gemrec::ebsn
+
+#endif  // GEMREC_EBSN_DBSCAN_H_

@@ -1,0 +1,130 @@
+#include "ebsn/io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace gemrec::ebsn {
+namespace {
+
+Status OpenForWrite(const std::string& path, std::ofstream* out) {
+  out->open(path, std::ios::trunc);
+  if (!out->is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  return Status::Ok();
+}
+
+Status OpenForRead(const std::string& path, std::ifstream* in) {
+  in->open(path);
+  if (!in->is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("mkdir " + dir + ": " + ec.message());
+
+  {
+    std::ofstream f;
+    GEMREC_RETURN_IF_ERROR(OpenForWrite(dir + "/meta.tsv", &f));
+    f << dataset.num_users() << "\t" << dataset.vocab_size() << "\n";
+  }
+  {
+    std::ofstream f;
+    GEMREC_RETURN_IF_ERROR(OpenForWrite(dir + "/venues.tsv", &f));
+    f.precision(10);
+    for (const auto& v : dataset.venues()) {
+      f << v.id << "\t" << v.location.lat << "\t" << v.location.lon
+        << "\n";
+    }
+  }
+  {
+    std::ofstream f;
+    GEMREC_RETURN_IF_ERROR(OpenForWrite(dir + "/events.tsv", &f));
+    for (const auto& x : dataset.events()) {
+      f << x.id << "\t" << x.venue << "\t" << x.start_time;
+      for (WordId w : x.words) f << "\t" << w;
+      f << "\n";
+    }
+  }
+  {
+    std::ofstream f;
+    GEMREC_RETURN_IF_ERROR(OpenForWrite(dir + "/attendances.tsv", &f));
+    for (const auto& a : dataset.attendances()) {
+      f << a.user << "\t" << a.event << "\n";
+    }
+  }
+  {
+    std::ofstream f;
+    GEMREC_RETURN_IF_ERROR(OpenForWrite(dir + "/friendships.tsv", &f));
+    for (const auto& fr : dataset.friendships()) {
+      f << fr.a << "\t" << fr.b << "\n";
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Dataset> LoadDataset(const std::string& dir) {
+  Dataset dataset;
+  {
+    std::ifstream f;
+    GEMREC_RETURN_IF_ERROR(OpenForRead(dir + "/meta.tsv", &f));
+    uint32_t num_users = 0;
+    uint32_t vocab = 0;
+    if (!(f >> num_users >> vocab)) {
+      return Status::IoError("malformed meta.tsv in " + dir);
+    }
+    dataset.set_num_users(num_users);
+    dataset.set_vocab_size(vocab);
+  }
+  {
+    std::ifstream f;
+    GEMREC_RETURN_IF_ERROR(OpenForRead(dir + "/venues.tsv", &f));
+    Venue v;
+    while (f >> v.id >> v.location.lat >> v.location.lon) {
+      dataset.AddVenue(v);
+    }
+  }
+  {
+    std::ifstream f;
+    GEMREC_RETURN_IF_ERROR(OpenForRead(dir + "/events.tsv", &f));
+    std::string line;
+    while (std::getline(f, line)) {
+      if (line.empty()) continue;
+      std::istringstream ss(line);
+      Event x;
+      if (!(ss >> x.id >> x.venue >> x.start_time)) {
+        return Status::IoError("malformed events.tsv line: " + line);
+      }
+      WordId w;
+      while (ss >> w) x.words.push_back(w);
+      dataset.AddEvent(std::move(x));
+    }
+  }
+  {
+    std::ifstream f;
+    GEMREC_RETURN_IF_ERROR(OpenForRead(dir + "/attendances.tsv", &f));
+    UserId u;
+    EventId x;
+    while (f >> u >> x) dataset.AddAttendance(u, x);
+  }
+  {
+    std::ifstream f;
+    GEMREC_RETURN_IF_ERROR(OpenForRead(dir + "/friendships.tsv", &f));
+    UserId a;
+    UserId b;
+    while (f >> a >> b) dataset.AddFriendship(a, b);
+  }
+  GEMREC_RETURN_IF_ERROR(dataset.Finalize());
+  return dataset;
+}
+
+}  // namespace gemrec::ebsn

@@ -1,0 +1,25 @@
+#ifndef GEMREC_EBSN_IO_H_
+#define GEMREC_EBSN_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ebsn/dataset.h"
+
+namespace gemrec::ebsn {
+
+/// Persists a dataset as a directory of TSV files:
+///   meta.tsv        num_users, vocab_size
+///   venues.tsv      id  lat  lon
+///   events.tsv      id  venue  start_time  word word word ...
+///   attendances.tsv user  event
+///   friendships.tsv a  b
+/// The directory is created if missing. Files are overwritten.
+Status SaveDataset(const Dataset& dataset, const std::string& dir);
+
+/// Loads a dataset previously written by SaveDataset and finalizes it.
+Result<Dataset> LoadDataset(const std::string& dir);
+
+}  // namespace gemrec::ebsn
+
+#endif  // GEMREC_EBSN_IO_H_

@@ -1,0 +1,56 @@
+#include "ebsn/split.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace gemrec::ebsn {
+
+ChronologicalSplit::ChronologicalSplit(const Dataset& dataset,
+                                       double train_fraction,
+                                       double validation_fraction) {
+  GEMREC_CHECK(train_fraction > 0.0 && validation_fraction >= 0.0 &&
+               train_fraction + validation_fraction <= 1.0)
+      << "bad split fractions";
+  const size_t n = dataset.num_events();
+  std::vector<EventId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](EventId a, EventId b) {
+                     return dataset.event(a).start_time <
+                            dataset.event(b).start_time;
+                   });
+
+  const size_t train_end = static_cast<size_t>(
+      std::llround(static_cast<double>(n) * train_fraction));
+  const size_t validation_end = static_cast<size_t>(std::llround(
+      static_cast<double>(n) * (train_fraction + validation_fraction)));
+
+  split_.assign(n, Split::kTraining);
+  for (size_t i = 0; i < n; ++i) {
+    const EventId x = order[i];
+    if (i < train_end) {
+      split_[x] = Split::kTraining;
+      training_events_.push_back(x);
+    } else if (i < validation_end) {
+      split_[x] = Split::kValidation;
+      validation_events_.push_back(x);
+    } else {
+      split_[x] = Split::kTest;
+      test_events_.push_back(x);
+    }
+  }
+}
+
+std::vector<Attendance> ChronologicalSplit::AttendancesIn(
+    const Dataset& dataset, Split split) const {
+  std::vector<Attendance> out;
+  for (const auto& att : dataset.attendances()) {
+    if (split_[att.event] == split) out.push_back(att);
+  }
+  return out;
+}
+
+}  // namespace gemrec::ebsn

@@ -1,0 +1,57 @@
+#ifndef GEMREC_EBSN_SPLIT_H_
+#define GEMREC_EBSN_SPLIT_H_
+
+#include <vector>
+
+#include "ebsn/dataset.h"
+#include "ebsn/types.h"
+
+namespace gemrec::ebsn {
+
+/// Which split an event belongs to.
+enum class Split : uint8_t { kTraining = 0, kValidation = 1, kTest = 2 };
+
+/// Chronological event split following §V-A: events are ordered by
+/// start time, the first 70% are training and the last 30% are held
+/// out; the held-out part is further split 1:2 into validation (10% of
+/// all) and test (20% of all). Test/validation events carry no
+/// attendance edges at training time, i.e. they are genuinely
+/// cold-start.
+class ChronologicalSplit {
+ public:
+  /// Fractions must be positive and sum to <= 1; the remainder is test.
+  ChronologicalSplit(const Dataset& dataset, double train_fraction = 0.7,
+                     double validation_fraction = 0.1);
+
+  Split SplitOf(EventId x) const { return split_[x]; }
+  bool IsTraining(EventId x) const {
+    return split_[x] == Split::kTraining;
+  }
+  bool IsValidation(EventId x) const {
+    return split_[x] == Split::kValidation;
+  }
+  bool IsTest(EventId x) const { return split_[x] == Split::kTest; }
+
+  const std::vector<EventId>& training_events() const {
+    return training_events_;
+  }
+  const std::vector<EventId>& validation_events() const {
+    return validation_events_;
+  }
+  const std::vector<EventId>& test_events() const { return test_events_; }
+
+  /// The (user, event) attendance pairs whose event lies in the given
+  /// split — E_UX^training / ^validation / ^test of §V-A.
+  std::vector<Attendance> AttendancesIn(const Dataset& dataset,
+                                        Split split) const;
+
+ private:
+  std::vector<Split> split_;
+  std::vector<EventId> training_events_;
+  std::vector<EventId> validation_events_;
+  std::vector<EventId> test_events_;
+};
+
+}  // namespace gemrec::ebsn
+
+#endif  // GEMREC_EBSN_SPLIT_H_

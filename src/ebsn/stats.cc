@@ -1,0 +1,88 @@
+#include "ebsn/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gemrec::ebsn {
+
+DistributionSummary Summarize(std::vector<size_t> values) {
+  DistributionSummary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  auto percentile = [&](double p) {
+    const size_t index = static_cast<size_t>(
+        p * static_cast<double>(values.size() - 1));
+    return values[index];
+  };
+  s.p50 = percentile(0.50);
+  s.p90 = percentile(0.90);
+  s.p99 = percentile(0.99);
+
+  double total = 0.0;
+  for (size_t v : values) total += static_cast<double>(v);
+  s.mean = total / static_cast<double>(values.size());
+  double var = 0.0;
+  for (size_t v : values) {
+    const double d = static_cast<double>(v) - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+
+  // Gini over the sorted values: (2 Σ i·x_i) / (n Σ x_i) − (n+1)/n.
+  if (total > 0.0) {
+    double weighted = 0.0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      weighted += static_cast<double>(i + 1) *
+                  static_cast<double>(values[i]);
+    }
+    const double n = static_cast<double>(values.size());
+    s.gini = (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+    if (s.gini < 0.0) s.gini = 0.0;
+  }
+  return s;
+}
+
+DatasetProfile ProfileDataset(const Dataset& dataset,
+                              uint32_t min_events) {
+  DatasetProfile profile;
+  std::vector<size_t> events_per_user(dataset.num_users());
+  std::vector<size_t> friends_per_user(dataset.num_users());
+  for (uint32_t u = 0; u < dataset.num_users(); ++u) {
+    events_per_user[u] = dataset.EventsOf(u).size();
+    friends_per_user[u] = dataset.FriendsOf(u).size();
+    if (events_per_user[u] >= min_events) ++profile.active_users;
+  }
+  std::vector<size_t> users_per_event(dataset.num_events());
+  std::vector<size_t> words_per_event(dataset.num_events());
+  for (uint32_t x = 0; x < dataset.num_events(); ++x) {
+    users_per_event[x] = dataset.UsersOf(x).size();
+    words_per_event[x] = dataset.event(x).words.size();
+  }
+
+  size_t with_friend = 0;
+  size_t total = 0;
+  for (const auto& att : dataset.attendances()) {
+    ++total;
+    for (UserId v : dataset.UsersOf(att.event)) {
+      if (v != att.user && dataset.AreFriends(att.user, v)) {
+        ++with_friend;
+        break;
+      }
+    }
+  }
+  profile.coattendance_fraction =
+      total == 0 ? 0.0
+                 : static_cast<double>(with_friend) /
+                       static_cast<double>(total);
+
+  profile.events_per_user = Summarize(std::move(events_per_user));
+  profile.users_per_event = Summarize(std::move(users_per_event));
+  profile.friends_per_user = Summarize(std::move(friends_per_user));
+  profile.words_per_event = Summarize(std::move(words_per_event));
+  return profile;
+}
+
+}  // namespace gemrec::ebsn

@@ -1,0 +1,50 @@
+#ifndef GEMREC_EBSN_STATS_H_
+#define GEMREC_EBSN_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ebsn/dataset.h"
+
+namespace gemrec::ebsn {
+
+/// Summary of a nonnegative integer distribution (degrees, counts).
+struct DistributionSummary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  size_t min = 0;
+  size_t max = 0;
+  size_t p50 = 0;
+  size_t p90 = 0;
+  size_t p99 = 0;
+  /// Gini coefficient in [0, 1]; high values mean heavy skew (EBSN
+  /// attendance and social degrees are typically heavily skewed).
+  double gini = 0.0;
+};
+
+/// Summarizes an arbitrary count vector.
+DistributionSummary Summarize(std::vector<size_t> values);
+
+/// Deeper dataset diagnostics used by Table I and by sanity tests on
+/// the synthetic generator (real EBSN data exhibits heavy-tailed
+/// degrees; the generator must too).
+struct DatasetProfile {
+  DistributionSummary events_per_user;
+  DistributionSummary users_per_event;
+  DistributionSummary friends_per_user;
+  DistributionSummary words_per_event;
+  /// Users attending at least `min_events` events (the paper filters
+  /// at 5).
+  size_t active_users = 0;
+  /// Fraction of attendance pairs (u,x) where u has a friend also
+  /// attending x — the joint task's raw signal.
+  double coattendance_fraction = 0.0;
+};
+
+DatasetProfile ProfileDataset(const Dataset& dataset,
+                              uint32_t min_events = 5);
+
+}  // namespace gemrec::ebsn
+
+#endif  // GEMREC_EBSN_STATS_H_

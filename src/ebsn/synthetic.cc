@@ -1,0 +1,358 @@
+#include "ebsn/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_set>
+
+#include "common/alias_table.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "ebsn/time_slots.h"
+
+namespace gemrec::ebsn {
+namespace {
+
+constexpr int64_t kSecondsPerDay = 86400;
+
+/// Sparse Dirichlet-like draw: normalized Gamma(alpha) samples.
+/// Small alpha concentrates mass on few coordinates.
+std::vector<double> SparseSimplex(Rng* rng, size_t n, double alpha) {
+  std::vector<double> v(n);
+  double total = 0.0;
+  for (auto& x : v) {
+    // Gamma(alpha) via Marsaglia-Tsang needs alpha>=1; boost trick for
+    // alpha<1: Gamma(alpha) = Gamma(alpha+1) * U^(1/alpha).
+    const double a = alpha + 1.0;
+    const double d = a - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    double g = 0.0;
+    for (;;) {
+      const double z = rng->Gaussian();
+      const double u = rng->UniformDouble();
+      const double w = 1.0 + c * z;
+      if (w <= 0.0) continue;
+      const double w3 = w * w * w;
+      if (std::log(std::max(u, 1e-300)) <
+          0.5 * z * z + d - d * w3 + d * std::log(w3)) {
+        g = d * w3;
+        break;
+      }
+    }
+    g *= std::pow(std::max(rng->UniformDouble(), 1e-12), 1.0 / alpha);
+    x = g;
+    total += g;
+  }
+  if (total <= 0.0) {
+    v[rng->UniformInt(n)] = 1.0;
+    total = 1.0;
+  }
+  for (auto& x : v) x /= total;
+  return v;
+}
+
+/// Circular hour distance in [0, 12].
+double HourDistance(uint32_t a, uint32_t b) {
+  const int d = std::abs(static_cast<int>(a) - static_cast<int>(b));
+  return static_cast<double>(std::min(d, 24 - d));
+}
+
+}  // namespace
+
+SyntheticConfig SyntheticConfig::Beijing(double scale) {
+  SyntheticConfig c;
+  c.name = "beijing";
+  c.num_users = static_cast<uint32_t>(3000 * scale);
+  c.num_events = static_cast<uint32_t>(1500 * scale);
+  c.num_venues = static_cast<uint32_t>(320 * scale);
+  c.num_geo_clusters = 20;
+  c.city_center = GeoPoint{39.9042, 116.4074};
+  c.mean_events_per_user = 17.0;
+  c.mean_friends_per_user = 13.0;
+  c.seed = 20180101;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::Shanghai(double scale) {
+  SyntheticConfig c;
+  c.name = "shanghai";
+  c.num_users = static_cast<uint32_t>(1800 * scale);
+  c.num_events = static_cast<uint32_t>(800 * scale);
+  c.num_venues = static_cast<uint32_t>(200 * scale);
+  c.num_geo_clusters = 16;
+  c.city_center = GeoPoint{31.2304, 121.4737};
+  c.mean_events_per_user = 13.0;
+  c.mean_friends_per_user = 8.0;
+  c.seed = 20180202;
+  return c;
+}
+
+SyntheticData GenerateSynthetic(const SyntheticConfig& config) {
+  GEMREC_CHECK(config.num_users > 10 && config.num_events > 10 &&
+               config.num_venues > 0 && config.num_topics > 1 &&
+               config.vocab_size >= 10 * config.num_topics)
+      << "synthetic config too small";
+  Rng rng(config.seed);
+  SyntheticData out;
+  Dataset& data = out.dataset;
+  data.set_num_users(config.num_users);
+  data.set_vocab_size(config.vocab_size);
+
+  const uint32_t kTopics = config.num_topics;
+  const uint32_t kClusters = config.num_geo_clusters;
+
+  // ---- Geography: cluster centers around the city center. ----------
+  std::vector<GeoPoint> cluster_center(kClusters);
+  std::vector<double> cluster_weight(kClusters);
+  const double km_per_deg_lat = 111.19;
+  const double km_per_deg_lon =
+      111.19 * std::cos(config.city_center.lat * M_PI / 180.0);
+  for (uint32_t g = 0; g < kClusters; ++g) {
+    const double angle = rng.UniformDouble() * 2.0 * M_PI;
+    const double radius =
+        std::fabs(rng.Gaussian(0.0, config.city_radius_km / 2.0));
+    cluster_center[g] = GeoPoint{
+        config.city_center.lat +
+            radius * std::sin(angle) / km_per_deg_lat,
+        config.city_center.lon +
+            radius * std::cos(angle) / km_per_deg_lon};
+    // Zipf-ish popularity: downtown clusters attract more venues.
+    cluster_weight[g] = 1.0 / static_cast<double>(g + 1);
+  }
+  AliasTable cluster_sampler(cluster_weight);
+
+  // ---- Venues. ------------------------------------------------------
+  std::vector<std::vector<VenueId>> cluster_venues(kClusters);
+  for (uint32_t v = 0; v < config.num_venues; ++v) {
+    const uint32_t g = static_cast<uint32_t>(cluster_sampler.Sample(&rng));
+    GeoPoint p = cluster_center[g];
+    p.lat += rng.Gaussian(0.0, config.cluster_radius_km / km_per_deg_lat);
+    p.lon += rng.Gaussian(0.0, config.cluster_radius_km / km_per_deg_lon);
+    data.AddVenue(Venue{v, p});
+    cluster_venues[g].push_back(v);
+  }
+  // Guarantee every cluster owns at least one venue so topic-geo
+  // affinities always resolve.
+  for (uint32_t g = 0; g < kClusters; ++g) {
+    if (cluster_venues[g].empty()) {
+      cluster_venues[g].push_back(
+          static_cast<VenueId>(rng.UniformInt(config.num_venues)));
+    }
+  }
+
+  // ---- Topics: vocabulary bands, geo affinity, temporal profile. ----
+  const uint32_t shared_band = static_cast<uint32_t>(
+      static_cast<double>(config.vocab_size) * config.shared_vocab_fraction);
+  const uint32_t topical_vocab = config.vocab_size - shared_band;
+  const uint32_t band_width = topical_vocab / kTopics;
+
+  out.topic_hour.resize(kTopics);
+  out.topic_weekend.resize(kTopics);
+  std::vector<AliasTable> topic_cluster_sampler(kTopics);
+  std::vector<double> topic_popularity(kTopics);
+  const uint32_t hour_choices[] = {10, 14, 17, 19, 20, 21};
+  for (uint32_t t = 0; t < kTopics; ++t) {
+    out.topic_hour[t] = hour_choices[rng.UniformInt(6)];
+    out.topic_weekend[t] = rng.Bernoulli(0.5);
+    std::vector<double> affinity = SparseSimplex(&rng, kClusters, 0.3);
+    topic_cluster_sampler[t].Build(affinity);
+    topic_popularity[t] = 0.4 + rng.UniformDouble();
+  }
+
+  // ---- Users. --------------------------------------------------------
+  out.user_profiles.resize(config.num_users);
+  for (uint32_t u = 0; u < config.num_users; ++u) {
+    UserProfile& p = out.user_profiles[u];
+    p.topic_interest = SparseSimplex(&rng, kTopics, 0.15);
+    p.home_cluster = static_cast<uint32_t>(cluster_sampler.Sample(&rng));
+    // Pareto-like activity: heavy upper tail, mean ~1.
+    p.activity = std::min(
+        8.0, 0.4 / std::pow(std::max(rng.UniformDouble(), 1e-6), 0.55));
+    const uint32_t main_topic = static_cast<uint32_t>(
+        std::max_element(p.topic_interest.begin(),
+                         p.topic_interest.end()) -
+        p.topic_interest.begin());
+    p.preferred_hour = static_cast<uint32_t>(
+        (out.topic_hour[main_topic] + 24 +
+         static_cast<int>(std::lround(rng.Gaussian(0.0, 1.5)))) %
+        24);
+    p.weekend_preference =
+        out.topic_weekend[main_topic] ? 0.85 + 0.12 * rng.UniformDouble()
+                                      : 0.03 + 0.12 * rng.UniformDouble();
+    p.community = main_topic * 4 + (p.home_cluster % 4);
+  }
+
+  // Per-topic user samplers: P(u | t) ∝ interest * activity.
+  std::vector<AliasTable> topic_user_sampler(kTopics);
+  {
+    std::vector<double> weights(config.num_users);
+    for (uint32_t t = 0; t < kTopics; ++t) {
+      for (uint32_t u = 0; u < config.num_users; ++u) {
+        weights[u] = out.user_profiles[u].topic_interest[t] *
+                     out.user_profiles[u].activity;
+      }
+      topic_user_sampler[t].Build(weights);
+    }
+  }
+
+  // ---- Friendships: community structure. ------------------------------
+  const uint32_t num_communities = kTopics * 4;
+  std::vector<std::vector<UserId>> community_members(num_communities);
+  for (uint32_t u = 0; u < config.num_users; ++u) {
+    community_members[out.user_profiles[u].community].push_back(u);
+  }
+  for (uint32_t u = 0; u < config.num_users; ++u) {
+    const UserProfile& p = out.user_profiles[u];
+    const double target =
+        config.mean_friends_per_user * 0.5 * std::min(p.activity, 3.0);
+    const int degree = rng.Poisson(target);
+    const auto& mates = community_members[p.community];
+    for (int e = 0; e < degree; ++e) {
+      UserId v;
+      if (mates.size() > 1 &&
+          rng.Bernoulli(config.intra_community_friend_fraction)) {
+        v = mates[rng.UniformInt(mates.size())];
+      } else {
+        v = static_cast<UserId>(rng.UniformInt(config.num_users));
+      }
+      if (v != u) data.AddFriendship(u, v);
+    }
+  }
+  // Build adjacency now so FriendsOf() is usable by the attendance
+  // cascade below; attendances are appended afterwards and the dataset
+  // is finalized a second time at the end.
+  {
+    const Status status = data.Finalize();
+    GEMREC_CHECK(status.ok()) << status.ToString();
+  }
+
+  // ---- Events. --------------------------------------------------------
+  AliasTable topic_sampler(topic_popularity);
+  std::vector<double> event_popularity(config.num_events);
+  for (uint32_t x = 0; x < config.num_events; ++x) {
+    Event event;
+    event.id = x;
+    const uint32_t t = static_cast<uint32_t>(topic_sampler.Sample(&rng));
+    event.topic = static_cast<int>(t);
+
+    const uint32_t g =
+        static_cast<uint32_t>(topic_cluster_sampler[t].Sample(&rng));
+    const auto& venues = cluster_venues[g];
+    event.venue = venues[rng.UniformInt(venues.size())];
+
+    // Start time: uniform day in the window, re-drawn (up to 4 times)
+    // until the weekday/weekend kind matches the topic preference;
+    // hour near the topic's preferred hour.
+    int64_t day_start = 0;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const int64_t day =
+          static_cast<int64_t>(rng.UniformInt(config.duration_days));
+      day_start = config.start_time + day * kSecondsPerDay;
+      const bool weekend = IsWeekend(day_start);
+      if (weekend == out.topic_weekend[t] || rng.Bernoulli(0.25)) break;
+    }
+    const int hour =
+        (static_cast<int>(out.topic_hour[t]) + 24 +
+         static_cast<int>(std::lround(rng.Gaussian(0.0, 1.2)))) %
+        24;
+    event.start_time = day_start + static_cast<int64_t>(hour) * 3600;
+
+    // Document: topic-band words plus shared stop words.
+    const int doc_len =
+        std::max(5, rng.Poisson(config.words_per_event_mean));
+    event.words.reserve(static_cast<size_t>(doc_len));
+    const uint32_t band_lo = t * band_width;
+    for (int w = 0; w < doc_len; ++w) {
+      if (rng.Bernoulli(config.topic_word_prob)) {
+        event.words.push_back(band_lo + static_cast<WordId>(rng.UniformInt(
+                                            band_width)));
+      } else {
+        event.words.push_back(
+            topical_vocab + static_cast<WordId>(rng.UniformInt(
+                                std::max(1u, shared_band))));
+      }
+    }
+    data.AddEvent(std::move(event));
+
+    // Log-normal popularity drives attendee counts.
+    event_popularity[x] = std::exp(rng.Gaussian(0.0, 0.9));
+  }
+
+  // ---- Attendance: interest-driven draws + social cascade. ------------
+  const double total_target =
+      static_cast<double>(config.num_users) * config.mean_events_per_user;
+  double popularity_sum = 0.0;
+  for (double p : event_popularity) popularity_sum += p;
+
+  std::vector<std::unordered_set<UserId>> attendees(config.num_events);
+  for (uint32_t x = 0; x < config.num_events; ++x) {
+    const Event& event = data.event(x);
+    const uint32_t t = static_cast<uint32_t>(event.topic);
+    const GeoPoint& venue_loc = data.venue(event.venue).location;
+    const bool weekend = IsWeekend(event.start_time);
+    const uint32_t hour = HourOfDay(event.start_time);
+
+    const size_t target = std::max<size_t>(
+        2, static_cast<size_t>(event_popularity[x] / popularity_sum *
+                               total_target * 0.75));
+    auto& joined = attendees[x];
+    std::deque<UserId> cascade;
+
+    auto try_join = [&](UserId u, bool is_cascade) {
+      if (joined.count(u) != 0) return false;
+      const UserProfile& p = out.user_profiles[u];
+      const double geo = std::exp(
+          -HaversineKm(cluster_center[p.home_cluster], venue_loc) /
+          config.geo_tau_km);
+      const double hour_match =
+          std::exp(-HourDistance(hour, p.preferred_hour) / 3.0);
+      const double weekpart_match =
+          weekend ? p.weekend_preference : 1.0 - p.weekend_preference;
+      double accept = geo * (0.1 + 0.9 * hour_match) *
+                      (0.1 + 0.9 * weekpart_match);
+      if (is_cascade) {
+        accept *= config.social_coattend_prob *
+                  (0.25 + 0.75 * std::min(1.0, p.topic_interest[t] *
+                                                   kTopics));
+      }
+      if (!rng.Bernoulli(accept)) return false;
+      joined.insert(u);
+      cascade.push_back(u);
+      return true;
+    };
+
+    const size_t max_draws = target * 30 + 50;
+    size_t draws = 0;
+    while (joined.size() < target && draws++ < max_draws) {
+      const UserId u =
+          static_cast<UserId>(topic_user_sampler[t].Sample(&rng));
+      try_join(u, /*is_cascade=*/false);
+      // Social cascade: friends of fresh attendees consider joining.
+      while (!cascade.empty() && joined.size() < 2 * target) {
+        const UserId seed_user = cascade.front();
+        cascade.pop_front();
+        for (UserId f : data.FriendsOf(seed_user)) {
+          try_join(f, /*is_cascade=*/true);
+        }
+      }
+    }
+    // Rejection sampling can run dry for unlucky events (remote venue,
+    // odd hour). Guarantee the >=2 attendees every event promises by
+    // force-adding draws from the topic pool.
+    size_t rescue_draws = 0;
+    while (joined.size() < 2 && rescue_draws++ < 1000) {
+      joined.insert(
+          static_cast<UserId>(topic_user_sampler[t].Sample(&rng)));
+    }
+  }
+
+  for (uint32_t x = 0; x < config.num_events; ++x) {
+    for (UserId u : attendees[x]) data.AddAttendance(u, x);
+  }
+
+  const Status status = data.Finalize();
+  GEMREC_CHECK(status.ok()) << status.ToString();
+  return out;
+}
+
+}  // namespace gemrec::ebsn

@@ -1,0 +1,48 @@
+#include "ebsn/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gemrec::ebsn {
+
+std::vector<std::vector<WeightedWord>> ComputeTfIdf(
+    const std::vector<std::vector<WordId>>& documents,
+    uint32_t vocab_size) {
+  const size_t n = documents.size();
+  std::vector<uint32_t> doc_freq(vocab_size, 0);
+
+  // Per-document term counts (sorted unique word lists with counts).
+  std::vector<std::vector<WeightedWord>> result(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<WordId> words = documents[i];
+    std::sort(words.begin(), words.end());
+    auto it = words.begin();
+    while (it != words.end()) {
+      GEMREC_CHECK(*it < vocab_size)
+          << "word id " << *it << " out of vocabulary";
+      auto run_end = std::find_if(it, words.end(),
+                                  [&](WordId w) { return w != *it; });
+      result[i].push_back(WeightedWord{
+          *it, static_cast<double>(std::distance(it, run_end))});
+      ++doc_freq[*it];
+      it = run_end;
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const double doc_len = static_cast<double>(documents[i].size());
+    for (auto& ww : result[i]) {
+      const double tf = ww.weight / std::max(1.0, doc_len);
+      const double idf =
+          std::log((1.0 + static_cast<double>(n)) /
+                   (1.0 + static_cast<double>(doc_freq[ww.word]))) +
+          1.0;
+      ww.weight = tf * idf;
+    }
+  }
+  return result;
+}
+
+}  // namespace gemrec::ebsn

@@ -1,0 +1,33 @@
+#ifndef GEMREC_EBSN_TFIDF_H_
+#define GEMREC_EBSN_TFIDF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ebsn/types.h"
+
+namespace gemrec::ebsn {
+
+/// One weighted (event, word) pair of the event-content graph.
+struct WeightedWord {
+  WordId word = kInvalidId;
+  double weight = 0.0;
+};
+
+/// Computes standard TF-IDF weights for the bag-of-words documents of a
+/// set of events, as the paper uses for the edge weights w_xc of the
+/// event-content graph.
+///
+///   tf(x, c)  = count of c in D_x / |D_x|
+///   idf(c)    = log((1 + N) / (1 + df(c))) + 1   (smoothed)
+///   w_xc      = tf * idf
+///
+/// `documents[i]` is the word bag of event i (word ids < vocab_size).
+/// Returns one deduplicated, weight-annotated word list per event.
+std::vector<std::vector<WeightedWord>> ComputeTfIdf(
+    const std::vector<std::vector<WordId>>& documents,
+    uint32_t vocab_size);
+
+}  // namespace gemrec::ebsn
+
+#endif  // GEMREC_EBSN_TFIDF_H_

@@ -1,0 +1,57 @@
+#include "ebsn/time_slots.h"
+
+#include "common/logging.h"
+
+namespace gemrec::ebsn {
+namespace {
+
+constexpr int64_t kSecondsPerDay = 86400;
+
+/// Floor division that is correct for negative timestamps too.
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+int64_t FloorMod(int64_t a, int64_t b) { return a - FloorDiv(a, b) * b; }
+
+}  // namespace
+
+uint32_t HourOfDay(int64_t unix_seconds) {
+  return static_cast<uint32_t>(FloorMod(unix_seconds, kSecondsPerDay) /
+                               3600);
+}
+
+uint32_t DayOfWeek(int64_t unix_seconds) {
+  // 1970-01-01 was a Thursday; with Monday = 0 that is day 3.
+  const int64_t days = FloorDiv(unix_seconds, kSecondsPerDay);
+  return static_cast<uint32_t>(FloorMod(days + 3, 7));
+}
+
+bool IsWeekend(int64_t unix_seconds) {
+  return DayOfWeek(unix_seconds) >= 5;
+}
+
+std::array<TimeSlotId, 3> TimeSlotsFor(int64_t unix_seconds) {
+  return {kHourSlotBase + HourOfDay(unix_seconds),
+          kDaySlotBase + DayOfWeek(unix_seconds),
+          IsWeekend(unix_seconds) ? kWeekendSlot : kWeekdaySlot};
+}
+
+const char* TimeSlotName(TimeSlotId slot) {
+  static const char* const kHourNames[] = {
+      "00:00", "01:00", "02:00", "03:00", "04:00", "05:00", "06:00",
+      "07:00", "08:00", "09:00", "10:00", "11:00", "12:00", "13:00",
+      "14:00", "15:00", "16:00", "17:00", "18:00", "19:00", "20:00",
+      "21:00", "22:00", "23:00"};
+  static const char* const kDayNames[] = {
+      "Monday", "Tuesday",  "Wednesday", "Thursday",
+      "Friday", "Saturday", "Sunday"};
+  GEMREC_CHECK(slot < kNumTimeSlots) << "bad time slot " << slot;
+  if (slot < kDaySlotBase) return kHourNames[slot];
+  if (slot < kWeekpartSlotBase) return kDayNames[slot - kDaySlotBase];
+  return slot == kWeekdaySlot ? "weekday" : "weekend";
+}
+
+}  // namespace gemrec::ebsn

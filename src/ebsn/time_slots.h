@@ -1,0 +1,46 @@
+#ifndef GEMREC_EBSN_TIME_SLOTS_H_
+#define GEMREC_EBSN_TIME_SLOTS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "ebsn/types.h"
+
+namespace gemrec::ebsn {
+
+/// The paper discretizes event start times into 33 time slots across
+/// three scales: 24 hour-of-day slots, 7 day-of-week slots, and 2
+/// weekday/weekend slots. Every event links to exactly three slots
+/// (e.g. "2017-06-29 18:00" -> {18:00, Thursday, weekday}).
+inline constexpr uint32_t kNumHourSlots = 24;
+inline constexpr uint32_t kNumDaySlots = 7;
+inline constexpr uint32_t kNumWeekpartSlots = 2;
+inline constexpr uint32_t kNumTimeSlots =
+    kNumHourSlots + kNumDaySlots + kNumWeekpartSlots;  // 33
+
+inline constexpr uint32_t kHourSlotBase = 0;
+inline constexpr uint32_t kDaySlotBase = kNumHourSlots;        // 24..30
+inline constexpr uint32_t kWeekpartSlotBase =
+    kNumHourSlots + kNumDaySlots;                              // 31..32
+inline constexpr uint32_t kWeekdaySlot = kWeekpartSlotBase;     // 31
+inline constexpr uint32_t kWeekendSlot = kWeekpartSlotBase + 1; // 32
+
+/// Hour of day (0..23) for a unix timestamp, in UTC.
+uint32_t HourOfDay(int64_t unix_seconds);
+
+/// Day of week (0 = Monday .. 6 = Sunday) for a unix timestamp, in UTC.
+uint32_t DayOfWeek(int64_t unix_seconds);
+
+/// True for Saturday/Sunday.
+bool IsWeekend(int64_t unix_seconds);
+
+/// The three slot ids {hour, day, weekpart} an event at this timestamp
+/// links to in the event-time bipartite graph.
+std::array<TimeSlotId, 3> TimeSlotsFor(int64_t unix_seconds);
+
+/// Human-readable slot name ("18:00", "Thursday", "weekday").
+const char* TimeSlotName(TimeSlotId slot);
+
+}  // namespace gemrec::ebsn
+
+#endif  // GEMREC_EBSN_TIME_SLOTS_H_

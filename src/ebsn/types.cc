@@ -1,0 +1,20 @@
+#include "ebsn/types.h"
+
+#include <cmath>
+
+namespace gemrec::ebsn {
+
+double HaversineKm(const GeoPoint& a, const GeoPoint& b) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = M_PI / 180.0;
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double s = std::sin(dlat / 2.0) * std::sin(dlat / 2.0) +
+                   std::cos(lat1) * std::cos(lat2) *
+                       std::sin(dlon / 2.0) * std::sin(dlon / 2.0);
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(s));
+}
+
+}  // namespace gemrec::ebsn

@@ -1,0 +1,60 @@
+#ifndef GEMREC_EBSN_TYPES_H_
+#define GEMREC_EBSN_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gemrec::ebsn {
+
+/// Node id types. All ids are dense 0-based indices within their type.
+using UserId = uint32_t;
+using EventId = uint32_t;
+using VenueId = uint32_t;
+using RegionId = uint32_t;
+using WordId = uint32_t;
+using TimeSlotId = uint32_t;
+
+inline constexpr uint32_t kInvalidId = 0xffffffffu;
+
+/// WGS84 coordinate pair.
+struct GeoPoint {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Great-circle distance in kilometers (haversine).
+double HaversineKm(const GeoPoint& a, const GeoPoint& b);
+
+/// A physical venue where events are held.
+struct Venue {
+  VenueId id = kInvalidId;
+  GeoPoint location;
+};
+
+/// A social event. `start_time` is unix seconds; `words` is the
+/// bag-of-words of the event's textual description D_x; `topic` records
+/// the generator's hidden topic for synthetic data (-1 for real data)
+/// and is never visible to models.
+struct Event {
+  EventId id = kInvalidId;
+  VenueId venue = kInvalidId;
+  int64_t start_time = 0;
+  std::vector<WordId> words;
+  int topic = -1;
+};
+
+/// A user registering to attend an event (the EBSN's online RSVP).
+struct Attendance {
+  UserId user = kInvalidId;
+  EventId event = kInvalidId;
+};
+
+/// An undirected social link.
+struct Friendship {
+  UserId a = kInvalidId;
+  UserId b = kInvalidId;
+};
+
+}  // namespace gemrec::ebsn
+
+#endif  // GEMREC_EBSN_TYPES_H_

@@ -1,0 +1,144 @@
+#include "embedding/adaptive_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace gemrec::embedding {
+namespace {
+
+graph::NodeType SideType(const graph::BipartiteGraph& g, Side side) {
+  return side == Side::kA ? g.type_a() : g.type_b();
+}
+
+uint64_t RebuildPeriod(size_t n) {
+  if (n < 2) return 64;
+  const double period =
+      static_cast<double>(n) * std::log2(static_cast<double>(n));
+  return std::max<uint64_t>(64, static_cast<uint64_t>(period));
+}
+
+}  // namespace
+
+AdaptiveNoiseSampler::AdaptiveNoiseSampler(const EmbeddingStore* store,
+                                           double lambda)
+    : store_(store), lambda_(lambda) {
+  GEMREC_CHECK(store != nullptr);
+  GEMREC_CHECK(lambda > 0.0);
+  for (size_t i = 0; i < EmbeddingStore::kNumTypes; ++i) {
+    types_[i].rebuild_period =
+        RebuildPeriod(store_->CountOf(static_cast<graph::NodeType>(i)));
+  }
+}
+
+void AdaptiveNoiseSampler::Rebuild(graph::NodeType type) {
+  TypeState& state = types_[static_cast<size_t>(type)];
+  std::lock_guard<std::mutex> lock(state.rebuild_mu);
+  const Matrix& m = store_->MatrixOf(type);
+  auto snapshot = std::make_shared<TypeState::Snapshot>();
+  const uint32_t dim = store_->dim();
+  const size_t n = m.rows();
+
+  snapshot->ranking.resize(dim);
+  std::vector<uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  for (uint32_t f = 0; f < dim; ++f) {
+    snapshot->ranking[f] = ids;
+    auto& order = snapshot->ranking[f];
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t x, uint32_t y) {
+                       return m.At(x, f) > m.At(y, f);
+                     });
+  }
+  snapshot->sigma = m.ColumnVariances();
+  // Eqn p(f|v_c) ∝ v_{c,f} · σ_f with σ_f the std-dev: take sqrt of
+  // the variance (the paper writes σ_f = Var(v_{.,f}); either works as
+  // an importance weight — we follow the symbol σ, a std-dev).
+  for (auto& s : snapshot->sigma) s = std::sqrt(s);
+
+  {
+    // Publish. Readers copy the shared_ptr under the same mutex via
+    // SnapshotOf, so no torn reads.
+    state.snapshot = std::move(snapshot);
+  }
+  state.steps_since_rebuild.store(0, std::memory_order_relaxed);
+  rebuild_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const AdaptiveNoiseSampler::TypeState::Snapshot>
+AdaptiveNoiseSampler::SnapshotOf(graph::NodeType type) {
+  TypeState& state = types_[static_cast<size_t>(type)];
+  {
+    std::lock_guard<std::mutex> lock(state.rebuild_mu);
+    if (state.snapshot != nullptr) return state.snapshot;
+  }
+  Rebuild(type);
+  std::lock_guard<std::mutex> lock(state.rebuild_mu);
+  return state.snapshot;
+}
+
+void AdaptiveNoiseSampler::RebuildAll() {
+  for (size_t i = 0; i < EmbeddingStore::kNumTypes; ++i) {
+    Rebuild(static_cast<graph::NodeType>(i));
+  }
+}
+
+uint32_t AdaptiveNoiseSampler::SampleNoise(const graph::BipartiteGraph& g,
+                                           Side noise_side,
+                                           const float* context_vec,
+                                           Rng* rng) {
+  const graph::NodeType type = SideType(g, noise_side);
+  TypeState& state = types_[static_cast<size_t>(type)];
+  auto snapshot = SnapshotOf(type);
+
+  const uint32_t dim = store_->dim();
+  const size_t n = snapshot->ranking.empty()
+                       ? 0
+                       : snapshot->ranking[0].size();
+  GEMREC_DCHECK(n > 0);
+
+  // Draw dimension f from p(f|v_c) ∝ v_{c,f} · σ_f. Embeddings are
+  // nonnegative (rectifier projection) so these weights are valid; if
+  // they all vanish (e.g. right after a cold start) fall back to a
+  // uniform dimension.
+  double total = 0.0;
+  for (uint32_t f = 0; f < dim; ++f) {
+    total += static_cast<double>(context_vec[f]) * snapshot->sigma[f];
+  }
+  uint32_t dimension = 0;
+  if (total > 1e-20) {
+    double target = rng->UniformDouble() * total;
+    for (uint32_t f = 0; f < dim; ++f) {
+      target -= static_cast<double>(context_vec[f]) * snapshot->sigma[f];
+      if (target < 0.0) {
+        dimension = f;
+        break;
+      }
+    }
+  } else {
+    dimension = static_cast<uint32_t>(rng->UniformInt(dim));
+  }
+
+  // Draw the rank from the truncated geometric and return the node at
+  // that position on the chosen dimension.
+  const GeometricSampler geo(lambda_, n);
+  const uint64_t rank = geo.Sample(rng);
+  const uint32_t node = snapshot->ranking[dimension][rank];
+
+  // Schedule the periodic recomputation (Algorithm 1 lines 4-15).
+  const uint64_t steps =
+      state.steps_since_rebuild.fetch_add(1, std::memory_order_relaxed);
+  if (steps + 1 >= state.rebuild_period) {
+    // Reset eagerly so concurrent threads do not all rebuild.
+    uint64_t expected = steps + 1;
+    if (state.steps_since_rebuild.compare_exchange_strong(
+            expected, 0, std::memory_order_relaxed)) {
+      Rebuild(type);
+    }
+  }
+  return node;
+}
+
+}  // namespace gemrec::embedding

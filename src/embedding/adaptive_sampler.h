@@ -1,0 +1,83 @@
+#ifndef GEMREC_EMBEDDING_ADAPTIVE_SAMPLER_H_
+#define GEMREC_EMBEDDING_ADAPTIVE_SAMPLER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/geometric_sampler.h"
+#include "common/rng.h"
+#include "embedding/embedding_store.h"
+#include "embedding/noise_sampler.h"
+
+namespace gemrec::embedding {
+
+/// The paper's adaptive adversarial noise sampler (§III-B, Algorithm 1,
+/// approximate implementation):
+///
+///   1. draw a rank s from the truncated geometric p(s) ∝ exp(-s/λ);
+///   2. draw a dimension f from p(f | v_c) ∝ v_{c,f} · σ_f, where σ_f
+///      is the variance of coordinate f over the noise side's nodes;
+///   3. return the node ranked s-th on dimension f (descending).
+///
+/// Rankings r̂^{-1}(·|f) and variances σ_f are kept per *node type*
+/// (they only depend on the type's embedding matrix, so the five graphs
+/// share them) and rebuilt every |V| · log₂ |V| gradient steps on that
+/// type, giving the paper's amortized O(K) per draw.
+///
+/// Thread-safety (hogwild): draw paths are lock-free over a pointer to
+/// an immutable snapshot; the thread whose step trips the rebuild
+/// budget rebuilds under a mutex while others keep sampling the stale
+/// snapshot — consistent with the asynchronous SGD the paper adopts.
+class AdaptiveNoiseSampler : public NoiseSampler {
+ public:
+  /// `store` must outlive the sampler. `lambda` is the paper's λ
+  /// (Table V tunes it; 200 is the chosen default).
+  AdaptiveNoiseSampler(const EmbeddingStore* store, double lambda);
+
+  /// Also drives the periodic recomputation: every draw counts toward
+  /// the noise type's rebuild budget (so OnGradientStep needs no
+  /// override).
+  uint32_t SampleNoise(const graph::BipartiteGraph& g, Side noise_side,
+                       const float* context_vec, Rng* rng) override;
+
+  /// Forces an immediate rebuild of every type's ranking (used by the
+  /// trainer right after initialization and by tests).
+  void RebuildAll();
+
+  /// Number of ranking rebuilds performed so far (diagnostics).
+  uint64_t rebuild_count() const {
+    return rebuild_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct TypeState {
+    /// ranking[f] = node ids sorted by coordinate f, descending.
+    /// Guarded by snapshot pointer swap; treated as immutable once
+    /// published.
+    struct Snapshot {
+      std::vector<std::vector<uint32_t>> ranking;
+      std::vector<float> sigma;  // per-dimension std-dev weight
+    };
+    std::shared_ptr<const Snapshot> snapshot;
+    std::mutex rebuild_mu;
+    std::atomic<uint64_t> steps_since_rebuild{0};
+    uint64_t rebuild_period = 1;
+  };
+
+  void Rebuild(graph::NodeType type);
+  std::shared_ptr<const TypeState::Snapshot> SnapshotOf(
+      graph::NodeType type);
+
+  const EmbeddingStore* store_;
+  double lambda_;
+  std::array<TypeState, EmbeddingStore::kNumTypes> types_;
+  std::atomic<uint64_t> rebuild_count_{0};
+};
+
+}  // namespace gemrec::embedding
+
+#endif  // GEMREC_EMBEDDING_ADAPTIVE_SAMPLER_H_

@@ -1,0 +1,20 @@
+#include "embedding/embedding_store.h"
+
+#include "common/logging.h"
+
+namespace gemrec::embedding {
+
+EmbeddingStore::EmbeddingStore(
+    uint32_t dim, const std::array<uint32_t, kNumTypes>& counts)
+    : dim_(dim) {
+  GEMREC_CHECK(dim > 0);
+  for (size_t i = 0; i < kNumTypes; ++i) {
+    matrices_[i] = Matrix(counts[i], dim);
+  }
+}
+
+void EmbeddingStore::InitGaussian(Rng* rng, double stddev) {
+  for (auto& m : matrices_) m.FillAbsGaussian(rng, 0.0, stddev);
+}
+
+}  // namespace gemrec::embedding

@@ -1,0 +1,56 @@
+#ifndef GEMREC_EMBEDDING_EMBEDDING_STORE_H_
+#define GEMREC_EMBEDDING_EMBEDDING_STORE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "graph/bipartite_graph.h"
+
+namespace gemrec::embedding {
+
+/// The shared K-dimensional latent space: one embedding matrix per node
+/// type (user, event, location, time, word). This is the parameter set
+/// Θ = {x̄, l̄, t̄, c̄, ū} of Algorithm 2.
+class EmbeddingStore {
+ public:
+  static constexpr size_t kNumTypes = 5;
+
+  /// Allocates zeroed matrices. `counts[i]` is the node count of
+  /// NodeType(i).
+  EmbeddingStore(uint32_t dim, const std::array<uint32_t, kNumTypes>& counts);
+
+  /// The paper's random Gaussian initialization N(0, stddev^2), clamped
+  /// to nonnegative values (the rectifier keeps parameters nonnegative
+  /// throughout training, so we start inside the feasible set).
+  void InitGaussian(Rng* rng, double stddev);
+
+  uint32_t dim() const { return dim_; }
+
+  Matrix& MatrixOf(graph::NodeType type) {
+    return matrices_[static_cast<size_t>(type)];
+  }
+  const Matrix& MatrixOf(graph::NodeType type) const {
+    return matrices_[static_cast<size_t>(type)];
+  }
+
+  float* VectorOf(graph::NodeType type, uint32_t id) {
+    return MatrixOf(type).Row(id);
+  }
+  const float* VectorOf(graph::NodeType type, uint32_t id) const {
+    return MatrixOf(type).Row(id);
+  }
+
+  uint32_t CountOf(graph::NodeType type) const {
+    return static_cast<uint32_t>(MatrixOf(type).rows());
+  }
+
+ private:
+  uint32_t dim_;
+  std::array<Matrix, kNumTypes> matrices_;
+};
+
+}  // namespace gemrec::embedding
+
+#endif  // GEMREC_EMBEDDING_EMBEDDING_STORE_H_

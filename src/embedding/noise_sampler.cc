@@ -1,0 +1,22 @@
+#include "embedding/noise_sampler.h"
+
+namespace gemrec::embedding {
+
+uint32_t UniformNoiseSampler::SampleNoise(const graph::BipartiteGraph& g,
+                                          Side noise_side,
+                                          const float* /*context_vec*/,
+                                          Rng* rng) {
+  const uint32_t n =
+      noise_side == Side::kA ? g.num_a() : g.num_b();
+  return static_cast<uint32_t>(rng->UniformInt(n));
+}
+
+uint32_t DegreeNoiseSampler::SampleNoise(const graph::BipartiteGraph& g,
+                                         Side noise_side,
+                                         const float* /*context_vec*/,
+                                         Rng* rng) {
+  return noise_side == Side::kA ? g.SampleNoiseA(rng)
+                                : g.SampleNoiseB(rng);
+}
+
+}  // namespace gemrec::embedding

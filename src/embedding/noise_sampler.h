@@ -1,0 +1,54 @@
+#ifndef GEMREC_EMBEDDING_NOISE_SAMPLER_H_
+#define GEMREC_EMBEDDING_NOISE_SAMPLER_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "graph/bipartite_graph.h"
+
+namespace gemrec::embedding {
+
+/// Which side of a bipartite graph a noise node is drawn from.
+enum class Side : uint8_t { kA = 0, kB = 1 };
+
+/// Strategy for drawing noise (negative-edge) nodes during training.
+/// Implementations:
+///  * UniformNoiseSampler — uniform over the side's nodes (PCMF-style);
+///  * DegreeNoiseSampler  — the classic P_n(v) ∝ d_v^0.75 of
+///    word2vec/LINE/PTE (GEM-P);
+///  * AdaptiveNoiseSampler — the paper's rank-based adversarial sampler
+///    (GEM-A, §III-B / Algorithm 1).
+class NoiseSampler {
+ public:
+  virtual ~NoiseSampler() = default;
+
+  /// Draws a noise node id from `noise_side` of `g`, for a positive
+  /// edge whose *context* node (the fixed endpoint, on the opposite
+  /// side) has embedding `context_vec`. `context_vec` may be ignored by
+  /// static samplers.
+  virtual uint32_t SampleNoise(const graph::BipartiteGraph& g,
+                               Side noise_side, const float* context_vec,
+                               Rng* rng) = 0;
+
+  /// Called once per gradient step; adaptive samplers use it to
+  /// schedule their periodic ranking recomputation. Thread-safe.
+  virtual void OnGradientStep() {}
+};
+
+/// Uniform noise over the target side.
+class UniformNoiseSampler : public NoiseSampler {
+ public:
+  uint32_t SampleNoise(const graph::BipartiteGraph& g, Side noise_side,
+                       const float* context_vec, Rng* rng) override;
+};
+
+/// Degree-based noise, P_n(v) ∝ d_v^0.75.
+class DegreeNoiseSampler : public NoiseSampler {
+ public:
+  uint32_t SampleNoise(const graph::BipartiteGraph& g, Side noise_side,
+                       const float* context_vec, Rng* rng) override;
+};
+
+}  // namespace gemrec::embedding
+
+#endif  // GEMREC_EMBEDDING_NOISE_SAMPLER_H_

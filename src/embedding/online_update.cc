@@ -1,0 +1,204 @@
+#include "embedding/online_update.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/alias_table.h"
+#include "common/vec_math.h"
+#include "ebsn/time_slots.h"
+
+namespace gemrec::embedding {
+
+Status FoldInColdEvent(EmbeddingStore* store, ebsn::EventId event,
+                       const NewEventSignals& signals,
+                       const OnlineUpdateOptions& options) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("store is null");
+  }
+  if (event >= store->CountOf(graph::NodeType::kEvent)) {
+    return Status::OutOfRange("event id outside the event matrix");
+  }
+  if (signals.region != ebsn::kInvalidId &&
+      signals.region >= store->CountOf(graph::NodeType::kLocation)) {
+    return Status::OutOfRange("region id outside the location matrix");
+  }
+  const uint32_t vocab = store->CountOf(graph::NodeType::kWord);
+  for (const auto& [word, weight] : signals.words) {
+    if (word >= vocab) {
+      return Status::OutOfRange("word id outside the vocabulary");
+    }
+    if (weight <= 0.0f) {
+      return Status::InvalidArgument("word weights must be positive");
+    }
+  }
+
+  const uint32_t dim = store->dim();
+  Rng rng(options.seed);
+  float* v = store->VectorOf(graph::NodeType::kEvent, event);
+  for (uint32_t f = 0; f < dim; ++f) {
+    v[f] = static_cast<float>(
+        std::fabs(rng.Gaussian(0.0, options.init_stddev)));
+  }
+
+  // The new event's positive neighbors (with edge weights): its words,
+  // its region and its three time slots — exactly the edges the
+  // offline graphs would contain.
+  struct Neighbor {
+    graph::NodeType type;
+    uint32_t id;
+    double weight;
+  };
+  std::vector<Neighbor> neighbors;
+  for (const auto& [word, weight] : signals.words) {
+    neighbors.push_back({graph::NodeType::kWord, word, weight});
+  }
+  if (signals.region != ebsn::kInvalidId) {
+    neighbors.push_back({graph::NodeType::kLocation, signals.region, 1.0});
+  }
+  for (ebsn::TimeSlotId slot : ebsn::TimeSlotsFor(signals.start_time)) {
+    neighbors.push_back({graph::NodeType::kTime, slot, 1.0});
+  }
+  if (neighbors.empty()) {
+    return Status::InvalidArgument("event has no signals to fold in");
+  }
+  std::vector<double> weights;
+  weights.reserve(neighbors.size());
+  for (const auto& n : neighbors) weights.push_back(n.weight);
+  AliasTable edge_sampler(weights);
+
+  std::vector<float> grad(dim);
+  for (uint32_t it = 0; it < options.iterations; ++it) {
+    const Neighbor& n = neighbors[edge_sampler.Sample(&rng)];
+    const float* w = store->VectorOf(n.type, n.id);
+    std::memset(grad.data(), 0, dim * sizeof(float));
+    const float positive_coeff =
+        1.0f - Sigmoid(Dot(v, w, dim) - options.bias);
+    Axpy(positive_coeff, w, grad.data(), dim);
+    // Negative words keep the vector from inflating along dimensions
+    // shared by the whole vocabulary. Only the event vector moves.
+    for (uint32_t m = 0; m < options.negatives; ++m) {
+      const uint32_t noise = static_cast<uint32_t>(rng.UniformInt(vocab));
+      const float* wn = store->VectorOf(graph::NodeType::kWord, noise);
+      const float coeff = Sigmoid(Dot(v, wn, dim) - options.bias);
+      Axpy(-coeff, wn, grad.data(), dim);
+    }
+    const float progress =
+        static_cast<float>(it) / static_cast<float>(options.iterations);
+    Axpy(options.learning_rate * (1.0f - 0.9f * progress), grad.data(), v,
+         dim);
+    ReluInPlace(v, dim);
+  }
+  return Status::Ok();
+}
+
+Status FoldInColdUser(EmbeddingStore* store, ebsn::UserId user,
+                      const NewUserSignals& signals,
+                      const OnlineUpdateOptions& options) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("store is null");
+  }
+  if (user >= store->CountOf(graph::NodeType::kUser)) {
+    return Status::OutOfRange("user id outside the user matrix");
+  }
+  for (ebsn::EventId x : signals.attended_events) {
+    if (x >= store->CountOf(graph::NodeType::kEvent)) {
+      return Status::OutOfRange("event id outside the event matrix");
+    }
+  }
+  for (ebsn::UserId v : signals.friends) {
+    if (v >= store->CountOf(graph::NodeType::kUser)) {
+      return Status::OutOfRange("friend id outside the user matrix");
+    }
+    if (v == user) {
+      return Status::InvalidArgument("a user cannot befriend herself");
+    }
+  }
+  if (signals.attended_events.empty() && signals.friends.empty()) {
+    return Status::InvalidArgument("user has no signals to fold in");
+  }
+
+  const uint32_t dim = store->dim();
+  const uint32_t num_events = store->CountOf(graph::NodeType::kEvent);
+  Rng rng(options.seed);
+  float* v = store->VectorOf(graph::NodeType::kUser, user);
+  for (uint32_t f = 0; f < dim; ++f) {
+    v[f] = static_cast<float>(
+        std::fabs(rng.Gaussian(0.0, options.init_stddev)));
+  }
+
+  struct Neighbor {
+    graph::NodeType type;
+    uint32_t id;
+  };
+  std::vector<Neighbor> neighbors;
+  for (ebsn::EventId x : signals.attended_events) {
+    neighbors.push_back({graph::NodeType::kEvent, x});
+  }
+  for (ebsn::UserId u : signals.friends) {
+    neighbors.push_back({graph::NodeType::kUser, u});
+  }
+
+  std::vector<float> grad(dim);
+  for (uint32_t it = 0; it < options.iterations; ++it) {
+    const Neighbor& n = neighbors[rng.UniformInt(neighbors.size())];
+    const float* w = store->VectorOf(n.type, n.id);
+    std::memset(grad.data(), 0, dim * sizeof(float));
+    const float positive_coeff =
+        1.0f - Sigmoid(Dot(v, w, dim) - options.bias);
+    Axpy(positive_coeff, w, grad.data(), dim);
+    // Negative events keep the vector discriminative.
+    for (uint32_t m = 0; m < options.negatives; ++m) {
+      const uint32_t noise =
+          static_cast<uint32_t>(rng.UniformInt(num_events));
+      const float* wn = store->VectorOf(graph::NodeType::kEvent, noise);
+      const float coeff = Sigmoid(Dot(v, wn, dim) - options.bias);
+      Axpy(-coeff, wn, grad.data(), dim);
+    }
+    const float progress =
+        static_cast<float>(it) / static_cast<float>(options.iterations);
+    Axpy(options.learning_rate * (1.0f - 0.9f * progress), grad.data(), v,
+         dim);
+    ReluInPlace(v, dim);
+  }
+  return Status::Ok();
+}
+
+Status UpdateUserWithAttendance(EmbeddingStore* store,
+                                ebsn::UserId user, ebsn::EventId event,
+                                const OnlineUpdateOptions& options) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("store is null");
+  }
+  if (user >= store->CountOf(graph::NodeType::kUser)) {
+    return Status::OutOfRange("user id outside the user matrix");
+  }
+  if (event >= store->CountOf(graph::NodeType::kEvent)) {
+    return Status::OutOfRange("event id outside the event matrix");
+  }
+  const uint32_t dim = store->dim();
+  const uint32_t num_events = store->CountOf(graph::NodeType::kEvent);
+  Rng rng(options.seed ^ (static_cast<uint64_t>(user) << 20 ^ event));
+  float* v = store->VectorOf(graph::NodeType::kUser, user);
+  const float* w = store->VectorOf(graph::NodeType::kEvent, event);
+
+  std::vector<float> grad(dim);
+  for (uint32_t it = 0; it < options.iterations; ++it) {
+    std::memset(grad.data(), 0, dim * sizeof(float));
+    const float positive_coeff =
+        1.0f - Sigmoid(Dot(v, w, dim) - options.bias);
+    Axpy(positive_coeff, w, grad.data(), dim);
+    for (uint32_t m = 0; m < options.negatives; ++m) {
+      const uint32_t noise =
+          static_cast<uint32_t>(rng.UniformInt(num_events));
+      if (noise == event) continue;
+      const float* wn = store->VectorOf(graph::NodeType::kEvent, noise);
+      const float coeff = Sigmoid(Dot(v, wn, dim) - options.bias);
+      Axpy(-coeff, wn, grad.data(), dim);
+    }
+    Axpy(options.learning_rate, grad.data(), v, dim);
+    ReluInPlace(v, dim);
+  }
+  return Status::Ok();
+}
+
+}  // namespace gemrec::embedding

@@ -1,0 +1,83 @@
+#ifndef GEMREC_EMBEDDING_ONLINE_UPDATE_H_
+#define GEMREC_EMBEDDING_ONLINE_UPDATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ebsn/types.h"
+#include "embedding/embedding_store.h"
+
+namespace gemrec::embedding {
+
+/// Description of a just-published event: the same content and context
+/// signals the paper's cold-start argument builds on.
+struct NewEventSignals {
+  /// Content words with their weights (e.g. TF-IDF over the event's
+  /// description against the training corpus).
+  std::vector<std::pair<ebsn::WordId, float>> words;
+  /// DBSCAN region the venue falls into.
+  ebsn::RegionId region = ebsn::kInvalidId;
+  /// Unix start time (discretized internally into the 3 time slots).
+  int64_t start_time = 0;
+};
+
+/// Options of the fold-in optimization.
+struct OnlineUpdateOptions {
+  uint32_t iterations = 400;
+  float learning_rate = 0.1f;
+  /// Link-function bias; must match the bias the store was trained
+  /// with (TrainerOptions::bias).
+  float bias = 4.0f;
+  /// Negative words sampled per positive edge.
+  uint32_t negatives = 2;
+  float init_stddev = 0.01f;
+  uint64_t seed = 71;
+};
+
+/// Online cold-start fold-in (an extension beyond the paper's offline
+/// pipeline): computes an embedding for one brand-new event from its
+/// content/region/time signals *without retraining*, by running the
+/// Eqn-5 update with every other vector frozen. The new vector
+/// converges in milliseconds, so freshly published events become
+/// recommendable immediately; periodic full retraining then folds them
+/// in properly.
+///
+/// `store` is mutated only at row `event` of the event matrix; `event`
+/// must be a valid (pre-allocated) event id. Frozen-side vectors are
+/// never written, so concurrent reads of other rows stay safe.
+Status FoldInColdEvent(EmbeddingStore* store, ebsn::EventId event,
+                       const NewEventSignals& signals,
+                       const OnlineUpdateOptions& options);
+
+/// Online fold-in for a just-registered user: computes a user vector
+/// from the first few events she registered for (and optionally her
+/// initial friends), with everything else frozen — the user-side twin
+/// of FoldInColdEvent. Solves the symmetric user cold-start problem at
+/// serving time.
+struct NewUserSignals {
+  /// Events the new user registered for.
+  std::vector<ebsn::EventId> attended_events;
+  /// Friends she connected with at sign-up (may be empty).
+  std::vector<ebsn::UserId> friends;
+};
+
+Status FoldInColdUser(EmbeddingStore* store, ebsn::UserId user,
+                      const NewUserSignals& signals,
+                      const OnlineUpdateOptions& options);
+
+/// Incremental feedback update: after `user` registers for `event`,
+/// nudge her *existing* vector toward the event (a handful of Eqn-5
+/// positive steps plus sampled negative events, event side frozen).
+/// Unlike the fold-ins above this does NOT reinitialize the vector, so
+/// interest drift accumulates smoothly between retrains. `iterations`
+/// in `options` is reinterpreted as the (small) number of nudge steps;
+/// 10-50 is typical.
+Status UpdateUserWithAttendance(EmbeddingStore* store, ebsn::UserId user,
+                                ebsn::EventId event,
+                                const OnlineUpdateOptions& options);
+
+}  // namespace gemrec::embedding
+
+#endif  // GEMREC_EMBEDDING_ONLINE_UPDATE_H_

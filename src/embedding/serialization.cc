@@ -1,0 +1,72 @@
+#include "embedding/serialization.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+namespace gemrec::embedding {
+namespace {
+
+constexpr char kMagic[8] = {'G', 'E', 'M', 'R', 'E', 'C', '0', '1'};
+
+}  // namespace
+
+Status SaveEmbeddingStore(const EmbeddingStore& store,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t dim = store.dim();
+  out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  for (size_t t = 0; t < EmbeddingStore::kNumTypes; ++t) {
+    const uint32_t count =
+        store.CountOf(static_cast<graph::NodeType>(t));
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  }
+  for (size_t t = 0; t < EmbeddingStore::kNumTypes; ++t) {
+    const Matrix& m = store.MatrixOf(static_cast<graph::NodeType>(t));
+    out.write(reinterpret_cast<const char*>(m.data().data()),
+              static_cast<std::streamsize>(m.data().size() *
+                                           sizeof(float)));
+  }
+  if (!out.good()) return Status::IoError("short write: " + path);
+  return Status::Ok();
+}
+
+Result<EmbeddingStore> LoadEmbeddingStore(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  uint32_t dim = 0;
+  in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  if (!in.good() || dim == 0 || dim > 100000) {
+    return Status::InvalidArgument("bad dimension in " + path);
+  }
+  std::array<uint32_t, EmbeddingStore::kNumTypes> counts{};
+  for (auto& count : counts) {
+    in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  }
+  if (!in.good()) return Status::IoError("truncated header: " + path);
+
+  EmbeddingStore store(dim, counts);
+  for (size_t t = 0; t < EmbeddingStore::kNumTypes; ++t) {
+    Matrix& m = store.MatrixOf(static_cast<graph::NodeType>(t));
+    in.read(reinterpret_cast<char*>(m.data().data()),
+            static_cast<std::streamsize>(m.data().size() *
+                                         sizeof(float)));
+    if (!in.good()) {
+      return Status::IoError("truncated matrix payload: " + path);
+    }
+  }
+  return store;
+}
+
+}  // namespace gemrec::embedding

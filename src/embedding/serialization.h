@@ -1,0 +1,28 @@
+#ifndef GEMREC_EMBEDDING_SERIALIZATION_H_
+#define GEMREC_EMBEDDING_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "embedding/embedding_store.h"
+
+namespace gemrec::embedding {
+
+/// Binary persistence for trained embedding stores, so a model trained
+/// offline (hours) can be shipped to the online recommender without
+/// retraining.
+///
+/// Format (little-endian):
+///   magic "GEMREC01" | u32 dim | 5 x (u32 count) | 5 x (count*dim f32)
+///
+/// The format is versioned through the magic; loading rejects
+/// mismatched magics and truncated files.
+Status SaveEmbeddingStore(const EmbeddingStore& store,
+                          const std::string& path);
+
+/// Loads a store written by SaveEmbeddingStore.
+Result<EmbeddingStore> LoadEmbeddingStore(const std::string& path);
+
+}  // namespace gemrec::embedding
+
+#endif  // GEMREC_EMBEDDING_SERIALIZATION_H_

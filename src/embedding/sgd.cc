@@ -1,0 +1,55 @@
+#include "embedding/sgd.h"
+
+#include <cstring>
+
+#include "common/vec_math.h"
+
+namespace gemrec::embedding {
+
+void SgdEdgeStep(EmbeddingStore* store, const graph::BipartiteGraph& g,
+                 const graph::Edge& edge,
+                 const std::vector<uint32_t>& noise_b,
+                 const std::vector<uint32_t>& noise_a, float learning_rate,
+                 float bias, SgdScratch* scratch) {
+  const uint32_t dim = store->dim();
+  float* vi = store->VectorOf(g.type_a(), edge.a);
+  float* vj = store->VectorOf(g.type_b(), edge.b);
+
+  float* grad_i = scratch->grad_i.data();
+  float* grad_j = scratch->grad_j.data();
+  std::memset(grad_i, 0, dim * sizeof(float));
+  std::memset(grad_j, 0, dim * sizeof(float));
+
+  // Positive part: (1 - σ(v_i·v_j)) pushes the endpoints together.
+  const float positive_coeff =
+      1.0f - Sigmoid(Dot(vi, vj, dim) - bias);
+  Axpy(positive_coeff, vj, grad_i, dim);
+  Axpy(positive_coeff, vi, grad_j, dim);
+
+  // Noise on side B repels v_i; each noise vector is itself repelled
+  // from v_i and can be updated immediately (it contributes to no other
+  // gradient in this step).
+  for (uint32_t k : noise_b) {
+    float* vk = store->VectorOf(g.type_b(), k);
+    const float coeff = Sigmoid(Dot(vi, vk, dim) - bias);
+    Axpy(-coeff, vk, grad_i, dim);
+    Axpy(-learning_rate * coeff, vi, vk, dim);
+    ReluInPlace(vk, dim);
+  }
+
+  // Noise on side A repels v_j (bidirectional sampling only).
+  for (uint32_t k : noise_a) {
+    float* vk = store->VectorOf(g.type_a(), k);
+    const float coeff = Sigmoid(Dot(vk, vj, dim) - bias);
+    Axpy(-coeff, vk, grad_j, dim);
+    Axpy(-learning_rate * coeff, vj, vk, dim);
+    ReluInPlace(vk, dim);
+  }
+
+  Axpy(learning_rate, grad_i, vi, dim);
+  Axpy(learning_rate, grad_j, vj, dim);
+  ReluInPlace(vi, dim);
+  ReluInPlace(vj, dim);
+}
+
+}  // namespace gemrec::embedding

@@ -1,0 +1,53 @@
+#ifndef GEMREC_EMBEDDING_SGD_H_
+#define GEMREC_EMBEDDING_SGD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "embedding/embedding_store.h"
+#include "graph/bipartite_graph.h"
+
+namespace gemrec::embedding {
+
+/// Scratch buffers reused across gradient steps so the hot loop does no
+/// allocation. One instance per training thread.
+struct SgdScratch {
+  explicit SgdScratch(uint32_t dim)
+      : grad_i(dim, 0.0f), grad_j(dim, 0.0f) {}
+  std::vector<float> grad_i;
+  std::vector<float> grad_j;
+};
+
+/// Applies one stochastic gradient step for a sampled positive edge
+/// e_ij of graph `g` with the given noise nodes (Eqn 5 of the paper):
+///
+///   v_i += α [ (1-σ(v_iᵀv_j)) v_j − Σ_k σ(v_iᵀv_k) v_k ]   k ∈ noise_b
+///   v_j += α [ (1-σ(v_iᵀv_j)) v_i − Σ_k σ(v_kᵀv_j) v_k ]   k ∈ noise_a
+///   v_k −= α σ(v_iᵀv_k) v_i                                 k ∈ noise_b
+///   v_k −= α σ(v_kᵀv_j) v_j                                 k ∈ noise_a
+///
+/// followed by the rectifier projection of every touched vector to
+/// nonnegative coordinates. `noise_a` may be empty (unidirectional
+/// sampling, the PTE configuration). Gradients for v_i/v_j are
+/// accumulated in `scratch` before being applied, so the update matches
+/// Eqn 5 exactly (no within-step feedback).
+///
+/// `bias` shifts the link function to σ(v_iᵀv_j − bias) — the constant
+/// bias β the paper carries in its scoring function (Eqn 8). It is
+/// essential under the rectifier: with all-nonnegative embeddings
+/// every inner product is ≥ 0, so an unbiased σ gives every noise pair
+/// repulsion ≥ 0.5 that never decays, and the all-zeros parameter
+/// point becomes a global absorbing state (training collapses). With
+/// bias > 0, attraction dominates repulsion near the boundary and the
+/// model trains to a meaningful nonnegative equilibrium. The bias is a
+/// constant, so rankings (all the recommendation tasks use) are
+/// unaffected.
+void SgdEdgeStep(EmbeddingStore* store, const graph::BipartiteGraph& g,
+                 const graph::Edge& edge,
+                 const std::vector<uint32_t>& noise_b,
+                 const std::vector<uint32_t>& noise_a, float learning_rate,
+                 float bias, SgdScratch* scratch);
+
+}  // namespace gemrec::embedding
+
+#endif  // GEMREC_EMBEDDING_SGD_H_

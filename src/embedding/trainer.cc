@@ -1,0 +1,174 @@
+#include "embedding/trainer.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace gemrec::embedding {
+
+TrainerOptions TrainerOptions::GemA() {
+  TrainerOptions o;
+  o.bidirectional = true;
+  o.sampler = NoiseSamplerKind::kAdaptive;
+  o.schedule = GraphSchedule::kProportionalToEdges;
+  return o;
+}
+
+TrainerOptions TrainerOptions::GemP() {
+  TrainerOptions o;
+  o.bidirectional = true;
+  o.sampler = NoiseSamplerKind::kDegree;
+  o.schedule = GraphSchedule::kProportionalToEdges;
+  return o;
+}
+
+TrainerOptions TrainerOptions::Pte() {
+  TrainerOptions o;
+  o.bidirectional = false;
+  o.sampler = NoiseSamplerKind::kDegree;
+  o.schedule = GraphSchedule::kUniform;
+  return o;
+}
+
+JointTrainer::JointTrainer(const graph::EbsnGraphs* graphs,
+                           TrainerOptions options)
+    : graphs_(graphs), options_(options), root_rng_(options.seed) {
+  GEMREC_CHECK(graphs != nullptr);
+  GEMREC_CHECK(options_.dim > 0 && options_.negatives_per_side > 0);
+  GEMREC_CHECK(options_.num_threads > 0);
+
+  store_ = std::make_unique<EmbeddingStore>(
+      options_.dim,
+      std::array<uint32_t, EmbeddingStore::kNumTypes>{
+          graphs->num_users, graphs->num_events, graphs->num_regions,
+          graphs->num_time_slots, graphs->num_words});
+  store_->InitGaussian(&root_rng_, options_.init_stddev);
+
+  switch (options_.sampler) {
+    case NoiseSamplerKind::kUniform:
+      noise_sampler_ = std::make_unique<UniformNoiseSampler>();
+      break;
+    case NoiseSamplerKind::kDegree:
+      noise_sampler_ = std::make_unique<DegreeNoiseSampler>();
+      break;
+    case NoiseSamplerKind::kAdaptive:
+      noise_sampler_ = std::make_unique<AdaptiveNoiseSampler>(
+          store_.get(), options_.lambda);
+      break;
+  }
+
+  // Algorithm 2 line 3: draw a graph with probability proportional to
+  // its edge count (or uniformly, for the PTE configuration). Graphs
+  // with no edges are excluded up front.
+  std::vector<double> weights;
+  for (const graph::BipartiteGraph* g : graphs->All()) {
+    if (g->num_edges() == 0) continue;
+    active_graphs_.push_back(g);
+    weights.push_back(options_.schedule ==
+                              GraphSchedule::kProportionalToEdges
+                          ? static_cast<double>(g->num_edges())
+                          : 1.0);
+  }
+  GEMREC_CHECK(!active_graphs_.empty()) << "all graphs are empty";
+  graph_sampler_.Build(weights);
+}
+
+void JointTrainer::WorkerRun(uint64_t steps, Rng* rng,
+                             SgdScratch* scratch) {
+  // Generous redraw budget: the adaptive sampler's top-ranked noise
+  // candidates are frequently true neighbors of the context node, and
+  // using a positive as a negative actively corrupts the model.
+  const uint32_t kMaxRedraw = 64;
+  std::vector<uint32_t> noise_b;
+  std::vector<uint32_t> noise_a;
+  noise_b.reserve(options_.negatives_per_side);
+  noise_a.reserve(options_.negatives_per_side);
+
+  for (uint64_t step = 0; step < steps; ++step) {
+    const graph::BipartiteGraph& g =
+        *active_graphs_[graph_sampler_.Sample(rng)];
+    const graph::Edge& edge = g.SampleEdge(rng);
+    const float* vi = store_->VectorOf(g.type_a(), edge.a);
+    const float* vj = store_->VectorOf(g.type_b(), edge.b);
+
+    // Side-B noise for context v_i.
+    noise_b.clear();
+    for (uint32_t m = 0; m < options_.negatives_per_side; ++m) {
+      uint32_t k =
+          noise_sampler_->SampleNoise(g, Side::kB, vi, rng);
+      if (options_.avoid_positive_noise) {
+        for (uint32_t attempt = 0;
+             attempt < kMaxRedraw && (k == edge.b || g.HasEdge(edge.a, k));
+             ++attempt) {
+          k = noise_sampler_->SampleNoise(g, Side::kB, vi, rng);
+        }
+      }
+      noise_b.push_back(k);
+    }
+
+    // Side-A noise for context v_j (bidirectional strategy only).
+    noise_a.clear();
+    if (options_.bidirectional) {
+      for (uint32_t m = 0; m < options_.negatives_per_side; ++m) {
+        uint32_t k =
+            noise_sampler_->SampleNoise(g, Side::kA, vj, rng);
+        if (options_.avoid_positive_noise) {
+          for (uint32_t attempt = 0;
+               attempt < kMaxRedraw &&
+               (k == edge.a || g.HasEdge(k, edge.b));
+               ++attempt) {
+            k = noise_sampler_->SampleNoise(g, Side::kA, vj, rng);
+          }
+        }
+        noise_a.push_back(k);
+      }
+    }
+
+    // Linear learning-rate decay over the configured horizon, as in
+    // LINE's edge-sampling SGD.
+    const uint64_t global_step =
+        global_step_.fetch_add(1, std::memory_order_relaxed);
+    const float progress =
+        options_.num_samples == 0
+            ? 0.0f
+            : static_cast<float>(global_step) /
+                  static_cast<float>(options_.num_samples);
+    const float rate =
+        options_.learning_rate *
+        std::max(options_.min_rate_fraction, 1.0f - progress);
+    SgdEdgeStep(store_.get(), g, edge, noise_b, noise_a, rate,
+                options_.bias, scratch);
+    noise_sampler_->OnGradientStep();
+  }
+}
+
+void JointTrainer::TrainChunk(uint64_t steps) {
+  if (steps == 0) return;
+  const uint32_t threads = options_.num_threads;
+  if (threads == 1) {
+    SgdScratch scratch(options_.dim);
+    WorkerRun(steps, &root_rng_, &scratch);
+  } else {
+    // Hogwild: workers update the shared store without locks, as in
+    // Recht et al. (the paper's asynchronous SGD choice).
+    std::vector<Rng> rngs;
+    rngs.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) rngs.push_back(root_rng_.Fork());
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const uint64_t per_thread = steps / threads;
+    const uint64_t remainder = steps % threads;
+    for (uint32_t t = 0; t < threads; ++t) {
+      const uint64_t n = per_thread + (t < remainder ? 1 : 0);
+      workers.emplace_back([this, n, rng = &rngs[t]] {
+        SgdScratch scratch(options_.dim);
+        WorkerRun(n, rng, &scratch);
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  steps_done_ += steps;
+}
+
+}  // namespace gemrec::embedding

@@ -1,0 +1,105 @@
+#ifndef GEMREC_EMBEDDING_TRAINER_H_
+#define GEMREC_EMBEDDING_TRAINER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "embedding/adaptive_sampler.h"
+#include "embedding/embedding_store.h"
+#include "embedding/noise_sampler.h"
+#include "embedding/sgd.h"
+#include "graph/graph_builder.h"
+
+namespace gemrec::embedding {
+
+/// Which noise distribution generates negative edges.
+enum class NoiseSamplerKind : uint8_t {
+  kUniform = 0,   // PCMF-style
+  kDegree = 1,    // d^0.75 (word2vec/LINE/PTE; the GEM-P variant)
+  kAdaptive = 2,  // the paper's rank-based adversarial sampler (GEM-A)
+};
+
+/// How Algorithm 2 draws a bipartite graph each step.
+enum class GraphSchedule : uint8_t {
+  /// P(G) ∝ |E_G| — the paper's proposal, which balances exploitation
+  /// across skewed edge distributions.
+  kProportionalToEdges = 0,
+  /// Every graph equally likely — the PTE baseline behaviour the paper
+  /// argues against.
+  kUniform = 1,
+};
+
+/// Hyper-parameters of joint training (§III, §V-A).
+struct TrainerOptions {
+  uint32_t dim = 60;                   // K (Table IV tunes it)
+  uint64_t num_samples = 2'000'000;    // N gradient steps
+  uint32_t negatives_per_side = 2;     // M
+  float learning_rate = 0.05f;         // α (decays linearly over N)
+  /// α_t = α · max(min_rate_fraction, 1 − t/num_samples), the linear
+  /// decay LINE/PTE use (the paper follows their edge-sampling SGD).
+  float min_rate_fraction = 1e-3f;
+  float init_stddev = 0.01f;           // Gaussian N(0, 0.01) init
+  /// Constant bias β of the link function σ(vᵀv' − bias); required for
+  /// stable training under the rectifier projection (see sgd.h).
+  float bias = 4.0f;
+  bool bidirectional = true;           // both-side negative sampling
+  NoiseSamplerKind sampler = NoiseSamplerKind::kAdaptive;
+  GraphSchedule schedule = GraphSchedule::kProportionalToEdges;
+  double lambda = 500.0;               // λ of Eqn 6 (Table V tunes it)
+  uint32_t num_threads = 1;            // hogwild workers (Fig. 6)
+  uint64_t seed = 7;
+  /// Redraw a noise node (up to 8 times) when it is a true neighbor of
+  /// the context node, so "negative" edges are actually unobserved.
+  bool avoid_positive_noise = true;
+
+  /// The published configurations.
+  static TrainerOptions GemA();  // bidirectional + adaptive + ∝|E|
+  static TrainerOptions GemP();  // bidirectional + degree    + ∝|E|
+  static TrainerOptions Pte();   // unidirectional + degree   + uniform
+};
+
+/// Joint trainer over the five EBSN bipartite graphs (Algorithm 2):
+/// each step draws a graph (by the configured schedule), a positive
+/// edge ∝ weight, 2M (or M, unidirectional) noise nodes, and applies
+/// the Eqn-5 update. Training can be run in increments so convergence
+/// studies (Tables II/III) can evaluate between chunks.
+class JointTrainer {
+ public:
+  /// `graphs` must outlive the trainer.
+  JointTrainer(const graph::EbsnGraphs* graphs, TrainerOptions options);
+
+  /// Runs `steps` gradient steps (split across options.num_threads).
+  void TrainChunk(uint64_t steps);
+
+  /// Runs options.num_samples steps.
+  void Train() { TrainChunk(options_.num_samples); }
+
+  const EmbeddingStore& store() const { return *store_; }
+  EmbeddingStore* mutable_store() { return store_.get(); }
+  const TrainerOptions& options() const { return options_; }
+  uint64_t steps_done() const { return steps_done_; }
+
+ private:
+  void WorkerRun(uint64_t steps, Rng* rng, SgdScratch* scratch);
+
+  const graph::EbsnGraphs* graphs_;
+  TrainerOptions options_;
+  std::unique_ptr<EmbeddingStore> store_;
+  std::unique_ptr<NoiseSampler> noise_sampler_;
+  AliasTable graph_sampler_;
+  std::vector<const graph::BipartiteGraph*> active_graphs_;
+  Rng root_rng_;
+  uint64_t steps_done_ = 0;
+  /// Shared step counter driving the learning-rate decay (threads
+  /// increment it relaxed; exactness is irrelevant for a schedule).
+  std::atomic<uint64_t> global_step_{0};
+};
+
+}  // namespace gemrec::embedding
+
+#endif  // GEMREC_EMBEDDING_TRAINER_H_

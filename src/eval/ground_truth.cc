@@ -1,0 +1,35 @@
+#include "eval/ground_truth.h"
+
+#include "graph/graph_builder.h"
+
+namespace gemrec::eval {
+
+std::vector<PartnerTriple> BuildPartnerGroundTruth(
+    const ebsn::Dataset& dataset, const ebsn::ChronologicalSplit& split) {
+  std::vector<PartnerTriple> triples;
+  for (ebsn::EventId x : split.test_events()) {
+    const auto& attendees = dataset.UsersOf(x);
+    for (size_t i = 0; i < attendees.size(); ++i) {
+      for (size_t j = i + 1; j < attendees.size(); ++j) {
+        const ebsn::UserId u = attendees[i];
+        const ebsn::UserId v = attendees[j];
+        if (!dataset.AreFriends(u, v)) continue;
+        triples.push_back(PartnerTriple{u, v, x});
+        triples.push_back(PartnerTriple{v, u, x});
+      }
+    }
+  }
+  return triples;
+}
+
+std::unordered_set<uint64_t> FriendshipsToRemove(
+    const std::vector<PartnerTriple>& triples) {
+  std::unordered_set<uint64_t> removed;
+  removed.reserve(triples.size());
+  for (const auto& t : triples) {
+    removed.insert(graph::PackUserPair(t.user, t.partner));
+  }
+  return removed;
+}
+
+}  // namespace gemrec::eval

@@ -1,0 +1,37 @@
+#ifndef GEMREC_EVAL_GROUND_TRUTH_H_
+#define GEMREC_EVAL_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "ebsn/dataset.h"
+#include "ebsn/split.h"
+#include "ebsn/types.h"
+
+namespace gemrec::eval {
+
+/// One ground-truth case of the joint task: user u and partner u'
+/// attended test event x together and are (or become) friends.
+struct PartnerTriple {
+  ebsn::UserId user = ebsn::kInvalidId;
+  ebsn::UserId partner = ebsn::kInvalidId;
+  ebsn::EventId event = ebsn::kInvalidId;
+};
+
+/// Builds the event-partner test set Y of §V-A: for each test event x,
+/// every ordered pair (u, u') of friends who both attend x yields a
+/// triple (u, u', x).
+std::vector<PartnerTriple> BuildPartnerGroundTruth(
+    const ebsn::Dataset& dataset, const ebsn::ChronologicalSplit& split);
+
+/// For scenario 2 ("partners are potential friends"), the ground-truth
+/// pairs' social links are removed from G_UU at training time. Returns
+/// the set of PackUserPair keys to pass to
+/// GraphBuilderOptions::removed_friendships.
+std::unordered_set<uint64_t> FriendshipsToRemove(
+    const std::vector<PartnerTriple>& triples);
+
+}  // namespace gemrec::eval
+
+#endif  // GEMREC_EVAL_GROUND_TRUTH_H_

@@ -1,0 +1,67 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gemrec::eval {
+
+double RankingReport::AccuracyAt(size_t n) const {
+  for (size_t i = 0; i < cutoffs.size(); ++i) {
+    if (cutoffs[i] == n) return accuracy[i];
+  }
+  GEMREC_CHECK(false) << "cutoff " << n << " was not evaluated";
+  return 0.0;
+}
+
+double RankingReport::NdcgAt(size_t n) const {
+  for (size_t i = 0; i < cutoffs.size(); ++i) {
+    if (cutoffs[i] == n) return ndcg[i];
+  }
+  GEMREC_CHECK(false) << "cutoff " << n << " was not evaluated";
+  return 0.0;
+}
+
+RankingAccumulator::RankingAccumulator(std::vector<size_t> cutoffs)
+    : cutoffs_(std::move(cutoffs)) {
+  GEMREC_CHECK(!cutoffs_.empty());
+}
+
+void RankingAccumulator::AddRank(size_t rank) {
+  GEMREC_CHECK(rank >= 1) << "ranks are 1-based";
+  ranks_.push_back(rank);
+}
+
+RankingReport RankingAccumulator::Report() const {
+  RankingReport report;
+  report.cutoffs = cutoffs_;
+  report.num_cases = ranks_.size();
+  report.accuracy.assign(cutoffs_.size(), 0.0);
+  report.ndcg.assign(cutoffs_.size(), 0.0);
+  if (ranks_.empty()) return report;
+
+  double reciprocal_sum = 0.0;
+  double rank_sum = 0.0;
+  for (size_t rank : ranks_) {
+    reciprocal_sum += 1.0 / static_cast<double>(rank);
+    rank_sum += static_cast<double>(rank);
+    for (size_t i = 0; i < cutoffs_.size(); ++i) {
+      if (rank <= cutoffs_[i]) {
+        report.accuracy[i] += 1.0;
+        // Binary relevance, single positive: DCG = 1/log2(1+rank) and
+        // the ideal DCG is 1, so NDCG = 1/log2(1+rank).
+        report.ndcg[i] += 1.0 / std::log2(1.0 + static_cast<double>(rank));
+      }
+    }
+  }
+  const double n = static_cast<double>(ranks_.size());
+  for (size_t i = 0; i < cutoffs_.size(); ++i) {
+    report.accuracy[i] /= n;
+    report.ndcg[i] /= n;
+  }
+  report.mrr = reciprocal_sum / n;
+  report.mean_rank = rank_sum / n;
+  return report;
+}
+
+}  // namespace gemrec::eval

@@ -1,0 +1,44 @@
+#ifndef GEMREC_EVAL_METRICS_H_
+#define GEMREC_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace gemrec::eval {
+
+/// Ranking metrics over a set of test cases where each case yields the
+/// 1-based rank of the single positive among its candidates (the
+/// paper's protocol). Beyond the paper's Accuracy@n (= hit ratio =
+/// recall@n with one relevant item) we report MRR and binary NDCG@n —
+/// standard in top-n recommendation evaluation.
+struct RankingReport {
+  std::vector<size_t> cutoffs;
+  std::vector<double> accuracy;  // Accuracy@n per cutoff (Eqn 9/10)
+  std::vector<double> ndcg;      // 1/log2(1+rank) when rank <= n
+  double mrr = 0.0;              // mean of 1/rank
+  double mean_rank = 0.0;
+  size_t num_cases = 0;
+
+  double AccuracyAt(size_t n) const;
+  double NdcgAt(size_t n) const;
+};
+
+/// Accumulates per-case ranks and produces a RankingReport.
+class RankingAccumulator {
+ public:
+  explicit RankingAccumulator(std::vector<size_t> cutoffs);
+
+  /// Records one test case whose positive landed at `rank` (1-based).
+  void AddRank(size_t rank);
+
+  RankingReport Report() const;
+  size_t num_cases() const { return ranks_.size(); }
+
+ private:
+  std::vector<size_t> cutoffs_;
+  std::vector<size_t> ranks_;
+};
+
+}  // namespace gemrec::eval
+
+#endif  // GEMREC_EVAL_METRICS_H_

@@ -1,0 +1,59 @@
+#include "eval/model_selection.h"
+
+#include "common/logging.h"
+#include "eval/protocol.h"
+#include "recommend/gem_model.h"
+
+namespace gemrec::eval {
+
+std::vector<embedding::TrainerOptions> DefaultGemGrid(
+    uint64_t num_samples) {
+  std::vector<embedding::TrainerOptions> grid;
+  for (uint32_t dim : {40u, 60u, 80u}) {
+    for (double lambda : {200.0, 500.0, 1000.0}) {
+      embedding::TrainerOptions options =
+          embedding::TrainerOptions::GemA();
+      options.dim = dim;
+      options.lambda = lambda;
+      options.num_samples = num_samples;
+      grid.push_back(options);
+    }
+  }
+  return grid;
+}
+
+GridSearchResult GridSearch(
+    const ebsn::Dataset& dataset, const ebsn::ChronologicalSplit& split,
+    const graph::EbsnGraphs& graphs,
+    const std::vector<embedding::TrainerOptions>& grid,
+    const GridSearchOptions& options) {
+  GEMREC_CHECK(!grid.empty()) << "empty hyper-parameter grid";
+  GridSearchResult result;
+  result.candidates.reserve(grid.size());
+
+  ProtocolOptions protocol;
+  protocol.target_split = ebsn::Split::kValidation;
+  protocol.cutoffs = {options.selection_cutoff};
+  protocol.max_cases = options.max_cases;
+  protocol.seed = options.eval_seed;
+
+  for (const auto& candidate_options : grid) {
+    embedding::JointTrainer trainer(&graphs, candidate_options);
+    trainer.Train();
+    recommend::GemModel model(&trainer.store(), "grid-candidate");
+    const auto report =
+        EvaluateColdStartEvents(model, dataset, split, protocol);
+    GridSearchCandidate candidate;
+    candidate.options = candidate_options;
+    candidate.validation_accuracy =
+        report.At(options.selection_cutoff);
+    result.candidates.push_back(candidate);
+    if (candidate.validation_accuracy >
+        result.candidates[result.best_index].validation_accuracy) {
+      result.best_index = result.candidates.size() - 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace gemrec::eval

@@ -1,0 +1,60 @@
+#ifndef GEMREC_EVAL_MODEL_SELECTION_H_
+#define GEMREC_EVAL_MODEL_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ebsn/dataset.h"
+#include "ebsn/split.h"
+#include "embedding/trainer.h"
+#include "graph/graph_builder.h"
+
+namespace gemrec::eval {
+
+/// Grid-search model selection on the *validation* split, as §V-A
+/// prescribes ("we use the conventional grid search algorithm to
+/// obtain the optimal hyper-parameter setup on the validation
+/// dataset"). Every candidate in the grid is a full TrainerOptions;
+/// each is trained from scratch and scored by validation Accuracy@n on
+/// the cold-start event task.
+struct GridSearchOptions {
+  /// Accuracy cutoff used as the selection criterion.
+  size_t selection_cutoff = 10;
+  /// Validation cases cap per candidate (0 = all).
+  size_t max_cases = 300;
+  uint64_t eval_seed = 99;
+};
+
+struct GridSearchCandidate {
+  embedding::TrainerOptions options;
+  double validation_accuracy = 0.0;
+};
+
+struct GridSearchResult {
+  /// All candidates with their scores, in input order.
+  std::vector<GridSearchCandidate> candidates;
+  /// Index of the winner in `candidates`.
+  size_t best_index = 0;
+
+  const embedding::TrainerOptions& best_options() const {
+    return candidates[best_index].options;
+  }
+};
+
+/// Builds the default grid the paper tunes over: K and λ around their
+/// published values (learning rate and M fixed at the published
+/// α = 0.05, M = 2). `num_samples` bounds per-candidate training.
+std::vector<embedding::TrainerOptions> DefaultGemGrid(
+    uint64_t num_samples);
+
+/// Trains every candidate and selects the best by validation accuracy.
+/// `graphs` must have been built from `split`'s training attendance.
+GridSearchResult GridSearch(
+    const ebsn::Dataset& dataset, const ebsn::ChronologicalSplit& split,
+    const graph::EbsnGraphs& graphs,
+    const std::vector<embedding::TrainerOptions>& grid,
+    const GridSearchOptions& options);
+
+}  // namespace gemrec::eval
+
+#endif  // GEMREC_EVAL_MODEL_SELECTION_H_

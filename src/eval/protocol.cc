@@ -1,0 +1,170 @@
+#include "eval/protocol.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gemrec::eval {
+namespace {
+
+/// Deterministically subsamples `cases` down to at most `max_cases`.
+template <typename T>
+std::vector<T> Subsample(std::vector<T> cases, size_t max_cases,
+                         Rng* rng) {
+  if (max_cases == 0 || cases.size() <= max_cases) return cases;
+  rng->Shuffle(&cases);
+  cases.resize(max_cases);
+  return cases;
+}
+
+AccuracyResult MakeResult(const RankingAccumulator& accumulator) {
+  const RankingReport report = accumulator.Report();
+  AccuracyResult result;
+  result.cutoffs = report.cutoffs;
+  result.accuracy = report.accuracy;
+  result.ndcg = report.ndcg;
+  result.mrr = report.mrr;
+  result.mean_rank = report.mean_rank;
+  result.num_cases = report.num_cases;
+  return result;
+}
+
+}  // namespace
+
+double AccuracyResult::At(size_t n) const {
+  for (size_t i = 0; i < cutoffs.size(); ++i) {
+    if (cutoffs[i] == n) return accuracy[i];
+  }
+  GEMREC_CHECK(false) << "cutoff " << n << " was not evaluated";
+  return 0.0;
+}
+
+double AccuracyResult::NdcgAt(size_t n) const {
+  for (size_t i = 0; i < cutoffs.size(); ++i) {
+    if (cutoffs[i] == n) return ndcg[i];
+  }
+  GEMREC_CHECK(false) << "cutoff " << n << " was not evaluated";
+  return 0.0;
+}
+
+AccuracyResult EvaluateColdStartEvents(
+    const recommend::RecModel& model, const ebsn::Dataset& dataset,
+    const ebsn::ChronologicalSplit& split,
+    const ProtocolOptions& options) {
+  GEMREC_CHECK(options.target_split != ebsn::Split::kTraining)
+      << "evaluating on the training split is meaningless";
+  Rng rng(options.seed);
+  std::vector<ebsn::Attendance> cases =
+      split.AttendancesIn(dataset, options.target_split);
+  cases = Subsample(std::move(cases), options.max_cases, &rng);
+
+  const auto& test_events =
+      options.target_split == ebsn::Split::kValidation
+          ? split.validation_events()
+          : split.test_events();
+  RankingAccumulator accumulator(options.cutoffs);
+
+  for (const auto& att : cases) {
+    const ebsn::UserId u = att.user;
+    const ebsn::EventId positive = att.event;
+    // Negatives: test events the user did not attend. When the test
+    // pool is smaller than requested, use every available negative.
+    const size_t want = options.event_negatives;
+    const float positive_score = model.ScoreUserEvent(u, positive);
+    size_t better = 0;
+    size_t drawn = 0;
+    if (test_events.size() <= want + 1) {
+      for (ebsn::EventId x : test_events) {
+        if (x == positive || dataset.Attends(u, x)) continue;
+        ++drawn;
+        if (model.ScoreUserEvent(u, x) > positive_score) ++better;
+      }
+    } else {
+      size_t attempts = 0;
+      while (drawn < want && attempts++ < want * 20) {
+        const ebsn::EventId x =
+            test_events[rng.UniformInt(test_events.size())];
+        if (x == positive || dataset.Attends(u, x)) continue;
+        ++drawn;
+        if (model.ScoreUserEvent(u, x) > positive_score) ++better;
+      }
+    }
+    accumulator.AddRank(better + 1);
+  }
+  return MakeResult(accumulator);
+}
+
+AccuracyResult EvaluateEventPartner(
+    const recommend::RecModel& model, const ebsn::Dataset& dataset,
+    const ebsn::ChronologicalSplit& split,
+    const std::vector<PartnerTriple>& ground_truth,
+    const ProtocolOptions& options) {
+  GEMREC_CHECK(options.target_split != ebsn::Split::kTraining)
+      << "evaluating on the training split is meaningless";
+  Rng rng(options.seed + 1);
+  std::vector<PartnerTriple> cases =
+      Subsample(ground_truth, options.max_cases, &rng);
+
+  const auto& test_events =
+      options.target_split == ebsn::Split::kValidation
+          ? split.validation_events()
+          : split.test_events();
+  const uint32_t num_users = dataset.num_users();
+  RankingAccumulator accumulator(options.cutoffs);
+
+  for (const auto& triple : cases) {
+    const float positive_score =
+        model.ScoreTriple(triple.user, triple.partner, triple.event);
+    size_t better = 0;
+
+    // Negative events: fix (u, u'), replace x. Drawn from test events
+    // neither user attends together (X_test \ (X_u ∩ X_u')).
+    {
+      size_t drawn = 0;
+      size_t attempts = 0;
+      const size_t want =
+          std::min(options.partner_task_event_negatives,
+                   test_events.size());
+      while (drawn < want && attempts++ < want * 20) {
+        const ebsn::EventId x =
+            test_events[rng.UniformInt(test_events.size())];
+        if (x == triple.event) continue;
+        if (dataset.Attends(triple.user, x) &&
+            dataset.Attends(triple.partner, x)) {
+          continue;
+        }
+        ++drawn;
+        if (model.ScoreTriple(triple.user, triple.partner, x) >
+            positive_score) {
+          ++better;
+        }
+      }
+    }
+
+    // Negative partners: fix (u, x), replace u'. Drawn from users not
+    // attending x (U \ U_x).
+    {
+      size_t drawn = 0;
+      size_t attempts = 0;
+      const size_t want =
+          std::min(options.partner_task_user_negatives,
+                   static_cast<size_t>(num_users));
+      while (drawn < want && attempts++ < want * 20) {
+        const ebsn::UserId v =
+            static_cast<ebsn::UserId>(rng.UniformInt(num_users));
+        if (v == triple.user || v == triple.partner) continue;
+        if (dataset.Attends(v, triple.event)) continue;
+        ++drawn;
+        if (model.ScoreTriple(triple.user, v, triple.event) >
+            positive_score) {
+          ++better;
+        }
+      }
+    }
+
+    accumulator.AddRank(better + 1);
+  }
+  return MakeResult(accumulator);
+}
+
+}  // namespace gemrec::eval

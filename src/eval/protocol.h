@@ -1,0 +1,69 @@
+#ifndef GEMREC_EVAL_PROTOCOL_H_
+#define GEMREC_EVAL_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ebsn/dataset.h"
+#include "ebsn/split.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "recommend/rec_model.h"
+
+namespace gemrec::eval {
+
+/// Accuracy@n values for a list of cutoffs, plus the auxiliary
+/// ranking metrics of eval/metrics.h (MRR, NDCG@n, mean rank).
+struct AccuracyResult {
+  std::vector<size_t> cutoffs;
+  std::vector<double> accuracy;  // parallel to cutoffs
+  std::vector<double> ndcg;      // parallel to cutoffs
+  double mrr = 0.0;
+  double mean_rank = 0.0;
+  size_t num_cases = 0;
+
+  double At(size_t n) const;
+  double NdcgAt(size_t n) const;
+};
+
+/// Protocol parameters shared by both tasks.
+struct ProtocolOptions {
+  std::vector<size_t> cutoffs = {1, 5, 10, 15, 20};
+  /// Cold-start event task: negatives per case (paper: 1000).
+  size_t event_negatives = 1000;
+  /// Event-partner task: negative events and negative partners per
+  /// case (paper: 500 + 500).
+  size_t partner_task_event_negatives = 500;
+  size_t partner_task_user_negatives = 500;
+  /// Deterministic subsample of test cases (0 = use all). Keeps bench
+  /// runtime bounded.
+  size_t max_cases = 0;
+  uint64_t seed = 99;
+  /// Which held-out split supplies the positive cases and the negative
+  /// pool: kTest for final numbers, kValidation for hyper-parameter
+  /// tuning (§V-A tunes on the validation set). kTraining is rejected.
+  ebsn::Split target_split = ebsn::Split::kTest;
+};
+
+/// Cold-start event recommendation protocol of §V-B: for each test
+/// attendance (u, x), rank x against `event_negatives` events drawn
+/// from X_test \ X_u; a hit at cutoff n means x ranks within the top n.
+AccuracyResult EvaluateColdStartEvents(
+    const recommend::RecModel& model, const ebsn::Dataset& dataset,
+    const ebsn::ChronologicalSplit& split, const ProtocolOptions& options);
+
+/// Joint event-partner protocol of §V-B: for each ground-truth triple
+/// (u, u', x), build 500 negative triples by replacing x with events
+/// from X_test \ (X_u ∩ X_u') and 500 by replacing u' with users from
+/// U \ U_x, then rank the positive triple among the 1001 by
+/// ScoreTriple.
+AccuracyResult EvaluateEventPartner(
+    const recommend::RecModel& model, const ebsn::Dataset& dataset,
+    const ebsn::ChronologicalSplit& split,
+    const std::vector<PartnerTriple>& ground_truth,
+    const ProtocolOptions& options);
+
+}  // namespace gemrec::eval
+
+#endif  // GEMREC_EVAL_PROTOCOL_H_

@@ -1,0 +1,52 @@
+#include "eval/report_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace gemrec::eval {
+namespace {
+
+/// Escapes a CSV field (labels may contain commas or quotes).
+std::string Escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string ResultsToCsv(const std::vector<LabeledResult>& results) {
+  std::string csv = "label,cutoff,accuracy,ndcg,mrr,mean_rank,cases\n";
+  char buffer[160];
+  for (const auto& labeled : results) {
+    const AccuracyResult& r = labeled.result;
+    for (size_t i = 0; i < r.cutoffs.size(); ++i) {
+      const double ndcg = i < r.ndcg.size() ? r.ndcg[i] : 0.0;
+      std::snprintf(buffer, sizeof(buffer),
+                    ",%zu,%.6f,%.6f,%.6f,%.3f,%zu\n", r.cutoffs[i],
+                    r.accuracy[i], ndcg, r.mrr, r.mean_rank,
+                    r.num_cases);
+      csv += Escape(labeled.label);
+      csv += buffer;
+    }
+  }
+  return csv;
+}
+
+Status WriteResultsCsv(const std::vector<LabeledResult>& results,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << ResultsToCsv(results);
+  if (!out.good()) return Status::IoError("short write: " + path);
+  return Status::Ok();
+}
+
+}  // namespace gemrec::eval

@@ -1,0 +1,30 @@
+#ifndef GEMREC_EVAL_REPORT_IO_H_
+#define GEMREC_EVAL_REPORT_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/protocol.h"
+
+namespace gemrec::eval {
+
+/// One labeled evaluation result (a model or a configuration).
+struct LabeledResult {
+  std::string label;
+  AccuracyResult result;
+};
+
+/// Renders results as CSV — one row per (label, cutoff) with accuracy,
+/// NDCG, MRR, mean rank and case count — ready for plotting the
+/// paper's figures from a reproduction run:
+///   label,cutoff,accuracy,ndcg,mrr,mean_rank,cases
+std::string ResultsToCsv(const std::vector<LabeledResult>& results);
+
+/// Writes ResultsToCsv(results) to a file.
+Status WriteResultsCsv(const std::vector<LabeledResult>& results,
+                       const std::string& path);
+
+}  // namespace gemrec::eval
+
+#endif  // GEMREC_EVAL_REPORT_IO_H_

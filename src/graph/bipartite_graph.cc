@@ -1,0 +1,97 @@
+#include "graph/bipartite_graph.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gemrec::graph {
+namespace {
+
+uint64_t EdgeKey(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+const char* NodeTypeName(NodeType type) {
+  switch (type) {
+    case NodeType::kUser:
+      return "user";
+    case NodeType::kEvent:
+      return "event";
+    case NodeType::kLocation:
+      return "location";
+    case NodeType::kTime:
+      return "time";
+    case NodeType::kWord:
+      return "word";
+  }
+  return "?";
+}
+
+BipartiteGraph::BipartiteGraph(NodeType type_a, uint32_t num_a,
+                               NodeType type_b, uint32_t num_b)
+    : type_a_(type_a),
+      type_b_(type_b),
+      num_a_(num_a),
+      num_b_(num_b),
+      degree_a_(num_a, 0.0),
+      degree_b_(num_b, 0.0) {}
+
+void BipartiteGraph::AddEdge(uint32_t a, uint32_t b, double weight) {
+  GEMREC_CHECK(a < num_a_ && b < num_b_)
+      << "edge (" << a << "," << b << ") out of range for "
+      << NodeTypeName(type_a_) << "-" << NodeTypeName(type_b_);
+  GEMREC_CHECK(weight > 0.0) << "edge weight must be positive";
+  edges_.push_back(Edge{a, b, weight});
+  degree_a_[a] += weight;
+  degree_b_[b] += weight;
+  total_weight_ += weight;
+  sealed_ = false;
+}
+
+void BipartiteGraph::Seal() {
+  if (sealed_) return;
+  std::vector<double> weights;
+  weights.reserve(edges_.size());
+  for (const auto& e : edges_) weights.push_back(e.weight);
+  edge_sampler_.Build(weights);
+
+  auto pow_degrees = [](const std::vector<double>& degrees) {
+    std::vector<double> out(degrees.size());
+    for (size_t i = 0; i < degrees.size(); ++i) {
+      out[i] = degrees[i] > 0.0 ? std::pow(degrees[i], 0.75) : 0.0;
+    }
+    return out;
+  };
+  noise_a_.Build(pow_degrees(degree_a_));
+  noise_b_.Build(pow_degrees(degree_b_));
+
+  edge_set_.clear();
+  edge_set_.reserve(edges_.size() * 2);
+  for (const auto& e : edges_) edge_set_.insert(EdgeKey(e.a, e.b));
+  sealed_ = true;
+}
+
+const Edge& BipartiteGraph::SampleEdge(Rng* rng) const {
+  GEMREC_DCHECK(sealed_);
+  GEMREC_CHECK(!edges_.empty()) << "sampling from an empty graph";
+  return edges_[edge_sampler_.Sample(rng)];
+}
+
+uint32_t BipartiteGraph::SampleNoiseB(Rng* rng) const {
+  GEMREC_DCHECK(sealed_);
+  return static_cast<uint32_t>(noise_b_.Sample(rng));
+}
+
+uint32_t BipartiteGraph::SampleNoiseA(Rng* rng) const {
+  GEMREC_DCHECK(sealed_);
+  return static_cast<uint32_t>(noise_a_.Sample(rng));
+}
+
+bool BipartiteGraph::HasEdge(uint32_t a, uint32_t b) const {
+  GEMREC_DCHECK(sealed_);
+  return edge_set_.count(EdgeKey(a, b)) != 0;
+}
+
+}  // namespace gemrec::graph

@@ -1,0 +1,101 @@
+#ifndef GEMREC_GRAPH_BIPARTITE_GRAPH_H_
+#define GEMREC_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/alias_table.h"
+#include "common/rng.h"
+
+namespace gemrec::graph {
+
+/// The node types of the EBSN heterogeneous graph (Definition 1).
+enum class NodeType : uint8_t {
+  kUser = 0,
+  kEvent = 1,
+  kLocation = 2,
+  kTime = 3,
+  kWord = 4,
+};
+
+const char* NodeTypeName(NodeType type);
+
+/// One weighted edge between side-A node `a` and side-B node `b`.
+struct Edge {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  double weight = 1.0;
+};
+
+/// A weighted bipartite graph G_AB = (V_A ∪ V_B, E_AB) between two node
+/// types, with the sampling machinery the trainer needs:
+///  * positive-edge draws with probability ∝ edge weight (edge
+///    sampling of Tang et al., adopted in §III-A so SGD gradients stay
+///    weight-free);
+///  * degree-based noise draws P_n(v) ∝ d_v^0.75 on either side;
+///  * O(1) membership tests so noise draws can avoid true neighbors.
+///
+/// The user-user social graph is represented as a bipartite graph with
+/// the same user set on both sides (each undirected friendship becomes
+/// one (a,b) edge plus its mirror (b,a)), exactly as the paper treats
+/// G_UU in joint training.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(NodeType type_a, uint32_t num_a, NodeType type_b,
+                 uint32_t num_b);
+
+  void AddEdge(uint32_t a, uint32_t b, double weight);
+
+  /// Builds the samplers; must be called once after all AddEdge calls
+  /// and before any sampling. Idempotent until new edges are added.
+  void Seal();
+
+  NodeType type_a() const { return type_a_; }
+  NodeType type_b() const { return type_b_; }
+  uint32_t num_a() const { return num_a_; }
+  uint32_t num_b() const { return num_b_; }
+  size_t num_edges() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+  bool sealed() const { return sealed_; }
+
+  /// Draws a positive edge with probability ∝ weight. Requires Seal().
+  const Edge& SampleEdge(Rng* rng) const;
+
+  /// Draws a noise node from side B (resp. A) from P_n(v) ∝ d_v^0.75,
+  /// where d_v is the weighted degree. Requires Seal() and at least one
+  /// edge.
+  uint32_t SampleNoiseB(Rng* rng) const;
+  uint32_t SampleNoiseA(Rng* rng) const;
+
+  /// True if the edge (a, b) exists.
+  bool HasEdge(uint32_t a, uint32_t b) const;
+
+  /// Weighted degrees.
+  double DegreeA(uint32_t a) const { return degree_a_[a]; }
+  double DegreeB(uint32_t b) const { return degree_b_[b]; }
+
+  /// Sum of all edge weights.
+  double total_weight() const { return total_weight_; }
+
+ private:
+  NodeType type_a_;
+  NodeType type_b_;
+  uint32_t num_a_;
+  uint32_t num_b_;
+  std::vector<Edge> edges_;
+  std::vector<double> degree_a_;
+  std::vector<double> degree_b_;
+  double total_weight_ = 0.0;
+
+  bool sealed_ = false;
+  AliasTable edge_sampler_;
+  AliasTable noise_a_;
+  AliasTable noise_b_;
+  std::unordered_set<uint64_t> edge_set_;
+};
+
+}  // namespace gemrec::graph
+
+#endif  // GEMREC_GRAPH_BIPARTITE_GRAPH_H_

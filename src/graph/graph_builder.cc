@@ -1,0 +1,129 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "ebsn/tfidf.h"
+#include "ebsn/time_slots.h"
+
+namespace gemrec::graph {
+
+std::vector<const BipartiteGraph*> EbsnGraphs::All() const {
+  return {user_event.get(), event_time.get(), event_word.get(),
+          event_location.get(), user_user.get()};
+}
+
+uint64_t PackUserPair(ebsn::UserId a, ebsn::UserId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+Result<EbsnGraphs> BuildEbsnGraphs(const ebsn::Dataset& dataset,
+                                   const ebsn::ChronologicalSplit& split,
+                                   const GraphBuilderOptions& options) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition(
+        "dataset must be finalized before building graphs");
+  }
+  EbsnGraphs graphs;
+  graphs.num_users = dataset.num_users();
+  graphs.num_events = dataset.num_events();
+  graphs.num_time_slots = ebsn::kNumTimeSlots;
+  graphs.num_words = dataset.vocab_size();
+
+  // ---- G_UX: training attendance only. -----------------------------
+  graphs.user_event = std::make_unique<BipartiteGraph>(
+      NodeType::kUser, graphs.num_users, NodeType::kEvent,
+      graphs.num_events);
+  for (const auto& att : dataset.attendances()) {
+    if (split.SplitOf(att.event) != options.user_event_split) continue;
+    graphs.user_event->AddEdge(att.user, att.event, 1.0);
+  }
+
+  // ---- G_UU: mirrored undirected edges, weight 1 + common events
+  //      (common events counted over the training split only, so no
+  //      test signal leaks through edge weights). ---------------------
+  graphs.user_user = std::make_unique<BipartiteGraph>(
+      NodeType::kUser, graphs.num_users, NodeType::kUser,
+      graphs.num_users);
+  for (const auto& f : dataset.friendships()) {
+    if (options.removed_friendships.count(PackUserPair(f.a, f.b)) != 0) {
+      continue;
+    }
+    size_t common = 0;
+    {
+      const auto& xa = dataset.EventsOf(f.a);
+      const auto& xb = dataset.EventsOf(f.b);
+      auto ia = xa.begin();
+      auto ib = xb.begin();
+      while (ia != xa.end() && ib != xb.end()) {
+        if (*ia < *ib) {
+          ++ia;
+        } else if (*ib < *ia) {
+          ++ib;
+        } else {
+          if (split.IsTraining(*ia)) ++common;
+          ++ia;
+          ++ib;
+        }
+      }
+    }
+    const double w = 1.0 + static_cast<double>(common);
+    graphs.user_user->AddEdge(f.a, f.b, w);
+    graphs.user_user->AddEdge(f.b, f.a, w);
+  }
+
+  // ---- G_XL: DBSCAN regions over event coordinates. -----------------
+  std::vector<ebsn::GeoPoint> coords;
+  coords.reserve(graphs.num_events);
+  for (uint32_t x = 0; x < graphs.num_events; ++x) {
+    coords.push_back(dataset.EventLocation(x));
+  }
+  const ebsn::DbscanResult regions =
+      ebsn::RunDbscan(coords, options.dbscan);
+  graphs.num_regions = std::max(1u, regions.num_regions);
+  graphs.event_region = regions.label;
+  graphs.event_location = std::make_unique<BipartiteGraph>(
+      NodeType::kEvent, graphs.num_events, NodeType::kLocation,
+      graphs.num_regions);
+  for (uint32_t x = 0; x < graphs.num_events; ++x) {
+    graphs.event_location->AddEdge(x, regions.label[x], 1.0);
+  }
+
+  // ---- G_XT: three slots per event. ----------------------------------
+  graphs.event_time = std::make_unique<BipartiteGraph>(
+      NodeType::kEvent, graphs.num_events, NodeType::kTime,
+      graphs.num_time_slots);
+  for (uint32_t x = 0; x < graphs.num_events; ++x) {
+    for (ebsn::TimeSlotId slot :
+         ebsn::TimeSlotsFor(dataset.event(x).start_time)) {
+      graphs.event_time->AddEdge(x, slot, 1.0);
+    }
+  }
+
+  // ---- G_XC: TF-IDF weighted content words. --------------------------
+  std::vector<std::vector<ebsn::WordId>> documents(graphs.num_events);
+  for (uint32_t x = 0; x < graphs.num_events; ++x) {
+    documents[x] = dataset.event(x).words;
+  }
+  const auto tfidf = ebsn::ComputeTfIdf(documents, dataset.vocab_size());
+  graphs.event_word = std::make_unique<BipartiteGraph>(
+      NodeType::kEvent, graphs.num_events, NodeType::kWord,
+      graphs.num_words);
+  for (uint32_t x = 0; x < graphs.num_events; ++x) {
+    for (const auto& ww : tfidf[x]) {
+      if (ww.weight > 0.0) {
+        graphs.event_word->AddEdge(x, ww.word, ww.weight);
+      }
+    }
+  }
+
+  graphs.user_event->Seal();
+  graphs.user_user->Seal();
+  graphs.event_location->Seal();
+  graphs.event_time->Seal();
+  graphs.event_word->Seal();
+  return graphs;
+}
+
+}  // namespace gemrec::graph

@@ -1,0 +1,71 @@
+#ifndef GEMREC_GRAPH_GRAPH_BUILDER_H_
+#define GEMREC_GRAPH_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "ebsn/dataset.h"
+#include "ebsn/dbscan.h"
+#include "ebsn/split.h"
+#include "graph/bipartite_graph.h"
+
+namespace gemrec::graph {
+
+/// The five bipartite graphs of Figure 2 built from a training split,
+/// plus the region mapping produced by DBSCAN.
+struct EbsnGraphs {
+  std::unique_ptr<BipartiteGraph> user_event;     // G_UX
+  std::unique_ptr<BipartiteGraph> event_location; // G_XL
+  std::unique_ptr<BipartiteGraph> event_time;     // G_XT
+  std::unique_ptr<BipartiteGraph> event_word;     // G_XC
+  std::unique_ptr<BipartiteGraph> user_user;      // G_UU
+
+  uint32_t num_users = 0;
+  uint32_t num_events = 0;
+  uint32_t num_regions = 0;
+  uint32_t num_time_slots = 0;
+  uint32_t num_words = 0;
+
+  /// RegionId per event (DBSCAN label).
+  std::vector<ebsn::RegionId> event_region;
+
+  /// The five graphs in Algorithm-2 order.
+  std::vector<const BipartiteGraph*> All() const;
+};
+
+/// Options controlling graph construction.
+struct GraphBuilderOptions {
+  ebsn::DbscanParams dbscan;
+  /// User-event edges are restricted to events in this split (§V-A:
+  /// test/validation attendance is withheld so those events stay
+  /// cold-start). Event-location/time/word edges always cover all
+  /// events — cold-start vectors are learned from those.
+  ebsn::Split user_event_split = ebsn::Split::kTraining;
+  /// Friend pairs (a<b packed as a<<32|b) to omit from G_UU. Used for
+  /// event-partner scenario 2, where the ground-truth pairs' social
+  /// links are removed at training time.
+  std::unordered_set<uint64_t> removed_friendships;
+};
+
+/// Packs a user pair for GraphBuilderOptions::removed_friendships.
+uint64_t PackUserPair(ebsn::UserId a, ebsn::UserId b);
+
+/// Builds the five bipartite graphs from a dataset + chronological
+/// split:
+///  * G_UX: weight 1 per (training) attendance (no ratings on EBSNs);
+///  * G_UU: weight 1 + |X_u ∩ X_u'| over training events (Definition 2);
+///  * G_XL: DBSCAN regions, weight 1 (Definition 4);
+///  * G_XT: three slots per event across the 33-slot vocabulary,
+///    weight 1 (Definition 5);
+///  * G_XC: TF-IDF weights over the event documents (Definition 6).
+/// All graphs come back sealed.
+Result<EbsnGraphs> BuildEbsnGraphs(const ebsn::Dataset& dataset,
+                                   const ebsn::ChronologicalSplit& split,
+                                   const GraphBuilderOptions& options);
+
+}  // namespace gemrec::graph
+
+#endif  // GEMREC_GRAPH_GRAPH_BUILDER_H_

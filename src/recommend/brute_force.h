@@ -1,0 +1,30 @@
+#ifndef GEMREC_RECOMMEND_BRUTE_FORCE_H_
+#define GEMREC_RECOMMEND_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ebsn/types.h"
+#include "recommend/ta_search.h"
+
+namespace gemrec::recommend {
+
+/// The naive GEM-BF retrieval: scores every candidate point by the full
+/// inner product q·p and keeps the top n. Exact by construction; used
+/// as the baseline of Table VI and as the oracle in TA tests.
+class BruteForceSearch {
+ public:
+  /// `space` must outlive the searcher.
+  explicit BruteForceSearch(const TransformedSpace* space);
+
+  std::vector<SearchHit> Search(const std::vector<float>& query, size_t n,
+                                ebsn::UserId exclude_partner,
+                                SearchStats* stats = nullptr) const;
+
+ private:
+  const TransformedSpace* space_;
+};
+
+}  // namespace gemrec::recommend
+
+#endif  // GEMREC_RECOMMEND_BRUTE_FORCE_H_

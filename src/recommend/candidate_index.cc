@@ -1,0 +1,49 @@
+#include "recommend/candidate_index.h"
+
+#include "common/top_k.h"
+#include "common/vec_math.h"
+
+namespace gemrec::recommend {
+
+std::vector<std::vector<ebsn::EventId>> TopKEventsPerUser(
+    const GemModel& model, const std::vector<ebsn::EventId>& events,
+    uint32_t num_users, uint32_t top_k) {
+  const uint32_t dim = model.dim();
+  std::vector<std::vector<ebsn::EventId>> result(num_users);
+  for (uint32_t u = 0; u < num_users; ++u) {
+    const float* uv = model.UserVec(u);
+    TopK<ebsn::EventId> best(top_k);
+    for (ebsn::EventId x : events) {
+      best.Push(x, Dot(uv, model.EventVec(x), dim));
+    }
+    auto entries = best.TakeSortedDescending();
+    result[u].reserve(entries.size());
+    for (const auto& e : entries) result[u].push_back(e.id);
+  }
+  return result;
+}
+
+std::vector<CandidatePair> BuildCandidatePairs(
+    const GemModel& model, const std::vector<ebsn::EventId>& events,
+    uint32_t num_users, uint32_t top_k) {
+  std::vector<CandidatePair> pairs;
+  if (top_k == 0 || top_k >= events.size()) {
+    pairs.reserve(static_cast<size_t>(num_users) * events.size());
+    for (uint32_t u = 0; u < num_users; ++u) {
+      for (ebsn::EventId x : events) {
+        pairs.push_back(CandidatePair{x, u});
+      }
+    }
+    return pairs;
+  }
+  const auto per_user = TopKEventsPerUser(model, events, num_users, top_k);
+  pairs.reserve(static_cast<size_t>(num_users) * top_k);
+  for (uint32_t u = 0; u < num_users; ++u) {
+    for (ebsn::EventId x : per_user[u]) {
+      pairs.push_back(CandidatePair{x, u});
+    }
+  }
+  return pairs;
+}
+
+}  // namespace gemrec::recommend

@@ -1,0 +1,35 @@
+#ifndef GEMREC_RECOMMEND_CANDIDATE_INDEX_H_
+#define GEMREC_RECOMMEND_CANDIDATE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ebsn/types.h"
+#include "recommend/gem_model.h"
+#include "recommend/space_transform.h"
+
+namespace gemrec::recommend {
+
+/// The paper's search-space pruning (§IV): instead of all |U| · |X|
+/// event-partner pairs, keep only each potential partner's top-k
+/// events (by the partner's own preference ū'ᵀx̄) — a partner tends to
+/// refuse invitations to events she is not interested in, so pairs
+/// outside her top-k are unpromising. The candidate count drops from
+/// O(|U|·|X|) to O(|U|·k).
+///
+/// `events` is the recommendable (e.g. upcoming/test) event set;
+/// `top_k == 0` or `top_k >= events.size()` keeps every pair (the
+/// unpruned space of Table VI).
+std::vector<CandidatePair> BuildCandidatePairs(
+    const GemModel& model, const std::vector<ebsn::EventId>& events,
+    uint32_t num_users, uint32_t top_k);
+
+/// Per-partner top-k events, exposed separately for tests and for the
+/// pruning study (Fig. 7).
+std::vector<std::vector<ebsn::EventId>> TopKEventsPerUser(
+    const GemModel& model, const std::vector<ebsn::EventId>& events,
+    uint32_t num_users, uint32_t top_k);
+
+}  // namespace gemrec::recommend
+
+#endif  // GEMREC_RECOMMEND_CANDIDATE_INDEX_H_

@@ -1,0 +1,81 @@
+#include "recommend/explain.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/vec_math.h"
+#include "ebsn/time_slots.h"
+#include "graph/bipartite_graph.h"
+
+namespace gemrec::recommend {
+
+std::string Explanation::ToString() const {
+  std::ostringstream os;
+  os << "score " << total_score << " = user-event "
+     << user_event_affinity << " + partner-event "
+     << partner_event_affinity << " + social " << social_affinity
+     << "\n";
+  os << "partner: "
+     << (already_friends ? "existing friend" : "potential friend")
+     << "\n";
+  os << "strongest content matches:";
+  for (const auto& [word, affinity] : top_words) {
+    os << " word#" << word << "(" << affinity << ")";
+  }
+  os << "\nregion affinity: " << region_affinity << "\ntime:";
+  for (const auto& [slot, affinity] : time_affinities) {
+    os << " " << ebsn::TimeSlotName(slot) << "(" << affinity << ")";
+  }
+  return os.str();
+}
+
+Explanation ExplainRecommendation(const GemModel& model,
+                                  const ebsn::Dataset& dataset,
+                                  const graph::EbsnGraphs& graphs,
+                                  ebsn::UserId user, ebsn::EventId event,
+                                  ebsn::UserId partner,
+                                  size_t top_words_limit) {
+  Explanation explanation;
+  explanation.user_event_affinity = model.ScoreUserEvent(user, event);
+  explanation.partner_event_affinity =
+      model.ScoreUserEvent(partner, event);
+  explanation.social_affinity = model.ScoreUserUser(user, partner);
+  explanation.total_score = explanation.user_event_affinity +
+                            explanation.partner_event_affinity +
+                            explanation.social_affinity;
+  explanation.already_friends = dataset.AreFriends(user, partner);
+
+  const uint32_t dim = model.dim();
+  const float* uv = model.UserVec(user);
+  const auto& store = model.store();
+
+  // Content: affinity of the user to each distinct word of the event.
+  std::set<ebsn::WordId> words(dataset.event(event).words.begin(),
+                               dataset.event(event).words.end());
+  for (ebsn::WordId w : words) {
+    const float affinity =
+        Dot(uv, store.VectorOf(graph::NodeType::kWord, w), dim);
+    explanation.top_words.emplace_back(w, affinity);
+  }
+  std::sort(explanation.top_words.begin(), explanation.top_words.end(),
+            [](const auto& a, const auto& b) {
+              return a.second > b.second;
+            });
+  if (explanation.top_words.size() > top_words_limit) {
+    explanation.top_words.resize(top_words_limit);
+  }
+
+  // Context: region and time-slot affinities.
+  const ebsn::RegionId region = graphs.event_region[event];
+  explanation.region_affinity =
+      Dot(uv, store.VectorOf(graph::NodeType::kLocation, region), dim);
+  for (ebsn::TimeSlotId slot :
+       ebsn::TimeSlotsFor(dataset.event(event).start_time)) {
+    explanation.time_affinities.emplace_back(
+        slot, Dot(uv, store.VectorOf(graph::NodeType::kTime, slot), dim));
+  }
+  return explanation;
+}
+
+}  // namespace gemrec::recommend

@@ -1,0 +1,54 @@
+#ifndef GEMREC_RECOMMEND_EXPLAIN_H_
+#define GEMREC_RECOMMEND_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "ebsn/dataset.h"
+#include "graph/graph_builder.h"
+#include "recommend/gem_model.h"
+
+namespace gemrec::recommend {
+
+/// Why a (event, partner) pair was recommended to a user: the Eqn-8
+/// score split into its three pairwise terms, plus the content and
+/// context signals that tie the user to the event in the shared latent
+/// space. Production recommenders need this for UI surfaces ("because
+/// you like jazz and Alex is free on Saturdays") and for debugging.
+struct Explanation {
+  float total_score = 0.0f;
+  /// ūᵀx̄ — the target user's own preference for the event.
+  float user_event_affinity = 0.0f;
+  /// ū'ᵀx̄ — the partner's preference for the event.
+  float partner_event_affinity = 0.0f;
+  /// ūᵀū' — the social proximity of user and partner.
+  float social_affinity = 0.0f;
+
+  /// The event's content words with the highest latent affinity to the
+  /// user (word id + affinity), strongest first.
+  std::vector<std::pair<ebsn::WordId, float>> top_words;
+  /// Latent affinity between the user and the event's region node.
+  float region_affinity = 0.0f;
+  /// Latent affinity between the user and each of the event's three
+  /// time slots (slot id + affinity).
+  std::vector<std::pair<ebsn::TimeSlotId, float>> time_affinities;
+  /// True if the pair are already friends in the dataset.
+  bool already_friends = false;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Builds the explanation for recommending (event, partner) to `user`.
+/// `graphs` supplies the event->region mapping; `top_words_limit`
+/// bounds the content list.
+Explanation ExplainRecommendation(const GemModel& model,
+                                  const ebsn::Dataset& dataset,
+                                  const graph::EbsnGraphs& graphs,
+                                  ebsn::UserId user, ebsn::EventId event,
+                                  ebsn::UserId partner,
+                                  size_t top_words_limit = 5);
+
+}  // namespace gemrec::recommend
+
+#endif  // GEMREC_RECOMMEND_EXPLAIN_H_

@@ -1,0 +1,50 @@
+#include "recommend/filters.h"
+
+#include "ebsn/time_slots.h"
+
+namespace gemrec::recommend {
+
+bool EventFilter::Matches(const ebsn::Dataset& dataset,
+                          ebsn::EventId event) const {
+  const ebsn::Event& e = dataset.event(event);
+  if (not_before != 0 && e.start_time < not_before) return false;
+  if (not_after != 0 && e.start_time > not_after) return false;
+
+  if (weekpart != Weekpart::kAny) {
+    const bool weekend = ebsn::IsWeekend(e.start_time);
+    if (weekpart == Weekpart::kWeekendOnly && !weekend) return false;
+    if (weekpart == Weekpart::kWeekdayOnly && weekend) return false;
+  }
+
+  if (radius_km > 0.0) {
+    if (ebsn::HaversineKm(dataset.EventLocation(event), center) >
+        radius_km) {
+      return false;
+    }
+  }
+
+  if (hour_from != hour_to) {
+    const uint32_t hour = ebsn::HourOfDay(e.start_time);
+    if (hour_from < hour_to) {
+      if (hour < hour_from || hour >= hour_to) return false;
+    } else {
+      // Wrapping window, e.g. [22, 4).
+      if (hour < hour_from && hour >= hour_to) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<ebsn::EventId> FilterEvents(
+    const ebsn::Dataset& dataset,
+    const std::vector<ebsn::EventId>& events,
+    const EventFilter& filter) {
+  std::vector<ebsn::EventId> out;
+  out.reserve(events.size());
+  for (ebsn::EventId x : events) {
+    if (filter.Matches(dataset, x)) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace gemrec::recommend

@@ -1,0 +1,46 @@
+#ifndef GEMREC_RECOMMEND_FILTERS_H_
+#define GEMREC_RECOMMEND_FILTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ebsn/dataset.h"
+#include "ebsn/types.h"
+
+namespace gemrec::ebsn {
+struct GeoPoint;
+}  // namespace gemrec::ebsn
+
+namespace gemrec::recommend {
+
+/// Declarative event filter for carving the recommendable pool before
+/// it is handed to EventPartnerRecommender (e.g. "weekend events within
+/// 5 km starting in the next two weeks"). Unset fields do not filter.
+struct EventFilter {
+  /// Keep events with start_time in [not_before, not_after] (0 = off).
+  int64_t not_before = 0;
+  int64_t not_after = 0;
+  /// 0 = any, 1 = weekdays only, 2 = weekends only.
+  enum class Weekpart : uint8_t { kAny = 0, kWeekdayOnly, kWeekendOnly };
+  Weekpart weekpart = Weekpart::kAny;
+  /// Keep events whose venue lies within `radius_km` of `center`
+  /// (radius_km <= 0 = off).
+  ebsn::GeoPoint center;
+  double radius_km = 0.0;
+  /// Keep events whose start hour lies in [hour_from, hour_to)
+  /// (wrapping across midnight allowed; equal bounds = off).
+  uint32_t hour_from = 0;
+  uint32_t hour_to = 0;
+
+  /// True if the event passes every active criterion.
+  bool Matches(const ebsn::Dataset& dataset, ebsn::EventId event) const;
+};
+
+/// Applies the filter to a candidate event list.
+std::vector<ebsn::EventId> FilterEvents(
+    const ebsn::Dataset& dataset,
+    const std::vector<ebsn::EventId>& events, const EventFilter& filter);
+
+}  // namespace gemrec::recommend
+
+#endif  // GEMREC_RECOMMEND_FILTERS_H_

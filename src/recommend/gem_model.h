@@ -1,0 +1,46 @@
+#ifndef GEMREC_RECOMMEND_GEM_MODEL_H_
+#define GEMREC_RECOMMEND_GEM_MODEL_H_
+
+#include <string>
+
+#include "common/vec_math.h"
+#include "embedding/embedding_store.h"
+#include "recommend/rec_model.h"
+
+namespace gemrec::recommend {
+
+/// RecModel adapter over a trained GEM embedding store: all pairwise
+/// scores are inner products in the shared latent space.
+class GemModel : public RecModel {
+ public:
+  /// `store` must outlive the model.
+  GemModel(const embedding::EmbeddingStore* store, std::string name)
+      : store_(store), name_(std::move(name)) {}
+
+  std::string Name() const override { return name_; }
+
+  float ScoreUserEvent(ebsn::UserId u, ebsn::EventId x) const override {
+    return Dot(UserVec(u), EventVec(x), store_->dim());
+  }
+
+  float ScoreUserUser(ebsn::UserId u, ebsn::UserId v) const override {
+    return Dot(UserVec(u), UserVec(v), store_->dim());
+  }
+
+  const float* UserVec(ebsn::UserId u) const {
+    return store_->VectorOf(graph::NodeType::kUser, u);
+  }
+  const float* EventVec(ebsn::EventId x) const {
+    return store_->VectorOf(graph::NodeType::kEvent, x);
+  }
+  uint32_t dim() const { return store_->dim(); }
+  const embedding::EmbeddingStore& store() const { return *store_; }
+
+ private:
+  const embedding::EmbeddingStore* store_;
+  std::string name_;
+};
+
+}  // namespace gemrec::recommend
+
+#endif  // GEMREC_RECOMMEND_GEM_MODEL_H_

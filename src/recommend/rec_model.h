@@ -1,0 +1,41 @@
+#ifndef GEMREC_RECOMMEND_REC_MODEL_H_
+#define GEMREC_RECOMMEND_REC_MODEL_H_
+
+#include <string>
+
+#include "ebsn/types.h"
+
+namespace gemrec::recommend {
+
+/// Common scoring interface every recommender (GEM and all baselines)
+/// implements, so the evaluation protocols of §V-B run unchanged over
+/// all of them.
+///
+/// The joint event-partner score follows the paper's pairwise
+/// decomposition (Eqn 8): the triple (u, u', x) decomposes into
+/// (u,x) + (u',x) + (u,u'). Models with a genuinely different joint
+/// scoring rule (e.g. CFAPR-E) override ScoreTriple.
+class RecModel {
+ public:
+  virtual ~RecModel() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Preference of user u for event x (higher = better). Only the
+  /// ranking matters.
+  virtual float ScoreUserEvent(ebsn::UserId u, ebsn::EventId x) const = 0;
+
+  /// Social affinity between users u and v.
+  virtual float ScoreUserUser(ebsn::UserId u, ebsn::UserId v) const = 0;
+
+  /// Joint score of recommending (partner, event) to user u.
+  virtual float ScoreTriple(ebsn::UserId u, ebsn::UserId partner,
+                            ebsn::EventId x) const {
+    return ScoreUserEvent(u, x) + ScoreUserEvent(partner, x) +
+           ScoreUserUser(u, partner);
+  }
+};
+
+}  // namespace gemrec::recommend
+
+#endif  // GEMREC_RECOMMEND_REC_MODEL_H_

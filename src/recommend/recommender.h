@@ -1,0 +1,70 @@
+#ifndef GEMREC_RECOMMEND_RECOMMENDER_H_
+#define GEMREC_RECOMMEND_RECOMMENDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ebsn/types.h"
+#include "recommend/brute_force.h"
+#include "recommend/candidate_index.h"
+#include "recommend/gem_model.h"
+#include "recommend/space_transform.h"
+#include "recommend/ta_search.h"
+
+namespace gemrec::recommend {
+
+/// Retrieval backend of the online stage.
+enum class SearchBackend : uint8_t {
+  kThresholdAlgorithm = 0,  // GEM-TA
+  kBruteForce = 1,          // GEM-BF
+};
+
+struct RecommenderOptions {
+  /// Pruning level: keep only each partner's top-k events (0 = keep
+  /// every event-partner pair).
+  uint32_t top_k_events_per_partner = 0;
+  SearchBackend backend = SearchBackend::kThresholdAlgorithm;
+};
+
+/// A joint event-partner recommendation.
+struct Recommendation {
+  ebsn::EventId event = ebsn::kInvalidId;
+  ebsn::UserId partner = ebsn::kInvalidId;
+  float score = 0.0f;
+};
+
+/// End-to-end online recommender (§IV): offline it prunes the
+/// candidate space, transforms every surviving event-partner pair into
+/// the (2K+1)-dim space and builds the retrieval index; online,
+/// Recommend(u, n) returns the top-n pairs under Eqn 8.
+class EventPartnerRecommender {
+ public:
+  /// `model` must outlive the recommender. `events` is the
+  /// recommendable event set (e.g. upcoming events); candidate partners
+  /// are all users.
+  EventPartnerRecommender(const GemModel* model,
+                          const std::vector<ebsn::EventId>& events,
+                          uint32_t num_users,
+                          const RecommenderOptions& options);
+
+  /// Top-n event-partner pairs for user u (never pairing u with
+  /// herself). `stats` optionally receives search instrumentation.
+  std::vector<Recommendation> Recommend(ebsn::UserId u, size_t n,
+                                        SearchStats* stats = nullptr) const;
+
+  size_t num_candidate_pairs() const { return space_->num_points(); }
+  const TransformedSpace& space() const { return *space_; }
+  const RecommenderOptions& options() const { return options_; }
+
+ private:
+  const GemModel* model_;
+  RecommenderOptions options_;
+  std::unique_ptr<TransformedSpace> space_;
+  std::unique_ptr<TaSearch> ta_;
+  std::unique_ptr<BruteForceSearch> brute_force_;
+};
+
+}  // namespace gemrec::recommend
+
+#endif  // GEMREC_RECOMMEND_RECOMMENDER_H_

@@ -1,0 +1,36 @@
+#include "recommend/space_transform.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/vec_math.h"
+
+namespace gemrec::recommend {
+
+TransformedSpace::TransformedSpace(const GemModel& model,
+                                   std::vector<CandidatePair> pairs)
+    : point_dim_(2 * model.dim() + 1),
+      pairs_(std::move(pairs)),
+      points_(pairs_.size(), 2 * model.dim() + 1) {
+  const uint32_t k = model.dim();
+  for (size_t i = 0; i < pairs_.size(); ++i) {
+    const float* x = model.EventVec(pairs_[i].event);
+    const float* u = model.UserVec(pairs_[i].partner);
+    float* p = points_.Row(i);
+    std::memcpy(p, x, k * sizeof(float));
+    std::memcpy(p + k, u, k * sizeof(float));
+    p[2 * k] = Dot(u, x, k);
+  }
+}
+
+void TransformedSpace::QueryVector(const GemModel& model, ebsn::UserId u,
+                                   std::vector<float>* out) const {
+  const uint32_t k = model.dim();
+  out->resize(point_dim_);
+  const float* uv = model.UserVec(u);
+  std::memcpy(out->data(), uv, k * sizeof(float));
+  std::memcpy(out->data() + k, uv, k * sizeof(float));
+  (*out)[2 * k] = 1.0f;
+}
+
+}  // namespace gemrec::recommend

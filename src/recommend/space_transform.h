@@ -1,0 +1,56 @@
+#ifndef GEMREC_RECOMMEND_SPACE_TRANSFORM_H_
+#define GEMREC_RECOMMEND_SPACE_TRANSFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "ebsn/types.h"
+#include "recommend/gem_model.h"
+
+namespace gemrec::recommend {
+
+/// One candidate event-partner pair.
+struct CandidatePair {
+  ebsn::EventId event = ebsn::kInvalidId;
+  ebsn::UserId partner = ebsn::kInvalidId;
+};
+
+/// The paper's space transformation (§IV): every event-partner pair
+/// (x, u') maps to the point
+///     p_{xu'} = (x̄, ū', ū'ᵀx̄)                     ∈ R^{2K+1}
+/// and a query user u maps to
+///     q_u = (ū, ū, 1)                              ∈ R^{2K+1}
+/// so the joint score of Eqn 8,
+///     ūᵀx̄ + ū'ᵀx̄ + ūᵀū',
+/// becomes the plain inner product q_uᵀ p_{xu'} — which standard
+/// top-n dot-product retrieval (TA) can process.
+///
+/// Points are materialized offline, as in the paper (space cost
+/// O(#pairs · K)).
+class TransformedSpace {
+ public:
+  /// Materializes the points for the given candidate pairs.
+  TransformedSpace(const GemModel& model,
+                   std::vector<CandidatePair> pairs);
+
+  uint32_t point_dim() const { return point_dim_; }  // 2K+1
+  size_t num_points() const { return pairs_.size(); }
+  const std::vector<CandidatePair>& pairs() const { return pairs_; }
+  const CandidatePair& pair(size_t i) const { return pairs_[i]; }
+
+  const float* Point(size_t i) const { return points_.Row(i); }
+
+  /// Fills `out` (size 2K+1) with the query point q_u.
+  void QueryVector(const GemModel& model, ebsn::UserId u,
+                   std::vector<float>* out) const;
+
+ private:
+  uint32_t point_dim_;
+  std::vector<CandidatePair> pairs_;
+  Matrix points_;
+};
+
+}  // namespace gemrec::recommend
+
+#endif  // GEMREC_RECOMMEND_SPACE_TRANSFORM_H_

@@ -1,0 +1,234 @@
+#include "recommend/ta_search.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/top_k.h"
+#include "common/vec_math.h"
+
+namespace gemrec::recommend {
+
+TaSearch::TaSearch(const TransformedSpace* space) : space_(space) {
+  GEMREC_CHECK(space != nullptr);
+  GEMREC_CHECK(space->point_dim() % 2 == 1);
+  latent_dim_ = (space->point_dim() - 1) / 2;
+  const size_t n = space_->num_points();
+
+  std::unordered_map<ebsn::EventId, uint32_t> event_index;
+  std::unordered_map<ebsn::UserId, uint32_t> partner_index;
+  for (size_t i = 0; i < n; ++i) {
+    const CandidatePair& pair = space_->pair(i);
+    auto [eit, einserted] = event_index.try_emplace(
+        pair.event, static_cast<uint32_t>(events_.size()));
+    if (einserted) {
+      events_.push_back(pair.event);
+      event_pairs_.emplace_back();
+    }
+    event_pairs_[eit->second].push_back(static_cast<uint32_t>(i));
+
+    auto [pit, pinserted] = partner_index.try_emplace(
+        pair.partner, static_cast<uint32_t>(partners_.size()));
+    if (pinserted) {
+      partners_.push_back(pair.partner);
+      partner_pairs_.emplace_back();
+    }
+    partner_pairs_[pit->second].push_back(static_cast<uint32_t>(i));
+  }
+
+  c_sorted_.resize(n);
+  std::iota(c_sorted_.begin(), c_sorted_.end(), 0);
+  const uint32_t c_dim = 2 * latent_dim_;
+  std::stable_sort(c_sorted_.begin(), c_sorted_.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return space_->Point(a)[c_dim] >
+                            space_->Point(b)[c_dim];
+                   });
+}
+
+std::vector<SearchHit> TaSearch::Search(const std::vector<float>& query,
+                                        size_t n,
+                                        ebsn::UserId exclude_partner,
+                                        SearchStats* stats) const {
+  GEMREC_CHECK(query.size() == space_->point_dim());
+  const size_t num_points = space_->num_points();
+  SearchStats local_stats;
+  std::vector<SearchHit> out;
+
+  auto finish = [&]() {
+    local_stats.examined_fraction =
+        num_points == 0 ? 0.0
+                        : static_cast<double>(local_stats.points_examined) /
+                              static_cast<double>(num_points);
+    if (stats != nullptr) *stats = local_stats;
+  };
+
+  if (num_points == 0 || n == 0) {
+    finish();
+    return out;
+  }
+
+  const uint32_t k = latent_dim_;
+  const uint32_t c_dim = 2 * k;
+  const float c_weight = query[c_dim];
+
+  // Per-group aggregate components: A over the event block, B over the
+  // partner block. Computed from any representative pair of the group
+  // (those coordinates are identical across the group by construction).
+  std::vector<float> event_component(events_.size());
+  for (size_t e = 0; e < events_.size(); ++e) {
+    const float* p = space_->Point(event_pairs_[e].front());
+    event_component[e] = Dot(query.data(), p, k);
+  }
+  std::vector<float> partner_component(partners_.size());
+  for (size_t u = 0; u < partners_.size(); ++u) {
+    const float* p = space_->Point(partner_pairs_[u].front());
+    partner_component[u] = Dot(query.data() + k, p + k, k);
+  }
+  auto pair_score = [&](uint32_t id, uint32_t event_idx,
+                        uint32_t partner_idx) {
+    return event_component[event_idx] + partner_component[partner_idx] +
+           c_weight * space_->Point(id)[c_dim];
+  };
+
+  // Query-time orderings of the A and B lists.
+  std::vector<uint32_t> event_order(events_.size());
+  std::iota(event_order.begin(), event_order.end(), 0);
+  std::sort(event_order.begin(), event_order.end(),
+            [&](uint32_t a, uint32_t b) {
+              return event_component[a] > event_component[b];
+            });
+  std::vector<uint32_t> partner_order(partners_.size());
+  std::iota(partner_order.begin(), partner_order.end(), 0);
+  std::sort(partner_order.begin(), partner_order.end(),
+            [&](uint32_t a, uint32_t b) {
+              return partner_component[a] > partner_component[b];
+            });
+
+  // Inverse maps so a pair's components are O(1) during random access.
+  std::vector<uint32_t> pair_event_idx(num_points);
+  for (size_t e = 0; e < events_.size(); ++e) {
+    for (uint32_t id : event_pairs_[e]) {
+      pair_event_idx[id] = static_cast<uint32_t>(e);
+    }
+  }
+  std::vector<uint32_t> pair_partner_idx(num_points);
+  for (size_t u = 0; u < partners_.size(); ++u) {
+    for (uint32_t id : partner_pairs_[u]) {
+      pair_partner_idx[id] = static_cast<uint32_t>(u);
+    }
+  }
+
+  size_t results_possible = 0;
+  for (size_t i = 0; i < num_points; ++i) {
+    if (space_->pair(i).partner != exclude_partner) ++results_possible;
+  }
+  const size_t want = std::min(n, results_possible);
+  if (want == 0) {
+    finish();
+    return out;
+  }
+
+  TopK<uint32_t> heap(n);
+  std::vector<uint8_t> seen(num_points, 0);
+
+  auto examine = [&](uint32_t id) {
+    if (seen[id] != 0) return;
+    seen[id] = 1;
+    ++local_stats.points_examined;
+    if (space_->pair(id).partner == exclude_partner) return;
+    heap.Push(id,
+              pair_score(id, pair_event_idx[id], pair_partner_idx[id]));
+  };
+
+  // Three-list TA with best-first scheduling: cursors into the A-, B-
+  // and C-ordered enumerations of pairs; the unseen-pair bound is
+  // A_next + B_next + C_next.
+  size_t a_group = 0;      // index into event_order
+  size_t a_offset = 0;     // within the group's pair list
+  size_t b_group = 0;
+  size_t b_offset = 0;
+  size_t c_cursor = 0;
+
+  auto a_head = [&]() {
+    return a_group < event_order.size()
+               ? event_component[event_order[a_group]]
+               : 0.0f;
+  };
+  auto b_head = [&]() {
+    return b_group < partner_order.size()
+               ? partner_component[partner_order[b_group]]
+               : 0.0f;
+  };
+  auto c_head = [&]() {
+    return c_cursor < num_points
+               ? c_weight * space_->Point(c_sorted_[c_cursor])[c_dim]
+               : 0.0f;
+  };
+
+  while (true) {
+    const float ha = a_head();
+    const float hb = b_head();
+    const float hc = c_head();
+    if (heap.size() >= want &&
+        heap.Threshold() >= ha + hb + hc) {
+      break;
+    }
+    if (a_group >= event_order.size() &&
+        b_group >= partner_order.size() && c_cursor >= num_points) {
+      break;  // everything consumed
+    }
+    // Best-first: advance the list with the largest head.
+    if (ha >= hb && ha >= hc && a_group < event_order.size()) {
+      const auto& pairs = event_pairs_[event_order[a_group]];
+      examine(pairs[a_offset]);
+      ++local_stats.sorted_accesses;
+      if (++a_offset >= pairs.size()) {
+        a_offset = 0;
+        ++a_group;
+      }
+    } else if (hb >= hc && b_group < partner_order.size()) {
+      const auto& pairs = partner_pairs_[partner_order[b_group]];
+      examine(pairs[b_offset]);
+      ++local_stats.sorted_accesses;
+      if (++b_offset >= pairs.size()) {
+        b_offset = 0;
+        ++b_group;
+      }
+    } else if (c_cursor < num_points) {
+      examine(c_sorted_[c_cursor]);
+      ++local_stats.sorted_accesses;
+      ++c_cursor;
+    } else {
+      // Preferred list exhausted; fall back to any remaining one.
+      if (a_group < event_order.size()) {
+        const auto& pairs = event_pairs_[event_order[a_group]];
+        examine(pairs[a_offset]);
+        ++local_stats.sorted_accesses;
+        if (++a_offset >= pairs.size()) {
+          a_offset = 0;
+          ++a_group;
+        }
+      } else if (b_group < partner_order.size()) {
+        const auto& pairs = partner_pairs_[partner_order[b_group]];
+        examine(pairs[b_offset]);
+        ++local_stats.sorted_accesses;
+        if (++b_offset >= pairs.size()) {
+          b_offset = 0;
+          ++b_group;
+        }
+      }
+    }
+  }
+
+  auto entries = heap.TakeSortedDescending();
+  out.reserve(entries.size());
+  for (const auto& e : entries) {
+    out.push_back(SearchHit{e.score, e.id, space_->pair(e.id)});
+  }
+  finish();
+  return out;
+}
+
+}  // namespace gemrec::recommend

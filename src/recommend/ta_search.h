@@ -1,0 +1,79 @@
+#ifndef GEMREC_RECOMMEND_TA_SEARCH_H_
+#define GEMREC_RECOMMEND_TA_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ebsn/types.h"
+#include "recommend/space_transform.h"
+
+namespace gemrec::recommend {
+
+/// One retrieved event-partner pair.
+struct SearchHit {
+  float score = 0.0f;
+  uint32_t point_index = 0;
+  CandidatePair pair;
+};
+
+/// Instrumentation of a top-n query.
+struct SearchStats {
+  /// Distinct points fully scored (random accesses).
+  size_t points_examined = 0;
+  /// Total sorted-list positions consumed.
+  size_t sorted_accesses = 0;
+  /// points_examined / num_points.
+  double examined_fraction = 0.0;
+};
+
+/// Fagin's Threshold Algorithm over the transformed event-partner
+/// space (§IV: "the TA-based algorithm has the nice property of
+/// returning top-n recommendations by examining the minimum number of
+/// event-partner pairs"), in the aggregate-list form the paper's cited
+/// LCARS retrieval [Yin et al., KDD'13] uses.
+///
+/// For a query q_u = (ū, ū, 1), a pair point p_{xu'} = (x̄, ū', ū'ᵀx̄)
+/// scores q·p = A(x) + B(u') + C(x, u') with three monotone components
+///   A(x)  = ūᵀx̄        (depends on the event only),
+///   B(u') = ūᵀū'        (depends on the partner only),
+///   C     = ū'ᵀx̄        (materialized offline as the pair's last
+///                         coordinate).
+/// TA runs over three sorted lists — events by A (query time), partners
+/// by B (query time), pairs by C (precomputed) — with the standard
+/// stopping threshold A_next + B_next + C_next. This is exact: every
+/// unseen pair is bounded above by the threshold. The aggregate form
+/// prunes where a coordinate-per-list TA cannot: each event coordinate
+/// value repeats once per partner, so per-coordinate thresholds decay
+/// ~|U| times slower than the aggregate ones.
+///
+/// Correctness requires nonnegative query coordinates, which the
+/// ReLU-projected embeddings (plus the constant 1) guarantee.
+class TaSearch {
+ public:
+  /// `space` must outlive the searcher. Preprocessing groups pairs by
+  /// event and by partner and sorts pairs by C (O(n log n)).
+  explicit TaSearch(const TransformedSpace* space);
+
+  /// Returns the top-n pairs by q·p, excluding pairs whose partner is
+  /// `exclude_partner` (a user cannot be her own partner). Exact: the
+  /// result equals brute force up to ties.
+  std::vector<SearchHit> Search(const std::vector<float>& query, size_t n,
+                                ebsn::UserId exclude_partner,
+                                SearchStats* stats = nullptr) const;
+
+ private:
+  const TransformedSpace* space_;
+  uint32_t latent_dim_;  // K (point_dim == 2K + 1)
+
+  /// Distinct event/partner ids with their pair index lists.
+  std::vector<ebsn::EventId> events_;
+  std::vector<std::vector<uint32_t>> event_pairs_;
+  std::vector<ebsn::UserId> partners_;
+  std::vector<std::vector<uint32_t>> partner_pairs_;
+  /// Pair indices sorted by the C coordinate, descending.
+  std::vector<uint32_t> c_sorted_;
+};
+
+}  // namespace gemrec::recommend
+
+#endif  // GEMREC_RECOMMEND_TA_SEARCH_H_

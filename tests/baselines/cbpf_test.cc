@@ -1,0 +1,90 @@
+#include "baselines/cbpf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.h"
+
+namespace gemrec::baselines {
+namespace {
+
+class CbpfTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    city_ = new testing::SmallCity(testing::MakeSmallCity());
+    CbpfOptions options;
+    options.dim = 12;
+    options.num_epochs = 5;
+    model_ = new CbpfModel(city_->dataset(), *city_->split,
+                           *city_->graphs, options);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete city_;
+    model_ = nullptr;
+    city_ = nullptr;
+  }
+  static testing::SmallCity* city_;
+  static CbpfModel* model_;
+};
+
+testing::SmallCity* CbpfTest::city_ = nullptr;
+CbpfModel* CbpfTest::model_ = nullptr;
+
+TEST_F(CbpfTest, NameIsCbpf) { EXPECT_EQ(model_->Name(), "CBPF"); }
+
+TEST_F(CbpfTest, ScoresAreFiniteAndNonnegative) {
+  // θ and the averaged auxiliary factors are nonnegative, so Poisson
+  // rates (scores) must be nonnegative.
+  for (uint32_t u = 0; u < 15; ++u) {
+    for (uint32_t x = 0; x < 15; ++x) {
+      const float s = model_->ScoreUserEvent(u, x);
+      EXPECT_TRUE(std::isfinite(s));
+      EXPECT_GE(s, 0.0f);
+    }
+  }
+}
+
+TEST_F(CbpfTest, ColdStartEventsGetScores) {
+  // Test events have no training attendance yet must be scorable via
+  // their auxiliary (content/location/time) factors.
+  const auto& test_events = city_->split->test_events();
+  ASSERT_FALSE(test_events.empty());
+  float total = 0.0f;
+  for (ebsn::EventId x : test_events) {
+    total += model_->ScoreUserEvent(0, x);
+  }
+  EXPECT_GT(total, 0.0f);
+}
+
+TEST_F(CbpfTest, AttendedTrainingEventsScoreAboveUnattendedOnAverage) {
+  const auto& dataset = city_->dataset();
+  double positive = 0.0;
+  size_t np = 0;
+  double negative = 0.0;
+  size_t nn = 0;
+  Rng rng(7);
+  for (const auto& att : dataset.attendances()) {
+    if (!city_->split->IsTraining(att.event)) continue;
+    positive += model_->ScoreUserEvent(att.user, att.event);
+    ++np;
+    const auto& train = city_->split->training_events();
+    const ebsn::EventId x = train[rng.UniformInt(train.size())];
+    if (!dataset.Attends(att.user, x)) {
+      negative += model_->ScoreUserEvent(att.user, x);
+      ++nn;
+    }
+  }
+  ASSERT_GT(np, 0u);
+  ASSERT_GT(nn, 0u);
+  EXPECT_GT(positive / np, negative / nn);
+}
+
+TEST_F(CbpfTest, UserUserAffinityIsSymmetricDot) {
+  EXPECT_FLOAT_EQ(model_->ScoreUserUser(1, 2),
+                  model_->ScoreUserUser(2, 1));
+}
+
+}  // namespace
+}  // namespace gemrec::baselines

@@ -1,0 +1,106 @@
+#include "baselines/cfapr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.h"
+#include "embedding/trainer.h"
+
+namespace gemrec::baselines {
+namespace {
+
+class CfaprTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    city_ = new testing::SmallCity(testing::MakeSmallCity());
+    auto options = embedding::TrainerOptions::GemA();
+    options.dim = 12;
+    options.num_samples = 50000;
+    trainer_ = new embedding::JointTrainer(city_->graphs.get(), options);
+    trainer_->Train();
+    gem_ = new recommend::GemModel(&trainer_->store(), "GEM-A");
+    model_ = new CfaprEModel(city_->dataset(), *city_->split, *city_->graphs, gem_);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete gem_;
+    delete trainer_;
+    delete city_;
+    model_ = nullptr;
+    gem_ = nullptr;
+    trainer_ = nullptr;
+    city_ = nullptr;
+  }
+  static testing::SmallCity* city_;
+  static embedding::JointTrainer* trainer_;
+  static recommend::GemModel* gem_;
+  static CfaprEModel* model_;
+};
+
+testing::SmallCity* CfaprTest::city_ = nullptr;
+embedding::JointTrainer* CfaprTest::trainer_ = nullptr;
+recommend::GemModel* CfaprTest::gem_ = nullptr;
+CfaprEModel* CfaprTest::model_ = nullptr;
+
+TEST_F(CfaprTest, NameIsCfaprE) { EXPECT_EQ(model_->Name(), "CFAPR-E"); }
+
+TEST_F(CfaprTest, EventScoresDelegateToGem) {
+  for (uint32_t u = 0; u < 10; ++u) {
+    for (uint32_t x = 0; x < 10; ++x) {
+      EXPECT_FLOAT_EQ(model_->ScoreUserEvent(u, x),
+                      gem_->ScoreUserEvent(u, x));
+    }
+  }
+}
+
+TEST_F(CfaprTest, NonHistoricalPartnersScoreZero) {
+  // Find a pair with no friendship at all — they cannot be historical
+  // partners.
+  const auto& dataset = city_->dataset();
+  for (ebsn::UserId u = 0; u < 20; ++u) {
+    for (ebsn::UserId v = 0; v < 20; ++v) {
+      if (u == v || dataset.AreFriends(u, v)) continue;
+      EXPECT_EQ(model_->ScoreUserUser(u, v), 0.0f);
+    }
+  }
+}
+
+TEST_F(CfaprTest, HistoricalPartnersScorePositive) {
+  // Find friends who co-attended a training event.
+  const auto& dataset = city_->dataset();
+  bool found = false;
+  for (ebsn::EventId x : city_->split->training_events()) {
+    const auto& users = dataset.UsersOf(x);
+    for (size_t i = 0; i < users.size() && !found; ++i) {
+      for (size_t j = i + 1; j < users.size(); ++j) {
+        if (dataset.AreFriends(users[i], users[j])) {
+          EXPECT_GT(model_->ScoreUserUser(users[i], users[j]), 0.0f);
+          EXPECT_GT(model_->ScoreUserUser(users[j], users[i]), 0.0f);
+          found = true;
+          break;
+        }
+      }
+    }
+    if (found) break;
+  }
+  EXPECT_TRUE(found) << "fixture lacks historical partners";
+}
+
+TEST_F(CfaprTest, AffinityIsBoundedByOne) {
+  for (ebsn::UserId u = 0; u < city_->dataset().num_users(); ++u) {
+    for (ebsn::UserId v : city_->dataset().FriendsOf(u)) {
+      const float s = model_->ScoreUserUser(u, v);
+      EXPECT_GE(s, 0.0f);
+      EXPECT_LT(s, 1.0f);
+    }
+  }
+}
+
+TEST_F(CfaprTest, SomeUsersHaveHistory) {
+  EXPECT_GT(model_->users_with_history(), 0u);
+  EXPECT_LE(model_->users_with_history(), city_->dataset().num_users());
+}
+
+}  // namespace
+}  // namespace gemrec::baselines

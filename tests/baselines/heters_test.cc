@@ -1,0 +1,124 @@
+#include "baselines/heters.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.h"
+
+namespace gemrec::baselines {
+namespace {
+
+class HetersTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    city_ = new testing::SmallCity(testing::MakeSmallCity(444));
+    model_ = new HetersModel(city_->dataset(), *city_->graphs, {});
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete city_;
+    model_ = nullptr;
+    city_ = nullptr;
+  }
+  static testing::SmallCity* city_;
+  static HetersModel* model_;
+};
+
+testing::SmallCity* HetersTest::city_ = nullptr;
+HetersModel* HetersTest::model_ = nullptr;
+
+TEST_F(HetersTest, WalkIsAProbabilityDistribution) {
+  const auto walk = model_->WalkFrom(3);
+  ASSERT_EQ(walk.size(), model_->num_nodes());
+  double total = 0.0;
+  for (float p : walk) {
+    EXPECT_GE(p, 0.0f);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-3);
+}
+
+TEST_F(HetersTest, SourceUserRetainsLargeMass) {
+  const auto walk = model_->WalkFrom(5);
+  // The restart keeps the source among the highest-probability nodes.
+  float source_mass = model_->ScoreUserUser(5, 5);
+  (void)source_mass;
+  float max_mass = 0.0f;
+  for (float p : walk) max_mass = std::max(max_mass, p);
+  EXPECT_NEAR(walk[5], max_mass, 1e-6f);
+}
+
+TEST_F(HetersTest, AttendedTrainingEventsOutscoreRandomOnes) {
+  const auto& dataset = city_->dataset();
+  double positive = 0.0;
+  size_t np = 0;
+  double random = 0.0;
+  size_t nr = 0;
+  Rng rng(3);
+  const auto& train = city_->split->training_events();
+  for (ebsn::UserId u = 0; u < 30; ++u) {
+    for (ebsn::EventId x : dataset.EventsOf(u)) {
+      if (!city_->split->IsTraining(x)) continue;
+      positive += model_->ScoreUserEvent(u, x);
+      ++np;
+    }
+    for (int i = 0; i < 5; ++i) {
+      random += model_->ScoreUserEvent(
+          u, train[rng.UniformInt(train.size())]);
+      ++nr;
+    }
+  }
+  ASSERT_GT(np, 0u);
+  EXPECT_GT(positive / np, random / nr);
+}
+
+TEST_F(HetersTest, ColdEventsAreReachableThroughContent) {
+  // Test events have no attendance edges, yet the walk reaches them
+  // via shared words/regions/slots.
+  float total = 0.0f;
+  for (ebsn::EventId x : city_->split->test_events()) {
+    total += model_->ScoreUserEvent(7, x);
+  }
+  EXPECT_GT(total, 0.0f);
+}
+
+TEST_F(HetersTest, FriendsOutscoreStrangersOnAverage) {
+  const auto& dataset = city_->dataset();
+  double friends = 0.0;
+  size_t nf = 0;
+  double strangers = 0.0;
+  size_t ns = 0;
+  for (ebsn::UserId u = 0; u < 25; ++u) {
+    for (ebsn::UserId v : dataset.FriendsOf(u)) {
+      friends += model_->ScoreUserUser(u, v);
+      ++nf;
+    }
+    for (ebsn::UserId v = 0; v < dataset.num_users(); v += 37) {
+      if (v == u || dataset.AreFriends(u, v)) continue;
+      strangers += model_->ScoreUserUser(u, v);
+      ++ns;
+    }
+  }
+  ASSERT_GT(nf, 0u);
+  ASSERT_GT(ns, 0u);
+  EXPECT_GT(friends / nf, strangers / ns);
+}
+
+TEST_F(HetersTest, WalkIsDeterministic) {
+  const auto a = model_->WalkFrom(11);
+  const auto b = model_->WalkFrom(11);
+  EXPECT_EQ(a, b);
+}
+
+TEST(HetersOptionsDeathTest, BadRestartRejected) {
+  auto city = testing::MakeSmallCity(445);
+  HetersOptions options;
+  options.restart = 0.0;
+  EXPECT_DEATH(HetersModel(city.dataset(), *city.graphs, options),
+               "restart");
+}
+
+}  // namespace
+}  // namespace gemrec::baselines

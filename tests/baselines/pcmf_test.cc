@@ -1,0 +1,82 @@
+#include "baselines/pcmf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.h"
+
+namespace gemrec::baselines {
+namespace {
+
+class PcmfTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    city_ = new testing::SmallCity(testing::MakeSmallCity());
+    PcmfOptions options;
+    options.dim = 12;
+    options.num_samples = 60000;
+    model_ = new PcmfModel(*city_->graphs, options);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete city_;
+    model_ = nullptr;
+    city_ = nullptr;
+  }
+  static testing::SmallCity* city_;
+  static PcmfModel* model_;
+};
+
+testing::SmallCity* PcmfTest::city_ = nullptr;
+PcmfModel* PcmfTest::model_ = nullptr;
+
+TEST_F(PcmfTest, NameIsPcmf) { EXPECT_EQ(model_->Name(), "PCMF"); }
+
+TEST_F(PcmfTest, ScoresAreFinite) {
+  for (uint32_t u = 0; u < 20; ++u) {
+    for (uint32_t x = 0; x < 20; ++x) {
+      EXPECT_TRUE(std::isfinite(model_->ScoreUserEvent(u, x)));
+    }
+    EXPECT_TRUE(std::isfinite(model_->ScoreUserUser(u, (u + 1) % 20)));
+  }
+}
+
+TEST_F(PcmfTest, TrainingAttendedEventsScoreAboveRandomPairs) {
+  const auto& dataset = city_->dataset();
+  double positive = 0.0;
+  double random = 0.0;
+  size_t n = 0;
+  Rng rng(5);
+  for (const auto& att : dataset.attendances()) {
+    if (!city_->split->IsTraining(att.event)) continue;
+    positive += model_->ScoreUserEvent(att.user, att.event);
+    random += model_->ScoreUserEvent(
+        static_cast<ebsn::UserId>(rng.UniformInt(dataset.num_users())),
+        static_cast<ebsn::EventId>(
+            city_->split->training_events()[rng.UniformInt(
+                city_->split->training_events().size())]));
+    ++n;
+  }
+  ASSERT_GT(n, 0u);
+  EXPECT_GT(positive / n, random / n);
+}
+
+TEST_F(PcmfTest, TripleScoreUsesPairwiseDecomposition) {
+  const float expected = model_->ScoreUserEvent(0, 1) +
+                         model_->ScoreUserEvent(2, 1) +
+                         model_->ScoreUserUser(0, 2);
+  EXPECT_FLOAT_EQ(model_->ScoreTriple(0, 2, 1), expected);
+}
+
+TEST(PcmfUnitTest, TrainsOnTinyGraphWithoutCrash) {
+  auto city = testing::MakeSmallCity(123);
+  PcmfOptions options;
+  options.dim = 4;
+  options.num_samples = 1000;
+  PcmfModel model(*city.graphs, options);
+  EXPECT_TRUE(std::isfinite(model.ScoreUserEvent(0, 0)));
+}
+
+}  // namespace
+}  // namespace gemrec::baselines

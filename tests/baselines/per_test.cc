@@ -1,0 +1,120 @@
+#include "baselines/per.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.h"
+
+namespace gemrec::baselines {
+namespace {
+
+class PerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    city_ = new testing::SmallCity(testing::MakeSmallCity());
+    PerOptions options;
+    options.num_bpr_steps = 20000;
+    model_ = new PerModel(city_->dataset(), *city_->split,
+                          *city_->graphs, options);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete city_;
+    model_ = nullptr;
+    city_ = nullptr;
+  }
+  static testing::SmallCity* city_;
+  static PerModel* model_;
+};
+
+testing::SmallCity* PerTest::city_ = nullptr;
+PerModel* PerTest::model_ = nullptr;
+
+TEST_F(PerTest, NameIsPer) { EXPECT_EQ(model_->Name(), "PER"); }
+
+TEST_F(PerTest, FeaturesAreBoundedAndFinite) {
+  for (uint32_t u = 0; u < 10; ++u) {
+    for (uint32_t x = 0; x < 20; ++x) {
+      const auto f = model_->Features(u, x);
+      for (size_t i = 0; i < PerModel::kNumFeatures; ++i) {
+        EXPECT_TRUE(std::isfinite(f[i])) << "feature " << i;
+        EXPECT_GE(f[i], 0.0f) << "feature " << i;
+      }
+      // Region fraction, slot overlap and cosine are <= 1 by
+      // construction.
+      EXPECT_LE(f[0], 1.0f);
+      EXPECT_LE(f[2], 1.0f + 1e-5f);
+      EXPECT_LE(f[3], 1.0f);
+    }
+  }
+}
+
+TEST_F(PerTest, CollaborativeFeaturesVanishOnColdStartEvents) {
+  // Test events carry no training attendance: the U→U→X and U→X→U→X
+  // meta paths must contribute nothing.
+  for (ebsn::EventId x : city_->split->test_events()) {
+    const auto f = model_->Features(3, x);
+    EXPECT_EQ(f[3], 0.0f);
+    EXPECT_EQ(f[4], 0.0f);
+  }
+}
+
+TEST_F(PerTest, LearnedWeightsAreFinite) {
+  for (float w : model_->weights()) {
+    EXPECT_TRUE(std::isfinite(w));
+  }
+}
+
+TEST_F(PerTest, AttendedTrainingEventsScoreAboveRandom) {
+  const auto& dataset = city_->dataset();
+  double positive = 0.0;
+  double random = 0.0;
+  size_t n = 0;
+  Rng rng(9);
+  const auto& train = city_->split->training_events();
+  for (const auto& att : dataset.attendances()) {
+    if (!city_->split->IsTraining(att.event)) continue;
+    if (n >= 400) break;  // keep the check cheap
+    positive += model_->ScoreUserEvent(att.user, att.event);
+    random += model_->ScoreUserEvent(att.user,
+                                     train[rng.UniformInt(train.size())]);
+    ++n;
+  }
+  ASSERT_GT(n, 0u);
+  EXPECT_GT(positive / n, random / n);
+}
+
+TEST_F(PerTest, FriendsWithSharedHistoryHaveHigherAffinity) {
+  // Find a friend pair with common training events, compare against a
+  // non-friend random pair.
+  const auto& dataset = city_->dataset();
+  float friend_affinity = -1.0f;
+  for (const auto& f : dataset.friendships()) {
+    if (dataset.CommonEventCount(f.a, f.b) > 0) {
+      friend_affinity = model_->ScoreUserUser(f.a, f.b);
+      break;
+    }
+  }
+  ASSERT_GE(friend_affinity, 0.0f) << "fixture lacks co-attending friends";
+  // Non-friends with no common events score lower.
+  ebsn::UserId a = 0;
+  ebsn::UserId b = 1;
+  bool found = false;
+  for (ebsn::UserId i = 0; i < dataset.num_users() && !found; ++i) {
+    for (ebsn::UserId j = i + 1; j < dataset.num_users(); ++j) {
+      if (!dataset.AreFriends(i, j) &&
+          dataset.CommonEventCount(i, j) == 0) {
+        a = i;
+        b = j;
+        found = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+  EXPECT_GT(friend_affinity, model_->ScoreUserUser(a, b));
+}
+
+}  // namespace
+}  // namespace gemrec::baselines

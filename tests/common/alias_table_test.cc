@@ -1,0 +1,96 @@
+#include "common/alias_table.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gemrec {
+namespace {
+
+TEST(AliasTableTest, EmptyWeightsYieldEmptyTable) {
+  AliasTable t(std::vector<double>{});
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(AliasTableTest, AllZeroWeightsYieldEmptyTable) {
+  AliasTable t(std::vector<double>{0.0, 0.0});
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(AliasTableTest, SingleOutcomeAlwaysSampled) {
+  AliasTable t(std::vector<double>{3.5});
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(t.Sample(&rng), 0u);
+}
+
+TEST(AliasTableTest, TotalWeightRecorded) {
+  AliasTable t(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(t.total_weight(), 6.0);
+}
+
+TEST(AliasTableTest, ZeroWeightOutcomeNeverSampled) {
+  AliasTable t(std::vector<double>{1.0, 0.0, 1.0});
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(t.Sample(&rng), 1u);
+}
+
+TEST(AliasTableTest, RebuildReplacesDistribution) {
+  AliasTable t(std::vector<double>{1.0, 0.0});
+  t.Build({0.0, 1.0});
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.Sample(&rng), 1u);
+}
+
+/// Property: empirical frequencies converge to normalized weights for
+/// a variety of weight shapes.
+class AliasTableDistributionTest
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(AliasTableDistributionTest, FrequenciesMatchWeights) {
+  const std::vector<double>& weights = GetParam();
+  AliasTable t(weights);
+  double total = 0.0;
+  for (double w : weights) total += w;
+
+  Rng rng(1234);
+  const int n = 200000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < n; ++i) ++counts[t.Sample(&rng)];
+
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / total;
+    const double observed = counts[i] / static_cast<double>(n);
+    const double tolerance =
+        5.0 * std::sqrt(expected * (1 - expected) / n) + 1e-9;
+    EXPECT_NEAR(observed, expected, tolerance)
+        << "outcome " << i << " of " << weights.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WeightShapes, AliasTableDistributionTest,
+    ::testing::Values(
+        std::vector<double>{1.0, 1.0, 1.0, 1.0},          // uniform
+        std::vector<double>{1.0, 2.0, 3.0, 4.0},          // ramp
+        std::vector<double>{100.0, 1.0, 1.0},             // dominant head
+        std::vector<double>{0.001, 0.0005, 0.0015},       // tiny scale
+        std::vector<double>{5.0},                         // singleton
+        std::vector<double>{1.0, 0.0, 2.0, 0.0, 7.0}));   // zeros mixed
+
+TEST(AliasTableTest, LargePowerLawTableSamplesEveryPositiveBucket) {
+  std::vector<double> weights(1000);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  AliasTable t(weights);
+  Rng rng(99);
+  std::vector<bool> hit(weights.size(), false);
+  for (int i = 0; i < 2000000; ++i) hit[t.Sample(&rng)] = true;
+  // Head outcomes must certainly appear.
+  for (size_t i = 0; i < 20; ++i) EXPECT_TRUE(hit[i]) << i;
+}
+
+}  // namespace
+}  // namespace gemrec

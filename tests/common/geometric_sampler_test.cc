@@ -1,0 +1,88 @@
+#include "common/geometric_sampler.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gemrec {
+namespace {
+
+TEST(GeometricSamplerTest, StaysBelowMaxRank) {
+  GeometricSampler s(/*lambda=*/5.0, /*max_rank=*/10);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(s.Sample(&rng), 10u);
+}
+
+TEST(GeometricSamplerTest, MaxRankOneAlwaysReturnsZero) {
+  GeometricSampler s(100.0, 1);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.Sample(&rng), 0u);
+}
+
+TEST(GeometricSamplerTest, SmallLambdaConcentratesOnTopRanks) {
+  // λ = 1 over 1000 ranks: nearly all mass within the first ~10.
+  GeometricSampler s(1.0, 1000);
+  Rng rng(3);
+  int in_top_10 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (s.Sample(&rng) < 10) ++in_top_10;
+  }
+  EXPECT_GT(in_top_10 / static_cast<double>(n), 0.99);
+}
+
+TEST(GeometricSamplerTest, LargeLambdaApproachesUniform) {
+  // λ much larger than the support makes the distribution nearly flat.
+  GeometricSampler s(1e6, 100);
+  Rng rng(4);
+  const int n = 200000;
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < n; ++i) ++counts[s.Sample(&rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(c / static_cast<double>(n), 0.01, 0.005);
+  }
+}
+
+/// Property: the ratio of successive rank masses equals exp(-1/λ).
+class GeometricRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeometricRatioTest, SuccessiveMassRatioMatches) {
+  const double lambda = GetParam();
+  GeometricSampler s(lambda, 1u << 20);
+  Rng rng(5);
+  const int n = 500000;
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < n; ++i) {
+    const uint64_t r = s.Sample(&rng);
+    if (r < counts.size()) ++counts[r];
+  }
+  const double expected_ratio = std::exp(-1.0 / lambda);
+  for (size_t r = 0; r + 1 < counts.size(); ++r) {
+    ASSERT_GT(counts[r], 100) << "rank " << r << " undersampled";
+    const double ratio =
+        counts[r + 1] / static_cast<double>(counts[r]);
+    EXPECT_NEAR(ratio, expected_ratio, 0.1)
+        << "lambda=" << lambda << " rank=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, GeometricRatioTest,
+                         ::testing::Values(1.0, 2.0, 5.0));
+
+TEST(GeometricSamplerTest, AccessorsReturnConstructorArguments) {
+  GeometricSampler s(200.0, 5000);
+  EXPECT_DOUBLE_EQ(s.lambda(), 200.0);
+  EXPECT_EQ(s.max_rank(), 5000u);
+}
+
+TEST(GeometricSamplerDeathTest, RejectsNonPositiveLambda) {
+  EXPECT_DEATH(GeometricSampler(0.0, 10), "lambda");
+}
+
+TEST(GeometricSamplerDeathTest, RejectsZeroMaxRank) {
+  EXPECT_DEATH(GeometricSampler(1.0, 0), "max_rank");
+}
+
+}  // namespace
+}  // namespace gemrec

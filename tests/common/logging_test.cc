@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace gemrec {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, LogDoesNotCrashAtAnyLevel) {
+  GEMREC_LOG(Debug) << "debug " << 1;
+  GEMREC_LOG(Info) << "info " << 2.5;
+  GEMREC_LOG(Warning) << "warning " << "text";
+  GEMREC_LOG(Error) << "error";
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  GEMREC_CHECK(1 + 1 == 2) << "never printed";
+  GEMREC_DCHECK(true);
+}
+
+TEST(LoggingDeathTest, CheckAbortsWithConditionText) {
+  EXPECT_DEATH(GEMREC_CHECK(false) << "extra context 42",
+               "check failed.*false.*extra context 42");
+}
+
+TEST(LoggingDeathTest, CheckEvaluatesConditionOnce) {
+  int calls = 0;
+  auto count = [&]() {
+    ++calls;
+    return true;
+  };
+  GEMREC_CHECK(count());
+  EXPECT_EQ(calls, 1);
+}
+
+#ifndef NDEBUG
+TEST(LoggingDeathTest, DcheckAbortsInDebugBuilds) {
+  EXPECT_DEATH(GEMREC_DCHECK(false), "check failed");
+}
+#endif
+
+}  // namespace
+}  // namespace gemrec

@@ -1,0 +1,108 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace gemrec {
+namespace {
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 4; ++c) EXPECT_EQ(m.At(r, c), 0.0f);
+  }
+}
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(MatrixTest, RowPointsIntoStorage) {
+  Matrix m(2, 3);
+  m.Row(1)[2] = 5.0f;
+  EXPECT_EQ(m.At(1, 2), 5.0f);
+  m.At(0, 0) = -1.0f;
+  EXPECT_EQ(m.Row(0)[0], -1.0f);
+}
+
+TEST(MatrixTest, FillSetsAllEntries) {
+  Matrix m(4, 4);
+  m.Fill(2.5f);
+  for (float v : m.data()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(MatrixTest, FillGaussianMatchesMoments) {
+  Matrix m(500, 100);
+  Rng rng(1);
+  m.FillGaussian(&rng, 1.0, 0.5);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (float v : m.data()) {
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  const double n = 500.0 * 100.0;
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 1.0, 0.01);
+  EXPECT_NEAR(sum_sq / n - mean * mean, 0.25, 0.01);
+}
+
+TEST(MatrixTest, FillAbsGaussianIsNonnegative) {
+  Matrix m(100, 50);
+  Rng rng(2);
+  m.FillAbsGaussian(&rng, 0.0, 0.01);
+  for (float v : m.data()) EXPECT_GE(v, 0.0f);
+}
+
+TEST(MatrixTest, ColumnVariancesOfConstantColumnsAreZero) {
+  Matrix m(10, 3);
+  for (size_t r = 0; r < 10; ++r) {
+    m.At(r, 0) = 7.0f;
+    m.At(r, 1) = -2.0f;
+    m.At(r, 2) = 0.0f;
+  }
+  const auto variances = m.ColumnVariances();
+  for (float v : variances) EXPECT_NEAR(v, 0.0f, 1e-6f);
+}
+
+TEST(MatrixTest, ColumnVariancesMatchHandComputation) {
+  // Column 0: {0, 2} -> mean 1, var 1. Column 1: {1, 3} -> var 1.
+  Matrix m(2, 2);
+  m.At(0, 0) = 0.0f;
+  m.At(1, 0) = 2.0f;
+  m.At(0, 1) = 1.0f;
+  m.At(1, 1) = 3.0f;
+  const auto variances = m.ColumnVariances();
+  EXPECT_NEAR(variances[0], 1.0f, 1e-6f);
+  EXPECT_NEAR(variances[1], 1.0f, 1e-6f);
+}
+
+TEST(MatrixTest, ColumnVariancesScaleQuadratically) {
+  Matrix a(64, 2);
+  Rng rng(3);
+  a.FillGaussian(&rng, 0.0, 1.0);
+  Matrix b(64, 2);
+  for (size_t r = 0; r < 64; ++r) {
+    for (size_t c = 0; c < 2; ++c) b.At(r, c) = 3.0f * a.At(r, c);
+  }
+  const auto va = a.ColumnVariances();
+  const auto vb = b.ColumnVariances();
+  for (size_t c = 0; c < 2; ++c) {
+    EXPECT_NEAR(vb[c], 9.0f * va[c], 1e-3f * vb[c] + 1e-5f);
+  }
+}
+
+TEST(MatrixTest, EmptyMatrixVariancesEmptyOrZero) {
+  Matrix m(0, 3);
+  const auto variances = m.ColumnVariances();
+  ASSERT_EQ(variances.size(), 3u);
+  for (float v : variances) EXPECT_EQ(v, 0.0f);
+}
+
+}  // namespace
+}  // namespace gemrec

@@ -1,0 +1,103 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace gemrec {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad dim");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad dim");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad dim");
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "Ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("no such node"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "no such node");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailingStep() { return Status::IoError("disk"); }
+
+Status Propagates() {
+  GEMREC_RETURN_IF_ERROR(FailingStep());
+  return Status::Ok();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kIoError);
+}
+
+Result<int> MakeValue(bool fail) {
+  if (fail) return Status::Internal("boom");
+  return 7;
+}
+
+Status UseAssignOrReturn(bool fail, int* out) {
+  GEMREC_ASSIGN_OR_RETURN(const int v, MakeValue(fail));
+  *out = v;
+  return Status::Ok();
+}
+
+TEST(StatusMacroTest, AssignOrReturnAssigns) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(false, &out).ok());
+  EXPECT_EQ(out, 7);
+}
+
+TEST(StatusMacroTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_EQ(UseAssignOrReturn(true, &out).code(), StatusCode::kInternal);
+  EXPECT_EQ(out, 0);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r(Status::Internal("bad"));
+  EXPECT_DEATH(r.value(), "value\\(\\) called on error Result");
+}
+
+}  // namespace
+}  // namespace gemrec

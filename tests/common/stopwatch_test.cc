@@ -1,0 +1,43 @@
+#include "common/stopwatch.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace gemrec {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = watch.ElapsedMillis();
+  EXPECT_GE(elapsed, 15.0);
+  EXPECT_LT(elapsed, 2000.0);  // generous upper bound for CI noise
+}
+
+TEST(StopwatchTest, UnitsAreConsistent) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double seconds = watch.ElapsedSeconds();
+  const double millis = watch.ElapsedMillis();
+  const double micros = watch.ElapsedMicros();
+  EXPECT_NEAR(millis, seconds * 1e3, seconds * 1e3 * 0.5 + 1.0);
+  EXPECT_NEAR(micros, seconds * 1e6, seconds * 1e6 * 0.5 + 1000.0);
+}
+
+TEST(StopwatchTest, TimeIsMonotone) {
+  Stopwatch watch;
+  const double a = watch.ElapsedMicros();
+  const double b = watch.ElapsedMicros();
+  EXPECT_GE(b, a);
+}
+
+TEST(StopwatchTest, ResetRestartsTheClock) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedMillis(), 15.0);
+}
+
+}  // namespace
+}  // namespace gemrec

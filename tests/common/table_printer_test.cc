@@ -1,0 +1,54 @@
+#include "common/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace gemrec {
+namespace {
+
+TEST(TablePrinterTest, PrintsHeaderAndRows) {
+  TablePrinter t({"model", "Ac@10"});
+  t.AddRow({"GEM-A", "0.373"});
+  t.AddRow({"PTE", "0.236"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("model"), std::string::npos);
+  EXPECT_NE(out.find("GEM-A"), std::string::npos);
+  EXPECT_NE(out.find("0.236"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::ostringstream os;
+  t.Print(os);  // must not crash; missing cells become empty
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(0.12345, 3), "0.123");
+  EXPECT_EQ(TablePrinter::Num(2.0, 1), "2.0");
+  EXPECT_EQ(TablePrinter::Num(-1.5, 2), "-1.50");
+}
+
+TEST(TablePrinterTest, ColumnsAreAligned) {
+  TablePrinter t({"x", "yyyy"});
+  t.AddRow({"longvalue", "1"});
+  std::ostringstream os;
+  t.Print(os);
+  // Header rule at least as wide as the widest row.
+  const std::string out = os.str();
+  const size_t rule_pos = out.find("---");
+  ASSERT_NE(rule_pos, std::string::npos);
+}
+
+TEST(TablePrinterTest, BannerContainsTitle) {
+  std::ostringstream os;
+  PrintBanner(os, "Table VI");
+  EXPECT_NE(os.str().find("Table VI"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gemrec

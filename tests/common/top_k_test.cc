@@ -1,0 +1,104 @@
+#include "common/top_k.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gemrec {
+namespace {
+
+TEST(TopKTest, KeepsLargest) {
+  TopK<int> top(3);
+  for (int i = 0; i < 10; ++i) top.Push(i, static_cast<float>(i));
+  auto entries = top.TakeSortedDescending();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].id, 9);
+  EXPECT_EQ(entries[1].id, 8);
+  EXPECT_EQ(entries[2].id, 7);
+}
+
+TEST(TopKTest, FewerThanKKeepsAll) {
+  TopK<int> top(5);
+  top.Push(1, 1.0f);
+  top.Push(2, 0.5f);
+  EXPECT_FALSE(top.full());
+  auto entries = top.TakeSortedDescending();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].id, 1);
+}
+
+TEST(TopKTest, ThresholdIsKthBest) {
+  TopK<int> top(2);
+  top.Push(1, 5.0f);
+  top.Push(2, 3.0f);
+  top.Push(3, 4.0f);
+  EXPECT_TRUE(top.full());
+  EXPECT_FLOAT_EQ(top.Threshold(), 4.0f);
+}
+
+TEST(TopKTest, EqualScoreToThresholdIsNotInserted) {
+  TopK<int> top(1);
+  top.Push(1, 2.0f);
+  top.Push(2, 2.0f);  // tie: first wins
+  auto entries = top.TakeSortedDescending();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].id, 1);
+}
+
+TEST(TopKTest, TakeLeavesCollectorEmpty) {
+  TopK<int> top(2);
+  top.Push(1, 1.0f);
+  (void)top.TakeSortedDescending();
+  EXPECT_EQ(top.size(), 0u);
+}
+
+TEST(TopKTest, NegativeScoresSupported) {
+  TopK<int> top(2);
+  top.Push(1, -5.0f);
+  top.Push(2, -1.0f);
+  top.Push(3, -3.0f);
+  auto entries = top.TakeSortedDescending();
+  EXPECT_EQ(entries[0].id, 2);
+  EXPECT_EQ(entries[1].id, 3);
+}
+
+/// Property: for random inputs, TopK matches full sort + truncate.
+class TopKPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TopKPropertyTest, MatchesSortOracle) {
+  const size_t k = GetParam();
+  Rng rng(1000 + k);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + rng.UniformInt(300);
+    std::vector<float> scores(n);
+    for (auto& s : scores) {
+      s = static_cast<float>(rng.Gaussian());
+    }
+    TopK<uint32_t> top(k);
+    for (size_t i = 0; i < n; ++i) {
+      top.Push(static_cast<uint32_t>(i), scores[i]);
+    }
+    auto got = top.TakeSortedDescending();
+
+    std::vector<float> sorted = scores;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    const size_t expect_size = std::min(k, n);
+    ASSERT_EQ(got.size(), expect_size);
+    for (size_t i = 0; i < expect_size; ++i) {
+      EXPECT_FLOAT_EQ(got[i].score, sorted[i]) << "position " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TopKPropertyTest,
+                         ::testing::Values(1, 2, 5, 17, 100));
+
+TEST(TopKDeathTest, ZeroKRejected) {
+  EXPECT_DEATH(TopK<int>(0), "k > 0");
+}
+
+}  // namespace
+}  // namespace gemrec

@@ -1,0 +1,81 @@
+#include "common/vec_math.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gemrec {
+namespace {
+
+TEST(VecMathTest, SigmoidAtZeroIsHalf) {
+  EXPECT_FLOAT_EQ(Sigmoid(0.0f), 0.5f);
+}
+
+TEST(VecMathTest, SigmoidSaturates) {
+  EXPECT_FLOAT_EQ(Sigmoid(100.0f), 1.0f);
+  EXPECT_FLOAT_EQ(Sigmoid(-100.0f), 0.0f);
+}
+
+TEST(VecMathTest, SigmoidIsMonotone) {
+  float prev = -1.0f;
+  for (float x = -20.0f; x <= 20.0f; x += 0.5f) {
+    const float y = Sigmoid(x);
+    EXPECT_GE(y, prev);
+    prev = y;
+  }
+}
+
+TEST(VecMathTest, SigmoidSymmetry) {
+  for (float x : {0.5f, 1.0f, 3.0f, 7.0f}) {
+    EXPECT_NEAR(Sigmoid(x) + Sigmoid(-x), 1.0f, 1e-6f);
+  }
+}
+
+TEST(VecMathTest, DotBasic) {
+  const float a[] = {1.0f, 2.0f, 3.0f};
+  const float b[] = {4.0f, -5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(Dot(a, b, 3), 4.0f - 10.0f + 18.0f);
+}
+
+TEST(VecMathTest, DotZeroLengthIsZero) {
+  const float a[] = {1.0f};
+  EXPECT_FLOAT_EQ(Dot(a, a, 0), 0.0f);
+}
+
+TEST(VecMathTest, AxpyAccumulates) {
+  const float x[] = {1.0f, 2.0f};
+  float y[] = {10.0f, 20.0f};
+  Axpy(3.0f, x, y, 2);
+  EXPECT_FLOAT_EQ(y[0], 13.0f);
+  EXPECT_FLOAT_EQ(y[1], 26.0f);
+}
+
+TEST(VecMathTest, AxpyWithZeroAlphaIsNoop) {
+  const float x[] = {5.0f, 5.0f};
+  float y[] = {1.0f, 2.0f};
+  Axpy(0.0f, x, y, 2);
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+}
+
+TEST(VecMathTest, ReluClampsNegatives) {
+  float v[] = {-1.0f, 0.0f, 2.0f, -0.001f};
+  ReluInPlace(v, 4);
+  EXPECT_FLOAT_EQ(v[0], 0.0f);
+  EXPECT_FLOAT_EQ(v[1], 0.0f);
+  EXPECT_FLOAT_EQ(v[2], 2.0f);
+  EXPECT_FLOAT_EQ(v[3], 0.0f);
+}
+
+TEST(VecMathTest, NormOfUnitVector) {
+  const float v[] = {0.0f, 1.0f, 0.0f};
+  EXPECT_FLOAT_EQ(Norm(v, 3), 1.0f);
+}
+
+TEST(VecMathTest, NormPythagorean) {
+  const float v[] = {3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(Norm(v, 2), 5.0f);
+}
+
+}  // namespace
+}  // namespace gemrec

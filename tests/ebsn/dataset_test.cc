@@ -1,0 +1,162 @@
+#include "ebsn/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace gemrec::ebsn {
+namespace {
+
+Dataset MakeSmallDataset() {
+  Dataset d;
+  d.set_num_users(4);
+  d.set_vocab_size(10);
+  d.AddVenue(Venue{0, {39.9, 116.4}});
+  d.AddVenue(Venue{1, {39.95, 116.45}});
+  d.AddEvent(Event{0, 0, 1000, {1, 2, 3}, -1});
+  d.AddEvent(Event{1, 1, 2000, {2, 4}, -1});
+  d.AddEvent(Event{2, 0, 3000, {5}, -1});
+  d.AddAttendance(0, 0);
+  d.AddAttendance(0, 1);
+  d.AddAttendance(1, 0);
+  d.AddAttendance(1, 1);
+  d.AddAttendance(2, 2);
+  d.AddFriendship(0, 1);
+  d.AddFriendship(1, 2);
+  EXPECT_TRUE(d.Finalize().ok());
+  return d;
+}
+
+TEST(DatasetTest, CountsAreReported) {
+  Dataset d = MakeSmallDataset();
+  EXPECT_EQ(d.num_users(), 4u);
+  EXPECT_EQ(d.num_events(), 3u);
+  EXPECT_EQ(d.num_venues(), 2u);
+  EXPECT_EQ(d.vocab_size(), 10u);
+}
+
+TEST(DatasetTest, AdjacencyIsBuilt) {
+  Dataset d = MakeSmallDataset();
+  EXPECT_EQ(d.EventsOf(0), (std::vector<EventId>{0, 1}));
+  EXPECT_EQ(d.EventsOf(3), (std::vector<EventId>{}));
+  EXPECT_EQ(d.UsersOf(0), (std::vector<UserId>{0, 1}));
+  EXPECT_EQ(d.UsersOf(2), (std::vector<UserId>{2}));
+  EXPECT_EQ(d.FriendsOf(1), (std::vector<UserId>{0, 2}));
+}
+
+TEST(DatasetTest, MembershipQueries) {
+  Dataset d = MakeSmallDataset();
+  EXPECT_TRUE(d.Attends(0, 1));
+  EXPECT_FALSE(d.Attends(0, 2));
+  EXPECT_TRUE(d.AreFriends(0, 1));
+  EXPECT_TRUE(d.AreFriends(1, 0));
+  EXPECT_FALSE(d.AreFriends(0, 2));
+}
+
+TEST(DatasetTest, CommonEventCount) {
+  Dataset d = MakeSmallDataset();
+  EXPECT_EQ(d.CommonEventCount(0, 1), 2u);
+  EXPECT_EQ(d.CommonEventCount(0, 2), 0u);
+  EXPECT_EQ(d.CommonEventCount(2, 3), 0u);
+}
+
+TEST(DatasetTest, DuplicateAttendancesAreMerged) {
+  Dataset d;
+  d.set_num_users(1);
+  d.AddVenue(Venue{0, {0, 0}});
+  d.AddEvent(Event{0, 0, 0, {}, -1});
+  d.AddAttendance(0, 0);
+  d.AddAttendance(0, 0);
+  ASSERT_TRUE(d.Finalize().ok());
+  EXPECT_EQ(d.attendances().size(), 1u);
+  EXPECT_EQ(d.EventsOf(0).size(), 1u);
+}
+
+TEST(DatasetTest, DuplicateFriendshipsAreMergedBothDirections) {
+  Dataset d;
+  d.set_num_users(2);
+  d.AddFriendship(0, 1);
+  d.AddFriendship(1, 0);
+  ASSERT_TRUE(d.Finalize().ok());
+  EXPECT_EQ(d.friendships().size(), 1u);
+}
+
+TEST(DatasetTest, FinalizeRejectsDanglingAttendance) {
+  Dataset d;
+  d.set_num_users(1);
+  d.AddVenue(Venue{0, {0, 0}});
+  d.AddEvent(Event{0, 0, 0, {}, -1});
+  d.AddAttendance(5, 0);  // unknown user
+  EXPECT_FALSE(d.Finalize().ok());
+}
+
+TEST(DatasetTest, FinalizeRejectsDanglingFriendship) {
+  Dataset d;
+  d.set_num_users(2);
+  d.AddFriendship(0, 1);
+  Dataset d2;
+  d2.set_num_users(1);
+  d2.AddFriendship(0, 0 + 1);  // user 1 does not exist
+  EXPECT_FALSE(d2.Finalize().ok());
+}
+
+TEST(DatasetTest, EventLocationFollowsVenue) {
+  Dataset d = MakeSmallDataset();
+  EXPECT_DOUBLE_EQ(d.EventLocation(1).lat, 39.95);
+  EXPECT_DOUBLE_EQ(d.EventLocation(1).lon, 116.45);
+}
+
+TEST(DatasetTest, StatsMatchContents) {
+  Dataset d = MakeSmallDataset();
+  const DatasetStats s = d.Stats();
+  EXPECT_EQ(s.num_users, 4u);
+  EXPECT_EQ(s.num_events, 3u);
+  EXPECT_EQ(s.num_venues, 2u);
+  EXPECT_EQ(s.num_attendances, 5u);
+  EXPECT_EQ(s.num_friendships, 2u);
+  EXPECT_EQ(s.vocab_size, 10u);
+}
+
+TEST(DatasetTest, RefinalizeAfterMutationWorks) {
+  Dataset d = MakeSmallDataset();
+  d.AddAttendance(3, 2);
+  ASSERT_TRUE(d.Finalize().ok());
+  EXPECT_TRUE(d.Attends(3, 2));
+  EXPECT_EQ(d.UsersOf(2), (std::vector<UserId>{2, 3}));
+}
+
+TEST(DatasetDeathTest, NonDenseEventIdRejected) {
+  Dataset d;
+  d.AddVenue(Venue{0, {0, 0}});
+  EXPECT_DEATH(d.AddEvent(Event{5, 0, 0, {}, -1}), "dense");
+}
+
+TEST(DatasetDeathTest, SelfFriendshipRejected) {
+  Dataset d;
+  d.set_num_users(2);
+  EXPECT_DEATH(d.AddFriendship(1, 1), "self");
+}
+
+TEST(HaversineTest, ZeroDistanceForSamePoint) {
+  const GeoPoint p{39.9, 116.4};
+  EXPECT_NEAR(HaversineKm(p, p), 0.0, 1e-9);
+}
+
+TEST(HaversineTest, OneDegreeLatitudeIsAbout111Km) {
+  const GeoPoint a{39.0, 116.0};
+  const GeoPoint b{40.0, 116.0};
+  EXPECT_NEAR(HaversineKm(a, b), 111.2, 1.0);
+}
+
+TEST(HaversineTest, Symmetric) {
+  const GeoPoint a{39.9, 116.4};
+  const GeoPoint b{31.2, 121.5};
+  EXPECT_DOUBLE_EQ(HaversineKm(a, b), HaversineKm(b, a));
+}
+
+TEST(HaversineTest, BeijingToShanghaiAbout1070Km) {
+  const GeoPoint beijing{39.9042, 116.4074};
+  const GeoPoint shanghai{31.2304, 121.4737};
+  EXPECT_NEAR(HaversineKm(beijing, shanghai), 1070.0, 20.0);
+}
+
+}  // namespace
+}  // namespace gemrec::ebsn

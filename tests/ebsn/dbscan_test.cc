@@ -1,0 +1,123 @@
+#include "ebsn/dbscan.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gemrec::ebsn {
+namespace {
+
+/// Two tight blobs 10 km apart plus one far outlier.
+std::vector<GeoPoint> TwoBlobsAndOutlier() {
+  std::vector<GeoPoint> points;
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    points.push_back(GeoPoint{39.90 + rng.Gaussian(0, 0.001),
+                              116.40 + rng.Gaussian(0, 0.001)});
+  }
+  for (int i = 0; i < 30; ++i) {
+    points.push_back(GeoPoint{39.99 + rng.Gaussian(0, 0.001),
+                              116.40 + rng.Gaussian(0, 0.001)});
+  }
+  points.push_back(GeoPoint{40.5, 117.5});
+  return points;
+}
+
+TEST(DbscanTest, EmptyInputYieldsNoRegions) {
+  const auto result = RunDbscan({}, DbscanParams{1.0, 3});
+  EXPECT_EQ(result.num_regions, 0u);
+  EXPECT_TRUE(result.label.empty());
+}
+
+TEST(DbscanTest, SeparatesTwoBlobs) {
+  const auto points = TwoBlobsAndOutlier();
+  const auto result = RunDbscan(points, DbscanParams{1.0, 5});
+  ASSERT_EQ(result.label.size(), points.size());
+  // First 30 points share a region; second 30 share another.
+  for (int i = 1; i < 30; ++i) EXPECT_EQ(result.label[i], result.label[0]);
+  for (int i = 31; i < 60; ++i) {
+    EXPECT_EQ(result.label[i], result.label[30]);
+  }
+  EXPECT_NE(result.label[0], result.label[30]);
+}
+
+TEST(DbscanTest, OutlierBecomesSingletonRegion) {
+  const auto points = TwoBlobsAndOutlier();
+  const auto result = RunDbscan(points, DbscanParams{1.0, 5});
+  const RegionId outlier = result.label.back();
+  EXPECT_NE(outlier, result.label[0]);
+  EXPECT_NE(outlier, result.label[30]);
+  EXPECT_EQ(result.noise_points, 1u);
+}
+
+TEST(DbscanTest, EveryPointGetsAValidRegion) {
+  const auto points = TwoBlobsAndOutlier();
+  const auto result = RunDbscan(points, DbscanParams{1.0, 5});
+  for (const RegionId label : result.label) {
+    EXPECT_LT(label, result.num_regions);
+  }
+}
+
+TEST(DbscanTest, RegionIdsAreDense) {
+  const auto points = TwoBlobsAndOutlier();
+  const auto result = RunDbscan(points, DbscanParams{1.0, 5});
+  std::set<RegionId> used(result.label.begin(), result.label.end());
+  EXPECT_EQ(used.size(), result.num_regions);
+  EXPECT_EQ(*used.begin(), 0u);
+  EXPECT_EQ(*used.rbegin(), result.num_regions - 1);
+}
+
+TEST(DbscanTest, SinglePointIsItsOwnRegion) {
+  const auto result =
+      RunDbscan({GeoPoint{39.9, 116.4}}, DbscanParams{1.0, 2});
+  EXPECT_EQ(result.num_regions, 1u);
+  EXPECT_EQ(result.label[0], 0u);
+}
+
+TEST(DbscanTest, MinPtsOneMakesEveryPointCore) {
+  const auto points = TwoBlobsAndOutlier();
+  const auto result = RunDbscan(points, DbscanParams{1.0, 1});
+  EXPECT_EQ(result.noise_points, 0u);
+}
+
+TEST(DbscanTest, LargeEpsMergesEverything) {
+  const auto points = TwoBlobsAndOutlier();
+  const auto result = RunDbscan(points, DbscanParams{500.0, 2});
+  EXPECT_EQ(result.num_regions, 1u);
+}
+
+TEST(DbscanTest, TinyEpsMakesAllNoise) {
+  const auto points = TwoBlobsAndOutlier();
+  const auto result = RunDbscan(points, DbscanParams{1e-6, 5});
+  EXPECT_EQ(result.noise_points, points.size());
+  // All noise -> all singleton regions.
+  EXPECT_EQ(result.num_regions, points.size());
+}
+
+TEST(DbscanTest, DeterministicAcrossRuns) {
+  const auto points = TwoBlobsAndOutlier();
+  const auto a = RunDbscan(points, DbscanParams{1.0, 5});
+  const auto b = RunDbscan(points, DbscanParams{1.0, 5});
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.num_regions, b.num_regions);
+}
+
+TEST(DbscanTest, DenseGridFormsOneCluster) {
+  // Points every ~150 m along a line; eps 0.2 km chains them together.
+  std::vector<GeoPoint> points;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back(GeoPoint{39.9 + i * 0.00135, 116.4});
+  }
+  const auto result = RunDbscan(points, DbscanParams{0.2, 2});
+  EXPECT_EQ(result.num_regions, 1u);
+}
+
+TEST(DbscanDeathTest, RejectsNonPositiveEps) {
+  EXPECT_DEATH(RunDbscan({GeoPoint{0, 0}}, DbscanParams{0.0, 3}),
+               "eps_km");
+}
+
+}  // namespace
+}  // namespace gemrec::ebsn

@@ -1,0 +1,111 @@
+#include "ebsn/io.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "ebsn/synthetic.h"
+
+namespace gemrec::ebsn {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gemrec_io_test_" + std::to_string(::getpid()));
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string dir_;
+};
+
+TEST_F(IoTest, RoundTripPreservesEverything) {
+  SyntheticConfig config;
+  config.num_users = 60;
+  config.num_events = 40;
+  config.num_venues = 12;
+  config.vocab_size = 200;
+  config.num_topics = 4;
+  config.seed = 5;
+  Dataset original = GenerateSynthetic(config).dataset;
+
+  ASSERT_TRUE(SaveDataset(original, dir_).ok());
+  auto loaded_or = LoadDataset(dir_);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const Dataset& loaded = loaded_or.value();
+
+  EXPECT_EQ(loaded.num_users(), original.num_users());
+  EXPECT_EQ(loaded.num_events(), original.num_events());
+  EXPECT_EQ(loaded.num_venues(), original.num_venues());
+  EXPECT_EQ(loaded.vocab_size(), original.vocab_size());
+  EXPECT_EQ(loaded.attendances().size(), original.attendances().size());
+  EXPECT_EQ(loaded.friendships().size(), original.friendships().size());
+
+  for (uint32_t x = 0; x < original.num_events(); ++x) {
+    EXPECT_EQ(loaded.event(x).venue, original.event(x).venue);
+    EXPECT_EQ(loaded.event(x).start_time, original.event(x).start_time);
+    EXPECT_EQ(loaded.event(x).words, original.event(x).words);
+  }
+  for (uint32_t v = 0; v < original.num_venues(); ++v) {
+    EXPECT_NEAR(loaded.venue(v).location.lat,
+                original.venue(v).location.lat, 1e-7);
+    EXPECT_NEAR(loaded.venue(v).location.lon,
+                original.venue(v).location.lon, 1e-7);
+  }
+}
+
+TEST_F(IoTest, LoadedDatasetIsFinalized) {
+  SyntheticConfig config;
+  config.num_users = 30;
+  config.num_events = 20;
+  config.num_venues = 5;
+  config.vocab_size = 100;
+  config.num_topics = 3;
+  Dataset original = GenerateSynthetic(config).dataset;
+  ASSERT_TRUE(SaveDataset(original, dir_).ok());
+  auto loaded = LoadDataset(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->finalized());
+  // Adjacency works immediately.
+  (void)loaded->EventsOf(0);
+}
+
+TEST_F(IoTest, LoadFromMissingDirectoryFails) {
+  auto result = LoadDataset(dir_ + "_does_not_exist");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, SaveCreatesDirectory) {
+  Dataset d;
+  d.set_num_users(1);
+  d.set_vocab_size(1);
+  d.AddVenue(Venue{0, {1.5, 2.5}});
+  d.AddEvent(Event{0, 0, 42, {0}, -1});
+  d.AddAttendance(0, 0);
+  ASSERT_TRUE(d.Finalize().ok());
+  ASSERT_TRUE(SaveDataset(d, dir_ + "/nested/deeper").ok());
+  EXPECT_TRUE(
+      std::filesystem::exists(dir_ + "/nested/deeper/events.tsv"));
+}
+
+TEST_F(IoTest, EmptyWordListsSurviveRoundTrip) {
+  Dataset d;
+  d.set_num_users(1);
+  d.set_vocab_size(5);
+  d.AddVenue(Venue{0, {0, 0}});
+  d.AddEvent(Event{0, 0, 10, {}, -1});  // no words
+  d.AddEvent(Event{1, 0, 20, {3}, -1});
+  ASSERT_TRUE(d.Finalize().ok());
+  ASSERT_TRUE(SaveDataset(d, dir_).ok());
+  auto loaded = LoadDataset(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->event(0).words.empty());
+  EXPECT_EQ(loaded->event(1).words, (std::vector<WordId>{3}));
+}
+
+}  // namespace
+}  // namespace gemrec::ebsn

@@ -1,0 +1,108 @@
+#include "ebsn/split.h"
+
+#include <gtest/gtest.h>
+
+namespace gemrec::ebsn {
+namespace {
+
+/// 10 events with start times equal to their ids (shuffled ids to make
+/// sure the split is chronological, not id-ordered).
+Dataset MakeTimedDataset() {
+  Dataset d;
+  d.set_num_users(3);
+  d.AddVenue(Venue{0, {0, 0}});
+  // Event i starts at time (9 - i) * 1000: event 9 is the earliest.
+  for (uint32_t i = 0; i < 10; ++i) {
+    d.AddEvent(Event{i, 0, static_cast<int64_t>((9 - i)) * 1000, {}, -1});
+  }
+  for (uint32_t i = 0; i < 10; ++i) d.AddAttendance(i % 3, i);
+  EXPECT_TRUE(d.Finalize().ok());
+  return d;
+}
+
+TEST(SplitTest, SizesFollowFractions) {
+  Dataset d = MakeTimedDataset();
+  ChronologicalSplit split(d, 0.7, 0.1);
+  EXPECT_EQ(split.training_events().size(), 7u);
+  EXPECT_EQ(split.validation_events().size(), 1u);
+  EXPECT_EQ(split.test_events().size(), 2u);
+}
+
+TEST(SplitTest, SplitIsChronologicalNotByIds) {
+  Dataset d = MakeTimedDataset();
+  ChronologicalSplit split(d, 0.7, 0.1);
+  // Earliest events (ids 9..3) are training; latest (ids 1, 0) test.
+  for (uint32_t id : {9u, 8u, 7u, 6u, 5u, 4u, 3u}) {
+    EXPECT_TRUE(split.IsTraining(id)) << id;
+  }
+  EXPECT_TRUE(split.IsValidation(2));
+  EXPECT_TRUE(split.IsTest(1));
+  EXPECT_TRUE(split.IsTest(0));
+}
+
+TEST(SplitTest, EveryTrainingEventPrecedesEveryTestEvent) {
+  Dataset d = MakeTimedDataset();
+  ChronologicalSplit split(d, 0.7, 0.1);
+  int64_t max_train = INT64_MIN;
+  for (EventId x : split.training_events()) {
+    max_train = std::max(max_train, d.event(x).start_time);
+  }
+  for (EventId x : split.test_events()) {
+    EXPECT_GE(d.event(x).start_time, max_train);
+  }
+}
+
+TEST(SplitTest, PartitionsAreDisjointAndComplete) {
+  Dataset d = MakeTimedDataset();
+  ChronologicalSplit split(d, 0.7, 0.1);
+  size_t total = split.training_events().size() +
+                 split.validation_events().size() +
+                 split.test_events().size();
+  EXPECT_EQ(total, d.num_events());
+  for (EventId x = 0; x < d.num_events(); ++x) {
+    const int in_training = split.IsTraining(x) ? 1 : 0;
+    const int in_validation = split.IsValidation(x) ? 1 : 0;
+    const int in_test = split.IsTest(x) ? 1 : 0;
+    EXPECT_EQ(in_training + in_validation + in_test, 1);
+  }
+}
+
+TEST(SplitTest, AttendancesFollowEventSplit) {
+  Dataset d = MakeTimedDataset();
+  ChronologicalSplit split(d, 0.7, 0.1);
+  const auto train = split.AttendancesIn(d, Split::kTraining);
+  const auto test = split.AttendancesIn(d, Split::kTest);
+  EXPECT_EQ(train.size(), 7u);
+  EXPECT_EQ(test.size(), 2u);
+  for (const auto& att : test) EXPECT_TRUE(split.IsTest(att.event));
+}
+
+TEST(SplitTest, ZeroValidationFraction) {
+  Dataset d = MakeTimedDataset();
+  ChronologicalSplit split(d, 0.7, 0.0);
+  EXPECT_EQ(split.validation_events().size(), 0u);
+  EXPECT_EQ(split.test_events().size(), 3u);
+}
+
+TEST(SplitTest, TiesBrokenDeterministically) {
+  Dataset d;
+  d.set_num_users(1);
+  d.AddVenue(Venue{0, {0, 0}});
+  for (uint32_t i = 0; i < 4; ++i) {
+    d.AddEvent(Event{i, 0, 100, {}, -1});  // identical times
+  }
+  ASSERT_TRUE(d.Finalize().ok());
+  ChronologicalSplit a(d, 0.5, 0.25);
+  ChronologicalSplit b(d, 0.5, 0.25);
+  for (EventId x = 0; x < 4; ++x) {
+    EXPECT_EQ(a.SplitOf(x), b.SplitOf(x));
+  }
+}
+
+TEST(SplitDeathTest, BadFractionsRejected) {
+  Dataset d = MakeTimedDataset();
+  EXPECT_DEATH(ChronologicalSplit(d, 0.9, 0.2), "split fractions");
+}
+
+}  // namespace
+}  // namespace gemrec::ebsn

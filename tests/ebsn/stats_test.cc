@@ -1,0 +1,112 @@
+#include "ebsn/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "ebsn/synthetic.h"
+
+namespace gemrec::ebsn {
+namespace {
+
+TEST(SummarizeTest, EmptyInput) {
+  const auto s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(SummarizeTest, ConstantDistribution) {
+  const auto s = Summarize({5, 5, 5, 5});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 5u);
+  EXPECT_EQ(s.max, 5u);
+  EXPECT_EQ(s.p50, 5u);
+  EXPECT_NEAR(s.gini, 0.0, 1e-12);
+}
+
+TEST(SummarizeTest, SimpleStatistics) {
+  const auto s = Summarize({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_EQ(s.p50, 2u);
+}
+
+TEST(SummarizeTest, GiniOfExtremeSkewApproachesOne) {
+  std::vector<size_t> values(100, 0);
+  values[0] = 1000;
+  const auto s = Summarize(values);
+  EXPECT_GT(s.gini, 0.9);
+}
+
+TEST(SummarizeTest, GiniOrderingReflectsSkew) {
+  const auto flat = Summarize({10, 10, 10, 10, 10});
+  const auto skewed = Summarize({1, 2, 5, 20, 100});
+  EXPECT_GT(skewed.gini, flat.gini);
+}
+
+TEST(SummarizeTest, PercentilesOrdered) {
+  std::vector<size_t> values;
+  for (size_t i = 0; i < 1000; ++i) values.push_back(i);
+  const auto s = Summarize(values);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_NEAR(static_cast<double>(s.p50), 500.0, 5.0);
+}
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticConfig config;
+    config.num_users = 400;
+    config.num_events = 250;
+    config.num_venues = 40;
+    config.seed = 99;
+    data_ = new SyntheticData(GenerateSynthetic(config));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static SyntheticData* data_;
+};
+
+SyntheticData* ProfileTest::data_ = nullptr;
+
+TEST_F(ProfileTest, CountsAreConsistent) {
+  const auto profile = ProfileDataset(data_->dataset);
+  EXPECT_EQ(profile.events_per_user.count, 400u);
+  EXPECT_EQ(profile.users_per_event.count, 250u);
+  EXPECT_EQ(profile.friends_per_user.count, 400u);
+  EXPECT_EQ(profile.words_per_event.count, 250u);
+  // Mean degree identities: sum over users == sum over events.
+  EXPECT_NEAR(profile.events_per_user.mean * 400.0,
+              profile.users_per_event.mean * 250.0, 1e-6);
+}
+
+TEST_F(ProfileTest, SyntheticDegreesAreSkewes) {
+  // The generator plants power-law-ish activity: attendance degrees
+  // must be visibly skewed, as in real EBSN data.
+  const auto profile = ProfileDataset(data_->dataset);
+  EXPECT_GT(profile.events_per_user.gini, 0.2);
+  EXPECT_GT(profile.users_per_event.max,
+            3 * std::max<size_t>(1, profile.users_per_event.p50));
+}
+
+TEST_F(ProfileTest, CoattendanceSignalExists) {
+  // The joint task needs friends attending together.
+  const auto profile = ProfileDataset(data_->dataset);
+  EXPECT_GT(profile.coattendance_fraction, 0.05);
+  EXPECT_LE(profile.coattendance_fraction, 1.0);
+}
+
+TEST_F(ProfileTest, ActiveUsersRespectThreshold) {
+  const auto strict = ProfileDataset(data_->dataset, 10000);
+  EXPECT_EQ(strict.active_users, 0u);
+  const auto lax = ProfileDataset(data_->dataset, 0);
+  EXPECT_EQ(lax.active_users, 400u);
+}
+
+}  // namespace
+}  // namespace gemrec::ebsn

@@ -1,0 +1,96 @@
+// Seed-sweep property tests: invariants of the synthetic generator
+// that must hold for any seed (the benches rely on them for every
+// regenerated city).
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "ebsn/split.h"
+#include "ebsn/stats.h"
+#include "ebsn/synthetic.h"
+
+namespace gemrec::ebsn {
+namespace {
+
+class SyntheticSeedSweepTest
+    : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  SyntheticData Generate() const {
+    SyntheticConfig config;
+    config.num_users = 250;
+    config.num_events = 160;
+    config.num_venues = 30;
+    config.num_topics = 5;
+    config.vocab_size = 400;
+    config.seed = GetParam();
+    return GenerateSynthetic(config);
+  }
+};
+
+TEST_P(SyntheticSeedSweepTest, EveryEventHasAttendees) {
+  const auto data = Generate();
+  // The generator guarantees >= 2 attendees per event.
+  for (uint32_t x = 0; x < data.dataset.num_events(); ++x) {
+    EXPECT_GE(data.dataset.UsersOf(x).size(), 2u) << "event " << x;
+  }
+}
+
+TEST_P(SyntheticSeedSweepTest, ChronologicalSplitHasPartnerTruth) {
+  const auto data = Generate();
+  ChronologicalSplit split(data.dataset);
+  // The joint task needs friend pairs co-attending *test* events for
+  // every seed, or benches would silently evaluate nothing.
+  size_t pairs = 0;
+  for (EventId x : split.test_events()) {
+    const auto& users = data.dataset.UsersOf(x);
+    for (size_t i = 0; i < users.size() && pairs < 10; ++i) {
+      for (size_t j = i + 1; j < users.size(); ++j) {
+        if (data.dataset.AreFriends(users[i], users[j])) ++pairs;
+      }
+    }
+    if (pairs >= 10) break;
+  }
+  EXPECT_GE(pairs, 10u);
+}
+
+TEST_P(SyntheticSeedSweepTest, DegreesAreHeavyTailed) {
+  const auto data = Generate();
+  const auto profile = ProfileDataset(data.dataset, 5);
+  EXPECT_GT(profile.events_per_user.gini, 0.15);
+  EXPECT_GT(profile.users_per_event.gini, 0.2);
+}
+
+TEST_P(SyntheticSeedSweepTest, NoSelfOrDanglingEdges) {
+  const auto data = Generate();
+  for (const auto& f : data.dataset.friendships()) {
+    EXPECT_NE(f.a, f.b);
+    EXPECT_LT(f.a, data.dataset.num_users());
+    EXPECT_LT(f.b, data.dataset.num_users());
+  }
+  for (const auto& att : data.dataset.attendances()) {
+    EXPECT_LT(att.user, data.dataset.num_users());
+    EXPECT_LT(att.event, data.dataset.num_events());
+  }
+}
+
+TEST_P(SyntheticSeedSweepTest, VenueCoordinatesStayNearCity) {
+  SyntheticConfig config;
+  config.num_users = 250;
+  config.num_events = 160;
+  config.num_venues = 30;
+  config.num_topics = 5;
+  config.vocab_size = 400;
+  config.seed = GetParam();
+  const auto data = GenerateSynthetic(config);
+  for (const auto& venue : data.dataset.venues()) {
+    EXPECT_LT(HaversineKm(venue.location, config.city_center),
+              5.0 * config.city_radius_km);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticSeedSweepTest,
+                         ::testing::Values(1, 7, 42, 1234, 987654321));
+
+}  // namespace
+}  // namespace gemrec::ebsn

@@ -1,0 +1,220 @@
+#include "ebsn/synthetic.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ebsn/time_slots.h"
+
+namespace gemrec::ebsn {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig c;
+  c.num_users = 300;
+  c.num_events = 200;
+  c.num_venues = 40;
+  c.num_topics = 6;
+  c.vocab_size = 600;
+  c.mean_events_per_user = 10.0;
+  c.mean_friends_per_user = 8.0;
+  c.seed = 7;
+  return c;
+}
+
+TEST(SyntheticTest, CountsMatchConfig) {
+  const auto data = GenerateSynthetic(SmallConfig());
+  EXPECT_EQ(data.dataset.num_users(), 300u);
+  EXPECT_EQ(data.dataset.num_events(), 200u);
+  EXPECT_EQ(data.dataset.num_venues(), 40u);
+  EXPECT_EQ(data.dataset.vocab_size(), 600u);
+  EXPECT_EQ(data.user_profiles.size(), 300u);
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  const auto a = GenerateSynthetic(SmallConfig());
+  const auto b = GenerateSynthetic(SmallConfig());
+  EXPECT_EQ(a.dataset.attendances().size(),
+            b.dataset.attendances().size());
+  EXPECT_EQ(a.dataset.friendships().size(),
+            b.dataset.friendships().size());
+  for (size_t i = 0; i < a.dataset.attendances().size(); ++i) {
+    EXPECT_EQ(a.dataset.attendances()[i].user,
+              b.dataset.attendances()[i].user);
+    EXPECT_EQ(a.dataset.attendances()[i].event,
+              b.dataset.attendances()[i].event);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  auto config = SmallConfig();
+  const auto a = GenerateSynthetic(config);
+  config.seed = 8;
+  const auto b = GenerateSynthetic(config);
+  // Attendance patterns should not coincide.
+  EXPECT_NE(a.dataset.attendances().size() * 31 +
+                a.dataset.friendships().size(),
+            b.dataset.attendances().size() * 31 +
+                b.dataset.friendships().size());
+}
+
+TEST(SyntheticTest, DatasetIsFinalizedAndConsistent) {
+  const auto data = GenerateSynthetic(SmallConfig());
+  EXPECT_TRUE(data.dataset.finalized());
+  for (const auto& att : data.dataset.attendances()) {
+    EXPECT_LT(att.user, data.dataset.num_users());
+    EXPECT_LT(att.event, data.dataset.num_events());
+  }
+}
+
+TEST(SyntheticTest, EventsHaveContentVenueAndTopic) {
+  const auto data = GenerateSynthetic(SmallConfig());
+  for (const auto& event : data.dataset.events()) {
+    EXPECT_GE(event.words.size(), 5u);
+    EXPECT_LT(event.venue, data.dataset.num_venues());
+    EXPECT_GE(event.topic, 0);
+    EXPECT_LT(event.topic, 6);
+    for (WordId w : event.words) EXPECT_LT(w, 600u);
+  }
+}
+
+TEST(SyntheticTest, EventTimesSpanTheConfiguredWindow) {
+  const auto config = SmallConfig();
+  const auto data = GenerateSynthetic(config);
+  int64_t min_t = INT64_MAX;
+  int64_t max_t = INT64_MIN;
+  for (const auto& event : data.dataset.events()) {
+    min_t = std::min(min_t, event.start_time);
+    max_t = std::max(max_t, event.start_time);
+  }
+  EXPECT_GE(min_t, config.start_time);
+  EXPECT_LE(max_t,
+            config.start_time + (config.duration_days + 1) * 86400);
+  // The window should actually be used, not collapsed.
+  EXPECT_GT(max_t - min_t, config.duration_days * 86400 / 2);
+}
+
+TEST(SyntheticTest, AttendanceVolumeIsInTargetBallpark) {
+  const auto config = SmallConfig();
+  const auto data = GenerateSynthetic(config);
+  const double target = config.num_users * config.mean_events_per_user;
+  const double actual =
+      static_cast<double>(data.dataset.attendances().size());
+  EXPECT_GT(actual, target * 0.2);
+  EXPECT_LT(actual, target * 3.0);
+}
+
+TEST(SyntheticTest, FriendshipVolumeIsInTargetBallpark) {
+  const auto config = SmallConfig();
+  const auto data = GenerateSynthetic(config);
+  const double target =
+      config.num_users * config.mean_friends_per_user / 2.0;
+  const double actual =
+      static_cast<double>(data.dataset.friendships().size());
+  EXPECT_GT(actual, target * 0.2);
+  EXPECT_LT(actual, target * 3.0);
+}
+
+TEST(SyntheticTest, TopicDrivesContent) {
+  // Events of the same topic must share far more vocabulary than
+  // events of different topics (planted signal for cold start).
+  const auto data = GenerateSynthetic(SmallConfig());
+  const auto& events = data.dataset.events();
+  auto overlap = [](const Event& a, const Event& b) {
+    std::set<WordId> wa(a.words.begin(), a.words.end());
+    size_t shared = 0;
+    for (WordId w : b.words) shared += wa.count(w);
+    return static_cast<double>(shared) /
+           static_cast<double>(b.words.size());
+  };
+  double same_topic = 0.0;
+  double diff_topic = 0.0;
+  int same_n = 0;
+  int diff_n = 0;
+  for (size_t i = 0; i < events.size(); i += 3) {
+    for (size_t j = i + 1; j < std::min(events.size(), i + 30); ++j) {
+      if (events[i].topic == events[j].topic) {
+        same_topic += overlap(events[i], events[j]);
+        ++same_n;
+      } else {
+        diff_topic += overlap(events[i], events[j]);
+        ++diff_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(diff_n, 0);
+  EXPECT_GT(same_topic / same_n, 2.0 * diff_topic / diff_n);
+}
+
+TEST(SyntheticTest, UsersAttendTopicsTheyAreInterestedIn) {
+  const auto data = GenerateSynthetic(SmallConfig());
+  // Average interest of attendees in the event's topic should beat the
+  // uniform baseline 1/num_topics.
+  double total_interest = 0.0;
+  size_t n = 0;
+  for (const auto& att : data.dataset.attendances()) {
+    const int topic = data.dataset.event(att.event).topic;
+    total_interest += data.user_profiles[att.user].topic_interest[topic];
+    ++n;
+  }
+  ASSERT_GT(n, 0u);
+  EXPECT_GT(total_interest / n, 2.0 / 6.0);  // >2x uniform
+}
+
+TEST(SyntheticTest, FriendsCoAttend) {
+  // The social cascade must produce friend pairs at the same event —
+  // the ground truth of the joint task. Expect a nontrivial number.
+  const auto data = GenerateSynthetic(SmallConfig());
+  size_t friend_pairs = 0;
+  for (uint32_t x = 0; x < data.dataset.num_events(); ++x) {
+    const auto& users = data.dataset.UsersOf(x);
+    for (size_t i = 0; i < users.size(); ++i) {
+      for (size_t j = i + 1; j < users.size(); ++j) {
+        if (data.dataset.AreFriends(users[i], users[j])) ++friend_pairs;
+      }
+    }
+  }
+  EXPECT_GT(friend_pairs, 50u);
+}
+
+TEST(SyntheticTest, BeijingLargerThanShanghai) {
+  const auto beijing = SyntheticConfig::Beijing(0.1);
+  const auto shanghai = SyntheticConfig::Shanghai(0.1);
+  EXPECT_GT(beijing.num_users, shanghai.num_users);
+  EXPECT_GT(beijing.num_events, shanghai.num_events);
+  EXPECT_EQ(beijing.name, "beijing");
+  EXPECT_EQ(shanghai.name, "shanghai");
+}
+
+TEST(SyntheticTest, ScaleParameterScalesCounts) {
+  const auto half = SyntheticConfig::Beijing(0.5);
+  const auto full = SyntheticConfig::Beijing(1.0);
+  EXPECT_EQ(half.num_users * 2, full.num_users);
+  EXPECT_EQ(half.num_events * 2, full.num_events);
+}
+
+TEST(SyntheticTest, UserProfilesAreNormalized) {
+  const auto data = GenerateSynthetic(SmallConfig());
+  for (const auto& profile : data.user_profiles) {
+    double total = 0.0;
+    for (double v : profile.topic_interest) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_LT(profile.preferred_hour, 24u);
+    EXPECT_GE(profile.weekend_preference, 0.0);
+    EXPECT_LE(profile.weekend_preference, 1.0);
+  }
+}
+
+TEST(SyntheticDeathTest, TooSmallConfigRejected) {
+  SyntheticConfig c;
+  c.num_users = 2;
+  EXPECT_DEATH(GenerateSynthetic(c), "too small");
+}
+
+}  // namespace
+}  // namespace gemrec::ebsn

@@ -1,0 +1,82 @@
+#include "ebsn/tfidf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace gemrec::ebsn {
+namespace {
+
+TEST(TfIdfTest, EmptyCorpus) {
+  const auto result = ComputeTfIdf({}, 10);
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(TfIdfTest, EmptyDocumentHasNoWeights) {
+  const auto result = ComputeTfIdf({{}}, 10);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result[0].empty());
+}
+
+TEST(TfIdfTest, DuplicateWordsCollapseToOneEntryWithHigherTf) {
+  const auto result = ComputeTfIdf({{3, 3, 3, 7}}, 10);
+  ASSERT_EQ(result.size(), 1u);
+  ASSERT_EQ(result[0].size(), 2u);
+  EXPECT_EQ(result[0][0].word, 3u);
+  EXPECT_EQ(result[0][1].word, 7u);
+  // tf(3) = 3/4, tf(7) = 1/4, same idf -> weight ratio 3.
+  EXPECT_NEAR(result[0][0].weight / result[0][1].weight, 3.0, 1e-9);
+}
+
+TEST(TfIdfTest, RareWordOutweighsCommonWord) {
+  // Word 0 appears in all docs; word 1 only in doc 0.
+  const std::vector<std::vector<WordId>> docs = {
+      {0, 1}, {0}, {0}, {0}};
+  const auto result = ComputeTfIdf(docs, 2);
+  const auto& doc0 = result[0];
+  ASSERT_EQ(doc0.size(), 2u);
+  double w_common = 0.0;
+  double w_rare = 0.0;
+  for (const auto& ww : doc0) {
+    if (ww.word == 0) w_common = ww.weight;
+    if (ww.word == 1) w_rare = ww.weight;
+  }
+  EXPECT_GT(w_rare, w_common);
+}
+
+TEST(TfIdfTest, WeightsArePositive) {
+  const std::vector<std::vector<WordId>> docs = {{0, 1, 2}, {2, 3}, {0}};
+  for (const auto& doc : ComputeTfIdf(docs, 5)) {
+    for (const auto& ww : doc) EXPECT_GT(ww.weight, 0.0);
+  }
+}
+
+TEST(TfIdfTest, IdfFormulaMatchesHandComputation) {
+  // Single doc, single word: tf = 1, idf = log(2/2)+1 = 1.
+  const auto result = ComputeTfIdf({{4}}, 5);
+  ASSERT_EQ(result[0].size(), 1u);
+  EXPECT_NEAR(result[0][0].weight, 1.0, 1e-12);
+}
+
+TEST(TfIdfTest, WordInEveryDocumentStillGetsPositiveWeight) {
+  const std::vector<std::vector<WordId>> docs = {{0}, {0}, {0}};
+  const auto result = ComputeTfIdf(docs, 1);
+  // idf = log(4/4) + 1 = 1 > 0.
+  EXPECT_NEAR(result[0][0].weight, 1.0, 1e-12);
+}
+
+TEST(TfIdfTest, OutputParallelToInput) {
+  const std::vector<std::vector<WordId>> docs = {{0}, {}, {1, 1}};
+  const auto result = ComputeTfIdf(docs, 2);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].size(), 1u);
+  EXPECT_EQ(result[1].size(), 0u);
+  EXPECT_EQ(result[2].size(), 1u);
+}
+
+TEST(TfIdfDeathTest, OutOfVocabularyWordRejected) {
+  EXPECT_DEATH(ComputeTfIdf({{11}}, 10), "out of vocabulary");
+}
+
+}  // namespace
+}  // namespace gemrec::ebsn

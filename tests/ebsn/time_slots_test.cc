@@ -1,0 +1,91 @@
+#include "ebsn/time_slots.h"
+
+#include <gtest/gtest.h>
+
+namespace gemrec::ebsn {
+namespace {
+
+// 2017-06-29 18:00:00 UTC — the paper's worked example: slots must be
+// {18:00, Thursday, weekday}.
+constexpr int64_t kPaperExample = 1498759200;
+
+TEST(TimeSlotsTest, PaperExampleMapsToThreeSlots) {
+  const auto slots = TimeSlotsFor(kPaperExample);
+  EXPECT_EQ(slots[0], kHourSlotBase + 18u);
+  EXPECT_EQ(slots[1], kDaySlotBase + 3u);  // Thursday (Monday = 0)
+  EXPECT_EQ(slots[2], kWeekdaySlot);
+}
+
+TEST(TimeSlotsTest, SlotCountIs33) {
+  EXPECT_EQ(kNumTimeSlots, 33u);
+  EXPECT_EQ(kNumHourSlots + kNumDaySlots + kNumWeekpartSlots, 33u);
+}
+
+TEST(TimeSlotsTest, EpochIsThursdayMidnight) {
+  EXPECT_EQ(HourOfDay(0), 0u);
+  EXPECT_EQ(DayOfWeek(0), 3u);  // 1970-01-01 was a Thursday
+  EXPECT_FALSE(IsWeekend(0));
+}
+
+TEST(TimeSlotsTest, TwoDaysAfterEpochIsSaturday) {
+  const int64_t saturday = 2 * 86400;
+  EXPECT_EQ(DayOfWeek(saturday), 5u);
+  EXPECT_TRUE(IsWeekend(saturday));
+  EXPECT_EQ(TimeSlotsFor(saturday)[2], kWeekendSlot);
+}
+
+TEST(TimeSlotsTest, HourWrapsWithinDay) {
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_EQ(HourOfDay(h * 3600 + 30 * 60), static_cast<uint32_t>(h));
+  }
+}
+
+TEST(TimeSlotsTest, WeekWrapsAfterSevenDays) {
+  for (int d = 0; d < 14; ++d) {
+    EXPECT_EQ(DayOfWeek(static_cast<int64_t>(d) * 86400),
+              static_cast<uint32_t>((d + 3) % 7));
+  }
+}
+
+TEST(TimeSlotsTest, NegativeTimestampsAreHandled) {
+  // 1969-12-31 23:00 UTC — Wednesday.
+  const int64_t t = -3600;
+  EXPECT_EQ(HourOfDay(t), 23u);
+  EXPECT_EQ(DayOfWeek(t), 2u);
+}
+
+TEST(TimeSlotsTest, AllSlotsHaveNames) {
+  for (TimeSlotId s = 0; s < kNumTimeSlots; ++s) {
+    EXPECT_NE(TimeSlotName(s), nullptr);
+    EXPECT_GT(std::string(TimeSlotName(s)).size(), 0u);
+  }
+  EXPECT_STREQ(TimeSlotName(18), "18:00");
+  EXPECT_STREQ(TimeSlotName(kDaySlotBase + 3), "Thursday");
+  EXPECT_STREQ(TimeSlotName(kWeekdaySlot), "weekday");
+  EXPECT_STREQ(TimeSlotName(kWeekendSlot), "weekend");
+}
+
+/// Property: every timestamp maps to exactly one slot per scale, in
+/// range.
+class TimeSlotsPropertyTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(TimeSlotsPropertyTest, SlotsAreOnePerScaleAndInRange) {
+  const int64_t t = GetParam();
+  const auto slots = TimeSlotsFor(t);
+  EXPECT_LT(slots[0], kDaySlotBase);
+  EXPECT_GE(slots[1], kDaySlotBase);
+  EXPECT_LT(slots[1], kWeekpartSlotBase);
+  EXPECT_GE(slots[2], kWeekpartSlotBase);
+  EXPECT_LT(slots[2], kNumTimeSlots);
+  // Weekpart slot must agree with the day slot.
+  const bool weekend_day = slots[1] - kDaySlotBase >= 5;
+  EXPECT_EQ(slots[2] == kWeekendSlot, weekend_day);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Timestamps, TimeSlotsPropertyTest,
+    ::testing::Values(0, 1, 86399, 86400, 1130000000, 1356912000,
+                      kPaperExample, 2000000000));
+
+}  // namespace
+}  // namespace gemrec::ebsn

@@ -1,0 +1,142 @@
+#include "embedding/adaptive_sampler.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace gemrec::embedding {
+namespace {
+
+/// Store with 1 user and 6 events in a 2-dim space laid out so that
+/// event i has coordinates (6-i, 0): the ranking on dimension 0 is
+/// exactly 0,1,2,3,4,5.
+std::unique_ptr<EmbeddingStore> MakeRankedStore() {
+  auto store = std::make_unique<EmbeddingStore>(
+      2, std::array<uint32_t, 5>{1, 6, 1, 1, 1});
+  for (uint32_t x = 0; x < 6; ++x) {
+    store->VectorOf(graph::NodeType::kEvent, x)[0] =
+        static_cast<float>(6 - x);
+    store->VectorOf(graph::NodeType::kEvent, x)[1] = 0.0f;
+  }
+  // Context user points along dimension 0.
+  store->VectorOf(graph::NodeType::kUser, 0)[0] = 1.0f;
+  store->VectorOf(graph::NodeType::kUser, 0)[1] = 0.0f;
+  return store;
+}
+
+graph::BipartiteGraph UserEventGraph() {
+  graph::BipartiteGraph g(graph::NodeType::kUser, 1,
+                          graph::NodeType::kEvent, 6);
+  g.AddEdge(0, 0, 1.0);
+  g.Seal();
+  return g;
+}
+
+TEST(AdaptiveSamplerTest, TopRankedNodeIsMostLikely) {
+  auto store = MakeRankedStore();
+  AdaptiveNoiseSampler sampler(store.get(), /*lambda=*/1.0);
+  sampler.RebuildAll();
+  graph::BipartiteGraph g = UserEventGraph();
+  const float* context = store->VectorOf(graph::NodeType::kUser, 0);
+  Rng rng(1);
+  std::map<uint32_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[sampler.SampleNoise(g, Side::kB, context, &rng)];
+  }
+  // λ=1 concentrates on ranks 0 and 1; event 0 is ranked first on the
+  // only informative dimension.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[0], n / 2);
+}
+
+TEST(AdaptiveSamplerTest, LargeLambdaFlattensDistribution) {
+  auto store = MakeRankedStore();
+  AdaptiveNoiseSampler sampler(store.get(), /*lambda=*/1e6);
+  sampler.RebuildAll();
+  graph::BipartiteGraph g = UserEventGraph();
+  const float* context = store->VectorOf(graph::NodeType::kUser, 0);
+  Rng rng(2);
+  std::map<uint32_t, int> counts;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[sampler.SampleNoise(g, Side::kB, context, &rng)];
+  }
+  for (uint32_t x = 0; x < 6; ++x) {
+    EXPECT_NEAR(counts[x] / static_cast<double>(n), 1.0 / 6.0, 0.02)
+        << x;
+  }
+}
+
+TEST(AdaptiveSamplerTest, AdaptsWhenEmbeddingsChange) {
+  auto store = MakeRankedStore();
+  AdaptiveNoiseSampler sampler(store.get(), /*lambda=*/1.0);
+  sampler.RebuildAll();
+  graph::BipartiteGraph g = UserEventGraph();
+  const float* context = store->VectorOf(graph::NodeType::kUser, 0);
+  Rng rng(3);
+
+  // Invert the ranking: event 5 becomes top.
+  for (uint32_t x = 0; x < 6; ++x) {
+    store->VectorOf(graph::NodeType::kEvent, x)[0] =
+        static_cast<float>(x + 1);
+  }
+  sampler.RebuildAll();
+  std::map<uint32_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[sampler.SampleNoise(g, Side::kB, context, &rng)];
+  }
+  EXPECT_GT(counts[5], counts[0]);
+  EXPECT_GT(counts[5], 10000);
+}
+
+TEST(AdaptiveSamplerTest, ZeroContextFallsBackToUniformDimension) {
+  auto store = MakeRankedStore();
+  store->VectorOf(graph::NodeType::kUser, 0)[0] = 0.0f;
+  AdaptiveNoiseSampler sampler(store.get(), 5.0);
+  sampler.RebuildAll();
+  graph::BipartiteGraph g = UserEventGraph();
+  const float* context = store->VectorOf(graph::NodeType::kUser, 0);
+  Rng rng(4);
+  // Must not crash and must return valid ids.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(sampler.SampleNoise(g, Side::kB, context, &rng), 6u);
+  }
+}
+
+TEST(AdaptiveSamplerTest, PeriodicRebuildHappensAutomatically) {
+  auto store = MakeRankedStore();
+  AdaptiveNoiseSampler sampler(store.get(), 5.0);
+  graph::BipartiteGraph g = UserEventGraph();
+  const float* context = store->VectorOf(graph::NodeType::kUser, 0);
+  Rng rng(5);
+  const uint64_t before = sampler.rebuild_count();
+  // Far more draws than the event-type rebuild period (max(64, 6 log 6)).
+  for (int i = 0; i < 1000; ++i) {
+    sampler.SampleNoise(g, Side::kB, context, &rng);
+  }
+  EXPECT_GT(sampler.rebuild_count(), before);
+}
+
+TEST(AdaptiveSamplerTest, SamplesFromSideAUseUserRanking) {
+  auto store = MakeRankedStore();
+  AdaptiveNoiseSampler sampler(store.get(), 5.0);
+  sampler.RebuildAll();
+  graph::BipartiteGraph g = UserEventGraph();
+  const float* context = store->VectorOf(graph::NodeType::kEvent, 0);
+  Rng rng(6);
+  // Only one user exists: every side-A draw must return it.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sampler.SampleNoise(g, Side::kA, context, &rng), 0u);
+  }
+}
+
+TEST(AdaptiveSamplerDeathTest, InvalidConstruction) {
+  auto store = MakeRankedStore();
+  EXPECT_DEATH(AdaptiveNoiseSampler(nullptr, 1.0), "nullptr");
+  EXPECT_DEATH(AdaptiveNoiseSampler(store.get(), 0.0), "lambda");
+}
+
+}  // namespace
+}  // namespace gemrec::embedding

@@ -1,0 +1,58 @@
+#include "embedding/embedding_store.h"
+
+#include <gtest/gtest.h>
+
+namespace gemrec::embedding {
+namespace {
+
+TEST(EmbeddingStoreTest, AllocatesPerTypeMatrices) {
+  EmbeddingStore store(8, {10, 20, 5, 33, 100});
+  EXPECT_EQ(store.dim(), 8u);
+  EXPECT_EQ(store.CountOf(graph::NodeType::kUser), 10u);
+  EXPECT_EQ(store.CountOf(graph::NodeType::kEvent), 20u);
+  EXPECT_EQ(store.CountOf(graph::NodeType::kLocation), 5u);
+  EXPECT_EQ(store.CountOf(graph::NodeType::kTime), 33u);
+  EXPECT_EQ(store.CountOf(graph::NodeType::kWord), 100u);
+}
+
+TEST(EmbeddingStoreTest, VectorsAreZeroBeforeInit) {
+  EmbeddingStore store(4, {2, 2, 2, 2, 2});
+  const float* v = store.VectorOf(graph::NodeType::kEvent, 1);
+  for (uint32_t f = 0; f < 4; ++f) EXPECT_EQ(v[f], 0.0f);
+}
+
+TEST(EmbeddingStoreTest, InitGaussianIsNonnegativeAndSmall) {
+  EmbeddingStore store(16, {50, 50, 10, 33, 200});
+  Rng rng(1);
+  store.InitGaussian(&rng, 0.01);
+  double max_seen = 0.0;
+  for (size_t t = 0; t < EmbeddingStore::kNumTypes; ++t) {
+    const Matrix& m =
+        store.MatrixOf(static_cast<graph::NodeType>(t));
+    for (float v : m.data()) {
+      EXPECT_GE(v, 0.0f);
+      max_seen = std::max(max_seen, static_cast<double>(v));
+    }
+  }
+  EXPECT_GT(max_seen, 0.0);
+  EXPECT_LT(max_seen, 0.1);  // 0.01 stddev -> tiny values
+}
+
+TEST(EmbeddingStoreTest, VectorOfAliasesMatrixRow) {
+  EmbeddingStore store(3, {4, 4, 4, 4, 4});
+  store.VectorOf(graph::NodeType::kUser, 2)[1] = 9.0f;
+  EXPECT_EQ(store.MatrixOf(graph::NodeType::kUser).At(2, 1), 9.0f);
+}
+
+TEST(EmbeddingStoreTest, TypesAreIndependentStorage) {
+  EmbeddingStore store(2, {1, 1, 1, 1, 1});
+  store.VectorOf(graph::NodeType::kUser, 0)[0] = 1.0f;
+  EXPECT_EQ(store.VectorOf(graph::NodeType::kEvent, 0)[0], 0.0f);
+}
+
+TEST(EmbeddingStoreDeathTest, ZeroDimRejected) {
+  EXPECT_DEATH(EmbeddingStore(0, {1, 1, 1, 1, 1}), "dim > 0");
+}
+
+}  // namespace
+}  // namespace gemrec::embedding

@@ -1,0 +1,94 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/vec_math.h"
+#include "embedding/online_update.h"
+
+namespace gemrec::embedding {
+namespace {
+
+/// 2-topic store (events 0-4 on dim 0, events 5-9 on dim 1) with a
+/// user initially aligned to topic 0.
+std::unique_ptr<EmbeddingStore> MakeStore() {
+  auto store = std::make_unique<EmbeddingStore>(
+      4, std::array<uint32_t, 5>{2, 10, 1, 33, 5});
+  for (uint32_t x = 0; x < 5; ++x) {
+    store->VectorOf(graph::NodeType::kEvent, x)[0] = 1.0f;
+  }
+  for (uint32_t x = 5; x < 10; ++x) {
+    store->VectorOf(graph::NodeType::kEvent, x)[1] = 1.0f;
+  }
+  store->VectorOf(graph::NodeType::kUser, 0)[0] = 1.0f;
+  return store;
+}
+
+TEST(IncrementalUpdateTest, AttendanceIncreasesAffinityToTheEvent) {
+  auto store = MakeStore();
+  const float* event = store->VectorOf(graph::NodeType::kEvent, 7);
+  const float before =
+      Dot(store->VectorOf(graph::NodeType::kUser, 0), event, 4);
+  OnlineUpdateOptions options;
+  options.iterations = 30;
+  ASSERT_TRUE(
+      UpdateUserWithAttendance(store.get(), 0, 7, options).ok());
+  const float after =
+      Dot(store->VectorOf(graph::NodeType::kUser, 0), event, 4);
+  EXPECT_GT(after, before);
+}
+
+TEST(IncrementalUpdateTest, DriftAccumulatesAcrossAttendances) {
+  // A topic-0 user repeatedly attending topic-1 events must drift:
+  // topic-1 affinity overtakes its starting point while the old
+  // preference is retained (no reinitialization).
+  auto store = MakeStore();
+  OnlineUpdateOptions options;
+  options.iterations = 20;
+  for (ebsn::EventId x : {5u, 6u, 7u, 8u}) {
+    ASSERT_TRUE(
+        UpdateUserWithAttendance(store.get(), 0, x, options).ok());
+  }
+  const float* v = store->VectorOf(graph::NodeType::kUser, 0);
+  EXPECT_GT(v[1], 0.1f);  // gained the new topic
+  EXPECT_GT(v[0], 0.1f);  // kept the old one (no reinit)
+}
+
+TEST(IncrementalUpdateTest, EventSideIsFrozen) {
+  auto store = MakeStore();
+  std::vector<float> event7(store->VectorOf(graph::NodeType::kEvent, 7),
+                            store->VectorOf(graph::NodeType::kEvent, 7) + 4);
+  OnlineUpdateOptions options;
+  options.iterations = 25;
+  ASSERT_TRUE(
+      UpdateUserWithAttendance(store.get(), 0, 7, options).ok());
+  for (uint32_t f = 0; f < 4; ++f) {
+    EXPECT_EQ(store->VectorOf(graph::NodeType::kEvent, 7)[f], event7[f]);
+  }
+}
+
+TEST(IncrementalUpdateTest, StaysNonnegativeAndFinite) {
+  auto store = MakeStore();
+  OnlineUpdateOptions options;
+  options.iterations = 200;
+  options.learning_rate = 0.5f;
+  ASSERT_TRUE(
+      UpdateUserWithAttendance(store.get(), 1, 3, options).ok());
+  const float* v = store->VectorOf(graph::NodeType::kUser, 1);
+  for (uint32_t f = 0; f < 4; ++f) {
+    EXPECT_GE(v[f], 0.0f);
+    EXPECT_TRUE(std::isfinite(v[f]));
+  }
+}
+
+TEST(IncrementalUpdateTest, RejectsBadIds) {
+  auto store = MakeStore();
+  EXPECT_EQ(UpdateUserWithAttendance(nullptr, 0, 0, {}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(UpdateUserWithAttendance(store.get(), 9, 0, {}).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(UpdateUserWithAttendance(store.get(), 0, 99, {}).code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace gemrec::embedding

@@ -1,0 +1,68 @@
+#include "embedding/noise_sampler.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace gemrec::embedding {
+namespace {
+
+graph::BipartiteGraph MakeGraph() {
+  graph::BipartiteGraph g(graph::NodeType::kUser, 3,
+                          graph::NodeType::kEvent, 5);
+  g.AddEdge(0, 0, 1.0);
+  g.AddEdge(1, 1, 5.0);
+  g.AddEdge(2, 2, 1.0);
+  g.Seal();
+  return g;
+}
+
+TEST(UniformNoiseSamplerTest, CoversWholeSideUniformly) {
+  graph::BipartiteGraph g = MakeGraph();
+  UniformNoiseSampler sampler;
+  Rng rng(1);
+  std::map<uint32_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[sampler.SampleNoise(g, Side::kB, nullptr, &rng)];
+  }
+  // Uniform over all 5 side-B nodes, including degree-0 nodes 3 and 4.
+  for (uint32_t b = 0; b < 5; ++b) {
+    EXPECT_NEAR(counts[b] / static_cast<double>(n), 0.2, 0.01) << b;
+  }
+}
+
+TEST(UniformNoiseSamplerTest, SideAHasItsOwnRange) {
+  graph::BipartiteGraph g = MakeGraph();
+  UniformNoiseSampler sampler;
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(sampler.SampleNoise(g, Side::kA, nullptr, &rng), 3u);
+  }
+}
+
+TEST(DegreeNoiseSamplerTest, NeverSamplesZeroDegreeNodes) {
+  graph::BipartiteGraph g = MakeGraph();
+  DegreeNoiseSampler sampler;
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t k = sampler.SampleNoise(g, Side::kB, nullptr, &rng);
+    EXPECT_LT(k, 3u);  // nodes 3, 4 have degree 0
+  }
+}
+
+TEST(DegreeNoiseSamplerTest, PrefersHighDegreeNodes) {
+  graph::BipartiteGraph g = MakeGraph();
+  DegreeNoiseSampler sampler;
+  Rng rng(4);
+  std::map<uint32_t, int> counts;
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[sampler.SampleNoise(g, Side::kB, nullptr, &rng)];
+  }
+  // Node 1 has degree 5 vs 1 — clearly dominant under d^0.75.
+  EXPECT_GT(counts[1], counts[0] * 2);
+  EXPECT_GT(counts[1], counts[2] * 2);
+}
+
+}  // namespace
+}  // namespace gemrec::embedding

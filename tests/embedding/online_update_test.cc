@@ -1,0 +1,123 @@
+#include "embedding/online_update.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/vec_math.h"
+
+namespace gemrec::embedding {
+namespace {
+
+/// Store whose word space has two well-separated "topics": words 0-9
+/// point along dimension 0, words 10-19 along dimension 1. Region 0
+/// follows topic A, region 1 topic B. Users 0/1 prefer topic A/B.
+std::unique_ptr<EmbeddingStore> MakeTopicStore() {
+  auto store = std::make_unique<EmbeddingStore>(
+      4, std::array<uint32_t, 5>{2, 3, 2, 33, 20});
+  for (uint32_t w = 0; w < 10; ++w) {
+    store->VectorOf(graph::NodeType::kWord, w)[0] = 1.0f;
+  }
+  for (uint32_t w = 10; w < 20; ++w) {
+    store->VectorOf(graph::NodeType::kWord, w)[1] = 1.0f;
+  }
+  store->VectorOf(graph::NodeType::kLocation, 0)[0] = 1.0f;
+  store->VectorOf(graph::NodeType::kLocation, 1)[1] = 1.0f;
+  store->VectorOf(graph::NodeType::kUser, 0)[0] = 1.0f;
+  store->VectorOf(graph::NodeType::kUser, 1)[1] = 1.0f;
+  for (uint32_t slot = 0; slot < 33; ++slot) {
+    store->VectorOf(graph::NodeType::kTime, slot)[2] = 0.2f;
+  }
+  return store;
+}
+
+NewEventSignals TopicASignals() {
+  NewEventSignals signals;
+  for (uint32_t w = 0; w < 6; ++w) signals.words.push_back({w, 1.0f});
+  signals.region = 0;
+  signals.start_time = 1498759200;  // Thursday 18:00
+  return signals;
+}
+
+TEST(OnlineUpdateTest, FoldedInEventAlignsWithItsTopic) {
+  auto store = MakeTopicStore();
+  ASSERT_TRUE(
+      FoldInColdEvent(store.get(), 0, TopicASignals(), {}).ok());
+  const float* v = store->VectorOf(graph::NodeType::kEvent, 0);
+  // Topic-A mass must dominate topic-B mass.
+  EXPECT_GT(v[0], 5.0f * v[1] + 0.01f);
+  // And the matching user must prefer it over the other user.
+  const float* user_a = store->VectorOf(graph::NodeType::kUser, 0);
+  const float* user_b = store->VectorOf(graph::NodeType::kUser, 1);
+  EXPECT_GT(Dot(user_a, v, 4), Dot(user_b, v, 4));
+}
+
+TEST(OnlineUpdateTest, OnlyTheTargetRowChanges) {
+  auto store = MakeTopicStore();
+  std::vector<float> other_event(
+      store->VectorOf(graph::NodeType::kEvent, 1),
+      store->VectorOf(graph::NodeType::kEvent, 1) + 4);
+  std::vector<float> word(store->VectorOf(graph::NodeType::kWord, 0),
+                          store->VectorOf(graph::NodeType::kWord, 0) + 4);
+  ASSERT_TRUE(
+      FoldInColdEvent(store.get(), 0, TopicASignals(), {}).ok());
+  for (uint32_t f = 0; f < 4; ++f) {
+    EXPECT_EQ(store->VectorOf(graph::NodeType::kEvent, 1)[f],
+              other_event[f]);
+    EXPECT_EQ(store->VectorOf(graph::NodeType::kWord, 0)[f], word[f]);
+  }
+}
+
+TEST(OnlineUpdateTest, ResultIsNonnegativeAndFinite) {
+  auto store = MakeTopicStore();
+  ASSERT_TRUE(
+      FoldInColdEvent(store.get(), 2, TopicASignals(), {}).ok());
+  const float* v = store->VectorOf(graph::NodeType::kEvent, 2);
+  for (uint32_t f = 0; f < 4; ++f) {
+    EXPECT_GE(v[f], 0.0f);
+    EXPECT_TRUE(std::isfinite(v[f]));
+  }
+}
+
+TEST(OnlineUpdateTest, DeterministicForSameSeed) {
+  auto a = MakeTopicStore();
+  auto b = MakeTopicStore();
+  ASSERT_TRUE(FoldInColdEvent(a.get(), 0, TopicASignals(), {}).ok());
+  ASSERT_TRUE(FoldInColdEvent(b.get(), 0, TopicASignals(), {}).ok());
+  for (uint32_t f = 0; f < 4; ++f) {
+    EXPECT_EQ(a->VectorOf(graph::NodeType::kEvent, 0)[f],
+              b->VectorOf(graph::NodeType::kEvent, 0)[f]);
+  }
+}
+
+TEST(OnlineUpdateTest, RejectsBadInputs) {
+  auto store = MakeTopicStore();
+  NewEventSignals signals = TopicASignals();
+  EXPECT_EQ(FoldInColdEvent(nullptr, 0, signals, {}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FoldInColdEvent(store.get(), 99, signals, {}).code(),
+            StatusCode::kOutOfRange);
+  NewEventSignals bad_word = signals;
+  bad_word.words.push_back({999, 1.0f});
+  EXPECT_EQ(FoldInColdEvent(store.get(), 0, bad_word, {}).code(),
+            StatusCode::kOutOfRange);
+  NewEventSignals bad_region = signals;
+  bad_region.region = 17;
+  EXPECT_EQ(FoldInColdEvent(store.get(), 0, bad_region, {}).code(),
+            StatusCode::kOutOfRange);
+  NewEventSignals bad_weight = signals;
+  bad_weight.words[0].second = 0.0f;
+  EXPECT_EQ(FoldInColdEvent(store.get(), 0, bad_weight, {}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OnlineUpdateTest, NoRegionStillWorksFromWordsAndTime) {
+  auto store = MakeTopicStore();
+  NewEventSignals signals = TopicASignals();
+  signals.region = ebsn::kInvalidId;
+  ASSERT_TRUE(FoldInColdEvent(store.get(), 0, signals, {}).ok());
+  EXPECT_GT(store->VectorOf(graph::NodeType::kEvent, 0)[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace gemrec::embedding

@@ -1,0 +1,102 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/vec_math.h"
+#include "embedding/online_update.h"
+
+namespace gemrec::embedding {
+namespace {
+
+/// Store with 2-topic event space: events 0-4 along dimension 0,
+/// events 5-9 along dimension 1; users 3 (existing) along dim 0.
+std::unique_ptr<EmbeddingStore> MakeTopicStore() {
+  auto store = std::make_unique<EmbeddingStore>(
+      4, std::array<uint32_t, 5>{4, 10, 1, 33, 5});
+  for (uint32_t x = 0; x < 5; ++x) {
+    store->VectorOf(graph::NodeType::kEvent, x)[0] = 1.0f;
+  }
+  for (uint32_t x = 5; x < 10; ++x) {
+    store->VectorOf(graph::NodeType::kEvent, x)[1] = 1.0f;
+  }
+  store->VectorOf(graph::NodeType::kUser, 3)[0] = 1.0f;
+  return store;
+}
+
+TEST(OnlineUserUpdateTest, NewUserAlignsWithAttendedTopic) {
+  auto store = MakeTopicStore();
+  NewUserSignals signals;
+  signals.attended_events = {0, 1, 2};
+  ASSERT_TRUE(FoldInColdUser(store.get(), 0, signals, {}).ok());
+  const float* v = store->VectorOf(graph::NodeType::kUser, 0);
+  EXPECT_GT(v[0], 3.0f * v[1] + 0.01f);
+  // And she now prefers topic-0 events over topic-1 events.
+  const float* topic0 = store->VectorOf(graph::NodeType::kEvent, 4);
+  const float* topic1 = store->VectorOf(graph::NodeType::kEvent, 9);
+  EXPECT_GT(Dot(v, topic0, 4), Dot(v, topic1, 4));
+}
+
+TEST(OnlineUserUpdateTest, FriendSignalsAlsoShapeTheVector) {
+  auto store = MakeTopicStore();
+  NewUserSignals signals;
+  signals.friends = {3};  // friend aligned with dimension 0
+  ASSERT_TRUE(FoldInColdUser(store.get(), 1, signals, {}).ok());
+  const float* v = store->VectorOf(graph::NodeType::kUser, 1);
+  EXPECT_GT(v[0], v[1]);
+}
+
+TEST(OnlineUserUpdateTest, FrozenRowsUntouched) {
+  auto store = MakeTopicStore();
+  std::vector<float> event0(
+      store->VectorOf(graph::NodeType::kEvent, 0),
+      store->VectorOf(graph::NodeType::kEvent, 0) + 4);
+  std::vector<float> user3(store->VectorOf(graph::NodeType::kUser, 3),
+                           store->VectorOf(graph::NodeType::kUser, 3) + 4);
+  NewUserSignals signals;
+  signals.attended_events = {0};
+  signals.friends = {3};
+  ASSERT_TRUE(FoldInColdUser(store.get(), 2, signals, {}).ok());
+  for (uint32_t f = 0; f < 4; ++f) {
+    EXPECT_EQ(store->VectorOf(graph::NodeType::kEvent, 0)[f], event0[f]);
+    EXPECT_EQ(store->VectorOf(graph::NodeType::kUser, 3)[f], user3[f]);
+  }
+}
+
+TEST(OnlineUserUpdateTest, RejectsBadInputs) {
+  auto store = MakeTopicStore();
+  NewUserSignals empty;
+  EXPECT_EQ(FoldInColdUser(store.get(), 0, empty, {}).code(),
+            StatusCode::kInvalidArgument);
+  NewUserSignals bad_event;
+  bad_event.attended_events = {99};
+  EXPECT_EQ(FoldInColdUser(store.get(), 0, bad_event, {}).code(),
+            StatusCode::kOutOfRange);
+  NewUserSignals self_friend;
+  self_friend.friends = {0};
+  EXPECT_EQ(FoldInColdUser(store.get(), 0, self_friend, {}).code(),
+            StatusCode::kInvalidArgument);
+  NewUserSignals ok;
+  ok.attended_events = {1};
+  EXPECT_EQ(FoldInColdUser(store.get(), 77, ok, {}).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(FoldInColdUser(nullptr, 0, ok, {}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OnlineUserUpdateTest, ResultNonnegativeFiniteDeterministic) {
+  auto a = MakeTopicStore();
+  auto b = MakeTopicStore();
+  NewUserSignals signals;
+  signals.attended_events = {0, 6};
+  ASSERT_TRUE(FoldInColdUser(a.get(), 0, signals, {}).ok());
+  ASSERT_TRUE(FoldInColdUser(b.get(), 0, signals, {}).ok());
+  for (uint32_t f = 0; f < 4; ++f) {
+    const float v = a->VectorOf(graph::NodeType::kUser, 0)[f];
+    EXPECT_GE(v, 0.0f);
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_EQ(v, b->VectorOf(graph::NodeType::kUser, 0)[f]);
+  }
+}
+
+}  // namespace
+}  // namespace gemrec::embedding

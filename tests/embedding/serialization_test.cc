@@ -1,0 +1,90 @@
+#include "embedding/serialization.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace gemrec::embedding {
+namespace {
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("gemrec_store_" + std::to_string(::getpid()) + ".bin"))
+                .string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  std::string path_;
+};
+
+EmbeddingStore MakeStore() {
+  EmbeddingStore store(8, {10, 20, 3, 33, 50});
+  Rng rng(5);
+  store.InitGaussian(&rng, 0.1);
+  return store;
+}
+
+TEST_F(SerializationTest, RoundTripPreservesEverything) {
+  EmbeddingStore original = MakeStore();
+  ASSERT_TRUE(SaveEmbeddingStore(original, path_).ok());
+  auto loaded = LoadEmbeddingStore(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->dim(), original.dim());
+  for (size_t t = 0; t < EmbeddingStore::kNumTypes; ++t) {
+    const auto type = static_cast<graph::NodeType>(t);
+    ASSERT_EQ(loaded->CountOf(type), original.CountOf(type));
+    EXPECT_EQ(loaded->MatrixOf(type).data(),
+              original.MatrixOf(type).data());
+  }
+}
+
+TEST_F(SerializationTest, MissingFileFails) {
+  auto result = LoadEmbeddingStore(path_ + ".does_not_exist");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(SerializationTest, BadMagicRejected) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "NOTGEMRECDATA and some more bytes to make it non-trivial";
+  }
+  auto result = LoadEmbeddingStore(path_);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SerializationTest, TruncatedPayloadRejected) {
+  EmbeddingStore original = MakeStore();
+  ASSERT_TRUE(SaveEmbeddingStore(original, path_).ok());
+  // Chop off the tail of the file.
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size / 2);
+  auto result = LoadEmbeddingStore(path_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(SerializationTest, SaveToUnwritablePathFails) {
+  EmbeddingStore original = MakeStore();
+  EXPECT_FALSE(
+      SaveEmbeddingStore(original, "/nonexistent_dir_xyz/store.bin")
+          .ok());
+}
+
+TEST_F(SerializationTest, EmptyTypeCountsSurvive) {
+  EmbeddingStore store(4, {0, 5, 0, 1, 0});
+  ASSERT_TRUE(SaveEmbeddingStore(store, path_).ok());
+  auto loaded = LoadEmbeddingStore(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->CountOf(graph::NodeType::kUser), 0u);
+  EXPECT_EQ(loaded->CountOf(graph::NodeType::kEvent), 5u);
+}
+
+}  // namespace
+}  // namespace gemrec::embedding

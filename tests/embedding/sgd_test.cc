@@ -1,0 +1,145 @@
+#include "embedding/sgd.h"
+
+#include <gtest/gtest.h>
+
+#include "common/vec_math.h"
+
+namespace gemrec::embedding {
+namespace {
+
+std::unique_ptr<EmbeddingStore> MakeStore() {
+  auto store = std::make_unique<EmbeddingStore>(
+      4, std::array<uint32_t, 5>{3, 3, 1, 1, 1});
+  Rng rng(1);
+  store->InitGaussian(&rng, 0.1);
+  return store;
+}
+
+graph::BipartiteGraph MakeGraph() {
+  graph::BipartiteGraph g(graph::NodeType::kUser, 3,
+                          graph::NodeType::kEvent, 3);
+  g.AddEdge(0, 0, 1.0);
+  g.AddEdge(1, 1, 1.0);
+  g.Seal();
+  return g;
+}
+
+TEST(SgdTest, PositivePairSimilarityIncreases) {
+  auto store = MakeStore();
+  graph::BipartiteGraph g = MakeGraph();
+  SgdScratch scratch(4);
+  const graph::Edge edge{0, 0, 1.0};
+  const float before =
+      Dot(store->VectorOf(graph::NodeType::kUser, 0),
+          store->VectorOf(graph::NodeType::kEvent, 0), 4);
+  for (int i = 0; i < 50; ++i) {
+    SgdEdgeStep(store.get(), g, edge, {}, {}, 0.1f, 1.0f, &scratch);
+  }
+  const float after =
+      Dot(store->VectorOf(graph::NodeType::kUser, 0),
+          store->VectorOf(graph::NodeType::kEvent, 0), 4);
+  EXPECT_GT(after, before);
+}
+
+TEST(SgdTest, NoiseNodeSimilarityDecreases) {
+  auto store = MakeStore();
+  graph::BipartiteGraph g = MakeGraph();
+  SgdScratch scratch(4);
+  const graph::Edge edge{0, 0, 1.0};
+  // Make noise event 2 initially similar to user 0.
+  for (uint32_t f = 0; f < 4; ++f) {
+    store->VectorOf(graph::NodeType::kEvent, 2)[f] =
+        store->VectorOf(graph::NodeType::kUser, 0)[f];
+  }
+  const float before =
+      Dot(store->VectorOf(graph::NodeType::kUser, 0),
+          store->VectorOf(graph::NodeType::kEvent, 2), 4);
+  for (int i = 0; i < 30; ++i) {
+    SgdEdgeStep(store.get(), g, edge, {2}, {}, 0.1f, 0.0f, &scratch);
+  }
+  const float after =
+      Dot(store->VectorOf(graph::NodeType::kUser, 0),
+          store->VectorOf(graph::NodeType::kEvent, 2), 4);
+  EXPECT_LT(after, before);
+}
+
+TEST(SgdTest, VectorsStayNonnegative) {
+  auto store = MakeStore();
+  graph::BipartiteGraph g = MakeGraph();
+  SgdScratch scratch(4);
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const graph::Edge edge{
+        static_cast<uint32_t>(rng.UniformInt(3)),
+        static_cast<uint32_t>(rng.UniformInt(3)), 1.0};
+    const std::vector<uint32_t> noise_b = {
+        static_cast<uint32_t>(rng.UniformInt(3))};
+    const std::vector<uint32_t> noise_a = {
+        static_cast<uint32_t>(rng.UniformInt(3))};
+    SgdEdgeStep(store.get(), g, edge, noise_b, noise_a, 0.2f, 1.0f, &scratch);
+  }
+  for (size_t t = 0; t < EmbeddingStore::kNumTypes; ++t) {
+    const Matrix& m =
+        store->MatrixOf(static_cast<graph::NodeType>(t));
+    for (float v : m.data()) EXPECT_GE(v, 0.0f);
+  }
+}
+
+TEST(SgdTest, BidirectionalUpdatesTouchSideANoise) {
+  auto store = MakeStore();
+  graph::BipartiteGraph g = MakeGraph();
+  SgdScratch scratch(4);
+  const graph::Edge edge{0, 0, 1.0};
+  // Noise user 2 initially equal to event 0's vector: similarity > 0.
+  for (uint32_t f = 0; f < 4; ++f) {
+    store->VectorOf(graph::NodeType::kUser, 2)[f] =
+        store->VectorOf(graph::NodeType::kEvent, 0)[f] + 0.1f;
+  }
+  std::vector<float> before(4);
+  std::copy(store->VectorOf(graph::NodeType::kUser, 2),
+            store->VectorOf(graph::NodeType::kUser, 2) + 4,
+            before.begin());
+  SgdEdgeStep(store.get(), g, edge, {}, {2}, 0.1f, 0.0f, &scratch);
+  bool changed = false;
+  for (uint32_t f = 0; f < 4; ++f) {
+    if (store->VectorOf(graph::NodeType::kUser, 2)[f] != before[f]) {
+      changed = true;
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(SgdTest, UnidirectionalLeavesSideAUntouched) {
+  auto store = MakeStore();
+  graph::BipartiteGraph g = MakeGraph();
+  SgdScratch scratch(4);
+  const graph::Edge edge{0, 0, 1.0};
+  std::vector<float> before(4);
+  std::copy(store->VectorOf(graph::NodeType::kUser, 2),
+            store->VectorOf(graph::NodeType::kUser, 2) + 4,
+            before.begin());
+  SgdEdgeStep(store.get(), g, edge, {1}, {}, 0.1f, 1.0f, &scratch);
+  for (uint32_t f = 0; f < 4; ++f) {
+    EXPECT_EQ(store->VectorOf(graph::NodeType::kUser, 2)[f], before[f]);
+  }
+}
+
+TEST(SgdTest, StepWithSaturatedPositivePairIsNearNoop) {
+  auto store = MakeStore();
+  graph::BipartiteGraph g = MakeGraph();
+  SgdScratch scratch(4);
+  // Huge similarity -> sigmoid saturates -> (1 - σ) ≈ 0.
+  for (uint32_t f = 0; f < 4; ++f) {
+    store->VectorOf(graph::NodeType::kUser, 0)[f] = 10.0f;
+    store->VectorOf(graph::NodeType::kEvent, 0)[f] = 10.0f;
+  }
+  const graph::Edge edge{0, 0, 1.0};
+  SgdEdgeStep(store.get(), g, edge, {}, {}, 0.1f, 1.0f, &scratch);
+  for (uint32_t f = 0; f < 4; ++f) {
+    EXPECT_NEAR(store->VectorOf(graph::NodeType::kUser, 0)[f], 10.0f,
+                1e-4f);
+  }
+}
+
+}  // namespace
+}  // namespace gemrec::embedding

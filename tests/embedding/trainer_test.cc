@@ -1,0 +1,170 @@
+#include "embedding/trainer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/vec_math.h"
+#include "ebsn/synthetic.h"
+
+namespace gemrec::embedding {
+namespace {
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ebsn::SyntheticConfig config;
+    config.num_users = 250;
+    config.num_events = 180;
+    config.num_venues = 35;
+    config.num_topics = 5;
+    config.vocab_size = 500;
+    config.seed = 33;
+    data_ = new ebsn::SyntheticData(ebsn::GenerateSynthetic(config));
+    split_ = new ebsn::ChronologicalSplit(data_->dataset);
+    auto graphs =
+        graph::BuildEbsnGraphs(data_->dataset, *split_, {});
+    ASSERT_TRUE(graphs.ok());
+    graphs_ = new graph::EbsnGraphs(std::move(graphs).value());
+  }
+  static void TearDownTestSuite() {
+    delete graphs_;
+    delete split_;
+    delete data_;
+    graphs_ = nullptr;
+    split_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static ebsn::SyntheticData* data_;
+  static ebsn::ChronologicalSplit* split_;
+  static graph::EbsnGraphs* graphs_;
+};
+
+ebsn::SyntheticData* TrainerTest::data_ = nullptr;
+ebsn::ChronologicalSplit* TrainerTest::split_ = nullptr;
+graph::EbsnGraphs* TrainerTest::graphs_ = nullptr;
+
+TrainerOptions FastOptions(TrainerOptions base) {
+  base.dim = 16;
+  base.num_samples = 60000;
+  return base;
+}
+
+/// Average positive-edge similarity minus average random-pair
+/// similarity on the user-event graph — a cheap fit metric.
+float FitMargin(const EmbeddingStore& store,
+                const graph::BipartiteGraph& g, uint32_t dim) {
+  Rng rng(123);
+  float positive = 0.0f;
+  float random = 0.0f;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const graph::Edge& e = g.SampleEdge(&rng);
+    positive += Dot(store.VectorOf(g.type_a(), e.a),
+                    store.VectorOf(g.type_b(), e.b), dim);
+    random += Dot(
+        store.VectorOf(g.type_a(),
+                       static_cast<uint32_t>(rng.UniformInt(g.num_a()))),
+        store.VectorOf(g.type_b(),
+                       static_cast<uint32_t>(rng.UniformInt(g.num_b()))),
+        dim);
+  }
+  return (positive - random) / n;
+}
+
+TEST_F(TrainerTest, TrainingSeparatesPositivesFromRandomPairs) {
+  JointTrainer trainer(graphs_, FastOptions(TrainerOptions::GemA()));
+  const float before =
+      FitMargin(trainer.store(), *graphs_->user_event, 16);
+  trainer.Train();
+  const float after =
+      FitMargin(trainer.store(), *graphs_->user_event, 16);
+  EXPECT_GT(after, before + 0.05f);
+}
+
+TEST_F(TrainerTest, AllConfigurationsTrainWithoutCrashing) {
+  for (auto options : {TrainerOptions::GemA(), TrainerOptions::GemP(),
+                       TrainerOptions::Pte()}) {
+    JointTrainer trainer(graphs_, FastOptions(options));
+    trainer.Train();
+    EXPECT_EQ(trainer.steps_done(), 60000u);
+  }
+}
+
+TEST_F(TrainerTest, EmbeddingsStayNonnegative) {
+  JointTrainer trainer(graphs_, FastOptions(TrainerOptions::GemA()));
+  trainer.Train();
+  for (size_t t = 0; t < EmbeddingStore::kNumTypes; ++t) {
+    const Matrix& m =
+        trainer.store().MatrixOf(static_cast<graph::NodeType>(t));
+    for (float v : m.data()) {
+      ASSERT_GE(v, 0.0f);
+      ASSERT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST_F(TrainerTest, SingleThreadTrainingIsDeterministic) {
+  auto options = FastOptions(TrainerOptions::GemP());
+  options.num_samples = 10000;
+  JointTrainer a(graphs_, options);
+  a.Train();
+  JointTrainer b(graphs_, options);
+  b.Train();
+  const Matrix& ma = a.store().MatrixOf(graph::NodeType::kUser);
+  const Matrix& mb = b.store().MatrixOf(graph::NodeType::kUser);
+  EXPECT_EQ(ma.data(), mb.data());
+}
+
+TEST_F(TrainerTest, ChunkedTrainingAccumulatesSteps) {
+  auto options = FastOptions(TrainerOptions::GemA());
+  JointTrainer trainer(graphs_, options);
+  trainer.TrainChunk(1000);
+  trainer.TrainChunk(2000);
+  EXPECT_EQ(trainer.steps_done(), 3000u);
+}
+
+TEST_F(TrainerTest, MultiThreadedTrainingProducesUsableEmbeddings) {
+  auto options = FastOptions(TrainerOptions::GemA());
+  options.num_threads = 4;
+  JointTrainer trainer(graphs_, options);
+  trainer.Train();
+  EXPECT_GT(FitMargin(trainer.store(), *graphs_->user_event, 16), 0.05f);
+}
+
+TEST_F(TrainerTest, ColdStartEventsReceiveNonzeroVectors) {
+  JointTrainer trainer(graphs_, FastOptions(TrainerOptions::GemA()));
+  trainer.Train();
+  // Test-split events have no user-event edges, yet their vectors must
+  // be trained through content/location/time graphs.
+  size_t nonzero = 0;
+  for (ebsn::EventId x : split_->test_events()) {
+    if (Norm(trainer.store().VectorOf(graph::NodeType::kEvent, x), 16) >
+        1e-6f) {
+      ++nonzero;
+    }
+  }
+  // Most (not necessarily all — a rare event may be rectified to the
+  // boundary at this tiny training budget) must be nonzero.
+  EXPECT_GT(nonzero, split_->test_events().size() * 7 / 10);
+}
+
+TEST_F(TrainerTest, PublishedConfigurationsHaveDocumentedShape) {
+  const auto gem_a = TrainerOptions::GemA();
+  EXPECT_TRUE(gem_a.bidirectional);
+  EXPECT_EQ(gem_a.sampler, NoiseSamplerKind::kAdaptive);
+  EXPECT_EQ(gem_a.schedule, GraphSchedule::kProportionalToEdges);
+
+  const auto gem_p = TrainerOptions::GemP();
+  EXPECT_TRUE(gem_p.bidirectional);
+  EXPECT_EQ(gem_p.sampler, NoiseSamplerKind::kDegree);
+
+  const auto pte = TrainerOptions::Pte();
+  EXPECT_FALSE(pte.bidirectional);
+  EXPECT_EQ(pte.sampler, NoiseSamplerKind::kDegree);
+  EXPECT_EQ(pte.schedule, GraphSchedule::kUniform);
+}
+
+}  // namespace
+}  // namespace gemrec::embedding

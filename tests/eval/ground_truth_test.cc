@@ -1,0 +1,82 @@
+#include "eval/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.h"
+
+namespace gemrec::eval {
+namespace {
+
+TEST(GroundTruthTest, TriplesRequireFriendshipAndCoAttendance) {
+  auto city = testing::MakeSmallCity(55);
+  const auto triples =
+      BuildPartnerGroundTruth(city.dataset(), *city.split);
+  ASSERT_FALSE(triples.empty()) << "fixture produced no ground truth";
+  for (const auto& t : triples) {
+    EXPECT_TRUE(city.split->IsTest(t.event));
+    EXPECT_TRUE(city.dataset().AreFriends(t.user, t.partner));
+    EXPECT_TRUE(city.dataset().Attends(t.user, t.event));
+    EXPECT_TRUE(city.dataset().Attends(t.partner, t.event));
+    EXPECT_NE(t.user, t.partner);
+  }
+}
+
+TEST(GroundTruthTest, BothOrderedDirectionsPresent) {
+  auto city = testing::MakeSmallCity(55);
+  const auto triples =
+      BuildPartnerGroundTruth(city.dataset(), *city.split);
+  // Triples come in (u,v,x)/(v,u,x) pairs, so the count is even and
+  // for every triple the mirrored one exists.
+  EXPECT_EQ(triples.size() % 2, 0u);
+  auto key = [](const PartnerTriple& t) {
+    return (static_cast<uint64_t>(t.user) << 40) ^
+           (static_cast<uint64_t>(t.partner) << 16) ^ t.event;
+  };
+  std::set<uint64_t> keys;
+  for (const auto& t : triples) keys.insert(key(t));
+  for (const auto& t : triples) {
+    PartnerTriple mirrored{t.partner, t.user, t.event};
+    EXPECT_TRUE(keys.count(key(mirrored)) != 0);
+  }
+}
+
+TEST(GroundTruthTest, NoTrainingEventInTriples) {
+  auto city = testing::MakeSmallCity(55);
+  const auto triples =
+      BuildPartnerGroundTruth(city.dataset(), *city.split);
+  for (const auto& t : triples) {
+    EXPECT_FALSE(city.split->IsTraining(t.event));
+    EXPECT_FALSE(city.split->IsValidation(t.event));
+  }
+}
+
+TEST(GroundTruthTest, FriendshipsToRemoveCoverAllPairs) {
+  auto city = testing::MakeSmallCity(55);
+  const auto triples =
+      BuildPartnerGroundTruth(city.dataset(), *city.split);
+  const auto removed = FriendshipsToRemove(triples);
+  for (const auto& t : triples) {
+    EXPECT_TRUE(removed.count(graph::PackUserPair(t.user, t.partner)) !=
+                0);
+  }
+  // At most one entry per unordered pair.
+  EXPECT_LE(removed.size(), triples.size());
+}
+
+TEST(GroundTruthTest, Scenario2GraphsDropTheGroundTruthLinks) {
+  auto city = testing::MakeSmallCity(55);
+  const auto triples =
+      BuildPartnerGroundTruth(city.dataset(), *city.split);
+  ASSERT_FALSE(triples.empty());
+  graph::GraphBuilderOptions options;
+  options.removed_friendships = FriendshipsToRemove(triples);
+  auto graphs =
+      graph::BuildEbsnGraphs(city.dataset(), *city.split, options);
+  ASSERT_TRUE(graphs.ok());
+  for (const auto& t : triples) {
+    EXPECT_FALSE(graphs->user_user->HasEdge(t.user, t.partner));
+  }
+}
+
+}  // namespace
+}  // namespace gemrec::eval

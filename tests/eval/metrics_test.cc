@@ -1,0 +1,93 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace gemrec::eval {
+namespace {
+
+TEST(MetricsTest, EmptyAccumulatorReportsZeros) {
+  RankingAccumulator acc({1, 10});
+  const auto report = acc.Report();
+  EXPECT_EQ(report.num_cases, 0u);
+  EXPECT_EQ(report.mrr, 0.0);
+  EXPECT_EQ(report.AccuracyAt(10), 0.0);
+}
+
+TEST(MetricsTest, PerfectRanksGivePerfectMetrics) {
+  RankingAccumulator acc({1, 5});
+  for (int i = 0; i < 10; ++i) acc.AddRank(1);
+  const auto report = acc.Report();
+  EXPECT_DOUBLE_EQ(report.AccuracyAt(1), 1.0);
+  EXPECT_DOUBLE_EQ(report.AccuracyAt(5), 1.0);
+  EXPECT_DOUBLE_EQ(report.mrr, 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_rank, 1.0);
+  EXPECT_DOUBLE_EQ(report.NdcgAt(1), 1.0);
+}
+
+TEST(MetricsTest, AccuracyCountsRanksWithinCutoff) {
+  RankingAccumulator acc({1, 5, 10});
+  acc.AddRank(1);
+  acc.AddRank(3);
+  acc.AddRank(7);
+  acc.AddRank(100);
+  const auto report = acc.Report();
+  EXPECT_DOUBLE_EQ(report.AccuracyAt(1), 0.25);
+  EXPECT_DOUBLE_EQ(report.AccuracyAt(5), 0.5);
+  EXPECT_DOUBLE_EQ(report.AccuracyAt(10), 0.75);
+}
+
+TEST(MetricsTest, MrrIsMeanOfReciprocalRanks) {
+  RankingAccumulator acc({1});
+  acc.AddRank(1);
+  acc.AddRank(2);
+  acc.AddRank(4);
+  const auto report = acc.Report();
+  EXPECT_NEAR(report.mrr, (1.0 + 0.5 + 0.25) / 3.0, 1e-12);
+  EXPECT_NEAR(report.mean_rank, (1.0 + 2.0 + 4.0) / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, NdcgDiscountsByLogRank) {
+  RankingAccumulator acc({10});
+  acc.AddRank(1);   // ndcg contribution 1
+  acc.AddRank(3);   // 1/log2(4) = 0.5
+  acc.AddRank(50);  // outside cutoff -> 0
+  const auto report = acc.Report();
+  EXPECT_NEAR(report.NdcgAt(10), (1.0 + 0.5 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, NdcgNeverExceedsAccuracy) {
+  RankingAccumulator acc({5, 20});
+  for (size_t r : {1u, 2u, 4u, 9u, 18u, 40u}) acc.AddRank(r);
+  const auto report = acc.Report();
+  for (size_t i = 0; i < report.cutoffs.size(); ++i) {
+    EXPECT_LE(report.ndcg[i], report.accuracy[i] + 1e-12);
+    EXPECT_GE(report.ndcg[i], 0.0);
+  }
+}
+
+TEST(MetricsTest, AccuracyMonotoneInCutoff) {
+  RankingAccumulator acc({1, 5, 10, 20});
+  for (size_t r : {2u, 3u, 8u, 15u, 30u, 1u}) acc.AddRank(r);
+  const auto report = acc.Report();
+  for (size_t i = 1; i < report.cutoffs.size(); ++i) {
+    EXPECT_GE(report.accuracy[i], report.accuracy[i - 1]);
+  }
+}
+
+TEST(MetricsDeathTest, ZeroRankRejected) {
+  RankingAccumulator acc({1});
+  EXPECT_DEATH(acc.AddRank(0), "1-based");
+}
+
+TEST(MetricsDeathTest, MissingCutoffFatal) {
+  RankingAccumulator acc({1, 5});
+  acc.AddRank(1);
+  const auto report = acc.Report();
+  EXPECT_DEATH(report.AccuracyAt(7), "not evaluated");
+  EXPECT_DEATH(report.NdcgAt(7), "not evaluated");
+}
+
+}  // namespace
+}  // namespace gemrec::eval

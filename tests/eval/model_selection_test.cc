@@ -1,0 +1,92 @@
+#include "eval/model_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.h"
+#include "eval/protocol.h"
+#include "recommend/gem_model.h"
+
+namespace gemrec::eval {
+namespace {
+
+TEST(ModelSelectionTest, DefaultGridShape) {
+  const auto grid = DefaultGemGrid(1000);
+  EXPECT_EQ(grid.size(), 9u);  // 3 dims x 3 lambdas
+  for (const auto& options : grid) {
+    EXPECT_EQ(options.num_samples, 1000u);
+    EXPECT_EQ(options.sampler, embedding::NoiseSamplerKind::kAdaptive);
+  }
+}
+
+TEST(ModelSelectionTest, PicksTheHighestValidationAccuracy) {
+  auto city = testing::MakeSmallCity(777);
+  // A deliberately lopsided grid: one real configuration vs one that
+  // cannot learn anything (zero training budget).
+  std::vector<embedding::TrainerOptions> grid;
+  embedding::TrainerOptions crippled = embedding::TrainerOptions::GemA();
+  crippled.dim = 16;
+  crippled.num_samples = 1;  // effectively untrained
+  grid.push_back(crippled);
+  embedding::TrainerOptions real = embedding::TrainerOptions::GemA();
+  real.dim = 16;
+  real.num_samples = 80000;
+  grid.push_back(real);
+
+  GridSearchOptions options;
+  options.max_cases = 150;
+  const auto result =
+      GridSearch(city.dataset(), *city.split, *city.graphs, grid, options);
+  ASSERT_EQ(result.candidates.size(), 2u);
+  EXPECT_EQ(result.best_index, 1u);
+  EXPECT_GT(result.candidates[1].validation_accuracy,
+            result.candidates[0].validation_accuracy);
+  EXPECT_EQ(result.best_options().num_samples, 80000u);
+}
+
+TEST(ModelSelectionTest, ValidationSplitIsUsedNotTest) {
+  // Evaluating the same model on validation vs test gives different
+  // case counts (validation is half the size of test by the 1:2
+  // split), proving the protocol actually switches pools.
+  auto city = testing::MakeSmallCity(778);
+  embedding::TrainerOptions options = embedding::TrainerOptions::GemA();
+  options.dim = 16;
+  options.num_samples = 40000;
+  embedding::JointTrainer trainer(city.graphs.get(), options);
+  trainer.Train();
+  recommend::GemModel model(&trainer.store(), "m");
+
+  ProtocolOptions validation_protocol;
+  validation_protocol.target_split = ebsn::Split::kValidation;
+  const auto validation_result = EvaluateColdStartEvents(
+      model, city.dataset(), *city.split, validation_protocol);
+  ProtocolOptions test_protocol;
+  const auto test_result = EvaluateColdStartEvents(
+      model, city.dataset(), *city.split, test_protocol);
+  EXPECT_GT(validation_result.num_cases, 0u);
+  EXPECT_GT(test_result.num_cases, validation_result.num_cases);
+}
+
+TEST(ModelSelectionDeathTest, EmptyGridRejected) {
+  auto city = testing::MakeSmallCity(779);
+  EXPECT_DEATH(
+      GridSearch(city.dataset(), *city.split, *city.graphs, {}, {}),
+      "empty hyper-parameter grid");
+}
+
+TEST(ProtocolDeathTest, TrainingSplitEvaluationRejected) {
+  auto city = testing::MakeSmallCity(780);
+  embedding::TrainerOptions options = embedding::TrainerOptions::GemA();
+  options.dim = 8;
+  options.num_samples = 100;
+  embedding::JointTrainer trainer(city.graphs.get(), options);
+  trainer.Train();
+  recommend::GemModel model(&trainer.store(), "m");
+  ProtocolOptions protocol;
+  protocol.target_split = ebsn::Split::kTraining;
+  EXPECT_DEATH(EvaluateColdStartEvents(model, city.dataset(),
+                                       *city.split, protocol),
+               "meaningless");
+}
+
+}  // namespace
+}  // namespace gemrec::eval

@@ -1,0 +1,113 @@
+// Cross-cutting checks that the protocol's auxiliary ranking metrics
+// (MRR, NDCG, mean rank) are internally consistent with Accuracy@n for
+// real models, not just for the accumulator in isolation.
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.h"
+#include "embedding/trainer.h"
+#include "eval/ground_truth.h"
+#include "eval/protocol.h"
+#include "recommend/gem_model.h"
+
+namespace gemrec::eval {
+namespace {
+
+class ProtocolMetricsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    city_ = new testing::SmallCity(testing::MakeSmallCity(606));
+    auto options = embedding::TrainerOptions::GemA();
+    options.dim = 16;
+    options.num_samples = 100000;
+    trainer_ = new embedding::JointTrainer(city_->graphs.get(), options);
+    trainer_->Train();
+    model_ = new recommend::GemModel(&trainer_->store(), "GEM-A");
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete trainer_;
+    delete city_;
+    model_ = nullptr;
+    trainer_ = nullptr;
+    city_ = nullptr;
+  }
+  static testing::SmallCity* city_;
+  static embedding::JointTrainer* trainer_;
+  static recommend::GemModel* model_;
+};
+
+testing::SmallCity* ProtocolMetricsTest::city_ = nullptr;
+embedding::JointTrainer* ProtocolMetricsTest::trainer_ = nullptr;
+recommend::GemModel* ProtocolMetricsTest::model_ = nullptr;
+
+TEST_F(ProtocolMetricsTest, EventTaskMetricsAreConsistent) {
+  ProtocolOptions options;
+  options.max_cases = 200;
+  const auto r = EvaluateColdStartEvents(*model_, city_->dataset(),
+                                         *city_->split, options);
+  ASSERT_GT(r.num_cases, 0u);
+  ASSERT_EQ(r.ndcg.size(), r.accuracy.size());
+  for (size_t i = 0; i < r.cutoffs.size(); ++i) {
+    EXPECT_GE(r.accuracy[i], 0.0);
+    EXPECT_LE(r.accuracy[i], 1.0);
+    // Binary NDCG is bounded by the hit ratio.
+    EXPECT_LE(r.ndcg[i], r.accuracy[i] + 1e-12);
+    EXPECT_GE(r.ndcg[i], 0.0);
+  }
+  // MRR is bounded by Accuracy@1 from below... actually MRR >= Ac@1
+  // (rank-1 hits contribute 1) and <= 1.
+  EXPECT_GE(r.mrr, r.At(1) - 1e-12);
+  EXPECT_LE(r.mrr, 1.0);
+  EXPECT_GE(r.mean_rank, 1.0);
+}
+
+TEST_F(ProtocolMetricsTest, PartnerTaskMetricsAreConsistent) {
+  const auto truth =
+      BuildPartnerGroundTruth(city_->dataset(), *city_->split);
+  ASSERT_FALSE(truth.empty());
+  ProtocolOptions options;
+  options.max_cases = 120;
+  const auto r = EvaluateEventPartner(*model_, city_->dataset(),
+                                      *city_->split, truth, options);
+  ASSERT_GT(r.num_cases, 0u);
+  EXPECT_GE(r.mrr, r.At(1) - 1e-12);
+  EXPECT_GE(r.mean_rank, 1.0);
+  for (size_t i = 1; i < r.cutoffs.size(); ++i) {
+    EXPECT_GE(r.accuracy[i], r.accuracy[i - 1]);
+    EXPECT_GE(r.ndcg[i], r.ndcg[i - 1]);
+  }
+}
+
+/// Inverts another model's preferences — a provably *bad* model.
+class NegatedModel : public recommend::RecModel {
+ public:
+  explicit NegatedModel(const recommend::RecModel* inner)
+      : inner_(inner) {}
+  std::string Name() const override { return "negated"; }
+  float ScoreUserEvent(ebsn::UserId u, ebsn::EventId x) const override {
+    return -inner_->ScoreUserEvent(u, x);
+  }
+  float ScoreUserUser(ebsn::UserId u, ebsn::UserId v) const override {
+    return -inner_->ScoreUserUser(u, v);
+  }
+
+ private:
+  const recommend::RecModel* inner_;
+};
+
+TEST_F(ProtocolMetricsTest, MrrAgreesWithAccuracyOnModelOrdering) {
+  NegatedModel negated(model_);
+  ProtocolOptions options;
+  options.max_cases = 200;
+  const auto good = EvaluateColdStartEvents(*model_, city_->dataset(),
+                                            *city_->split, options);
+  const auto bad = EvaluateColdStartEvents(negated, city_->dataset(),
+                                           *city_->split, options);
+  EXPECT_GT(good.mrr, bad.mrr);
+  EXPECT_LT(good.mean_rank, bad.mean_rank);
+  EXPECT_GT(good.At(10), bad.At(10));
+}
+
+}  // namespace
+}  // namespace gemrec::eval

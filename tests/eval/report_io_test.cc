@@ -1,0 +1,73 @@
+#include "eval/report_io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace gemrec::eval {
+namespace {
+
+AccuracyResult MakeResult() {
+  AccuracyResult r;
+  r.cutoffs = {1, 10};
+  r.accuracy = {0.25, 0.5};
+  r.ndcg = {0.25, 0.375};
+  r.mrr = 0.3;
+  r.mean_rank = 8.4;
+  r.num_cases = 200;
+  return r;
+}
+
+TEST(ReportIoTest, CsvHasHeaderAndOneRowPerCutoff) {
+  const std::string csv =
+      ResultsToCsv({{"GEM-A", MakeResult()}, {"PTE", MakeResult()}});
+  std::istringstream stream(csv);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(stream, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 5u);  // header + 2 models x 2 cutoffs
+  EXPECT_EQ(lines[0], "label,cutoff,accuracy,ndcg,mrr,mean_rank,cases");
+  EXPECT_EQ(lines[1].rfind("GEM-A,1,0.250000", 0), 0u);
+  EXPECT_EQ(lines[3].rfind("PTE,1,", 0), 0u);
+}
+
+TEST(ReportIoTest, LabelsWithCommasAreQuoted) {
+  const std::string csv =
+      ResultsToCsv({{"beijing, scenario 2", MakeResult()}});
+  EXPECT_NE(csv.find("\"beijing, scenario 2\",1,"), std::string::npos);
+}
+
+TEST(ReportIoTest, LabelsWithQuotesAreEscaped) {
+  const std::string csv = ResultsToCsv({{"a\"b", MakeResult()}});
+  EXPECT_NE(csv.find("\"a\"\"b\""), std::string::npos);
+}
+
+TEST(ReportIoTest, EmptyResultsYieldHeaderOnly) {
+  const std::string csv = ResultsToCsv({});
+  EXPECT_EQ(csv, "label,cutoff,accuracy,ndcg,mrr,mean_rank,cases\n");
+}
+
+TEST(ReportIoTest, WriteRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("gemrec_csv_" + std::to_string(::getpid()) + ".csv"))
+          .string();
+  ASSERT_TRUE(WriteResultsCsv({{"m", MakeResult()}}, path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, ResultsToCsv({{"m", MakeResult()}}));
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+TEST(ReportIoTest, WriteToBadPathFails) {
+  EXPECT_FALSE(
+      WriteResultsCsv({}, "/nonexistent_dir_abc/report.csv").ok());
+}
+
+}  // namespace
+}  // namespace gemrec::eval

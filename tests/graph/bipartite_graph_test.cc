@@ -1,0 +1,145 @@
+#include "graph/bipartite_graph.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace gemrec::graph {
+namespace {
+
+BipartiteGraph MakeGraph() {
+  BipartiteGraph g(NodeType::kUser, 3, NodeType::kEvent, 4);
+  g.AddEdge(0, 0, 1.0);
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(1, 1, 1.0);
+  g.AddEdge(2, 3, 4.0);
+  g.Seal();
+  return g;
+}
+
+TEST(BipartiteGraphTest, BasicAccessors) {
+  BipartiteGraph g = MakeGraph();
+  EXPECT_EQ(g.type_a(), NodeType::kUser);
+  EXPECT_EQ(g.type_b(), NodeType::kEvent);
+  EXPECT_EQ(g.num_a(), 3u);
+  EXPECT_EQ(g.num_b(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 8.0);
+}
+
+TEST(BipartiteGraphTest, WeightedDegrees) {
+  BipartiteGraph g = MakeGraph();
+  EXPECT_DOUBLE_EQ(g.DegreeA(0), 3.0);
+  EXPECT_DOUBLE_EQ(g.DegreeA(1), 1.0);
+  EXPECT_DOUBLE_EQ(g.DegreeA(2), 4.0);
+  EXPECT_DOUBLE_EQ(g.DegreeB(1), 3.0);
+  EXPECT_DOUBLE_EQ(g.DegreeB(2), 0.0);
+}
+
+TEST(BipartiteGraphTest, HasEdge) {
+  BipartiteGraph g = MakeGraph();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(2, 2));
+}
+
+TEST(BipartiteGraphTest, EdgeSamplingFollowsWeights) {
+  BipartiteGraph g = MakeGraph();
+  Rng rng(1);
+  std::map<std::pair<uint32_t, uint32_t>, int> counts;
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) {
+    const Edge& e = g.SampleEdge(&rng);
+    ++counts[{e.a, e.b}];
+  }
+  // Edge (2,3) has weight 4/8 of the mass.
+  EXPECT_NEAR((counts[{2, 3}]) / static_cast<double>(n), 0.5, 0.02);
+  EXPECT_NEAR((counts[{0, 1}]) / static_cast<double>(n), 0.25, 0.02);
+  EXPECT_NEAR((counts[{0, 0}]) / static_cast<double>(n), 0.125, 0.02);
+}
+
+TEST(BipartiteGraphTest, NoiseSamplingFollowsDegreePower) {
+  BipartiteGraph g = MakeGraph();
+  Rng rng(2);
+  std::map<uint32_t, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[g.SampleNoiseB(&rng)];
+  // Node 2 on side B has degree 0 -> never sampled.
+  EXPECT_EQ(counts[2], 0);
+  // Frequencies ∝ d^0.75: d_B = {1, 3, 0, 4}.
+  const double z = std::pow(1.0, 0.75) + std::pow(3.0, 0.75) +
+                   std::pow(4.0, 0.75);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 1.0 / z, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n),
+              std::pow(3.0, 0.75) / z, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n),
+              std::pow(4.0, 0.75) / z, 0.01);
+}
+
+TEST(BipartiteGraphTest, NoiseSamplingSideA) {
+  BipartiteGraph g = MakeGraph();
+  Rng rng(3);
+  std::map<uint32_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[g.SampleNoiseA(&rng)];
+  EXPECT_GT(counts[0], 0);
+  EXPECT_GT(counts[1], 0);
+  EXPECT_GT(counts[2], 0);
+  // Highest-degree side-A node is most likely.
+  EXPECT_GT(counts[2], counts[1]);
+}
+
+TEST(BipartiteGraphTest, SealIsIdempotent) {
+  BipartiteGraph g = MakeGraph();
+  g.Seal();
+  g.Seal();
+  EXPECT_TRUE(g.sealed());
+}
+
+TEST(BipartiteGraphTest, AddEdgeAfterSealRequiresReseal) {
+  BipartiteGraph g = MakeGraph();
+  g.AddEdge(1, 2, 1.0);
+  EXPECT_FALSE(g.sealed());
+  g.Seal();
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(BipartiteGraphTest, SelfTypeGraphForSocialNetwork) {
+  BipartiteGraph g(NodeType::kUser, 3, NodeType::kUser, 3);
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(1, 0, 2.0);
+  g.Seal();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_DOUBLE_EQ(g.DegreeA(0), 2.0);
+  EXPECT_DOUBLE_EQ(g.DegreeB(0), 2.0);
+}
+
+TEST(BipartiteGraphTest, NodeTypeNames) {
+  EXPECT_STREQ(NodeTypeName(NodeType::kUser), "user");
+  EXPECT_STREQ(NodeTypeName(NodeType::kEvent), "event");
+  EXPECT_STREQ(NodeTypeName(NodeType::kLocation), "location");
+  EXPECT_STREQ(NodeTypeName(NodeType::kTime), "time");
+  EXPECT_STREQ(NodeTypeName(NodeType::kWord), "word");
+}
+
+TEST(BipartiteGraphDeathTest, OutOfRangeEdgeRejected) {
+  BipartiteGraph g(NodeType::kUser, 2, NodeType::kEvent, 2);
+  EXPECT_DEATH(g.AddEdge(2, 0, 1.0), "out of range");
+  EXPECT_DEATH(g.AddEdge(0, 5, 1.0), "out of range");
+}
+
+TEST(BipartiteGraphDeathTest, NonPositiveWeightRejected) {
+  BipartiteGraph g(NodeType::kUser, 2, NodeType::kEvent, 2);
+  EXPECT_DEATH(g.AddEdge(0, 0, 0.0), "positive");
+}
+
+TEST(BipartiteGraphDeathTest, SamplingEmptyGraphRejected) {
+  BipartiteGraph g(NodeType::kUser, 2, NodeType::kEvent, 2);
+  g.Seal();
+  Rng rng(1);
+  EXPECT_DEATH(g.SampleEdge(&rng), "empty");
+}
+
+}  // namespace
+}  // namespace gemrec::graph

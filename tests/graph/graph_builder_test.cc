@@ -1,0 +1,163 @@
+#include "graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "ebsn/synthetic.h"
+#include "ebsn/time_slots.h"
+
+namespace gemrec::graph {
+namespace {
+
+class GraphBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ebsn::SyntheticConfig config;
+    config.num_users = 200;
+    config.num_events = 150;
+    config.num_venues = 30;
+    config.num_topics = 5;
+    config.vocab_size = 400;
+    config.seed = 21;
+    data_ = std::make_unique<ebsn::SyntheticData>(
+        ebsn::GenerateSynthetic(config));
+    split_ = std::make_unique<ebsn::ChronologicalSplit>(data_->dataset);
+  }
+
+  const ebsn::Dataset& dataset() const { return data_->dataset; }
+
+  std::unique_ptr<ebsn::SyntheticData> data_;
+  std::unique_ptr<ebsn::ChronologicalSplit> split_;
+};
+
+TEST_F(GraphBuilderTest, BuildsAllFiveGraphsSealed) {
+  auto graphs_or = BuildEbsnGraphs(dataset(), *split_, {});
+  ASSERT_TRUE(graphs_or.ok());
+  const EbsnGraphs& graphs = graphs_or.value();
+  for (const BipartiteGraph* g : graphs.All()) {
+    ASSERT_NE(g, nullptr);
+    EXPECT_TRUE(g->sealed());
+  }
+  EXPECT_EQ(graphs.All().size(), 5u);
+}
+
+TEST_F(GraphBuilderTest, UserEventGraphExcludesHeldOutAttendance) {
+  auto graphs = BuildEbsnGraphs(dataset(), *split_, {});
+  ASSERT_TRUE(graphs.ok());
+  const size_t training_attendances =
+      split_->AttendancesIn(dataset(), ebsn::Split::kTraining).size();
+  EXPECT_EQ(graphs->user_event->num_edges(), training_attendances);
+  // Spot-check: no user-event edge references a test event.
+  for (const Edge& e : graphs->user_event->edges()) {
+    EXPECT_TRUE(split_->IsTraining(e.b));
+  }
+}
+
+TEST_F(GraphBuilderTest, ContentGraphsCoverAllEventsIncludingTest) {
+  auto graphs = BuildEbsnGraphs(dataset(), *split_, {});
+  ASSERT_TRUE(graphs.ok());
+  // Every event (cold-start included) must have location and time
+  // edges — that is how their embeddings get learned.
+  std::vector<int> loc_degree(dataset().num_events(), 0);
+  for (const Edge& e : graphs->event_location->edges()) {
+    ++loc_degree[e.a];
+  }
+  std::vector<int> time_degree(dataset().num_events(), 0);
+  for (const Edge& e : graphs->event_time->edges()) ++time_degree[e.a];
+  for (uint32_t x = 0; x < dataset().num_events(); ++x) {
+    EXPECT_EQ(loc_degree[x], 1) << "event " << x;
+    EXPECT_EQ(time_degree[x], 3) << "event " << x;
+  }
+}
+
+TEST_F(GraphBuilderTest, EventTimeEdgesMatchTimeSlots) {
+  auto graphs = BuildEbsnGraphs(dataset(), *split_, {});
+  ASSERT_TRUE(graphs.ok());
+  for (uint32_t x = 0; x < std::min(20u, dataset().num_events()); ++x) {
+    const auto slots =
+        ebsn::TimeSlotsFor(dataset().event(x).start_time);
+    for (ebsn::TimeSlotId slot : slots) {
+      EXPECT_TRUE(graphs->event_time->HasEdge(x, slot));
+    }
+  }
+}
+
+TEST_F(GraphBuilderTest, UserUserGraphIsMirrored) {
+  auto graphs = BuildEbsnGraphs(dataset(), *split_, {});
+  ASSERT_TRUE(graphs.ok());
+  EXPECT_EQ(graphs->user_user->num_edges(),
+            2 * dataset().friendships().size());
+  for (const auto& f : dataset().friendships()) {
+    EXPECT_TRUE(graphs->user_user->HasEdge(f.a, f.b));
+    EXPECT_TRUE(graphs->user_user->HasEdge(f.b, f.a));
+  }
+}
+
+TEST_F(GraphBuilderTest, UserUserWeightIsOnePlusCommonTrainingEvents) {
+  auto graphs = BuildEbsnGraphs(dataset(), *split_, {});
+  ASSERT_TRUE(graphs.ok());
+  for (const Edge& e : graphs->user_user->edges()) {
+    // Weight = 1 + common training events <= 1 + all common events.
+    EXPECT_GE(e.weight, 1.0);
+    EXPECT_LE(e.weight,
+              1.0 + static_cast<double>(
+                        dataset().CommonEventCount(e.a, e.b)));
+  }
+}
+
+TEST_F(GraphBuilderTest, RemovedFriendshipsAreExcluded) {
+  ASSERT_FALSE(dataset().friendships().empty());
+  const auto& f = dataset().friendships().front();
+  GraphBuilderOptions options;
+  options.removed_friendships.insert(PackUserPair(f.a, f.b));
+  auto graphs = BuildEbsnGraphs(dataset(), *split_, options);
+  ASSERT_TRUE(graphs.ok());
+  EXPECT_FALSE(graphs->user_user->HasEdge(f.a, f.b));
+  EXPECT_FALSE(graphs->user_user->HasEdge(f.b, f.a));
+  EXPECT_EQ(graphs->user_user->num_edges(),
+            2 * (dataset().friendships().size() - 1));
+}
+
+TEST_F(GraphBuilderTest, EventWordWeightsArePositiveTfIdf) {
+  auto graphs = BuildEbsnGraphs(dataset(), *split_, {});
+  ASSERT_TRUE(graphs.ok());
+  EXPECT_GT(graphs->event_word->num_edges(), 0u);
+  for (const Edge& e : graphs->event_word->edges()) {
+    EXPECT_GT(e.weight, 0.0);
+    EXPECT_LT(e.b, dataset().vocab_size());
+  }
+}
+
+TEST_F(GraphBuilderTest, RegionsAreDenseAndCoverAllEvents) {
+  auto graphs = BuildEbsnGraphs(dataset(), *split_, {});
+  ASSERT_TRUE(graphs.ok());
+  EXPECT_GT(graphs->num_regions, 0u);
+  ASSERT_EQ(graphs->event_region.size(), dataset().num_events());
+  for (ebsn::RegionId r : graphs->event_region) {
+    EXPECT_LT(r, graphs->num_regions);
+  }
+}
+
+TEST_F(GraphBuilderTest, PackUserPairIsOrderInvariant) {
+  EXPECT_EQ(PackUserPair(3, 9), PackUserPair(9, 3));
+  EXPECT_NE(PackUserPair(3, 9), PackUserPair(3, 8));
+}
+
+TEST(GraphBuilderErrorTest, UnfinalizedDatasetRejected) {
+  ebsn::Dataset d;
+  d.set_num_users(1);
+  d.AddVenue(ebsn::Venue{0, {0, 0}});
+  d.AddEvent(ebsn::Event{0, 0, 0, {}, -1});
+  // Intentionally not finalized, and split built from a copy.
+  ebsn::Dataset d2;
+  d2.set_num_users(1);
+  d2.AddVenue(ebsn::Venue{0, {0, 0}});
+  d2.AddEvent(ebsn::Event{0, 0, 0, {}, -1});
+  ASSERT_TRUE(d2.Finalize().ok());
+  ebsn::ChronologicalSplit split(d2);
+  auto result = BuildEbsnGraphs(d, split, {});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace gemrec::graph

@@ -1,0 +1,97 @@
+// Property sweep over randomly generated bipartite graphs: structural
+// invariants that must hold for any graph the builder can produce.
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "graph/bipartite_graph.h"
+
+namespace gemrec::graph {
+namespace {
+
+BipartiteGraph RandomGraph(uint64_t seed) {
+  Rng rng(seed);
+  const uint32_t na = 2 + static_cast<uint32_t>(rng.UniformInt(40));
+  const uint32_t nb = 2 + static_cast<uint32_t>(rng.UniformInt(40));
+  BipartiteGraph g(NodeType::kUser, na, NodeType::kEvent, nb);
+  const int edges = 1 + static_cast<int>(rng.UniformInt(120));
+  std::map<std::pair<uint32_t, uint32_t>, bool> used;
+  for (int e = 0; e < edges; ++e) {
+    const uint32_t a = static_cast<uint32_t>(rng.UniformInt(na));
+    const uint32_t b = static_cast<uint32_t>(rng.UniformInt(nb));
+    if (used[{a, b}]) continue;
+    used[{a, b}] = true;
+    g.AddEdge(a, b, 0.1 + rng.UniformDouble() * 5.0);
+  }
+  g.Seal();
+  return g;
+}
+
+class GraphPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphPropertyTest, DegreeSumsEqualTotalWeightOnBothSides) {
+  BipartiteGraph g = RandomGraph(GetParam());
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  for (uint32_t a = 0; a < g.num_a(); ++a) sum_a += g.DegreeA(a);
+  for (uint32_t b = 0; b < g.num_b(); ++b) sum_b += g.DegreeB(b);
+  EXPECT_NEAR(sum_a, g.total_weight(), 1e-9);
+  EXPECT_NEAR(sum_b, g.total_weight(), 1e-9);
+}
+
+TEST_P(GraphPropertyTest, EveryStoredEdgeIsQueryable) {
+  BipartiteGraph g = RandomGraph(GetParam());
+  for (const Edge& e : g.edges()) {
+    EXPECT_TRUE(g.HasEdge(e.a, e.b));
+    EXPECT_GT(g.DegreeA(e.a), 0.0);
+    EXPECT_GT(g.DegreeB(e.b), 0.0);
+  }
+}
+
+TEST_P(GraphPropertyTest, SampledEdgesAreStoredEdges) {
+  BipartiteGraph g = RandomGraph(GetParam());
+  Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 200; ++i) {
+    const Edge& e = g.SampleEdge(&rng);
+    EXPECT_TRUE(g.HasEdge(e.a, e.b));
+  }
+}
+
+TEST_P(GraphPropertyTest, NoiseNodesHavePositiveDegree) {
+  BipartiteGraph g = RandomGraph(GetParam());
+  Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GT(g.DegreeB(g.SampleNoiseB(&rng)), 0.0);
+    EXPECT_GT(g.DegreeA(g.SampleNoiseA(&rng)), 0.0);
+  }
+}
+
+TEST_P(GraphPropertyTest, EdgeSamplingFrequencyTracksWeight) {
+  BipartiteGraph g = RandomGraph(GetParam());
+  if (g.num_edges() < 2) return;
+  Rng rng(GetParam() + 3000);
+  // Compare the heaviest edge's empirical frequency to its share.
+  size_t heaviest = 0;
+  for (size_t i = 1; i < g.num_edges(); ++i) {
+    if (g.edges()[i].weight > g.edges()[heaviest].weight) heaviest = i;
+  }
+  const double expected =
+      g.edges()[heaviest].weight / g.total_weight();
+  const int n = 30000;
+  int count = 0;
+  const Edge* target = &g.edges()[heaviest];
+  for (int i = 0; i < n; ++i) {
+    const Edge& e = g.SampleEdge(&rng);
+    if (e.a == target->a && e.b == target->b) ++count;
+  }
+  EXPECT_NEAR(count / static_cast<double>(n), expected,
+              5.0 * std::sqrt(expected / n) + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphPropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace gemrec::graph

@@ -1,0 +1,195 @@
+// Serving-path integration: checkpoint -> reload -> identical scores;
+// online fold-in of events and users against a reloaded model; TA
+// retrieval over a reloaded model matches the in-memory one.
+
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.h"
+#include "ebsn/tfidf.h"
+#include "embedding/online_update.h"
+#include "embedding/serialization.h"
+#include "embedding/trainer.h"
+#include "eval/protocol.h"
+#include "recommend/recommender.h"
+
+namespace gemrec {
+namespace {
+
+class ServingPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    city_ = new testing::SmallCity(testing::MakeSmallCity(909));
+    auto options = embedding::TrainerOptions::GemA();
+    options.dim = 16;
+    options.num_samples = 120000;
+    trainer_ = new embedding::JointTrainer(city_->graphs.get(), options);
+    trainer_->Train();
+    path_ = (std::filesystem::temp_directory_path() /
+             ("gemrec_serving_" + std::to_string(::getpid()) + ".bin"))
+                .string();
+    ASSERT_TRUE(
+        embedding::SaveEmbeddingStore(trainer_->store(), path_).ok());
+  }
+  static void TearDownTestSuite() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    delete trainer_;
+    delete city_;
+    trainer_ = nullptr;
+    city_ = nullptr;
+  }
+  static testing::SmallCity* city_;
+  static embedding::JointTrainer* trainer_;
+  static std::string path_;
+};
+
+testing::SmallCity* ServingPipelineTest::city_ = nullptr;
+embedding::JointTrainer* ServingPipelineTest::trainer_ = nullptr;
+std::string ServingPipelineTest::path_;
+
+TEST_F(ServingPipelineTest, ReloadedModelScoresIdentically) {
+  auto reloaded = embedding::LoadEmbeddingStore(path_);
+  ASSERT_TRUE(reloaded.ok());
+  recommend::GemModel original(&trainer_->store(), "orig");
+  recommend::GemModel restored(&reloaded.value(), "restored");
+  for (ebsn::UserId u = 0; u < 20; ++u) {
+    for (ebsn::EventId x = 0; x < 20; ++x) {
+      EXPECT_EQ(original.ScoreUserEvent(u, x),
+                restored.ScoreUserEvent(u, x));
+    }
+  }
+}
+
+TEST_F(ServingPipelineTest, ReloadedModelEvaluatesIdentically) {
+  auto reloaded = embedding::LoadEmbeddingStore(path_);
+  ASSERT_TRUE(reloaded.ok());
+  recommend::GemModel original(&trainer_->store(), "orig");
+  recommend::GemModel restored(&reloaded.value(), "restored");
+  eval::ProtocolOptions options;
+  options.max_cases = 100;
+  const auto a = eval::EvaluateColdStartEvents(
+      original, city_->dataset(), *city_->split, options);
+  const auto b = eval::EvaluateColdStartEvents(
+      restored, city_->dataset(), *city_->split, options);
+  EXPECT_EQ(a.accuracy, b.accuracy);
+  EXPECT_EQ(a.mrr, b.mrr);
+}
+
+TEST_F(ServingPipelineTest, RecommendationsSurviveTheRoundTrip) {
+  auto reloaded = embedding::LoadEmbeddingStore(path_);
+  ASSERT_TRUE(reloaded.ok());
+  recommend::GemModel original(&trainer_->store(), "orig");
+  recommend::GemModel restored(&reloaded.value(), "restored");
+  recommend::RecommenderOptions options;
+  options.top_k_events_per_partner = 10;
+  recommend::EventPartnerRecommender rec_a(
+      &original, city_->split->test_events(),
+      city_->dataset().num_users(), options);
+  recommend::EventPartnerRecommender rec_b(
+      &restored, city_->split->test_events(),
+      city_->dataset().num_users(), options);
+  for (ebsn::UserId u : {0u, 9u, 55u}) {
+    const auto a = rec_a.Recommend(u, 5);
+    const auto b = rec_b.Recommend(u, 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].event, b[i].event);
+      EXPECT_EQ(a[i].partner, b[i].partner);
+      EXPECT_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
+TEST_F(ServingPipelineTest, FoldedInEventRanksNearItsOfflineSelf) {
+  auto reloaded = embedding::LoadEmbeddingStore(path_);
+  ASSERT_TRUE(reloaded.ok());
+  embedding::EmbeddingStore& store = reloaded.value();
+  recommend::GemModel model(&store, "restored");
+
+  const ebsn::EventId fresh = city_->split->test_events().front();
+  // Offline ranking of users for this event.
+  std::vector<float> offline_scores(city_->dataset().num_users());
+  for (ebsn::UserId u = 0; u < city_->dataset().num_users(); ++u) {
+    offline_scores[u] = model.ScoreUserEvent(u, fresh);
+  }
+
+  // Rebuild the event online from its signals.
+  std::vector<std::vector<ebsn::WordId>> docs(
+      city_->dataset().num_events());
+  for (uint32_t x = 0; x < city_->dataset().num_events(); ++x) {
+    docs[x] = city_->dataset().event(x).words;
+  }
+  const auto tfidf =
+      ebsn::ComputeTfIdf(docs, city_->dataset().vocab_size());
+  embedding::NewEventSignals signals;
+  for (const auto& ww : tfidf[fresh]) {
+    signals.words.push_back({ww.word, static_cast<float>(ww.weight)});
+  }
+  signals.region = city_->graphs->event_region[fresh];
+  signals.start_time = city_->dataset().event(fresh).start_time;
+  ASSERT_TRUE(
+      embedding::FoldInColdEvent(&store, fresh, signals, {}).ok());
+
+  // Spearman-ish check: users the offline model liked most should
+  // still be preferred over users it liked least.
+  std::vector<ebsn::UserId> order(city_->dataset().num_users());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](ebsn::UserId a,
+                                            ebsn::UserId b) {
+    return offline_scores[a] > offline_scores[b];
+  });
+  float top_mean = 0.0f;
+  float bottom_mean = 0.0f;
+  const size_t band = order.size() / 10;
+  ASSERT_GT(band, 0u);
+  for (size_t i = 0; i < band; ++i) {
+    top_mean += model.ScoreUserEvent(order[i], fresh);
+    bottom_mean +=
+        model.ScoreUserEvent(order[order.size() - 1 - i], fresh);
+  }
+  EXPECT_GT(top_mean, bottom_mean);
+}
+
+TEST_F(ServingPipelineTest, NewUserFoldInProducesSensiblePreferences) {
+  auto reloaded = embedding::LoadEmbeddingStore(path_);
+  ASSERT_TRUE(reloaded.ok());
+  embedding::EmbeddingStore& store = reloaded.value();
+  recommend::GemModel model(&store, "restored");
+
+  // Clone an existing active user's first 3 training events as the
+  // new user's sign-up history (reusing user row 1 as the "new" slot).
+  ebsn::UserId donor = 0;
+  for (ebsn::UserId u = 0; u < city_->dataset().num_users(); ++u) {
+    if (city_->dataset().EventsOf(u).size() >= 6) {
+      donor = u;
+      break;
+    }
+  }
+  embedding::NewUserSignals signals;
+  for (ebsn::EventId x : city_->dataset().EventsOf(donor)) {
+    if (city_->split->IsTraining(x)) {
+      signals.attended_events.push_back(x);
+      if (signals.attended_events.size() == 3) break;
+    }
+  }
+  ASSERT_GE(signals.attended_events.size(), 1u);
+  const ebsn::UserId fresh_user = 1;
+  ASSERT_TRUE(
+      embedding::FoldInColdUser(&store, fresh_user, signals, {}).ok());
+
+  // The folded-in user should agree with the donor more than with a
+  // random user on test-event preferences.
+  float donor_agreement = 0.0f;
+  for (ebsn::EventId x : city_->split->test_events()) {
+    donor_agreement += model.ScoreUserEvent(fresh_user, x) *
+                       model.ScoreUserEvent(donor, x);
+  }
+  EXPECT_GT(donor_agreement, 0.0f);
+}
+
+}  // namespace
+}  // namespace gemrec

@@ -1,0 +1,87 @@
+#include "recommend/brute_force.h"
+
+#include <gtest/gtest.h>
+
+namespace gemrec::recommend {
+namespace {
+
+/// 2-dim store where user u = e_u basis-ish and events have known
+/// coordinates so expected rankings are hand-checkable.
+std::unique_ptr<embedding::EmbeddingStore> MakeStore() {
+  auto store = std::make_unique<embedding::EmbeddingStore>(
+      2, std::array<uint32_t, 5>{3, 3, 1, 1, 1});
+  const float users[3][2] = {{1, 0}, {0, 1}, {1, 1}};
+  const float events[3][2] = {{3, 0}, {0, 3}, {1, 1}};
+  for (uint32_t i = 0; i < 3; ++i) {
+    for (uint32_t f = 0; f < 2; ++f) {
+      store->VectorOf(graph::NodeType::kUser, i)[f] = users[i][f];
+      store->VectorOf(graph::NodeType::kEvent, i)[f] = events[i][f];
+    }
+  }
+  return store;
+}
+
+TEST(BruteForceSearchTest, RanksByJointScore) {
+  auto store = MakeStore();
+  GemModel model(store.get(), "GEM");
+  // Candidates: all events paired with partner 2 (the (1,1) user).
+  std::vector<CandidatePair> pairs = {{0, 2}, {1, 2}, {2, 2}};
+  TransformedSpace space(model, pairs);
+  BruteForceSearch bf(&space);
+  std::vector<float> q;
+  space.QueryVector(model, 0, &q);  // user (1,0)
+  const auto hits = bf.Search(q, 3, 0);
+  ASSERT_EQ(hits.size(), 3u);
+  // Scores: u·x + u'·x + u·u' with u=(1,0), u'=(1,1):
+  //   x0=(3,0): 3 + 3 + 1 = 7;  x1=(0,3): 0 + 3 + 1 = 4;
+  //   x2=(1,1): 1 + 2 + 1 = 4.
+  EXPECT_EQ(hits[0].pair.event, 0u);
+  EXPECT_FLOAT_EQ(hits[0].score, 7.0f);
+  EXPECT_FLOAT_EQ(hits[1].score, 4.0f);
+  EXPECT_FLOAT_EQ(hits[2].score, 4.0f);
+}
+
+TEST(BruteForceSearchTest, ExcludesQueryUserAsPartner) {
+  auto store = MakeStore();
+  GemModel model(store.get(), "GEM");
+  std::vector<CandidatePair> pairs = {{0, 0}, {0, 1}, {0, 2}};
+  TransformedSpace space(model, pairs);
+  BruteForceSearch bf(&space);
+  std::vector<float> q;
+  space.QueryVector(model, 0, &q);
+  const auto hits = bf.Search(q, 10, 0);
+  ASSERT_EQ(hits.size(), 2u);
+  for (const auto& h : hits) EXPECT_NE(h.pair.partner, 0u);
+}
+
+TEST(BruteForceSearchTest, NSmallerThanCandidatesTruncates) {
+  auto store = MakeStore();
+  GemModel model(store.get(), "GEM");
+  std::vector<CandidatePair> pairs = {{0, 1}, {1, 1}, {2, 1}};
+  TransformedSpace space(model, pairs);
+  BruteForceSearch bf(&space);
+  std::vector<float> q;
+  space.QueryVector(model, 0, &q);
+  EXPECT_EQ(bf.Search(q, 2, 0).size(), 2u);
+}
+
+TEST(BruteForceSearchTest, HitCarriesPointIndex) {
+  auto store = MakeStore();
+  GemModel model(store.get(), "GEM");
+  // With query user 0 = (1,0) and partner 2 = (1,1):
+  //   (event 1, partner 2): 0 + 3 + 1 = 4
+  //   (event 0, partner 2): 3 + 3 + 1 = 7  <- winner, stored at index 1
+  std::vector<CandidatePair> pairs = {{1, 2}, {0, 2}};
+  TransformedSpace space(model, pairs);
+  BruteForceSearch bf(&space);
+  std::vector<float> q;
+  space.QueryVector(model, 0, &q);
+  const auto hits = bf.Search(q, 1, 0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].point_index, 1u);
+  EXPECT_EQ(hits[0].pair.event, 0u);
+  EXPECT_FLOAT_EQ(hits[0].score, 7.0f);
+}
+
+}  // namespace
+}  // namespace gemrec::recommend

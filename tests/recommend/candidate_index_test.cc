@@ -1,0 +1,98 @@
+#include "recommend/candidate_index.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/vec_math.h"
+
+namespace gemrec::recommend {
+namespace {
+
+std::unique_ptr<embedding::EmbeddingStore> RandomStore(
+    uint32_t num_users, uint32_t num_events, uint64_t seed) {
+  auto store = std::make_unique<embedding::EmbeddingStore>(
+      4, std::array<uint32_t, 5>{num_users, num_events, 1, 1, 1});
+  Rng rng(seed);
+  store->MatrixOf(graph::NodeType::kUser).FillAbsGaussian(&rng, 0.3, 0.2);
+  store->MatrixOf(graph::NodeType::kEvent)
+      .FillAbsGaussian(&rng, 0.3, 0.2);
+  return store;
+}
+
+TEST(CandidateIndexTest, ZeroTopKKeepsEveryPair) {
+  auto store = RandomStore(5, 7, 1);
+  GemModel model(store.get(), "GEM");
+  std::vector<ebsn::EventId> events = {0, 1, 2, 3, 4, 5, 6};
+  const auto pairs = BuildCandidatePairs(model, events, 5, 0);
+  EXPECT_EQ(pairs.size(), 35u);
+}
+
+TEST(CandidateIndexTest, TopKLimitsPairsPerPartner) {
+  auto store = RandomStore(5, 10, 2);
+  GemModel model(store.get(), "GEM");
+  std::vector<ebsn::EventId> events;
+  for (uint32_t x = 0; x < 10; ++x) events.push_back(x);
+  const auto pairs = BuildCandidatePairs(model, events, 5, 3);
+  EXPECT_EQ(pairs.size(), 15u);
+  std::vector<int> per_partner(5, 0);
+  for (const auto& p : pairs) ++per_partner[p.partner];
+  for (int c : per_partner) EXPECT_EQ(c, 3);
+}
+
+TEST(CandidateIndexTest, TopKEventsAreThePartnersBestEvents) {
+  auto store = RandomStore(4, 20, 3);
+  GemModel model(store.get(), "GEM");
+  std::vector<ebsn::EventId> events;
+  for (uint32_t x = 0; x < 20; ++x) events.push_back(x);
+  const auto per_user = TopKEventsPerUser(model, events, 4, 5);
+  for (uint32_t u = 0; u < 4; ++u) {
+    ASSERT_EQ(per_user[u].size(), 5u);
+    // Minimum kept score must be >= every dropped score.
+    float min_kept = 1e30f;
+    std::set<ebsn::EventId> kept(per_user[u].begin(),
+                                 per_user[u].end());
+    for (ebsn::EventId x : per_user[u]) {
+      min_kept = std::min(min_kept, model.ScoreUserEvent(u, x));
+    }
+    for (ebsn::EventId x : events) {
+      if (kept.count(x) != 0) continue;
+      EXPECT_LE(model.ScoreUserEvent(u, x), min_kept + 1e-6f);
+    }
+  }
+}
+
+TEST(CandidateIndexTest, TopKListIsSortedByScoreDescending) {
+  auto store = RandomStore(2, 15, 4);
+  GemModel model(store.get(), "GEM");
+  std::vector<ebsn::EventId> events;
+  for (uint32_t x = 0; x < 15; ++x) events.push_back(x);
+  const auto per_user = TopKEventsPerUser(model, events, 2, 6);
+  for (uint32_t u = 0; u < 2; ++u) {
+    for (size_t i = 1; i < per_user[u].size(); ++i) {
+      EXPECT_GE(model.ScoreUserEvent(u, per_user[u][i - 1]),
+                model.ScoreUserEvent(u, per_user[u][i]));
+    }
+  }
+}
+
+TEST(CandidateIndexTest, TopKLargerThanEventPoolKeepsAll) {
+  auto store = RandomStore(3, 4, 5);
+  GemModel model(store.get(), "GEM");
+  std::vector<ebsn::EventId> events = {0, 1, 2, 3};
+  const auto pairs = BuildCandidatePairs(model, events, 3, 99);
+  EXPECT_EQ(pairs.size(), 12u);
+}
+
+TEST(CandidateIndexTest, EventSubsetIsRespected) {
+  auto store = RandomStore(3, 10, 6);
+  GemModel model(store.get(), "GEM");
+  std::vector<ebsn::EventId> events = {2, 5, 9};
+  const auto pairs = BuildCandidatePairs(model, events, 3, 2);
+  for (const auto& p : pairs) {
+    EXPECT_TRUE(p.event == 2 || p.event == 5 || p.event == 9);
+  }
+}
+
+}  // namespace
+}  // namespace gemrec::recommend

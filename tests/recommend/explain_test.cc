@@ -1,0 +1,106 @@
+#include "recommend/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.h"
+#include "embedding/trainer.h"
+
+namespace gemrec::recommend {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    city_ = new testing::SmallCity(testing::MakeSmallCity(321));
+    auto options = embedding::TrainerOptions::GemA();
+    options.dim = 16;
+    options.num_samples = 80000;
+    trainer_ = new embedding::JointTrainer(city_->graphs.get(), options);
+    trainer_->Train();
+    model_ = new GemModel(&trainer_->store(), "GEM-A");
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete trainer_;
+    delete city_;
+    model_ = nullptr;
+    trainer_ = nullptr;
+    city_ = nullptr;
+  }
+  static testing::SmallCity* city_;
+  static embedding::JointTrainer* trainer_;
+  static GemModel* model_;
+};
+
+testing::SmallCity* ExplainTest::city_ = nullptr;
+embedding::JointTrainer* ExplainTest::trainer_ = nullptr;
+GemModel* ExplainTest::model_ = nullptr;
+
+TEST_F(ExplainTest, TermsSumToTotalScore) {
+  const auto e = ExplainRecommendation(*model_, city_->dataset(),
+                                       *city_->graphs, 1, 5, 2);
+  EXPECT_NEAR(e.total_score,
+              e.user_event_affinity + e.partner_event_affinity +
+                  e.social_affinity,
+              1e-4f);
+  EXPECT_FLOAT_EQ(e.total_score, model_->ScoreTriple(1, 2, 5));
+}
+
+TEST_F(ExplainTest, TopWordsComeFromTheEventAndAreSorted) {
+  const ebsn::EventId event = 5;
+  const auto e = ExplainRecommendation(*model_, city_->dataset(),
+                                       *city_->graphs, 1, event, 2,
+                                       /*top_words_limit=*/4);
+  ASSERT_LE(e.top_words.size(), 4u);
+  ASSERT_FALSE(e.top_words.empty());
+  const auto& words = city_->dataset().event(event).words;
+  for (size_t i = 0; i < e.top_words.size(); ++i) {
+    EXPECT_NE(std::find(words.begin(), words.end(), e.top_words[i].first),
+              words.end())
+        << "explained word not in event document";
+    if (i > 0) {
+      EXPECT_GE(e.top_words[i - 1].second, e.top_words[i].second);
+    }
+  }
+}
+
+TEST_F(ExplainTest, TimeAffinitiesCoverThreeScales) {
+  const auto e = ExplainRecommendation(*model_, city_->dataset(),
+                                       *city_->graphs, 0, 3, 1);
+  ASSERT_EQ(e.time_affinities.size(), 3u);
+  EXPECT_LT(e.time_affinities[0].first, 24u);           // hour slot
+  EXPECT_GE(e.time_affinities[1].first, 24u);           // day slot
+  EXPECT_LT(e.time_affinities[1].first, 31u);
+  EXPECT_GE(e.time_affinities[2].first, 31u);           // weekpart
+}
+
+TEST_F(ExplainTest, FriendshipFlagMatchesDataset) {
+  const auto& dataset = city_->dataset();
+  ebsn::UserId u = 0;
+  ebsn::UserId friend_id = ebsn::kInvalidId;
+  for (ebsn::UserId candidate = 0; candidate < dataset.num_users();
+       ++candidate) {
+    if (!dataset.FriendsOf(candidate).empty()) {
+      u = candidate;
+      friend_id = dataset.FriendsOf(candidate).front();
+      break;
+    }
+  }
+  ASSERT_NE(friend_id, ebsn::kInvalidId);
+  const auto with_friend = ExplainRecommendation(
+      *model_, dataset, *city_->graphs, u, 0, friend_id);
+  EXPECT_TRUE(with_friend.already_friends);
+}
+
+TEST_F(ExplainTest, ToStringMentionsAllSections) {
+  const auto e = ExplainRecommendation(*model_, city_->dataset(),
+                                       *city_->graphs, 1, 2, 3);
+  const std::string text = e.ToString();
+  EXPECT_NE(text.find("score"), std::string::npos);
+  EXPECT_NE(text.find("content"), std::string::npos);
+  EXPECT_NE(text.find("region"), std::string::npos);
+  EXPECT_NE(text.find("time"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gemrec::recommend

@@ -1,0 +1,109 @@
+#include "recommend/filters.h"
+
+#include <gtest/gtest.h>
+
+#include "ebsn/time_slots.h"
+
+namespace gemrec::recommend {
+namespace {
+
+constexpr int64_t kDay = 86400;
+
+/// Dataset with events at controlled times and places.
+ebsn::Dataset MakeDataset() {
+  ebsn::Dataset d;
+  d.set_num_users(1);
+  d.AddVenue(ebsn::Venue{0, {39.90, 116.40}});
+  d.AddVenue(ebsn::Venue{1, {39.99, 116.50}});  // ~13 km away
+  // Epoch day 0 is Thursday. Event times:
+  //   0: Thursday 10:00 at venue 0
+  //   1: Saturday 20:00 at venue 0
+  //   2: Thursday 23:00 at venue 1
+  //   3: Sunday   09:00 at venue 1, three weeks later
+  d.AddEvent(ebsn::Event{0, 0, 10 * 3600, {}, -1});
+  d.AddEvent(ebsn::Event{1, 0, 2 * kDay + 20 * 3600, {}, -1});
+  d.AddEvent(ebsn::Event{2, 1, 23 * 3600, {}, -1});
+  d.AddEvent(ebsn::Event{3, 1, 24 * kDay + 9 * 3600, {}, -1});
+  EXPECT_TRUE(d.Finalize().ok());
+  return d;
+}
+
+const std::vector<ebsn::EventId> kAll = {0, 1, 2, 3};
+
+TEST(EventFilterTest, EmptyFilterKeepsEverything) {
+  auto d = MakeDataset();
+  EXPECT_EQ(FilterEvents(d, kAll, {}), kAll);
+}
+
+TEST(EventFilterTest, WeekendOnly) {
+  auto d = MakeDataset();
+  EventFilter filter;
+  filter.weekpart = EventFilter::Weekpart::kWeekendOnly;
+  EXPECT_EQ(FilterEvents(d, kAll, filter),
+            (std::vector<ebsn::EventId>{1, 3}));
+}
+
+TEST(EventFilterTest, WeekdayOnly) {
+  auto d = MakeDataset();
+  EventFilter filter;
+  filter.weekpart = EventFilter::Weekpart::kWeekdayOnly;
+  EXPECT_EQ(FilterEvents(d, kAll, filter),
+            (std::vector<ebsn::EventId>{0, 2}));
+}
+
+TEST(EventFilterTest, TimeWindow) {
+  auto d = MakeDataset();
+  EventFilter filter;
+  filter.not_before = kDay;            // skip day-0 events
+  filter.not_after = 10 * kDay;        // skip event 3
+  EXPECT_EQ(FilterEvents(d, kAll, filter),
+            (std::vector<ebsn::EventId>{1}));
+}
+
+TEST(EventFilterTest, GeoRadius) {
+  auto d = MakeDataset();
+  EventFilter filter;
+  filter.center = {39.90, 116.40};
+  filter.radius_km = 5.0;
+  EXPECT_EQ(FilterEvents(d, kAll, filter),
+            (std::vector<ebsn::EventId>{0, 1}));
+}
+
+TEST(EventFilterTest, HourWindow) {
+  auto d = MakeDataset();
+  EventFilter filter;
+  filter.hour_from = 9;
+  filter.hour_to = 12;  // morning events only
+  EXPECT_EQ(FilterEvents(d, kAll, filter),
+            (std::vector<ebsn::EventId>{0, 3}));
+}
+
+TEST(EventFilterTest, WrappingHourWindow) {
+  auto d = MakeDataset();
+  EventFilter filter;
+  filter.hour_from = 22;
+  filter.hour_to = 2;  // late night, wraps midnight
+  EXPECT_EQ(FilterEvents(d, kAll, filter),
+            (std::vector<ebsn::EventId>{2}));
+}
+
+TEST(EventFilterTest, CriteriaCompose) {
+  auto d = MakeDataset();
+  EventFilter filter;
+  filter.weekpart = EventFilter::Weekpart::kWeekendOnly;
+  filter.center = {39.90, 116.40};
+  filter.radius_km = 5.0;
+  // Weekend AND near venue 0 -> only event 1.
+  EXPECT_EQ(FilterEvents(d, kAll, filter),
+            (std::vector<ebsn::EventId>{1}));
+}
+
+TEST(EventFilterTest, EmptyInputListStaysEmpty) {
+  auto d = MakeDataset();
+  EventFilter filter;
+  filter.weekpart = EventFilter::Weekpart::kWeekendOnly;
+  EXPECT_TRUE(FilterEvents(d, {}, filter).empty());
+}
+
+}  // namespace
+}  // namespace gemrec::recommend

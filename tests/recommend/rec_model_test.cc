@@ -1,0 +1,52 @@
+#include "recommend/rec_model.h"
+
+#include <gtest/gtest.h>
+
+namespace gemrec::recommend {
+namespace {
+
+/// Deterministic stub with hand-settable pairwise scores.
+class StubModel : public RecModel {
+ public:
+  std::string Name() const override { return "stub"; }
+  float ScoreUserEvent(ebsn::UserId u, ebsn::EventId x) const override {
+    return static_cast<float>(u) * 10.0f + static_cast<float>(x);
+  }
+  float ScoreUserUser(ebsn::UserId u, ebsn::UserId v) const override {
+    return static_cast<float>(u) + static_cast<float>(v) * 0.1f;
+  }
+};
+
+TEST(RecModelTest, DefaultTripleScoreIsTheEqn8Decomposition) {
+  StubModel model;
+  // (u,x) + (u',x) + (u,u') for u=2, u'=3, x=5:
+  //   (2*10+5) + (3*10+5) + (2 + 0.3) = 25 + 35 + 2.3
+  EXPECT_FLOAT_EQ(model.ScoreTriple(2, 3, 5), 62.3f);
+}
+
+TEST(RecModelTest, TripleScoreIsNotSymmetricInUserAndPartner) {
+  StubModel model;
+  // Swapping user and partner changes the social term direction and
+  // hence (with an asymmetric stub) the score — the protocol evaluates
+  // ordered triples, so the interface must not silently symmetrize.
+  EXPECT_NE(model.ScoreTriple(2, 3, 5), model.ScoreTriple(3, 2, 5));
+}
+
+/// Override ScoreTriple to verify virtual dispatch (CFAPR-E-style
+/// models replace the decomposition).
+class JointOverrideModel : public StubModel {
+ public:
+  float ScoreTriple(ebsn::UserId, ebsn::UserId,
+                    ebsn::EventId) const override {
+    return 42.0f;
+  }
+};
+
+TEST(RecModelTest, TripleScoreIsVirtuallyDispatched) {
+  JointOverrideModel model;
+  const RecModel& base = model;
+  EXPECT_FLOAT_EQ(base.ScoreTriple(0, 1, 2), 42.0f);
+}
+
+}  // namespace
+}  // namespace gemrec::recommend

@@ -1,0 +1,112 @@
+#include "recommend/recommender.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace gemrec::recommend {
+namespace {
+
+std::unique_ptr<embedding::EmbeddingStore> RandomStore(
+    uint32_t num_users, uint32_t num_events, uint64_t seed) {
+  auto store = std::make_unique<embedding::EmbeddingStore>(
+      6, std::array<uint32_t, 5>{num_users, num_events, 1, 1, 1});
+  Rng rng(seed);
+  store->MatrixOf(graph::NodeType::kUser).FillAbsGaussian(&rng, 0.3, 0.3);
+  store->MatrixOf(graph::NodeType::kEvent)
+      .FillAbsGaussian(&rng, 0.3, 0.3);
+  return store;
+}
+
+std::vector<ebsn::EventId> EventRange(uint32_t n) {
+  std::vector<ebsn::EventId> events(n);
+  for (uint32_t x = 0; x < n; ++x) events[x] = x;
+  return events;
+}
+
+TEST(RecommenderTest, TaAndBruteForceBackendsAgree) {
+  auto store = RandomStore(25, 20, 1);
+  GemModel model(store.get(), "GEM");
+  RecommenderOptions ta_options;
+  ta_options.backend = SearchBackend::kThresholdAlgorithm;
+  RecommenderOptions bf_options;
+  bf_options.backend = SearchBackend::kBruteForce;
+  EventPartnerRecommender ta(&model, EventRange(20), 25, ta_options);
+  EventPartnerRecommender bf(&model, EventRange(20), 25, bf_options);
+  for (ebsn::UserId u : {0u, 7u, 24u}) {
+    const auto a = ta.Recommend(u, 10);
+    const auto b = bf.Recommend(u, 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(a[i].score, b[i].score, 1e-4f);
+    }
+  }
+}
+
+TEST(RecommenderTest, CandidateCountWithoutPruning) {
+  auto store = RandomStore(10, 8, 2);
+  GemModel model(store.get(), "GEM");
+  EventPartnerRecommender rec(&model, EventRange(8), 10, {});
+  EXPECT_EQ(rec.num_candidate_pairs(), 80u);
+}
+
+TEST(RecommenderTest, PruningShrinksCandidateSpace) {
+  auto store = RandomStore(10, 8, 3);
+  GemModel model(store.get(), "GEM");
+  RecommenderOptions options;
+  options.top_k_events_per_partner = 2;
+  EventPartnerRecommender rec(&model, EventRange(8), 10, options);
+  EXPECT_EQ(rec.num_candidate_pairs(), 20u);
+}
+
+TEST(RecommenderTest, PrunedResultsAreSubsetQuality) {
+  // Pruned top-1 score can never exceed unpruned top-1 score, and with
+  // generous k they coincide.
+  auto store = RandomStore(15, 12, 4);
+  GemModel model(store.get(), "GEM");
+  EventPartnerRecommender full(&model, EventRange(12), 15, {});
+  RecommenderOptions pruned_options;
+  pruned_options.top_k_events_per_partner = 12;  // k = all
+  EventPartnerRecommender pruned(&model, EventRange(12), 15,
+                                 pruned_options);
+  for (ebsn::UserId u = 0; u < 15; ++u) {
+    const auto a = full.Recommend(u, 1);
+    const auto b = pruned.Recommend(u, 1);
+    ASSERT_EQ(a.size(), 1u);
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_NEAR(a[0].score, b[0].score, 1e-5f);
+  }
+}
+
+TEST(RecommenderTest, NeverRecommendsSelfAsPartner) {
+  auto store = RandomStore(8, 6, 5);
+  GemModel model(store.get(), "GEM");
+  EventPartnerRecommender rec(&model, EventRange(6), 8, {});
+  for (ebsn::UserId u = 0; u < 8; ++u) {
+    for (const auto& r : rec.Recommend(u, 20)) {
+      EXPECT_NE(r.partner, u);
+    }
+  }
+}
+
+TEST(RecommenderTest, StatsArePopulated) {
+  auto store = RandomStore(20, 15, 6);
+  GemModel model(store.get(), "GEM");
+  EventPartnerRecommender rec(&model, EventRange(15), 20, {});
+  SearchStats stats;
+  rec.Recommend(0, 5, &stats);
+  EXPECT_GT(stats.points_examined, 0u);
+}
+
+TEST(RecommenderTest, RecommendationsAreSortedDescending) {
+  auto store = RandomStore(12, 10, 7);
+  GemModel model(store.get(), "GEM");
+  EventPartnerRecommender rec(&model, EventRange(10), 12, {});
+  const auto recommendations = rec.Recommend(3, 15);
+  for (size_t i = 1; i < recommendations.size(); ++i) {
+    EXPECT_GE(recommendations[i - 1].score, recommendations[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace gemrec::recommend

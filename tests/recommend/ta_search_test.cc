@@ -1,0 +1,180 @@
+#include "recommend/ta_search.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "recommend/brute_force.h"
+
+namespace gemrec::recommend {
+namespace {
+
+/// Random nonnegative store (mirrors the ReLU-projected embeddings TA
+/// relies on) with `num_users` users and `num_events` events.
+std::unique_ptr<embedding::EmbeddingStore> RandomStore(
+    uint32_t num_users, uint32_t num_events, uint32_t dim,
+    uint64_t seed) {
+  auto store = std::make_unique<embedding::EmbeddingStore>(
+      dim,
+      std::array<uint32_t, 5>{num_users, num_events, 1, 1, 1});
+  Rng rng(seed);
+  store->MatrixOf(graph::NodeType::kUser).FillAbsGaussian(&rng, 0.2, 0.3);
+  store->MatrixOf(graph::NodeType::kEvent)
+      .FillAbsGaussian(&rng, 0.2, 0.3);
+  return store;
+}
+
+std::vector<CandidatePair> AllPairs(uint32_t num_users,
+                                    uint32_t num_events) {
+  std::vector<CandidatePair> pairs;
+  for (uint32_t x = 0; x < num_events; ++x) {
+    for (uint32_t u = 0; u < num_users; ++u) pairs.push_back({x, u});
+  }
+  return pairs;
+}
+
+TEST(TaSearchTest, EmptySpaceReturnsNothing) {
+  auto store = RandomStore(2, 2, 4, 1);
+  GemModel model(store.get(), "GEM");
+  TransformedSpace space(model, {});
+  TaSearch ta(&space);
+  std::vector<float> q(space.point_dim(), 1.0f);
+  EXPECT_TRUE(ta.Search(q, 5, 0).empty());
+}
+
+TEST(TaSearchTest, TopOneMatchesBruteForce) {
+  auto store = RandomStore(10, 12, 6, 2);
+  GemModel model(store.get(), "GEM");
+  TransformedSpace space(model, AllPairs(10, 12));
+  TaSearch ta(&space);
+  BruteForceSearch bf(&space);
+  std::vector<float> q;
+  for (uint32_t u = 0; u < 10; ++u) {
+    space.QueryVector(model, u, &q);
+    const auto ta_hits = ta.Search(q, 1, u);
+    const auto bf_hits = bf.Search(q, 1, u);
+    ASSERT_EQ(ta_hits.size(), 1u);
+    ASSERT_EQ(bf_hits.size(), 1u);
+    EXPECT_FLOAT_EQ(ta_hits[0].score, bf_hits[0].score) << "u=" << u;
+  }
+}
+
+/// Property: for random spaces and several n, TA returns exactly the
+/// brute-force top-n score multiset.
+class TaEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TaEquivalenceTest, MatchesBruteForceScores) {
+  const auto [num_users, num_events, n] = GetParam();
+  auto store = RandomStore(num_users, num_events, 8,
+                           1000 + num_users * 7 + n);
+  GemModel model(store.get(), "GEM");
+  TransformedSpace space(model, AllPairs(num_users, num_events));
+  TaSearch ta(&space);
+  BruteForceSearch bf(&space);
+  std::vector<float> q;
+  for (uint32_t u = 0; u < std::min(5u, static_cast<uint32_t>(num_users));
+       ++u) {
+    space.QueryVector(model, u, &q);
+    const auto ta_hits = ta.Search(q, n, u);
+    const auto bf_hits = bf.Search(q, n, u);
+    ASSERT_EQ(ta_hits.size(), bf_hits.size());
+    for (size_t i = 0; i < ta_hits.size(); ++i) {
+      EXPECT_NEAR(ta_hits[i].score, bf_hits[i].score, 1e-4f)
+          << "u=" << u << " rank=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TaEquivalenceTest,
+    ::testing::Values(std::make_tuple(5, 6, 3),
+                      std::make_tuple(20, 15, 10),
+                      std::make_tuple(30, 8, 5),
+                      std::make_tuple(8, 40, 20),
+                      std::make_tuple(12, 12, 1)));
+
+TEST(TaSearchTest, NeverReturnsExcludedPartner) {
+  auto store = RandomStore(6, 6, 4, 3);
+  GemModel model(store.get(), "GEM");
+  TransformedSpace space(model, AllPairs(6, 6));
+  TaSearch ta(&space);
+  std::vector<float> q;
+  for (uint32_t u = 0; u < 6; ++u) {
+    space.QueryVector(model, u, &q);
+    for (const auto& hit : ta.Search(q, 10, u)) {
+      EXPECT_NE(hit.pair.partner, u);
+    }
+  }
+}
+
+TEST(TaSearchTest, ResultsAreSortedDescending) {
+  auto store = RandomStore(15, 15, 6, 4);
+  GemModel model(store.get(), "GEM");
+  TransformedSpace space(model, AllPairs(15, 15));
+  TaSearch ta(&space);
+  std::vector<float> q;
+  space.QueryVector(model, 3, &q);
+  const auto hits = ta.Search(q, 20, 3);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+}
+
+TEST(TaSearchTest, ExaminesFewerPointsThanBruteForce) {
+  // On a larger space TA's early stop must actually prune.
+  auto store = RandomStore(60, 50, 8, 5);
+  GemModel model(store.get(), "GEM");
+  TransformedSpace space(model, AllPairs(60, 50));
+  TaSearch ta(&space);
+  std::vector<float> q;
+  space.QueryVector(model, 0, &q);
+  SearchStats stats;
+  ta.Search(q, 10, 0, &stats);
+  EXPECT_LT(stats.points_examined, space.num_points());
+  EXPECT_GT(stats.points_examined, 0u);
+  EXPECT_GT(stats.examined_fraction, 0.0);
+  EXPECT_LT(stats.examined_fraction, 1.0);
+}
+
+TEST(TaSearchTest, RequestLargerThanSpaceReturnsAllOtherPairs) {
+  auto store = RandomStore(3, 2, 4, 6);
+  GemModel model(store.get(), "GEM");
+  TransformedSpace space(model, AllPairs(3, 2));
+  TaSearch ta(&space);
+  std::vector<float> q;
+  space.QueryVector(model, 0, &q);
+  const auto hits = ta.Search(q, 100, 0);
+  // 2 events x 3 partners minus 2 pairs whose partner is user 0.
+  EXPECT_EQ(hits.size(), 4u);
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (const auto& h : hits) {
+    seen.insert({h.pair.event, h.pair.partner});
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(BruteForceTest, StatsReportFullScan) {
+  auto store = RandomStore(4, 4, 4, 7);
+  GemModel model(store.get(), "GEM");
+  TransformedSpace space(model, AllPairs(4, 4));
+  BruteForceSearch bf(&space);
+  std::vector<float> q;
+  space.QueryVector(model, 1, &q);
+  SearchStats stats;
+  bf.Search(q, 3, 1, &stats);
+  EXPECT_EQ(stats.points_examined, space.num_points());
+  EXPECT_DOUBLE_EQ(stats.examined_fraction, 1.0);
+}
+
+TEST(BruteForceTest, ZeroNReturnsEmpty) {
+  auto store = RandomStore(3, 3, 4, 8);
+  GemModel model(store.get(), "GEM");
+  TransformedSpace space(model, AllPairs(3, 3));
+  BruteForceSearch bf(&space);
+  std::vector<float> q(space.point_dim(), 1.0f);
+  EXPECT_TRUE(bf.Search(q, 0, 0).empty());
+}
+
+}  // namespace
+}  // namespace gemrec::recommend

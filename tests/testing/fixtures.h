@@ -1,0 +1,47 @@
+#ifndef GEMREC_TESTS_TESTING_FIXTURES_H_
+#define GEMREC_TESTS_TESTING_FIXTURES_H_
+
+#include <memory>
+
+#include "common/logging.h"
+#include "ebsn/split.h"
+#include "ebsn/synthetic.h"
+#include "graph/graph_builder.h"
+
+namespace gemrec::testing {
+
+/// A small synthetic city (generated once) with its chronological
+/// split and the five training graphs — shared by baseline/eval/
+/// integration test suites to keep total test runtime low.
+struct SmallCity {
+  ebsn::SyntheticData data;
+  std::unique_ptr<ebsn::ChronologicalSplit> split;
+  std::unique_ptr<graph::EbsnGraphs> graphs;
+
+  const ebsn::Dataset& dataset() const { return data.dataset; }
+};
+
+inline SmallCity MakeSmallCity(uint64_t seed = 77) {
+  ebsn::SyntheticConfig config;
+  config.num_users = 220;
+  config.num_events = 160;
+  config.num_venues = 30;
+  config.num_topics = 5;
+  config.vocab_size = 400;
+  config.mean_events_per_user = 12.0;
+  config.mean_friends_per_user = 10.0;
+  config.seed = seed;
+  SmallCity city{ebsn::GenerateSynthetic(config), nullptr, nullptr};
+  city.split =
+      std::make_unique<ebsn::ChronologicalSplit>(city.data.dataset);
+  auto graphs =
+      graph::BuildEbsnGraphs(city.data.dataset, *city.split, {});
+  GEMREC_CHECK(graphs.ok()) << graphs.status().ToString();
+  city.graphs =
+      std::make_unique<graph::EbsnGraphs>(std::move(graphs).value());
+  return city;
+}
+
+}  // namespace gemrec::testing
+
+#endif  // GEMREC_TESTS_TESTING_FIXTURES_H_

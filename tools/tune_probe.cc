@@ -1,0 +1,41 @@
+// Temporary tuning probe (not part of the library surface).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include "bench/../bench/bench_util.h"
+int main(int argc, char** argv) {
+  using namespace gemrec;
+  double bias = argc > 1 ? atof(argv[1]) : 1.0;
+  double lr = argc > 2 ? atof(argv[2]) : 0.05;
+  int M = argc > 3 ? atoi(argv[3]) : 2;
+  double init = argc > 4 ? atof(argv[4]) : 0.01;
+  int dim = argc > 5 ? atoi(argv[5]) : 60;
+  const char* kind = argc > 6 ? argv[6] : "gema";
+  auto city = bench::MakeCity(ebsn::SyntheticConfig::Beijing(1.0));
+  if (std::string(kind) == "cbpf") {
+    baselines::CbpfOptions co;
+    if (const char* e = getenv("EPOCHS")) co.num_epochs = atoi(e);
+    co.learning_rate = static_cast<float>(lr);
+    co.zeros_per_positive = M;
+    co.dim = dim;
+    baselines::CbpfModel cm(city.dataset(), *city.split, *city.graphs, co);
+    auto r = bench::EvalColdStart(cm, city);
+    printf("CBPF epochs=%s lr=%.3f zeros=%d dim=%d -> event@10=%.3f event@20=%.3f\n",
+           getenv("EPOCHS") ? getenv("EPOCHS") : "30", lr, M, dim, r.At(10), r.At(20));
+    return 0;
+  }
+  embedding::TrainerOptions o =
+      std::string(kind) == "gemp" ? embedding::TrainerOptions::GemP()
+      : std::string(kind) == "pte" ? embedding::TrainerOptions::Pte()
+                                   : embedding::TrainerOptions::GemA();
+  o.bias = bias; o.learning_rate = lr; o.negatives_per_side = M;
+  o.init_stddev = init; o.dim = dim;
+  if (const char* l = getenv("LAMBDA")) o.lambda = atof(l);
+  auto t = bench::TrainEmbedding(city, o);
+  recommend::GemModel m(&t->store(), "probe");
+  auto r = bench::EvalColdStart(m, city);
+  auto p = bench::EvalPartner(m, city);
+  printf("bias=%.2f lr=%.3f M=%d init=%.3f dim=%d kind=%s -> event@10=%.3f joint@10=%.3f\n",
+         bias, lr, M, init, dim, kind, r.At(10), p.At(10));
+  return 0;
+}
