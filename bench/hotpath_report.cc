@@ -1,0 +1,232 @@
+// Hot-path before/after report (not a paper table): measures the two
+// acceptance metrics of the SIMD/pooling/zero-alloc overhaul and
+// writes them to BENCH_hotpath.json next to the frozen seed baselines,
+// so regressions against either the seed or the current numbers are
+// one diff away.
+//
+//   1. Training throughput: GEM-A at K = 100 on the Beijing synthetic
+//      city (the BM_GemAHighDim/100 workload of
+//      perf_training_throughput) — target >= 1.5x the seed's
+//      120.4k items/s.
+//   2. Online TA latency: top-10 event-partner queries over the
+//      unpruned test-event x partner space (the Table-VI workload),
+//      with the steady-state heap-allocation count (must be 0).
+//
+// Run from the repo root so BENCH_hotpath.json lands there:
+//   ./build/bench/hotpath_report
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/vec_math.h"
+#include "recommend/candidate_index.h"
+#include "recommend/space_transform.h"
+#include "recommend/ta_search.h"
+
+namespace {
+
+std::atomic<size_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace gemrec::bench {
+namespace {
+
+// Seed-commit baselines (RelWithDebInfo, default bench scale, single
+// core) — frozen here so the JSON always carries the "before" column.
+constexpr double kSeedTrainK100ItemsPerSec = 120404.0;
+constexpr double kSeedTrainK60ItemsPerSec = 190671.0;
+constexpr double kSeedTaTop10Ms = 12.0;
+
+struct TrainResult {
+  double items_per_sec = 0.0;
+};
+
+TrainResult MeasureTraining(const CityBundle& city, uint32_t dim) {
+  auto options = embedding::TrainerOptions::GemA();
+  options.dim = dim;
+  options.num_samples = 200000;
+  embedding::JointTrainer trainer(city.graphs.get(), options);
+  trainer.TrainChunk(5000);  // warm-up; builds the adaptive rankings
+  constexpr uint64_t kSteps = 100000;
+  Stopwatch watch;
+  trainer.TrainChunk(kSteps);
+  const double elapsed = watch.ElapsedSeconds();
+  return TrainResult{static_cast<double>(kSteps) / elapsed};
+}
+
+struct TaResult {
+  double ms_per_query = 0.0;
+  double examined_fraction = 0.0;
+  size_t num_pairs = 0;
+  size_t queries = 0;
+  size_t steady_state_allocations = 0;
+};
+
+TaResult MeasureTaSearch(const CityBundle& city) {
+  auto trainer =
+      TrainEmbedding(city, embedding::TrainerOptions::GemA(), 200000);
+  recommend::GemModel model(&trainer->store(), "GEM-A");
+  const uint32_t num_users = city.dataset().num_users();
+  // Unpruned Table-VI space: every test event x every partner.
+  const auto pairs = recommend::BuildCandidatePairs(
+      model, city.split->test_events(), num_users, /*top_k=*/0);
+  recommend::TransformedSpace space(model, pairs);
+  recommend::TaSearch ta(&space);
+
+  constexpr size_t kQueries = 100;
+  constexpr size_t kTopN = 10;
+  std::vector<std::vector<float>> queries(kQueries);
+  for (size_t i = 0; i < kQueries; ++i) {
+    space.QueryVector(model, static_cast<uint32_t>((i * 17) % num_users),
+                      &queries[i]);
+  }
+
+  recommend::TaSearch::Scratch scratch;
+  std::vector<recommend::SearchHit> hits;
+  recommend::SearchStats stats;
+  // Warm-up pass grows the scratch and output capacities.
+  for (size_t i = 0; i < kQueries; ++i) {
+    ta.SearchInto(queries[i], kTopN,
+                  static_cast<uint32_t>((i * 17) % num_users), &hits,
+                  &stats, &scratch);
+  }
+
+  TaResult result;
+  result.num_pairs = space.num_points();
+  result.queries = kQueries;
+  const size_t allocs_before = g_allocations.load();
+  double examined = 0.0;
+  Stopwatch watch;
+  for (size_t i = 0; i < kQueries; ++i) {
+    ta.SearchInto(queries[i], kTopN,
+                  static_cast<uint32_t>((i * 17) % num_users), &hits,
+                  &stats, &scratch);
+    examined += stats.examined_fraction;
+  }
+  const double elapsed = watch.ElapsedSeconds();
+  result.steady_state_allocations = g_allocations.load() - allocs_before;
+  result.ms_per_query = elapsed * 1000.0 / static_cast<double>(kQueries);
+  result.examined_fraction = examined / static_cast<double>(kQueries);
+  return result;
+}
+
+void Run() {
+  PrintNote("hot-path report: training throughput (GEM-A, K=100) and "
+            "TA top-10 latency vs the frozen seed baselines; writes "
+            "BENCH_hotpath.json");
+  PrintNote(std::string("kernel variant: ") + vec_detail::KernelVariant());
+
+  CityBundle city =
+      MakeCity(ebsn::SyntheticConfig::Beijing(BenchScale()));
+
+  const TrainResult k100 = MeasureTraining(city, 100);
+  const TrainResult k60 = MeasureTraining(city, 60);
+  const TaResult ta = MeasureTaSearch(city);
+
+  const double speedup_k100 =
+      k100.items_per_sec / kSeedTrainK100ItemsPerSec;
+  const double speedup_k60 = k60.items_per_sec / kSeedTrainK60ItemsPerSec;
+  const double speedup_ta = kSeedTaTop10Ms / ta.ms_per_query;
+
+  std::cout << "\ntraining GEM-A K=100: " << k100.items_per_sec
+            << " items/s (seed " << kSeedTrainK100ItemsPerSec << ", "
+            << speedup_k100 << "x)\n";
+  std::cout << "training GEM-A K=60:  " << k60.items_per_sec
+            << " items/s (seed " << kSeedTrainK60ItemsPerSec << ", "
+            << speedup_k60 << "x)\n";
+  std::cout << "TA top-10 query:      " << ta.ms_per_query << " ms over "
+            << ta.num_pairs << " pairs (seed ~" << kSeedTaTop10Ms
+            << " ms, " << speedup_ta << "x), examined_frac "
+            << ta.examined_fraction << ", steady-state allocations "
+            << ta.steady_state_allocations << "\n";
+
+  std::ofstream json("BENCH_hotpath.json");
+  json << "{\n"
+       << "  \"bench\": \"hotpath\",\n"
+       << "  \"kernel_variant\": \"" << vec_detail::KernelVariant()
+       << "\",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"training_gema_k100\": {\n"
+       << "    \"workload\": \"BM_GemAHighDim/100 (beijing synthetic, "
+          "100k timed steps)\",\n"
+       << "    \"seed_items_per_sec\": " << kSeedTrainK100ItemsPerSec
+       << ",\n"
+       << "    \"items_per_sec\": " << k100.items_per_sec << ",\n"
+       << "    \"speedup_vs_seed\": " << speedup_k100 << ",\n"
+       << "    \"target_speedup\": 1.5\n"
+       << "  },\n"
+       << "  \"training_gema_k60\": {\n"
+       << "    \"seed_items_per_sec\": " << kSeedTrainK60ItemsPerSec
+       << ",\n"
+       << "    \"items_per_sec\": " << k60.items_per_sec << ",\n"
+       << "    \"speedup_vs_seed\": " << speedup_k60 << "\n"
+       << "  },\n"
+       << "  \"ta_search_top10\": {\n"
+       << "    \"workload\": \"unpruned test-event x partner space, "
+          "top-10, 100 queries\",\n"
+       << "    \"num_pairs\": " << ta.num_pairs << ",\n"
+       << "    \"seed_ms_per_query\": " << kSeedTaTop10Ms << ",\n"
+       << "    \"ms_per_query\": " << ta.ms_per_query << ",\n"
+       << "    \"speedup_vs_seed\": " << speedup_ta << ",\n"
+       << "    \"examined_fraction\": " << ta.examined_fraction << ",\n"
+       << "    \"steady_state_allocations\": "
+       << ta.steady_state_allocations << ",\n"
+       << "    \"target_allocations\": 0\n"
+       << "  }\n"
+       << "}\n";
+  std::cout << "\nwrote BENCH_hotpath.json\n";
+}
+
+}  // namespace
+}  // namespace gemrec::bench
+
+int main() {
+  gemrec::bench::Run();
+  return 0;
+}

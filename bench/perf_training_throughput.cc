@@ -69,6 +69,11 @@ int main(int argc, char** argv) {
       "expected shape: cost grows linearly with K; the adaptive "
       "sampler's amortized overhead vs degree sampling stays within a "
       "small constant factor (paper §III-B complexity analysis).");
+  gemrec::bench::PrintNote(
+      "seed baseline (pre-SIMD, single-core default scale): "
+      "GemA 190.7k items/s, GemP 571.8k, Pte 604.8k, "
+      "GemAHighDim/100 120.4k; the hot-path PR targets >= 1.5x on "
+      "GemAHighDim/100 (see BENCH_hotpath.json).");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -105,6 +105,12 @@ int main(int argc, char** argv) {
   gemrec::bench::PrintNote(
       "expected shape here: BF flat in n, TA much faster and mildly "
       "increasing, examined_frac small.");
+  gemrec::bench::PrintNote(
+      "seed baseline (default scale, single core): GemTa/10 ~12.0 ms, "
+      "GemBf/10 ~281 ms over ~900k pairs. The hot-path PR moves TA's "
+      "query-independent index construction into the TaSearch "
+      "constructor and reuses per-query scratch, so steady-state "
+      "queries allocate nothing (pinned by ta_alloc_test).");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

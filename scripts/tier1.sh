@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 verification (see ROADMAP.md): default build + full ctest,
+# then a ThreadSanitizer pass over the concurrency-bearing suites
+# (thread pool / hogwild trainer / adaptive sampler / TA search).
+#
+# Usage: scripts/tier1.sh [--no-tsan]
+#
+# The TSan stage builds into build-tsan/ with GEMREC_SANITIZE=thread
+# and runs the common/embedding/recommend test binaries under
+# scripts/tsan.supp, which suppresses only the *intentional* data races
+# of hogwild SGD (SgdEdgeStep updates shared embedding rows lock-free
+# by design — Recht et al.). Everything else (the pool, the sampler's
+# snapshot publication, TA scratch reuse) must be race-free.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUN_TSAN=1
+if [[ "${1:-}" == "--no-tsan" ]]; then
+  RUN_TSAN=0
+fi
+
+echo "== tier-1: default build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "$RUN_TSAN" == "1" ]]; then
+  echo "== tier-1: ThreadSanitizer pass (common/embedding/recommend) =="
+  cmake -B build-tsan -S . -DGEMREC_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target \
+    common_test embedding_test recommend_test
+  export TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp"
+  ./build-tsan/tests/common_test
+  ./build-tsan/tests/embedding_test
+  ./build-tsan/tests/recommend_test
+fi
+
+echo "== tier-1: OK =="

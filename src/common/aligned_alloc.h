@@ -1,0 +1,54 @@
+#ifndef GEMREC_COMMON_ALIGNED_ALLOC_H_
+#define GEMREC_COMMON_ALIGNED_ALLOC_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace gemrec {
+
+/// Minimal C++17 allocator handing out `Align`-byte-aligned storage.
+/// Used by Matrix so embedding rows start on 32-byte boundaries and the
+/// vectorized kernels in vec_math.h never straddle a cache line at the
+/// row head.
+template <typename T, size_t Align = 32>
+class AlignedAllocator {
+ public:
+  static_assert(Align >= alignof(T), "Align must be at least alignof(T)");
+  static_assert((Align & (Align - 1)) == 0, "Align must be a power of two");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Align));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// 32-byte-aligned float storage (one AVX2 register width).
+using AlignedFloatVector = std::vector<float, AlignedAllocator<float, 32>>;
+
+}  // namespace gemrec
+
+#endif  // GEMREC_COMMON_ALIGNED_ALLOC_H_

@@ -5,6 +5,9 @@
 namespace gemrec {
 
 void Matrix::FillGaussian(Rng* rng, double mean, double stddev) {
+  // Padding floats are filled too: the draw stream stays a pure
+  // function of (rows, cols, rng) and data()-wide scans see the same
+  // distribution everywhere.
   for (float& v : data_) {
     v = static_cast<float>(rng->Gaussian(mean, stddev));
   }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned_alloc.h"
 #include "common/logging.h"
 #include "common/rng.h"
 
@@ -13,34 +14,45 @@ namespace gemrec {
 /// Dense row-major float matrix used to store embeddings: one row per
 /// node, one column per latent dimension. Rows are handed out as raw
 /// float spans so hot SGD loops stay allocation-free.
+///
+/// Alignment contract: the storage base is 32-byte aligned and the row
+/// stride is padded to a multiple of 8 floats, so every Row(r) pointer
+/// is 32-byte aligned — the SIMD kernels in vec_math.h can process
+/// whole rows without a misaligned head. Padding floats live between
+/// rows; Fill* methods write them (keeping data()-wide invariant
+/// checks valid) but ColumnVariances and all per-row consumers ignore
+/// them.
 class Matrix {
  public:
   Matrix() = default;
 
-  /// Allocates rows*cols floats, zero-initialized.
+  /// Allocates rows*row_stride floats, zero-initialized.
   Matrix(size_t rows, size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+      : rows_(rows), cols_(cols), stride_(PaddedStride(cols)),
+        data_(rows * PaddedStride(cols), 0.0f) {}
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
+  /// Floats between consecutive row starts (cols rounded up to 8).
+  size_t row_stride() const { return stride_; }
   bool empty() const { return data_.empty(); }
 
   float* Row(size_t r) {
     GEMREC_DCHECK(r < rows_);
-    return data_.data() + r * cols_;
+    return data_.data() + r * stride_;
   }
   const float* Row(size_t r) const {
     GEMREC_DCHECK(r < rows_);
-    return data_.data() + r * cols_;
+    return data_.data() + r * stride_;
   }
 
   float& At(size_t r, size_t c) {
     GEMREC_DCHECK(r < rows_ && c < cols_);
-    return data_[r * cols_ + c];
+    return data_[r * stride_ + c];
   }
   float At(size_t r, size_t c) const {
     GEMREC_DCHECK(r < rows_ && c < cols_);
-    return data_[r * cols_ + c];
+    return data_[r * stride_ + c];
   }
 
   /// Fills every entry with independent N(mean, stddev) draws — the
@@ -59,13 +71,18 @@ class Matrix {
   /// adaptive-sampler dimension draw. Returns a cols()-sized vector.
   std::vector<float> ColumnVariances() const;
 
-  const std::vector<float>& data() const { return data_; }
-  std::vector<float>& data() { return data_; }
+  const AlignedFloatVector& data() const { return data_; }
+  AlignedFloatVector& data() { return data_; }
 
  private:
+  static size_t PaddedStride(size_t cols) {
+    return cols == 0 ? 0 : (cols + 7) & ~static_cast<size_t>(7);
+  }
+
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<float> data_;
+  size_t stride_ = 0;
+  AlignedFloatVector data_;
 };
 
 }  // namespace gemrec

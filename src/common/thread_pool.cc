@@ -1,8 +1,39 @@
 #include "common/thread_pool.h"
 
+#include <atomic>
+#include <memory>
+
 #include "common/logging.h"
 
 namespace gemrec {
+namespace {
+
+/// Shared state of one ParallelFor call. Owned jointly by the caller
+/// and the helper tasks (shared_ptr), so a helper that is dequeued
+/// after the call returned finds all indices claimed and exits without
+/// touching anything that may have gone out of scope.
+struct ParallelForState {
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  size_t n = 0;
+  std::function<void(size_t)> fn;  // owned copy
+  std::mutex mu;
+  std::condition_variable cv;
+
+  void RunShard() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   GEMREC_CHECK(num_threads > 0);
@@ -37,10 +68,32 @@ void ThreadPool::Wait() {
 
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t)>& fn) {
-  for (size_t i = 0; i < n; ++i) {
-    Submit([i, &fn] { fn(i); });
+  if (n == 0) return;
+  // The caller claims indices too, so n == 1 (or an empty pool) needs
+  // no shared state at all.
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  if (helpers == 0) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
   }
-  Wait();
+  auto state = std::make_shared<ParallelForState>();
+  state->n = n;
+  state->fn = fn;
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state] { state->RunShard(); });
+  }
+  state->RunShard();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == n;
+  });
+}
+
+size_t ThreadPool::ClampThreads(size_t requested) {
+  const size_t hw =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
+  if (requested == 0 || requested > hw) return hw;
+  return requested;
 }
 
 void ThreadPool::WorkerLoop() {

@@ -11,8 +11,13 @@
 
 namespace gemrec {
 
-/// Minimal fixed-size worker pool. Used by the hogwild trainer and the
-/// parallel sections of the bench harness; tasks must not throw.
+/// Minimal fixed-size worker pool. Used by the hogwild trainer, the
+/// adaptive sampler's ranking rebuilds and the candidate-index build;
+/// tasks must not throw.
+///
+/// Workers are created once and reused across submissions — callers on
+/// a hot path (e.g. JointTrainer::TrainChunk every chunk) pay no
+/// thread create/join cost.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -29,8 +34,18 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  /// Runs fn(i) for i in [0, n) and returns when all calls finished.
+  /// The calling thread participates: indices are claimed from a shared
+  /// atomic cursor by the caller and by up to num_threads() pool
+  /// workers. Because the caller always makes progress on its own, a
+  /// ParallelFor issued from *inside* a pool task (or against a pool
+  /// whose workers are busy with long-running work) degrades to serial
+  /// execution on the caller instead of deadlocking.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Caps a requested worker count at the host's hardware concurrency
+  /// (0 means "use all hardware threads"); never returns 0.
+  static size_t ClampThreads(size_t requested);
 
  private:
   void WorkerLoop();

@@ -40,6 +40,15 @@ class TopK {
   size_t size() const { return heap_.size(); }
   bool full() const { return heap_.size() == k_; }
 
+  /// Empties the collector (and optionally changes k) while keeping the
+  /// heap's storage, so a reused collector allocates nothing after its
+  /// first query.
+  void Reset(size_t k) {
+    GEMREC_CHECK(k > 0);
+    k_ = k;
+    heap_.clear();
+  }
+
   /// Smallest retained score; only meaningful when full().
   Score Threshold() const {
     GEMREC_DCHECK(!heap_.empty());
@@ -55,6 +64,19 @@ class TopK {
       return a.score > b.score;
     });
     return out;
+  }
+
+  /// Sorts the retained entries by descending score *in place* and
+  /// returns a view. Unlike TakeSortedDescending this keeps the storage
+  /// inside the collector (the heap invariant is gone afterwards; call
+  /// Reset before reuse), so callers that copy the results out can run
+  /// allocation-free.
+  const std::vector<Entry>& SortDescendingInPlace() {
+    std::sort(heap_.begin(), heap_.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.score > b.score;
+              });
+    return heap_;
   }
 
  private:

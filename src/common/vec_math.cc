@@ -1,0 +1,197 @@
+// Vectorized kernel implementations behind the vec_math.h dispatch.
+//
+// Two tiers per kernel:
+//   - portable: 4-way unrolled scalar with independent accumulators
+//     (breaks the addss dependency chain that makes the naive reference
+//     loop latency-bound), auto-vectorizable by the compiler;
+//   - x86-64 AVX2+FMA via function target attributes, selected at
+//     runtime with __builtin_cpu_supports, so default builds get SIMD
+//     without -march flags and the binary stays portable.
+//
+// Dispatch uses the resolver-pointer pattern: each entry point starts
+// as a resolver that probes the CPU once, retargets the atomic function
+// pointer, and tail-calls the chosen kernel. Concurrent first calls
+// race benignly (both write the same value).
+
+#include "common/vec_math.h"
+
+#include <atomic>
+#include <cmath>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define GEMREC_X86 1
+#include <immintrin.h>
+#endif
+
+namespace gemrec::vec_detail {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Portable kernels.
+
+float DotPortable(const float* a, const float* b, size_t n) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  float acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void AxpyPortable(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ReluPortable(float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] = x[i] < 0.0f ? 0.0f : x[i];
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA kernels (runtime-gated; unaligned loads so callers may
+// pass arbitrary spans, e.g. query.data() + k in TA search).
+
+#ifdef GEMREC_X86
+
+__attribute__((target("avx2,fma"))) float DotAvx2(const float* a,
+                                                  const float* b,
+                                                  size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                           _mm256_loadu_ps(b + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                           _mm256_loadu_ps(b + i), acc0);
+  }
+  acc0 = _mm256_add_ps(acc0, acc1);
+  __m128 lo = _mm256_castps256_ps128(acc0);
+  __m128 hi = _mm256_extractf128_ps(acc0, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_hadd_ps(lo, lo);
+  lo = _mm_hadd_ps(lo, lo);
+  float acc = _mm_cvtss_f32(lo);
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+__attribute__((target("avx2,fma"))) void AxpyAvx2(float alpha,
+                                                  const float* x, float* y,
+                                                  size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vy = _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i),
+                                      _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(y + i, vy);
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("avx2"))) void ReluAvx2(float* x, size_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_max_ps(_mm256_loadu_ps(x + i), zero));
+  }
+  for (; i < n; ++i) x[i] = x[i] < 0.0f ? 0.0f : x[i];
+}
+
+bool CpuHasAvx2Fma() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+#endif  // GEMREC_X86
+
+// ---------------------------------------------------------------------------
+// Resolvers.
+
+using DotFn = float (*)(const float*, const float*, size_t);
+using AxpyFn = void (*)(float, const float*, float*, size_t);
+using ReluFn = void (*)(float*, size_t);
+
+float DotResolve(const float* a, const float* b, size_t n);
+void AxpyResolve(float alpha, const float* x, float* y, size_t n);
+void ReluResolve(float* x, size_t n);
+
+std::atomic<DotFn> g_dot{&DotResolve};
+std::atomic<AxpyFn> g_axpy{&AxpyResolve};
+std::atomic<ReluFn> g_relu{&ReluResolve};
+
+bool UseAvx2() {
+#ifdef GEMREC_X86
+  return CpuHasAvx2Fma();
+#else
+  return false;
+#endif
+}
+
+float DotResolve(const float* a, const float* b, size_t n) {
+#ifdef GEMREC_X86
+  const DotFn fn = UseAvx2() ? &DotAvx2 : &DotPortable;
+#else
+  const DotFn fn = &DotPortable;
+#endif
+  g_dot.store(fn, std::memory_order_relaxed);
+  return fn(a, b, n);
+}
+
+void AxpyResolve(float alpha, const float* x, float* y, size_t n) {
+#ifdef GEMREC_X86
+  const AxpyFn fn = UseAvx2() ? &AxpyAvx2 : &AxpyPortable;
+#else
+  const AxpyFn fn = &AxpyPortable;
+#endif
+  g_axpy.store(fn, std::memory_order_relaxed);
+  fn(alpha, x, y, n);
+}
+
+void ReluResolve(float* x, size_t n) {
+#ifdef GEMREC_X86
+  const ReluFn fn = UseAvx2() ? &ReluAvx2 : &ReluPortable;
+#else
+  const ReluFn fn = &ReluPortable;
+#endif
+  g_relu.store(fn, std::memory_order_relaxed);
+  fn(x, n);
+}
+
+}  // namespace
+
+float DotDispatch(const float* a, const float* b, size_t n) {
+  return g_dot.load(std::memory_order_relaxed)(a, b, n);
+}
+
+void AxpyDispatch(float alpha, const float* x, float* y, size_t n) {
+  g_axpy.load(std::memory_order_relaxed)(alpha, x, y, n);
+}
+
+void ReluDispatch(float* x, size_t n) {
+  g_relu.load(std::memory_order_relaxed)(x, n);
+}
+
+const char* KernelVariant() { return UseAvx2() ? "avx2" : "scalar"; }
+
+const float* SigmoidTable() {
+  static const float* table = [] {
+    static float storage[kSigmoidEntries + 1];
+    for (int i = 0; i <= kSigmoidEntries; ++i) {
+      const double x = -kSigmoidRange +
+                       2.0 * kSigmoidRange * i / kSigmoidEntries;
+      storage[i] = static_cast<float>(1.0 / (1.0 + std::exp(-x)));
+    }
+    return storage;
+  }();
+  return table;
+}
+
+}  // namespace gemrec::vec_detail

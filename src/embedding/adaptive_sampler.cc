@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/vec_math.h"
 
 namespace gemrec::embedding {
 namespace {
@@ -20,16 +21,37 @@ uint64_t RebuildPeriod(size_t n) {
   return std::max<uint64_t>(64, static_cast<uint64_t>(period));
 }
 
+/// Thread-local snapshot cache: one slot per node type, validated
+/// against (owner, version). Avoids a mutex acquisition and shared_ptr
+/// reference-count churn on every noise draw — the dominant fixed cost
+/// of the seed implementation. A stale entry pins at most one old
+/// snapshot per (thread, type) until that thread draws again.
+struct SnapshotCacheEntry {
+  uint64_t owner = 0;  // sampler instance id; 0 = empty
+  uint64_t version = ~uint64_t{0};
+  std::shared_ptr<const void> snapshot;
+};
+
+thread_local std::array<SnapshotCacheEntry, EmbeddingStore::kNumTypes>
+    t_snapshot_cache;
+
+std::atomic<uint64_t> g_next_sampler_id{1};
+
 }  // namespace
 
 AdaptiveNoiseSampler::AdaptiveNoiseSampler(const EmbeddingStore* store,
                                            double lambda)
-    : store_(store), lambda_(lambda) {
+    : store_(store),
+      lambda_(lambda),
+      instance_id_(
+          g_next_sampler_id.fetch_add(1, std::memory_order_relaxed)) {
   GEMREC_CHECK(store != nullptr);
   GEMREC_CHECK(lambda > 0.0);
   for (size_t i = 0; i < EmbeddingStore::kNumTypes; ++i) {
-    types_[i].rebuild_period =
-        RebuildPeriod(store_->CountOf(static_cast<graph::NodeType>(i)));
+    const size_t n =
+        store_->CountOf(static_cast<graph::NodeType>(i));
+    types_[i].rebuild_period = RebuildPeriod(n);
+    if (n > 0) types_[i].geo.emplace(lambda_, n);
   }
 }
 
@@ -41,16 +63,34 @@ void AdaptiveNoiseSampler::Rebuild(graph::NodeType type) {
   const uint32_t dim = store_->dim();
   const size_t n = m.rows();
 
-  snapshot->ranking.resize(dim);
-  std::vector<uint32_t> ids(n);
-  std::iota(ids.begin(), ids.end(), 0);
-  for (uint32_t f = 0; f < dim; ++f) {
-    snapshot->ranking[f] = ids;
-    auto& order = snapshot->ranking[f];
-    std::stable_sort(order.begin(), order.end(),
-                     [&](uint32_t x, uint32_t y) {
-                       return m.At(x, f) > m.At(y, f);
-                     });
+  snapshot->n = n;
+  snapshot->ranking.resize(static_cast<size_t>(dim) * n);
+  // The per-dimension sorts are independent; fan them out when a pool
+  // is attached (caller participates, so this is safe — and merely
+  // serial — even when invoked from inside a busy pool task). Each
+  // sorts a contiguous (value, id) buffer: one strided matrix read per
+  // element up front instead of two per comparison, which is the
+  // difference between a cache-resident and a cache-thrashing sort.
+  // The (value desc, id asc) key reproduces stable_sort's order, so
+  // rankings stay deterministic.
+  auto sort_dimension = [&](size_t f) {
+    std::vector<std::pair<float, uint32_t>> keyed(n);
+    for (size_t x = 0; x < n; ++x) {
+      keyed[x] = {m.At(x, f), static_cast<uint32_t>(x)};
+    }
+    std::sort(keyed.begin(), keyed.end(),
+              [](const std::pair<float, uint32_t>& a,
+                 const std::pair<float, uint32_t>& b) {
+                return a.first > b.first ||
+                       (a.first == b.first && a.second < b.second);
+              });
+    uint32_t* out = snapshot->ranking.data() + f * n;
+    for (size_t s = 0; s < n; ++s) out[s] = keyed[s].second;
+  };
+  if (rebuild_pool_ != nullptr && dim > 1 && n > 1) {
+    rebuild_pool_->ParallelFor(dim, sort_dimension);
+  } else {
+    for (uint32_t f = 0; f < dim; ++f) sort_dimension(f);
   }
   snapshot->sigma = m.ColumnVariances();
   // Eqn p(f|v_c) ∝ v_{c,f} · σ_f with σ_f the std-dev: take sqrt of
@@ -58,11 +98,9 @@ void AdaptiveNoiseSampler::Rebuild(graph::NodeType type) {
   // an importance weight — we follow the symbol σ, a std-dev).
   for (auto& s : snapshot->sigma) s = std::sqrt(s);
 
-  {
-    // Publish. Readers copy the shared_ptr under the same mutex via
-    // SnapshotOf, so no torn reads.
-    state.snapshot = std::move(snapshot);
-  }
+  // Publish, then bump the version so thread-local caches refetch.
+  state.snapshot = std::move(snapshot);
+  state.version.fetch_add(1, std::memory_order_release);
   state.steps_since_rebuild.store(0, std::memory_order_relaxed);
   rebuild_count_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -91,28 +129,42 @@ uint32_t AdaptiveNoiseSampler::SampleNoise(const graph::BipartiteGraph& g,
                                            Rng* rng) {
   const graph::NodeType type = SideType(g, noise_side);
   TypeState& state = types_[static_cast<size_t>(type)];
-  auto snapshot = SnapshotOf(type);
+
+  // Fast path: revalidate the thread-local snapshot with one version
+  // load; fall back to the locked fetch on miss or first use. The
+  // version is read *before* fetching, so a publish racing the fetch
+  // at worst marks the entry stale again on the next draw.
+  SnapshotCacheEntry& cache =
+      t_snapshot_cache[static_cast<size_t>(type)];
+  const uint64_t version = state.version.load(std::memory_order_acquire);
+  if (cache.owner != instance_id_ || cache.version != version ||
+      cache.snapshot == nullptr) {
+    cache.snapshot = SnapshotOf(type);
+    cache.owner = instance_id_;
+    cache.version = version;
+  }
+  const auto* snapshot =
+      static_cast<const TypeState::Snapshot*>(cache.snapshot.get());
 
   const uint32_t dim = store_->dim();
-  const size_t n = snapshot->ranking.empty()
-                       ? 0
-                       : snapshot->ranking[0].size();
+  const size_t n = snapshot->n;
   GEMREC_DCHECK(n > 0);
 
   // Draw dimension f from p(f|v_c) ∝ v_{c,f} · σ_f. Embeddings are
   // nonnegative (rectifier projection) so these weights are valid; if
   // they all vanish (e.g. right after a cold start) fall back to a
-  // uniform dimension.
-  double total = 0.0;
-  for (uint32_t f = 0; f < dim; ++f) {
-    total += static_cast<double>(context_vec[f]) * snapshot->sigma[f];
-  }
+  // uniform dimension. The normalizer is a plain dot product, so it
+  // runs on the SIMD kernel; the prefix scan stops after the chosen
+  // dimension (K/2 expected scalar ops).
+  const float* sigma = snapshot->sigma.data();
+  const float total = Dot(context_vec, sigma, dim);
   uint32_t dimension = 0;
-  if (total > 1e-20) {
-    double target = rng->UniformDouble() * total;
+  if (total > 1e-12f) {
+    float target = static_cast<float>(rng->UniformDouble()) * total;
+    dimension = dim - 1;  // guard: float prefix sums may undershoot
     for (uint32_t f = 0; f < dim; ++f) {
-      target -= static_cast<double>(context_vec[f]) * snapshot->sigma[f];
-      if (target < 0.0) {
+      target -= context_vec[f] * sigma[f];
+      if (target < 0.0f) {
         dimension = f;
         break;
       }
@@ -121,11 +173,11 @@ uint32_t AdaptiveNoiseSampler::SampleNoise(const graph::BipartiteGraph& g,
     dimension = static_cast<uint32_t>(rng->UniformInt(dim));
   }
 
-  // Draw the rank from the truncated geometric and return the node at
-  // that position on the chosen dimension.
-  const GeometricSampler geo(lambda_, n);
-  const uint64_t rank = geo.Sample(rng);
-  const uint32_t node = snapshot->ranking[dimension][rank];
+  // Draw the rank from the truncated geometric (built once per type)
+  // and return the node at that position on the chosen dimension.
+  const uint64_t rank = state.geo->Sample(rng);
+  const uint32_t node =
+      snapshot->ranking[static_cast<size_t>(dimension) * n + rank];
 
   // Schedule the periodic recomputation (Algorithm 1 lines 4-15).
   const uint64_t steps =

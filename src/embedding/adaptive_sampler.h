@@ -6,10 +6,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/geometric_sampler.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "embedding/embedding_store.h"
 #include "embedding/noise_sampler.h"
 
@@ -28,10 +30,13 @@ namespace gemrec::embedding {
 /// share them) and rebuilt every |V| · log₂ |V| gradient steps on that
 /// type, giving the paper's amortized O(K) per draw.
 ///
-/// Thread-safety (hogwild): draw paths are lock-free over a pointer to
-/// an immutable snapshot; the thread whose step trips the rebuild
-/// budget rebuilds under a mutex while others keep sampling the stale
-/// snapshot — consistent with the asynchronous SGD the paper adopts.
+/// Thread-safety (hogwild): snapshots are immutable once published and
+/// versioned; draw paths cache the current snapshot in a thread-local
+/// slot and revalidate it with a single relaxed version load, so the
+/// steady-state draw takes no lock and touches no shared reference
+/// count. The thread whose step trips the rebuild budget rebuilds
+/// under a mutex while others keep sampling the stale snapshot —
+/// consistent with the asynchronous SGD the paper adopts.
 class AdaptiveNoiseSampler : public NoiseSampler {
  public:
   /// `store` must outlive the sampler. `lambda` is the paper's λ
@@ -48,6 +53,13 @@ class AdaptiveNoiseSampler : public NoiseSampler {
   /// trainer right after initialization and by tests).
   void RebuildAll();
 
+  /// Optional pool for the per-dimension ranking sorts inside Rebuild.
+  /// The pool is used with caller participation, so it is safe to pass
+  /// a pool whose workers may themselves trigger rebuilds (the trainer
+  /// shares its hogwild pool); in that case the rebuild simply runs on
+  /// the tripping thread. Pass nullptr to sort serially.
+  void set_rebuild_pool(ThreadPool* pool) { rebuild_pool_ = pool; }
+
   /// Number of ranking rebuilds performed so far (diagnostics).
   uint64_t rebuild_count() const {
     return rebuild_count_.load(std::memory_order_relaxed);
@@ -55,17 +67,26 @@ class AdaptiveNoiseSampler : public NoiseSampler {
 
  private:
   struct TypeState {
-    /// ranking[f] = node ids sorted by coordinate f, descending.
-    /// Guarded by snapshot pointer swap; treated as immutable once
-    /// published.
+    /// Immutable once published. The ranking is flat and
+    /// dimension-major: ranking[f * n + s] = the node ranked s-th on
+    /// coordinate f (descending) — one indirection per draw, and the
+    /// rebuild sorts contiguous (value, id) spans instead of chasing
+    /// strided matrix reads through a comparator.
     struct Snapshot {
-      std::vector<std::vector<uint32_t>> ranking;
-      std::vector<float> sigma;  // per-dimension std-dev weight
+      std::vector<uint32_t> ranking;  // dim * n ids
+      std::vector<float> sigma;       // per-dimension std-dev weight
+      size_t n = 0;                   // nodes per dimension
     };
     std::shared_ptr<const Snapshot> snapshot;
     std::mutex rebuild_mu;
+    /// Bumped on every publish; readers revalidate their thread-local
+    /// snapshot cache against it with one relaxed load.
+    std::atomic<uint64_t> version{0};
     std::atomic<uint64_t> steps_since_rebuild{0};
     uint64_t rebuild_period = 1;
+    /// Truncated-geometric rank sampler; (λ, node count) are fixed per
+    /// type, so it is built once instead of per draw.
+    std::optional<GeometricSampler> geo;
   };
 
   void Rebuild(graph::NodeType type);
@@ -76,6 +97,11 @@ class AdaptiveNoiseSampler : public NoiseSampler {
   double lambda_;
   std::array<TypeState, EmbeddingStore::kNumTypes> types_;
   std::atomic<uint64_t> rebuild_count_{0};
+  ThreadPool* rebuild_pool_ = nullptr;
+  /// Process-unique id keying the thread-local snapshot caches; a
+  /// pointer would be ambiguous when a new sampler reuses a freed
+  /// sampler's address.
+  const uint64_t instance_id_;
 };
 
 }  // namespace gemrec::embedding

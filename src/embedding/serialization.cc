@@ -26,10 +26,13 @@ Status SaveEmbeddingStore(const EmbeddingStore& store,
     out.write(reinterpret_cast<const char*>(&count), sizeof(count));
   }
   for (size_t t = 0; t < EmbeddingStore::kNumTypes; ++t) {
+    // Row-wise so the dense on-disk layout (count*dim f32) is
+    // independent of the in-memory aligned row stride.
     const Matrix& m = store.MatrixOf(static_cast<graph::NodeType>(t));
-    out.write(reinterpret_cast<const char*>(m.data().data()),
-              static_cast<std::streamsize>(m.data().size() *
-                                           sizeof(float)));
+    for (size_t r = 0; r < m.rows(); ++r) {
+      out.write(reinterpret_cast<const char*>(m.Row(r)),
+                static_cast<std::streamsize>(m.cols() * sizeof(float)));
+    }
   }
   if (!out.good()) return Status::IoError("short write: " + path);
   return Status::Ok();
@@ -59,11 +62,12 @@ Result<EmbeddingStore> LoadEmbeddingStore(const std::string& path) {
   EmbeddingStore store(dim, counts);
   for (size_t t = 0; t < EmbeddingStore::kNumTypes; ++t) {
     Matrix& m = store.MatrixOf(static_cast<graph::NodeType>(t));
-    in.read(reinterpret_cast<char*>(m.data().data()),
-            static_cast<std::streamsize>(m.data().size() *
-                                         sizeof(float)));
-    if (!in.good()) {
-      return Status::IoError("truncated matrix payload: " + path);
+    for (size_t r = 0; r < m.rows(); ++r) {
+      in.read(reinterpret_cast<char*>(m.Row(r)),
+              static_cast<std::streamsize>(m.cols() * sizeof(float)));
+      if (!in.good()) {
+        return Status::IoError("truncated matrix payload: " + path);
+      }
     }
   }
   return store;

@@ -21,8 +21,10 @@ void SgdEdgeStep(EmbeddingStore* store, const graph::BipartiteGraph& g,
   std::memset(grad_j, 0, dim * sizeof(float));
 
   // Positive part: (1 - σ(v_i·v_j)) pushes the endpoints together.
+  // FastSigmoid (table lookup, error < 1e-6) is used throughout the
+  // hot loop; the exact σ stays available as Sigmoid for cold paths.
   const float positive_coeff =
-      1.0f - Sigmoid(Dot(vi, vj, dim) - bias);
+      1.0f - FastSigmoid(Dot(vi, vj, dim) - bias);
   Axpy(positive_coeff, vj, grad_i, dim);
   Axpy(positive_coeff, vi, grad_j, dim);
 
@@ -31,7 +33,7 @@ void SgdEdgeStep(EmbeddingStore* store, const graph::BipartiteGraph& g,
   // gradient in this step).
   for (uint32_t k : noise_b) {
     float* vk = store->VectorOf(g.type_b(), k);
-    const float coeff = Sigmoid(Dot(vi, vk, dim) - bias);
+    const float coeff = FastSigmoid(Dot(vi, vk, dim) - bias);
     Axpy(-coeff, vk, grad_i, dim);
     Axpy(-learning_rate * coeff, vi, vk, dim);
     ReluInPlace(vk, dim);
@@ -40,7 +42,7 @@ void SgdEdgeStep(EmbeddingStore* store, const graph::BipartiteGraph& g,
   // Noise on side A repels v_j (bidirectional sampling only).
   for (uint32_t k : noise_a) {
     float* vk = store->VectorOf(g.type_a(), k);
-    const float coeff = Sigmoid(Dot(vk, vj, dim) - bias);
+    const float coeff = FastSigmoid(Dot(vk, vj, dim) - bias);
     Axpy(-coeff, vk, grad_j, dim);
     Axpy(-learning_rate * coeff, vj, vk, dim);
     ReluInPlace(vk, dim);

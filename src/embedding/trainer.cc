@@ -36,7 +36,10 @@ JointTrainer::JointTrainer(const graph::EbsnGraphs* graphs,
     : graphs_(graphs), options_(options), root_rng_(options.seed) {
   GEMREC_CHECK(graphs != nullptr);
   GEMREC_CHECK(options_.dim > 0 && options_.negatives_per_side > 0);
-  GEMREC_CHECK(options_.num_threads > 0);
+  // 0 = "all hardware threads"; oversized requests are capped —
+  // oversubscribing hogwild workers only adds scheduler churn.
+  options_.num_threads = static_cast<uint32_t>(
+      ThreadPool::ClampThreads(options_.num_threads));
 
   store_ = std::make_unique<EmbeddingStore>(
       options_.dim,
@@ -151,22 +154,26 @@ void JointTrainer::TrainChunk(uint64_t steps) {
     WorkerRun(steps, &root_rng_, &scratch);
   } else {
     // Hogwild: workers update the shared store without locks, as in
-    // Recht et al. (the paper's asynchronous SGD choice).
+    // Recht et al. (the paper's asynchronous SGD choice). The pool is
+    // persistent: threads - 1 workers plus the calling thread, reused
+    // across chunks.
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(threads - 1);
+      if (auto* adaptive =
+              dynamic_cast<AdaptiveNoiseSampler*>(noise_sampler_.get())) {
+        adaptive->set_rebuild_pool(pool_.get());
+      }
+    }
     std::vector<Rng> rngs;
     rngs.reserve(threads);
     for (uint32_t t = 0; t < threads; ++t) rngs.push_back(root_rng_.Fork());
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
     const uint64_t per_thread = steps / threads;
     const uint64_t remainder = steps % threads;
-    for (uint32_t t = 0; t < threads; ++t) {
+    pool_->ParallelFor(threads, [&](size_t t) {
       const uint64_t n = per_thread + (t < remainder ? 1 : 0);
-      workers.emplace_back([this, n, rng = &rngs[t]] {
-        SgdScratch scratch(options_.dim);
-        WorkerRun(n, rng, &scratch);
-      });
-    }
-    for (auto& w : workers) w.join();
+      SgdScratch scratch(options_.dim);
+      WorkerRun(n, &rngs[t], &scratch);
+    });
   }
   steps_done_ += steps;
 }

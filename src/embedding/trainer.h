@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "embedding/adaptive_sampler.h"
 #include "embedding/embedding_store.h"
 #include "embedding/noise_sampler.h"
@@ -51,7 +52,10 @@ struct TrainerOptions {
   NoiseSamplerKind sampler = NoiseSamplerKind::kAdaptive;
   GraphSchedule schedule = GraphSchedule::kProportionalToEdges;
   double lambda = 500.0;               // λ of Eqn 6 (Table V tunes it)
-  uint32_t num_threads = 1;            // hogwild workers (Fig. 6)
+  /// Hogwild workers (Fig. 6). Normalized by the trainer: 0 means "all
+  /// hardware threads" and oversized requests are capped at
+  /// std::thread::hardware_concurrency().
+  uint32_t num_threads = 1;
   uint64_t seed = 7;
   /// Redraw a noise node (up to 8 times) when it is a true neighbor of
   /// the context node, so "negative" edges are actually unobserved.
@@ -70,10 +74,15 @@ struct TrainerOptions {
 /// studies (Tables II/III) can evaluate between chunks.
 class JointTrainer {
  public:
-  /// `graphs` must outlive the trainer.
+  /// `graphs` must outlive the trainer. `options.num_threads` is
+  /// normalized on entry (see TrainerOptions); options() reflects the
+  /// effective value.
   JointTrainer(const graph::EbsnGraphs* graphs, TrainerOptions options);
 
   /// Runs `steps` gradient steps (split across options.num_threads).
+  /// Multi-threaded runs reuse a persistent ThreadPool created on the
+  /// first chunk — repeated chunked training (the convergence-study
+  /// pattern) pays no per-chunk thread create/join cost.
   void TrainChunk(uint64_t steps);
 
   /// Runs options.num_samples steps.
@@ -91,6 +100,10 @@ class JointTrainer {
   TrainerOptions options_;
   std::unique_ptr<EmbeddingStore> store_;
   std::unique_ptr<NoiseSampler> noise_sampler_;
+  /// Persistent hogwild worker pool (num_threads - 1 workers; the
+  /// calling thread runs the remaining shard). Created lazily on the
+  /// first multi-threaded chunk.
+  std::unique_ptr<ThreadPool> pool_;
   AliasTable graph_sampler_;
   std::vector<const graph::BipartiteGraph*> active_graphs_;
   Rng root_rng_;

@@ -1,5 +1,8 @@
 #include "recommend/candidate_index.h"
 
+#include <limits>
+
+#include "common/logging.h"
 #include "common/top_k.h"
 #include "common/vec_math.h"
 
@@ -7,11 +10,15 @@ namespace gemrec::recommend {
 
 std::vector<std::vector<ebsn::EventId>> TopKEventsPerUser(
     const GemModel& model, const std::vector<ebsn::EventId>& events,
-    uint32_t num_users, uint32_t top_k) {
+    uint32_t num_users, uint32_t top_k, ThreadPool* pool) {
   const uint32_t dim = model.dim();
   std::vector<std::vector<ebsn::EventId>> result(num_users);
-  for (uint32_t u = 0; u < num_users; ++u) {
-    const float* uv = model.UserVec(u);
+  // Each shard writes only result[u]: no sharing, and the per-user
+  // ranking is the same code as the serial path, so the output is
+  // bit-identical regardless of the pool (pinned by candidate_index
+  // tests).
+  auto rank_user = [&](size_t u) {
+    const float* uv = model.UserVec(static_cast<uint32_t>(u));
     TopK<ebsn::EventId> best(top_k);
     for (ebsn::EventId x : events) {
       best.Push(x, Dot(uv, model.EventVec(x), dim));
@@ -19,16 +26,37 @@ std::vector<std::vector<ebsn::EventId>> TopKEventsPerUser(
     auto entries = best.TakeSortedDescending();
     result[u].reserve(entries.size());
     for (const auto& e : entries) result[u].push_back(e.id);
+  };
+  if (pool != nullptr && num_users > 1) {
+    pool->ParallelFor(num_users, rank_user);
+  } else {
+    for (uint32_t u = 0; u < num_users; ++u) rank_user(u);
   }
   return result;
 }
 
 std::vector<CandidatePair> BuildCandidatePairs(
     const GemModel& model, const std::vector<ebsn::EventId>& events,
-    uint32_t num_users, uint32_t top_k) {
+    uint32_t num_users, uint32_t top_k, ThreadPool* pool) {
   std::vector<CandidatePair> pairs;
   if (top_k == 0 || top_k >= events.size()) {
-    pairs.reserve(static_cast<size_t>(num_users) * events.size());
+    // Unpruned Table-VI space: |U| · |X| pairs. Guard the size product
+    // before reserving (a large synthetic sweep can overflow size_t)
+    // and make the quadratic blow-up visible in logs.
+    const size_t num_events = events.size();
+    if (num_events > 0) {
+      GEMREC_CHECK(static_cast<size_t>(num_users) <=
+                   std::numeric_limits<size_t>::max() / num_events)
+          << "candidate pair count |U|*|X| overflows size_t: " << num_users
+          << " users * " << num_events << " events";
+    }
+    const size_t total = static_cast<size_t>(num_users) * num_events;
+    GEMREC_LOG(Warning)
+        << "BuildCandidatePairs: top_k=" << top_k
+        << " disables pruning; materializing all " << total
+        << " event-partner pairs (" << num_users << " users x "
+        << num_events << " events)";
+    pairs.reserve(total);
     for (uint32_t u = 0; u < num_users; ++u) {
       for (ebsn::EventId x : events) {
         pairs.push_back(CandidatePair{x, u});
@@ -36,7 +64,8 @@ std::vector<CandidatePair> BuildCandidatePairs(
     }
     return pairs;
   }
-  const auto per_user = TopKEventsPerUser(model, events, num_users, top_k);
+  const auto per_user =
+      TopKEventsPerUser(model, events, num_users, top_k, pool);
   pairs.reserve(static_cast<size_t>(num_users) * top_k);
   for (uint32_t u = 0; u < num_users; ++u) {
     for (ebsn::EventId x : per_user[u]) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "ebsn/types.h"
 #include "recommend/gem_model.h"
 #include "recommend/space_transform.h"
@@ -19,16 +20,22 @@ namespace gemrec::recommend {
 ///
 /// `events` is the recommendable (e.g. upcoming/test) event set;
 /// `top_k == 0` or `top_k >= events.size()` keeps every pair (the
-/// unpruned space of Table VI).
+/// unpruned space of Table VI) — this materializes all |U| · |X|
+/// pairs, so it logs a warning and checks against size_t overflow.
+///
+/// `pool` optionally parallelizes the per-user scoring loop (caller
+/// participates; output is identical to the serial result).
 std::vector<CandidatePair> BuildCandidatePairs(
     const GemModel& model, const std::vector<ebsn::EventId>& events,
-    uint32_t num_users, uint32_t top_k);
+    uint32_t num_users, uint32_t top_k, ThreadPool* pool = nullptr);
 
 /// Per-partner top-k events, exposed separately for tests and for the
-/// pruning study (Fig. 7).
+/// pruning study (Fig. 7). Users are independent, so `pool` shards the
+/// loop over users; each user's ranking is computed exactly as in the
+/// serial path, making the result bit-identical for any thread count.
 std::vector<std::vector<ebsn::EventId>> TopKEventsPerUser(
     const GemModel& model, const std::vector<ebsn::EventId>& events,
-    uint32_t num_users, uint32_t top_k);
+    uint32_t num_users, uint32_t top_k, ThreadPool* pool = nullptr);
 
 }  // namespace gemrec::recommend
 

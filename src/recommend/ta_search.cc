@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_map>
 
 #include "common/logging.h"
-#include "common/top_k.h"
 #include "common/vec_math.h"
 
 namespace gemrec::recommend {
+namespace {
+
+/// Default workspace for the wrapper API. Thread-local so concurrent
+/// readers (e.g. a serving pool) never contend or share buffers.
+thread_local TaSearch::Scratch t_default_scratch;
+
+}  // namespace
 
 TaSearch::TaSearch(const TransformedSpace* space) : space_(space) {
   GEMREC_CHECK(space != nullptr);
@@ -17,7 +22,6 @@ TaSearch::TaSearch(const TransformedSpace* space) : space_(space) {
   const size_t n = space_->num_points();
 
   std::unordered_map<ebsn::EventId, uint32_t> event_index;
-  std::unordered_map<ebsn::UserId, uint32_t> partner_index;
   for (size_t i = 0; i < n; ++i) {
     const CandidatePair& pair = space_->pair(i);
     auto [eit, einserted] = event_index.try_emplace(
@@ -28,13 +32,28 @@ TaSearch::TaSearch(const TransformedSpace* space) : space_(space) {
     }
     event_pairs_[eit->second].push_back(static_cast<uint32_t>(i));
 
-    auto [pit, pinserted] = partner_index.try_emplace(
+    auto [pit, pinserted] = partner_index_.try_emplace(
         pair.partner, static_cast<uint32_t>(partners_.size()));
     if (pinserted) {
       partners_.push_back(pair.partner);
       partner_pairs_.emplace_back();
     }
     partner_pairs_[pit->second].push_back(static_cast<uint32_t>(i));
+  }
+
+  // Inverse maps so a pair's components are O(1) during random access.
+  // Query-independent, so built here instead of per Search call.
+  pair_event_idx_.resize(n);
+  for (size_t e = 0; e < events_.size(); ++e) {
+    for (uint32_t id : event_pairs_[e]) {
+      pair_event_idx_[id] = static_cast<uint32_t>(e);
+    }
+  }
+  pair_partner_idx_.resize(n);
+  for (size_t u = 0; u < partners_.size(); ++u) {
+    for (uint32_t id : partner_pairs_[u]) {
+      pair_partner_idx_[id] = static_cast<uint32_t>(u);
+    }
   }
 
   c_sorted_.resize(n);
@@ -51,10 +70,21 @@ std::vector<SearchHit> TaSearch::Search(const std::vector<float>& query,
                                         size_t n,
                                         ebsn::UserId exclude_partner,
                                         SearchStats* stats) const {
+  std::vector<SearchHit> out;
+  SearchInto(query, n, exclude_partner, &out, stats, nullptr);
+  return out;
+}
+
+void TaSearch::SearchInto(const std::vector<float>& query, size_t n,
+                          ebsn::UserId exclude_partner,
+                          std::vector<SearchHit>* out, SearchStats* stats,
+                          Scratch* scratch) const {
+  GEMREC_CHECK(out != nullptr);
   GEMREC_CHECK(query.size() == space_->point_dim());
+  if (scratch == nullptr) scratch = &t_default_scratch;
   const size_t num_points = space_->num_points();
   SearchStats local_stats;
-  std::vector<SearchHit> out;
+  out->clear();
 
   auto finish = [&]() {
     local_stats.examined_fraction =
@@ -66,7 +96,7 @@ std::vector<SearchHit> TaSearch::Search(const std::vector<float>& query,
 
   if (num_points == 0 || n == 0) {
     finish();
-    return out;
+    return;
   }
 
   const uint32_t k = latent_dim_;
@@ -76,12 +106,15 @@ std::vector<SearchHit> TaSearch::Search(const std::vector<float>& query,
   // Per-group aggregate components: A over the event block, B over the
   // partner block. Computed from any representative pair of the group
   // (those coordinates are identical across the group by construction).
-  std::vector<float> event_component(events_.size());
+  // resize() allocates only on the first query through this scratch.
+  scratch->event_component.resize(events_.size());
+  float* event_component = scratch->event_component.data();
   for (size_t e = 0; e < events_.size(); ++e) {
     const float* p = space_->Point(event_pairs_[e].front());
     event_component[e] = Dot(query.data(), p, k);
   }
-  std::vector<float> partner_component(partners_.size());
+  scratch->partner_component.resize(partners_.size());
+  float* partner_component = scratch->partner_component.data();
   for (size_t u = 0; u < partners_.size(); ++u) {
     const float* p = space_->Point(partner_pairs_[u].front());
     partner_component[u] = Dot(query.data() + k, p + k, k);
@@ -92,54 +125,58 @@ std::vector<SearchHit> TaSearch::Search(const std::vector<float>& query,
            c_weight * space_->Point(id)[c_dim];
   };
 
-  // Query-time orderings of the A and B lists.
-  std::vector<uint32_t> event_order(events_.size());
+  // Query-time orderings of the A and B lists (in-place introsort; no
+  // scratch buffer, unlike stable_sort).
+  scratch->event_order.resize(events_.size());
+  std::vector<uint32_t>& event_order = scratch->event_order;
   std::iota(event_order.begin(), event_order.end(), 0);
   std::sort(event_order.begin(), event_order.end(),
             [&](uint32_t a, uint32_t b) {
               return event_component[a] > event_component[b];
             });
-  std::vector<uint32_t> partner_order(partners_.size());
+  scratch->partner_order.resize(partners_.size());
+  std::vector<uint32_t>& partner_order = scratch->partner_order;
   std::iota(partner_order.begin(), partner_order.end(), 0);
   std::sort(partner_order.begin(), partner_order.end(),
             [&](uint32_t a, uint32_t b) {
               return partner_component[a] > partner_component[b];
             });
 
-  // Inverse maps so a pair's components are O(1) during random access.
-  std::vector<uint32_t> pair_event_idx(num_points);
-  for (size_t e = 0; e < events_.size(); ++e) {
-    for (uint32_t id : event_pairs_[e]) {
-      pair_event_idx[id] = static_cast<uint32_t>(e);
-    }
-  }
-  std::vector<uint32_t> pair_partner_idx(num_points);
-  for (size_t u = 0; u < partners_.size(); ++u) {
-    for (uint32_t id : partner_pairs_[u]) {
-      pair_partner_idx[id] = static_cast<uint32_t>(u);
-    }
-  }
-
-  size_t results_possible = 0;
-  for (size_t i = 0; i < num_points; ++i) {
-    if (space_->pair(i).partner != exclude_partner) ++results_possible;
+  // O(1) census via the constructor-built partner index: every pair is
+  // a candidate except those of the excluded partner.
+  size_t results_possible = num_points;
+  if (auto it = partner_index_.find(exclude_partner);
+      it != partner_index_.end()) {
+    results_possible -= partner_pairs_[it->second].size();
   }
   const size_t want = std::min(n, results_possible);
   if (want == 0) {
     finish();
-    return out;
+    return;
   }
 
-  TopK<uint32_t> heap(n);
-  std::vector<uint8_t> seen(num_points, 0);
+  TopK<uint32_t>& heap = scratch->heap;
+  heap.Reset(n);
+  // Generation-stamped visited set: bumping the generation invalidates
+  // every mark from earlier queries without touching the array.
+  if (scratch->seen_gen.size() < num_points) {
+    scratch->seen_gen.assign(num_points, 0);
+    scratch->generation = 0;
+  }
+  if (++scratch->generation == 0) {  // wrapped: hard reset
+    std::fill(scratch->seen_gen.begin(), scratch->seen_gen.end(), 0);
+    scratch->generation = 1;
+  }
+  const uint32_t generation = scratch->generation;
+  uint32_t* seen = scratch->seen_gen.data();
 
   auto examine = [&](uint32_t id) {
-    if (seen[id] != 0) return;
-    seen[id] = 1;
+    if (seen[id] == generation) return;
+    seen[id] = generation;
     ++local_stats.points_examined;
     if (space_->pair(id).partner == exclude_partner) return;
     heap.Push(id,
-              pair_score(id, pair_event_idx[id], pair_partner_idx[id]));
+              pair_score(id, pair_event_idx_[id], pair_partner_idx_[id]));
   };
 
   // Three-list TA with best-first scheduling: cursors into the A-, B-
@@ -222,13 +259,12 @@ std::vector<SearchHit> TaSearch::Search(const std::vector<float>& query,
     }
   }
 
-  auto entries = heap.TakeSortedDescending();
-  out.reserve(entries.size());
+  const auto& entries = heap.SortDescendingInPlace();
+  out->reserve(entries.size());
   for (const auto& e : entries) {
-    out.push_back(SearchHit{e.score, e.id, space_->pair(e.id)});
+    out->push_back(SearchHit{e.score, e.id, space_->pair(e.id)});
   }
   finish();
-  return out;
 }
 
 }  // namespace gemrec::recommend

@@ -2,8 +2,10 @@
 #define GEMREC_RECOMMEND_TA_SEARCH_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
+#include "common/top_k.h"
 #include "ebsn/types.h"
 #include "recommend/space_transform.h"
 
@@ -48,18 +50,57 @@ struct SearchStats {
 ///
 /// Correctness requires nonnegative query coordinates, which the
 /// ReLU-projected embeddings (plus the constant 1) guarantee.
+///
+/// Performance contract: everything query-independent — pair→group
+/// inverse maps, the C-sorted order, the partner census — is built once
+/// in the constructor. Per-query state lives in a reusable Scratch, so
+/// a steady-state SearchInto call performs no heap allocation.
 class TaSearch {
  public:
+  /// Reusable per-query workspace. A default-constructed Scratch grows
+  /// to the searcher's size on the first query and keeps its storage,
+  /// so subsequent queries through it allocate nothing. A Scratch may
+  /// be shared across TaSearch instances (it re-grows as needed) but
+  /// must not be used concurrently.
+  class Scratch {
+   public:
+    Scratch() = default;
+
+   private:
+    friend class TaSearch;
+    std::vector<float> event_component;
+    std::vector<float> partner_component;
+    std::vector<uint32_t> event_order;
+    std::vector<uint32_t> partner_order;
+    /// seen_gen[i] == generation marks pair i as examined this query;
+    /// bumping the generation clears the whole bitmap in O(1).
+    std::vector<uint32_t> seen_gen;
+    uint32_t generation = 0;
+    TopK<uint32_t> heap{1};
+  };
+
   /// `space` must outlive the searcher. Preprocessing groups pairs by
-  /// event and by partner and sorts pairs by C (O(n log n)).
+  /// event and by partner, sorts pairs by C, and builds the pair→group
+  /// inverse maps (O(n log n)).
   explicit TaSearch(const TransformedSpace* space);
 
   /// Returns the top-n pairs by q·p, excluding pairs whose partner is
   /// `exclude_partner` (a user cannot be her own partner). Exact: the
-  /// result equals brute force up to ties.
+  /// result equals brute force up to ties. Convenience wrapper over
+  /// SearchInto using a thread-local Scratch.
   std::vector<SearchHit> Search(const std::vector<float>& query, size_t n,
                                 ebsn::UserId exclude_partner,
                                 SearchStats* stats = nullptr) const;
+
+  /// Allocation-free form: clears and fills `*out` (capacity is kept
+  /// across calls). `scratch == nullptr` uses a thread-local Scratch.
+  /// In steady state (warm scratch, warm out capacity) this performs
+  /// zero heap allocations — pinned by tests/recommend/ta_alloc_test.
+  void SearchInto(const std::vector<float>& query, size_t n,
+                  ebsn::UserId exclude_partner,
+                  std::vector<SearchHit>* out,
+                  SearchStats* stats = nullptr,
+                  Scratch* scratch = nullptr) const;
 
  private:
   const TransformedSpace* space_;
@@ -70,6 +111,13 @@ class TaSearch {
   std::vector<std::vector<uint32_t>> event_pairs_;
   std::vector<ebsn::UserId> partners_;
   std::vector<std::vector<uint32_t>> partner_pairs_;
+  /// partner id → index into partners_ (O(1) census for the exclusion
+  /// filter: results_possible = n − |pairs of excluded partner|).
+  std::unordered_map<ebsn::UserId, uint32_t> partner_index_;
+  /// pair index → its group index on each side (O(1) random-access
+  /// scoring; query-independent, so built once).
+  std::vector<uint32_t> pair_event_idx_;
+  std::vector<uint32_t> pair_partner_idx_;
   /// Pair indices sorted by the C coordinate, descending.
   std::vector<uint32_t> c_sorted_;
 };

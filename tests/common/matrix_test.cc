@@ -1,6 +1,7 @@
 #include "common/matrix.h"
 
 #include <cmath>
+#include <cstdint>
 
 #include <gtest/gtest.h>
 
@@ -42,11 +43,14 @@ TEST(MatrixTest, FillGaussianMatchesMoments) {
   m.FillGaussian(&rng, 1.0, 0.5);
   double sum = 0.0;
   double sum_sq = 0.0;
+  // data() includes alignment-padding floats, which FillGaussian draws
+  // from the same distribution — so scan the whole storage and size n
+  // accordingly.
   for (float v : m.data()) {
     sum += v;
     sum_sq += static_cast<double>(v) * v;
   }
-  const double n = 500.0 * 100.0;
+  const double n = static_cast<double>(m.data().size());
   const double mean = sum / n;
   EXPECT_NEAR(mean, 1.0, 0.01);
   EXPECT_NEAR(sum_sq / n - mean * mean, 0.25, 0.01);
@@ -57,6 +61,20 @@ TEST(MatrixTest, FillAbsGaussianIsNonnegative) {
   Rng rng(2);
   m.FillAbsGaussian(&rng, 0.0, 0.01);
   for (float v : m.data()) EXPECT_GE(v, 0.0f);
+}
+
+TEST(MatrixTest, RowsAre32ByteAlignedForAnyWidth) {
+  // The SIMD kernels rely on this contract: every row starts at a
+  // 32-byte boundary and the stride is a multiple of 8 floats.
+  for (size_t cols : {1u, 7u, 8u, 9u, 60u, 100u}) {
+    Matrix m(5, cols);
+    EXPECT_EQ(m.row_stride() % 8, 0u) << "cols=" << cols;
+    EXPECT_GE(m.row_stride(), cols);
+    for (size_t r = 0; r < 5; ++r) {
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(m.Row(r)) % 32, 0u)
+          << "cols=" << cols << " row=" << r;
+    }
+  }
 }
 
 TEST(MatrixTest, ColumnVariancesOfConstantColumnsAreZero) {

@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -57,6 +59,28 @@ TEST(ThreadPoolTest, DestructionWithNoTasksIsClean) {
 TEST(ThreadPoolTest, NumThreadsReported) {
   ThreadPool pool(5);
   EXPECT_EQ(pool.num_threads(), 5u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // The caller participates in its own ParallelFor, so a task running
+  // on a busy pool can issue another ParallelFor on the same pool: the
+  // inner call degrades toward serial instead of waiting for workers
+  // that are stuck behind it.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolTest, ClampThreadsNormalizesRequests) {
+  const size_t hw =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
+  EXPECT_EQ(ThreadPool::ClampThreads(0), hw);
+  EXPECT_EQ(ThreadPool::ClampThreads(hw + 1000), hw);
+  EXPECT_EQ(ThreadPool::ClampThreads(1), 1u);
+  EXPECT_LE(ThreadPool::ClampThreads(hw), hw);
 }
 
 }  // namespace

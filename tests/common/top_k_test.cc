@@ -100,5 +100,37 @@ TEST(TopKDeathTest, ZeroKRejected) {
   EXPECT_DEATH(TopK<int>(0), "k > 0");
 }
 
+TEST(TopKTest, ResetReusesCollectorAcrossQueries) {
+  TopK<int> top(3);
+  for (int i = 0; i < 10; ++i) top.Push(i, static_cast<float>(i));
+  ASSERT_EQ(top.size(), 3u);
+  top.Reset(2);
+  EXPECT_EQ(top.size(), 0u);
+  top.Push(1, 1.0f);
+  top.Push(2, 9.0f);
+  top.Push(3, 5.0f);
+  const auto& sorted = top.SortDescendingInPlace();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].id, 2);
+  EXPECT_EQ(sorted[1].id, 3);
+}
+
+TEST(TopKTest, SortDescendingInPlaceMatchesTake) {
+  TopK<int> a(4);
+  TopK<int> b(4);
+  const float scores[] = {0.5f, 3.0f, -1.0f, 2.0f, 2.5f, 0.1f};
+  for (int i = 0; i < 6; ++i) {
+    a.Push(i, scores[i]);
+    b.Push(i, scores[i]);
+  }
+  const auto& in_place = a.SortDescendingInPlace();
+  const auto taken = b.TakeSortedDescending();
+  ASSERT_EQ(in_place.size(), taken.size());
+  for (size_t i = 0; i < taken.size(); ++i) {
+    EXPECT_EQ(in_place[i].id, taken[i].id);
+    EXPECT_FLOAT_EQ(in_place[i].score, taken[i].score);
+  }
+}
+
 }  // namespace
 }  // namespace gemrec

@@ -1,8 +1,14 @@
 #include "common/vec_math.h"
 
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/rng.h"
 
 namespace gemrec {
 namespace {
@@ -75,6 +81,144 @@ TEST(VecMathTest, NormOfUnitVector) {
 TEST(VecMathTest, NormPythagorean) {
   const float v[] = {3.0f, 4.0f};
   EXPECT_FLOAT_EQ(Norm(v, 2), 5.0f);
+}
+
+TEST(VecMathTest, KernelVariantIsKnown) {
+  const std::string variant = vec_detail::KernelVariant();
+  EXPECT_TRUE(variant == "avx2" || variant == "scalar") << variant;
+}
+
+TEST(VecMathTest, FastSigmoidMatchesExactSigmoid) {
+  for (float x = -20.0f; x <= 20.0f; x += 0.0137f) {
+    EXPECT_NEAR(FastSigmoid(x), Sigmoid(x), 2e-6f) << "x=" << x;
+  }
+  EXPECT_FLOAT_EQ(FastSigmoid(0.0f), 0.5f);
+  EXPECT_FLOAT_EQ(FastSigmoid(100.0f), 1.0f);
+  EXPECT_FLOAT_EQ(FastSigmoid(-100.0f), 0.0f);
+}
+
+TEST(VecMathTest, FastSigmoidIsMonotoneAtBoundaries) {
+  // The table edges (±range) and the clamp region must not produce a
+  // non-monotone step.
+  float prev = 0.0f;
+  for (float x = -17.0f; x <= 17.0f; x += 0.001f) {
+    const float y = FastSigmoid(x);
+    EXPECT_GE(y, prev) << "x=" << x;
+    prev = y;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential tests: the dispatched kernels (AVX2 when available) must
+// match the scalar reference over awkward lengths, misaligned spans and
+// denormal inputs. K in {1, 7, 16, 100} covers the sub-vector, odd,
+// exactly-one-vector and multi-vector-with-tail cases.
+
+class VecMathDifferentialTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(VecMathDifferentialTest, DotMatchesScalarReference) {
+  const size_t n = GetParam();
+  Rng rng(42 + n);
+  // +1 so we can also test the unaligned-adjacent span starting at +1.
+  std::vector<float> a(n + 1);
+  std::vector<float> b(n + 1);
+  for (auto& v : a) v = static_cast<float>(rng.Gaussian(0.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.Gaussian(0.0, 1.0));
+
+  const float ref = scalar::Dot(a.data(), b.data(), n);
+  const float got = Dot(a.data(), b.data(), n);
+  // Summation order differs; bound the relative error.
+  const float tol = 1e-5f * (1.0f + std::fabs(ref));
+  EXPECT_NEAR(got, ref, tol);
+
+  // Unaligned-adjacent spans: same data shifted by one float breaks any
+  // 32-byte alignment assumption.
+  const float ref_off = scalar::Dot(a.data() + 1, b.data() + 1, n);
+  const float got_off = Dot(a.data() + 1, b.data() + 1, n);
+  EXPECT_NEAR(got_off, ref_off, 1e-5f * (1.0f + std::fabs(ref_off)));
+}
+
+TEST_P(VecMathDifferentialTest, AxpyMatchesScalarReference) {
+  const size_t n = GetParam();
+  Rng rng(7 + n);
+  std::vector<float> x(n + 1);
+  for (auto& v : x) v = static_cast<float>(rng.Gaussian(0.0, 1.0));
+  std::vector<float> y0(n + 1);
+  for (auto& v : y0) v = static_cast<float>(rng.Gaussian(0.0, 1.0));
+
+  for (float alpha : {0.0f, 1.0f, -0.05f, 3.25f}) {
+    std::vector<float> y_ref = y0;
+    std::vector<float> y_got = y0;
+    scalar::Axpy(alpha, x.data(), y_ref.data(), n);
+    Axpy(alpha, x.data(), y_got.data(), n);
+    for (size_t i = 0; i < n + 1; ++i) {
+      // fma vs mul+add differ by at most one rounding.
+      EXPECT_NEAR(y_got[i], y_ref[i], 1e-6f * (1.0f + std::fabs(y_ref[i])))
+          << "alpha=" << alpha << " i=" << i;
+    }
+
+    // Unaligned-adjacent spans.
+    y_ref = y0;
+    y_got = y0;
+    scalar::Axpy(alpha, x.data() + 1, y_ref.data() + 1, n);
+    Axpy(alpha, x.data() + 1, y_got.data() + 1, n);
+    for (size_t i = 0; i < n + 1; ++i) {
+      EXPECT_NEAR(y_got[i], y_ref[i], 1e-6f * (1.0f + std::fabs(y_ref[i])));
+    }
+  }
+}
+
+TEST_P(VecMathDifferentialTest, ReluMatchesScalarReferenceExactly) {
+  const size_t n = GetParam();
+  Rng rng(11 + n);
+  std::vector<float> v0(n + 1);
+  for (auto& v : v0) v = static_cast<float>(rng.Gaussian(0.0, 1.0));
+  // Sprinkle exact zeros, negative zeros and denormals.
+  if (n >= 1) v0[0] = -0.0f;
+  if (n >= 3) v0[2] = std::numeric_limits<float>::denorm_min();
+  if (n >= 4) v0[3] = -std::numeric_limits<float>::denorm_min();
+
+  std::vector<float> v_ref = v0;
+  std::vector<float> v_got = v0;
+  scalar::ReluInPlace(v_ref.data(), n);
+  ReluInPlace(v_got.data(), n);
+  // Clamping is exact: bitwise-comparable up to the -0.0f vs 0.0f
+  // distinction, which both paths must treat as "not negative".
+  for (size_t i = 0; i < n + 1; ++i) {
+    EXPECT_EQ(v_got[i] == 0.0f, v_ref[i] == 0.0f) << "i=" << i;
+    EXPECT_EQ(v_got[i], v_ref[i]) << "i=" << i;
+  }
+
+  v_ref = v0;
+  v_got = v0;
+  scalar::ReluInPlace(v_ref.data() + 1, n);
+  ReluInPlace(v_got.data() + 1, n);
+  for (size_t i = 0; i < n + 1; ++i) {
+    EXPECT_EQ(v_got[i], v_ref[i]) << "i=" << i;
+  }
+}
+
+TEST_P(VecMathDifferentialTest, DotHandlesDenormals) {
+  const size_t n = GetParam();
+  std::vector<float> a(n, std::numeric_limits<float>::denorm_min());
+  std::vector<float> b(n, 1.0f);
+  const float ref = scalar::Dot(a.data(), b.data(), n);
+  const float got = Dot(a.data(), b.data(), n);
+  // Either both flush to zero-ish or both accumulate; the values are
+  // tiny, so absolute comparison with a denormal-scale tolerance works
+  // whether or not FTZ is in effect.
+  EXPECT_NEAR(got, ref, 1e-30f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, VecMathDifferentialTest,
+                         ::testing::Values(1, 7, 16, 100));
+
+TEST(VecMathTest, NormMatchesScalarReference) {
+  Rng rng(3);
+  std::vector<float> v(61);
+  for (auto& x : v) x = static_cast<float>(rng.Gaussian(0.0, 2.0));
+  const float ref = scalar::Norm(v.data(), v.size());
+  EXPECT_NEAR(Norm(v.data(), v.size()), ref, 1e-5f * (1.0f + ref));
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include "embedding/trainer.h"
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -131,6 +133,41 @@ TEST_F(TrainerTest, MultiThreadedTrainingProducesUsableEmbeddings) {
   JointTrainer trainer(graphs_, options);
   trainer.Train();
   EXPECT_GT(FitMargin(trainer.store(), *graphs_->user_event, 16), 0.05f);
+}
+
+TEST_F(TrainerTest, ThreadCountIsNormalizedOnConstruction) {
+  const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+
+  auto options = FastOptions(TrainerOptions::GemP());
+  options.num_threads = 0;  // "all hardware threads"
+  JointTrainer auto_threads(graphs_, options);
+  EXPECT_EQ(auto_threads.options().num_threads, hw);
+
+  options.num_threads = 10000;  // oversized: capped, never oversubscribed
+  JointTrainer capped(graphs_, options);
+  EXPECT_LE(capped.options().num_threads, hw);
+  EXPECT_GE(capped.options().num_threads, 1u);
+
+  options.num_threads = 1;  // in-range values pass through untouched
+  JointTrainer single(graphs_, options);
+  EXPECT_EQ(single.options().num_threads, 1u);
+}
+
+TEST_F(TrainerTest, RepeatedChunksReuseThePersistentPool) {
+  // Chunked multi-threaded training (the convergence-study pattern)
+  // must keep working across many small chunks — this exercises pool
+  // reuse rather than per-chunk thread spawning.
+  auto options = FastOptions(TrainerOptions::GemA());
+  options.num_threads = 0;
+  options.num_samples = 8000;
+  JointTrainer trainer(graphs_, options);
+  for (int chunk = 0; chunk < 8; ++chunk) trainer.TrainChunk(1000);
+  EXPECT_EQ(trainer.steps_done(), 8000u);
+  for (size_t t = 0; t < EmbeddingStore::kNumTypes; ++t) {
+    const Matrix& m =
+        trainer.store().MatrixOf(static_cast<graph::NodeType>(t));
+    for (float v : m.data()) ASSERT_TRUE(std::isfinite(v));
+  }
 }
 
 TEST_F(TrainerTest, ColdStartEventsReceiveNonzeroVectors) {

@@ -84,6 +84,41 @@ TEST(CandidateIndexTest, TopKLargerThanEventPoolKeepsAll) {
   EXPECT_EQ(pairs.size(), 12u);
 }
 
+TEST(CandidateIndexTest, ParallelTopKMatchesSerialExactly) {
+  // Determinism contract: sharding the per-user loop over a pool must
+  // be bit-identical to the serial path, for any pool size.
+  auto store = RandomStore(30, 40, 7);
+  GemModel model(store.get(), "GEM");
+  std::vector<ebsn::EventId> events;
+  for (uint32_t x = 0; x < 40; ++x) events.push_back(x);
+  const auto serial = TopKEventsPerUser(model, events, 30, 6);
+  for (size_t workers : {1u, 3u, 7u}) {
+    ThreadPool pool(workers);
+    const auto parallel =
+        TopKEventsPerUser(model, events, 30, 6, &pool);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t u = 0; u < serial.size(); ++u) {
+      EXPECT_EQ(parallel[u], serial[u])
+          << "u=" << u << " workers=" << workers;
+    }
+  }
+}
+
+TEST(CandidateIndexTest, ParallelBuildCandidatePairsMatchesSerial) {
+  auto store = RandomStore(12, 18, 8);
+  GemModel model(store.get(), "GEM");
+  std::vector<ebsn::EventId> events;
+  for (uint32_t x = 0; x < 18; ++x) events.push_back(x);
+  const auto serial = BuildCandidatePairs(model, events, 12, 4);
+  ThreadPool pool(4);
+  const auto parallel = BuildCandidatePairs(model, events, 12, 4, &pool);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].event, serial[i].event) << "i=" << i;
+    EXPECT_EQ(parallel[i].partner, serial[i].partner) << "i=" << i;
+  }
+}
+
 TEST(CandidateIndexTest, EventSubsetIsRespected) {
   auto store = RandomStore(3, 10, 6);
   GemModel model(store.get(), "GEM");

@@ -1,0 +1,114 @@
+// Pins the TaSearch zero-allocation contract: once a Scratch and an
+// output vector are warm, SearchInto must not touch the heap. Lives in
+// its own test binary because it replaces the global allocator — the
+// counter would otherwise pick up unrelated gtest bookkeeping from
+// neighboring suites.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "recommend/gem_model.h"
+#include "recommend/space_transform.h"
+#include "recommend/ta_search.h"
+
+namespace {
+
+std::atomic<size_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace gemrec::recommend {
+namespace {
+
+TEST(TaAllocTest, SteadyStateSearchIntoAllocatesNothing) {
+  constexpr uint32_t kUsers = 25;
+  constexpr uint32_t kEvents = 20;
+  constexpr uint32_t kDim = 8;
+
+  auto store = std::make_unique<embedding::EmbeddingStore>(
+      kDim, std::array<uint32_t, 5>{kUsers, kEvents, 1, 1, 1});
+  Rng rng(17);
+  store->MatrixOf(graph::NodeType::kUser).FillAbsGaussian(&rng, 0.2, 0.3);
+  store->MatrixOf(graph::NodeType::kEvent)
+      .FillAbsGaussian(&rng, 0.2, 0.3);
+  GemModel model(store.get(), "GEM");
+  std::vector<CandidatePair> pairs;
+  for (uint32_t x = 0; x < kEvents; ++x) {
+    for (uint32_t u = 0; u < kUsers; ++u) pairs.push_back({x, u});
+  }
+  TransformedSpace space(model, pairs);
+  TaSearch ta(&space);
+
+  // Pre-build every query so the measured loop constructs none.
+  std::vector<std::vector<float>> queries(kUsers);
+  for (uint32_t u = 0; u < kUsers; ++u) {
+    space.QueryVector(model, u, &queries[u]);
+  }
+
+  TaSearch::Scratch scratch;
+  std::vector<SearchHit> hits;
+  SearchStats stats;
+  // Warm-up: grows the scratch buffers and the output capacity.
+  for (uint32_t u = 0; u < kUsers; ++u) {
+    ta.SearchInto(queries[u], 10, u, &hits, &stats, &scratch);
+  }
+
+  const size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 50; ++round) {
+    for (uint32_t u = 0; u < kUsers; ++u) {
+      ta.SearchInto(queries[u], 10, u, &hits, &stats, &scratch);
+      ASSERT_FALSE(hits.empty());
+    }
+  }
+  const size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state SearchInto performed " << (after - before)
+      << " heap allocations over 1250 queries";
+}
+
+}  // namespace
+}  // namespace gemrec::recommend

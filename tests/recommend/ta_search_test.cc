@@ -154,6 +154,82 @@ TEST(TaSearchTest, RequestLargerThanSpaceReturnsAllOtherPairs) {
   EXPECT_EQ(seen.size(), 4u);
 }
 
+TEST(TaSearchTest, RepeatedSearchesReturnIdenticalResults) {
+  // The Scratch refactor must not leak state between queries: the same
+  // query repeated (interleaved with different queries) returns
+  // bit-identical hits and stats every time.
+  auto store = RandomStore(20, 15, 8, 9);
+  GemModel model(store.get(), "GEM");
+  TransformedSpace space(model, AllPairs(20, 15));
+  TaSearch ta(&space);
+  std::vector<float> q0;
+  space.QueryVector(model, 0, &q0);
+  SearchStats first_stats;
+  const auto first = ta.Search(q0, 10, 0, &first_stats);
+  std::vector<float> q_other;
+  for (int round = 0; round < 5; ++round) {
+    // Interleave an unrelated query so the scratch is dirtied.
+    space.QueryVector(model, 5 + round, &q_other);
+    ta.Search(q_other, 7, 5 + round);
+    SearchStats stats;
+    const auto hits = ta.Search(q0, 10, 0, &stats);
+    ASSERT_EQ(hits.size(), first.size()) << "round=" << round;
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].score, first[i].score);
+      EXPECT_EQ(hits[i].point_index, first[i].point_index);
+      EXPECT_EQ(hits[i].pair.event, first[i].pair.event);
+      EXPECT_EQ(hits[i].pair.partner, first[i].pair.partner);
+    }
+    EXPECT_EQ(stats.points_examined, first_stats.points_examined);
+    EXPECT_EQ(stats.sorted_accesses, first_stats.sorted_accesses);
+  }
+}
+
+TEST(TaSearchTest, SearchIntoMatchesSearch) {
+  auto store = RandomStore(12, 10, 6, 10);
+  GemModel model(store.get(), "GEM");
+  TransformedSpace space(model, AllPairs(12, 10));
+  TaSearch ta(&space);
+  TaSearch::Scratch scratch;
+  std::vector<SearchHit> hits;
+  std::vector<float> q;
+  for (uint32_t u = 0; u < 12; ++u) {
+    space.QueryVector(model, u, &q);
+    SearchStats into_stats;
+    ta.SearchInto(q, 6, u, &hits, &into_stats, &scratch);
+    SearchStats stats;
+    const auto expected = ta.Search(q, 6, u, &stats);
+    ASSERT_EQ(hits.size(), expected.size()) << "u=" << u;
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].score, expected[i].score);
+      EXPECT_EQ(hits[i].point_index, expected[i].point_index);
+    }
+    EXPECT_EQ(into_stats.points_examined, stats.points_examined);
+  }
+}
+
+TEST(TaSearchTest, SearchIntoRespectsExcludedPartnerWithSharedScratch) {
+  auto store = RandomStore(8, 8, 4, 11);
+  GemModel model(store.get(), "GEM");
+  TransformedSpace space(model, AllPairs(8, 8));
+  TaSearch ta(&space);
+  TaSearch::Scratch scratch;
+  std::vector<SearchHit> hits;
+  std::vector<float> q;
+  for (uint32_t u = 0; u < 8; ++u) {
+    space.QueryVector(model, u, &q);
+    ta.SearchInto(q, 20, u, &hits, nullptr, &scratch);
+    EXPECT_FALSE(hits.empty());
+    for (const auto& hit : hits) {
+      EXPECT_NE(hit.pair.partner, u) << "u=" << u;
+    }
+  }
+  // Excluding a partner absent from the space filters nothing.
+  space.QueryVector(model, 0, &q);
+  ta.SearchInto(q, 1000, /*exclude_partner=*/999, &hits, nullptr, &scratch);
+  EXPECT_EQ(hits.size(), space.num_points());
+}
+
 TEST(BruteForceTest, StatsReportFullScan) {
   auto store = RandomStore(4, 4, 4, 7);
   GemModel model(store.get(), "GEM");
