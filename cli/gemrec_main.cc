@@ -7,16 +7,21 @@
 //   gemrec evaluate  --data DIR --model FILE [--cases N]
 //   gemrec recommend --data DIR --model FILE --user U [--n N]
 //                    [--top-k K] [--weekend] [--explain]
+//   gemrec serve     --data DIR --model FILE [--queries Q] [--workers W]
+//                    [--clients C] [--swaps S] [--n N] [--top-k K]
 //
 // The CLI covers the full offline/online workflow: synthesize (or
 // bring) a dataset, inspect it, train GEM embeddings, evaluate both
 // paper tasks, and serve joint event-partner recommendations.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ebsn/io.h"
@@ -33,6 +38,8 @@
 #include "recommend/explain.h"
 #include "recommend/filters.h"
 #include "recommend/recommender.h"
+#include "serving/recommendation_service.h"
+#include "serving/snapshot_builder.h"
 
 namespace gemrec::cli {
 namespace {
@@ -96,7 +103,10 @@ int Usage() {
       "  gemrec recommend --data DIR --model FILE --user U [--n N]\n"
       "                   [--top-k K] [--weekend] [--explain]\n"
       "  gemrec foldin    --data DIR --model FILE --event X\n"
-      "                   [--out FILE]   (online cold-event fold-in)\n");
+      "                   [--out FILE]   (online cold-event fold-in)\n"
+      "  gemrec serve     --data DIR --model FILE [--queries Q]\n"
+      "                   [--workers W] [--clients C] [--swaps S]\n"
+      "                   [--n N] [--top-k K]   (batch-query serving)\n");
   return 2;
 }
 
@@ -342,6 +352,105 @@ int CmdFoldin(const Args& args) {
   return 0;
 }
 
+int CmdServe(const Args& args) {
+  const auto dir = args.Get("data");
+  const auto model_path = args.Get("model");
+  if (!dir || !model_path) {
+    return Fail("--data and --model are required");
+  }
+  auto world = LoadWorld(*dir);
+  if (!world.ok()) return Fail(world.status().ToString());
+  auto store = embedding::LoadEmbeddingStore(*model_path);
+  if (!store.ok()) return Fail(store.status().ToString());
+
+  const size_t queries = static_cast<size_t>(args.GetInt("queries", 2000));
+  const size_t n = static_cast<size_t>(args.GetInt("n", 10));
+  const uint32_t swaps = static_cast<uint32_t>(args.GetInt("swaps", 2));
+  const uint32_t clients =
+      static_cast<uint32_t>(std::max<int64_t>(1, args.GetInt("clients", 2)));
+
+  serving::SnapshotOptions snapshot_options;
+  snapshot_options.top_k_events_per_partner =
+      static_cast<uint32_t>(args.GetInt("top-k", 20));
+  serving::SnapshotBuilder builder(
+      store.value(), world->split->test_events(),
+      world->dataset.num_users(), snapshot_options);
+
+  serving::ServiceOptions service_options;
+  service_options.num_workers =
+      static_cast<uint32_t>(args.GetInt("workers", 4));
+  serving::RecommendationService service(service_options);
+  service.Publish(builder.Build());
+  std::printf("serving %zu events to %u users: workers=%u clients=%u "
+              "queries=%zu swaps=%u\n",
+              builder.event_pool().size(), world->dataset.num_users(),
+              service_options.num_workers, clients, queries, swaps);
+
+  // Closed-loop clients: each thread issues synchronous queries over a
+  // rotating user set and records its own latencies; a background
+  // updater races --swaps fold-in + rebuild + publish cycles against
+  // the traffic, demonstrating that reloads never block queries.
+  std::vector<std::vector<double>> latencies(clients);
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::thread updater([&] {
+    embedding::OnlineUpdateOptions update;
+    update.iterations = 50;
+    for (uint32_t s = 0; s < swaps; ++s) {
+      const auto& attendance = world->dataset.attendances();
+      const auto& a = attendance[s % attendance.size()];
+      if (!builder.RecordAttendance(a.user, a.event, update).ok()) return;
+      service.Publish(builder.Build());
+    }
+  });
+  std::vector<std::thread> client_threads;
+  for (uint32_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      auto& mine = latencies[c];
+      mine.reserve(queries / clients + 1);
+      for (size_t i = c; i < queries; i += clients) {
+        serving::QueryRequest request;
+        request.user = static_cast<ebsn::UserId>(
+            (i * 131) % world->dataset.num_users());
+        request.n = n;
+        const auto start = std::chrono::steady_clock::now();
+        const auto response = service.Query(request);
+        const auto stop = std::chrono::steady_clock::now();
+        (void)response;
+        mine.push_back(
+            std::chrono::duration<double, std::micro>(stop - start)
+                .count());
+      }
+    });
+  }
+  for (auto& thread : client_threads) thread.join();
+  updater.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  std::vector<double> all;
+  for (const auto& mine : latencies) {
+    all.insert(all.end(), mine.begin(), mine.end());
+  }
+  std::sort(all.begin(), all.end());
+  const auto percentile = [&](double p) {
+    return all[std::min(all.size() - 1,
+                        static_cast<size_t>(p * all.size()))];
+  };
+  const auto stats = service.stats();
+  std::printf("served %zu queries in %.2fs: %.0f qps\n", all.size(),
+              wall_seconds, all.size() / wall_seconds);
+  std::printf("latency p50 %.0fus  p90 %.0fus  p99 %.0fus\n",
+              percentile(0.50), percentile(0.90), percentile(0.99));
+  std::printf("cache hit rate %.1f%%  batches %llu  epochs published "
+              "%llu\n",
+              100.0 * stats.cache_hits / std::max<uint64_t>(1, stats.queries),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.publishes));
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -352,6 +461,7 @@ int Main(int argc, char** argv) {
   if (command == "evaluate") return CmdEvaluate(args);
   if (command == "recommend") return CmdRecommend(args);
   if (command == "foldin") return CmdFoldin(args);
+  if (command == "serve") return CmdServe(args);
   return Usage();
 }
 

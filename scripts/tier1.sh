@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification (see ROADMAP.md): default build + full ctest,
 # then a ThreadSanitizer pass over the concurrency-bearing suites
-# (thread pool / hogwild trainer / adaptive sampler / TA search).
+# (thread pool / hogwild trainer / adaptive sampler / TA search /
+# serving engine snapshot-swap stress).
 #
 # Usage: scripts/tier1.sh [--no-tsan]
 #
@@ -26,14 +27,15 @@ cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 if [[ "$RUN_TSAN" == "1" ]]; then
-  echo "== tier-1: ThreadSanitizer pass (common/embedding/recommend) =="
+  echo "== tier-1: ThreadSanitizer pass (common/embedding/recommend/serving) =="
   cmake -B build-tsan -S . -DGEMREC_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$(nproc)" --target \
-    common_test embedding_test recommend_test
+    common_test embedding_test recommend_test serving_test
   export TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp"
   ./build-tsan/tests/common_test
   ./build-tsan/tests/embedding_test
   ./build-tsan/tests/recommend_test
+  ./build-tsan/tests/serving_test
 fi
 
 echo "== tier-1: OK =="

@@ -1,0 +1,36 @@
+#include "serving/model_snapshot.h"
+
+#include <utility>
+
+#include "recommend/candidate_index.h"
+
+namespace gemrec::serving {
+
+uint64_t ModelSnapshot::HashEventPool(
+    const std::vector<ebsn::EventId>& events) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const ebsn::EventId x : events) {
+    h ^= static_cast<uint64_t>(x);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+ModelSnapshot::ModelSnapshot(const embedding::EmbeddingStore& store,
+                             std::vector<ebsn::EventId> events,
+                             uint32_t num_users,
+                             const SnapshotOptions& options)
+    : store_(store),
+      model_(&store_, "gem-snapshot"),
+      events_(std::move(events)),
+      num_users_(num_users),
+      pool_hash_(HashEventPool(events_)) {
+  auto pairs = recommend::BuildCandidatePairs(
+      model_, events_, num_users_, options.top_k_events_per_partner,
+      options.build_pool);
+  space_ = std::make_unique<recommend::TransformedSpace>(model_,
+                                                         std::move(pairs));
+  ta_ = std::make_unique<recommend::TaSearch>(space_.get());
+}
+
+}  // namespace gemrec::serving

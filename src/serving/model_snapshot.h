@@ -1,0 +1,91 @@
+#ifndef GEMREC_SERVING_MODEL_SNAPSHOT_H_
+#define GEMREC_SERVING_MODEL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "ebsn/types.h"
+#include "embedding/embedding_store.h"
+#include "recommend/gem_model.h"
+#include "recommend/space_transform.h"
+#include "recommend/ta_search.h"
+
+namespace gemrec::serving {
+
+/// Build-time knobs of a snapshot (the offline half of §IV).
+struct SnapshotOptions {
+  /// Pruning level forwarded to BuildCandidatePairs (0 = unpruned).
+  uint32_t top_k_events_per_partner = 20;
+  /// Optional pool for the candidate-pair build (caller participates).
+  ThreadPool* build_pool = nullptr;
+};
+
+/// An immutable, self-contained serving model: a deep copy of the
+/// embedding store plus everything derived from it — the GemModel
+/// adapter, the transformed (2K+1)-dim event-partner space and the TA
+/// index. Because the store is copied at construction, the caller's
+/// staging store can keep absorbing OnlineUpdate fold-ins while this
+/// snapshot serves; publishing the result is building a new snapshot
+/// and handing it to RecommendationService::Publish.
+///
+/// Lifetime: snapshots are shared-ptr managed. The service's publish
+/// slot holds one reference and every in-flight worker batch holds
+/// another, so a retired snapshot (swapped out while queries still run
+/// on it) stays alive exactly until the last draining query drops its
+/// reference — epoch/refcount retirement with no reader-side blocking.
+class ModelSnapshot {
+ public:
+  /// Copies `store` and materializes the candidate space over `events`
+  /// x all users (pruned per options). The heavy build runs on the
+  /// calling thread (plus `build_pool`), never on serving workers.
+  ModelSnapshot(const embedding::EmbeddingStore& store,
+                std::vector<ebsn::EventId> events, uint32_t num_users,
+                const SnapshotOptions& options);
+
+  ModelSnapshot(const ModelSnapshot&) = delete;
+  ModelSnapshot& operator=(const ModelSnapshot&) = delete;
+
+  /// Publish epoch; 0 until the snapshot is published (the service
+  /// stamps it inside Publish, before the swap becomes visible).
+  uint64_t epoch() const { return epoch_; }
+
+  /// FNV-1a hash of the recommendable event pool — the "filter hash"
+  /// component of cache keys, so results computed for one filtered
+  /// pool are never replayed for another.
+  uint64_t pool_hash() const { return pool_hash_; }
+
+  const recommend::GemModel& model() const { return model_; }
+  const recommend::TransformedSpace& space() const { return *space_; }
+  const recommend::TaSearch& searcher() const { return *ta_; }
+  const std::vector<ebsn::EventId>& events() const { return events_; }
+  uint32_t num_users() const { return num_users_; }
+  size_t num_candidate_pairs() const { return space_->num_points(); }
+  const embedding::EmbeddingStore& store() const { return store_; }
+
+  /// Fills `out` with the query point q_u of this snapshot's space.
+  void QueryVector(ebsn::UserId u, std::vector<float>* out) const {
+    space_->QueryVector(model_, u, out);
+  }
+
+  /// Hashes an event pool the way pool_hash() does (exposed so callers
+  /// can pre-compute cache keys without a snapshot).
+  static uint64_t HashEventPool(const std::vector<ebsn::EventId>& events);
+
+ private:
+  friend class RecommendationService;  // stamps epoch_ at publish
+
+  uint64_t epoch_ = 0;
+  embedding::EmbeddingStore store_;  // deep copy; owned
+  recommend::GemModel model_;        // points into store_
+  std::vector<ebsn::EventId> events_;
+  uint32_t num_users_;
+  uint64_t pool_hash_;
+  std::unique_ptr<recommend::TransformedSpace> space_;
+  std::unique_ptr<recommend::TaSearch> ta_;
+};
+
+}  // namespace gemrec::serving
+
+#endif  // GEMREC_SERVING_MODEL_SNAPSHOT_H_

@@ -1,0 +1,179 @@
+#include "serving/recommendation_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gemrec::serving {
+
+RecommendationService::RecommendationService(const ServiceOptions& options)
+    : options_(options),
+      cache_(options.cache_capacity, options.cache_shards) {
+  options_.num_workers = std::max(1u, options_.num_workers);
+  options_.max_batch = std::max<size_t>(1, options_.max_batch);
+  workers_.reserve(options_.num_workers);
+  for (uint32_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+RecommendationService::~RecommendationService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    shutdown_ = true;
+  }
+  queue_ready_.notify_all();
+  // Taking snapshot_mu_ before notifying closes the race with a worker
+  // that evaluated the snapshot-wait predicate (shutdown_ still false)
+  // but has not blocked yet: it holds snapshot_mu_ until the wait
+  // parks, so this lock acquisition orders the notification after it.
+  { std::lock_guard<std::mutex> lock(snapshot_mu_); }
+  snapshot_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+uint64_t RecommendationService::Publish(
+    std::shared_ptr<ModelSnapshot> snapshot) {
+  GEMREC_CHECK(snapshot != nullptr);
+  // Publish-once: a snapshot is immutable while readable, so stamping
+  // the epoch of an already-published (possibly still-draining)
+  // snapshot would be a data race. Build a fresh one per publish.
+  GEMREC_CHECK(snapshot->epoch_ == 0)
+      << "snapshot published twice (epoch " << snapshot->epoch_ << ")";
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    epoch = next_epoch_++;
+    // Stamp before the swap becomes visible: any reader that sees this
+    // snapshot sees its final epoch.
+    snapshot->epoch_ = epoch;
+    snapshot_ = std::move(snapshot);
+  }
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  snapshot_ready_.notify_all();
+  return epoch;
+}
+
+std::shared_ptr<const ModelSnapshot>
+RecommendationService::CurrentSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+std::future<QueryResponse> RecommendationService::Submit(
+    const QueryRequest& request) {
+  PendingRequest pending;
+  pending.request = request;
+  std::future<QueryResponse> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    GEMREC_CHECK(!shutdown_);
+    queue_.push_back(std::move(pending));
+  }
+  queue_ready_.notify_one();
+  return future;
+}
+
+QueryResponse RecommendationService::Query(const QueryRequest& request) {
+  return Submit(request).get();
+}
+
+ServiceStats RecommendationService::stats() const {
+  ServiceStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.publishes = publishes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void RecommendationService::WorkerLoop() {
+  // Per-worker reusable state: after warm-up the TA query path makes
+  // no heap allocation (scratch + hits keep their capacity).
+  recommend::TaSearch::Scratch scratch;
+  std::vector<recommend::SearchHit> hits;
+  std::vector<float> query_vec;
+  std::vector<PendingRequest> batch;
+
+  while (true) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_ready_.wait(lock,
+                        [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      const size_t take = std::min(options_.max_batch, queue_.size());
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+
+    // Acquire the serving snapshot once per batch: the whole batch is
+    // answered under a single epoch. Blocks only before the FIRST
+    // publish ever; a reload never blocks queries, it just swaps what
+    // the next batch acquires.
+    std::shared_ptr<const ModelSnapshot> snapshot;
+    {
+      std::unique_lock<std::mutex> lock(snapshot_mu_);
+      snapshot_ready_.wait(lock, [this] {
+        if (snapshot_ != nullptr) return true;
+        std::lock_guard<std::mutex> qlock(queue_mu_);
+        return shutdown_;
+      });
+      snapshot = snapshot_;
+    }
+    if (snapshot == nullptr) {
+      // Shutting down before any model was published: answer with
+      // empty epoch-0 responses rather than leaving broken promises.
+      for (PendingRequest& pending : batch) {
+        pending.promise.set_value(QueryResponse{});
+      }
+      continue;
+    }
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    ServeBatch(&batch, *snapshot, &query_vec, &hits, &scratch);
+    // `snapshot` drops its reference here; if a Publish retired it
+    // mid-batch and this was the last reader, it is destroyed now.
+  }
+}
+
+void RecommendationService::ServeBatch(
+    std::vector<PendingRequest>* batch, const ModelSnapshot& snapshot,
+    std::vector<float>* query_vec, std::vector<recommend::SearchHit>* hits,
+    recommend::TaSearch::Scratch* scratch) {
+  const uint64_t epoch = snapshot.epoch();
+  for (PendingRequest& pending : *batch) {
+    const QueryRequest& request = pending.request;
+    queries_.fetch_add(1, std::memory_order_relaxed);
+
+    QueryResponse response;
+    response.epoch = epoch;
+    const CacheKey key{request.user, request.n, request.filter_hash};
+    if (!request.bypass_cache &&
+        cache_.Lookup(key, epoch, &response.items)) {
+      response.cache_hit = true;
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      pending.promise.set_value(std::move(response));
+      continue;
+    }
+
+    snapshot.QueryVector(request.user, query_vec);
+    snapshot.searcher().SearchInto(*query_vec, request.n,
+                                   /*exclude_partner=*/request.user, hits,
+                                   &response.stats, scratch);
+    response.items.reserve(hits->size());
+    for (const recommend::SearchHit& hit : *hits) {
+      response.items.push_back(recommend::Recommendation{
+          hit.pair.event, hit.pair.partner, hit.score});
+    }
+    if (!request.bypass_cache) {
+      cache_.Insert(key, epoch, response.items);
+    }
+    pending.promise.set_value(std::move(response));
+  }
+}
+
+}  // namespace gemrec::serving

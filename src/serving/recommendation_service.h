@@ -1,0 +1,155 @@
+#ifndef GEMREC_SERVING_RECOMMENDATION_SERVICE_H_
+#define GEMREC_SERVING_RECOMMENDATION_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ebsn/types.h"
+#include "recommend/recommender.h"
+#include "serving/model_snapshot.h"
+#include "serving/result_cache.h"
+
+namespace gemrec::serving {
+
+struct ServiceOptions {
+  /// Fixed-size pool of serving threads, each owning one
+  /// TaSearch::Scratch. Not clamped to hardware concurrency: serving
+  /// workers block on the queue, so oversubscription is deliberate.
+  uint32_t num_workers = 4;
+  /// Max requests one worker drains per queue visit; the whole batch
+  /// is served under a single snapshot acquisition (one epoch).
+  size_t max_batch = 16;
+  /// Result-cache entries across all shards (0 disables caching).
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 8;
+};
+
+/// One top-n query.
+struct QueryRequest {
+  ebsn::UserId user = 0;
+  uint32_t n = 10;
+  /// Identifies the filtered event pool the caller expects (cache-key
+  /// component; ModelSnapshot::pool_hash() of the pool it was built
+  /// over). 0 is a valid value — it simply keys the default pool.
+  uint64_t filter_hash = 0;
+  /// Skip cache lookup AND insertion (always recompute).
+  bool bypass_cache = false;
+};
+
+struct QueryResponse {
+  std::vector<recommend::Recommendation> items;
+  /// Epoch of the snapshot that produced (or validated) the items.
+  uint64_t epoch = 0;
+  bool cache_hit = false;
+  /// Search instrumentation; zeroed for cache hits.
+  recommend::SearchStats stats;
+};
+
+/// Monotonic service counters (relaxed atomics; read for reporting).
+struct ServiceStats {
+  uint64_t queries = 0;
+  uint64_t cache_hits = 0;
+  uint64_t batches = 0;
+  uint64_t publishes = 0;
+};
+
+/// Concurrent query front-end over an atomically swappable
+/// ModelSnapshot (the serving half of the paper's §IV online stage).
+///
+/// Architecture:
+///  * Requests enter a bounded-batch FIFO via Submit (future-based) or
+///    the synchronous Query wrapper.
+///  * A fixed pool of workers drains up to max_batch requests per
+///    visit, acquires the current snapshot ONCE for the whole batch
+///    (so a batch is served under a single epoch) and answers each
+///    request with its thread-private TaSearch::Scratch — the
+///    steady-state query path performs no allocation inside TA.
+///  * Results are fronted by a sharded LRU keyed on
+///    (user, n, filter_hash); entries are epoch-stamped, and a lookup
+///    only hits when the entry's epoch matches the batch's snapshot,
+///    so cache hits can never resurrect a retired snapshot.
+///  * Publish stamps the snapshot with the next epoch and swaps the
+///    shared_ptr under a short mutex (pointer copy, no data copy).
+///    In-flight batches keep the old snapshot alive through their own
+///    reference and drain on it; the retired snapshot is destroyed by
+///    whichever thread drops the last reference. No query ever waits
+///    for an index build — builds happen on the publisher's thread
+///    before Publish is called.
+///
+/// Typical reload loop: copy the serving store into a staging store,
+/// apply OnlineUpdate fold-ins (FoldInColdEvent / FoldInColdUser /
+/// UpdateUserWithAttendance), build a ModelSnapshot from the staging
+/// store, Publish. Queries continue uninterrupted throughout.
+class RecommendationService {
+ public:
+  explicit RecommendationService(const ServiceOptions& options);
+  /// Drains the queue (every pending promise is fulfilled) and joins
+  /// the workers.
+  ~RecommendationService();
+
+  RecommendationService(const RecommendationService&) = delete;
+  RecommendationService& operator=(const RecommendationService&) = delete;
+
+  /// Atomically swaps the serving snapshot. Stamps `snapshot` with the
+  /// next epoch and returns it. Thread-safe; never blocks queries
+  /// beyond a pointer swap.
+  uint64_t Publish(std::shared_ptr<ModelSnapshot> snapshot);
+
+  /// The currently published snapshot (nullptr before first Publish).
+  std::shared_ptr<const ModelSnapshot> CurrentSnapshot() const;
+
+  /// Enqueues a query; the future resolves when a worker serves it.
+  /// Requests submitted before the first Publish wait in the queue.
+  std::future<QueryResponse> Submit(const QueryRequest& request);
+
+  /// Synchronous convenience wrapper (blocks the caller, not workers).
+  QueryResponse Query(const QueryRequest& request);
+
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct PendingRequest {
+    QueryRequest request;
+    std::promise<QueryResponse> promise;
+  };
+
+  void WorkerLoop();
+  void ServeBatch(std::vector<PendingRequest>* batch,
+                  const ModelSnapshot& snapshot,
+                  std::vector<float>* query_vec,
+                  std::vector<recommend::SearchHit>* hits,
+                  recommend::TaSearch::Scratch* scratch);
+
+  ServiceOptions options_;
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  std::condition_variable snapshot_ready_;
+  uint64_t next_epoch_ = 1;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_ready_;
+  std::deque<PendingRequest> queue_;
+  bool shutdown_ = false;
+
+  ResultCache cache_;
+
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> publishes_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gemrec::serving
+
+#endif  // GEMREC_SERVING_RECOMMENDATION_SERVICE_H_

@@ -1,0 +1,71 @@
+#include "serving/result_cache.h"
+
+#include <algorithm>
+
+namespace gemrec::serving {
+
+ResultCache::ResultCache(size_t capacity, size_t num_shards)
+    : capacity_(capacity),
+      shards_(std::max<size_t>(1, std::min(num_shards,
+                                           std::max<size_t>(1, capacity)))) {
+  per_shard_capacity_ =
+      capacity_ == 0 ? 0
+                     : std::max<size_t>(1, capacity_ / shards_.size());
+}
+
+bool ResultCache::Lookup(const CacheKey& key, uint64_t epoch,
+                         std::vector<recommend::Recommendation>* out) {
+  if (capacity_ == 0) return false;
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  if (it->second->epoch != epoch) {
+    // Computed on a retired snapshot: never serve it, reclaim now.
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->items;
+  return true;
+}
+
+void ResultCache::Insert(const CacheKey& key, uint64_t epoch,
+                         const std::vector<recommend::Recommendation>& items) {
+  if (capacity_ == 0) return;
+  Shard& shard = ShardOf(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->epoch = epoch;
+    it->second->items = items;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, epoch, items});
+  shard.map[key] = shard.lru.begin();
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+  }
+}
+
+void ResultCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.map.clear();
+  }
+}
+
+size_t ResultCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace gemrec::serving

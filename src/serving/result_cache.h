@@ -1,0 +1,95 @@
+#ifndef GEMREC_SERVING_RESULT_CACHE_H_
+#define GEMREC_SERVING_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "ebsn/types.h"
+#include "recommend/recommender.h"
+
+namespace gemrec::serving {
+
+/// Cache key of one top-n query: who asked, how many results, and
+/// which filtered event pool the snapshot was built over.
+struct CacheKey {
+  ebsn::UserId user = 0;
+  uint32_t n = 0;
+  uint64_t filter_hash = 0;
+
+  bool operator==(const CacheKey& other) const {
+    return user == other.user && n == other.n &&
+           filter_hash == other.filter_hash;
+  }
+};
+
+/// Sharded LRU cache for recommendation lists.
+///
+/// Staleness safety: every entry records the epoch of the snapshot
+/// that produced it, and Lookup only returns entries whose epoch
+/// equals the caller's current-snapshot epoch — so a hit can never
+/// serve results computed on a retired snapshot. Swap "invalidation"
+/// is therefore O(1): publishing a new epoch makes every older entry
+/// unreturnable; the stale storage is reclaimed lazily, either by the
+/// epoch-mismatch eviction in Lookup or by normal LRU pressure.
+///
+/// Sharding: the key hash picks one of `num_shards` independently
+/// locked shards, so concurrent workers rarely contend on the same
+/// mutex. Capacity is split evenly across shards.
+class ResultCache {
+ public:
+  /// `capacity` 0 disables the cache entirely (every Lookup misses and
+  /// Insert is a no-op). `num_shards` is clamped to >= 1.
+  ResultCache(size_t capacity, size_t num_shards);
+
+  /// If present with a matching epoch, copies the list into `*out` and
+  /// refreshes recency. An entry found with a stale epoch is erased.
+  bool Lookup(const CacheKey& key, uint64_t epoch,
+              std::vector<recommend::Recommendation>* out);
+
+  /// Inserts (or overwrites) the entry, evicting the shard's LRU tail
+  /// beyond capacity.
+  void Insert(const CacheKey& key, uint64_t epoch,
+              const std::vector<recommend::Recommendation>& items);
+
+  /// Drops every entry (used by tests; swaps rely on epoch checks).
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    uint64_t epoch = 0;
+    std::vector<recommend::Recommendation> items;
+  };
+  struct KeyHash {
+    size_t operator()(const CacheKey& k) const {
+      uint64_t h = k.filter_hash;
+      h ^= (static_cast<uint64_t>(k.user) << 32) | k.n;
+      h *= 0x9e3779b97f4a7c15ULL;
+      return static_cast<size_t>(h ^ (h >> 29));
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> map;
+  };
+
+  Shard& ShardOf(const CacheKey& key) {
+    return shards_[KeyHash{}(key) % shards_.size()];
+  }
+
+  size_t capacity_;
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace gemrec::serving
+
+#endif  // GEMREC_SERVING_RESULT_CACHE_H_

@@ -1,0 +1,21 @@
+#include "serving/snapshot_builder.h"
+
+#include <utility>
+
+namespace gemrec::serving {
+
+SnapshotBuilder::SnapshotBuilder(const embedding::EmbeddingStore& initial,
+                                 std::vector<ebsn::EventId> events,
+                                 uint32_t num_users,
+                                 const SnapshotOptions& options)
+    : staging_(initial),
+      events_(std::move(events)),
+      num_users_(num_users),
+      options_(options) {}
+
+std::shared_ptr<ModelSnapshot> SnapshotBuilder::Build() const {
+  return std::make_shared<ModelSnapshot>(staging_, events_, num_users_,
+                                         options_);
+}
+
+}  // namespace gemrec::serving

@@ -1,0 +1,201 @@
+// Statistical property test for AdaptiveNoiseSampler: after a ranking
+// rebuild, noise draws must follow the paper's Eqn 6 distribution
+// P(v_k | v_c) ∝ exp(-rank(v_k) / λ), i.e. the truncated geometric over
+// ranks. We verify with a chi-square goodness-of-fit test against the
+// exact pmf
+//
+//   p(s) = (e^{-s/λ} - e^{-(s+1)/λ}) / (1 - e^{-n/λ}),  s ∈ [0, n)
+//
+// for several λ, using an embedding whose per-dimension rankings are
+// all identical (so the dimension-mixing step cannot blur the rank
+// marginal). Critical values come from the Wilson–Hilferty cube
+// approximation at α = 0.001 — loose enough that a correct sampler
+// fails with negligible probability under the fixed seeds, tight
+// enough to catch an off-by-one in the rank indirection, a wrong
+// truncation mass, or a stale ranking after rebuild.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "embedding/adaptive_sampler.h"
+
+namespace gemrec::embedding {
+namespace {
+
+constexpr uint32_t kNodes = 64;
+constexpr uint32_t kDim = 2;
+constexpr int kDraws = 20000;
+
+/// Event i gets value (kNodes - i) * w_f on every dimension f (w_f > 0),
+/// so each dimension ranks nodes identically as 0, 1, ..., kNodes-1 and
+/// P(node s) is exactly the truncated geometric pmf of rank s.
+std::unique_ptr<EmbeddingStore> MakeMonotoneStore() {
+  auto store = std::make_unique<EmbeddingStore>(
+      kDim, std::array<uint32_t, 5>{1, kNodes, 1, 1, 1});
+  for (uint32_t x = 0; x < kNodes; ++x) {
+    for (uint32_t f = 0; f < kDim; ++f) {
+      store->VectorOf(graph::NodeType::kEvent, x)[f] =
+          static_cast<float>(kNodes - x) * (0.5f + 0.1f * f);
+    }
+  }
+  for (uint32_t f = 0; f < kDim; ++f) {
+    store->VectorOf(graph::NodeType::kUser, 0)[f] = 1.0f;
+  }
+  return store;
+}
+
+graph::BipartiteGraph UserEventGraph() {
+  graph::BipartiteGraph g(graph::NodeType::kUser, 1,
+                          graph::NodeType::kEvent, kNodes);
+  g.AddEdge(0, 0, 1.0);
+  g.Seal();
+  return g;
+}
+
+/// Exact truncated geometric pmf over ranks [0, n).
+std::vector<double> TruncatedGeometricPmf(double lambda, uint32_t n) {
+  std::vector<double> pmf(n);
+  const double total = 1.0 - std::exp(-static_cast<double>(n) / lambda);
+  for (uint32_t s = 0; s < n; ++s) {
+    pmf[s] = (std::exp(-static_cast<double>(s) / lambda) -
+              std::exp(-static_cast<double>(s + 1) / lambda)) /
+             total;
+  }
+  return pmf;
+}
+
+/// Upper-tail chi-square critical value via Wilson–Hilferty:
+/// χ²_p(k) ≈ k (1 - 2/(9k) + z_p sqrt(2/(9k)))³, z_0.999 = 3.0902.
+double ChiSquareCritical999(double df) {
+  const double z = 3.0902;
+  const double t = 1.0 - 2.0 / (9.0 * df) + z * std::sqrt(2.0 / (9.0 * df));
+  return df * t * t * t;
+}
+
+/// Chi-square statistic with low-expectation tail bins merged so every
+/// cell has expected count ≥ 5 (the usual validity rule). `rank_of`
+/// maps a sampled node id to its expected rank.
+void RunChiSquare(AdaptiveNoiseSampler* sampler, double lambda,
+                  uint64_t seed, const std::vector<uint32_t>& rank_of) {
+  auto pmf = TruncatedGeometricPmf(lambda, kNodes);
+  auto store_graph = UserEventGraph();
+  std::vector<float> context(kDim, 1.0f);
+  Rng rng(seed);
+
+  std::vector<int> counts(kNodes, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const uint32_t node =
+        sampler->SampleNoise(store_graph, Side::kB, context.data(), &rng);
+    ASSERT_LT(node, kNodes);
+    ++counts[rank_of[node]];
+  }
+
+  // Merge the exponential tail into one bin once expectations dip
+  // below 5 (ranks are in decreasing-probability order already).
+  double chi2 = 0.0;
+  double tail_expected = 0.0;
+  int tail_observed = 0;
+  int cells = 0;
+  for (uint32_t s = 0; s < kNodes; ++s) {
+    const double expected = pmf[s] * kDraws;
+    if (expected >= 5.0 && tail_expected == 0.0) {
+      const double diff = counts[s] - expected;
+      chi2 += diff * diff / expected;
+      ++cells;
+    } else {
+      tail_expected += expected;
+      tail_observed += counts[s];
+    }
+  }
+  if (tail_expected > 0.0) {
+    const double diff = tail_observed - tail_expected;
+    chi2 += diff * diff / tail_expected;
+    ++cells;
+  }
+  ASSERT_GE(cells, 2);
+  const double critical = ChiSquareCritical999(cells - 1);
+  EXPECT_LT(chi2, critical)
+      << "λ=" << lambda << ": draws do not follow exp(-rank/λ) "
+      << "(χ²=" << chi2 << " over " << cells - 1 << " df)";
+}
+
+std::vector<uint32_t> IdentityRanks() {
+  std::vector<uint32_t> rank_of(kNodes);
+  for (uint32_t x = 0; x < kNodes; ++x) rank_of[x] = x;
+  return rank_of;
+}
+
+class AdaptiveSamplerChiSquareTest
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdaptiveSamplerChiSquareTest, DrawsMatchTruncatedGeometric) {
+  const double lambda = GetParam();
+  auto store = MakeMonotoneStore();
+  AdaptiveNoiseSampler sampler(store.get(), lambda);
+  sampler.RebuildAll();
+  RunChiSquare(&sampler, lambda,
+               /*seed=*/0xc41 + static_cast<uint64_t>(lambda),
+               IdentityRanks());
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, AdaptiveSamplerChiSquareTest,
+                         ::testing::Values(4.0, 16.0, 64.0));
+
+TEST(AdaptiveSamplerPropertyTest, DistributionTracksRebuiltRanking) {
+  // Reverse every node's value after construction: post-RebuildAll the
+  // rank of node x must be kNodes-1-x, and the chi-square must hold
+  // against the *new* ranking (a stale snapshot would fail hard, since
+  // λ=8 puts ~63% of the mass on the first 8 ranks).
+  const double lambda = 8.0;
+  auto store = MakeMonotoneStore();
+  AdaptiveNoiseSampler sampler(store.get(), lambda);
+  sampler.RebuildAll();
+  for (uint32_t x = 0; x < kNodes; ++x) {
+    for (uint32_t f = 0; f < kDim; ++f) {
+      store->VectorOf(graph::NodeType::kEvent, x)[f] =
+          static_cast<float>(x + 1) * (0.5f + 0.1f * f);
+    }
+  }
+  sampler.RebuildAll();
+  std::vector<uint32_t> rank_of(kNodes);
+  for (uint32_t x = 0; x < kNodes; ++x) rank_of[x] = kNodes - 1 - x;
+  RunChiSquare(&sampler, lambda, /*seed=*/0xeb01d, rank_of);
+}
+
+TEST(AdaptiveSamplerPropertyTest, OneHotContextSelectsDimensionRanking) {
+  // Two dimensions with opposite rankings; a one-hot context vector
+  // must route every draw through the selected dimension's ranking.
+  // With λ=2 over 64 nodes, >99.9% of mass sits in the top 16 ranks,
+  // so the wrong dimension would surface nodes from the far end.
+  auto store = std::make_unique<EmbeddingStore>(
+      kDim, std::array<uint32_t, 5>{1, kNodes, 1, 1, 1});
+  for (uint32_t x = 0; x < kNodes; ++x) {
+    store->VectorOf(graph::NodeType::kEvent, x)[0] =
+        static_cast<float>(kNodes - x);  // dim 0 ranks 0,1,2,...
+    store->VectorOf(graph::NodeType::kEvent, x)[1] =
+        static_cast<float>(x + 1);  // dim 1 ranks ...,2,1,0
+  }
+  AdaptiveNoiseSampler sampler(store.get(), /*lambda=*/2.0);
+  sampler.RebuildAll();
+  auto g = UserEventGraph();
+  Rng rng(0xd1);
+  for (int dim = 0; dim < 2; ++dim) {
+    std::vector<float> context(kDim, 0.0f);
+    context[dim] = 1.0f;
+    int front_half = 0;
+    const int draws = 4000;
+    for (int i = 0; i < draws; ++i) {
+      const uint32_t node =
+          sampler.SampleNoise(g, Side::kB, context.data(), &rng);
+      const uint32_t rank = dim == 0 ? node : kNodes - 1 - node;
+      if (rank < kNodes / 2) ++front_half;
+    }
+    EXPECT_GT(front_half, draws * 99 / 100) << "dim " << dim;
+  }
+}
+
+}  // namespace
+}  // namespace gemrec::embedding

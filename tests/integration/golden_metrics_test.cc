@@ -1,0 +1,119 @@
+// Golden-metric regression test: a fixed-seed train + evaluate + serve
+// pipeline is pinned to the metric values it produced when this test
+// was written. Everything on the path is deterministic (seeded
+// synthetic city, single-thread SGD, seeded evaluation sampling), so a
+// drift beyond the small tolerance means a behavioral change to
+// training, the transformed space, or TA search — which must then be
+// re-justified and the goldens re-pinned in the same commit.
+//
+// The tolerance (±0.04 absolute) absorbs float-contraction differences
+// across compilers/-march flags without letting real regressions (a
+// broken sampler typically moves recall by >0.1) slip through.
+
+#include <gtest/gtest.h>
+
+#include "../testing/fixtures.h"
+#include "embedding/trainer.h"
+#include "eval/ground_truth.h"
+#include "eval/protocol.h"
+#include "recommend/recommender.h"
+#include "serving/recommendation_service.h"
+#include "serving/snapshot_builder.h"
+
+namespace gemrec {
+namespace {
+
+constexpr double kTolerance = 0.04;
+
+class GoldenMetricsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    city_ = new testing::SmallCity(testing::MakeSmallCity(/*seed=*/77));
+    auto options = embedding::TrainerOptions::GemA();
+    options.dim = 16;
+    options.num_samples = 120000;
+    options.num_threads = 1;  // hogwild off: bitwise-reproducible SGD
+    options.seed = 7;
+    trainer_ = new embedding::JointTrainer(city_->graphs.get(), options);
+    trainer_->Train();
+    gem_ = new recommend::GemModel(&trainer_->store(), "GEM-A");
+  }
+  static void TearDownTestSuite() {
+    delete gem_;
+    delete trainer_;
+    delete city_;
+    gem_ = nullptr;
+    trainer_ = nullptr;
+    city_ = nullptr;
+  }
+  static testing::SmallCity* city_;
+  static embedding::JointTrainer* trainer_;
+  static recommend::GemModel* gem_;
+};
+
+testing::SmallCity* GoldenMetricsTest::city_ = nullptr;
+embedding::JointTrainer* GoldenMetricsTest::trainer_ = nullptr;
+recommend::GemModel* GoldenMetricsTest::gem_ = nullptr;
+
+TEST_F(GoldenMetricsTest, ColdStartRecallAndNdcgMatchGolden) {
+  eval::ProtocolOptions options;
+  options.max_cases = 200;
+  const auto result = eval::EvaluateColdStartEvents(
+      *gem_, city_->dataset(), *city_->split, options);
+  ASSERT_GT(result.num_cases, 50u);
+  EXPECT_NEAR(result.At(10), 0.7500, kTolerance);
+  EXPECT_NEAR(result.NdcgAt(10), 0.4558, kTolerance);
+}
+
+TEST_F(GoldenMetricsTest, EventPartnerRecallAndNdcgMatchGolden) {
+  const auto truth =
+      eval::BuildPartnerGroundTruth(city_->dataset(), *city_->split);
+  ASSERT_FALSE(truth.empty());
+  eval::ProtocolOptions options;
+  options.max_cases = 150;
+  const auto result = eval::EvaluateEventPartner(
+      *gem_, city_->dataset(), *city_->split, truth, options);
+  ASSERT_GT(result.num_cases, 20u);
+  EXPECT_NEAR(result.At(10), 0.7667, kTolerance);
+  EXPECT_NEAR(result.NdcgAt(10), 0.4448, kTolerance);
+}
+
+TEST_F(GoldenMetricsTest, ServePathMatchesDirectRecommender) {
+  // The serving engine must be a faithful deployment of the offline
+  // recommender: same store, same pool, same pruning level -> exactly
+  // the same (event, partner, score) list, including cached replays.
+  recommend::RecommenderOptions rec_options;
+  recommend::EventPartnerRecommender recommender(
+      gem_, city_->split->test_events(), city_->dataset().num_users(),
+      rec_options);
+
+  serving::SnapshotOptions snapshot_options;
+  snapshot_options.top_k_events_per_partner =
+      rec_options.top_k_events_per_partner;
+  serving::SnapshotBuilder builder(
+      trainer_->store(), city_->split->test_events(),
+      city_->dataset().num_users(), snapshot_options);
+  serving::ServiceOptions service_options;
+  service_options.num_workers = 2;
+  serving::RecommendationService service(service_options);
+  service.Publish(builder.Build());
+
+  for (ebsn::UserId user : {0u, 7u, 42u, 101u}) {
+    const auto direct = recommender.Recommend(user, 10);
+    for (int repeat = 0; repeat < 2; ++repeat) {  // 2nd hits the cache
+      serving::QueryRequest request;
+      request.user = user;
+      request.n = 10;
+      const auto response = service.Query(request);
+      ASSERT_EQ(response.items.size(), direct.size()) << "user " << user;
+      for (size_t i = 0; i < direct.size(); ++i) {
+        EXPECT_EQ(response.items[i].event, direct[i].event);
+        EXPECT_EQ(response.items[i].partner, direct[i].partner);
+        EXPECT_EQ(response.items[i].score, direct[i].score);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gemrec

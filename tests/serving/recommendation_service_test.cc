@@ -1,0 +1,295 @@
+// Functional coverage of the serving engine: snapshot publication,
+// query correctness against the raw TA index, cache behaviour across
+// swaps, batching, and shutdown draining.
+
+#include "serving/recommendation_service.h"
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serving/snapshot_builder.h"
+
+namespace gemrec::serving {
+namespace {
+
+std::unique_ptr<embedding::EmbeddingStore> RandomStore(
+    uint32_t num_users, uint32_t num_events, uint32_t dim,
+    uint64_t seed) {
+  auto store = std::make_unique<embedding::EmbeddingStore>(
+      dim, std::array<uint32_t, 5>{num_users, num_events, 1, 1, 1});
+  Rng rng(seed);
+  store->MatrixOf(graph::NodeType::kUser).FillAbsGaussian(&rng, 0.2, 0.3);
+  store->MatrixOf(graph::NodeType::kEvent)
+      .FillAbsGaussian(&rng, 0.2, 0.3);
+  return store;
+}
+
+std::vector<ebsn::EventId> AllEvents(uint32_t num_events) {
+  std::vector<ebsn::EventId> events(num_events);
+  for (uint32_t x = 0; x < num_events; ++x) events[x] = x;
+  return events;
+}
+
+std::shared_ptr<ModelSnapshot> MakeSnapshot(
+    const embedding::EmbeddingStore& store, uint32_t num_users,
+    uint32_t num_events, uint32_t top_k = 0) {
+  SnapshotOptions options;
+  options.top_k_events_per_partner = top_k;
+  return std::make_shared<ModelSnapshot>(store, AllEvents(num_events),
+                                         num_users, options);
+}
+
+TEST(RecommendationServiceTest, QueryMatchesDirectTaSearch) {
+  auto store = RandomStore(20, 15, 8, 1);
+  auto snapshot = MakeSnapshot(*store, 20, 15);
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  RecommendationService service(options);
+  service.Publish(snapshot);
+
+  std::vector<float> q;
+  for (ebsn::UserId u = 0; u < 20; ++u) {
+    QueryRequest request;
+    request.user = u;
+    request.n = 7;
+    request.filter_hash = snapshot->pool_hash();
+    const QueryResponse response = service.Query(request);
+    EXPECT_EQ(response.epoch, 1u);
+
+    snapshot->QueryVector(u, &q);
+    const auto expected = snapshot->searcher().Search(q, 7, u);
+    ASSERT_EQ(response.items.size(), expected.size()) << "u=" << u;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(response.items[i].event, expected[i].pair.event);
+      EXPECT_EQ(response.items[i].partner, expected[i].pair.partner);
+      EXPECT_EQ(response.items[i].score, expected[i].score);
+    }
+  }
+}
+
+TEST(RecommendationServiceTest, RepeatQueryHitsTheCache) {
+  auto store = RandomStore(10, 10, 6, 2);
+  RecommendationService service(ServiceOptions{});
+  service.Publish(MakeSnapshot(*store, 10, 10));
+
+  QueryRequest request;
+  request.user = 3;
+  request.n = 5;
+  const QueryResponse first = service.Query(request);
+  EXPECT_FALSE(first.cache_hit);
+  const QueryResponse second = service.Query(request);
+  EXPECT_TRUE(second.cache_hit);
+  ASSERT_EQ(second.items.size(), first.items.size());
+  for (size_t i = 0; i < first.items.size(); ++i) {
+    EXPECT_EQ(second.items[i].event, first.items[i].event);
+    EXPECT_EQ(second.items[i].partner, first.items[i].partner);
+    EXPECT_EQ(second.items[i].score, first.items[i].score);
+  }
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+}
+
+TEST(RecommendationServiceTest, BypassCacheAlwaysRecomputes) {
+  auto store = RandomStore(10, 10, 6, 3);
+  RecommendationService service(ServiceOptions{});
+  service.Publish(MakeSnapshot(*store, 10, 10));
+  QueryRequest request;
+  request.user = 1;
+  request.n = 4;
+  request.bypass_cache = true;
+  EXPECT_FALSE(service.Query(request).cache_hit);
+  EXPECT_FALSE(service.Query(request).cache_hit);
+  // Bypassed queries must not have populated the cache either.
+  request.bypass_cache = false;
+  EXPECT_FALSE(service.Query(request).cache_hit);
+}
+
+TEST(RecommendationServiceTest, SwapInvalidatesCacheAndBumpsEpoch) {
+  auto store_a = RandomStore(12, 10, 6, 4);
+  auto store_b = RandomStore(12, 10, 6, 5);  // different model
+  RecommendationService service(ServiceOptions{});
+  service.Publish(MakeSnapshot(*store_a, 12, 10));
+
+  QueryRequest request;
+  request.user = 2;
+  request.n = 6;
+  const QueryResponse before = service.Query(request);
+  EXPECT_EQ(before.epoch, 1u);
+  EXPECT_TRUE(service.Query(request).cache_hit);  // warm
+
+  auto snapshot_b = MakeSnapshot(*store_b, 12, 10);
+  EXPECT_EQ(service.Publish(snapshot_b), 2u);
+
+  const QueryResponse after = service.Query(request);
+  EXPECT_EQ(after.epoch, 2u);
+  EXPECT_FALSE(after.cache_hit)
+      << "cache returned an entry computed on a retired snapshot";
+  // The new snapshot really is the one answering.
+  std::vector<float> q;
+  snapshot_b->QueryVector(2, &q);
+  const auto expected = snapshot_b->searcher().Search(q, 6, 2);
+  ASSERT_EQ(after.items.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(after.items[i].score, expected[i].score);
+  }
+}
+
+TEST(RecommendationServiceTest, SnapshotRetiresOnlyAfterSwap) {
+  auto store = RandomStore(8, 8, 4, 6);
+  RecommendationService service(ServiceOptions{});
+  auto first = MakeSnapshot(*store, 8, 8);
+  std::weak_ptr<ModelSnapshot> watch = first;
+  service.Publish(std::move(first));
+  EXPECT_FALSE(watch.expired());
+  service.Publish(MakeSnapshot(*store, 8, 8));
+  // No queries in flight: the retired snapshot must be destroyed as
+  // soon as the swap drops the publish slot's reference.
+  EXPECT_TRUE(watch.expired());
+  EXPECT_EQ(service.stats().publishes, 2u);
+}
+
+TEST(RecommendationServiceTest, SubmittedBeforePublishServedAfter) {
+  auto store = RandomStore(6, 6, 4, 7);
+  ServiceOptions options;
+  options.num_workers = 1;
+  RecommendationService service(options);
+  QueryRequest request;
+  request.user = 0;
+  request.n = 3;
+  std::future<QueryResponse> pending = service.Submit(request);
+  EXPECT_EQ(pending.wait_for(std::chrono::milliseconds(50)),
+            std::future_status::timeout)
+      << "query answered before any model was published";
+  service.Publish(MakeSnapshot(*store, 6, 6));
+  const QueryResponse response = pending.get();
+  EXPECT_EQ(response.epoch, 1u);
+  EXPECT_FALSE(response.items.empty());
+}
+
+TEST(RecommendationServiceTest, DestructorDrainsPendingRequests) {
+  auto store = RandomStore(10, 10, 6, 8);
+  std::vector<std::future<QueryResponse>> futures;
+  {
+    ServiceOptions options;
+    options.num_workers = 1;
+    options.max_batch = 4;
+    RecommendationService service(options);
+    service.Publish(MakeSnapshot(*store, 10, 10));
+    for (uint32_t i = 0; i < 40; ++i) {
+      QueryRequest request;
+      request.user = i % 10;
+      request.n = 5;
+      futures.push_back(service.Submit(request));
+    }
+  }  // destructor must fulfil every promise
+  for (auto& f : futures) {
+    const QueryResponse response = f.get();
+    EXPECT_EQ(response.epoch, 1u);
+    EXPECT_FALSE(response.items.empty());
+  }
+}
+
+TEST(RecommendationServiceTest, BatchesAreCountedAndBounded) {
+  auto store = RandomStore(10, 10, 6, 9);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.max_batch = 8;
+  RecommendationService service(options);
+  service.Publish(MakeSnapshot(*store, 10, 10));
+  std::vector<std::future<QueryResponse>> futures;
+  for (uint32_t i = 0; i < 64; ++i) {
+    QueryRequest request;
+    request.user = i % 10;
+    request.n = 3;
+    request.bypass_cache = true;
+    futures.push_back(service.Submit(request));
+  }
+  for (auto& f : futures) f.get();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries, 64u);
+  EXPECT_GE(stats.batches, 64u / options.max_batch);
+  EXPECT_LE(stats.batches, 64u);
+}
+
+TEST(ResultCacheTest, EpochMismatchNeverHits) {
+  ResultCache cache(16, 2);
+  const CacheKey key{1, 10, 42};
+  std::vector<recommend::Recommendation> items{{3, 4, 1.5f}};
+  cache.Insert(key, /*epoch=*/1, items);
+  std::vector<recommend::Recommendation> out;
+  EXPECT_TRUE(cache.Lookup(key, 1, &out));
+  EXPECT_FALSE(cache.Lookup(key, 2, &out))
+      << "stale-epoch entry served after a swap";
+  // The stale entry was evicted, not resurrected for the old epoch.
+  EXPECT_FALSE(cache.Lookup(key, 1, &out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCacheTest, DistinguishesFilterHashes) {
+  ResultCache cache(16, 2);
+  std::vector<recommend::Recommendation> weekend{{1, 2, 0.5f}};
+  std::vector<recommend::Recommendation> all{{7, 8, 0.9f}};
+  cache.Insert(CacheKey{5, 10, 111}, 1, weekend);
+  cache.Insert(CacheKey{5, 10, 222}, 1, all);
+  std::vector<recommend::Recommendation> out;
+  ASSERT_TRUE(cache.Lookup(CacheKey{5, 10, 111}, 1, &out));
+  EXPECT_EQ(out[0].event, 1u);
+  ASSERT_TRUE(cache.Lookup(CacheKey{5, 10, 222}, 1, &out));
+  EXPECT_EQ(out[0].event, 7u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(4, 1);  // single shard, capacity 4
+  std::vector<recommend::Recommendation> items{{0, 0, 0.0f}};
+  for (uint32_t u = 0; u < 4; ++u) {
+    cache.Insert(CacheKey{u, 1, 0}, 1, items);
+  }
+  std::vector<recommend::Recommendation> out;
+  // Touch user 0 so user 1 becomes the LRU tail.
+  ASSERT_TRUE(cache.Lookup(CacheKey{0, 1, 0}, 1, &out));
+  cache.Insert(CacheKey{9, 1, 0}, 1, items);
+  EXPECT_TRUE(cache.Lookup(CacheKey{0, 1, 0}, 1, &out));
+  EXPECT_FALSE(cache.Lookup(CacheKey{1, 1, 0}, 1, &out));
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(0, 4);
+  std::vector<recommend::Recommendation> items{{1, 1, 1.0f}};
+  cache.Insert(CacheKey{1, 1, 0}, 1, items);
+  std::vector<recommend::Recommendation> out;
+  EXPECT_FALSE(cache.Lookup(CacheKey{1, 1, 0}, 1, &out));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SnapshotBuilderTest, FoldInChangesNextSnapshotOnly) {
+  auto store = RandomStore(10, 10, 6, 11);
+  SnapshotOptions snapshot_options;
+  snapshot_options.top_k_events_per_partner = 0;
+  SnapshotBuilder builder(*store, AllEvents(10), 10, snapshot_options);
+  auto before = builder.Build();
+
+  embedding::OnlineUpdateOptions update;
+  update.iterations = 30;
+  ASSERT_TRUE(builder.RecordAttendance(/*user=*/2, /*event=*/3, update).ok());
+  auto after = builder.Build();
+
+  // The already-built snapshot is untouched by the staging update...
+  for (uint32_t f = 0; f < before->store().dim(); ++f) {
+    EXPECT_EQ(before->store().VectorOf(graph::NodeType::kUser, 2)[f],
+              store->VectorOf(graph::NodeType::kUser, 2)[f]);
+  }
+  // ...while the new one reflects it.
+  bool changed = false;
+  for (uint32_t f = 0; f < after->store().dim(); ++f) {
+    changed |= after->store().VectorOf(graph::NodeType::kUser, 2)[f] !=
+               before->store().VectorOf(graph::NodeType::kUser, 2)[f];
+  }
+  EXPECT_TRUE(changed);
+}
+
+}  // namespace
+}  // namespace gemrec::serving
