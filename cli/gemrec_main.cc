@@ -38,6 +38,7 @@
 #include "recommend/explain.h"
 #include "recommend/filters.h"
 #include "recommend/recommender.h"
+#include "serving/model_reloader.h"
 #include "serving/recommendation_service.h"
 #include "serving/snapshot_builder.h"
 
@@ -106,7 +107,9 @@ int Usage() {
       "                   [--out FILE]   (online cold-event fold-in)\n"
       "  gemrec serve     --data DIR --model FILE [--queries Q]\n"
       "                   [--workers W] [--clients C] [--swaps S]\n"
-      "                   [--n N] [--top-k K]   (batch-query serving)\n");
+      "                   [--n N] [--top-k K] [--reload FILE]\n"
+      "                   (batch-query serving; --reload republishes\n"
+      "                   from FILE each swap, surviving corrupt files)\n");
   return 2;
 }
 
@@ -392,6 +395,11 @@ int CmdServe(const Args& args) {
   // the traffic, demonstrating that reloads never block queries.
   std::vector<std::vector<double>> latencies(clients);
   const auto wall_start = std::chrono::steady_clock::now();
+  // With --reload FILE each swap republishes from the on-disk artifact
+  // through the crash-safe reload path: a corrupt or mid-write FILE
+  // costs freshness (counted below), never availability.
+  const auto reload_path = args.Get("reload");
+  serving::ModelReloader reloader(&service, &builder, {});
   std::thread updater([&] {
     embedding::OnlineUpdateOptions update;
     update.iterations = 50;
@@ -399,7 +407,11 @@ int CmdServe(const Args& args) {
       const auto& attendance = world->dataset.attendances();
       const auto& a = attendance[s % attendance.size()];
       if (!builder.RecordAttendance(a.user, a.event, update).ok()) return;
-      service.Publish(builder.Build());
+      if (reload_path && *reload_path != "true") {
+        (void)reloader.ReloadWithRetry(*reload_path);
+      } else {
+        service.Publish(builder.Build());
+      }
     }
   });
   std::vector<std::thread> client_threads;
@@ -444,10 +456,11 @@ int CmdServe(const Args& args) {
   std::printf("latency p50 %.0fus  p90 %.0fus  p99 %.0fus\n",
               percentile(0.50), percentile(0.90), percentile(0.99));
   std::printf("cache hit rate %.1f%%  batches %llu  epochs published "
-              "%llu\n",
+              "%llu  reload failures %llu\n",
               100.0 * stats.cache_hits / std::max<uint64_t>(1, stats.queries),
               static_cast<unsigned long long>(stats.batches),
-              static_cast<unsigned long long>(stats.publishes));
+              static_cast<unsigned long long>(stats.publishes),
+              static_cast<unsigned long long>(stats.reload_failures));
   return 0;
 }
 

@@ -2,9 +2,12 @@
 # Tier-1 verification (see ROADMAP.md): default build + full ctest,
 # then a ThreadSanitizer pass over the concurrency-bearing suites
 # (thread pool / hogwild trainer / adaptive sampler / TA search /
-# serving engine snapshot-swap stress).
+# serving engine snapshot-swap stress), then an UndefinedBehavior-
+# Sanitizer pass over the persistence/fault suites (serialization,
+# fault injection, online fold-in — the paths that parse untrusted
+# bytes or sample from possibly-empty domains).
 #
-# Usage: scripts/tier1.sh [--no-tsan]
+# Usage: scripts/tier1.sh [--no-tsan] [--no-ubsan]
 #
 # The TSan stage builds into build-tsan/ with GEMREC_SANITIZE=thread
 # and runs the common/embedding/recommend test binaries under
@@ -17,9 +20,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_TSAN=1
-if [[ "${1:-}" == "--no-tsan" ]]; then
-  RUN_TSAN=0
-fi
+RUN_UBSAN=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-tsan) RUN_TSAN=0 ;;
+    --no-ubsan) RUN_UBSAN=0 ;;
+  esac
+done
 
 echo "== tier-1: default build + full test suite =="
 cmake -B build -S . >/dev/null
@@ -36,6 +43,19 @@ if [[ "$RUN_TSAN" == "1" ]]; then
   ./build-tsan/tests/embedding_test
   ./build-tsan/tests/recommend_test
   ./build-tsan/tests/serving_test
+fi
+
+if [[ "$RUN_UBSAN" == "1" ]]; then
+  echo "== tier-1: UndefinedBehaviorSanitizer pass (fault/serialization/fold-in) =="
+  cmake -B build-ubsan -S . -DGEMREC_SANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j "$(nproc)" --target \
+    fault_test embedding_test common_test
+  # -fno-sanitize-recover=all: any UB (e.g. sampling an empty domain
+  # during fold-in, misaligned loads while parsing corrupt artifacts)
+  # aborts the binary and fails this stage.
+  ./build-ubsan/tests/fault_test
+  ./build-ubsan/tests/embedding_test
+  ./build-ubsan/tests/common_test
 fi
 
 echo "== tier-1: OK =="

@@ -1,0 +1,167 @@
+#include "common/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace gemrec {
+namespace {
+
+int64_t g_write_limit = -1;
+std::function<void(size_t)>* g_write_observer = nullptr;
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+/// Directory half of the durability contract: after renaming the
+/// temporary into place, the new directory entry itself must be
+/// fsynced or a power cut can roll the rename back.
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY);
+  if (dir_fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open directory", dir));
+  }
+  const int rc = ::fsync(dir_fd);
+  ::close(dir_fd);
+  if (rc != 0) {
+    return Status::IoError(ErrnoMessage("fsync failed on directory", dir));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<AtomicFile> AtomicFile::Create(const std::string& path) {
+  std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open for writing", tmp_path));
+  }
+  return AtomicFile(fd, path, std::move(tmp_path));
+}
+
+AtomicFile::AtomicFile(AtomicFile&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      tmp_path_(std::move(other.tmp_path_)),
+      written_(other.written_),
+      failed_(other.failed_) {
+  other.fd_ = -1;
+}
+
+AtomicFile& AtomicFile::operator=(AtomicFile&& other) noexcept {
+  if (this != &other) {
+    Abort();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    tmp_path_ = std::move(other.tmp_path_);
+    written_ = other.written_;
+    failed_ = other.failed_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+AtomicFile::~AtomicFile() { Abort(); }
+
+Status AtomicFile::Append(const void* data, size_t n) {
+  if (fd_ < 0 || failed_) {
+    return Status::FailedPrecondition("append on a closed or failed writer: " +
+                                      tmp_path_);
+  }
+  size_t allowed = n;
+  bool injected_short_write = false;
+  if (g_write_limit >= 0) {
+    const uint64_t limit = static_cast<uint64_t>(g_write_limit);
+    const uint64_t room = written_ >= limit ? 0 : limit - written_;
+    if (n > room) {
+      allowed = static_cast<size_t>(room);
+      injected_short_write = true;
+    }
+  }
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t remaining = allowed;
+  while (remaining > 0) {
+    const ssize_t wrote = ::write(fd_, p, remaining);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      failed_ = true;
+      return Status::IoError(ErrnoMessage("write failed on", tmp_path_));
+    }
+    p += wrote;
+    remaining -= static_cast<size_t>(wrote);
+    written_ += static_cast<size_t>(wrote);
+  }
+  if (injected_short_write) {
+    failed_ = true;
+    return Status::IoError("short write on " + tmp_path_ +
+                           ": no space left on device (injected)");
+  }
+  if (g_write_observer != nullptr) (*g_write_observer)(written_);
+  return Status::Ok();
+}
+
+Status AtomicFile::Commit() {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("commit on a closed writer: " +
+                                      tmp_path_);
+  }
+  if (failed_) {
+    Abort();
+    return Status::FailedPrecondition(
+        "commit refused after a failed append: " + tmp_path_);
+  }
+  if (::fsync(fd_) != 0) {
+    const Status s =
+        Status::IoError(ErrnoMessage("fsync failed on", tmp_path_));
+    Abort();
+    return s;
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    const Status s =
+        Status::IoError(ErrnoMessage("close failed on", tmp_path_));
+    ::unlink(tmp_path_.c_str());
+    return s;
+  }
+  fd_ = -1;
+  if (::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    const Status s = Status::IoError(
+        ErrnoMessage("rename failed for", tmp_path_ + " -> " + path_));
+    ::unlink(tmp_path_.c_str());
+    return s;
+  }
+  return SyncParentDir(path_);
+}
+
+void AtomicFile::Abort() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+  ::unlink(tmp_path_.c_str());
+}
+
+void AtomicFile::SetWriteLimitForTesting(int64_t max_bytes) {
+  g_write_limit = max_bytes;
+}
+
+void AtomicFile::SetWriteObserverForTesting(
+    std::function<void(size_t)> observer) {
+  delete g_write_observer;
+  g_write_observer =
+      observer ? new std::function<void(size_t)>(std::move(observer))
+               : nullptr;
+}
+
+}  // namespace gemrec

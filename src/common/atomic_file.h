@@ -1,0 +1,84 @@
+#ifndef GEMREC_COMMON_ATOMIC_FILE_H_
+#define GEMREC_COMMON_ATOMIC_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace gemrec {
+
+/// Crash-safe whole-file replacement: all bytes go to a sibling
+/// temporary (`<path>.tmp.<pid>`), are fsynced, and only then renamed
+/// over the destination — so readers of `path` observe either the
+/// complete old file or the complete new file, never a torn mix, even
+/// if the writer dies at any instruction. The parent directory is
+/// fsynced after the rename so the replacement survives power loss.
+///
+/// Usage:
+///   GEMREC_ASSIGN_OR_RETURN(AtomicFile file, AtomicFile::Create(path));
+///   GEMREC_RETURN_IF_ERROR(file.Append(buf, n));
+///   ...
+///   GEMREC_RETURN_IF_ERROR(file.Commit());
+///
+/// Destroying an uncommitted AtomicFile aborts the write: the
+/// temporary is closed and unlinked and the destination is untouched.
+/// Not thread-safe; one writer owns an instance.
+class AtomicFile {
+ public:
+  /// Opens `<path>.tmp.<pid>` for writing (O_TRUNC — a leftover
+  /// temporary from a crashed predecessor with the same pid is
+  /// overwritten, never appended to).
+  static Result<AtomicFile> Create(const std::string& path);
+
+  AtomicFile(AtomicFile&& other) noexcept;
+  AtomicFile& operator=(AtomicFile&& other) noexcept;
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+  ~AtomicFile();
+
+  /// Appends `n` bytes to the temporary. On failure (including an
+  /// injected short write) the instance is poisoned: Commit will
+  /// refuse and destruction aborts the write.
+  Status Append(const void* data, size_t n);
+
+  /// fsync + close + rename over the destination + fsync of the parent
+  /// directory. After an OK return the destination durably holds
+  /// exactly the appended bytes. On failure the temporary is removed
+  /// and the destination is untouched.
+  Status Commit();
+
+  /// Closes and unlinks the temporary without touching the
+  /// destination. Idempotent; also run by the destructor.
+  void Abort();
+
+  const std::string& path() const { return path_; }
+  const std::string& tmp_path() const { return tmp_path_; }
+  size_t bytes_written() const { return written_; }
+
+  /// --- Fault-injection hooks (tests/fault/ only; process-global) ---
+  /// Limits the total bytes any AtomicFile accepts before Append fails
+  /// with IoError, simulating a full disk / short write. < 0 disables.
+  static void SetWriteLimitForTesting(int64_t max_bytes);
+  /// Observer invoked after every successful Append with the writer's
+  /// cumulative byte count — a harness can raise(SIGKILL) inside it to
+  /// model a crash at an exact mid-save point. nullptr disables.
+  static void SetWriteObserverForTesting(
+      std::function<void(size_t bytes_written)> observer);
+
+ private:
+  AtomicFile(int fd, std::string path, std::string tmp_path)
+      : fd_(fd), path_(std::move(path)), tmp_path_(std::move(tmp_path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+  std::string tmp_path_;
+  size_t written_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace gemrec
+
+#endif  // GEMREC_COMMON_ATOMIC_FILE_H_

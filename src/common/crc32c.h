@@ -1,0 +1,33 @@
+#ifndef GEMREC_COMMON_CRC32C_H_
+#define GEMREC_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gemrec {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+/// the checksum used by the GEMREC02 model-artifact format to detect
+/// torn writes and bit rot before a store reaches serving. Hardware
+/// SSE4.2 CRC32 instructions are used when the CPU has them (runtime
+/// dispatch, same resolver-pointer pattern as vec_math); the portable
+/// fallback is a slicing-by-8 table walk. Both produce identical
+/// values, so checksums written on one machine verify on any other.
+
+/// CRC of a standalone buffer.
+uint32_t Crc32c(const void* data, size_t n);
+
+/// Extends a running CRC with more bytes: feeding a buffer in chunks
+/// through ExtendCrc32c yields the same value as one Crc32c call over
+/// the concatenation. Start chains with `crc = 0` via Crc32c, i.e.
+/// ExtendCrc32c(0, p, n) == Crc32c(p, n).
+uint32_t ExtendCrc32c(uint32_t crc, const void* data, size_t n);
+
+namespace crc_detail {
+/// "sse4.2" or "table" — which implementation dispatch selected.
+const char* Crc32cVariant();
+}  // namespace crc_detail
+
+}  // namespace gemrec
+
+#endif  // GEMREC_COMMON_CRC32C_H_

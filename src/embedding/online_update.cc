@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <unordered_set>
 
 #include "common/alias_table.h"
 #include "common/vec_math.h"
@@ -66,6 +67,19 @@ Status FoldInColdEvent(EmbeddingStore* store, ebsn::EventId event,
   for (const auto& n : neighbors) weights.push_back(n.weight);
   AliasTable edge_sampler(weights);
 
+  // Negative word sampling needs a non-empty vocabulary (a store built
+  // without text features has vocab == 0 — drawing from it would be
+  // UB) and must never pull one of the event's own words as noise,
+  // matching the positive-exclusion rule of UpdateUserWithAttendance.
+  const bool sample_negatives = options.negatives > 0 && vocab > 0;
+  std::unordered_set<uint32_t> positive_words;
+  if (sample_negatives) {
+    positive_words.reserve(signals.words.size());
+    for (const auto& [word, weight] : signals.words) {
+      positive_words.insert(word);
+    }
+  }
+
   std::vector<float> grad(dim);
   for (uint32_t it = 0; it < options.iterations; ++it) {
     const Neighbor& n = neighbors[edge_sampler.Sample(&rng)];
@@ -76,8 +90,9 @@ Status FoldInColdEvent(EmbeddingStore* store, ebsn::EventId event,
     Axpy(positive_coeff, w, grad.data(), dim);
     // Negative words keep the vector from inflating along dimensions
     // shared by the whole vocabulary. Only the event vector moves.
-    for (uint32_t m = 0; m < options.negatives; ++m) {
+    for (uint32_t m = 0; sample_negatives && m < options.negatives; ++m) {
       const uint32_t noise = static_cast<uint32_t>(rng.UniformInt(vocab));
+      if (positive_words.count(noise) != 0) continue;
       const float* wn = store->VectorOf(graph::NodeType::kWord, noise);
       const float coeff = Sigmoid(Dot(v, wn, dim) - options.bias);
       Axpy(-coeff, wn, grad.data(), dim);
@@ -138,6 +153,13 @@ Status FoldInColdUser(EmbeddingStore* store, ebsn::UserId user,
     neighbors.push_back({graph::NodeType::kUser, u});
   }
 
+  // Same rules as FoldInColdEvent: an empty event matrix (friends-only
+  // store) must not be sampled at all, and the user's own attended
+  // events are positives — never valid noise.
+  const bool sample_negatives = options.negatives > 0 && num_events > 0;
+  const std::unordered_set<uint32_t> positive_events(
+      signals.attended_events.begin(), signals.attended_events.end());
+
   std::vector<float> grad(dim);
   for (uint32_t it = 0; it < options.iterations; ++it) {
     const Neighbor& n = neighbors[rng.UniformInt(neighbors.size())];
@@ -147,9 +169,10 @@ Status FoldInColdUser(EmbeddingStore* store, ebsn::UserId user,
         1.0f - Sigmoid(Dot(v, w, dim) - options.bias);
     Axpy(positive_coeff, w, grad.data(), dim);
     // Negative events keep the vector discriminative.
-    for (uint32_t m = 0; m < options.negatives; ++m) {
+    for (uint32_t m = 0; sample_negatives && m < options.negatives; ++m) {
       const uint32_t noise =
           static_cast<uint32_t>(rng.UniformInt(num_events));
+      if (positive_events.count(noise) != 0) continue;
       const float* wn = store->VectorOf(graph::NodeType::kEvent, noise);
       const float coeff = Sigmoid(Dot(v, wn, dim) - options.bias);
       Axpy(-coeff, wn, grad.data(), dim);

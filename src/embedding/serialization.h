@@ -10,18 +10,53 @@ namespace gemrec::embedding {
 
 /// Binary persistence for trained embedding stores, so a model trained
 /// offline (hours) can be shipped to the online recommender without
-/// retraining.
+/// retraining — and reloaded indefinitely by `gemrec serve` without
+/// ever feeding a torn or bit-rotted file into a snapshot.
 ///
-/// Format (little-endian):
-///   magic "GEMREC01" | u32 dim | 5 x (u32 count) | 5 x (count*dim f32)
+/// Current wire format, GEMREC02 (all integers little-endian; floats
+/// are IEEE-754 binary32, little-endian; full byte layout in
+/// DESIGN.md §10):
 ///
-/// The format is versioned through the magic; loading rejects
-/// mismatched magics and truncated files.
+///   magic "GEMREC02"                              8 bytes
+///   u32 dim | 5 x u32 count                      24 bytes
+///   u32 header_crc   — CRC32C of bytes [0, 32)    4 bytes
+///   5 x node-type section:
+///     count*dim f32 payload (dense rows)
+///     u32 section_crc — CRC32C of that payload    4 bytes
+///   u32 footer_crc — CRC32C of the 6 CRC words    4 bytes
+///   (strict EOF: trailing bytes are an error)
+///
+/// Durability: SaveEmbeddingStore never writes in place. Bytes go to
+/// `<path>.tmp.<pid>`, are fsynced and renamed over `path` (see
+/// common/atomic_file.h), so a crash mid-save leaves the previous
+/// artifact intact and readers never observe a partial file.
+///
+/// Versioning policy: the 8-byte magic carries the version. Readers
+/// accept the current version plus one legacy version back
+/// ("GEMREC01", native-endian, checksum-free) with a deprecation
+/// warning; writers only emit the current version. Any other magic is
+/// rejected.
 Status SaveEmbeddingStore(const EmbeddingStore& store,
                           const std::string& path);
 
-/// Loads a store written by SaveEmbeddingStore.
+/// Loads a store written by SaveEmbeddingStore (GEMREC02) or by the
+/// pre-checksum writer (GEMREC01, with a deprecation warning).
+///
+/// Every failure mode returns a precise non-OK Status instead of a
+/// corrupt store: bad magic, truncation (at any byte), header/section/
+/// footer checksum mismatch, and trailing garbage after the footer.
 Result<EmbeddingStore> LoadEmbeddingStore(const std::string& path);
+
+/// Legacy GEMREC01 writer (native-endian, no checksums, non-atomic
+/// layout semantics but still written via the atomic temp-file path).
+/// Kept only so tests and migration tooling can fabricate v1 artifacts;
+/// production code paths must use SaveEmbeddingStore.
+Status SaveEmbeddingStoreV1ForTesting(const EmbeddingStore& store,
+                                      const std::string& path);
+
+/// Size in bytes of a GEMREC02 file for a store of this shape — the
+/// fault harness uses it to enumerate section boundaries.
+size_t SerializedSizeV2(const EmbeddingStore& store);
 
 }  // namespace gemrec::embedding
 

@@ -1,0 +1,72 @@
+#ifndef GEMREC_SERVING_MODEL_RELOADER_H_
+#define GEMREC_SERVING_MODEL_RELOADER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "serving/recommendation_service.h"
+#include "serving/snapshot_builder.h"
+
+namespace gemrec::serving {
+
+struct ReloaderOptions {
+  /// Backoff after the first consecutive failure; doubles per failure.
+  std::chrono::milliseconds initial_backoff{100};
+  /// Backoff cap — the exponential never exceeds this.
+  std::chrono::milliseconds max_backoff{5000};
+  /// Attempts per ReloadWithRetry call (>= 1).
+  uint32_t max_attempts = 3;
+  /// Sleep implementation between retries; tests inject a recorder so
+  /// the suite asserts the backoff schedule without real waiting.
+  /// Defaults to std::this_thread::sleep_for.
+  std::function<void(std::chrono::milliseconds)> sleep_fn;
+};
+
+/// The degradation-safe half of the serve reload loop: pulls a model
+/// artifact from disk into the SnapshotBuilder's staging store, builds
+/// a snapshot and publishes it — and when anything in that pipeline
+/// fails (torn file, checksum mismatch, artifact shape incompatible
+/// with the serving pool), the failure is contained: the service keeps
+/// answering from its current snapshot, the reload-failure counter is
+/// bumped, and the next attempt waits out a capped exponential
+/// backoff. A corrupt artifact can therefore never take serving down;
+/// it can only delay freshness.
+///
+/// Not thread-safe: one updater thread owns the reloader (and its
+/// builder), matching SnapshotBuilder's threading contract.
+class ModelReloader {
+ public:
+  /// `service` and `builder` must outlive the reloader.
+  ModelReloader(RecommendationService* service, SnapshotBuilder* builder,
+                const ReloaderOptions& options);
+
+  /// One reload attempt: load + validate `path`, reset staging, build,
+  /// publish. On failure returns the precise load error, records it on
+  /// the service, and grows the backoff; on success resets the backoff
+  /// to zero. Never touches the currently served snapshot on failure.
+  Status ReloadFromFile(const std::string& path);
+
+  /// ReloadFromFile with up to `max_attempts` tries, sleeping the
+  /// current backoff between consecutive failures. Returns the last
+  /// attempt's status.
+  Status ReloadWithRetry(const std::string& path);
+
+  /// Failures since the last successful reload.
+  uint64_t consecutive_failures() const { return consecutive_failures_; }
+
+  /// The wait the next retry would observe (zero after a success).
+  std::chrono::milliseconds current_backoff() const;
+
+ private:
+  RecommendationService* service_;
+  SnapshotBuilder* builder_;
+  ReloaderOptions options_;
+  uint64_t consecutive_failures_ = 0;
+};
+
+}  // namespace gemrec::serving
+
+#endif  // GEMREC_SERVING_MODEL_RELOADER_H_

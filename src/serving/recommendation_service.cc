@@ -79,12 +79,17 @@ QueryResponse RecommendationService::Query(const QueryRequest& request) {
   return Submit(request).get();
 }
 
+void RecommendationService::RecordReloadFailure() {
+  reload_failures_.fetch_add(1, std::memory_order_relaxed);
+}
+
 ServiceStats RecommendationService::stats() const {
   ServiceStats s;
   s.queries = queries_.load(std::memory_order_relaxed);
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.publishes = publishes_.load(std::memory_order_relaxed);
+  s.reload_failures = reload_failures_.load(std::memory_order_relaxed);
   return s;
 }
 

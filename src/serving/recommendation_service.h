@@ -58,6 +58,11 @@ struct ServiceStats {
   uint64_t cache_hits = 0;
   uint64_t batches = 0;
   uint64_t publishes = 0;
+  /// Model reloads that failed (corrupt artifact, shape mismatch, ...)
+  /// while the service kept serving its previous snapshot. Recorded by
+  /// ModelReloader; a monitoring loop that sees this grow while
+  /// `publishes` stalls knows the artifact pipeline is wedged.
+  uint64_t reload_failures = 0;
 };
 
 /// Concurrent query front-end over an atomically swappable
@@ -112,6 +117,10 @@ class RecommendationService {
   /// Synchronous convenience wrapper (blocks the caller, not workers).
   QueryResponse Query(const QueryRequest& request);
 
+  /// Bumps the reload-failure counter. The failed reload has no other
+  /// effect on the service: the current snapshot keeps serving.
+  void RecordReloadFailure();
+
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
 
@@ -146,6 +155,7 @@ class RecommendationService {
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> publishes_{0};
+  std::atomic<uint64_t> reload_failures_{0};
 
   std::vector<std::thread> workers_;
 };

@@ -8,9 +8,16 @@ ResultCache::ResultCache(size_t capacity, size_t num_shards)
     : capacity_(capacity),
       shards_(std::max<size_t>(1, std::min(num_shards,
                                            std::max<size_t>(1, capacity)))) {
-  per_shard_capacity_ =
-      capacity_ == 0 ? 0
-                     : std::max<size_t>(1, capacity_ / shards_.size());
+  // Exact capacity split: every shard gets the floor share and the
+  // first `capacity % shards` shards absorb the remainder, so summed
+  // residency equals the configured capacity — never more (the shard
+  // count is clamped to <= capacity above, so no shard rounds up from
+  // zero), never less (no floor loss).
+  const size_t base = capacity_ / shards_.size();
+  const size_t remainder = capacity_ % shards_.size();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].capacity = base + (i < remainder ? 1 : 0);
+  }
 }
 
 bool ResultCache::Lookup(const CacheKey& key, uint64_t epoch,
@@ -38,6 +45,10 @@ void ResultCache::Insert(const CacheKey& key, uint64_t epoch,
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
+    // Never downgrade: a slow worker finishing a batch computed on a
+    // retired snapshot must not overwrite results a faster worker
+    // already cached under the live epoch.
+    if (epoch < it->second->epoch) return;
     it->second->epoch = epoch;
     it->second->items = items;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -45,7 +56,7 @@ void ResultCache::Insert(const CacheKey& key, uint64_t epoch,
   }
   shard.lru.push_front(Entry{key, epoch, items});
   shard.map[key] = shard.lru.begin();
-  while (shard.lru.size() > per_shard_capacity_) {
+  while (shard.lru.size() > shard.capacity) {
     shard.map.erase(shard.lru.back().key);
     shard.lru.pop_back();
   }

@@ -37,7 +37,10 @@ struct CacheKey {
 ///
 /// Sharding: the key hash picks one of `num_shards` independently
 /// locked shards, so concurrent workers rarely contend on the same
-/// mutex. Capacity is split evenly across shards.
+/// mutex. The shard count is clamped to `capacity`, and capacity is
+/// split exactly across shards (floor share + distributed remainder),
+/// so total residency never exceeds the configured capacity —
+/// `size() <= capacity()` is an invariant, pinned by tests.
 class ResultCache {
  public:
   /// `capacity` 0 disables the cache entirely (every Lookup misses and
@@ -50,7 +53,9 @@ class ResultCache {
               std::vector<recommend::Recommendation>* out);
 
   /// Inserts (or overwrites) the entry, evicting the shard's LRU tail
-  /// beyond capacity.
+  /// beyond capacity. An insert carrying an epoch older than the
+  /// resident entry's is dropped — a straggler from a retired snapshot
+  /// never downgrades a fresh result.
   void Insert(const CacheKey& key, uint64_t epoch,
               const std::vector<recommend::Recommendation>& items);
 
@@ -66,16 +71,27 @@ class ResultCache {
     uint64_t epoch = 0;
     std::vector<recommend::Recommendation> items;
   };
+  /// Full-avalanche finalizer (splitmix64): every output bit depends
+  /// on every input bit. Shard selection takes `hash % num_shards`, so
+  /// the LOW bits must vary with `user` — a single multiply + one
+  /// xor-shift leaves them constant across users (user sits in the
+  /// high word) and collapses the cache onto one shard.
   struct KeyHash {
     size_t operator()(const CacheKey& k) const {
-      uint64_t h = k.filter_hash;
-      h ^= (static_cast<uint64_t>(k.user) << 32) | k.n;
-      h *= 0x9e3779b97f4a7c15ULL;
-      return static_cast<size_t>(h ^ (h >> 29));
+      uint64_t h =
+          k.filter_hash ^ ((static_cast<uint64_t>(k.user) << 32) | k.n);
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+      h *= 0xc4ceb9fe1a85ec53ULL;
+      h ^= h >> 33;
+      return static_cast<size_t>(h);
     }
   };
   struct Shard {
     mutable std::mutex mu;
+    /// This shard's slice of the total capacity (floor + remainder).
+    size_t capacity = 0;
     /// Front = most recently used.
     std::list<Entry> lru;
     std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> map;
@@ -86,7 +102,6 @@ class ResultCache {
   }
 
   size_t capacity_;
-  size_t per_shard_capacity_;
   std::vector<Shard> shards_;
 };
 

@@ -57,6 +57,16 @@ class SnapshotBuilder {
     events_ = std::move(events);
   }
   const std::vector<ebsn::EventId>& event_pool() const { return events_; }
+  uint32_t num_users() const { return num_users_; }
+
+  /// Replaces the staging store wholesale — the reload path: a freshly
+  /// trained artifact loaded from disk becomes the base for the next
+  /// Build. Pending fold-ins applied since the previous reset are
+  /// discarded with the old store (they are baked into any snapshot
+  /// already built, never lost from serving).
+  void ResetStagingStore(embedding::EmbeddingStore store) {
+    staging_ = std::move(store);
+  }
 
   /// Direct access for updates not covered by the wrappers.
   embedding::EmbeddingStore* staging_store() { return &staging_; }

@@ -1,0 +1,111 @@
+#include "common/atomic_file.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace gemrec {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("gemrec_atomic_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+    path_ = (dir_ / "target.bin").string();
+  }
+  void TearDown() override {
+    AtomicFile::SetWriteLimitForTesting(-1);
+    AtomicFile::SetWriteObserverForTesting(nullptr);
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string ReadAll(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(AtomicFileTest, CommitPublishesExactBytes) {
+  auto file = AtomicFile::Create(path_);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_TRUE(file->Append("hello ", 6).ok());
+  ASSERT_TRUE(file->Append("world", 5).ok());
+  EXPECT_FALSE(fs::exists(path_)) << "visible before commit";
+  ASSERT_TRUE(file->Commit().ok());
+  EXPECT_EQ(ReadAll(path_), "hello world");
+  EXPECT_FALSE(fs::exists(file->tmp_path())) << "tmp left behind";
+}
+
+TEST_F(AtomicFileTest, AbortLeavesDestinationUntouched) {
+  { std::ofstream(path_, std::ios::binary) << "old content"; }
+  {
+    auto file = AtomicFile::Create(path_);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->Append("new content that dies", 21).ok());
+    // Destructor aborts the uncommitted write.
+  }
+  EXPECT_EQ(ReadAll(path_), "old content");
+  EXPECT_TRUE(fs::directory_iterator(dir_) != fs::directory_iterator{});
+  size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u) << "abort must unlink the temporary";
+}
+
+TEST_F(AtomicFileTest, CommitReplacesExistingFileAtomically) {
+  { std::ofstream(path_, std::ios::binary) << "version one"; }
+  auto file = AtomicFile::Create(path_);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file->Append("version two", 11).ok());
+  ASSERT_TRUE(file->Commit().ok());
+  EXPECT_EQ(ReadAll(path_), "version two");
+}
+
+TEST_F(AtomicFileTest, InjectedShortWriteFailsAndPoisons) {
+  { std::ofstream(path_, std::ios::binary) << "survivor"; }
+  AtomicFile::SetWriteLimitForTesting(4);
+  auto file = AtomicFile::Create(path_);
+  ASSERT_TRUE(file.ok());
+  const Status append = file->Append("0123456789", 10);
+  EXPECT_FALSE(append.ok());
+  EXPECT_EQ(append.code(), StatusCode::kIoError);
+  const Status commit = file->Commit();
+  EXPECT_FALSE(commit.ok()) << "commit after failed append must refuse";
+  EXPECT_EQ(ReadAll(path_), "survivor");
+  EXPECT_FALSE(fs::exists(file->tmp_path()));
+}
+
+TEST_F(AtomicFileTest, UnwritableDirectoryFailsToCreate) {
+  auto file = AtomicFile::Create("/nonexistent_dir_xyz/file.bin");
+  EXPECT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(AtomicFileTest, ObserverSeesCumulativeBytes) {
+  std::vector<size_t> seen;
+  AtomicFile::SetWriteObserverForTesting(
+      [&seen](size_t n) { seen.push_back(n); });
+  auto file = AtomicFile::Create(path_);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file->Append("ab", 2).ok());
+  ASSERT_TRUE(file->Append("cde", 3).ok());
+  AtomicFile::SetWriteObserverForTesting(nullptr);
+  ASSERT_TRUE(file->Commit().ok());
+  EXPECT_EQ(seen, (std::vector<size_t>{2, 5}));
+}
+
+}  // namespace
+}  // namespace gemrec

@@ -1,0 +1,77 @@
+#include "common/crc32c.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gemrec {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 / iSCSI reference values, shared with LevelDB's tests.
+  EXPECT_EQ(Crc32c("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32c("a", 1), 0xC1D04330u);
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  const std::vector<uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  const std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+  std::vector<uint8_t> ascending(32);
+  for (size_t i = 0; i < ascending.size(); ++i) {
+    ascending[i] = static_cast<uint8_t>(i);
+  }
+  EXPECT_EQ(Crc32c(ascending.data(), ascending.size()), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  Rng rng(7);
+  std::vector<uint8_t> buf(4097);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng.Next64());
+  const uint32_t whole = Crc32c(buf.data(), buf.size());
+  // Chunked at awkward boundaries (crossing the 8/4-byte fast paths).
+  for (const size_t cut : {size_t{1}, size_t{3}, size_t{8}, size_t{13},
+                           size_t{64}, size_t{4096}}) {
+    uint32_t crc = 0;
+    size_t offset = 0;
+    while (offset < buf.size()) {
+      const size_t n = std::min(cut, buf.size() - offset);
+      crc = ExtendCrc32c(crc, buf.data() + offset, n);
+      offset += n;
+    }
+    EXPECT_EQ(crc, whole) << "chunk size " << cut;
+  }
+}
+
+TEST(Crc32cTest, DetectsEverysingleBitFlip) {
+  std::string payload = "GEMREC02 model artifact payload";
+  const uint32_t clean = Crc32c(payload.data(), payload.size());
+  for (size_t byte = 0; byte < payload.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      payload[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32c(payload.data(), payload.size()), clean)
+          << "byte " << byte << " bit " << bit;
+      payload[byte] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+TEST(Crc32cTest, UnalignedInputsAgree) {
+  std::vector<uint8_t> buf(256 + 16);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<uint8_t>(i * 37 + 11);
+  }
+  const uint32_t base = Crc32c(buf.data() + 8, 256);
+  for (size_t shift = 0; shift < 8; ++shift) {
+    std::vector<uint8_t> copy(buf.begin() + 8, buf.begin() + 8 + 256);
+    std::vector<uint8_t> shifted(shift + 256);
+    std::memcpy(shifted.data() + shift, copy.data(), 256);
+    EXPECT_EQ(Crc32c(shifted.data() + shift, 256), base) << shift;
+  }
+}
+
+}  // namespace
+}  // namespace gemrec

@@ -119,5 +119,79 @@ TEST(OnlineUpdateTest, NoRegionStillWorksFromWordsAndTime) {
   EXPECT_GT(store->VectorOf(graph::NodeType::kEvent, 0)[0], 0.0f);
 }
 
+TEST(OnlineUpdateTest, EmptyVocabularyWithNegativesIsSafe) {
+  // Store trained without text features: word matrix has zero rows.
+  // Negative word sampling must be skipped entirely, not draw from an
+  // empty domain (UniformInt(0) is UB — this pins the regression and
+  // fails loudly under GEMREC_SANITIZE=undefined).
+  EmbeddingStore store(4, {2, 3, 2, 33, 0});
+  store.VectorOf(graph::NodeType::kLocation, 0)[0] = 1.0f;
+  NewEventSignals signals;
+  signals.region = 0;
+  signals.start_time = 1498759200;
+  OnlineUpdateOptions options;
+  ASSERT_GT(options.negatives, 0u);
+  ASSERT_TRUE(FoldInColdEvent(&store, 0, signals, options).ok());
+  const float* v = store.VectorOf(graph::NodeType::kEvent, 0);
+  for (uint32_t f = 0; f < 4; ++f) {
+    EXPECT_TRUE(std::isfinite(v[f]));
+    EXPECT_GE(v[f], 0.0f);
+  }
+}
+
+TEST(OnlineUpdateTest, FriendsOnlyUserWithEmptyEventMatrixIsSafe) {
+  // The user-side twin: no events exist at all, the new user only
+  // brings friendships. Negative event sampling must be skipped.
+  EmbeddingStore store(4, {3, 0, 1, 33, 1});
+  store.VectorOf(graph::NodeType::kUser, 1)[0] = 1.0f;
+  NewUserSignals signals;
+  signals.friends = {1};
+  OnlineUpdateOptions options;
+  ASSERT_GT(options.negatives, 0u);
+  ASSERT_TRUE(FoldInColdUser(&store, 0, signals, options).ok());
+  const float* v = store.VectorOf(graph::NodeType::kUser, 0);
+  for (uint32_t f = 0; f < 4; ++f) {
+    EXPECT_TRUE(std::isfinite(v[f]));
+    EXPECT_GE(v[f], 0.0f);
+  }
+}
+
+TEST(OnlineUpdateTest, AttendedEventIsNeverItsOwnNoise) {
+  // One event total, strongly expressed. If the fold-in ever drew the
+  // attended event as its own negative, the positive and negative
+  // gradients would cancel and the user vector would stay near zero;
+  // with the exclusion the vector must align with the event.
+  EmbeddingStore store(4, {2, 1, 1, 33, 1});
+  float* event = store.VectorOf(graph::NodeType::kEvent, 0);
+  event[0] = 2.0f;
+  event[1] = 2.0f;
+  NewUserSignals signals;
+  signals.attended_events = {0};
+  OnlineUpdateOptions options;
+  options.negatives = 4;
+  ASSERT_TRUE(FoldInColdUser(&store, 0, signals, options).ok());
+  const float* v = store.VectorOf(graph::NodeType::kUser, 0);
+  EXPECT_GT(Dot(v, event, 4), 0.5f)
+      << "positive neighbor was cancelled by itself as noise";
+}
+
+TEST(OnlineUpdateTest, EventsOwnWordsAreNeverItsNoise) {
+  // Vocabulary == the event's own words. With the exclusion the noise
+  // loop contributes nothing, so the folded event must still align
+  // with its topic instead of being repelled from it.
+  EmbeddingStore store(4, {1, 1, 1, 33, 3});
+  for (uint32_t w = 0; w < 3; ++w) {
+    store.VectorOf(graph::NodeType::kWord, w)[0] = 1.5f;
+  }
+  NewEventSignals signals;
+  for (uint32_t w = 0; w < 3; ++w) signals.words.push_back({w, 1.0f});
+  signals.start_time = 1498759200;
+  OnlineUpdateOptions options;
+  options.negatives = 4;
+  ASSERT_TRUE(FoldInColdEvent(&store, 0, signals, options).ok());
+  const float* v = store.VectorOf(graph::NodeType::kEvent, 0);
+  EXPECT_GT(v[0], 0.1f) << "own words acted as repelling noise";
+}
+
 }  // namespace
 }  // namespace gemrec::embedding

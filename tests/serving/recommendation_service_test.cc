@@ -256,6 +256,54 @@ TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_EQ(cache.size(), 4u);
 }
 
+TEST(ResultCacheTest, StaleEpochInsertNeverDowngradesFreshEntry) {
+  ResultCache cache(16, 2);
+  const CacheKey key{1, 10, 42};
+  std::vector<recommend::Recommendation> fresh{{5, 6, 2.0f}};
+  std::vector<recommend::Recommendation> stale{{9, 9, 0.1f}};
+  cache.Insert(key, /*epoch=*/3, fresh);
+  // A slow worker that acquired the snapshot before a swap finishes
+  // late and inserts results computed on the retired epoch.
+  cache.Insert(key, /*epoch=*/2, stale);
+  std::vector<recommend::Recommendation> out;
+  ASSERT_TRUE(cache.Lookup(key, 3, &out))
+      << "fresh entry was downgraded by a retired-epoch insert";
+  EXPECT_EQ(out[0].event, 5u);
+  // Equal-epoch reinsert still refreshes the entry.
+  cache.Insert(key, /*epoch=*/3, stale);
+  ASSERT_TRUE(cache.Lookup(key, 3, &out));
+  EXPECT_EQ(out[0].event, 9u);
+}
+
+TEST(ResultCacheTest, ResidencyNeverExceedsCapacity) {
+  // Capacity smaller than the requested shard count is the historical
+  // trap: a naive 1-per-shard floor would admit num_shards entries.
+  std::vector<recommend::Recommendation> items{{0, 0, 0.0f}};
+  for (const auto& [capacity, shards] :
+       std::vector<std::pair<size_t, size_t>>{
+           {1, 8}, {3, 8}, {5, 4}, {7, 3}, {16, 5}, {64, 8}}) {
+    ResultCache cache(capacity, shards);
+    for (uint32_t u = 0; u < 4 * static_cast<uint32_t>(capacity) + 32;
+         ++u) {
+      cache.Insert(CacheKey{u, 1, 0}, 1, items);
+      EXPECT_LE(cache.size(), capacity)
+          << "capacity " << capacity << " shards " << shards;
+    }
+    EXPECT_EQ(cache.capacity(), capacity);
+  }
+}
+
+TEST(ResultCacheTest, FullCapacityIsUsableAcrossShards) {
+  // The exact split (floor + remainder) must not strand capacity: with
+  // enough distinct keys the cache holds exactly `capacity` entries.
+  ResultCache cache(10, 4);
+  std::vector<recommend::Recommendation> items{{0, 0, 0.0f}};
+  for (uint32_t u = 0; u < 4096; ++u) {
+    cache.Insert(CacheKey{u, 1, 0}, 1, items);
+  }
+  EXPECT_EQ(cache.size(), 10u);
+}
+
 TEST(ResultCacheTest, ZeroCapacityDisables) {
   ResultCache cache(0, 4);
   std::vector<recommend::Recommendation> items{{1, 1, 1.0f}};
