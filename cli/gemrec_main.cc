@@ -14,11 +14,16 @@
 // bring) a dataset, inspect it, train GEM embeddings, evaluate both
 // paper tasks, and serve joint event-partner recommendations.
 
+#include <csignal>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -35,6 +40,7 @@
 #include "eval/ground_truth.h"
 #include "eval/protocol.h"
 #include "graph/graph_builder.h"
+#include "net/server.h"
 #include "recommend/explain.h"
 #include "recommend/filters.h"
 #include "recommend/recommender.h"
@@ -91,6 +97,31 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+/// SIGINT/SIGTERM plumbing for `gemrec serve`. Installed in BOTH serve
+/// modes so an interrupted run always tears down through destructors
+/// (ResultCache, snapshot refcounts, worker joins) instead of dying
+/// mid-flight: the batch mode polls g_stop between queries, the
+/// network mode additionally gets a graceful drain kick.
+std::atomic<bool> g_stop{false};
+std::atomic<net::NetServer*> g_net_server{nullptr};
+
+void HandleStopSignal(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+  if (net::NetServer* server =
+          g_net_server.load(std::memory_order_relaxed)) {
+    server->NotifyDrainFromSignal();  // async-signal-safe
+  }
+}
+
+void InstallStopHandlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleStopSignal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -109,7 +140,13 @@ int Usage() {
       "                   [--workers W] [--clients C] [--swaps S]\n"
       "                   [--n N] [--top-k K] [--reload FILE]\n"
       "                   (batch-query serving; --reload republishes\n"
-      "                   from FILE each swap, surviving corrupt files)\n");
+      "                   from FILE each swap, surviving corrupt files)\n"
+      "  gemrec serve     --data DIR --model FILE --listen HOST:PORT\n"
+      "                   [--workers W] [--max-in-flight M]\n"
+      "                   [--idle-timeout-ms MS] [--reload FILE]\n"
+      "                   [--reload-interval SEC]\n"
+      "                   (epoll TCP server speaking the framed binary\n"
+      "                   protocol; SIGINT/SIGTERM drains gracefully)\n");
   return 2;
 }
 
@@ -355,6 +392,94 @@ int CmdFoldin(const Args& args) {
   return 0;
 }
 
+/// `gemrec serve --listen host:port`: the epoll front-end over the
+/// same service/builder/reloader stack the batch mode exercises.
+/// Blocks until SIGINT/SIGTERM, then drains gracefully (stop
+/// accepting, flush in-flight responses) before tearing down.
+int ServeListen(const Args& args, const std::string& listen_spec,
+                serving::RecommendationService* service,
+                serving::SnapshotBuilder* builder) {
+  net::ServerOptions net_options;
+  uint16_t port = 0;
+  if (const Status s = net::ParseHostPort(
+          listen_spec, &net_options.listen_address, &port);
+      !s.ok()) {
+    return Fail(s.ToString());
+  }
+  net_options.port = port;
+  net_options.max_in_flight =
+      static_cast<uint32_t>(args.GetInt("max-in-flight", 256));
+  net_options.idle_timeout =
+      std::chrono::milliseconds(args.GetInt("idle-timeout-ms", 60000));
+
+  net::NetServer server(service, net_options);
+  if (const Status s = server.Start(); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  g_net_server.store(&server, std::memory_order_relaxed);
+  // A signal delivered before the server pointer was published only
+  // set g_stop; convert it into a drain now.
+  if (g_stop.load(std::memory_order_relaxed)) server.RequestDrain();
+  std::printf("listening on %s:%u (workers=%u, max-in-flight=%u); "
+              "SIGINT/SIGTERM drains and exits\n",
+              net_options.listen_address.c_str(), server.port(),
+              service->options().num_workers, net_options.max_in_flight);
+
+  // Optional freshness loop: republish from the artifact every
+  // --reload-interval seconds through the crash-safe reload path,
+  // under whatever live connections exist.
+  const auto reload_path = args.Get("reload");
+  std::thread reload_thread;
+  if (reload_path && *reload_path != "true") {
+    const auto interval =
+        std::chrono::seconds(args.GetInt("reload-interval", 30));
+    reload_thread = std::thread([&, interval] {
+      serving::ModelReloader reloader(service, builder, {});
+      auto next = std::chrono::steady_clock::now() + interval;
+      while (server.running() &&
+             !g_stop.load(std::memory_order_relaxed)) {
+        if (std::chrono::steady_clock::now() < next) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+          continue;
+        }
+        next = std::chrono::steady_clock::now() + interval;
+        if (const Status s = reloader.ReloadWithRetry(*reload_path);
+            !s.ok()) {
+          std::fprintf(stderr, "reload failed (still serving): %s\n",
+                       s.ToString().c_str());
+        }
+      }
+    });
+  }
+
+  server.WaitUntilStopped();
+  g_net_server.store(nullptr, std::memory_order_relaxed);
+  g_stop.store(true, std::memory_order_relaxed);
+  if (reload_thread.joinable()) reload_thread.join();
+  server.Stop();
+
+  const net::NetStats net_stats = server.stats();
+  const auto stats = service->stats();
+  std::printf("drained: %llu requests, %llu responses, %llu sheds, "
+              "%llu timeouts, %llu protocol errors over %llu "
+              "connections\n",
+              static_cast<unsigned long long>(net_stats.requests),
+              static_cast<unsigned long long>(net_stats.responses),
+              static_cast<unsigned long long>(net_stats.overload_sheds),
+              static_cast<unsigned long long>(net_stats.idle_timeouts +
+                                              net_stats.read_timeouts),
+              static_cast<unsigned long long>(net_stats.protocol_errors),
+              static_cast<unsigned long long>(net_stats.accepted));
+  std::printf("service: %llu queries, cache hit rate %.1f%%, %llu "
+              "epochs published, %llu reload failures\n",
+              static_cast<unsigned long long>(stats.queries),
+              100.0 * stats.cache_hits /
+                  std::max<uint64_t>(1, stats.queries),
+              static_cast<unsigned long long>(stats.publishes),
+              static_cast<unsigned long long>(stats.reload_failures));
+  return 0;
+}
+
 int CmdServe(const Args& args) {
   const auto dir = args.Get("data");
   const auto model_path = args.Get("model");
@@ -365,6 +490,11 @@ int CmdServe(const Args& args) {
   if (!world.ok()) return Fail(world.status().ToString());
   auto store = embedding::LoadEmbeddingStore(*model_path);
   if (!store.ok()) return Fail(store.status().ToString());
+
+  // Both serve modes install the handlers (an uncaught SIGINT would
+  // skip ResultCache/snapshot teardown); the batch loops below poll
+  // g_stop, the network mode drains.
+  InstallStopHandlers();
 
   const size_t queries = static_cast<size_t>(args.GetInt("queries", 2000));
   const size_t n = static_cast<size_t>(args.GetInt("n", 10));
@@ -384,6 +514,12 @@ int CmdServe(const Args& args) {
       static_cast<uint32_t>(args.GetInt("workers", 4));
   serving::RecommendationService service(service_options);
   service.Publish(builder.Build());
+
+  if (const auto listen = args.Get("listen");
+      listen && *listen != "true") {
+    return ServeListen(args, *listen, &service, &builder);
+  }
+
   std::printf("serving %zu events to %u users: workers=%u clients=%u "
               "queries=%zu swaps=%u\n",
               builder.event_pool().size(), world->dataset.num_users(),
@@ -404,6 +540,7 @@ int CmdServe(const Args& args) {
     embedding::OnlineUpdateOptions update;
     update.iterations = 50;
     for (uint32_t s = 0; s < swaps; ++s) {
+      if (g_stop.load(std::memory_order_relaxed)) return;
       const auto& attendance = world->dataset.attendances();
       const auto& a = attendance[s % attendance.size()];
       if (!builder.RecordAttendance(a.user, a.event, update).ok()) return;
@@ -420,6 +557,7 @@ int CmdServe(const Args& args) {
       auto& mine = latencies[c];
       mine.reserve(queries / clients + 1);
       for (size_t i = c; i < queries; i += clients) {
+        if (g_stop.load(std::memory_order_relaxed)) break;
         serving::QueryRequest request;
         request.user = static_cast<ebsn::UserId>(
             (i * 131) % world->dataset.num_users());
@@ -445,6 +583,7 @@ int CmdServe(const Args& args) {
   for (const auto& mine : latencies) {
     all.insert(all.end(), mine.begin(), mine.end());
   }
+  if (all.empty()) return 0;  // stopped by signal before any query
   std::sort(all.begin(), all.end());
   const auto percentile = [&](double p) {
     return all[std::min(all.size() - 1,

@@ -2,12 +2,16 @@
 # Tier-1 verification (see ROADMAP.md): default build + full ctest,
 # then a ThreadSanitizer pass over the concurrency-bearing suites
 # (thread pool / hogwild trainer / adaptive sampler / TA search /
-# serving engine snapshot-swap stress), then an UndefinedBehavior-
-# Sanitizer pass over the persistence/fault suites (serialization,
-# fault injection, online fold-in — the paths that parse untrusted
-# bytes or sample from possibly-empty domains).
+# serving engine snapshot-swap stress / network front-end), then an
+# UndefinedBehaviorSanitizer pass over the persistence/fault suites
+# (serialization, fault injection, online fold-in — the paths that
+# parse untrusted bytes or sample from possibly-empty domains).
 #
 # Usage: scripts/tier1.sh [--no-tsan] [--no-ubsan]
+#
+# The net stage talks loopback TCP only and every test server binds
+# port 0 (kernel-assigned ephemeral ports), so parallel CI jobs on one
+# host cannot collide on a port.
 #
 # The TSan stage builds into build-tsan/ with GEMREC_SANITIZE=thread
 # and runs the common/embedding/recommend test binaries under
@@ -37,12 +41,13 @@ if [[ "$RUN_TSAN" == "1" ]]; then
   echo "== tier-1: ThreadSanitizer pass (common/embedding/recommend/serving) =="
   cmake -B build-tsan -S . -DGEMREC_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$(nproc)" --target \
-    common_test embedding_test recommend_test serving_test
+    common_test embedding_test recommend_test serving_test net_test
   export TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp"
   ./build-tsan/tests/common_test
   ./build-tsan/tests/embedding_test
   ./build-tsan/tests/recommend_test
   ./build-tsan/tests/serving_test
+  ./build-tsan/tests/net_test
 fi
 
 if [[ "$RUN_UBSAN" == "1" ]]; then

@@ -1,0 +1,152 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace gemrec::net {
+namespace {
+
+timeval ToTimeval(std::chrono::milliseconds ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms.count() % 1000) * 1000);
+  return tv;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(
+    const std::string& host, uint16_t port, const ClientOptions& options) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host '" + host +
+                                   "' (numeric IPv4 expected)");
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (options.so_rcvbuf > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &options.so_rcvbuf,
+                 sizeof(options.so_rcvbuf));
+  }
+  const timeval connect_tv = ToTimeval(options.connect_timeout);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &connect_tv,
+               sizeof(connect_tv));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status s = Status::IoError(
+        std::string("connect ") + resolved + ":" + std::to_string(port) +
+        ": " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const timeval io_tv = ToTimeval(options.io_timeout);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &io_tv, sizeof(io_tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &io_tv, sizeof(io_tv));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::SendAll(const uint8_t* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w =
+        ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::IoError("send timeout");
+    }
+    return Status::IoError(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Result<Frame> Client::ReceiveFrame() {
+  Frame frame;
+  if (decoder_.Next(&frame)) return frame;
+  uint8_t buf[16 * 1024];
+  while (true) {
+    const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r == 0) {
+      return Status::IoError("connection closed by server");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IoError("receive timeout");
+      }
+      return Status::IoError(std::string("recv: ") +
+                             std::strerror(errno));
+    }
+    GEMREC_RETURN_IF_ERROR(
+        decoder_.Feed(buf, static_cast<size_t>(r)));
+    if (decoder_.Next(&frame)) return frame;
+  }
+}
+
+Status Client::Send(const serving::QueryRequest& request) {
+  std::vector<uint8_t> bytes;
+  AppendQueryRequestFrame(request, &bytes);
+  return SendAll(bytes.data(), bytes.size());
+}
+
+Result<QueryOutcome> Client::Receive() {
+  GEMREC_ASSIGN_OR_RETURN(Frame frame, ReceiveFrame());
+  QueryOutcome outcome;
+  switch (frame.type) {
+    case MessageType::kQueryResponse:
+      GEMREC_RETURN_IF_ERROR(DecodeQueryResponse(
+          frame.payload.data(), frame.payload.size(), &outcome.response));
+      outcome.ok = true;
+      return outcome;
+    case MessageType::kError:
+      GEMREC_RETURN_IF_ERROR(
+          DecodeError(frame.payload.data(), frame.payload.size(),
+                      &outcome.error, &outcome.error_message));
+      outcome.ok = false;
+      return outcome;
+    default:
+      return Status::Internal("unexpected frame type " +
+                              std::to_string(static_cast<int>(frame.type)));
+  }
+}
+
+Result<QueryOutcome> Client::Query(const serving::QueryRequest& request) {
+  GEMREC_RETURN_IF_ERROR(Send(request));
+  return Receive();
+}
+
+Status Client::Ping() {
+  std::vector<uint8_t> bytes;
+  AppendFrame(MessageType::kPing, nullptr, 0, &bytes);
+  GEMREC_RETURN_IF_ERROR(SendAll(bytes.data(), bytes.size()));
+  GEMREC_ASSIGN_OR_RETURN(Frame frame, ReceiveFrame());
+  if (frame.type != MessageType::kPong) {
+    return Status::Internal("expected pong");
+  }
+  return Status::Ok();
+}
+
+}  // namespace gemrec::net

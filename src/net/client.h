@@ -1,0 +1,79 @@
+#ifndef GEMREC_NET_CLIENT_H_
+#define GEMREC_NET_CLIENT_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/wire.h"
+#include "serving/recommendation_service.h"
+
+namespace gemrec::net {
+
+struct ClientOptions {
+  std::chrono::milliseconds connect_timeout{5000};
+  /// Per-recv/send timeout; a stalled server turns into an IoError
+  /// instead of a hang.
+  std::chrono::milliseconds io_timeout{5000};
+  /// SO_RCVBUF before connect; 0 keeps the kernel default. Tests
+  /// shrink it to act as a deliberately slow reader.
+  int so_rcvbuf = 0;
+};
+
+/// One application-level reply: either a query response or a typed
+/// server error (e.g. kOverloaded from admission control). Transport
+/// and protocol failures surface as Status errors instead.
+struct QueryOutcome {
+  bool ok = false;
+  serving::QueryResponse response;  // valid when ok
+  ErrorCode error = ErrorCode::kInternal;  // valid when !ok
+  std::string error_message;
+};
+
+/// Blocking client for the wire.h protocol — the reference peer used
+/// by tests, the bench load generator, and one-liner scripting against
+/// `gemrec serve --listen`. One socket, strictly request/response;
+/// Send/Receive are split so callers can pipeline several requests
+/// before reading replies (responses arrive in request order).
+///
+/// Not thread-safe: one thread per client (open one client per
+/// connection, as bench/net_throughput does).
+class Client {
+ public:
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, uint16_t port,
+      const ClientOptions& options = {});
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send + Receive in one call.
+  Result<QueryOutcome> Query(const serving::QueryRequest& request);
+
+  /// Writes one request frame (pipelining half).
+  Status Send(const serving::QueryRequest& request);
+
+  /// Reads the next response/error frame.
+  Result<QueryOutcome> Receive();
+
+  /// Round-trips a ping frame (health check).
+  Status Ping();
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  Status SendAll(const uint8_t* data, size_t n);
+  /// Blocks until one complete frame is decoded.
+  Result<Frame> ReceiveFrame();
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace gemrec::net
+
+#endif  // GEMREC_NET_CLIENT_H_

@@ -1,0 +1,80 @@
+#ifndef GEMREC_NET_NET_STATS_H_
+#define GEMREC_NET_NET_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gemrec::net {
+
+/// Monotonic counters of the network front-end, the socket-level
+/// sibling of serving::ServiceStats. Snapshot via NetServer::stats().
+struct NetStats {
+  uint64_t accepted = 0;
+  uint64_t active_connections = 0;
+  uint64_t requests = 0;   // CRC-clean query frames decoded
+  uint64_t responses = 0;  // response frames queued for write
+  /// Requests answered with a typed OVERLOADED error because the
+  /// in-flight budget or the service queue was saturated.
+  uint64_t overload_sheds = 0;
+  /// Requests refused with SHUTTING_DOWN while draining.
+  uint64_t drain_rejects = 0;
+  uint64_t bad_requests = 0;      // decodable frame, bogus payload
+  uint64_t protocol_errors = 0;   // connection killed by FrameDecoder
+  uint64_t idle_timeouts = 0;     // closed: silent past idle_timeout
+  uint64_t read_timeouts = 0;     // closed: partial frame past read_timeout
+  /// Closed because the peer stopped reading and the connection's
+  /// write buffer exceeded max_write_buffer.
+  uint64_t slow_reader_disconnects = 0;
+  /// Responses completed after their connection was already gone.
+  uint64_t orphaned_responses = 0;
+  uint64_t bytes_received = 0;
+  uint64_t bytes_sent = 0;
+};
+
+namespace internal {
+
+/// Atomic backing for NetStats: the event-loop thread and service
+/// workers bump these concurrently with readers snapshotting them.
+struct AtomicNetStats {
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> active_connections{0};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> responses{0};
+  std::atomic<uint64_t> overload_sheds{0};
+  std::atomic<uint64_t> drain_rejects{0};
+  std::atomic<uint64_t> bad_requests{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> idle_timeouts{0};
+  std::atomic<uint64_t> read_timeouts{0};
+  std::atomic<uint64_t> slow_reader_disconnects{0};
+  std::atomic<uint64_t> orphaned_responses{0};
+  std::atomic<uint64_t> bytes_received{0};
+  std::atomic<uint64_t> bytes_sent{0};
+
+  NetStats Snapshot() const {
+    NetStats s;
+    s.accepted = accepted.load(std::memory_order_relaxed);
+    s.active_connections =
+        active_connections.load(std::memory_order_relaxed);
+    s.requests = requests.load(std::memory_order_relaxed);
+    s.responses = responses.load(std::memory_order_relaxed);
+    s.overload_sheds = overload_sheds.load(std::memory_order_relaxed);
+    s.drain_rejects = drain_rejects.load(std::memory_order_relaxed);
+    s.bad_requests = bad_requests.load(std::memory_order_relaxed);
+    s.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
+    s.idle_timeouts = idle_timeouts.load(std::memory_order_relaxed);
+    s.read_timeouts = read_timeouts.load(std::memory_order_relaxed);
+    s.slow_reader_disconnects =
+        slow_reader_disconnects.load(std::memory_order_relaxed);
+    s.orphaned_responses =
+        orphaned_responses.load(std::memory_order_relaxed);
+    s.bytes_received = bytes_received.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_sent.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+}  // namespace internal
+}  // namespace gemrec::net
+
+#endif  // GEMREC_NET_NET_STATS_H_

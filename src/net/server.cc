@@ -1,0 +1,521 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gemrec::net {
+namespace {
+
+constexpr uint64_t kListenTag = 1;
+constexpr int kListenBacklog = 512;
+/// Upper bound on one Poll sleep so gauge-style bookkeeping (timeout
+/// sweeps, drain progress) never stalls for long.
+constexpr int kMaxPollMs = 500;
+
+int ToMillisCeil(std::chrono::steady_clock::duration d) {
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(d).count();
+  return static_cast<int>(std::max<int64_t>(0, ms)) +
+         (d > std::chrono::milliseconds(ms) ? 1 : 0);
+}
+
+}  // namespace
+
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 == spec.size()) {
+    return Status::InvalidArgument("expected host:port, got '" + spec +
+                                   "'");
+  }
+  *host = spec.substr(0, colon);
+  if (host->empty()) *host = "127.0.0.1";
+  char* end = nullptr;
+  const unsigned long value =  // NOLINT(runtime/int)
+      std::strtoul(spec.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || value > 65535) {
+    return Status::InvalidArgument("invalid port in '" + spec + "'");
+  }
+  *port = static_cast<uint16_t>(value);
+  return Status::Ok();
+}
+
+NetServer::NetServer(serving::RecommendationService* service,
+                     const ServerOptions& options)
+    : service_(service), options_(options) {
+  GEMREC_CHECK(service_ != nullptr);
+  options_.max_in_flight = std::max(1u, options_.max_in_flight);
+  options_.max_service_saturation =
+      std::max<size_t>(1, options_.max_service_saturation);
+}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  GEMREC_CHECK(!started_) << "NetServer started twice";
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.listen_address.c_str(),
+                  &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address '" +
+                                   options_.listen_address + "'");
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  // Ephemeral binds (port 0) cannot collide; fixed ports get a bounded
+  // EADDRINUSE retry so a restart over a TIME_WAIT remnant succeeds.
+  Status bind_status;
+  for (uint32_t attempt = 0;; ++attempt) {
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) == 0) {
+      bind_status = Status::Ok();
+      break;
+    }
+    bind_status =
+        Status::IoError(std::string("bind ") + options_.listen_address +
+                        ":" + std::to_string(options_.port) + ": " +
+                        std::strerror(errno));
+    if (errno != EADDRINUSE || options_.port == 0 ||
+        attempt >= options_.bind_retries) {
+      break;
+    }
+    std::this_thread::sleep_for(options_.bind_retry_delay);
+  }
+  if (!bind_status.ok()) {
+    ::close(fd);
+    return bind_status;
+  }
+  if (::listen(fd, kListenBacklog) != 0) {
+    const Status s =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  GEMREC_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+                             &bound_len) == 0);
+  bound_port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  loop_.Add(listen_fd_, EPOLLIN, kListenTag);
+
+  completions_ = std::make_shared<CompletionQueue>();
+  completions_->loop = &loop_;
+
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void NetServer::RequestDrain() {
+  drain_requested_.store(true, std::memory_order_relaxed);
+  loop_.Wakeup();
+}
+
+void NetServer::NotifyDrainFromSignal() {
+  // Only async-signal-safe operations: a lock-free atomic store and an
+  // eventfd write inside Wakeup.
+  drain_requested_.store(true, std::memory_order_relaxed);
+  loop_.Wakeup();
+}
+
+void NetServer::WaitUntilStopped() {
+  std::unique_lock<std::mutex> lock(lifecycle_mu_);
+  stopped_cv_.wait(lock, [this] {
+    return !started_ || !running_.load(std::memory_order_acquire);
+  });
+}
+
+void NetServer::Stop() {
+  if (!started_) return;
+  RequestDrain();
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+NetServer::Connection* NetServer::FindConnection(uint64_t id) {
+  const auto it = connections_.find(id);
+  return it == connections_.end() ? nullptr : it->second.get();
+}
+
+void NetServer::Loop() {
+  std::vector<epoll_event> events;
+  while (true) {
+    auto now = std::chrono::steady_clock::now();
+    if (drain_requested_.load(std::memory_order_relaxed) && !draining_) {
+      EnterDrain(now);
+    }
+    if (draining_ &&
+        (connections_.empty() || now >= drain_deadline_)) {
+      break;
+    }
+
+    const int n = loop_.Poll(PollTimeoutMs(now), &events);
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == EventLoop::kWakeupTag) {
+        loop_.DrainWakeup();
+        continue;
+      }
+      if (tag == kListenTag) {
+        HandleAccept();
+        continue;
+      }
+      Connection* conn = reinterpret_cast<Connection*>(tag);
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) conn->dead = true;
+      if (!conn->dead && (events[i].events & EPOLLIN)) {
+        HandleReadable(conn);
+      }
+      if (!conn->dead && (events[i].events & EPOLLOUT)) {
+        FlushWrites(conn);
+      }
+      if (conn->dead) {
+        CloseConnection(conn);
+      } else {
+        UpdateInterest(conn);
+      }
+    }
+    DrainCompletions();
+    SweepTimeouts(std::chrono::steady_clock::now());
+  }
+
+  // Teardown: cut surviving connections (drain deadline passed or all
+  // work flushed), close the completion channel so late worker
+  // callbacks become no-ops, then announce the stop.
+  std::vector<uint64_t> ids;
+  ids.reserve(connections_.size());
+  for (const auto& [id, conn] : connections_) ids.push_back(id);
+  for (const uint64_t id : ids) {
+    if (Connection* conn = FindConnection(id)) CloseConnection(conn);
+  }
+  {
+    std::lock_guard<std::mutex> lock(completions_->mu);
+    completions_->closed = true;
+    completions_->loop = nullptr;
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    running_.store(false, std::memory_order_release);
+  }
+  stopped_cv_.notify_all();
+}
+
+void NetServer::EnterDrain(std::chrono::steady_clock::time_point now) {
+  draining_ = true;
+  drain_deadline_ = now + options_.drain_timeout;
+  if (listen_fd_ >= 0) {
+    loop_.Del(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Stop reading everywhere; in-flight responses still flush. Idle
+  // connections fall to the sweep immediately below.
+  for (const auto& [id, conn] : connections_) {
+    conn->draining = true;
+    UpdateInterest(conn.get());
+  }
+  SweepTimeouts(now);
+}
+
+void NetServer::HandleAccept() {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr,
+                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // EAGAIN (drained) or transient failure: try next round
+    }
+    if (connections_.size() >= options_.max_connections) {
+      GEMREC_LOG(Warning) << "connection limit "
+                          << options_.max_connections
+                          << " reached; refusing fd " << fd;
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.so_sndbuf > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                   sizeof(options_.so_sndbuf));
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    conn->last_activity = std::chrono::steady_clock::now();
+    conn->interest = EPOLLIN;
+    loop_.Add(fd, EPOLLIN, reinterpret_cast<uint64_t>(conn.get()));
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_.active_connections.fetch_add(1, std::memory_order_relaxed);
+    connections_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void NetServer::HandleReadable(Connection* conn) {
+  uint8_t buf[64 * 1024];
+  const auto now = std::chrono::steady_clock::now();
+  while (!conn->dead && !conn->draining) {
+    const ssize_t r = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (r == 0) {  // peer closed its write half
+      conn->dead = true;
+      break;
+    }
+    if (r < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      conn->dead = true;
+      break;
+    }
+    stats_.bytes_received.fetch_add(static_cast<uint64_t>(r),
+                                    std::memory_order_relaxed);
+    conn->last_activity = now;
+    if (const Status s =
+            conn->decoder.Feed(buf, static_cast<size_t>(r));
+        !s.ok()) {
+      GEMREC_LOG(Debug) << "protocol error on conn " << conn->id << ": "
+                        << s.ToString();
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      conn->dead = true;
+      break;
+    }
+    Frame frame;
+    while (!conn->dead && !conn->draining &&
+           conn->decoder.Next(&frame)) {
+      HandleFrame(conn, frame);
+    }
+    if (r < static_cast<ssize_t>(sizeof(buf))) break;  // socket drained
+  }
+  // Read-timeout anchor: a partial frame's clock starts when its first
+  // bytes arrive and resets once the frame completes.
+  if (!conn->dead && conn->decoder.mid_frame()) {
+    if (!conn->has_partial) {
+      conn->has_partial = true;
+      conn->partial_since = now;
+    }
+  } else {
+    conn->has_partial = false;
+  }
+}
+
+void NetServer::HandleFrame(Connection* conn, const Frame& frame) {
+  switch (frame.type) {
+    case MessageType::kPing: {
+      AppendFrame(MessageType::kPong, nullptr, 0, &conn->write_buf);
+      AfterQueue(conn);
+      return;
+    }
+    case MessageType::kQueryRequest: {
+      stats_.requests.fetch_add(1, std::memory_order_relaxed);
+      if (draining_) {
+        stats_.drain_rejects.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, ErrorCode::kShuttingDown, "server draining");
+        return;
+      }
+      serving::QueryRequest request;
+      if (const Status s = DecodeQueryRequest(
+              frame.payload.data(), frame.payload.size(), &request);
+          !s.ok()) {
+        stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, ErrorCode::kBadRequest, s.message());
+        return;
+      }
+      // Admission control: the server's own budget of unanswered
+      // requests, then the service's real saturation gauges. Both
+      // gates shed with a typed error the client sees immediately —
+      // the request never enters a queue it would wait in unboundedly.
+      if (total_in_flight_ >= options_.max_in_flight ||
+          service_->QueueDepth() + service_->InFlight() >=
+              options_.max_service_saturation) {
+        stats_.overload_sheds.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, ErrorCode::kOverloaded, "server overloaded");
+        return;
+      }
+      ++total_in_flight_;
+      ++conn->in_flight;
+      const uint64_t conn_id = conn->id;
+      std::shared_ptr<CompletionQueue> cq = completions_;
+      service_->SubmitAsync(
+          request, [cq, conn_id](serving::QueryResponse response) {
+            std::lock_guard<std::mutex> lock(cq->mu);
+            if (cq->closed) return;
+            const bool was_empty = cq->items.empty();
+            cq->items.emplace_back(conn_id, std::move(response));
+            // One wakeup per burst: later completions piggyback on the
+            // pending eventfd tick.
+            if (was_empty && cq->loop != nullptr) cq->loop->Wakeup();
+          });
+      return;
+    }
+    case MessageType::kQueryResponse:
+    case MessageType::kPong:
+    case MessageType::kError:
+      break;
+  }
+  stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+  SendError(conn, ErrorCode::kBadRequest, "unexpected message type");
+}
+
+void NetServer::SendError(Connection* conn, ErrorCode code,
+                          std::string_view msg) {
+  AppendErrorFrame(code, msg, &conn->write_buf);
+  AfterQueue(conn);
+}
+
+void NetServer::AfterQueue(Connection* conn) {
+  FlushWrites(conn);
+  if (!conn->dead && conn->pending_write() > options_.max_write_buffer) {
+    stats_.slow_reader_disconnects.fetch_add(1,
+                                             std::memory_order_relaxed);
+    conn->dead = true;
+  }
+}
+
+void NetServer::FlushWrites(Connection* conn) {
+  while (conn->pending_write() > 0) {
+    const ssize_t w =
+        ::send(conn->fd, conn->write_buf.data() + conn->write_pos,
+               conn->pending_write(), MSG_NOSIGNAL);
+    if (w > 0) {
+      conn->write_pos += static_cast<size_t>(w);
+      stats_.bytes_sent.fetch_add(static_cast<uint64_t>(w),
+                                  std::memory_order_relaxed);
+      conn->last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (w < 0 && errno == EINTR) continue;
+    conn->dead = true;  // EPIPE/ECONNRESET/...
+    return;
+  }
+  if (conn->write_pos == conn->write_buf.size()) {
+    conn->write_buf.clear();
+    conn->write_pos = 0;
+  } else if (conn->write_pos > (64u << 10)) {
+    conn->write_buf.erase(
+        conn->write_buf.begin(),
+        conn->write_buf.begin() + static_cast<ptrdiff_t>(conn->write_pos));
+    conn->write_pos = 0;
+  }
+}
+
+void NetServer::DrainCompletions() {
+  std::vector<std::pair<uint64_t, serving::QueryResponse>> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_->mu);
+    batch.swap(completions_->items);
+  }
+  for (auto& [conn_id, response] : batch) {
+    GEMREC_CHECK(total_in_flight_ > 0);
+    --total_in_flight_;
+    Connection* conn = FindConnection(conn_id);
+    if (conn == nullptr || conn->dead) {
+      // The connection died (timeout, slow reader, protocol error)
+      // while its request was being served.
+      stats_.orphaned_responses.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    GEMREC_CHECK(conn->in_flight > 0);
+    --conn->in_flight;
+    AppendQueryResponseFrame(response, &conn->write_buf);
+    stats_.responses.fetch_add(1, std::memory_order_relaxed);
+    AfterQueue(conn);
+    if (conn->dead) {
+      CloseConnection(conn);
+    } else {
+      UpdateInterest(conn);
+    }
+  }
+}
+
+void NetServer::SweepTimeouts(std::chrono::steady_clock::time_point now) {
+  std::vector<uint64_t> doomed;
+  for (const auto& [id, conn] : connections_) {
+    if (conn->dead) {
+      doomed.push_back(id);
+      continue;
+    }
+    if (conn->draining) {
+      // Drain completion for this connection: everything answered and
+      // flushed — or the peer gets cut at the global drain deadline.
+      if (conn->in_flight == 0 && conn->pending_write() == 0) {
+        doomed.push_back(id);
+      }
+      continue;
+    }
+    if (conn->has_partial &&
+        now - conn->partial_since >= options_.read_timeout) {
+      stats_.read_timeouts.fetch_add(1, std::memory_order_relaxed);
+      doomed.push_back(id);
+      continue;
+    }
+    if (!conn->has_partial && conn->in_flight == 0 &&
+        conn->pending_write() == 0 &&
+        now - conn->last_activity >= options_.idle_timeout) {
+      stats_.idle_timeouts.fetch_add(1, std::memory_order_relaxed);
+      doomed.push_back(id);
+    }
+  }
+  for (const uint64_t id : doomed) {
+    if (Connection* conn = FindConnection(id)) CloseConnection(conn);
+  }
+}
+
+int NetServer::PollTimeoutMs(
+    std::chrono::steady_clock::time_point now) const {
+  auto deadline = now + std::chrono::milliseconds(kMaxPollMs);
+  for (const auto& [id, conn] : connections_) {
+    if (conn->draining) continue;
+    if (conn->has_partial) {
+      deadline =
+          std::min(deadline, conn->partial_since + options_.read_timeout);
+    } else if (conn->in_flight == 0 && conn->pending_write() == 0) {
+      deadline =
+          std::min(deadline, conn->last_activity + options_.idle_timeout);
+    }
+  }
+  if (draining_) deadline = std::min(deadline, drain_deadline_);
+  return std::min(kMaxPollMs, ToMillisCeil(deadline - now));
+}
+
+void NetServer::UpdateInterest(Connection* conn) {
+  uint32_t want = 0;
+  if (!conn->draining) want |= EPOLLIN;
+  if (conn->pending_write() > 0) want |= EPOLLOUT;
+  if (want != conn->interest) {
+    loop_.Mod(conn->fd, want, reinterpret_cast<uint64_t>(conn));
+    conn->interest = want;
+  }
+}
+
+void NetServer::CloseConnection(Connection* conn) {
+  loop_.Del(conn->fd);
+  ::close(conn->fd);
+  stats_.active_connections.fetch_sub(1, std::memory_order_relaxed);
+  connections_.erase(conn->id);  // destroys *conn
+}
+
+}  // namespace gemrec::net

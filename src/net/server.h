@@ -1,0 +1,199 @@
+#ifndef GEMREC_NET_SERVER_H_
+#define GEMREC_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/event_loop.h"
+#include "net/net_stats.h"
+#include "net/wire.h"
+#include "serving/recommendation_service.h"
+
+namespace gemrec::net {
+
+struct ServerOptions {
+  /// IPv4 address to bind; tests and the bench use 127.0.0.1.
+  std::string listen_address = "127.0.0.1";
+  /// 0 asks the kernel for an ephemeral port (collision-free by
+  /// construction — the CI-safe default; read it back via port()).
+  uint16_t port = 0;
+  /// Fixed-port binds retry EADDRINUSE this many times before failing,
+  /// so a just-restarted server survives a lingering TIME_WAIT socket.
+  uint32_t bind_retries = 5;
+  std::chrono::milliseconds bind_retry_delay{200};
+
+  uint32_t max_connections = 1024;
+  /// Admission budget: requests accepted onto the service but not yet
+  /// answered, across all connections. Beyond it, requests are shed
+  /// with a typed OVERLOADED error instead of queueing unboundedly.
+  uint32_t max_in_flight = 256;
+  /// Second admission gate: shed when the service itself reports this
+  /// much saturation (queue depth + in-flight) — real backpressure
+  /// from ServiceStats, not a guess.
+  size_t max_service_saturation = 1024;
+  /// Per-connection write-buffer cap. A peer that stops reading while
+  /// responses accumulate past this is disconnected (slow-reader
+  /// protection) rather than ballooning server memory.
+  size_t max_write_buffer = 1 << 20;
+  /// A peer that starts a frame must finish it within this window.
+  std::chrono::milliseconds read_timeout{2000};
+  /// Connections with nothing pending are closed after this silence.
+  std::chrono::milliseconds idle_timeout{60000};
+  /// Graceful-drain budget: after a drain request, in-flight responses
+  /// get this long to flush before remaining connections are cut.
+  std::chrono::milliseconds drain_timeout{5000};
+  /// SO_SNDBUF for accepted sockets; 0 keeps the kernel default.
+  /// Tests shrink it to provoke the slow-reader path deterministically.
+  int so_sndbuf = 0;
+};
+
+/// Epoll-based TCP front-end for RecommendationService: one event-loop
+/// thread multiplexes an acceptor plus every connection, speaking the
+/// wire.h framed protocol. Decoded queries bridge into
+/// RecommendationService::SubmitAsync; completions hop back to the
+/// loop thread through a wakeup queue and are flushed as response
+/// frames. The loop never blocks on the service and workers never
+/// touch a socket.
+///
+/// Overload behaviour is fail-fast by design: admission control (the
+/// in-flight budget plus the service's own saturation gauges) sheds
+/// excess requests with typed OVERLOADED errors, partial frames and
+/// silent connections are timed out, and peers that stop reading are
+/// disconnected once their write buffer hits the cap. A saturated
+/// server therefore answers or closes within the read timeout — it
+/// never queues unboundedly.
+///
+/// Shutdown: RequestDrain (or the async-signal-safe
+/// NotifyDrainFromSignal) stops the acceptor, lets in-flight requests
+/// finish and their responses flush (bounded by drain_timeout), then
+/// the loop exits. WaitUntilStopped blocks until then; Stop also
+/// joins the thread.
+class NetServer {
+ public:
+  /// `service` must outlive the server.
+  NetServer(serving::RecommendationService* service,
+            const ServerOptions& options);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds + listens + starts the event-loop thread.
+  Status Start();
+
+  /// Bound port (after a successful Start; resolves port 0 requests).
+  uint16_t port() const { return bound_port_; }
+
+  /// Begins graceful drain: stop accepting, refuse new work with
+  /// SHUTTING_DOWN, flush in-flight responses, then stop.
+  void RequestDrain();
+
+  /// Async-signal-safe drain trigger for SIGINT/SIGTERM handlers.
+  void NotifyDrainFromSignal();
+
+  /// Blocks until the event loop has exited (drain complete).
+  void WaitUntilStopped();
+
+  /// RequestDrain + join. Idempotent; also called by the destructor.
+  void Stop();
+
+  bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  NetStats stats() const { return stats_.Snapshot(); }
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    FrameDecoder decoder;
+    /// Pending outbound bytes ([write_pos, buf.size()) unsent).
+    std::vector<uint8_t> write_buf;
+    size_t write_pos = 0;
+    size_t pending_write() const { return write_buf.size() - write_pos; }
+    /// Requests submitted to the service, responses not yet queued.
+    uint32_t in_flight = 0;
+    uint32_t interest = 0;    // currently registered epoll mask
+    bool draining = false;    // no further reads; close once flushed
+    /// Doomed: torn down by the dispatcher at a safe point (never
+    /// mid-callstack, so no use-after-free inside frame handling).
+    bool dead = false;
+    std::chrono::steady_clock::time_point last_activity;
+    /// Set while decoder.mid_frame(): when the current partial frame
+    /// started arriving (read-timeout anchor).
+    std::chrono::steady_clock::time_point partial_since;
+    bool has_partial = false;
+  };
+
+  /// Completed service responses travel worker -> loop through this
+  /// shared queue. shared_ptr-owned so a response that completes after
+  /// the server died is dropped safely instead of touching freed
+  /// state.
+  struct CompletionQueue {
+    std::mutex mu;
+    std::vector<std::pair<uint64_t, serving::QueryResponse>> items;
+    bool closed = false;
+    EventLoop* loop = nullptr;  // null once closed
+  };
+
+  void Loop();
+  void EnterDrain(std::chrono::steady_clock::time_point now);
+  void HandleAccept();
+  void HandleReadable(Connection* conn);
+  void HandleFrame(Connection* conn, const Frame& frame);
+  void SendError(Connection* conn, ErrorCode code, std::string_view msg);
+  /// Flush + slow-reader cap check after any frame lands in write_buf.
+  void AfterQueue(Connection* conn);
+  void FlushWrites(Connection* conn);
+  void DrainCompletions();
+  void SweepTimeouts(std::chrono::steady_clock::time_point now);
+  int PollTimeoutMs(std::chrono::steady_clock::time_point now) const;
+  void UpdateInterest(Connection* conn);
+  void CloseConnection(Connection* conn);
+  Connection* FindConnection(uint64_t id);
+
+  serving::RecommendationService* service_;
+  ServerOptions options_;
+  EventLoop loop_;
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_conn_id_ = 1;
+  /// Loop-thread-only: total requests inside the service on behalf of
+  /// this server (the admission budget's numerator).
+  uint32_t total_in_flight_ = 0;
+
+  std::shared_ptr<CompletionQueue> completions_;
+
+  std::atomic<bool> drain_requested_{false};
+  bool draining_ = false;
+  std::chrono::steady_clock::time_point drain_deadline_;
+
+  internal::AtomicNetStats stats_;
+
+  std::atomic<bool> running_{false};
+  std::mutex lifecycle_mu_;
+  std::condition_variable stopped_cv_;
+  std::thread loop_thread_;
+  bool started_ = false;
+};
+
+/// Splits "host:port" (host may be empty -> 127.0.0.1). Fails on a
+/// missing/invalid port.
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port);
+
+}  // namespace gemrec::net
+
+#endif  // GEMREC_NET_SERVER_H_

@@ -1,0 +1,257 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/logging.h"
+
+namespace gemrec::net {
+namespace {
+
+void PutU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+uint32_t FloatBits(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+float BitsFloat(uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+constexpr uint8_t kRequestFlagBypassCache = 1u << 0;
+constexpr uint8_t kResponseFlagCacheHit = 1u << 0;
+constexpr size_t kQueryRequestPayload = 17;   // user, n, filter_hash, flags
+constexpr size_t kQueryResponseFixed = 13;    // epoch, flags, count
+constexpr size_t kQueryResponseStride = 12;   // event, partner, score
+constexpr size_t kErrorFixed = 2;             // code; message is the rest
+
+}  // namespace
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOverloaded: return "Overloaded";
+    case ErrorCode::kBadRequest: return "BadRequest";
+    case ErrorCode::kShuttingDown: return "ShuttingDown";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+void AppendFrame(MessageType type, const uint8_t* payload, size_t n,
+                 std::vector<uint8_t>* out) {
+  GEMREC_CHECK(n <= kMaxPayload)
+      << "frame payload " << n << " exceeds kMaxPayload";
+  const size_t start = out->size();
+  out->reserve(start + kHeaderSize + n + kTrailerSize);
+  PutU32(kMagic, out);
+  out->push_back(kWireVersion);
+  out->push_back(static_cast<uint8_t>(type));
+  PutU16(0, out);  // reserved
+  PutU32(static_cast<uint32_t>(n), out);
+  if (n > 0) out->insert(out->end(), payload, payload + n);
+  const uint32_t crc = Crc32c(out->data() + start, kHeaderSize + n);
+  PutU32(crc, out);
+}
+
+std::vector<uint8_t> EncodeFrame(MessageType type,
+                                 const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  AppendFrame(type, payload.data(), payload.size(), &out);
+  return out;
+}
+
+void AppendQueryRequestFrame(const serving::QueryRequest& request,
+                             std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  payload.reserve(kQueryRequestPayload);
+  PutU32(request.user, &payload);
+  PutU32(request.n, &payload);
+  PutU64(request.filter_hash, &payload);
+  payload.push_back(request.bypass_cache ? kRequestFlagBypassCache : 0);
+  AppendFrame(MessageType::kQueryRequest, payload.data(), payload.size(),
+              out);
+}
+
+Status DecodeQueryRequest(const uint8_t* payload, size_t n,
+                          serving::QueryRequest* out) {
+  if (n != kQueryRequestPayload) {
+    return Status::InvalidArgument("query request payload must be " +
+                                   std::to_string(kQueryRequestPayload) +
+                                   " bytes, got " + std::to_string(n));
+  }
+  out->user = GetU32(payload);
+  out->n = GetU32(payload + 4);
+  out->filter_hash = GetU64(payload + 8);
+  const uint8_t flags = payload[16];
+  if ((flags & ~kRequestFlagBypassCache) != 0) {
+    return Status::InvalidArgument("unknown query request flags");
+  }
+  out->bypass_cache = (flags & kRequestFlagBypassCache) != 0;
+  if (out->n == 0 || out->n > kMaxTopN) {
+    return Status::InvalidArgument("query n must be in [1, " +
+                                   std::to_string(kMaxTopN) + "], got " +
+                                   std::to_string(out->n));
+  }
+  return Status::Ok();
+}
+
+void AppendQueryResponseFrame(const serving::QueryResponse& response,
+                              std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  payload.reserve(kQueryResponseFixed +
+                  kQueryResponseStride * response.items.size());
+  PutU64(response.epoch, &payload);
+  payload.push_back(response.cache_hit ? kResponseFlagCacheHit : 0);
+  PutU32(static_cast<uint32_t>(response.items.size()), &payload);
+  for (const recommend::Recommendation& item : response.items) {
+    PutU32(item.event, &payload);
+    PutU32(item.partner, &payload);
+    PutU32(FloatBits(item.score), &payload);
+  }
+  AppendFrame(MessageType::kQueryResponse, payload.data(), payload.size(),
+              out);
+}
+
+Status DecodeQueryResponse(const uint8_t* payload, size_t n,
+                           serving::QueryResponse* out) {
+  if (n < kQueryResponseFixed) {
+    return Status::InvalidArgument("query response payload too short");
+  }
+  out->epoch = GetU64(payload);
+  const uint8_t flags = payload[8];
+  if ((flags & ~kResponseFlagCacheHit) != 0) {
+    return Status::InvalidArgument("unknown query response flags");
+  }
+  out->cache_hit = (flags & kResponseFlagCacheHit) != 0;
+  const uint32_t count = GetU32(payload + 9);
+  if (n != kQueryResponseFixed + kQueryResponseStride * size_t{count}) {
+    return Status::InvalidArgument("query response length mismatch");
+  }
+  out->items.clear();
+  out->items.reserve(count);
+  const uint8_t* p = payload + kQueryResponseFixed;
+  for (uint32_t i = 0; i < count; ++i, p += kQueryResponseStride) {
+    out->items.push_back(recommend::Recommendation{
+        GetU32(p), GetU32(p + 4), BitsFloat(GetU32(p + 8))});
+  }
+  out->stats = {};
+  return Status::Ok();
+}
+
+void AppendErrorFrame(ErrorCode code, std::string_view message,
+                      std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  payload.reserve(kErrorFixed + message.size());
+  PutU16(static_cast<uint16_t>(code), &payload);
+  payload.insert(payload.end(), message.begin(), message.end());
+  AppendFrame(MessageType::kError, payload.data(), payload.size(), out);
+}
+
+Status DecodeError(const uint8_t* payload, size_t n, ErrorCode* code,
+                   std::string* message) {
+  if (n < kErrorFixed) {
+    return Status::InvalidArgument("error payload too short");
+  }
+  *code = static_cast<ErrorCode>(GetU16(payload));
+  message->assign(reinterpret_cast<const char*>(payload) + kErrorFixed,
+                  n - kErrorFixed);
+  return Status::Ok();
+}
+
+Status FrameDecoder::Feed(const uint8_t* data, size_t n) {
+  if (!error_.ok()) return error_;
+  buffer_.insert(buffer_.end(), data, data + n);
+  error_ = Parse();
+  return error_;
+}
+
+bool FrameDecoder::Next(Frame* out) {
+  if (frames_.empty()) return false;
+  *out = std::move(frames_.front());
+  frames_.pop_front();
+  return true;
+}
+
+Status FrameDecoder::Parse() {
+  while (true) {
+    const size_t avail = buffer_.size() - pos_;
+    if (avail < kHeaderSize) break;
+    const uint8_t* header = buffer_.data() + pos_;
+    // Validate the header the moment it is complete — a corrupted
+    // length field must not make the decoder wait for megabytes that
+    // will never come.
+    if (GetU32(header) != kMagic) {
+      return Status::InvalidArgument("bad frame magic");
+    }
+    if (header[4] != kWireVersion) {
+      return Status::InvalidArgument("unsupported wire version " +
+                                     std::to_string(header[4]));
+    }
+    if (GetU16(header + 6) != 0) {
+      return Status::InvalidArgument("nonzero reserved header bytes");
+    }
+    const uint32_t payload_size = GetU32(header + 8);
+    if (payload_size > kMaxPayload) {
+      return Status::InvalidArgument(
+          "frame payload " + std::to_string(payload_size) +
+          " exceeds limit " + std::to_string(kMaxPayload));
+    }
+    const size_t total = kHeaderSize + payload_size + kTrailerSize;
+    if (avail < total) break;
+    const uint32_t want = Crc32c(header, kHeaderSize + payload_size);
+    const uint32_t got = GetU32(header + kHeaderSize + payload_size);
+    if (want != got) {
+      return Status::InvalidArgument("frame CRC mismatch");
+    }
+    Frame frame;
+    frame.type = static_cast<MessageType>(header[5]);
+    frame.payload.assign(header + kHeaderSize,
+                         header + kHeaderSize + payload_size);
+    frames_.push_back(std::move(frame));
+    pos_ += total;
+  }
+  // Reclaim the consumed prefix once it dominates the buffer, so a
+  // long-lived connection does not grow its buffer without bound.
+  if (pos_ > 0 && (pos_ >= buffer_.size() || pos_ > (64u << 10))) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  return Status::Ok();
+}
+
+}  // namespace gemrec::net

@@ -1,0 +1,125 @@
+#ifndef GEMREC_NET_WIRE_H_
+#define GEMREC_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "serving/recommendation_service.h"
+
+namespace gemrec::net {
+
+/// Length-prefixed binary frame carried over TCP (all integers
+/// little-endian, matching the GEMREC02 artifact convention):
+///
+///   [0, 4)        magic "GMNP"
+///   [4]           wire version (kWireVersion)
+///   [5]           message type
+///   [6, 8)        reserved, must be zero
+///   [8, 12)       payload size N (<= kMaxPayload)
+///   [12, 12+N)    payload
+///   [12+N, 16+N)  CRC32C over bytes [0, 12+N)  (common/crc32c)
+///
+/// The CRC covers header AND payload, so a flipped byte anywhere in a
+/// frame — including the length field itself — is rejected before the
+/// payload is interpreted. Header fields are validated as soon as the
+/// first 12 bytes arrive: a bad magic/version/size poisons the
+/// connection immediately instead of waiting for a bogus length.
+inline constexpr uint32_t kMagic = 0x504E4D47u;  // "GMNP" little-endian
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kHeaderSize = 12;
+inline constexpr size_t kTrailerSize = 4;
+inline constexpr size_t kMaxPayload = 1u << 20;  // 1 MiB
+/// Largest top-n a query may request; keeps every response frame well
+/// under kMaxPayload (13 + 12n bytes of payload).
+inline constexpr uint32_t kMaxTopN = 4096;
+
+enum class MessageType : uint8_t {
+  kQueryRequest = 1,
+  kQueryResponse = 2,
+  kError = 3,
+  kPing = 4,
+  kPong = 5,
+};
+
+/// Typed application errors carried in kError frames. These travel to
+/// well-behaved clients instead of a dropped connection: an overloaded
+/// server answers kOverloaded within the read timeout rather than
+/// queueing the request unboundedly.
+enum class ErrorCode : uint16_t {
+  kOverloaded = 1,    // admission control shed the request
+  kBadRequest = 2,    // frame was sound but the payload was not
+  kShuttingDown = 3,  // server is draining; retry elsewhere/later
+  kInternal = 4,
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+struct Frame {
+  MessageType type = MessageType::kPing;
+  std::vector<uint8_t> payload;
+};
+
+/// Appends one complete frame (header + payload + CRC trailer) to
+/// `out`. Payload larger than kMaxPayload is a programming error.
+void AppendFrame(MessageType type, const uint8_t* payload, size_t n,
+                 std::vector<uint8_t>* out);
+std::vector<uint8_t> EncodeFrame(MessageType type,
+                                 const std::vector<uint8_t>& payload);
+
+/// Payload codecs. Encoders append a full frame; decoders take the
+/// payload bytes of an already-CRC-verified frame.
+void AppendQueryRequestFrame(const serving::QueryRequest& request,
+                             std::vector<uint8_t>* out);
+Status DecodeQueryRequest(const uint8_t* payload, size_t n,
+                          serving::QueryRequest* out);
+
+void AppendQueryResponseFrame(const serving::QueryResponse& response,
+                              std::vector<uint8_t>* out);
+Status DecodeQueryResponse(const uint8_t* payload, size_t n,
+                           serving::QueryResponse* out);
+
+void AppendErrorFrame(ErrorCode code, std::string_view message,
+                      std::vector<uint8_t>* out);
+Status DecodeError(const uint8_t* payload, size_t n, ErrorCode* code,
+                   std::string* message);
+
+/// Incremental frame parser — the receive half of a connection's state
+/// machine. Feed() accepts bytes in arbitrary fragments (a frame may
+/// arrive one byte at a time across many reads); complete, CRC-clean
+/// frames become poppable via Next(). Any protocol violation (bad
+/// magic/version/reserved, oversized length, CRC mismatch) makes the
+/// decoder sticky-failed: Feed() keeps returning the first error and
+/// the connection must be torn down.
+class FrameDecoder {
+ public:
+  /// Appends bytes and parses as many complete frames as they finish.
+  Status Feed(const uint8_t* data, size_t n);
+
+  /// Pops the next complete frame; false when none is pending.
+  bool Next(Frame* out);
+
+  /// True when buffered bytes form only part of a frame — the signal
+  /// the server's read timeout watches (a peer that starts a frame
+  /// must finish it promptly).
+  bool mid_frame() const { return ok() && buffer_.size() > pos_; }
+
+  bool ok() const { return error_.ok(); }
+  const Status& error() const { return error_; }
+
+ private:
+  Status Parse();
+
+  std::vector<uint8_t> buffer_;
+  size_t pos_ = 0;  // consumed prefix of buffer_
+  std::deque<Frame> frames_;
+  Status error_;
+};
+
+}  // namespace gemrec::net
+
+#endif  // GEMREC_NET_WIRE_H_

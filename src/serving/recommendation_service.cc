@@ -66,13 +66,27 @@ std::future<QueryResponse> RecommendationService::Submit(
   PendingRequest pending;
   pending.request = request;
   std::future<QueryResponse> future = pending.promise.get_future();
+  Enqueue(std::move(pending));
+  return future;
+}
+
+void RecommendationService::SubmitAsync(const QueryRequest& request,
+                                        ResponseCallback callback) {
+  GEMREC_CHECK(callback != nullptr);
+  PendingRequest pending;
+  pending.request = request;
+  pending.callback = std::move(callback);
+  Enqueue(std::move(pending));
+}
+
+void RecommendationService::Enqueue(PendingRequest pending) {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     GEMREC_CHECK(!shutdown_);
     queue_.push_back(std::move(pending));
+    queue_depth_.store(queue_.size(), std::memory_order_relaxed);
   }
   queue_ready_.notify_one();
-  return future;
 }
 
 QueryResponse RecommendationService::Query(const QueryRequest& request) {
@@ -90,6 +104,8 @@ ServiceStats RecommendationService::stats() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.publishes = publishes_.load(std::memory_order_relaxed);
   s.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  s.in_flight = in_flight_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -113,6 +129,8 @@ void RecommendationService::WorkerLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      queue_depth_.store(queue_.size(), std::memory_order_relaxed);
+      in_flight_.fetch_add(take, std::memory_order_relaxed);
     }
 
     // Acquire the serving snapshot once per batch: the whole batch is
@@ -133,13 +151,15 @@ void RecommendationService::WorkerLoop() {
       // Shutting down before any model was published: answer with
       // empty epoch-0 responses rather than leaving broken promises.
       for (PendingRequest& pending : batch) {
-        pending.promise.set_value(QueryResponse{});
+        pending.Complete(QueryResponse{});
       }
+      in_flight_.fetch_sub(batch.size(), std::memory_order_relaxed);
       continue;
     }
 
     batches_.fetch_add(1, std::memory_order_relaxed);
     ServeBatch(&batch, *snapshot, &query_vec, &hits, &scratch);
+    in_flight_.fetch_sub(batch.size(), std::memory_order_relaxed);
     // `snapshot` drops its reference here; if a Publish retired it
     // mid-batch and this was the last reader, it is destroyed now.
   }
@@ -161,7 +181,7 @@ void RecommendationService::ServeBatch(
         cache_.Lookup(key, epoch, &response.items)) {
       response.cache_hit = true;
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      pending.promise.set_value(std::move(response));
+      pending.Complete(std::move(response));
       continue;
     }
 
@@ -177,7 +197,7 @@ void RecommendationService::ServeBatch(
     if (!request.bypass_cache) {
       cache_.Insert(key, epoch, response.items);
     }
-    pending.promise.set_value(std::move(response));
+    pending.Complete(std::move(response));
   }
 }
 

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -52,7 +53,8 @@ struct QueryResponse {
   recommend::SearchStats stats;
 };
 
-/// Monotonic service counters (relaxed atomics; read for reporting).
+/// Monotonic service counters (relaxed atomics; read for reporting),
+/// plus two instantaneous gauges of saturation.
 struct ServiceStats {
   uint64_t queries = 0;
   uint64_t cache_hits = 0;
@@ -63,6 +65,11 @@ struct ServiceStats {
   /// ModelReloader; a monitoring loop that sees this grow while
   /// `publishes` stalls knows the artifact pipeline is wedged.
   uint64_t reload_failures = 0;
+  /// Gauge: requests enqueued but not yet claimed by a worker.
+  uint64_t queue_depth = 0;
+  /// Gauge: requests claimed by workers and currently being served
+  /// (includes requests parked waiting for the first Publish).
+  uint64_t in_flight = 0;
 };
 
 /// Concurrent query front-end over an atomically swappable
@@ -114,8 +121,28 @@ class RecommendationService {
   /// Requests submitted before the first Publish wait in the queue.
   std::future<QueryResponse> Submit(const QueryRequest& request);
 
+  /// Callback fired (on the serving worker's thread) when the request
+  /// completes. Must not block: the network front-end hands completed
+  /// responses back to its event loop here.
+  using ResponseCallback = std::function<void(QueryResponse)>;
+
+  /// Enqueues a query that completes via callback instead of a future
+  /// — the zero-blocking bridge used by net::NetServer, whose epoll
+  /// thread can never wait on a future.
+  void SubmitAsync(const QueryRequest& request, ResponseCallback callback);
+
   /// Synchronous convenience wrapper (blocks the caller, not workers).
   QueryResponse Query(const QueryRequest& request);
+
+  /// Saturation gauges for admission control: how many requests sit
+  /// unclaimed in the queue / are being served right now. Cheap relaxed
+  /// reads — the net layer consults these on every request.
+  size_t QueueDepth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+  size_t InFlight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
 
   /// Bumps the reload-failure counter. The failed reload has no other
   /// effect on the service: the current snapshot keeps serving.
@@ -128,8 +155,20 @@ class RecommendationService {
   struct PendingRequest {
     QueryRequest request;
     std::promise<QueryResponse> promise;
+    /// When set, completion goes through the callback and the promise
+    /// is left untouched.
+    ResponseCallback callback;
+
+    void Complete(QueryResponse response) {
+      if (callback) {
+        callback(std::move(response));
+      } else {
+        promise.set_value(std::move(response));
+      }
+    }
   };
 
+  void Enqueue(PendingRequest pending);
   void WorkerLoop();
   void ServeBatch(std::vector<PendingRequest>* batch,
                   const ModelSnapshot& snapshot,
@@ -156,6 +195,8 @@ class RecommendationService {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> publishes_{0};
   std::atomic<uint64_t> reload_failures_{0};
+  std::atomic<uint64_t> queue_depth_{0};
+  std::atomic<uint64_t> in_flight_{0};
 
   std::vector<std::thread> workers_;
 };

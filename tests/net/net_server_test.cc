@@ -1,0 +1,422 @@
+// Socket-level coverage of the epoll front-end: request/response
+// round-trips against the real service, typed errors (bad request,
+// OVERLOADED under a saturated in-flight budget), protocol-error and
+// slow-reader disconnects, read/idle timeouts, reload-under-load, and
+// graceful drain. Every server binds 127.0.0.1 port 0 (kernel-chosen
+// ephemeral port — collision-free under parallel ctest by
+// construction; see ServerOptions::port).
+
+#include "net/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "embedding/serialization.h"
+#include "net/client.h"
+#include "serving/model_reloader.h"
+#include "serving/snapshot_builder.h"
+
+namespace gemrec::net {
+namespace {
+
+using serving::QueryRequest;
+using serving::RecommendationService;
+using serving::ServiceOptions;
+
+std::unique_ptr<embedding::EmbeddingStore> RandomStore(
+    uint32_t num_users, uint32_t num_events, uint32_t dim,
+    uint64_t seed) {
+  auto store = std::make_unique<embedding::EmbeddingStore>(
+      dim, std::array<uint32_t, 5>{num_users, num_events, 1, 1, 1});
+  Rng rng(seed);
+  store->MatrixOf(graph::NodeType::kUser).FillAbsGaussian(&rng, 0.2, 0.3);
+  store->MatrixOf(graph::NodeType::kEvent)
+      .FillAbsGaussian(&rng, 0.2, 0.3);
+  return store;
+}
+
+std::vector<ebsn::EventId> AllEvents(uint32_t num_events) {
+  std::vector<ebsn::EventId> events(num_events);
+  for (uint32_t x = 0; x < num_events; ++x) events[x] = x;
+  return events;
+}
+
+std::shared_ptr<serving::ModelSnapshot> MakeSnapshot(
+    const embedding::EmbeddingStore& store, uint32_t num_users,
+    uint32_t num_events) {
+  serving::SnapshotOptions options;
+  options.top_k_events_per_partner = 0;
+  return std::make_shared<serving::ModelSnapshot>(
+      store, AllEvents(num_events), num_users, options);
+}
+
+std::unique_ptr<Client> MustConnect(const NetServer& server,
+                                    const ClientOptions& options = {}) {
+  auto client = Client::Connect("127.0.0.1", server.port(), options);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(client).value();
+}
+
+/// Polls `predicate` against the server's stats until it holds or the
+/// deadline passes (socket effects are asynchronous to the test body).
+template <typename Pred>
+bool WaitForStats(const NetServer& server, Pred predicate,
+                  std::chrono::milliseconds deadline =
+                      std::chrono::milliseconds(5000)) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (predicate(server.stats())) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return predicate(server.stats());
+}
+
+TEST(NetServerTest, QueryRoundTripMatchesInProcessService) {
+  auto store = RandomStore(20, 15, 8, 1);
+  RecommendationService service(ServiceOptions{});
+  service.Publish(MakeSnapshot(*store, 20, 15));
+
+  NetServer server(&service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = MustConnect(server);
+
+  for (ebsn::UserId u = 0; u < 20; ++u) {
+    QueryRequest request;
+    request.user = u;
+    request.n = 7;
+    request.bypass_cache = true;
+    auto outcome = client->Query(request);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    ASSERT_TRUE(outcome->ok)
+        << "typed error: " << outcome->error_message;
+    const auto direct = service.Query(request);
+    ASSERT_EQ(outcome->response.items.size(), direct.items.size());
+    for (size_t i = 0; i < direct.items.size(); ++i) {
+      EXPECT_EQ(outcome->response.items[i].event, direct.items[i].event);
+      EXPECT_EQ(outcome->response.items[i].partner,
+                direct.items[i].partner);
+      EXPECT_EQ(outcome->response.items[i].score, direct.items[i].score);
+    }
+    EXPECT_EQ(outcome->response.epoch, 1u);
+  }
+  const NetStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 20u);
+  EXPECT_EQ(stats.responses, 20u);
+  EXPECT_EQ(stats.overload_sheds, 0u);
+}
+
+TEST(NetServerTest, PingPongAndAcceptStats) {
+  auto store = RandomStore(5, 5, 4, 2);
+  RecommendationService service(ServiceOptions{});
+  service.Publish(MakeSnapshot(*store, 5, 5));
+  NetServer server(&service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  auto a = MustConnect(server);
+  auto b = MustConnect(server);
+  EXPECT_TRUE(a->Ping().ok());
+  EXPECT_TRUE(b->Ping().ok());
+  const NetStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.active_connections, 2u);
+}
+
+TEST(NetServerTest, MalformedPayloadGetsTypedBadRequest) {
+  auto store = RandomStore(5, 5, 4, 3);
+  RecommendationService service(ServiceOptions{});
+  service.Publish(MakeSnapshot(*store, 5, 5));
+  NetServer server(&service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = MustConnect(server);
+
+  // CRC-clean frame whose query payload is one byte short.
+  const std::vector<uint8_t> bogus(16, 0);
+  const std::vector<uint8_t> bytes =
+      EncodeFrame(MessageType::kQueryRequest, bogus);
+  ASSERT_EQ(::send(client->fd(), bytes.data(), bytes.size(),
+                   MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size()));
+  auto outcome = client->Receive();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_FALSE(outcome->ok);
+  EXPECT_EQ(outcome->error, ErrorCode::kBadRequest);
+
+  // The connection survives a bad request and keeps serving.
+  QueryRequest request;
+  request.user = 1;
+  request.n = 3;
+  auto good = client->Query(request);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_TRUE(good->ok);
+  EXPECT_EQ(server.stats().bad_requests, 1u);
+}
+
+TEST(NetServerTest, GarbageBytesCloseTheConnection) {
+  auto store = RandomStore(5, 5, 4, 4);
+  RecommendationService service(ServiceOptions{});
+  service.Publish(MakeSnapshot(*store, 5, 5));
+  NetServer server(&service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = MustConnect(server);
+
+  const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_GT(::send(client->fd(), garbage, sizeof(garbage) - 1,
+                   MSG_NOSIGNAL),
+            0);
+  // Server must hang up; the blocking read sees EOF.
+  auto outcome = client->Receive();
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_TRUE(WaitForStats(server, [](const NetStats& s) {
+    return s.protocol_errors == 1 && s.active_connections == 0;
+  }));
+}
+
+TEST(NetServerTest, OverloadedUnderSaturatedInFlightBudget) {
+  auto store = RandomStore(10, 10, 6, 5);
+  ServiceOptions service_options;
+  service_options.num_workers = 2;
+  RecommendationService service(service_options);
+  // No snapshot published yet: submitted requests park inside the
+  // service, pinning the in-flight budget at its cap deterministically.
+  ServerOptions options;
+  options.max_in_flight = 4;
+  NetServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = MustConnect(server);
+
+  QueryRequest request;
+  request.n = 5;
+  for (uint32_t i = 0; i < 5; ++i) {
+    request.user = i;
+    ASSERT_TRUE(client->Send(request).ok());
+  }
+  // The shed reply must come back promptly even though requests 1..4
+  // are still parked — a saturated server answers, it never hangs.
+  auto shed = client->Receive();
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  ASSERT_FALSE(shed->ok);
+  EXPECT_EQ(shed->error, ErrorCode::kOverloaded);
+  EXPECT_EQ(server.stats().overload_sheds, 1u);
+
+  // Unblock the parked requests; all four must now complete.
+  service.Publish(MakeSnapshot(*store, 10, 10));
+  for (uint32_t i = 0; i < 4; ++i) {
+    auto outcome = client->Receive();
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_TRUE(outcome->ok) << "request " << i;
+  }
+  EXPECT_EQ(server.stats().responses, 4u);
+}
+
+TEST(NetServerTest, SlowReaderHitsWriteBufferCapAndIsDisconnected) {
+  auto store = RandomStore(30, 30, 6, 6);
+  RecommendationService service(ServiceOptions{});
+  service.Publish(MakeSnapshot(*store, 30, 30));
+
+  ServerOptions options;
+  options.so_sndbuf = 4096;        // tiny kernel buffer ...
+  options.max_write_buffer = 8192;  // ... and a tiny user-space cap
+  options.read_timeout = std::chrono::milliseconds(30000);
+  options.idle_timeout = std::chrono::milliseconds(30000);
+  NetServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions client_options;
+  client_options.so_rcvbuf = 4096;
+  auto client = MustConnect(server, client_options);
+
+  // Pipeline many fat responses and never read them: the server's
+  // write buffer must hit the cap and the connection must be cut
+  // instead of buffering unboundedly.
+  QueryRequest request;
+  request.n = 64;
+  request.bypass_cache = true;
+  for (uint32_t i = 0; i < 200; ++i) {
+    request.user = i % 30;
+    ASSERT_TRUE(client->Send(request).ok());
+  }
+  EXPECT_TRUE(WaitForStats(server, [](const NetStats& s) {
+    return s.slow_reader_disconnects == 1 && s.active_connections == 0;
+  }));
+}
+
+TEST(NetServerTest, IdleConnectionIsTimedOut) {
+  auto store = RandomStore(5, 5, 4, 7);
+  RecommendationService service(ServiceOptions{});
+  service.Publish(MakeSnapshot(*store, 5, 5));
+  ServerOptions options;
+  options.idle_timeout = std::chrono::milliseconds(100);
+  NetServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = MustConnect(server);
+
+  // Silent connection: the server must hang up, seen as EOF here.
+  auto outcome = client->Receive();
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_TRUE(WaitForStats(server, [](const NetStats& s) {
+    return s.idle_timeouts == 1 && s.active_connections == 0;
+  }));
+}
+
+TEST(NetServerTest, PartialFrameIsTimedOut) {
+  auto store = RandomStore(5, 5, 4, 8);
+  RecommendationService service(ServiceOptions{});
+  service.Publish(MakeSnapshot(*store, 5, 5));
+  ServerOptions options;
+  options.read_timeout = std::chrono::milliseconds(100);
+  options.idle_timeout = std::chrono::milliseconds(30000);
+  NetServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = MustConnect(server);
+
+  // Start a frame, never finish it.
+  QueryRequest request;
+  request.user = 1;
+  request.n = 3;
+  std::vector<uint8_t> bytes;
+  AppendQueryRequestFrame(request, &bytes);
+  ASSERT_EQ(::send(client->fd(), bytes.data(), 6, MSG_NOSIGNAL), 6);
+
+  auto outcome = client->Receive();
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_TRUE(WaitForStats(server, [](const NetStats& s) {
+    return s.read_timeouts == 1 && s.active_connections == 0;
+  }));
+}
+
+TEST(NetServerTest, ReloadUnderLoadKeepsEveryQueryAnswered) {
+  constexpr uint32_t kUsers = 25;
+  constexpr uint32_t kEvents = 20;
+  auto store = RandomStore(kUsers, kEvents, 8, 9);
+  serving::SnapshotOptions snapshot_options;
+  snapshot_options.top_k_events_per_partner = 0;
+  serving::SnapshotBuilder builder(*store, AllEvents(kEvents), kUsers,
+                                   snapshot_options);
+  RecommendationService service(ServiceOptions{});
+  service.Publish(builder.Build());
+  NetServer server(&service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  // A valid on-disk artifact for the model_reloader half of the race.
+  const std::string artifact =
+      ::testing::TempDir() + "/net_reload_model.bin";
+  ASSERT_TRUE(embedding::SaveEmbeddingStore(*store, artifact).ok());
+
+  // Client traffic races snapshot swaps: half the swaps go through the
+  // crash-safe file reload path, half through direct rebuilds.
+  std::atomic<bool> stop{false};
+  std::thread updater([&] {
+    serving::ModelReloader reloader(&service, &builder, {});
+    embedding::OnlineUpdateOptions update;
+    update.iterations = 10;
+    for (uint32_t swap = 0; !stop.load() && swap < 50; ++swap) {
+      if (swap % 2 == 0) {
+        ASSERT_TRUE(reloader.ReloadFromFile(artifact).ok());
+      } else {
+        ASSERT_TRUE(
+            builder.RecordAttendance(swap % kUsers, swap % kEvents, update)
+                .ok());
+        service.Publish(builder.Build());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  constexpr int kClients = 2;
+  constexpr int kQueriesEach = 150;
+  std::vector<std::thread> clients;
+  std::atomic<int> answered{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = MustConnect(server);
+      QueryRequest request;
+      request.n = 5;
+      for (int i = 0; i < kQueriesEach; ++i) {
+        request.user = static_cast<ebsn::UserId>((c * 7 + i) % kUsers);
+        auto outcome = client->Query(request);
+        ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+        ASSERT_TRUE(outcome->ok) << outcome->error_message;
+        ASSERT_GE(outcome->response.epoch, 1u);
+        answered.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop.store(true);
+  updater.join();
+
+  EXPECT_EQ(answered.load(), kClients * kQueriesEach);
+  const NetStats stats = server.stats();
+  EXPECT_EQ(stats.responses,
+            static_cast<uint64_t>(kClients * kQueriesEach));
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_GT(service.stats().publishes, 2u);
+}
+
+TEST(NetServerTest, GracefulDrainStopsAcceptingAndExits) {
+  auto store = RandomStore(10, 10, 6, 10);
+  RecommendationService service(ServiceOptions{});
+  service.Publish(MakeSnapshot(*store, 10, 10));
+  NetServer server(&service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  auto client = MustConnect(server);
+  QueryRequest request;
+  request.user = 3;
+  request.n = 4;
+  ASSERT_TRUE(client->Query(request).ok());
+
+  server.RequestDrain();
+  server.WaitUntilStopped();
+  EXPECT_FALSE(server.running());
+
+  // The drained server hung up on the idle connection ...
+  auto after = client->Receive();
+  EXPECT_FALSE(after.ok());
+  // ... and no longer accepts new ones.
+  ClientOptions fast;
+  fast.connect_timeout = std::chrono::milliseconds(500);
+  auto refused = Client::Connect("127.0.0.1", port, fast);
+  EXPECT_FALSE(refused.ok());
+
+  server.Stop();  // idempotent join
+  EXPECT_EQ(server.stats().responses, 1u);
+}
+
+TEST(NetServerTest, StopWithoutStartIsSafe) {
+  auto store = RandomStore(5, 5, 4, 11);
+  RecommendationService service(ServiceOptions{});
+  NetServer server(&service, ServerOptions{});
+  server.Stop();
+  server.WaitUntilStopped();
+}
+
+TEST(NetServerTest, ParseHostPort) {
+  std::string host;
+  uint16_t port = 0;
+  ASSERT_TRUE(ParseHostPort("127.0.0.1:8080", &host, &port).ok());
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 8080);
+  ASSERT_TRUE(ParseHostPort(":0", &host, &port).ok());
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 0);
+  EXPECT_FALSE(ParseHostPort("127.0.0.1", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("127.0.0.1:", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("127.0.0.1:99999", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("127.0.0.1:8x", &host, &port).ok());
+}
+
+}  // namespace
+}  // namespace gemrec::net

@@ -1,0 +1,269 @@
+// Wire codec coverage: round-trip property over payload sizes
+// (including 0, 1, kMaxPayload, and kMaxPayload+1 rejected),
+// every-byte corruption rejected via CRC/header validation, and
+// split-delivery through the incremental FrameDecoder one byte at a
+// time — the connection state machine's worst case.
+
+#include "net/wire.h"
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gemrec::net {
+namespace {
+
+std::vector<uint8_t> RandomPayload(size_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<uint8_t> payload(n);
+  for (uint8_t& b : payload) b = static_cast<uint8_t>(rng());
+  return payload;
+}
+
+TEST(WireTest, RoundTripAcrossPayloadSizes) {
+  const size_t sizes[] = {0,   1,    2,        3,         16,
+                          255, 4096, 65 * 531, kMaxPayload};
+  uint32_t seed = 1;
+  for (const size_t n : sizes) {
+    const std::vector<uint8_t> payload = RandomPayload(n, seed++);
+    const std::vector<uint8_t> bytes =
+        EncodeFrame(MessageType::kQueryRequest, payload);
+    ASSERT_EQ(bytes.size(), kHeaderSize + n + kTrailerSize);
+
+    FrameDecoder decoder;
+    ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok())
+        << "n=" << n;
+    Frame frame;
+    ASSERT_TRUE(decoder.Next(&frame)) << "n=" << n;
+    EXPECT_EQ(frame.type, MessageType::kQueryRequest);
+    EXPECT_EQ(frame.payload, payload);
+    EXPECT_FALSE(decoder.Next(&frame));
+    EXPECT_FALSE(decoder.mid_frame());
+  }
+}
+
+TEST(WireTest, OversizedLengthRejectedFromHeaderAlone) {
+  // Craft a header announcing kMaxPayload+1: the decoder must fail the
+  // moment the header is complete, without waiting for a payload that
+  // will never come (and EncodeFrame must refuse to build one).
+  std::vector<uint8_t> valid = EncodeFrame(MessageType::kPing, {});
+  std::vector<uint8_t> header(valid.begin(), valid.begin() + kHeaderSize);
+  const uint32_t oversized = static_cast<uint32_t>(kMaxPayload) + 1;
+  std::memcpy(header.data() + 8, &oversized, sizeof(oversized));
+
+  FrameDecoder decoder;
+  const Status s = decoder.Feed(header.data(), header.size());
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(decoder.ok());
+  // Sticky: further feeds keep failing.
+  EXPECT_FALSE(decoder.Feed(header.data(), 1).ok());
+
+  EXPECT_DEATH(EncodeFrame(MessageType::kPing,
+                           std::vector<uint8_t>(kMaxPayload + 1)),
+               "kMaxPayload");
+}
+
+TEST(WireTest, EveryByteCorruptionRejected) {
+  const std::vector<uint8_t> payload = RandomPayload(64, 99);
+  const std::vector<uint8_t> bytes =
+      EncodeFrame(MessageType::kQueryResponse, payload);
+
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<uint8_t> corrupt = bytes;
+    corrupt[i] ^= 0xFF;
+    FrameDecoder decoder;
+    const Status fed = decoder.Feed(corrupt.data(), corrupt.size());
+    Frame frame;
+    if (decoder.Next(&frame)) {
+      // CRC32C detects any burst error confined to 32 bits, so a
+      // single flipped byte can never decode back to a frame. The only
+      // legal non-error outcome is starvation (a corrupted length
+      // field waiting for more bytes) — never an emitted frame.
+      ADD_FAILURE() << "corrupt byte " << i << " yielded a frame"
+                    << " (feed status: " << fed.ToString() << ")";
+    }
+  }
+}
+
+TEST(WireTest, SplitDeliveryOneByteAtATime) {
+  const std::vector<uint8_t> payload = RandomPayload(37, 7);
+  const std::vector<uint8_t> bytes =
+      EncodeFrame(MessageType::kError, payload);
+
+  FrameDecoder decoder;
+  Frame frame;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    ASSERT_TRUE(decoder.Feed(&bytes[i], 1).ok()) << "byte " << i;
+    if (i + 1 < bytes.size()) {
+      EXPECT_FALSE(decoder.Next(&frame)) << "frame early at byte " << i;
+      EXPECT_TRUE(decoder.mid_frame());
+    }
+  }
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_EQ(frame.type, MessageType::kError);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_FALSE(decoder.mid_frame());
+}
+
+TEST(WireTest, BackToBackFramesAcrossRandomChunks) {
+  std::vector<uint8_t> stream;
+  std::vector<std::vector<uint8_t>> payloads;
+  for (uint32_t i = 0; i < 8; ++i) {
+    payloads.push_back(RandomPayload(1 + i * 53, 1000 + i));
+    AppendFrame(MessageType::kQueryRequest, payloads.back().data(),
+                payloads.back().size(), &stream);
+  }
+
+  std::mt19937 rng(5);
+  FrameDecoder decoder;
+  std::vector<Frame> got;
+  size_t pos = 0;
+  while (pos < stream.size()) {
+    const size_t chunk = std::min<size_t>(
+        1 + rng() % 97, stream.size() - pos);
+    ASSERT_TRUE(decoder.Feed(stream.data() + pos, chunk).ok());
+    pos += chunk;
+    Frame frame;
+    while (decoder.Next(&frame)) got.push_back(std::move(frame));
+  }
+  ASSERT_EQ(got.size(), payloads.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].payload, payloads[i]) << "frame " << i;
+  }
+}
+
+TEST(WireTest, QueryRequestPayloadRoundTrip) {
+  serving::QueryRequest request;
+  request.user = 123456;
+  request.n = 42;
+  request.filter_hash = 0xDEADBEEFCAFEF00Dull;
+  request.bypass_cache = true;
+
+  std::vector<uint8_t> bytes;
+  AppendQueryRequestFrame(request, &bytes);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok());
+  Frame frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  ASSERT_EQ(frame.type, MessageType::kQueryRequest);
+
+  serving::QueryRequest decoded;
+  ASSERT_TRUE(DecodeQueryRequest(frame.payload.data(),
+                                 frame.payload.size(), &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.user, request.user);
+  EXPECT_EQ(decoded.n, request.n);
+  EXPECT_EQ(decoded.filter_hash, request.filter_hash);
+  EXPECT_EQ(decoded.bypass_cache, request.bypass_cache);
+}
+
+TEST(WireTest, QueryRequestValidation) {
+  serving::QueryRequest decoded;
+  std::vector<uint8_t> short_payload(5);
+  EXPECT_FALSE(DecodeQueryRequest(short_payload.data(),
+                                  short_payload.size(), &decoded)
+                   .ok());
+
+  serving::QueryRequest request;
+  request.user = 1;
+  request.n = kMaxTopN + 1;  // over the top-n cap
+  std::vector<uint8_t> bytes;
+  AppendQueryRequestFrame(request, &bytes);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok());
+  Frame frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_FALSE(DecodeQueryRequest(frame.payload.data(),
+                                  frame.payload.size(), &decoded)
+                   .ok());
+}
+
+TEST(WireTest, QueryResponsePayloadRoundTrip) {
+  serving::QueryResponse response;
+  response.epoch = 77;
+  response.cache_hit = true;
+  for (uint32_t i = 0; i < 10; ++i) {
+    response.items.push_back(recommend::Recommendation{
+        i * 3, i * 7 + 1, 0.5f - 0.01f * static_cast<float>(i)});
+  }
+
+  std::vector<uint8_t> bytes;
+  AppendQueryResponseFrame(response, &bytes);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok());
+  Frame frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  ASSERT_EQ(frame.type, MessageType::kQueryResponse);
+
+  serving::QueryResponse decoded;
+  ASSERT_TRUE(DecodeQueryResponse(frame.payload.data(),
+                                  frame.payload.size(), &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.epoch, response.epoch);
+  EXPECT_EQ(decoded.cache_hit, response.cache_hit);
+  ASSERT_EQ(decoded.items.size(), response.items.size());
+  for (size_t i = 0; i < decoded.items.size(); ++i) {
+    EXPECT_EQ(decoded.items[i].event, response.items[i].event);
+    EXPECT_EQ(decoded.items[i].partner, response.items[i].partner);
+    EXPECT_EQ(decoded.items[i].score, response.items[i].score);
+  }
+}
+
+TEST(WireTest, QueryResponseLengthMismatchRejected) {
+  serving::QueryResponse response;
+  response.epoch = 1;
+  response.items.push_back(recommend::Recommendation{1, 2, 0.5f});
+  std::vector<uint8_t> bytes;
+  AppendQueryResponseFrame(response, &bytes);
+  // Payload claims 1 item; hand the decoder a truncated item list.
+  const uint8_t* payload = bytes.data() + kHeaderSize;
+  const size_t payload_size = bytes.size() - kHeaderSize - kTrailerSize;
+  serving::QueryResponse decoded;
+  EXPECT_FALSE(
+      DecodeQueryResponse(payload, payload_size - 4, &decoded).ok());
+}
+
+TEST(WireTest, ErrorPayloadRoundTrip) {
+  std::vector<uint8_t> bytes;
+  AppendErrorFrame(ErrorCode::kOverloaded, "busy", &bytes);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok());
+  Frame frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  ASSERT_EQ(frame.type, MessageType::kError);
+
+  ErrorCode code;
+  std::string message;
+  ASSERT_TRUE(DecodeError(frame.payload.data(), frame.payload.size(),
+                          &code, &message)
+                  .ok());
+  EXPECT_EQ(code, ErrorCode::kOverloaded);
+  EXPECT_EQ(message, "busy");
+}
+
+TEST(WireTest, BadMagicAndVersionRejected) {
+  std::vector<uint8_t> bytes = EncodeFrame(MessageType::kPing, {});
+  {
+    std::vector<uint8_t> bad = bytes;
+    bad[0] = 'X';
+    FrameDecoder decoder;
+    EXPECT_FALSE(decoder.Feed(bad.data(), bad.size()).ok());
+  }
+  {
+    std::vector<uint8_t> bad = bytes;
+    bad[4] = kWireVersion + 1;
+    FrameDecoder decoder;
+    EXPECT_FALSE(decoder.Feed(bad.data(), bad.size()).ok());
+  }
+  {
+    std::vector<uint8_t> bad = bytes;
+    bad[6] = 1;  // reserved must be zero
+    FrameDecoder decoder;
+    EXPECT_FALSE(decoder.Feed(bad.data(), bad.size()).ok());
+  }
+}
+
+}  // namespace
+}  // namespace gemrec::net

@@ -4,8 +4,10 @@
 
 #include "serving/recommendation_service.h"
 
+#include <chrono>
 #include <future>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -212,6 +214,95 @@ TEST(RecommendationServiceTest, BatchesAreCountedAndBounded) {
   EXPECT_EQ(stats.queries, 64u);
   EXPECT_GE(stats.batches, 64u / options.max_batch);
   EXPECT_LE(stats.batches, 64u);
+}
+
+TEST(RecommendationServiceTest, SaturationGaugesTrackQueueAndInFlight) {
+  auto store = RandomStore(10, 10, 6, 12);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.max_batch = 4;
+  RecommendationService service(options);
+
+  // No snapshot yet: the lone worker pops one batch (whatever had
+  // arrived when it woke, capped at max_batch) and parks on the
+  // snapshot wait; everything else sits in the queue — exactly the
+  // saturation picture the net layer's admission control reads.
+  std::vector<std::future<QueryResponse>> futures;
+  for (uint32_t i = 0; i < 10; ++i) {
+    QueryRequest request;
+    request.user = i;
+    request.n = 3;
+    futures.push_back(service.Submit(request));
+  }
+  const auto settled = [&] {
+    const uint64_t in_flight = service.InFlight();
+    return in_flight >= 1 && in_flight <= options.max_batch &&
+           service.QueueDepth() == 10 - in_flight;
+  };
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!settled() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ServiceStats stats = service.stats();
+  EXPECT_GE(stats.in_flight, 1u);
+  EXPECT_LE(stats.in_flight, options.max_batch);
+  EXPECT_EQ(stats.queue_depth, 10 - stats.in_flight);
+
+  service.Publish(MakeSnapshot(*store, 10, 10));
+  for (auto& f : futures) f.get();
+  // in_flight is decremented after the futures resolve; poll briefly.
+  while ((service.InFlight() != 0 || service.QueueDepth() != 0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stats = service.stats();
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.queries, 10u);
+}
+
+TEST(RecommendationServiceTest, SubmitAsyncDeliversCallback) {
+  auto store = RandomStore(10, 10, 6, 13);
+  RecommendationService service(ServiceOptions{});
+  service.Publish(MakeSnapshot(*store, 10, 10));
+
+  std::promise<QueryResponse> delivered;
+  QueryRequest request;
+  request.user = 4;
+  request.n = 5;
+  service.SubmitAsync(request, [&delivered](QueryResponse response) {
+    delivered.set_value(std::move(response));
+  });
+  const QueryResponse response = delivered.get_future().get();
+  EXPECT_EQ(response.epoch, 1u);
+  EXPECT_FALSE(response.items.empty());
+  const QueryResponse direct = service.Query(request);
+  ASSERT_EQ(response.items.size(), direct.items.size());
+  for (size_t i = 0; i < direct.items.size(); ++i) {
+    EXPECT_EQ(response.items[i].event, direct.items[i].event);
+  }
+}
+
+TEST(RecommendationServiceTest, SubmitAsyncCallbackFiresOnShutdown) {
+  // Destroying the service with parked async work must still invoke
+  // every callback (the net layer frees its connection bookkeeping off
+  // this guarantee).
+  std::promise<QueryResponse> delivered;
+  {
+    ServiceOptions options;
+    options.num_workers = 1;
+    RecommendationService service(options);  // never published
+    QueryRequest request;
+    request.user = 1;
+    request.n = 3;
+    service.SubmitAsync(request, [&delivered](QueryResponse response) {
+      delivered.set_value(std::move(response));
+    });
+  }
+  const QueryResponse response = delivered.get_future().get();
+  EXPECT_EQ(response.epoch, 0u);  // served with no snapshot
+  EXPECT_TRUE(response.items.empty());
 }
 
 TEST(ResultCacheTest, EpochMismatchNeverHits) {
