@@ -28,6 +28,8 @@
 #include "bench_util.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "serving/recommendation_service.h"
 #include "serving/snapshot_builder.h"
 
@@ -45,17 +47,44 @@ struct RunResult {
   double p50_us = 0;
   double p90_us = 0;
   double p99_us = 0;
+  /// Server-side round-trip percentiles for the same window, pulled
+  /// from gemrec_net_round_trip_us over the kStats wire pair — the
+  /// cross-check that the server's own histograms tell the same story
+  /// as client-measured wall time (minus loopback + client overhead).
+  uint64_t server_queries = 0;
+  double server_p50_us = 0;
+  double server_p90_us = 0;
+  double server_p99_us = 0;
   uint64_t overload_sheds = 0;
   uint64_t protocol_errors = 0;
   uint64_t transport_failures = 0;
 };
+
+/// Fetches the server-side round-trip histogram over the wire; an
+/// empty histogram on any failure (the bench then reports zeros).
+obs::HistogramData FetchRoundTripHistogram(net::Client* stats_client) {
+  auto snapshot = stats_client->Stats();
+  if (!snapshot.ok()) return {};
+  const obs::MetricValue* metric =
+      snapshot->Find("gemrec_net_round_trip_us");
+  return metric == nullptr ? obs::HistogramData{} : metric->histogram;
+}
 
 RunResult RunLoad(net::NetServer* server, uint32_t num_users,
                   uint32_t connections) {
   const net::NetStats before = server->stats();
   std::vector<std::vector<double>> latencies(connections);
   std::atomic<uint64_t> transport_failures{0};
+  std::atomic<uint32_t> warmed{0};
   std::atomic<bool> go{false};
+
+  auto stats_client =
+      net::Client::Connect("127.0.0.1", server->port(), {});
+  if (!stats_client.ok()) {
+    std::cerr << "stats client connect failed: "
+              << stats_client.status().ToString() << "\n";
+    return {};
+  }
 
   std::vector<std::thread> threads;
   threads.reserve(connections);
@@ -77,9 +106,11 @@ RunResult RunLoad(net::NetServer* server, uint32_t num_users,
             static_cast<ebsn::UserId>((i * 131) % num_users);
         if (!(*client)->Query(request).ok()) {
           transport_failures.fetch_add(1);
+          warmed.fetch_add(1, std::memory_order_release);
           return;
         }
       }
+      warmed.fetch_add(1, std::memory_order_release);
       while (!go.load(std::memory_order_acquire)) {
         std::this_thread::yield();
       }
@@ -103,6 +134,13 @@ RunResult RunLoad(net::NetServer* server, uint32_t num_users,
     });
   }
 
+  // Baseline the server-side histogram after warmup so the measured
+  // window diff isolates exactly the timed queries.
+  while (warmed.load(std::memory_order_acquire) < connections) {
+    std::this_thread::yield();
+  }
+  const obs::HistogramData server_before =
+      FetchRoundTripHistogram(stats_client.value().get());
   const auto wall_start = std::chrono::steady_clock::now();
   go.store(true, std::memory_order_release);
   for (auto& thread : threads) thread.join();
@@ -110,25 +148,27 @@ RunResult RunLoad(net::NetServer* server, uint32_t num_users,
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+  const obs::HistogramData server_window =
+      FetchRoundTripHistogram(stats_client.value().get())
+          .MinusBaseline(server_before);
 
   std::vector<double> all;
   for (const auto& mine : latencies) {
     all.insert(all.end(), mine.begin(), mine.end());
   }
   std::sort(all.begin(), all.end());
-  const auto percentile = [&](double p) {
-    return all.empty() ? 0.0
-                       : all[std::min(all.size() - 1,
-                                      static_cast<size_t>(p * all.size()))];
-  };
   const net::NetStats after = server->stats();
   RunResult result;
   result.connections = connections;
   result.queries = all.size();
   result.qps = wall_seconds > 0 ? all.size() / wall_seconds : 0;
-  result.p50_us = percentile(0.50);
-  result.p90_us = percentile(0.90);
-  result.p99_us = percentile(0.99);
+  result.p50_us = obs::SamplePercentile(all, 0.50);
+  result.p90_us = obs::SamplePercentile(all, 0.90);
+  result.p99_us = obs::SamplePercentile(all, 0.99);
+  result.server_queries = server_window.count;
+  result.server_p50_us = server_window.Percentile(0.50);
+  result.server_p90_us = server_window.Percentile(0.90);
+  result.server_p99_us = server_window.Percentile(0.99);
   result.overload_sheds = after.overload_sheds - before.overload_sheds;
   result.protocol_errors = after.protocol_errors - before.protocol_errors;
   result.transport_failures = transport_failures.load();
@@ -186,7 +226,11 @@ void Run() {
               << " qps  p50 " << r.p50_us << "us  p90 " << r.p90_us
               << "us  p99 " << r.p99_us << "us  sheds "
               << r.overload_sheds << "  transport-failures "
-              << r.transport_failures << "\n";
+              << r.transport_failures << "\n"
+              << "  server-side (" << r.server_queries
+              << " in histogram): p50 " << r.server_p50_us << "us  p90 "
+              << r.server_p90_us << "us  p99 " << r.server_p99_us
+              << "us\n";
   }
   server.RequestDrain();
   server.WaitUntilStopped();
@@ -211,6 +255,10 @@ void Run() {
          << "      \"p50_us\": " << r.p50_us << ",\n"
          << "      \"p90_us\": " << r.p90_us << ",\n"
          << "      \"p99_us\": " << r.p99_us << ",\n"
+         << "      \"server_queries\": " << r.server_queries << ",\n"
+         << "      \"server_p50_us\": " << r.server_p50_us << ",\n"
+         << "      \"server_p90_us\": " << r.server_p90_us << ",\n"
+         << "      \"server_p99_us\": " << r.server_p99_us << ",\n"
          << "      \"overload_sheds\": " << r.overload_sheds << ",\n"
          << "      \"protocol_errors\": " << r.protocol_errors << ",\n"
          << "      \"transport_failures\": " << r.transport_failures

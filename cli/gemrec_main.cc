@@ -9,10 +9,12 @@
 //                    [--top-k K] [--weekend] [--explain]
 //   gemrec serve     --data DIR --model FILE [--queries Q] [--workers W]
 //                    [--clients C] [--swaps S] [--n N] [--top-k K]
+//   gemrec stats     HOST:PORT
 //
 // The CLI covers the full offline/online workflow: synthesize (or
 // bring) a dataset, inspect it, train GEM embeddings, evaluate both
-// paper tasks, and serve joint event-partner recommendations.
+// paper tasks, serve joint event-partner recommendations, and scrape
+// a live server's metrics.
 
 #include <csignal>
 
@@ -40,7 +42,10 @@
 #include "eval/ground_truth.h"
 #include "eval/protocol.h"
 #include "graph/graph_builder.h"
+#include "net/client.h"
 #include "net/server.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "recommend/explain.h"
 #include "recommend/filters.h"
 #include "recommend/recommender.h"
@@ -122,6 +127,17 @@ void InstallStopHandlers() {
   sigaction(SIGTERM, &sa, nullptr);
 }
 
+/// End-of-run / periodic metrics dump: the same Prometheus-style text
+/// exposition `gemrec stats` fetches over the wire, printed locally.
+/// One registry covers the whole serve stack (gemrec_service_* and,
+/// when a NetServer is attached, gemrec_net_*).
+void DumpMetrics(serving::RecommendationService* service) {
+  const std::string text =
+      obs::RenderText(service->metrics()->Snapshot());
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  std::fflush(stdout);
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -144,9 +160,13 @@ int Usage() {
       "  gemrec serve     --data DIR --model FILE --listen HOST:PORT\n"
       "                   [--workers W] [--max-in-flight M]\n"
       "                   [--idle-timeout-ms MS] [--reload FILE]\n"
-      "                   [--reload-interval SEC]\n"
+      "                   [--reload-interval SEC] [--stats-interval SEC]\n"
       "                   (epoll TCP server speaking the framed binary\n"
-      "                   protocol; SIGINT/SIGTERM drains gracefully)\n");
+      "                   protocol; SIGINT/SIGTERM drains gracefully;\n"
+      "                   --stats-interval dumps metrics periodically)\n"
+      "  gemrec stats     HOST:PORT\n"
+      "                   (scrape a live server's counters and latency\n"
+      "                   histograms; prints text exposition format)\n");
   return 2;
 }
 
@@ -452,31 +472,38 @@ int ServeListen(const Args& args, const std::string& listen_spec,
     });
   }
 
+  // Optional observability heartbeat: dump the text exposition every
+  // --stats-interval seconds, for operators tailing the log instead of
+  // scraping `gemrec stats host:port`.
+  const int64_t stats_interval = args.GetInt("stats-interval", 0);
+  std::thread stats_thread;
+  if (stats_interval > 0) {
+    const auto interval = std::chrono::seconds(stats_interval);
+    stats_thread = std::thread([&, interval] {
+      auto next = std::chrono::steady_clock::now() + interval;
+      while (server.running() &&
+             !g_stop.load(std::memory_order_relaxed)) {
+        if (std::chrono::steady_clock::now() < next) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+          continue;
+        }
+        next = std::chrono::steady_clock::now() + interval;
+        DumpMetrics(service);
+      }
+    });
+  }
+
   server.WaitUntilStopped();
   g_net_server.store(nullptr, std::memory_order_relaxed);
   g_stop.store(true, std::memory_order_relaxed);
   if (reload_thread.joinable()) reload_thread.join();
+  if (stats_thread.joinable()) stats_thread.join();
   server.Stop();
 
   const net::NetStats net_stats = server.stats();
-  const auto stats = service->stats();
-  std::printf("drained: %llu requests, %llu responses, %llu sheds, "
-              "%llu timeouts, %llu protocol errors over %llu "
-              "connections\n",
-              static_cast<unsigned long long>(net_stats.requests),
-              static_cast<unsigned long long>(net_stats.responses),
-              static_cast<unsigned long long>(net_stats.overload_sheds),
-              static_cast<unsigned long long>(net_stats.idle_timeouts +
-                                              net_stats.read_timeouts),
-              static_cast<unsigned long long>(net_stats.protocol_errors),
+  std::printf("drained after %llu connections; final metrics:\n",
               static_cast<unsigned long long>(net_stats.accepted));
-  std::printf("service: %llu queries, cache hit rate %.1f%%, %llu "
-              "epochs published, %llu reload failures\n",
-              static_cast<unsigned long long>(stats.queries),
-              100.0 * stats.cache_hits /
-                  std::max<uint64_t>(1, stats.queries),
-              static_cast<unsigned long long>(stats.publishes),
-              static_cast<unsigned long long>(stats.reload_failures));
+  DumpMetrics(service);
   return 0;
 }
 
@@ -585,21 +612,37 @@ int CmdServe(const Args& args) {
   }
   if (all.empty()) return 0;  // stopped by signal before any query
   std::sort(all.begin(), all.end());
-  const auto percentile = [&](double p) {
-    return all[std::min(all.size() - 1,
-                        static_cast<size_t>(p * all.size()))];
-  };
-  const auto stats = service.stats();
   std::printf("served %zu queries in %.2fs: %.0f qps\n", all.size(),
               wall_seconds, all.size() / wall_seconds);
+  // Nearest-rank percentiles (an earlier revision indexed p*n, which
+  // over-reads toward the max for small sample counts).
   std::printf("latency p50 %.0fus  p90 %.0fus  p99 %.0fus\n",
-              percentile(0.50), percentile(0.90), percentile(0.99));
-  std::printf("cache hit rate %.1f%%  batches %llu  epochs published "
-              "%llu  reload failures %llu\n",
-              100.0 * stats.cache_hits / std::max<uint64_t>(1, stats.queries),
-              static_cast<unsigned long long>(stats.batches),
-              static_cast<unsigned long long>(stats.publishes),
-              static_cast<unsigned long long>(stats.reload_failures));
+              obs::SamplePercentile(all, 0.50),
+              obs::SamplePercentile(all, 0.90),
+              obs::SamplePercentile(all, 0.99));
+  DumpMetrics(&service);
+  return 0;
+}
+
+/// `gemrec stats host:port` — scrape a live `gemrec serve --listen`
+/// server's metrics over the kStats wire pair and print the same text
+/// exposition the serve modes dump locally.
+int CmdStats(int argc, char** argv) {
+  if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+    return Fail("usage: gemrec stats HOST:PORT");
+  }
+  std::string host;
+  uint16_t port = 0;
+  if (const Status s = net::ParseHostPort(argv[2], &host, &port);
+      !s.ok()) {
+    return Fail(s.ToString());
+  }
+  auto client = net::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status().ToString());
+  auto snapshot = client.value()->Stats();
+  if (!snapshot.ok()) return Fail(snapshot.status().ToString());
+  const std::string text = obs::RenderText(snapshot.value());
+  std::fwrite(text.data(), 1, text.size(), stdout);
   return 0;
 }
 
@@ -614,6 +657,7 @@ int Main(int argc, char** argv) {
   if (command == "recommend") return CmdRecommend(args);
   if (command == "foldin") return CmdFoldin(args);
   if (command == "serve") return CmdServe(args);
+  if (command == "stats") return CmdStats(argc, argv);
   return Usage();
 }
 

@@ -38,29 +38,36 @@ cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 if [[ "$RUN_TSAN" == "1" ]]; then
-  echo "== tier-1: ThreadSanitizer pass (common/embedding/recommend/serving) =="
+  echo "== tier-1: ThreadSanitizer pass (common/embedding/recommend/serving/obs) =="
   cmake -B build-tsan -S . -DGEMREC_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$(nproc)" --target \
-    common_test embedding_test recommend_test serving_test net_test
+    common_test embedding_test recommend_test serving_test net_test \
+    obs_test
   export TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp"
   ./build-tsan/tests/common_test
   ./build-tsan/tests/embedding_test
   ./build-tsan/tests/recommend_test
   ./build-tsan/tests/serving_test
   ./build-tsan/tests/net_test
+  # Striped lock-free metrics: writers vs the snapshot reader must be
+  # race-free (RegistryTest.ConcurrentWritersAndSnapshotReader).
+  ./build-tsan/tests/obs_test
 fi
 
 if [[ "$RUN_UBSAN" == "1" ]]; then
   echo "== tier-1: UndefinedBehaviorSanitizer pass (fault/serialization/fold-in) =="
   cmake -B build-ubsan -S . -DGEMREC_SANITIZE=undefined >/dev/null
   cmake --build build-ubsan -j "$(nproc)" --target \
-    fault_test embedding_test common_test
+    fault_test embedding_test common_test obs_test
   # -fno-sanitize-recover=all: any UB (e.g. sampling an empty domain
   # during fold-in, misaligned loads while parsing corrupt artifacts)
   # aborts the binary and fails this stage.
   ./build-ubsan/tests/fault_test
   ./build-ubsan/tests/embedding_test
   ./build-ubsan/tests/common_test
+  # Histogram bucket math (bit shifts at the 64-bit edge) and the
+  # stats wire codec parse under UBSan.
+  ./build-ubsan/tests/obs_test
 fi
 
 echo "== tier-1: OK =="

@@ -138,6 +138,21 @@ Result<QueryOutcome> Client::Query(const serving::QueryRequest& request) {
   return Receive();
 }
 
+Result<obs::MetricsSnapshot> Client::Stats() {
+  std::vector<uint8_t> bytes;
+  AppendStatsRequestFrame(&bytes);
+  GEMREC_RETURN_IF_ERROR(SendAll(bytes.data(), bytes.size()));
+  GEMREC_ASSIGN_OR_RETURN(Frame frame, ReceiveFrame());
+  if (frame.type != MessageType::kStatsResponse) {
+    return Status::Internal("expected stats response, got frame type " +
+                            std::to_string(static_cast<int>(frame.type)));
+  }
+  obs::MetricsSnapshot snapshot;
+  GEMREC_RETURN_IF_ERROR(DecodeStatsResponse(
+      frame.payload.data(), frame.payload.size(), &snapshot));
+  return snapshot;
+}
+
 Status Client::Ping() {
   std::vector<uint8_t> bytes;
   AppendFrame(MessageType::kPing, nullptr, 0, &bytes);

@@ -61,6 +61,12 @@ class Client {
   /// Round-trips a ping frame (health check).
   Status Ping();
 
+  /// Fetches the server's metrics snapshot (counters, gauges and
+  /// latency histograms) via the kStats wire pair. Works even against
+  /// a draining or overloaded server. Help strings stay server-side,
+  /// so returned metrics carry empty `help`.
+  Result<obs::MetricsSnapshot> Stats();
+
   int fd() const { return fd_; }
 
  private:

@@ -1,22 +1,39 @@
 #ifndef GEMREC_NET_NET_STATS_H_
 #define GEMREC_NET_NET_STATS_H_
 
-#include <atomic>
+#include <algorithm>
 #include <cstdint>
+
+#include "obs/metrics.h"
 
 namespace gemrec::net {
 
-/// Monotonic counters of the network front-end, the socket-level
-/// sibling of serving::ServiceStats. Snapshot via NetServer::stats().
+/// Thin plain-value view of the network front-end's registry metrics,
+/// the socket-level sibling of serving::ServiceStats. Snapshot via
+/// NetServer::stats(); the registry carries the same values under
+/// their `gemrec_net_*` exposition names plus the round-trip latency
+/// histogram.
+///
+/// All fields are monotonic counters EXCEPT `active_connections`,
+/// which is an instantaneous gauge (rises on accept, falls on close —
+/// an earlier revision mislabelled it a counter; the registry now
+/// types it properly as a gauge).
 struct NetStats {
   uint64_t accepted = 0;
+  /// Gauge: connections currently open.
   uint64_t active_connections = 0;
   uint64_t requests = 0;   // CRC-clean query frames decoded
   uint64_t responses = 0;  // response frames queued for write
+  /// Ping frames answered with a pong (health checks were previously
+  /// invisible to operators).
+  uint64_t pings = 0;
+  /// Stats frames answered with a metrics snapshot.
+  uint64_t stats_requests = 0;
   /// Requests answered with a typed OVERLOADED error because the
   /// in-flight budget or the service queue was saturated.
   uint64_t overload_sheds = 0;
-  /// Requests refused with SHUTTING_DOWN while draining.
+  /// Requests refused with SHUTTING_DOWN: refused up front while
+  /// draining, or rejected by the service racing its own Shutdown.
   uint64_t drain_rejects = 0;
   uint64_t bad_requests = 0;      // decodable frame, bogus payload
   uint64_t protocol_errors = 0;   // connection killed by FrameDecoder
@@ -33,43 +50,104 @@ struct NetStats {
 
 namespace internal {
 
-/// Atomic backing for NetStats: the event-loop thread and service
-/// workers bump these concurrently with readers snapshotting them.
-struct AtomicNetStats {
-  std::atomic<uint64_t> accepted{0};
-  std::atomic<uint64_t> active_connections{0};
-  std::atomic<uint64_t> requests{0};
-  std::atomic<uint64_t> responses{0};
-  std::atomic<uint64_t> overload_sheds{0};
-  std::atomic<uint64_t> drain_rejects{0};
-  std::atomic<uint64_t> bad_requests{0};
-  std::atomic<uint64_t> protocol_errors{0};
-  std::atomic<uint64_t> idle_timeouts{0};
-  std::atomic<uint64_t> read_timeouts{0};
-  std::atomic<uint64_t> slow_reader_disconnects{0};
-  std::atomic<uint64_t> orphaned_responses{0};
-  std::atomic<uint64_t> bytes_received{0};
-  std::atomic<uint64_t> bytes_sent{0};
+/// Registry-backed metric handles for NetStats: the event-loop thread
+/// and service workers bump these concurrently with readers
+/// snapshotting them. Registered into the owning service's registry
+/// (RecommendationService::metrics()), so one stats scrape covers the
+/// whole serve stack; re-registration (a second server over the same
+/// service) re-attaches to the same metrics.
+struct NetMetrics {
+  obs::Counter* accepted = nullptr;
+  obs::Gauge* active_connections = nullptr;
+  obs::Counter* requests = nullptr;
+  obs::Counter* responses = nullptr;
+  obs::Counter* pings = nullptr;
+  obs::Counter* stats_requests = nullptr;
+  obs::Counter* overload_sheds = nullptr;
+  obs::Counter* drain_rejects = nullptr;
+  obs::Counter* bad_requests = nullptr;
+  obs::Counter* protocol_errors = nullptr;
+  obs::Counter* idle_timeouts = nullptr;
+  obs::Counter* read_timeouts = nullptr;
+  obs::Counter* slow_reader_disconnects = nullptr;
+  obs::Counter* orphaned_responses = nullptr;
+  obs::Counter* bytes_received = nullptr;
+  obs::Counter* bytes_sent = nullptr;
+  /// End-to-end server-side latency: query frame decoded -> response
+  /// frame queued on the connection (covers service queue wait, the
+  /// TA search and the completion hop back to the loop thread).
+  obs::Histogram* round_trip_us = nullptr;
+
+  void RegisterInto(obs::MetricsRegistry* registry) {
+    accepted = registry->GetCounter("gemrec_net_accepted_total",
+                                    "Connections accepted.");
+    active_connections =
+        registry->GetGauge("gemrec_net_active_connections",
+                           "Connections currently open.");
+    requests = registry->GetCounter("gemrec_net_requests_total",
+                                    "CRC-clean query frames decoded.");
+    responses = registry->GetCounter(
+        "gemrec_net_responses_total",
+        "Query response frames queued for write.");
+    pings = registry->GetCounter("gemrec_net_pings_total",
+                                 "Ping frames answered with a pong.");
+    stats_requests = registry->GetCounter(
+        "gemrec_net_stats_requests_total",
+        "Stats frames answered with a metrics snapshot.");
+    overload_sheds = registry->GetCounter(
+        "gemrec_net_overload_sheds_total",
+        "Requests shed with OVERLOADED by admission control.");
+    drain_rejects = registry->GetCounter(
+        "gemrec_net_drain_rejects_total",
+        "Requests refused with SHUTTING_DOWN.");
+    bad_requests = registry->GetCounter(
+        "gemrec_net_bad_requests_total",
+        "Decodable frames with bogus payloads.");
+    protocol_errors = registry->GetCounter(
+        "gemrec_net_protocol_errors_total",
+        "Connections killed by a frame decode error.");
+    idle_timeouts = registry->GetCounter(
+        "gemrec_net_idle_timeouts_total",
+        "Connections closed after silence past idle_timeout.");
+    read_timeouts = registry->GetCounter(
+        "gemrec_net_read_timeouts_total",
+        "Connections closed with a partial frame past read_timeout.");
+    slow_reader_disconnects = registry->GetCounter(
+        "gemrec_net_slow_reader_disconnects_total",
+        "Connections cut because their write buffer exceeded the "
+        "cap.");
+    orphaned_responses = registry->GetCounter(
+        "gemrec_net_orphaned_responses_total",
+        "Responses completed after their connection was gone.");
+    bytes_received = registry->GetCounter("gemrec_net_bytes_received_total",
+                                          "Bytes read from sockets.");
+    bytes_sent = registry->GetCounter("gemrec_net_bytes_sent_total",
+                                      "Bytes written to sockets.");
+    round_trip_us = registry->GetHistogram(
+        "gemrec_net_round_trip_us",
+        "Microseconds from query frame decoded to response frame "
+        "queued (server-side round trip).");
+  }
 
   NetStats Snapshot() const {
     NetStats s;
-    s.accepted = accepted.load(std::memory_order_relaxed);
-    s.active_connections =
-        active_connections.load(std::memory_order_relaxed);
-    s.requests = requests.load(std::memory_order_relaxed);
-    s.responses = responses.load(std::memory_order_relaxed);
-    s.overload_sheds = overload_sheds.load(std::memory_order_relaxed);
-    s.drain_rejects = drain_rejects.load(std::memory_order_relaxed);
-    s.bad_requests = bad_requests.load(std::memory_order_relaxed);
-    s.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
-    s.idle_timeouts = idle_timeouts.load(std::memory_order_relaxed);
-    s.read_timeouts = read_timeouts.load(std::memory_order_relaxed);
-    s.slow_reader_disconnects =
-        slow_reader_disconnects.load(std::memory_order_relaxed);
-    s.orphaned_responses =
-        orphaned_responses.load(std::memory_order_relaxed);
-    s.bytes_received = bytes_received.load(std::memory_order_relaxed);
-    s.bytes_sent = bytes_sent.load(std::memory_order_relaxed);
+    s.accepted = accepted->Value();
+    s.active_connections = static_cast<uint64_t>(
+        std::max<int64_t>(0, active_connections->Value()));
+    s.requests = requests->Value();
+    s.responses = responses->Value();
+    s.pings = pings->Value();
+    s.stats_requests = stats_requests->Value();
+    s.overload_sheds = overload_sheds->Value();
+    s.drain_rejects = drain_rejects->Value();
+    s.bad_requests = bad_requests->Value();
+    s.protocol_errors = protocol_errors->Value();
+    s.idle_timeouts = idle_timeouts->Value();
+    s.read_timeouts = read_timeouts->Value();
+    s.slow_reader_disconnects = slow_reader_disconnects->Value();
+    s.orphaned_responses = orphaned_responses->Value();
+    s.bytes_received = bytes_received->Value();
+    s.bytes_sent = bytes_sent->Value();
     return s;
   }
 };

@@ -55,9 +55,16 @@ NetServer::NetServer(serving::RecommendationService* service,
                      const ServerOptions& options)
     : service_(service), options_(options) {
   GEMREC_CHECK(service_ != nullptr);
+  // One registry for the whole serve stack: socket metrics live next
+  // to the service's own, so a single stats scrape sees both.
+  metrics_.RegisterInto(service_->metrics());
   options_.max_in_flight = std::max(1u, options_.max_in_flight);
   options_.max_service_saturation =
       std::max<size_t>(1, options_.max_service_saturation);
+}
+
+obs::MetricsRegistry* NetServer::metrics_registry() const {
+  return service_->metrics();
 }
 
 NetServer::~NetServer() { Stop(); }
@@ -269,8 +276,8 @@ void NetServer::HandleAccept() {
     conn->last_activity = std::chrono::steady_clock::now();
     conn->interest = EPOLLIN;
     loop_.Add(fd, EPOLLIN, reinterpret_cast<uint64_t>(conn.get()));
-    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
-    stats_.active_connections.fetch_add(1, std::memory_order_relaxed);
+    metrics_.accepted->Increment();
+    metrics_.active_connections->Add(1);
     connections_.emplace(conn->id, std::move(conn));
   }
 }
@@ -290,15 +297,14 @@ void NetServer::HandleReadable(Connection* conn) {
       conn->dead = true;
       break;
     }
-    stats_.bytes_received.fetch_add(static_cast<uint64_t>(r),
-                                    std::memory_order_relaxed);
+    metrics_.bytes_received->Increment(static_cast<uint64_t>(r));
     conn->last_activity = now;
     if (const Status s =
             conn->decoder.Feed(buf, static_cast<size_t>(r));
         !s.ok()) {
       GEMREC_LOG(Debug) << "protocol error on conn " << conn->id << ": "
                         << s.ToString();
-      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      metrics_.protocol_errors->Increment();
       conn->dead = true;
       break;
     }
@@ -324,14 +330,32 @@ void NetServer::HandleReadable(Connection* conn) {
 void NetServer::HandleFrame(Connection* conn, const Frame& frame) {
   switch (frame.type) {
     case MessageType::kPing: {
+      metrics_.pings->Increment();
       AppendFrame(MessageType::kPong, nullptr, 0, &conn->write_buf);
       AfterQueue(conn);
       return;
     }
+    case MessageType::kStatsRequest: {
+      if (const Status s =
+              DecodeStatsRequest(frame.payload.data(), frame.payload.size());
+          !s.ok()) {
+        metrics_.bad_requests->Increment();
+        SendError(conn, ErrorCode::kBadRequest, s.message());
+        return;
+      }
+      // Served unconditionally — no admission control, no drain
+      // refusal: an operator asking "why is this server shedding /
+      // draining" must get an answer from exactly that server.
+      metrics_.stats_requests->Increment();
+      AppendStatsResponseFrame(service_->metrics()->Snapshot(),
+                               &conn->write_buf);
+      AfterQueue(conn);
+      return;
+    }
     case MessageType::kQueryRequest: {
-      stats_.requests.fetch_add(1, std::memory_order_relaxed);
+      metrics_.requests->Increment();
       if (draining_) {
-        stats_.drain_rejects.fetch_add(1, std::memory_order_relaxed);
+        metrics_.drain_rejects->Increment();
         SendError(conn, ErrorCode::kShuttingDown, "server draining");
         return;
       }
@@ -339,7 +363,7 @@ void NetServer::HandleFrame(Connection* conn, const Frame& frame) {
       if (const Status s = DecodeQueryRequest(
               frame.payload.data(), frame.payload.size(), &request);
           !s.ok()) {
-        stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+        metrics_.bad_requests->Increment();
         SendError(conn, ErrorCode::kBadRequest, s.message());
         return;
       }
@@ -350,20 +374,25 @@ void NetServer::HandleFrame(Connection* conn, const Frame& frame) {
       if (total_in_flight_ >= options_.max_in_flight ||
           service_->QueueDepth() + service_->InFlight() >=
               options_.max_service_saturation) {
-        stats_.overload_sheds.fetch_add(1, std::memory_order_relaxed);
+        metrics_.overload_sheds->Increment();
         SendError(conn, ErrorCode::kOverloaded, "server overloaded");
         return;
       }
       ++total_in_flight_;
       ++conn->in_flight;
       const uint64_t conn_id = conn->id;
+      // Round-trip anchor: decode time, so the histogram covers the
+      // service queue wait, the search and the hop back to this thread.
+      const auto received_at = std::chrono::steady_clock::now();
       std::shared_ptr<CompletionQueue> cq = completions_;
       service_->SubmitAsync(
-          request, [cq, conn_id](serving::QueryResponse response) {
+          request,
+          [cq, conn_id, received_at](serving::QueryResponse response) {
             std::lock_guard<std::mutex> lock(cq->mu);
             if (cq->closed) return;
             const bool was_empty = cq->items.empty();
-            cq->items.emplace_back(conn_id, std::move(response));
+            cq->items.push_back(
+                Completion{conn_id, std::move(response), received_at});
             // One wakeup per burst: later completions piggyback on the
             // pending eventfd tick.
             if (was_empty && cq->loop != nullptr) cq->loop->Wakeup();
@@ -373,9 +402,10 @@ void NetServer::HandleFrame(Connection* conn, const Frame& frame) {
     case MessageType::kQueryResponse:
     case MessageType::kPong:
     case MessageType::kError:
+    case MessageType::kStatsResponse:
       break;
   }
-  stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+  metrics_.bad_requests->Increment();
   SendError(conn, ErrorCode::kBadRequest, "unexpected message type");
 }
 
@@ -388,8 +418,7 @@ void NetServer::SendError(Connection* conn, ErrorCode code,
 void NetServer::AfterQueue(Connection* conn) {
   FlushWrites(conn);
   if (!conn->dead && conn->pending_write() > options_.max_write_buffer) {
-    stats_.slow_reader_disconnects.fetch_add(1,
-                                             std::memory_order_relaxed);
+    metrics_.slow_reader_disconnects->Increment();
     conn->dead = true;
   }
 }
@@ -401,8 +430,7 @@ void NetServer::FlushWrites(Connection* conn) {
                conn->pending_write(), MSG_NOSIGNAL);
     if (w > 0) {
       conn->write_pos += static_cast<size_t>(w);
-      stats_.bytes_sent.fetch_add(static_cast<uint64_t>(w),
-                                  std::memory_order_relaxed);
+      metrics_.bytes_sent->Increment(static_cast<uint64_t>(w));
       conn->last_activity = std::chrono::steady_clock::now();
       continue;
     }
@@ -423,26 +451,39 @@ void NetServer::FlushWrites(Connection* conn) {
 }
 
 void NetServer::DrainCompletions() {
-  std::vector<std::pair<uint64_t, serving::QueryResponse>> batch;
+  std::vector<Completion> batch;
   {
     std::lock_guard<std::mutex> lock(completions_->mu);
     batch.swap(completions_->items);
   }
-  for (auto& [conn_id, response] : batch) {
+  for (Completion& completion : batch) {
     GEMREC_CHECK(total_in_flight_ > 0);
     --total_in_flight_;
-    Connection* conn = FindConnection(conn_id);
+    Connection* conn = FindConnection(completion.conn_id);
     if (conn == nullptr || conn->dead) {
       // The connection died (timeout, slow reader, protocol error)
       // while its request was being served.
-      stats_.orphaned_responses.fetch_add(1, std::memory_order_relaxed);
+      metrics_.orphaned_responses->Increment();
       continue;
     }
     GEMREC_CHECK(conn->in_flight > 0);
     --conn->in_flight;
-    AppendQueryResponseFrame(response, &conn->write_buf);
-    stats_.responses.fetch_add(1, std::memory_order_relaxed);
-    AfterQueue(conn);
+    if (completion.response.rejected) {
+      // The service refused the request racing its own Shutdown; the
+      // client gets the same typed error as an up-front drain refusal
+      // instead of an empty result it might mistake for a real answer.
+      metrics_.drain_rejects->Increment();
+      SendError(conn, ErrorCode::kShuttingDown, "service shutting down");
+    } else {
+      AppendQueryResponseFrame(completion.response, &conn->write_buf);
+      metrics_.responses->Increment();
+      const auto elapsed =
+          std::chrono::steady_clock::now() - completion.received_at;
+      metrics_.round_trip_us->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+              .count()));
+      AfterQueue(conn);
+    }
     if (conn->dead) {
       CloseConnection(conn);
     } else {
@@ -468,14 +509,14 @@ void NetServer::SweepTimeouts(std::chrono::steady_clock::time_point now) {
     }
     if (conn->has_partial &&
         now - conn->partial_since >= options_.read_timeout) {
-      stats_.read_timeouts.fetch_add(1, std::memory_order_relaxed);
+      metrics_.read_timeouts->Increment();
       doomed.push_back(id);
       continue;
     }
     if (!conn->has_partial && conn->in_flight == 0 &&
         conn->pending_write() == 0 &&
         now - conn->last_activity >= options_.idle_timeout) {
-      stats_.idle_timeouts.fetch_add(1, std::memory_order_relaxed);
+      metrics_.idle_timeouts->Increment();
       doomed.push_back(id);
     }
   }
@@ -514,7 +555,7 @@ void NetServer::UpdateInterest(Connection* conn) {
 void NetServer::CloseConnection(Connection* conn) {
   loop_.Del(conn->fd);
   ::close(conn->fd);
-  stats_.active_connections.fetch_sub(1, std::memory_order_relaxed);
+  metrics_.active_connections->Sub(1);
   connections_.erase(conn->id);  // destroys *conn
 }
 

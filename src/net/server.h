@@ -110,7 +110,11 @@ class NetServer {
     return running_.load(std::memory_order_acquire);
   }
 
-  NetStats stats() const { return stats_.Snapshot(); }
+  NetStats stats() const { return metrics_.Snapshot(); }
+
+  /// The registry everything is recorded into — the owning service's
+  /// (service->metrics()), which kStatsRequest frames serialize.
+  obs::MetricsRegistry* metrics_registry() const;
 
  private:
   struct Connection {
@@ -139,9 +143,15 @@ class NetServer {
   /// shared queue. shared_ptr-owned so a response that completes after
   /// the server died is dropped safely instead of touching freed
   /// state.
+  struct Completion {
+    uint64_t conn_id = 0;
+    serving::QueryResponse response;
+    /// When the query frame was decoded (round-trip histogram anchor).
+    std::chrono::steady_clock::time_point received_at;
+  };
   struct CompletionQueue {
     std::mutex mu;
-    std::vector<std::pair<uint64_t, serving::QueryResponse>> items;
+    std::vector<Completion> items;
     bool closed = false;
     EventLoop* loop = nullptr;  // null once closed
   };
@@ -180,7 +190,7 @@ class NetServer {
   bool draining_ = false;
   std::chrono::steady_clock::time_point drain_deadline_;
 
-  internal::AtomicNetStats stats_;
+  internal::NetMetrics metrics_;
 
   std::atomic<bool> running_{false};
   std::mutex lifecycle_mu_;

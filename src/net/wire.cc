@@ -1,5 +1,6 @@
 #include "net/wire.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/crc32c.h"
@@ -189,6 +190,140 @@ Status DecodeError(const uint8_t* payload, size_t n, ErrorCode* code,
   *code = static_cast<ErrorCode>(GetU16(payload));
   message->assign(reinterpret_cast<const char*>(payload) + kErrorFixed,
                   n - kErrorFixed);
+  return Status::Ok();
+}
+
+void AppendStatsRequestFrame(std::vector<uint8_t>* out) {
+  AppendFrame(MessageType::kStatsRequest, nullptr, 0, out);
+}
+
+Status DecodeStatsRequest(const uint8_t* /*payload*/, size_t n) {
+  if (n != 0) {
+    return Status::InvalidArgument("stats request payload must be empty");
+  }
+  return Status::Ok();
+}
+
+void AppendStatsResponseFrame(const obs::MetricsSnapshot& snapshot,
+                              std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  PutU32(static_cast<uint32_t>(snapshot.metrics.size()), &payload);
+  for (const obs::MetricValue& m : snapshot.metrics) {
+    payload.push_back(static_cast<uint8_t>(m.type));
+    GEMREC_CHECK(m.name.size() <= 0xFFFF);
+    PutU16(static_cast<uint16_t>(m.name.size()), &payload);
+    payload.insert(payload.end(), m.name.begin(), m.name.end());
+    switch (m.type) {
+      case obs::MetricType::kCounter:
+        PutU64(m.counter, &payload);
+        break;
+      case obs::MetricType::kGauge:
+        PutU64(static_cast<uint64_t>(m.gauge), &payload);
+        break;
+      case obs::MetricType::kHistogram: {
+        PutU64(m.histogram.count, &payload);
+        PutU64(m.histogram.sum, &payload);
+        uint16_t nonzero = 0;
+        for (const uint64_t b : m.histogram.buckets) {
+          if (b != 0) ++nonzero;
+        }
+        PutU16(nonzero, &payload);
+        for (uint32_t i = 0; i < obs::kHistogramBuckets; ++i) {
+          if (m.histogram.buckets[i] == 0) continue;
+          payload.push_back(static_cast<uint8_t>(i));
+          PutU64(m.histogram.buckets[i], &payload);
+        }
+        break;
+      }
+    }
+  }
+  AppendFrame(MessageType::kStatsResponse, payload.data(), payload.size(),
+              out);
+}
+
+Status DecodeStatsResponse(const uint8_t* payload, size_t n,
+                           obs::MetricsSnapshot* out) {
+  size_t pos = 0;
+  const auto need = [&](size_t bytes) {
+    return pos + bytes <= n;
+  };
+  if (!need(4)) {
+    return Status::InvalidArgument("stats response payload too short");
+  }
+  const uint32_t count = GetU32(payload);
+  pos = 4;
+  out->metrics.clear();
+  out->metrics.reserve(std::min<uint32_t>(count, 1024));
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!need(3)) {
+      return Status::InvalidArgument("stats response truncated metric");
+    }
+    obs::MetricValue m;
+    const uint8_t type = payload[pos];
+    if (type < static_cast<uint8_t>(obs::MetricType::kCounter) ||
+        type > static_cast<uint8_t>(obs::MetricType::kHistogram)) {
+      return Status::InvalidArgument("stats response unknown metric type " +
+                                     std::to_string(type));
+    }
+    m.type = static_cast<obs::MetricType>(type);
+    const uint16_t name_len = GetU16(payload + pos + 1);
+    pos += 3;
+    if (!need(name_len)) {
+      return Status::InvalidArgument("stats response truncated name");
+    }
+    m.name.assign(reinterpret_cast<const char*>(payload) + pos, name_len);
+    pos += name_len;
+    switch (m.type) {
+      case obs::MetricType::kCounter:
+        if (!need(8)) {
+          return Status::InvalidArgument("stats response truncated counter");
+        }
+        m.counter = GetU64(payload + pos);
+        pos += 8;
+        break;
+      case obs::MetricType::kGauge:
+        if (!need(8)) {
+          return Status::InvalidArgument("stats response truncated gauge");
+        }
+        m.gauge = static_cast<int64_t>(GetU64(payload + pos));
+        pos += 8;
+        break;
+      case obs::MetricType::kHistogram: {
+        if (!need(18)) {
+          return Status::InvalidArgument(
+              "stats response truncated histogram");
+        }
+        m.histogram.count = GetU64(payload + pos);
+        m.histogram.sum = GetU64(payload + pos + 8);
+        const uint16_t nonzero = GetU16(payload + pos + 16);
+        pos += 18;
+        if (nonzero > obs::kHistogramBuckets) {
+          return Status::InvalidArgument(
+              "stats response histogram bucket count " +
+              std::to_string(nonzero) + " exceeds " +
+              std::to_string(obs::kHistogramBuckets));
+        }
+        for (uint16_t b = 0; b < nonzero; ++b) {
+          if (!need(9)) {
+            return Status::InvalidArgument(
+                "stats response truncated bucket");
+          }
+          const uint8_t index = payload[pos];
+          if (index >= obs::kHistogramBuckets) {
+            return Status::InvalidArgument(
+                "stats response bucket index out of range");
+          }
+          m.histogram.buckets[index] = GetU64(payload + pos + 1);
+          pos += 9;
+        }
+        break;
+      }
+    }
+    out->metrics.push_back(std::move(m));
+  }
+  if (pos != n) {
+    return Status::InvalidArgument("stats response trailing bytes");
+  }
   return Status::Ok();
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "serving/recommendation_service.h"
 
 namespace gemrec::net {
@@ -44,6 +45,12 @@ enum class MessageType : uint8_t {
   kError = 3,
   kPing = 4,
   kPong = 5,
+  /// Remote observability: an empty kStatsRequest frame is answered
+  /// with a kStatsResponse carrying the server's full metrics
+  /// snapshot (counters, gauges and latency histograms). Served even
+  /// while draining or overloaded — that is when operators need it.
+  kStatsRequest = 6,
+  kStatsResponse = 7,
 };
 
 /// Typed application errors carried in kError frames. These travel to
@@ -87,6 +94,22 @@ void AppendErrorFrame(ErrorCode code, std::string_view message,
                       std::vector<uint8_t>* out);
 Status DecodeError(const uint8_t* payload, size_t n, ErrorCode* code,
                    std::string* message);
+
+/// Stats pair. The request carries no payload; the response payload
+/// serializes an obs::MetricsSnapshot (little-endian, like every
+/// other payload): u32 metric count, then per metric a u8 type, a
+/// u16-length-prefixed name, and a type-specific body — u64 for
+/// counters, i64 for gauges, and (u64 count, u64 sum, u16 nonzero
+/// bucket count, (u8 bucket index, u64 bucket count)...) for
+/// histograms (buckets are sparse: only nonzero entries travel).
+/// Help strings stay server-side.
+void AppendStatsRequestFrame(std::vector<uint8_t>* out);
+Status DecodeStatsRequest(const uint8_t* payload, size_t n);
+
+void AppendStatsResponseFrame(const obs::MetricsSnapshot& snapshot,
+                              std::vector<uint8_t>* out);
+Status DecodeStatsResponse(const uint8_t* payload, size_t n,
+                           obs::MetricsSnapshot* out);
 
 /// Incremental frame parser — the receive half of a connection's state
 /// machine. Feed() accepts bytes in arbitrary fragments (a frame may

@@ -1,0 +1,39 @@
+#ifndef GEMREC_OBS_EXPOSITION_H_
+#define GEMREC_OBS_EXPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace gemrec::obs {
+
+/// Renders a snapshot in the Prometheus text exposition format, one
+/// `name{label} value` line per sample, in registration order:
+///
+///   # HELP gemrec_service_queries_total Queries served.
+///   # TYPE gemrec_service_queries_total counter
+///   gemrec_service_queries_total 123
+///   # TYPE gemrec_net_round_trip_us histogram
+///   gemrec_net_round_trip_us_bucket{le="1"} 0
+///   gemrec_net_round_trip_us_bucket{le="+Inf"} 9
+///   gemrec_net_round_trip_us_sum 4031
+///   gemrec_net_round_trip_us_count 9
+///
+/// Histogram buckets are cumulative (Prometheus `le` semantics) and
+/// empty trailing buckets are elided; the `+Inf` bucket always closes
+/// the series. The format is byte-locked by
+/// tests/obs/exposition_test.cc — change it deliberately.
+std::string RenderText(const MetricsSnapshot& snapshot);
+
+/// Nearest-rank percentile of an ascending-sorted sample vector:
+/// the smallest element with at least ceil(p * n) samples at or below
+/// it. Unlike the old `samples[p * n]` indexing this never over-reads
+/// the distribution (p50 of {a, b} is a, not b) and never indexes one
+/// past the end for p = 1. Returns 0 for an empty vector.
+double SamplePercentile(const std::vector<double>& sorted_samples,
+                        double p);
+
+}  // namespace gemrec::obs
+
+#endif  // GEMREC_OBS_EXPOSITION_H_

@@ -1,0 +1,194 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace gemrec::obs {
+namespace {
+
+/// Round-robin stripe assignment: each thread grabs one token the
+/// first time it touches any striped metric and keeps it for life.
+/// Cheaper and better-spread than hashing std::thread::id.
+uint32_t ThisThreadStripe() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+  return stripe;
+}
+
+}  // namespace
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+uint32_t HistogramBucketIndex(uint64_t value) {
+  return std::min<uint32_t>(kHistogramBuckets - 1,
+                            static_cast<uint32_t>(std::bit_width(value)));
+}
+
+uint64_t HistogramBucketUpperBound(uint32_t index) {
+  if (index == 0) return 0;
+  if (index >= 64) return ~uint64_t{0};
+  return (uint64_t{1} << index) - 1;
+}
+
+double HistogramData::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Nearest rank: the smallest value with at least ceil(p * count)
+  // observations at or below it — the same convention the sample
+  // percentile helper uses, so client- and server-side numbers agree.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(count))));
+  uint64_t cumulative = 0;
+  for (uint32_t i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (cumulative + buckets[i] < rank) {
+      cumulative += buckets[i];
+      continue;
+    }
+    // Interpolate linearly inside the containing bucket.
+    const double lower =
+        i == 0 ? 0.0 : static_cast<double>(uint64_t{1} << (i - 1));
+    const double upper = static_cast<double>(HistogramBucketUpperBound(i));
+    const double within =
+        static_cast<double>(rank - cumulative) /
+        static_cast<double>(buckets[i]);
+    return lower + (upper - lower) * within;
+  }
+  return static_cast<double>(HistogramBucketUpperBound(kHistogramBuckets - 1));
+}
+
+HistogramData HistogramData::MinusBaseline(
+    const HistogramData& before) const {
+  HistogramData d;
+  d.count = count - std::min(count, before.count);
+  d.sum = sum - std::min(sum, before.sum);
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    d.buckets[i] = buckets[i] - std::min(buckets[i], before.buckets[i]);
+  }
+  return d;
+}
+
+void Counter::Increment(uint64_t n) {
+  stripes_[ThisThreadStripe()].value.fetch_add(n,
+                                               std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    total += stripe.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Record(uint64_t value) {
+  Stripe& stripe = stripes_[ThisThreadStripe()];
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+  stripe.sum.fetch_add(value, std::memory_order_relaxed);
+  stripe.buckets[HistogramBucketIndex(value)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData data;
+  for (const Stripe& stripe : stripes_) {
+    data.count += stripe.count.load(std::memory_order_relaxed);
+    data.sum += stripe.sum.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      data.buckets[i] += stripe.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return data;
+}
+
+const MetricValue* MetricsSnapshot::Find(std::string_view name) const {
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::GetOrCreate(
+    std::string_view name, std::string_view help, MetricType type) {
+  GEMREC_CHECK(!name.empty());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = index_.find(name); it != index_.end()) {
+    GEMREC_CHECK(it->second->type == type)
+        << "metric '" << it->second->name << "' registered as "
+        << MetricTypeName(it->second->type) << ", requested as "
+        << MetricTypeName(type);
+    return it->second;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name.assign(name);
+  entry->help.assign(help);
+  entry->type = type;
+  switch (type) {
+    case MetricType::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case MetricType::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::kHistogram:
+      entry->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  Entry* raw = entry.get();
+  entries_.push_back(std::move(entry));
+  index_.emplace(raw->name, raw);  // key views the entry's own string
+  return raw;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  return GetOrCreate(name, help, MetricType::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view help) {
+  return GetOrCreate(name, help, MetricType::kGauge)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help) {
+  return GetOrCreate(name, help, MetricType::kHistogram)->histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.metrics.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricValue value;
+    value.name = entry->name;
+    value.help = entry->help;
+    value.type = entry->type;
+    switch (entry->type) {
+      case MetricType::kCounter:
+        value.counter = entry->counter->Value();
+        break;
+      case MetricType::kGauge:
+        value.gauge = entry->gauge->Value();
+        break;
+      case MetricType::kHistogram:
+        value.histogram = entry->histogram->Snapshot();
+        break;
+    }
+    snapshot.metrics.push_back(std::move(value));
+  }
+  return snapshot;
+}
+
+}  // namespace gemrec::obs

@@ -1,0 +1,176 @@
+#ifndef GEMREC_OBS_METRICS_H_
+#define GEMREC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gemrec::obs {
+
+/// Metric kinds of the registry, mirroring the Prometheus data model:
+/// counters only ever go up, gauges move both ways, histograms bucket
+/// a value distribution (here: latencies in microseconds).
+enum class MetricType : uint8_t {
+  kCounter = 1,
+  kGauge = 2,
+  kHistogram = 3,
+};
+
+const char* MetricTypeName(MetricType type);
+
+/// Stripe count for write-heavy metrics. Writers pick a stripe by a
+/// thread-local round-robin token, so two threads hammering the same
+/// counter (the TA hot loop, the epoll thread) land on different
+/// cachelines and never contend on one atomic.
+inline constexpr size_t kMetricStripes = 8;
+
+/// Fixed log-spaced (power-of-two) histogram layout: bucket 0 holds
+/// the value 0 and bucket i >= 1 holds values in [2^(i-1), 2^i - 1]
+/// (the last bucket also absorbs everything above its lower bound).
+/// 64 buckets cover the whole uint64 range, so recording never needs
+/// a range check or a reconfiguration.
+inline constexpr size_t kHistogramBuckets = 64;
+
+/// Bucket index for a recorded value (== bit width of the value).
+uint32_t HistogramBucketIndex(uint64_t value);
+
+/// Inclusive upper bound of a bucket (0 for bucket 0, 2^i - 1 else).
+uint64_t HistogramBucketUpperBound(uint32_t index);
+
+/// Merged, plain-value view of one histogram — what snapshots carry,
+/// what travels in kStatsResponse frames, and what percentiles are
+/// computed from.
+struct HistogramData {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  /// Nearest-rank percentile with linear interpolation inside the
+  /// containing bucket; p in [0, 1]. Returns 0 for an empty histogram.
+  double Percentile(double p) const;
+
+  double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+
+  /// Element-wise difference (this - before): turns two cumulative
+  /// snapshots into the distribution of one measurement window.
+  HistogramData MinusBaseline(const HistogramData& before) const;
+};
+
+/// Monotonic counter, lock-free on the write path (striped relaxed
+/// atomics, summed on read). Value() is weakly consistent: concurrent
+/// increments may or may not be included, but nothing is ever lost.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1);
+  uint64_t Value() const;
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Stripe, kMetricStripes> stripes_;
+};
+
+/// Instantaneous level (queue depth, open connections). A single
+/// relaxed atomic — gauges support Set, which cannot stripe, and none
+/// of ours is written anywhere near the rates counters see.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram, lock-free on the write path: one
+/// Record is two relaxed fetch_adds plus a bucket bump on the caller's
+/// stripe. Snapshot() merges stripes with relaxed loads — weakly
+/// consistent by design (a concurrent Record may land in count before
+/// its bucket or vice versa), which monitoring tolerates and the hot
+/// path must not pay fences for.
+class Histogram {
+ public:
+  void Record(uint64_t value);
+  HistogramData Snapshot() const;
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+  };
+  std::array<Stripe, kMetricStripes> stripes_;
+};
+
+/// One metric's merged values at snapshot time.
+struct MetricValue {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  uint64_t counter = 0;    // valid for kCounter
+  int64_t gauge = 0;       // valid for kGauge
+  HistogramData histogram; // valid for kHistogram
+};
+
+/// Point-in-time view of every registered metric, in registration
+/// order (which the text exposition format preserves).
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;
+
+  /// Lookup by exposition name; nullptr when absent.
+  const MetricValue* Find(std::string_view name) const;
+};
+
+/// Process-wide-style registry of named metrics. Registration
+/// (GetCounter/GetGauge/GetHistogram) takes a mutex and is meant for
+/// startup; the returned pointers are stable for the registry's
+/// lifetime and their write paths are lock-free. Re-registering an
+/// existing name returns the existing metric (so a restarted
+/// NetServer re-attaches to its service's counters instead of
+/// colliding); asking for a different type under the same name is a
+/// programming error.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name, std::string_view help = "");
+  Gauge* GetGauge(std::string_view name, std::string_view help = "");
+  Histogram* GetHistogram(std::string_view name,
+                          std::string_view help = "");
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* GetOrCreate(std::string_view name, std::string_view help,
+                     MetricType type);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
+  std::unordered_map<std::string_view, Entry*> index_;
+};
+
+}  // namespace gemrec::obs
+
+#endif  // GEMREC_OBS_METRICS_H_

@@ -9,7 +9,42 @@ namespace gemrec::serving {
 
 RecommendationService::RecommendationService(const ServiceOptions& options)
     : options_(options),
-      cache_(options.cache_capacity, options.cache_shards) {
+      cache_(options.cache_capacity, options.cache_shards),
+      registry_(std::make_unique<obs::MetricsRegistry>()) {
+  queries_ = registry_->GetCounter(
+      "gemrec_service_queries_total",
+      "Queries served (cache hits included); bumped by workers.");
+  cache_hits_ = registry_->GetCounter(
+      "gemrec_service_cache_hits_total",
+      "Queries answered from the epoch-stamped result cache.");
+  batches_ = registry_->GetCounter(
+      "gemrec_service_batches_total",
+      "Queue visits that drained at least one request.");
+  publishes_ = registry_->GetCounter(
+      "gemrec_service_publishes_total",
+      "Snapshot swaps (model epochs made live).");
+  reload_failures_ = registry_->GetCounter(
+      "gemrec_service_reload_failures_total",
+      "Model reloads that failed while the previous snapshot kept "
+      "serving.");
+  rejected_ = registry_->GetCounter(
+      "gemrec_service_rejected_total",
+      "Requests refused because they arrived during/after Shutdown.");
+  queue_depth_ = registry_->GetGauge(
+      "gemrec_service_queue_depth",
+      "Requests enqueued but not yet claimed by a worker.");
+  in_flight_ = registry_->GetGauge(
+      "gemrec_service_in_flight",
+      "Requests claimed by workers and currently being served.");
+  queue_wait_us_ = registry_->GetHistogram(
+      "gemrec_service_queue_wait_us",
+      "Microseconds a request waited in the queue before a worker "
+      "claimed it.");
+  ta_search_us_ = registry_->GetHistogram(
+      "gemrec_service_ta_search_us",
+      "Microseconds one TA top-n search took on a worker (cache "
+      "misses only).");
+
   options_.num_workers = std::max(1u, options_.num_workers);
   options_.max_batch = std::max<size_t>(1, options_.max_batch);
   workers_.reserve(options_.num_workers);
@@ -18,19 +53,24 @@ RecommendationService::RecommendationService(const ServiceOptions& options)
   }
 }
 
-RecommendationService::~RecommendationService() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    shutdown_ = true;
-  }
-  queue_ready_.notify_all();
-  // Taking snapshot_mu_ before notifying closes the race with a worker
-  // that evaluated the snapshot-wait predicate (shutdown_ still false)
-  // but has not blocked yet: it holds snapshot_mu_ until the wait
-  // parks, so this lock acquisition orders the notification after it.
-  { std::lock_guard<std::mutex> lock(snapshot_mu_); }
-  snapshot_ready_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+RecommendationService::~RecommendationService() { Shutdown(); }
+
+void RecommendationService::Shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      shutdown_ = true;
+    }
+    queue_ready_.notify_all();
+    // Taking snapshot_mu_ before notifying closes the race with a
+    // worker that evaluated the snapshot-wait predicate (shutdown_
+    // still false) but has not blocked yet: it holds snapshot_mu_
+    // until the wait parks, so this lock acquisition orders the
+    // notification after it.
+    { std::lock_guard<std::mutex> lock(snapshot_mu_); }
+    snapshot_ready_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  });
 }
 
 uint64_t RecommendationService::Publish(
@@ -50,7 +90,7 @@ uint64_t RecommendationService::Publish(
     snapshot->epoch_ = epoch;
     snapshot_ = std::move(snapshot);
   }
-  publishes_.fetch_add(1, std::memory_order_relaxed);
+  publishes_->Increment();
   snapshot_ready_.notify_all();
   return epoch;
 }
@@ -80,13 +120,24 @@ void RecommendationService::SubmitAsync(const QueryRequest& request,
 }
 
 void RecommendationService::Enqueue(PendingRequest pending) {
+  pending.enqueue_time = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    GEMREC_CHECK(!shutdown_);
-    queue_.push_back(std::move(pending));
-    queue_depth_.store(queue_.size(), std::memory_order_relaxed);
+    if (!shutdown_) {
+      queue_.push_back(std::move(pending));
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+      queue_ready_.notify_one();
+      return;
+    }
   }
-  queue_ready_.notify_one();
+  // Racing Shutdown (a SubmitAsync from a net worker while the server
+  // tears down, say) must fail the one request, not abort the process:
+  // complete it — outside queue_mu_, the callback may take other locks
+  // — with an empty response marked rejected.
+  rejected_->Increment();
+  QueryResponse response;
+  response.rejected = true;
+  pending.Complete(std::move(response));
 }
 
 QueryResponse RecommendationService::Query(const QueryRequest& request) {
@@ -94,18 +145,19 @@ QueryResponse RecommendationService::Query(const QueryRequest& request) {
 }
 
 void RecommendationService::RecordReloadFailure() {
-  reload_failures_.fetch_add(1, std::memory_order_relaxed);
+  reload_failures_->Increment();
 }
 
 ServiceStats RecommendationService::stats() const {
   ServiceStats s;
-  s.queries = queries_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.publishes = publishes_.load(std::memory_order_relaxed);
-  s.reload_failures = reload_failures_.load(std::memory_order_relaxed);
-  s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
-  s.in_flight = in_flight_.load(std::memory_order_relaxed);
+  s.queries = queries_->Value();
+  s.cache_hits = cache_hits_->Value();
+  s.batches = batches_->Value();
+  s.publishes = publishes_->Value();
+  s.reload_failures = reload_failures_->Value();
+  s.rejected = rejected_->Value();
+  s.queue_depth = QueueDepth();
+  s.in_flight = InFlight();
   return s;
 }
 
@@ -129,8 +181,18 @@ void RecommendationService::WorkerLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
-      queue_depth_.store(queue_.size(), std::memory_order_relaxed);
-      in_flight_.fetch_add(take, std::memory_order_relaxed);
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+      in_flight_->Add(static_cast<int64_t>(take));
+    }
+    // Queue-wait latency, recorded outside the lock: how long each
+    // claimed request sat unowned (the batching/saturation signal the
+    // queue_depth gauge cannot show in time units).
+    const auto claimed_at = std::chrono::steady_clock::now();
+    for (const PendingRequest& pending : batch) {
+      queue_wait_us_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              claimed_at - pending.enqueue_time)
+              .count()));
     }
 
     // Acquire the serving snapshot once per batch: the whole batch is
@@ -149,17 +211,21 @@ void RecommendationService::WorkerLoop() {
     }
     if (snapshot == nullptr) {
       // Shutting down before any model was published: answer with
-      // empty epoch-0 responses rather than leaving broken promises.
+      // empty epoch-0 rejected responses rather than leaving broken
+      // promises (the net layer turns these into SHUTTING_DOWN).
       for (PendingRequest& pending : batch) {
-        pending.Complete(QueryResponse{});
+        rejected_->Increment();
+        QueryResponse response;
+        response.rejected = true;
+        pending.Complete(std::move(response));
       }
-      in_flight_.fetch_sub(batch.size(), std::memory_order_relaxed);
+      in_flight_->Sub(static_cast<int64_t>(batch.size()));
       continue;
     }
 
-    batches_.fetch_add(1, std::memory_order_relaxed);
+    batches_->Increment();
     ServeBatch(&batch, *snapshot, &query_vec, &hits, &scratch);
-    in_flight_.fetch_sub(batch.size(), std::memory_order_relaxed);
+    in_flight_->Sub(static_cast<int64_t>(batch.size()));
     // `snapshot` drops its reference here; if a Publish retired it
     // mid-batch and this was the last reader, it is destroyed now.
   }
@@ -172,7 +238,7 @@ void RecommendationService::ServeBatch(
   const uint64_t epoch = snapshot.epoch();
   for (PendingRequest& pending : *batch) {
     const QueryRequest& request = pending.request;
-    queries_.fetch_add(1, std::memory_order_relaxed);
+    queries_->Increment();
 
     QueryResponse response;
     response.epoch = epoch;
@@ -180,15 +246,20 @@ void RecommendationService::ServeBatch(
     if (!request.bypass_cache &&
         cache_.Lookup(key, epoch, &response.items)) {
       response.cache_hit = true;
-      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_hits_->Increment();
       pending.Complete(std::move(response));
       continue;
     }
 
+    const auto search_start = std::chrono::steady_clock::now();
     snapshot.QueryVector(request.user, query_vec);
     snapshot.searcher().SearchInto(*query_vec, request.n,
                                    /*exclude_partner=*/request.user, hits,
                                    &response.stats, scratch);
+    ta_search_us_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - search_start)
+            .count()));
     response.items.reserve(hits->size());
     for (const recommend::SearchHit& hit : *hits) {
       response.items.push_back(recommend::Recommendation{

@@ -1,7 +1,8 @@
 #ifndef GEMREC_SERVING_RECOMMENDATION_SERVICE_H_
 #define GEMREC_SERVING_RECOMMENDATION_SERVICE_H_
 
-#include <atomic>
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "ebsn/types.h"
+#include "obs/metrics.h"
 #include "recommend/recommender.h"
 #include "serving/model_snapshot.h"
 #include "serving/result_cache.h"
@@ -49,12 +51,19 @@ struct QueryResponse {
   /// Epoch of the snapshot that produced (or validated) the items.
   uint64_t epoch = 0;
   bool cache_hit = false;
+  /// The service was shutting down and never served this request
+  /// (items is empty). The net layer maps this to a typed
+  /// ErrorCode::kShuttingDown instead of a response frame.
+  bool rejected = false;
   /// Search instrumentation; zeroed for cache hits.
   recommend::SearchStats stats;
 };
 
-/// Monotonic service counters (relaxed atomics; read for reporting),
-/// plus two instantaneous gauges of saturation.
+/// Thin plain-value view over the service's registry metrics: the
+/// monotonic counters (never decrease) plus two instantaneous gauges
+/// of saturation. Snapshot via RecommendationService::stats(); the
+/// registry (RecommendationService::metrics()) carries the same
+/// values under their exposition names plus the latency histograms.
 struct ServiceStats {
   uint64_t queries = 0;
   uint64_t cache_hits = 0;
@@ -65,6 +74,9 @@ struct ServiceStats {
   /// ModelReloader; a monitoring loop that sees this grow while
   /// `publishes` stalls knows the artifact pipeline is wedged.
   uint64_t reload_failures = 0;
+  /// Requests refused with QueryResponse::rejected because they
+  /// arrived during/after Shutdown.
+  uint64_t rejected = 0;
   /// Gauge: requests enqueued but not yet claimed by a worker.
   uint64_t queue_depth = 0;
   /// Gauge: requests claimed by workers and currently being served
@@ -102,9 +114,15 @@ struct ServiceStats {
 class RecommendationService {
  public:
   explicit RecommendationService(const ServiceOptions& options);
-  /// Drains the queue (every pending promise is fulfilled) and joins
-  /// the workers.
+  /// Calls Shutdown().
   ~RecommendationService();
+
+  /// Graceful stop: drains the queue (every pending promise is
+  /// fulfilled) and joins the workers. Idempotent and thread-safe with
+  /// respect to concurrent Submit/SubmitAsync: a request that races
+  /// Shutdown either gets served by the drain or is completed with an
+  /// empty QueryResponse carrying `rejected = true` — never an abort.
+  void Shutdown();
 
   RecommendationService(const RecommendationService&) = delete;
   RecommendationService& operator=(const RecommendationService&) = delete;
@@ -138,10 +156,10 @@ class RecommendationService {
   /// unclaimed in the queue / are being served right now. Cheap relaxed
   /// reads — the net layer consults these on every request.
   size_t QueueDepth() const {
-    return queue_depth_.load(std::memory_order_relaxed);
+    return static_cast<size_t>(std::max<int64_t>(0, queue_depth_->Value()));
   }
   size_t InFlight() const {
-    return in_flight_.load(std::memory_order_relaxed);
+    return static_cast<size_t>(std::max<int64_t>(0, in_flight_->Value()));
   }
 
   /// Bumps the reload-failure counter. The failed reload has no other
@@ -151,6 +169,12 @@ class RecommendationService {
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
 
+  /// The service's metrics registry. Owned by the service and shared
+  /// with the layers wrapping it: NetServer registers its socket-level
+  /// metrics here, so one kStatsRequest (or one --stats-interval dump)
+  /// exposes the whole serve stack. Stable for the service's lifetime.
+  obs::MetricsRegistry* metrics() const { return registry_.get(); }
+
  private:
   struct PendingRequest {
     QueryRequest request;
@@ -158,6 +182,8 @@ class RecommendationService {
     /// When set, completion goes through the callback and the promise
     /// is left untouched.
     ResponseCallback callback;
+    /// When the request entered the queue (queue-wait histogram).
+    std::chrono::steady_clock::time_point enqueue_time;
 
     void Complete(QueryResponse response) {
       if (callback) {
@@ -187,16 +213,23 @@ class RecommendationService {
   std::condition_variable queue_ready_;
   std::deque<PendingRequest> queue_;
   bool shutdown_ = false;
+  std::once_flag shutdown_once_;
 
   ResultCache cache_;
 
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> cache_hits_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> publishes_{0};
-  std::atomic<uint64_t> reload_failures_{0};
-  std::atomic<uint64_t> queue_depth_{0};
-  std::atomic<uint64_t> in_flight_{0};
+  /// Registry + borrowed metric handles (stable addresses owned by the
+  /// registry; see DESIGN.md §12 for the catalogue).
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  obs::Counter* queries_;
+  obs::Counter* cache_hits_;
+  obs::Counter* batches_;
+  obs::Counter* publishes_;
+  obs::Counter* reload_failures_;
+  obs::Counter* rejected_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* in_flight_;
+  obs::Histogram* queue_wait_us_;
+  obs::Histogram* ta_search_us_;
 
   std::vector<std::thread> workers_;
 };

@@ -73,7 +73,10 @@ std::unique_ptr<Client> MustConnect(const NetServer& server,
 template <typename Pred>
 bool WaitForStats(const NetServer& server, Pred predicate,
                   std::chrono::milliseconds deadline =
-                      std::chrono::milliseconds(5000)) {
+                      std::chrono::milliseconds(15000)) {
+  // Generous deadline: under a contended parallel-ctest CPU the server
+  // loop can take several seconds to chew through pipelined batches; a
+  // genuine failure still fails, just slower.
   const auto until = std::chrono::steady_clock::now() + deadline;
   while (std::chrono::steady_clock::now() < until) {
     if (predicate(server.stats())) return true;
@@ -130,6 +133,92 @@ TEST(NetServerTest, PingPongAndAcceptStats) {
   const NetStats stats = server.stats();
   EXPECT_EQ(stats.accepted, 2u);
   EXPECT_EQ(stats.active_connections, 2u);
+  // Health checks used to be invisible in the stats.
+  EXPECT_EQ(stats.pings, 2u);
+}
+
+TEST(NetServerTest, StatsRoundTripOverLiveServer) {
+  auto store = RandomStore(10, 10, 8, 7);
+  RecommendationService service(ServiceOptions{});
+  service.Publish(MakeSnapshot(*store, 10, 10));
+  NetServer server(&service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = MustConnect(server);
+
+  ASSERT_TRUE(client->Ping().ok());
+  for (ebsn::UserId u = 0; u < 5; ++u) {
+    QueryRequest request;
+    request.user = u;
+    request.n = 3;
+    request.bypass_cache = true;
+    auto outcome = client->Query(request);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    ASSERT_TRUE(outcome->ok);
+  }
+
+  auto snapshot = client->Stats();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+
+  // The wire snapshot must agree with the in-process view (no other
+  // traffic is running against this server).
+  const NetStats stats = server.stats();
+  const obs::MetricValue* requests =
+      snapshot->Find("gemrec_net_requests_total");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->counter, stats.requests);
+  EXPECT_EQ(requests->counter, 5u);
+  const obs::MetricValue* pings =
+      snapshot->Find("gemrec_net_pings_total");
+  ASSERT_NE(pings, nullptr);
+  EXPECT_EQ(pings->counter, 1u);
+  // The scrape itself was counted before the snapshot was taken.
+  const obs::MetricValue* scrapes =
+      snapshot->Find("gemrec_net_stats_requests_total");
+  ASSERT_NE(scrapes, nullptr);
+  EXPECT_EQ(scrapes->counter, 1u);
+  // One registry covers the whole stack: service metrics travel too.
+  const obs::MetricValue* queries =
+      snapshot->Find("gemrec_service_queries_total");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->counter, 5u);
+  // Every answered query landed in the round-trip histogram.
+  const obs::MetricValue* round_trip =
+      snapshot->Find("gemrec_net_round_trip_us");
+  ASSERT_NE(round_trip, nullptr);
+  ASSERT_EQ(round_trip->type, obs::MetricType::kHistogram);
+  EXPECT_EQ(round_trip->histogram.count, stats.responses);
+  EXPECT_GT(round_trip->histogram.Percentile(0.99), 0.0);
+}
+
+TEST(NetServerTest, ServiceShutdownMapsToShuttingDownError) {
+  auto store = RandomStore(5, 5, 4, 11);
+  RecommendationService service(ServiceOptions{});
+  service.Publish(MakeSnapshot(*store, 5, 5));
+  NetServer server(&service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = MustConnect(server);
+
+  // The service shuts down underneath a still-serving NetServer (the
+  // shutdown race, made deterministic): queries must come back as
+  // typed SHUTTING_DOWN errors, not crash the server or hang.
+  service.Shutdown();
+  QueryRequest request;
+  request.user = 1;
+  request.n = 3;
+  auto outcome = client->Query(request);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_FALSE(outcome->ok);
+  EXPECT_EQ(outcome->error, ErrorCode::kShuttingDown);
+  EXPECT_TRUE(WaitForStats(server, [](const NetStats& s) {
+    return s.drain_rejects >= 1;
+  }));
+  // The stats endpoint still answers on the drained service.
+  auto snapshot = client->Stats();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  const obs::MetricValue* rejected =
+      snapshot->Find("gemrec_service_rejected_total");
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_GE(rejected->counter, 1u);
 }
 
 TEST(NetServerTest, MalformedPayloadGetsTypedBadRequest) {

@@ -243,6 +243,96 @@ TEST(WireTest, ErrorPayloadRoundTrip) {
   EXPECT_EQ(message, "busy");
 }
 
+TEST(WireTest, StatsPayloadRoundTrip) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("c_total", "server-side help")->Increment(42);
+  registry.GetGauge("g")->Set(-17);
+  obs::Histogram* h = registry.GetHistogram("h_us");
+  h->Record(0);
+  h->Record(5);
+  h->Record(5);
+  h->Record(70000);
+
+  std::vector<uint8_t> bytes;
+  AppendStatsResponseFrame(registry.Snapshot(), &bytes);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok());
+  Frame frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  ASSERT_EQ(frame.type, MessageType::kStatsResponse);
+
+  obs::MetricsSnapshot decoded;
+  ASSERT_TRUE(DecodeStatsResponse(frame.payload.data(),
+                                  frame.payload.size(), &decoded)
+                  .ok());
+  ASSERT_EQ(decoded.metrics.size(), 3u);
+  const obs::MetricValue* c = decoded.Find("c_total");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->type, obs::MetricType::kCounter);
+  EXPECT_EQ(c->counter, 42u);
+  EXPECT_TRUE(c->help.empty());  // help strings stay server-side
+  const obs::MetricValue* g = decoded.Find("g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->gauge, -17);
+  const obs::MetricValue* hist = decoded.Find("h_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->type, obs::MetricType::kHistogram);
+  EXPECT_EQ(hist->histogram.count, 4u);
+  EXPECT_EQ(hist->histogram.sum, 70010u);
+  EXPECT_EQ(hist->histogram.buckets[obs::HistogramBucketIndex(0)], 1u);
+  EXPECT_EQ(hist->histogram.buckets[obs::HistogramBucketIndex(5)], 2u);
+  EXPECT_EQ(hist->histogram.buckets[obs::HistogramBucketIndex(70000)],
+            1u);
+}
+
+TEST(WireTest, StatsRequestMustBeEmpty) {
+  std::vector<uint8_t> bytes;
+  AppendStatsRequestFrame(&bytes);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok());
+  Frame frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  ASSERT_EQ(frame.type, MessageType::kStatsRequest);
+  EXPECT_TRUE(DecodeStatsRequest(frame.payload.data(),
+                                 frame.payload.size())
+                  .ok());
+  const uint8_t junk = 0;
+  EXPECT_FALSE(DecodeStatsRequest(&junk, 1).ok());
+}
+
+TEST(WireTest, StatsResponseTruncationAndCorruptionRejected) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("c_total")->Increment(7);
+  registry.GetHistogram("h_us")->Record(123);
+  std::vector<uint8_t> bytes;
+  AppendStatsResponseFrame(registry.Snapshot(), &bytes);
+  const uint8_t* payload = bytes.data() + kHeaderSize;
+  const size_t payload_size = bytes.size() - kHeaderSize - kTrailerSize;
+
+  // Every truncation point is rejected, never over-read.
+  for (size_t n = 0; n < payload_size; ++n) {
+    obs::MetricsSnapshot decoded;
+    EXPECT_FALSE(DecodeStatsResponse(payload, n, &decoded).ok()) << n;
+  }
+  // Trailing garbage is rejected too.
+  {
+    std::vector<uint8_t> padded(payload, payload + payload_size);
+    padded.push_back(0);
+    obs::MetricsSnapshot decoded;
+    EXPECT_FALSE(
+        DecodeStatsResponse(padded.data(), padded.size(), &decoded).ok());
+  }
+  // A bogus metric type byte is rejected (type byte follows the u32
+  // metric count).
+  {
+    std::vector<uint8_t> bad(payload, payload + payload_size);
+    bad[4] = 99;
+    obs::MetricsSnapshot decoded;
+    EXPECT_FALSE(
+        DecodeStatsResponse(bad.data(), bad.size(), &decoded).ok());
+  }
+}
+
 TEST(WireTest, BadMagicAndVersionRejected) {
   std::vector<uint8_t> bytes = EncodeFrame(MessageType::kPing, {});
   {

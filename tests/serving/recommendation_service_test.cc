@@ -4,6 +4,7 @@
 
 #include "serving/recommendation_service.h"
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
@@ -303,6 +304,50 @@ TEST(RecommendationServiceTest, SubmitAsyncCallbackFiresOnShutdown) {
   const QueryResponse response = delivered.get_future().get();
   EXPECT_EQ(response.epoch, 0u);  // served with no snapshot
   EXPECT_TRUE(response.items.empty());
+  EXPECT_TRUE(response.rejected);  // shutdown, not a real empty result
+}
+
+TEST(RecommendationServiceTest, SubmitRacingShutdownIsRejectedNotFatal) {
+  // Regression: Enqueue used to GEMREC_CHECK(!shutdown_), so a Submit
+  // racing shutdown aborted the whole server. Now the late request is
+  // completed with rejected=true. The submitter thread hammers Query
+  // while the main thread shuts the service down mid-stream — under
+  // TSan this also proves the handoff is race-free.
+  auto store = RandomStore(10, 10, 6, 21);
+  ServiceOptions options;
+  options.num_workers = 2;
+  RecommendationService service(options);
+  service.Publish(MakeSnapshot(*store, 10, 10));
+
+  std::atomic<bool> saw_rejected{false};
+  std::atomic<uint64_t> submitted{0};
+  std::thread submitter([&] {
+    QueryRequest request;
+    request.n = 3;
+    request.bypass_cache = true;
+    while (!saw_rejected.load(std::memory_order_relaxed)) {
+      request.user = static_cast<ebsn::UserId>(
+          submitted.fetch_add(1, std::memory_order_relaxed) % 10);
+      const QueryResponse response = service.Query(request);
+      if (response.rejected) {
+        EXPECT_TRUE(response.items.empty());
+        saw_rejected.store(true, std::memory_order_relaxed);
+      }
+    }
+  });
+  // Let the submitter get going, then yank the service out from under
+  // it (the object stays alive; only the workers stop).
+  while (submitted.load(std::memory_order_relaxed) < 5) {
+    std::this_thread::yield();
+  }
+  service.Shutdown();
+  submitter.join();
+
+  EXPECT_TRUE(saw_rejected.load());
+  EXPECT_GE(service.stats().rejected, 1u);
+  // Shutdown is idempotent: a second call (and the destructor's) must
+  // be harmless.
+  service.Shutdown();
 }
 
 TEST(ResultCacheTest, EpochMismatchNeverHits) {

@@ -15,6 +15,7 @@
 // here).
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -211,9 +212,22 @@ TEST(SnapshotSwapStressTest, RetiredSnapshotsAreReclaimed) {
       EXPECT_EQ(service.Query(request).epoch, s + 1);
     }
   }
-  // All but the live (last) snapshot must be gone.
+  // All but the live (last) snapshot must be gone. Query() returns
+  // when a worker completes the promise inside ServeBatch, a few
+  // instructions before that worker drops its snapshot reference at
+  // the end of its loop iteration — so poll briefly instead of racing
+  // that window (a real leak never expires and still fails here).
+  auto expires = [](const std::weak_ptr<const ModelSnapshot>& watcher) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!watcher.expired() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return watcher.expired();
+  };
   for (size_t s = 0; s + 1 < watchers.size(); ++s) {
-    EXPECT_TRUE(watchers[s].expired()) << "epoch " << s + 1 << " leaked";
+    EXPECT_TRUE(expires(watchers[s])) << "epoch " << s + 1 << " leaked";
   }
   EXPECT_FALSE(watchers.back().expired());
 }
