@@ -15,9 +15,12 @@
 // Run from the repo root so BENCH_hotpath.json lands there:
 //   ./build/bench/hotpath_report
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <iostream>
 #include <new>
 #include <thread>
@@ -26,7 +29,10 @@
 #include "bench_util.h"
 #include "common/stopwatch.h"
 #include "common/vec_math.h"
+#include "recommend/batch_ta_search.h"
 #include "recommend/candidate_index.h"
+#include "recommend/quantized_space.h"
+#include "recommend/space_index.h"
 #include "recommend/space_transform.h"
 #include "recommend/ta_search.h"
 
@@ -107,51 +113,182 @@ struct TaResult {
   size_t steady_state_allocations = 0;
 };
 
-TaResult MeasureTaSearch(const CityBundle& city) {
-  auto trainer =
+constexpr size_t kQueries = 100;
+constexpr size_t kTopN = 10;
+
+/// The shared retrieval workload: the unpruned Table-VI space plus the
+/// 100-query set, built once and measured by both the exact-TA and the
+/// quantized batched sections (the trainer keeps the store alive).
+struct QuerySpace {
+  std::unique_ptr<embedding::JointTrainer> trainer;
+  std::unique_ptr<recommend::GemModel> model;
+  std::unique_ptr<recommend::TransformedSpace> space;
+  std::vector<std::vector<float>> queries;
+  std::vector<ebsn::UserId> excludes;
+};
+
+QuerySpace BuildQuerySpace(const CityBundle& city) {
+  QuerySpace qs;
+  qs.trainer =
       TrainEmbedding(city, embedding::TrainerOptions::GemA(), 200000);
-  recommend::GemModel model(&trainer->store(), "GEM-A");
+  qs.model =
+      std::make_unique<recommend::GemModel>(&qs.trainer->store(), "GEM-A");
   const uint32_t num_users = city.dataset().num_users();
   // Unpruned Table-VI space: every test event x every partner.
   const auto pairs = recommend::BuildCandidatePairs(
-      model, city.split->test_events(), num_users, /*top_k=*/0);
-  recommend::TransformedSpace space(model, pairs);
-  recommend::TaSearch ta(&space);
-
-  constexpr size_t kQueries = 100;
-  constexpr size_t kTopN = 10;
-  std::vector<std::vector<float>> queries(kQueries);
+      *qs.model, city.split->test_events(), num_users, /*top_k=*/0);
+  qs.space =
+      std::make_unique<recommend::TransformedSpace>(*qs.model, pairs);
+  qs.queries.resize(kQueries);
+  qs.excludes.resize(kQueries);
   for (size_t i = 0; i < kQueries; ++i) {
-    space.QueryVector(model, static_cast<uint32_t>((i * 17) % num_users),
-                      &queries[i]);
+    qs.excludes[i] = static_cast<uint32_t>((i * 17) % num_users);
+    qs.space->QueryVector(*qs.model, qs.excludes[i], &qs.queries[i]);
   }
+  return qs;
+}
+
+TaResult MeasureTaSearch(const QuerySpace& qs) {
+  recommend::TaSearch ta(qs.space.get());
 
   recommend::TaSearch::Scratch scratch;
   std::vector<recommend::SearchHit> hits;
   recommend::SearchStats stats;
   // Warm-up pass grows the scratch and output capacities.
   for (size_t i = 0; i < kQueries; ++i) {
-    ta.SearchInto(queries[i], kTopN,
-                  static_cast<uint32_t>((i * 17) % num_users), &hits,
-                  &stats, &scratch);
+    ta.SearchInto(qs.queries[i], kTopN, qs.excludes[i], &hits, &stats,
+                  &scratch);
   }
 
   TaResult result;
-  result.num_pairs = space.num_points();
+  result.num_pairs = qs.space->num_points();
   result.queries = kQueries;
   const size_t allocs_before = g_allocations.load();
   double examined = 0.0;
   Stopwatch watch;
   for (size_t i = 0; i < kQueries; ++i) {
-    ta.SearchInto(queries[i], kTopN,
-                  static_cast<uint32_t>((i * 17) % num_users), &hits,
-                  &stats, &scratch);
+    ta.SearchInto(qs.queries[i], kTopN, qs.excludes[i], &hits, &stats,
+                  &scratch);
     examined += stats.examined_fraction;
   }
   const double elapsed = watch.ElapsedSeconds();
   result.steady_state_allocations = g_allocations.load() - allocs_before;
   result.ms_per_query = elapsed * 1000.0 / static_cast<double>(kQueries);
   result.examined_fraction = examined / static_cast<double>(kQueries);
+  return result;
+}
+
+struct QuantResult {
+  /// ms per query at batch sizes 1 / 8 / 64.
+  double ms_b1 = 0.0;
+  double ms_b8 = 0.0;
+  double ms_b64 = 0.0;
+  double examined_fraction = 0.0;  // at batch 64
+  /// Measured max |approx - exact| over sampled queries x all pairs,
+  /// and the max rigorous per-query bound epsilon — the measured value
+  /// must sit under the bound.
+  double max_abs_err = 0.0;
+  double max_epsilon = 0.0;
+  const char* precision = "";
+  size_t steady_state_allocations = 0;
+};
+
+double MeasureQuantizationError(const QuerySpace& qs,
+                                const recommend::SpaceIndex& index,
+                                const recommend::QuantizedSpace& quant,
+                                size_t sample_queries,
+                                double* max_epsilon) {
+  const uint32_t k = quant.latent_dim();
+  const uint32_t point_dim = qs.space->point_dim();
+  const bool int8_mode =
+      quant.precision() == recommend::QuantizedSpace::Precision::kInt8;
+  std::vector<uint8_t> eq8(k), pq8(k);
+  std::vector<int16_t> eq16(k), pq16(k);
+  std::vector<float> ecomp(index.num_events());
+  std::vector<float> pcomp(index.num_partners());
+  const uint32_t* pe = index.pair_event_idx().data();
+  const uint32_t* pp = index.pair_partner_idx().data();
+  const float* c_values = quant.c_values().data();
+  double max_err = 0.0;
+  *max_epsilon = 0.0;
+  for (size_t qi = 0; qi < qs.queries.size(); ++qi) {
+    const float* q = qs.queries[qi].data();
+    const auto qq = quant.QuantizeQuery(q, eq8.data(), pq8.data(),
+                                        eq16.data(), pq16.data());
+    *max_epsilon = std::max(*max_epsilon, static_cast<double>(qq.epsilon));
+    if (qi >= sample_queries) continue;  // epsilon from all, err sampled
+    for (size_t e = 0; e < index.num_events(); ++e) {
+      const int32_t dot = int8_mode
+                              ? DotQ8(eq8.data(), quant.EventCodes8(e), k)
+                              : DotQ16(eq16.data(), quant.EventCodes16(e), k);
+      ecomp[e] = qq.event_bias + qq.event_scale * static_cast<float>(dot);
+    }
+    for (size_t u = 0; u < index.num_partners(); ++u) {
+      const int32_t dot =
+          int8_mode ? DotQ8(pq8.data(), quant.PartnerCodes8(u), k)
+                    : DotQ16(pq16.data(), quant.PartnerCodes16(u), k);
+      pcomp[u] = qq.partner_bias + qq.partner_scale * static_cast<float>(dot);
+    }
+    for (size_t p = 0; p < qs.space->num_points(); ++p) {
+      const float approx =
+          ecomp[pe[p]] + pcomp[pp[p]] + qq.c_weight * c_values[p];
+      const float exact = Dot(q, qs.space->Point(p), point_dim);
+      max_err = std::max(max_err,
+                         static_cast<double>(std::abs(approx - exact)));
+    }
+  }
+  return max_err;
+}
+
+QuantResult MeasureQuantizedBatch(const QuerySpace& qs) {
+  recommend::SpaceIndex index(qs.space.get());
+  recommend::QuantizedSpace quant(&index);
+  recommend::BatchTaSearch batch(&quant);
+
+  QuantResult result;
+  result.precision =
+      quant.precision() == recommend::QuantizedSpace::Precision::kInt8
+          ? "int8"
+          : "int16";
+  result.max_abs_err = MeasureQuantizationError(
+      qs, index, quant, /*sample_queries=*/4, &result.max_epsilon);
+
+  std::vector<recommend::BatchQuery> bq(kQueries);
+  for (size_t i = 0; i < kQueries; ++i) {
+    bq[i] = recommend::BatchQuery{qs.queries[i].data(), kTopN,
+                                  qs.excludes[i]};
+  }
+
+  recommend::BatchTaSearch::Workspace ws;
+  std::vector<std::vector<recommend::SearchHit>> hits(64);
+  recommend::BatchSearchStats stats;
+
+  const size_t batch_sizes[] = {1, 8, 64};
+  double* slots[] = {&result.ms_b1, &result.ms_b8, &result.ms_b64};
+  size_t alloc_total = 0;
+  for (int b = 0; b < 3; ++b) {
+    const size_t bs = batch_sizes[b];
+    // Warm-up pass grows every workspace buffer to capacity.
+    for (size_t i = 0; i < kQueries; i += bs) {
+      const size_t n = std::min(bs, kQueries - i);
+      batch.SearchBatch(bq.data() + i, n, hits.data(), &stats, &ws);
+    }
+    const size_t allocs_before = g_allocations.load();
+    double examined = 0.0;
+    Stopwatch watch;
+    for (size_t i = 0; i < kQueries; i += bs) {
+      const size_t n = std::min(bs, kQueries - i);
+      batch.SearchBatch(bq.data() + i, n, hits.data(), &stats, &ws);
+      examined += stats.examined_fraction * static_cast<double>(n);
+    }
+    const double elapsed = watch.ElapsedSeconds();
+    alloc_total += g_allocations.load() - allocs_before;
+    *slots[b] = elapsed * 1000.0 / static_cast<double>(kQueries);
+    if (bs == 64) {
+      result.examined_fraction = examined / static_cast<double>(kQueries);
+    }
+  }
+  result.steady_state_allocations = alloc_total;
   return result;
 }
 
@@ -166,7 +303,9 @@ void Run() {
 
   const TrainResult k100 = MeasureTraining(city, 100);
   const TrainResult k60 = MeasureTraining(city, 60);
-  const TaResult ta = MeasureTaSearch(city);
+  const QuerySpace qs = BuildQuerySpace(city);
+  const TaResult ta = MeasureTaSearch(qs);
+  const QuantResult quant = MeasureQuantizedBatch(qs);
 
   const double speedup_k100 =
       k100.items_per_sec / kSeedTrainK100ItemsPerSec;
@@ -184,6 +323,16 @@ void Run() {
             << " ms, " << speedup_ta << "x), examined_frac "
             << ta.examined_fraction << ", steady-state allocations "
             << ta.steady_state_allocations << "\n";
+  std::cout << "quantized batched TA: " << quant.ms_b1 << " / "
+            << quant.ms_b8 << " / " << quant.ms_b64
+            << " ms/query at batch 1/8/64 (" << quant.precision
+            << "), vs exact " << ta.ms_per_query << " ms ("
+            << ta.ms_per_query / quant.ms_b64
+            << "x at batch 64), examined_frac "
+            << quant.examined_fraction << ", max_abs_err "
+            << quant.max_abs_err << " (bound " << quant.max_epsilon
+            << "), steady-state allocations "
+            << quant.steady_state_allocations << "\n";
 
   std::ofstream json("BENCH_hotpath.json");
   json << "{\n"
@@ -217,6 +366,25 @@ void Run() {
        << "    \"examined_fraction\": " << ta.examined_fraction << ",\n"
        << "    \"steady_state_allocations\": "
        << ta.steady_state_allocations << ",\n"
+       << "    \"target_allocations\": 0\n"
+       << "  },\n"
+       << "  \"quantized_batched_top10\": {\n"
+       << "    \"workload\": \"same space/queries as ta_search_top10, "
+          "quantized multi-query TA + exact fp32 re-rank\",\n"
+       << "    \"precision\": \"" << quant.precision << "\",\n"
+       << "    \"ms_per_query_batch1\": " << quant.ms_b1 << ",\n"
+       << "    \"ms_per_query_batch8\": " << quant.ms_b8 << ",\n"
+       << "    \"ms_per_query_batch64\": " << quant.ms_b64 << ",\n"
+       << "    \"target_ms_per_query_batch64\": 0.16,\n"
+       << "    \"speedup_vs_exact_ta_batch64\": "
+       << ta.ms_per_query / quant.ms_b64 << ",\n"
+       << "    \"examined_fraction\": " << quant.examined_fraction << ",\n"
+       << "    \"quantization_max_abs_err\": " << quant.max_abs_err
+       << ",\n"
+       << "    \"quantization_epsilon_bound\": " << quant.max_epsilon
+       << ",\n"
+       << "    \"steady_state_allocations\": "
+       << quant.steady_state_allocations << ",\n"
        << "    \"target_allocations\": 0\n"
        << "  }\n"
        << "}\n";

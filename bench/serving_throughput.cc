@@ -51,6 +51,8 @@ RunResult RunLoad(const embedding::EmbeddingStore& store,
                                    snapshot_options);
   serving::ServiceOptions service_options;
   service_options.num_workers = workers;
+  // Default retrieval mode: quantized multi-query batched TA with
+  // exact fp32 re-rank (what `gemrec serve` runs without --exact-ta).
   serving::RecommendationService service(service_options);
   service.Publish(builder.Build());
 
@@ -156,6 +158,7 @@ void Run() {
        << " snapshot swaps racing the traffic\",\n"
        << "  \"hardware_concurrency\": "
        << std::thread::hardware_concurrency() << ",\n"
+       << "  \"retrieval_mode\": \"quantized_batched\",\n"
        << "  \"runs\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];

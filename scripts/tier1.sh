@@ -5,7 +5,9 @@
 # serving engine snapshot-swap stress / network front-end), then an
 # UndefinedBehaviorSanitizer pass over the persistence/fault suites
 # (serialization, fault injection, online fold-in — the paths that
-# parse untrusted bytes or sample from possibly-empty domains).
+# parse untrusted bytes or sample from possibly-empty domains) plus
+# the quantized retrieval stack (integer scale/zero-point math and the
+# batched serve path).
 #
 # Usage: scripts/tier1.sh [--no-tsan] [--no-ubsan]
 #
@@ -58,7 +60,8 @@ if [[ "$RUN_UBSAN" == "1" ]]; then
   echo "== tier-1: UndefinedBehaviorSanitizer pass (fault/serialization/fold-in) =="
   cmake -B build-ubsan -S . -DGEMREC_SANITIZE=undefined >/dev/null
   cmake --build build-ubsan -j "$(nproc)" --target \
-    fault_test embedding_test common_test obs_test
+    fault_test embedding_test common_test obs_test recommend_test \
+    serving_test
   # -fno-sanitize-recover=all: any UB (e.g. sampling an empty domain
   # during fold-in, misaligned loads while parsing corrupt artifacts)
   # aborts the binary and fails this stage.
@@ -68,6 +71,11 @@ if [[ "$RUN_UBSAN" == "1" ]]; then
   # Histogram bucket math (bit shifts at the 64-bit edge) and the
   # stats wire codec parse under UBSan.
   ./build-ubsan/tests/obs_test
+  # Quantization arithmetic (scale/zero-point folding, int8/int16 code
+  # clamps, packed ordering keys) and the batched serve path: shifts,
+  # casts and float->int rounding must all be defined.
+  ./build-ubsan/tests/recommend_test
+  ./build-ubsan/tests/serving_test
 fi
 
 echo "== tier-1: OK =="

@@ -51,6 +51,37 @@ void ReluPortable(float* x, size_t n) {
   for (size_t i = 0; i < n; ++i) x[i] = x[i] < 0.0f ? 0.0f : x[i];
 }
 
+// Quantized-code dots: 4-way unrolled like DotPortable so the compiler
+// can vectorize; int32 accumulators are safe under the [0,127] /
+// [0,2047] caller contracts documented in vec_math.h.
+int32_t DotQ8Portable(const uint8_t* a, const int8_t* b, size_t n) {
+  int32_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += static_cast<int32_t>(a[i]) * b[i];
+    acc1 += static_cast<int32_t>(a[i + 1]) * b[i + 1];
+    acc2 += static_cast<int32_t>(a[i + 2]) * b[i + 2];
+    acc3 += static_cast<int32_t>(a[i + 3]) * b[i + 3];
+  }
+  int32_t acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < n; ++i) acc += static_cast<int32_t>(a[i]) * b[i];
+  return acc;
+}
+
+int32_t DotQ16Portable(const int16_t* a, const int16_t* b, size_t n) {
+  int32_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += static_cast<int32_t>(a[i]) * b[i];
+    acc1 += static_cast<int32_t>(a[i + 1]) * b[i + 1];
+    acc2 += static_cast<int32_t>(a[i + 2]) * b[i + 2];
+    acc3 += static_cast<int32_t>(a[i + 3]) * b[i + 3];
+  }
+  int32_t acc = (acc0 + acc1) + (acc2 + acc3);
+  for (; i < n; ++i) acc += static_cast<int32_t>(a[i]) * b[i];
+  return acc;
+}
+
 // ---------------------------------------------------------------------------
 // AVX2 + FMA kernels (runtime-gated; unaligned loads so callers may
 // pass arbitrary spans, e.g. query.data() + k in TA search).
@@ -106,6 +137,61 @@ __attribute__((target("avx2"))) void ReluAvx2(float* x, size_t n) {
   for (; i < n; ++i) x[i] = x[i] < 0.0f ? 0.0f : x[i];
 }
 
+// 32 codes per iteration: u8*i8 -> pairwise i16 (maddubs; pair sums
+// <= 2*127*127 = 32258, no saturation under the 7-bit contract), i16
+// pairs -> i32 (madd against ones), i32 lanes accumulate. Each i32
+// lane grows by <= 4*127^2 per iteration, so overflow needs n beyond
+// 2^21 — far past any embedding width.
+__attribute__((target("avx2"))) int32_t DotQ8Avx2(const uint8_t* a,
+                                                  const int8_t* b,
+                                                  size_t n) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b + i));
+    const __m256i prods16 = _mm256_maddubs_epi16(va, vb);
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(prods16, ones));
+  }
+  __m128i lo = _mm256_castsi256_si128(acc);
+  __m128i hi = _mm256_extracti128_si256(acc, 1);
+  lo = _mm_add_epi32(lo, hi);
+  lo = _mm_hadd_epi32(lo, lo);
+  lo = _mm_hadd_epi32(lo, lo);
+  int32_t sum = _mm_cvtsi128_si32(lo);
+  for (; i < n; ++i) sum += static_cast<int32_t>(a[i]) * b[i];
+  return sum;
+}
+
+// 16 codes per iteration via madd_epi16 (pair sums <= 2*2047^2 < 2^31
+// under the 11-bit contract); i32 lanes accumulate, each growing by
+// <= 2*2047^2 per iteration, so the n <= 512 caller contract keeps the
+// lanes far from overflow.
+__attribute__((target("avx2"))) int32_t DotQ16Avx2(const int16_t* a,
+                                                   const int16_t* b,
+                                                   size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i va = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+  }
+  __m128i lo = _mm256_castsi256_si128(acc);
+  __m128i hi = _mm256_extracti128_si256(acc, 1);
+  lo = _mm_add_epi32(lo, hi);
+  lo = _mm_hadd_epi32(lo, lo);
+  lo = _mm_hadd_epi32(lo, lo);
+  int32_t sum = _mm_cvtsi128_si32(lo);
+  for (; i < n; ++i) sum += static_cast<int32_t>(a[i]) * b[i];
+  return sum;
+}
+
 bool CpuHasAvx2Fma() {
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
 }
@@ -118,14 +204,20 @@ bool CpuHasAvx2Fma() {
 using DotFn = float (*)(const float*, const float*, size_t);
 using AxpyFn = void (*)(float, const float*, float*, size_t);
 using ReluFn = void (*)(float*, size_t);
+using DotQ8Fn = int32_t (*)(const uint8_t*, const int8_t*, size_t);
+using DotQ16Fn = int32_t (*)(const int16_t*, const int16_t*, size_t);
 
 float DotResolve(const float* a, const float* b, size_t n);
 void AxpyResolve(float alpha, const float* x, float* y, size_t n);
 void ReluResolve(float* x, size_t n);
+int32_t DotQ8Resolve(const uint8_t* a, const int8_t* b, size_t n);
+int32_t DotQ16Resolve(const int16_t* a, const int16_t* b, size_t n);
 
 std::atomic<DotFn> g_dot{&DotResolve};
 std::atomic<AxpyFn> g_axpy{&AxpyResolve};
 std::atomic<ReluFn> g_relu{&ReluResolve};
+std::atomic<DotQ8Fn> g_dot_q8{&DotQ8Resolve};
+std::atomic<DotQ16Fn> g_dot_q16{&DotQ16Resolve};
 
 bool UseAvx2() {
 #ifdef GEMREC_X86
@@ -165,6 +257,26 @@ void ReluResolve(float* x, size_t n) {
   fn(x, n);
 }
 
+int32_t DotQ8Resolve(const uint8_t* a, const int8_t* b, size_t n) {
+#ifdef GEMREC_X86
+  const DotQ8Fn fn = UseAvx2() ? &DotQ8Avx2 : &DotQ8Portable;
+#else
+  const DotQ8Fn fn = &DotQ8Portable;
+#endif
+  g_dot_q8.store(fn, std::memory_order_relaxed);
+  return fn(a, b, n);
+}
+
+int32_t DotQ16Resolve(const int16_t* a, const int16_t* b, size_t n) {
+#ifdef GEMREC_X86
+  const DotQ16Fn fn = UseAvx2() ? &DotQ16Avx2 : &DotQ16Portable;
+#else
+  const DotQ16Fn fn = &DotQ16Portable;
+#endif
+  g_dot_q16.store(fn, std::memory_order_relaxed);
+  return fn(a, b, n);
+}
+
 }  // namespace
 
 float DotDispatch(const float* a, const float* b, size_t n) {
@@ -177,6 +289,14 @@ void AxpyDispatch(float alpha, const float* x, float* y, size_t n) {
 
 void ReluDispatch(float* x, size_t n) {
   g_relu.load(std::memory_order_relaxed)(x, n);
+}
+
+int32_t DotQ8Dispatch(const uint8_t* a, const int8_t* b, size_t n) {
+  return g_dot_q8.load(std::memory_order_relaxed)(a, b, n);
+}
+
+int32_t DotQ16Dispatch(const int16_t* a, const int16_t* b, size_t n) {
+  return g_dot_q16.load(std::memory_order_relaxed)(a, b, n);
 }
 
 const char* KernelVariant() { return UseAvx2() ? "avx2" : "scalar"; }

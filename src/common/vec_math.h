@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 
 namespace gemrec {
 
@@ -30,6 +31,8 @@ extern const float* SigmoidTable();  // kSigmoidEntries + 1 floats
 float DotDispatch(const float* a, const float* b, size_t n);
 void AxpyDispatch(float alpha, const float* x, float* y, size_t n);
 void ReluDispatch(float* x, size_t n);
+int32_t DotQ8Dispatch(const uint8_t* a, const int8_t* b, size_t n);
+int32_t DotQ16Dispatch(const int16_t* a, const int16_t* b, size_t n);
 
 /// Name of the kernel variant in use ("avx2" or "scalar"); for logs,
 /// benches and tests.
@@ -80,6 +83,31 @@ inline float Norm(const float* x, size_t n) {
   return std::sqrt(Dot(x, x, n));
 }
 
+/// Quantized dot products. Value-range contracts (enforced by the
+/// quantizers, not the kernels) exist so the AVX2 variants can use
+/// _mm256_maddubs_epi16 / _mm256_madd_epi16 without saturating and the
+/// scalar references can accumulate in int32 without signed overflow
+/// (which UBSan would flag):
+///   DotQ8:  a in [0, 127], b in [0, 127]  -> n up to ~2^17 is safe
+///           (pairwise i16 sums stay <= 2*127*127 = 32258 < 2^15).
+///   DotQ16: both in [0, 2047]             -> n up to 512 is safe
+///           (per-product <= 2047^2 ~ 2^22; 512 of them < 2^31).
+inline int32_t DotQ8(const uint8_t* a, const int8_t* b, size_t n) {
+  int32_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return acc;
+}
+
+inline int32_t DotQ16(const int16_t* a, const int16_t* b, size_t n) {
+  int32_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return acc;
+}
+
 }  // namespace scalar
 
 /// Dense dot product over contiguous float spans of length n.
@@ -103,6 +131,21 @@ inline void ReluInPlace(float* x, size_t n) {
 /// Euclidean norm.
 inline float Norm(const float* x, size_t n) {
   return std::sqrt(Dot(x, x, n));
+}
+
+/// Quantized-code dot product: unsigned 7-bit codes against signed
+/// 7-bit codes (see the scalar reference for the [0, 127] range
+/// contract). Integer-exact: the dispatched kernel returns the same
+/// int32 as the scalar loop, bit for bit — no float reassociation
+/// caveat like Dot.
+inline int32_t DotQ8(const uint8_t* a, const int8_t* b, size_t n) {
+  return vec_detail::DotQ8Dispatch(a, b, n);
+}
+
+/// Quantized-code dot product over 11-bit codes ([0, 2047] both sides,
+/// n <= 512); integer-exact like DotQ8.
+inline int32_t DotQ16(const int16_t* a, const int16_t* b, size_t n) {
+  return vec_detail::DotQ16Dispatch(a, b, n);
 }
 
 }  // namespace gemrec

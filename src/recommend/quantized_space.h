@@ -1,0 +1,160 @@
+#ifndef GEMREC_RECOMMEND_QUANTIZED_SPACE_H_
+#define GEMREC_RECOMMEND_QUANTIZED_SPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "recommend/space_index.h"
+
+namespace gemrec::recommend {
+
+/// Quantized companion of a TransformedSpace, built once per model
+/// snapshot. The exact TA's cost at scale is dominated by scattered
+/// reads over the full point matrix (2K+1 floats per pair, hundreds of
+/// MB at ~10^6 pairs). This structure replaces that traffic with three
+/// compact arrays sized to the *group* structure, not the pair count:
+///
+///   * event codes:   num_events   x K integer codes (the first K
+///     coordinates of each event group's representative point),
+///   * partner codes: num_partners x K integer codes (coordinates
+///     [K, 2K) of each partner group's representative point),
+///   * C values:      one fp32 per pair, stored twice — indexed by pair
+///     id for scoring, and in C-descending rank order so the TA's C
+///     walk is a sequential read.
+///
+/// Codes use per-dimension asymmetric affine quantization
+///     code_d = round((v_d - min_d) / scale_d)
+/// into [0, 127] (int8 mode) or [0, 2047] (int16 mode). The 7-/11-bit
+/// ranges are deliberate: they keep the SIMD kernels' intermediate
+/// products inside int16 (DotQ8's maddubs pairs) and the scalar int32
+/// accumulator exact (see common/vec_math.h contracts). The C
+/// coordinate stays fp32: it is a single value per pair, so compaction
+/// — not bit-width — is the win, and keeping it exact removes one term
+/// from the error bound.
+///
+/// A query q folds into the code domain as w_d = q_d * scale_d >= 0,
+/// itself quantized with a single per-half scale; the approximate
+/// component is then an integer dot product plus a per-query bias
+/// (Sum q_d * min_d). QuantizeQuery returns, alongside the codes, a
+/// rigorous one-sided bound `epsilon` on |approx - exact| for any pair,
+/// which BatchTaSearch uses to widen the TA stopping threshold so that
+/// no true top-n candidate is ever pruned (DESIGN.md section 13).
+///
+/// Precision is chosen at build time: int8 when the estimated relative
+/// component error against a worst-case reference query is tiny, int16
+/// otherwise (the bias is toward int16 — a tighter epsilon keeps the
+/// examined set, and therefore the exact re-rank, near the exact TA's).
+///
+/// Immutable after construction; `index` must outlive this object.
+class QuantizedSpace {
+ public:
+  enum class Precision : uint8_t { kInt8, kInt16 };
+
+  struct Options {
+    /// kAuto picks by estimated relative error; the others force a
+    /// precision (used by tests to cover both kernel paths).
+    enum class Force : uint8_t { kAuto, kInt8, kInt16 };
+    Force force = Force::kAuto;
+  };
+
+  /// Per-query constants produced by QuantizeQuery.
+  struct QuantizedQuery {
+    /// Scale of the folded event-/partner-half query codes (sw): the
+    /// approximate component is bias + sw * IntegerDot(codes, codes).
+    float event_scale = 0.0f;
+    float partner_scale = 0.0f;
+    /// Sum_d q_d * min_d over the half's dimensions.
+    float event_bias = 0.0f;
+    float partner_bias = 0.0f;
+    /// q[2K]: the exact fp32 weight of the C coordinate.
+    float c_weight = 0.0f;
+    /// One-sided bound: |approx_score - exact_score| <= epsilon for
+    /// every pair in the space.
+    float epsilon = 0.0f;
+  };
+
+  explicit QuantizedSpace(const SpaceIndex* index);
+  QuantizedSpace(const SpaceIndex* index, Options options);
+
+  const SpaceIndex& index() const { return *index_; }
+  Precision precision() const { return precision_; }
+  uint32_t latent_dim() const { return latent_dim_; }
+  size_t num_events() const { return index_->num_events(); }
+  size_t num_partners() const { return index_->num_partners(); }
+
+  /// Quantizes a (2K+1)-dim nonnegative fp32 query. Exactly one pair of
+  /// output buffers is written, matching precision(); each must hold
+  /// latent_dim() entries (they may be null in the other mode). Event
+  /// codes pair with EventCodes*, partner codes with PartnerCodes*.
+  QuantizedQuery QuantizeQuery(const float* query, uint8_t* event_codes8,
+                               uint8_t* partner_codes8,
+                               int16_t* event_codes16,
+                               int16_t* partner_codes16) const;
+
+  /// Row pointers into the compact code matrices (K codes per row).
+  /// The 8-bit variants are valid only when precision() == kInt8, the
+  /// 16-bit ones only when precision() == kInt16.
+  const int8_t* EventCodes8(size_t e) const {
+    return event_codes8_.data() + e * latent_dim_;
+  }
+  const int8_t* PartnerCodes8(size_t u) const {
+    return partner_codes8_.data() + u * latent_dim_;
+  }
+  const int16_t* EventCodes16(size_t e) const {
+    return event_codes16_.data() + e * latent_dim_;
+  }
+  const int16_t* PartnerCodes16(size_t u) const {
+    return partner_codes16_.data() + u * latent_dim_;
+  }
+
+  /// Exact fp32 C coordinate by pair id.
+  const std::vector<float>& c_values() const { return c_values_; }
+  /// C coordinates in the index's c_sorted() rank order (sequential
+  /// walk companion: c_sorted_values()[r] is the C of c_sorted()[r]).
+  const std::vector<float>& c_sorted_values() const {
+    return c_sorted_values_;
+  }
+
+  /// Max over group rows of the sum of that row's codes; the query-
+  /// rounding half of the epsilon bound (see QuantizeQuery).
+  int64_t max_event_code_row_sum() const { return max_event_row_sum_; }
+  int64_t max_partner_code_row_sum() const { return max_partner_row_sum_; }
+
+  /// The relative error estimate kAuto used to pick the precision
+  /// (estimated int8 bound / reference score magnitude; 0 when the
+  /// space is empty or degenerate).
+  float int8_relative_error_estimate() const { return rel_err8_estimate_; }
+
+ private:
+  struct HalfParams {
+    std::vector<float> min;       // K per-dimension zero points
+    std::vector<float> scale;     // K per-dimension scales (0 if flat)
+    std::vector<float> half_err;  // per-dim one-sided rounding bound
+  };
+
+  void BuildHalfParams(bool partner_half, int levels, HalfParams* out);
+  template <typename Code>
+  int64_t EncodeRows(bool partner_half, const HalfParams& params,
+                     std::vector<Code>* codes);
+
+  const SpaceIndex* index_;
+  uint32_t latent_dim_;
+  Precision precision_ = Precision::kInt16;
+  float rel_err8_estimate_ = 0.0f;
+
+  HalfParams event_params_;
+  HalfParams partner_params_;
+  std::vector<int8_t> event_codes8_;
+  std::vector<int8_t> partner_codes8_;
+  std::vector<int16_t> event_codes16_;
+  std::vector<int16_t> partner_codes16_;
+  int64_t max_event_row_sum_ = 0;
+  int64_t max_partner_row_sum_ = 0;
+
+  std::vector<float> c_values_;
+  std::vector<float> c_sorted_values_;
+};
+
+}  // namespace gemrec::recommend
+
+#endif  // GEMREC_RECOMMEND_QUANTIZED_SPACE_H_

@@ -1,0 +1,60 @@
+#include "recommend/space_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace gemrec::recommend {
+
+SpaceIndex::SpaceIndex(const TransformedSpace* space) : space_(space) {
+  GEMREC_CHECK(space != nullptr);
+  GEMREC_CHECK(space->point_dim() % 2 == 1);
+  latent_dim_ = (space->point_dim() - 1) / 2;
+  const size_t n = space_->num_points();
+
+  std::unordered_map<ebsn::EventId, uint32_t> event_index;
+  for (size_t i = 0; i < n; ++i) {
+    const CandidatePair& pair = space_->pair(i);
+    auto [eit, einserted] = event_index.try_emplace(
+        pair.event, static_cast<uint32_t>(events_.size()));
+    if (einserted) {
+      events_.push_back(pair.event);
+      event_pairs_.emplace_back();
+    }
+    event_pairs_[eit->second].push_back(static_cast<uint32_t>(i));
+
+    auto [pit, pinserted] = partner_index_.try_emplace(
+        pair.partner, static_cast<uint32_t>(partners_.size()));
+    if (pinserted) {
+      partners_.push_back(pair.partner);
+      partner_pairs_.emplace_back();
+    }
+    partner_pairs_[pit->second].push_back(static_cast<uint32_t>(i));
+  }
+
+  // Inverse maps so a pair's components are O(1) during random access.
+  pair_event_idx_.resize(n);
+  for (size_t e = 0; e < events_.size(); ++e) {
+    for (uint32_t id : event_pairs_[e]) {
+      pair_event_idx_[id] = static_cast<uint32_t>(e);
+    }
+  }
+  pair_partner_idx_.resize(n);
+  for (size_t u = 0; u < partners_.size(); ++u) {
+    for (uint32_t id : partner_pairs_[u]) {
+      pair_partner_idx_[id] = static_cast<uint32_t>(u);
+    }
+  }
+
+  c_sorted_.resize(n);
+  std::iota(c_sorted_.begin(), c_sorted_.end(), 0);
+  const uint32_t c_dim = 2 * latent_dim_;
+  std::stable_sort(c_sorted_.begin(), c_sorted_.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return space_->Point(a)[c_dim] >
+                            space_->Point(b)[c_dim];
+                   });
+}
+
+}  // namespace gemrec::recommend

@@ -1,0 +1,81 @@
+#ifndef GEMREC_RECOMMEND_SPACE_INDEX_H_
+#define GEMREC_RECOMMEND_SPACE_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ebsn/types.h"
+#include "recommend/space_transform.h"
+
+namespace gemrec::recommend {
+
+/// Query-independent structure of a TransformedSpace, extracted from
+/// TaSearch so every searcher over the same space (exact TA, the
+/// quantized batch path, and QuantizedSpace's per-group compaction)
+/// shares one O(n log n) preprocessing pass instead of each rebuilding
+/// it:
+///   * distinct events/partners with their pair-index lists (the
+///     "groups" whose aggregate components A and B the TA walks),
+///   * pair -> group inverse maps for O(1) random-access scoring,
+///   * the pair order sorted by the materialized C coordinate
+///     descending (the one sorted list that is query-independent),
+///   * the partner census used by the exclusion filter.
+///
+/// Immutable after construction; `space` must outlive the index.
+class SpaceIndex {
+ public:
+  explicit SpaceIndex(const TransformedSpace* space);
+
+  const TransformedSpace& space() const { return *space_; }
+  /// K: the latent dimension (point_dim == 2K + 1).
+  uint32_t latent_dim() const { return latent_dim_; }
+
+  size_t num_events() const { return events_.size(); }
+  size_t num_partners() const { return partners_.size(); }
+
+  const std::vector<ebsn::EventId>& events() const { return events_; }
+  const std::vector<ebsn::UserId>& partners() const { return partners_; }
+  const std::vector<std::vector<uint32_t>>& event_pairs() const {
+    return event_pairs_;
+  }
+  const std::vector<std::vector<uint32_t>>& partner_pairs() const {
+    return partner_pairs_;
+  }
+  const std::vector<uint32_t>& pair_event_idx() const {
+    return pair_event_idx_;
+  }
+  const std::vector<uint32_t>& pair_partner_idx() const {
+    return pair_partner_idx_;
+  }
+  const std::vector<uint32_t>& c_sorted() const { return c_sorted_; }
+
+  /// Number of candidate pairs whose partner is NOT `exclude_partner`
+  /// (O(1) via the partner census): the count of results a top-n query
+  /// can possibly return.
+  size_t ResultsPossible(ebsn::UserId exclude_partner) const {
+    size_t possible = space_->num_points();
+    if (auto it = partner_index_.find(exclude_partner);
+        it != partner_index_.end()) {
+      possible -= partner_pairs_[it->second].size();
+    }
+    return possible;
+  }
+
+ private:
+  const TransformedSpace* space_;
+  uint32_t latent_dim_;
+
+  std::vector<ebsn::EventId> events_;
+  std::vector<std::vector<uint32_t>> event_pairs_;
+  std::vector<ebsn::UserId> partners_;
+  std::vector<std::vector<uint32_t>> partner_pairs_;
+  std::unordered_map<ebsn::UserId, uint32_t> partner_index_;
+  std::vector<uint32_t> pair_event_idx_;
+  std::vector<uint32_t> pair_partner_idx_;
+  std::vector<uint32_t> c_sorted_;
+};
+
+}  // namespace gemrec::recommend
+
+#endif  // GEMREC_RECOMMEND_SPACE_INDEX_H_

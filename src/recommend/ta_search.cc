@@ -15,55 +15,17 @@ thread_local TaSearch::Scratch t_default_scratch;
 
 }  // namespace
 
-TaSearch::TaSearch(const TransformedSpace* space) : space_(space) {
-  GEMREC_CHECK(space != nullptr);
-  GEMREC_CHECK(space->point_dim() % 2 == 1);
-  latent_dim_ = (space->point_dim() - 1) / 2;
-  const size_t n = space_->num_points();
+TaSearch::TaSearch(const TransformedSpace* space)
+    : owned_index_(std::make_unique<SpaceIndex>(space)),
+      index_(owned_index_.get()),
+      space_(space),
+      latent_dim_(owned_index_->latent_dim()) {}
 
-  std::unordered_map<ebsn::EventId, uint32_t> event_index;
-  for (size_t i = 0; i < n; ++i) {
-    const CandidatePair& pair = space_->pair(i);
-    auto [eit, einserted] = event_index.try_emplace(
-        pair.event, static_cast<uint32_t>(events_.size()));
-    if (einserted) {
-      events_.push_back(pair.event);
-      event_pairs_.emplace_back();
-    }
-    event_pairs_[eit->second].push_back(static_cast<uint32_t>(i));
-
-    auto [pit, pinserted] = partner_index_.try_emplace(
-        pair.partner, static_cast<uint32_t>(partners_.size()));
-    if (pinserted) {
-      partners_.push_back(pair.partner);
-      partner_pairs_.emplace_back();
-    }
-    partner_pairs_[pit->second].push_back(static_cast<uint32_t>(i));
-  }
-
-  // Inverse maps so a pair's components are O(1) during random access.
-  // Query-independent, so built here instead of per Search call.
-  pair_event_idx_.resize(n);
-  for (size_t e = 0; e < events_.size(); ++e) {
-    for (uint32_t id : event_pairs_[e]) {
-      pair_event_idx_[id] = static_cast<uint32_t>(e);
-    }
-  }
-  pair_partner_idx_.resize(n);
-  for (size_t u = 0; u < partners_.size(); ++u) {
-    for (uint32_t id : partner_pairs_[u]) {
-      pair_partner_idx_[id] = static_cast<uint32_t>(u);
-    }
-  }
-
-  c_sorted_.resize(n);
-  std::iota(c_sorted_.begin(), c_sorted_.end(), 0);
-  const uint32_t c_dim = 2 * latent_dim_;
-  std::stable_sort(c_sorted_.begin(), c_sorted_.end(),
-                   [&](uint32_t a, uint32_t b) {
-                     return space_->Point(a)[c_dim] >
-                            space_->Point(b)[c_dim];
-                   });
+TaSearch::TaSearch(const SpaceIndex* index)
+    : index_(index),
+      space_(&index->space()),
+      latent_dim_(index->latent_dim()) {
+  GEMREC_CHECK(index != nullptr);
 }
 
 std::vector<SearchHit> TaSearch::Search(const std::vector<float>& query,
@@ -103,20 +65,28 @@ void TaSearch::SearchInto(const std::vector<float>& query, size_t n,
   const uint32_t c_dim = 2 * k;
   const float c_weight = query[c_dim];
 
+  const auto& event_pairs = index_->event_pairs();
+  const auto& partner_pairs = index_->partner_pairs();
+  const auto& pair_event_idx = index_->pair_event_idx();
+  const auto& pair_partner_idx = index_->pair_partner_idx();
+  const auto& c_sorted = index_->c_sorted();
+  const size_t num_events = index_->num_events();
+  const size_t num_partners = index_->num_partners();
+
   // Per-group aggregate components: A over the event block, B over the
   // partner block. Computed from any representative pair of the group
   // (those coordinates are identical across the group by construction).
   // resize() allocates only on the first query through this scratch.
-  scratch->event_component.resize(events_.size());
+  scratch->event_component.resize(num_events);
   float* event_component = scratch->event_component.data();
-  for (size_t e = 0; e < events_.size(); ++e) {
-    const float* p = space_->Point(event_pairs_[e].front());
+  for (size_t e = 0; e < num_events; ++e) {
+    const float* p = space_->Point(event_pairs[e].front());
     event_component[e] = Dot(query.data(), p, k);
   }
-  scratch->partner_component.resize(partners_.size());
+  scratch->partner_component.resize(num_partners);
   float* partner_component = scratch->partner_component.data();
-  for (size_t u = 0; u < partners_.size(); ++u) {
-    const float* p = space_->Point(partner_pairs_[u].front());
+  for (size_t u = 0; u < num_partners; ++u) {
+    const float* p = space_->Point(partner_pairs[u].front());
     partner_component[u] = Dot(query.data() + k, p + k, k);
   }
   auto pair_score = [&](uint32_t id, uint32_t event_idx,
@@ -127,14 +97,14 @@ void TaSearch::SearchInto(const std::vector<float>& query, size_t n,
 
   // Query-time orderings of the A and B lists (in-place introsort; no
   // scratch buffer, unlike stable_sort).
-  scratch->event_order.resize(events_.size());
+  scratch->event_order.resize(num_events);
   std::vector<uint32_t>& event_order = scratch->event_order;
   std::iota(event_order.begin(), event_order.end(), 0);
   std::sort(event_order.begin(), event_order.end(),
             [&](uint32_t a, uint32_t b) {
               return event_component[a] > event_component[b];
             });
-  scratch->partner_order.resize(partners_.size());
+  scratch->partner_order.resize(num_partners);
   std::vector<uint32_t>& partner_order = scratch->partner_order;
   std::iota(partner_order.begin(), partner_order.end(), 0);
   std::sort(partner_order.begin(), partner_order.end(),
@@ -142,14 +112,10 @@ void TaSearch::SearchInto(const std::vector<float>& query, size_t n,
               return partner_component[a] > partner_component[b];
             });
 
-  // O(1) census via the constructor-built partner index: every pair is
-  // a candidate except those of the excluded partner.
-  size_t results_possible = num_points;
-  if (auto it = partner_index_.find(exclude_partner);
-      it != partner_index_.end()) {
-    results_possible -= partner_pairs_[it->second].size();
-  }
-  const size_t want = std::min(n, results_possible);
+  // O(1) census via the index-built partner map: every pair is a
+  // candidate except those of the excluded partner.
+  const size_t want =
+      std::min(n, index_->ResultsPossible(exclude_partner));
   if (want == 0) {
     finish();
     return;
@@ -175,8 +141,7 @@ void TaSearch::SearchInto(const std::vector<float>& query, size_t n,
     seen[id] = generation;
     ++local_stats.points_examined;
     if (space_->pair(id).partner == exclude_partner) return;
-    heap.Push(id,
-              pair_score(id, pair_event_idx_[id], pair_partner_idx_[id]));
+    heap.Push(id, pair_score(id, pair_event_idx[id], pair_partner_idx[id]));
   };
 
   // Three-list TA with best-first scheduling: cursors into the A-, B-
@@ -200,7 +165,7 @@ void TaSearch::SearchInto(const std::vector<float>& query, size_t n,
   };
   auto c_head = [&]() {
     return c_cursor < num_points
-               ? c_weight * space_->Point(c_sorted_[c_cursor])[c_dim]
+               ? c_weight * space_->Point(c_sorted[c_cursor])[c_dim]
                : 0.0f;
   };
 
@@ -218,7 +183,7 @@ void TaSearch::SearchInto(const std::vector<float>& query, size_t n,
     }
     // Best-first: advance the list with the largest head.
     if (ha >= hb && ha >= hc && a_group < event_order.size()) {
-      const auto& pairs = event_pairs_[event_order[a_group]];
+      const auto& pairs = event_pairs[event_order[a_group]];
       examine(pairs[a_offset]);
       ++local_stats.sorted_accesses;
       if (++a_offset >= pairs.size()) {
@@ -226,7 +191,7 @@ void TaSearch::SearchInto(const std::vector<float>& query, size_t n,
         ++a_group;
       }
     } else if (hb >= hc && b_group < partner_order.size()) {
-      const auto& pairs = partner_pairs_[partner_order[b_group]];
+      const auto& pairs = partner_pairs[partner_order[b_group]];
       examine(pairs[b_offset]);
       ++local_stats.sorted_accesses;
       if (++b_offset >= pairs.size()) {
@@ -234,13 +199,13 @@ void TaSearch::SearchInto(const std::vector<float>& query, size_t n,
         ++b_group;
       }
     } else if (c_cursor < num_points) {
-      examine(c_sorted_[c_cursor]);
+      examine(c_sorted[c_cursor]);
       ++local_stats.sorted_accesses;
       ++c_cursor;
     } else {
       // Preferred list exhausted; fall back to any remaining one.
       if (a_group < event_order.size()) {
-        const auto& pairs = event_pairs_[event_order[a_group]];
+        const auto& pairs = event_pairs[event_order[a_group]];
         examine(pairs[a_offset]);
         ++local_stats.sorted_accesses;
         if (++a_offset >= pairs.size()) {
@@ -248,7 +213,7 @@ void TaSearch::SearchInto(const std::vector<float>& query, size_t n,
           ++a_group;
         }
       } else if (b_group < partner_order.size()) {
-        const auto& pairs = partner_pairs_[partner_order[b_group]];
+        const auto& pairs = partner_pairs[partner_order[b_group]];
         examine(pairs[b_offset]);
         ++local_stats.sorted_accesses;
         if (++b_offset >= pairs.size()) {

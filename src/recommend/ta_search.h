@@ -2,11 +2,12 @@
 #define GEMREC_RECOMMEND_TA_SEARCH_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "common/top_k.h"
 #include "ebsn/types.h"
+#include "recommend/space_index.h"
 #include "recommend/space_transform.h"
 
 namespace gemrec::recommend {
@@ -79,10 +80,18 @@ class TaSearch {
     TopK<uint32_t> heap{1};
   };
 
-  /// `space` must outlive the searcher. Preprocessing groups pairs by
-  /// event and by partner, sorts pairs by C, and builds the pair→group
-  /// inverse maps (O(n log n)).
+  /// `space` must outlive the searcher. Preprocessing builds a private
+  /// SpaceIndex: groups pairs by event and by partner, sorts pairs by
+  /// C, and builds the pair→group inverse maps (O(n log n)).
   explicit TaSearch(const TransformedSpace* space);
+
+  /// Shares a prebuilt index instead of building one (ModelSnapshot
+  /// builds the index once for the exact and quantized searchers).
+  /// `index` must outlive the searcher.
+  explicit TaSearch(const SpaceIndex* index);
+
+  /// The query-independent space structure this searcher walks.
+  const SpaceIndex& index() const { return *index_; }
 
   /// Returns the top-n pairs by q·p, excluding pairs whose partner is
   /// `exclude_partner` (a user cannot be her own partner). Exact: the
@@ -103,23 +112,12 @@ class TaSearch {
                   Scratch* scratch = nullptr) const;
 
  private:
+  /// Set only by the convenience constructor; index_ always points at
+  /// the structure in use (owned or shared).
+  std::unique_ptr<SpaceIndex> owned_index_;
+  const SpaceIndex* index_;
   const TransformedSpace* space_;
   uint32_t latent_dim_;  // K (point_dim == 2K + 1)
-
-  /// Distinct event/partner ids with their pair index lists.
-  std::vector<ebsn::EventId> events_;
-  std::vector<std::vector<uint32_t>> event_pairs_;
-  std::vector<ebsn::UserId> partners_;
-  std::vector<std::vector<uint32_t>> partner_pairs_;
-  /// partner id → index into partners_ (O(1) census for the exclusion
-  /// filter: results_possible = n − |pairs of excluded partner|).
-  std::unordered_map<ebsn::UserId, uint32_t> partner_index_;
-  /// pair index → its group index on each side (O(1) random-access
-  /// scoring; query-independent, so built once).
-  std::vector<uint32_t> pair_event_idx_;
-  std::vector<uint32_t> pair_partner_idx_;
-  /// Pair indices sorted by the C coordinate, descending.
-  std::vector<uint32_t> c_sorted_;
 };
 
 }  // namespace gemrec::recommend

@@ -30,7 +30,13 @@ ModelSnapshot::ModelSnapshot(const embedding::EmbeddingStore& store,
       options.build_pool);
   space_ = std::make_unique<recommend::TransformedSpace>(model_,
                                                          std::move(pairs));
-  ta_ = std::make_unique<recommend::TaSearch>(space_.get());
+  // One grouping/sort pass shared by the exact and quantized searchers.
+  index_ = std::make_unique<recommend::SpaceIndex>(space_.get());
+  ta_ = std::make_unique<recommend::TaSearch>(index_.get());
+  if (options.build_quantized) {
+    quant_ = std::make_unique<recommend::QuantizedSpace>(index_.get());
+    batch_ = std::make_unique<recommend::BatchTaSearch>(quant_.get());
+  }
 }
 
 }  // namespace gemrec::serving

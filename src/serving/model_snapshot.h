@@ -8,7 +8,10 @@
 #include "common/thread_pool.h"
 #include "ebsn/types.h"
 #include "embedding/embedding_store.h"
+#include "recommend/batch_ta_search.h"
 #include "recommend/gem_model.h"
+#include "recommend/quantized_space.h"
+#include "recommend/space_index.h"
 #include "recommend/space_transform.h"
 #include "recommend/ta_search.h"
 
@@ -20,6 +23,10 @@ struct SnapshotOptions {
   uint32_t top_k_events_per_partner = 20;
   /// Optional pool for the candidate-pair build (caller participates).
   ThreadPool* build_pool = nullptr;
+  /// Also build the QuantizedSpace + BatchTaSearch companion at publish
+  /// time (the default serving retrieval). Disable to serve exact
+  /// per-query TA only (`gemrec serve --exact-ta`).
+  bool build_quantized = true;
 };
 
 /// An immutable, self-contained serving model: a deep copy of the
@@ -59,6 +66,14 @@ class ModelSnapshot {
   const recommend::GemModel& model() const { return model_; }
   const recommend::TransformedSpace& space() const { return *space_; }
   const recommend::TaSearch& searcher() const { return *ta_; }
+  /// Quantized batched retrieval companions; null when the snapshot was
+  /// built with build_quantized = false.
+  const recommend::QuantizedSpace* quantized() const {
+    return quant_.get();
+  }
+  const recommend::BatchTaSearch* batch_searcher() const {
+    return batch_.get();
+  }
   const std::vector<ebsn::EventId>& events() const { return events_; }
   uint32_t num_users() const { return num_users_; }
   size_t num_candidate_pairs() const { return space_->num_points(); }
@@ -83,7 +98,10 @@ class ModelSnapshot {
   uint32_t num_users_;
   uint64_t pool_hash_;
   std::unique_ptr<recommend::TransformedSpace> space_;
+  std::unique_ptr<recommend::SpaceIndex> index_;  // shared by searchers
   std::unique_ptr<recommend::TaSearch> ta_;
+  std::unique_ptr<recommend::QuantizedSpace> quant_;
+  std::unique_ptr<recommend::BatchTaSearch> batch_;
 };
 
 }  // namespace gemrec::serving

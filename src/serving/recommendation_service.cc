@@ -43,7 +43,17 @@ RecommendationService::RecommendationService(const ServiceOptions& options)
   ta_search_us_ = registry_->GetHistogram(
       "gemrec_service_ta_search_us",
       "Microseconds one TA top-n search took on a worker (cache "
-      "misses only).");
+      "misses only; batched-mode entries are the per-miss share of "
+      "their batch).");
+  quantize_scan_us_ = registry_->GetHistogram(
+      "gemrec_service_quantize_scan_us",
+      "Microseconds one batch spent in the quantized stage (query "
+      "quantization, batched components, sorts, TA walk). Batched "
+      "retrieval only.");
+  rerank_us_ = registry_->GetHistogram(
+      "gemrec_service_rerank_us",
+      "Microseconds one batch spent re-scoring survivors in exact "
+      "fp32. Batched retrieval only.");
 
   options_.num_workers = std::max(1u, options_.num_workers);
   options_.max_batch = std::max<size_t>(1, options_.max_batch);
@@ -164,9 +174,7 @@ ServiceStats RecommendationService::stats() const {
 void RecommendationService::WorkerLoop() {
   // Per-worker reusable state: after warm-up the TA query path makes
   // no heap allocation (scratch + hits keep their capacity).
-  recommend::TaSearch::Scratch scratch;
-  std::vector<recommend::SearchHit> hits;
-  std::vector<float> query_vec;
+  WorkerState state;
   std::vector<PendingRequest> batch;
 
   while (true) {
@@ -224,17 +232,36 @@ void RecommendationService::WorkerLoop() {
     }
 
     batches_->Increment();
-    ServeBatch(&batch, *snapshot, &query_vec, &hits, &scratch);
+    ServeBatch(&batch, *snapshot, &state);
     in_flight_->Sub(static_cast<int64_t>(batch.size()));
     // `snapshot` drops its reference here; if a Publish retired it
     // mid-batch and this was the last reader, it is destroyed now.
   }
 }
 
-void RecommendationService::ServeBatch(
-    std::vector<PendingRequest>* batch, const ModelSnapshot& snapshot,
-    std::vector<float>* query_vec, std::vector<recommend::SearchHit>* hits,
-    recommend::TaSearch::Scratch* scratch) {
+void RecommendationService::CompleteMiss(
+    PendingRequest* pending, QueryResponse response,
+    const std::vector<recommend::SearchHit>& hits, uint64_t epoch) {
+  const QueryRequest& request = pending->request;
+  response.items.reserve(hits.size());
+  for (const recommend::SearchHit& hit : hits) {
+    response.items.push_back(recommend::Recommendation{
+        hit.pair.event, hit.pair.partner, hit.score});
+  }
+  if (!request.bypass_cache) {
+    const CacheKey key{request.user, request.n, request.filter_hash};
+    cache_.Insert(key, epoch, response.items);
+  }
+  pending->Complete(std::move(response));
+}
+
+void RecommendationService::ServeBatch(std::vector<PendingRequest>* batch,
+                                       const ModelSnapshot& snapshot,
+                                       WorkerState* state) {
+  if (options_.use_batch_ta && snapshot.batch_searcher() != nullptr) {
+    ServeBatchQuantized(batch, snapshot, state);
+    return;
+  }
   const uint64_t epoch = snapshot.epoch();
   for (PendingRequest& pending : *batch) {
     const QueryRequest& request = pending.request;
@@ -252,23 +279,79 @@ void RecommendationService::ServeBatch(
     }
 
     const auto search_start = std::chrono::steady_clock::now();
-    snapshot.QueryVector(request.user, query_vec);
-    snapshot.searcher().SearchInto(*query_vec, request.n,
-                                   /*exclude_partner=*/request.user, hits,
-                                   &response.stats, scratch);
+    snapshot.QueryVector(request.user, &state->query_vec);
+    snapshot.searcher().SearchInto(state->query_vec, request.n,
+                                   /*exclude_partner=*/request.user,
+                                   &state->hits, &response.stats,
+                                   &state->scratch);
     ta_search_us_->Record(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - search_start)
             .count()));
-    response.items.reserve(hits->size());
-    for (const recommend::SearchHit& hit : *hits) {
-      response.items.push_back(recommend::Recommendation{
-          hit.pair.event, hit.pair.partner, hit.score});
+    CompleteMiss(&pending, std::move(response), state->hits, epoch);
+  }
+}
+
+/// Batched path: answer cache hits first, then run every miss through
+/// ONE BatchTaSearch traversal (shared component stage and sorted-list
+/// walk, exact fp32 re-rank). Completions happen only after the whole
+/// search so the per-worker staging buffers stay stable.
+void RecommendationService::ServeBatchQuantized(
+    std::vector<PendingRequest>* batch, const ModelSnapshot& snapshot,
+    WorkerState* state) {
+  const uint64_t epoch = snapshot.epoch();
+  state->miss_index.clear();
+  for (size_t i = 0; i < batch->size(); ++i) {
+    PendingRequest& pending = (*batch)[i];
+    const QueryRequest& request = pending.request;
+    queries_->Increment();
+
+    QueryResponse response;
+    response.epoch = epoch;
+    const CacheKey key{request.user, request.n, request.filter_hash};
+    if (!request.bypass_cache &&
+        cache_.Lookup(key, epoch, &response.items)) {
+      response.cache_hit = true;
+      cache_hits_->Increment();
+      pending.Complete(std::move(response));
+      continue;
     }
-    if (!request.bypass_cache) {
-      cache_.Insert(key, epoch, response.items);
-    }
-    pending.Complete(std::move(response));
+    state->miss_index.push_back(i);
+  }
+  const size_t misses = state->miss_index.size();
+  if (misses == 0) return;
+
+  if (state->miss_queries.size() < misses) {
+    state->miss_queries.resize(misses);
+    state->miss_hits.resize(misses);
+  }
+  state->miss_batch.resize(misses);
+  state->miss_stats.resize(misses);
+  for (size_t m = 0; m < misses; ++m) {
+    const QueryRequest& request = (*batch)[state->miss_index[m]].request;
+    snapshot.QueryVector(request.user, &state->miss_queries[m]);
+    state->miss_batch[m] =
+        recommend::BatchQuery{state->miss_queries[m].data(), request.n,
+                              /*exclude_partner=*/request.user};
+  }
+
+  recommend::BatchSearchStats batch_stats;
+  snapshot.batch_searcher()->SearchBatch(
+      state->miss_batch.data(), misses, state->miss_hits.data(),
+      &batch_stats, &state->batch_ws, state->miss_stats.data());
+  quantize_scan_us_->Record(batch_stats.quantize_scan_us);
+  rerank_us_->Record(batch_stats.rerank_us);
+  // Keep the per-query latency histogram meaningful in batched mode:
+  // each miss is charged its share of the batch's search time.
+  const uint64_t per_miss_us =
+      (batch_stats.quantize_scan_us + batch_stats.rerank_us) / misses;
+  for (size_t m = 0; m < misses; ++m) {
+    PendingRequest& pending = (*batch)[state->miss_index[m]];
+    ta_search_us_->Record(per_miss_us);
+    QueryResponse response;
+    response.epoch = epoch;
+    response.stats = state->miss_stats[m];
+    CompleteMiss(&pending, std::move(response), state->miss_hits[m], epoch);
   }
 }
 

@@ -15,6 +15,7 @@
 
 #include "ebsn/types.h"
 #include "obs/metrics.h"
+#include "recommend/batch_ta_search.h"
 #include "recommend/recommender.h"
 #include "serving/model_snapshot.h"
 #include "serving/result_cache.h"
@@ -32,6 +33,13 @@ struct ServiceOptions {
   /// Result-cache entries across all shards (0 disables caching).
   size_t cache_capacity = 4096;
   size_t cache_shards = 8;
+  /// Serve cache misses through the quantized multi-query BatchTaSearch
+  /// (one shared list traversal per drained batch, exact fp32 re-rank)
+  /// instead of one exact TaSearch per request. Results are exact
+  /// either way; this only changes speed. Falls back to per-query TA
+  /// automatically when a snapshot was built without its quantized
+  /// companion. `gemrec serve --exact-ta` sets this to false.
+  bool use_batch_ta = true;
 };
 
 /// One top-n query.
@@ -194,13 +202,31 @@ class RecommendationService {
     }
   };
 
+  /// Per-worker reusable buffers for both retrieval paths; everything
+  /// keeps its capacity so steady-state serving stays allocation-free.
+  struct WorkerState {
+    recommend::TaSearch::Scratch scratch;
+    recommend::BatchTaSearch::Workspace batch_ws;
+    std::vector<float> query_vec;
+    std::vector<recommend::SearchHit> hits;
+    // Batched-path staging, indexed by cache-miss position.
+    std::vector<size_t> miss_index;
+    std::vector<std::vector<float>> miss_queries;
+    std::vector<recommend::BatchQuery> miss_batch;
+    std::vector<std::vector<recommend::SearchHit>> miss_hits;
+    std::vector<recommend::SearchStats> miss_stats;
+  };
+
   void Enqueue(PendingRequest pending);
   void WorkerLoop();
   void ServeBatch(std::vector<PendingRequest>* batch,
-                  const ModelSnapshot& snapshot,
-                  std::vector<float>* query_vec,
-                  std::vector<recommend::SearchHit>* hits,
-                  recommend::TaSearch::Scratch* scratch);
+                  const ModelSnapshot& snapshot, WorkerState* state);
+  void ServeBatchQuantized(std::vector<PendingRequest>* batch,
+                           const ModelSnapshot& snapshot,
+                           WorkerState* state);
+  void CompleteMiss(PendingRequest* pending, QueryResponse response,
+                    const std::vector<recommend::SearchHit>& hits,
+                    uint64_t epoch);
 
   ServiceOptions options_;
 
@@ -230,6 +256,8 @@ class RecommendationService {
   obs::Gauge* in_flight_;
   obs::Histogram* queue_wait_us_;
   obs::Histogram* ta_search_us_;
+  obs::Histogram* quantize_scan_us_;
+  obs::Histogram* rerank_us_;
 
   std::vector<std::thread> workers_;
 };

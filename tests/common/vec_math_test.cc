@@ -210,6 +210,71 @@ TEST_P(VecMathDifferentialTest, DotHandlesDenormals) {
   EXPECT_NEAR(got, ref, 1e-30f);
 }
 
+TEST_P(VecMathDifferentialTest, DotQ8MatchesScalarReferenceExactly) {
+  const size_t n = GetParam();
+  Rng rng(23 + n);
+  // +1 for the unaligned-adjacent span, as in DotMatchesScalarReference.
+  std::vector<uint8_t> a(n + 1);
+  std::vector<int8_t> b(n + 1);
+  for (auto& v : a) v = static_cast<uint8_t>(rng.UniformInt(128));
+  for (auto& v : b) v = static_cast<int8_t>(rng.UniformInt(128));
+
+  // Integer kernels are exact: dispatched == scalar, bit for bit.
+  EXPECT_EQ(DotQ8(a.data(), b.data(), n),
+            scalar::DotQ8(a.data(), b.data(), n));
+  EXPECT_EQ(DotQ8(a.data() + 1, b.data() + 1, n),
+            scalar::DotQ8(a.data() + 1, b.data() + 1, n));
+}
+
+TEST_P(VecMathDifferentialTest, DotQ16MatchesScalarReferenceExactly) {
+  const size_t n = GetParam();
+  Rng rng(29 + n);
+  std::vector<int16_t> a(n + 1);
+  std::vector<int16_t> b(n + 1);
+  for (auto& v : a) v = static_cast<int16_t>(rng.UniformInt(2048));
+  for (auto& v : b) v = static_cast<int16_t>(rng.UniformInt(2048));
+
+  EXPECT_EQ(DotQ16(a.data(), b.data(), n),
+            scalar::DotQ16(a.data(), b.data(), n));
+  EXPECT_EQ(DotQ16(a.data() + 1, b.data() + 1, n),
+            scalar::DotQ16(a.data() + 1, b.data() + 1, n));
+}
+
+// Every code at the top of its contract range: the maddubs pair sums
+// sit exactly at their 2*127*127 peak (saturation would clip here) and
+// the scalar int32 accumulation at the documented n bound stays
+// overflow-free — this is the case the UBSan tier-1 stage pins.
+TEST(VecMathTest, DotQ8SaturationBoundaryIsExact) {
+  for (size_t n : {31u, 32u, 33u, 512u}) {
+    std::vector<uint8_t> a(n, 127);
+    std::vector<int8_t> b(n, 127);
+    const int32_t expect = static_cast<int32_t>(n) * 127 * 127;
+    EXPECT_EQ(scalar::DotQ8(a.data(), b.data(), n), expect) << n;
+    EXPECT_EQ(DotQ8(a.data(), b.data(), n), expect) << n;
+  }
+}
+
+TEST(VecMathTest, DotQ16AccumulationBoundaryIsExact) {
+  // n = 512 at max codes is the documented worst case: 512 * 2047^2 =
+  // 2145386496 < 2^31 - 1, the largest exercise that cannot overflow.
+  for (size_t n : {15u, 16u, 17u, 512u}) {
+    std::vector<int16_t> a(n, 2047);
+    std::vector<int16_t> b(n, 2047);
+    const int32_t expect =
+        static_cast<int32_t>(n) * (2047 * 2047);
+    EXPECT_EQ(scalar::DotQ16(a.data(), b.data(), n), expect) << n;
+    EXPECT_EQ(DotQ16(a.data(), b.data(), n), expect) << n;
+  }
+}
+
+TEST(VecMathTest, DotQ8ZeroLengthIsZero) {
+  const uint8_t a[] = {5};
+  const int8_t b[] = {7};
+  EXPECT_EQ(DotQ8(a, b, 0), 0);
+  const int16_t c[] = {5};
+  EXPECT_EQ(DotQ16(c, c, 0), 0);
+}
+
 INSTANTIATE_TEST_SUITE_P(Lengths, VecMathDifferentialTest,
                          ::testing::Values(1, 7, 16, 100));
 

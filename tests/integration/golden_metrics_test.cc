@@ -83,6 +83,11 @@ TEST_F(GoldenMetricsTest, ServePathMatchesDirectRecommender) {
   // recommender: same store, same pool, same pruning level -> exactly
   // the same (event, partner, score) list, including cached replays.
   recommend::RecommenderOptions rec_options;
+  // The serve path defaults to quantized batched retrieval whose exact
+  // fp32 re-rank scores with the full-width dot — bitwise the same as
+  // the brute-force backend (TA assembles the three partial sums in a
+  // different association order, so it can differ in the last ulp).
+  rec_options.backend = recommend::SearchBackend::kBruteForce;
   recommend::EventPartnerRecommender recommender(
       gem_, city_->split->test_events(), city_->dataset().num_users(),
       rec_options);

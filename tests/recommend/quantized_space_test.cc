@@ -1,0 +1,223 @@
+// Unit tests of the quantized companion space: degenerate inputs the
+// affine quantizer must survive without dividing by zero (empty store,
+// a single pair, constant and all-zero columns), plus the property the
+// whole retrieval stack leans on — QuantizeQuery's epsilon is a true
+// one-sided bound on |approximate - exact| for every pair.
+
+#include <array>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/vec_math.h"
+#include "recommend/batch_ta_search.h"
+#include "recommend/brute_force.h"
+#include "recommend/candidate_index.h"
+#include "recommend/gem_model.h"
+#include "recommend/quantized_space.h"
+
+namespace gemrec::recommend {
+namespace {
+
+std::unique_ptr<embedding::EmbeddingStore> MakeStore(uint32_t num_users,
+                                                     uint32_t num_events,
+                                                     uint32_t dim,
+                                                     uint64_t seed) {
+  auto store = std::make_unique<embedding::EmbeddingStore>(
+      dim, std::array<uint32_t, 5>{num_users, num_events, 1, 1, 1});
+  Rng rng(seed);
+  store->MatrixOf(graph::NodeType::kUser).FillAbsGaussian(&rng, 0.2, 0.3);
+  store->MatrixOf(graph::NodeType::kEvent)
+      .FillAbsGaussian(&rng, 0.2, 0.3);
+  return store;
+}
+
+std::vector<CandidatePair> AllPairs(uint32_t num_users,
+                                    uint32_t num_events) {
+  std::vector<CandidatePair> pairs;
+  for (uint32_t x = 0; x < num_events; ++x) {
+    for (uint32_t u = 0; u < num_users; ++u) pairs.push_back({x, u});
+  }
+  return pairs;
+}
+
+/// Recomputes the approximate score of pair `id` exactly the way
+/// BatchTaSearch's component stage does, from the public accessors.
+float ApproxScore(const QuantizedSpace& quant,
+                  const QuantizedSpace::QuantizedQuery& qq,
+                  const std::vector<uint8_t>& eq8,
+                  const std::vector<uint8_t>& pq8,
+                  const std::vector<int16_t>& eq16,
+                  const std::vector<int16_t>& pq16, uint32_t id) {
+  const SpaceIndex& index = quant.index();
+  const uint32_t k = quant.latent_dim();
+  const uint32_t e = index.pair_event_idx()[id];
+  const uint32_t u = index.pair_partner_idx()[id];
+  float a, b;
+  if (quant.precision() == QuantizedSpace::Precision::kInt8) {
+    a = qq.event_bias +
+        qq.event_scale *
+            static_cast<float>(DotQ8(eq8.data(), quant.EventCodes8(e), k));
+    b = qq.partner_bias +
+        qq.partner_scale * static_cast<float>(
+                               DotQ8(pq8.data(), quant.PartnerCodes8(u), k));
+  } else {
+    a = qq.event_bias +
+        qq.event_scale * static_cast<float>(
+                             DotQ16(eq16.data(), quant.EventCodes16(e), k));
+    b = qq.partner_bias +
+        qq.partner_scale *
+            static_cast<float>(
+                DotQ16(pq16.data(), quant.PartnerCodes16(u), k));
+  }
+  return a + b + qq.c_weight * quant.c_values()[id];
+}
+
+void CheckEpsilonBound(const TransformedSpace& space, const GemModel& model,
+                       QuantizedSpace::Options::Force force,
+                       uint32_t num_users) {
+  SpaceIndex index(&space);
+  QuantizedSpace quant(&index, {force});
+  const uint32_t k = quant.latent_dim();
+  std::vector<uint8_t> eq8(k), pq8(k);
+  std::vector<int16_t> eq16(k), pq16(k);
+  std::vector<float> q;
+  for (uint32_t user = 0; user < num_users; ++user) {
+    space.QueryVector(model, user, &q);
+    const auto qq =
+        quant.QuantizeQuery(q.data(), eq8.data(), pq8.data(), eq16.data(),
+                            pq16.data());
+    for (uint32_t id = 0; id < space.num_points(); ++id) {
+      const float exact = Dot(q.data(), space.Point(id), space.point_dim());
+      const float approx =
+          ApproxScore(quant, qq, eq8, pq8, eq16, pq16, id);
+      // Tiny slack for the fp32 evaluation of the bound itself.
+      EXPECT_LE(std::fabs(approx - exact),
+                qq.epsilon * 1.001f + 1e-5f)
+          << "pair " << id << " user " << user << " eps=" << qq.epsilon;
+    }
+  }
+}
+
+TEST(QuantizedSpaceTest, EmptyStoreBuildsAndSearchesSafely) {
+  auto store = MakeStore(3, 2, 4, 11);
+  GemModel model(store.get(), "GEM");
+  TransformedSpace space(model, std::vector<CandidatePair>{});
+  SpaceIndex index(&space);
+  QuantizedSpace quant(&index);
+  EXPECT_TRUE(quant.c_values().empty());
+  EXPECT_EQ(quant.num_events(), 0u);
+
+  std::vector<float> q;
+  space.QueryVector(model, 0, &q);
+  const uint32_t k = quant.latent_dim();
+  std::vector<uint8_t> eq8(k), pq8(k);
+  std::vector<int16_t> eq16(k), pq16(k);
+  const auto qq = quant.QuantizeQuery(q.data(), eq8.data(), pq8.data(),
+                                      eq16.data(), pq16.data());
+  EXPECT_TRUE(std::isfinite(qq.epsilon));
+
+  BatchTaSearch batch(&quant);
+  BatchTaSearch::Workspace ws;
+  std::vector<SearchHit> hits;
+  BatchQuery query{q.data(), 5, 0};
+  BatchSearchStats stats;
+  batch.SearchBatch(&query, 1, &hits, &stats, &ws);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(stats.points_examined, 0u);
+}
+
+TEST(QuantizedSpaceTest, SinglePairSpaceIsExact) {
+  auto store = MakeStore(1, 1, 4, 12);
+  GemModel model(store.get(), "GEM");
+  TransformedSpace space(model, AllPairs(1, 1));
+  SpaceIndex index(&space);
+  QuantizedSpace quant(&index);
+  BatchTaSearch batch(&quant);
+  BruteForceSearch bf(&space);
+  BatchTaSearch::Workspace ws;
+
+  std::vector<float> q;
+  space.QueryVector(model, 0, &q);
+  std::vector<SearchHit> hits;
+
+  // Excluding the only partner leaves nothing.
+  BatchQuery self{q.data(), 3, 0};
+  batch.SearchBatch(&self, 1, &hits, nullptr, &ws);
+  EXPECT_TRUE(hits.empty());
+
+  // An absent exclusion returns the single pair with the exact score.
+  BatchQuery other{q.data(), 3, 99};
+  batch.SearchBatch(&other, 1, &hits, nullptr, &ws);
+  const auto oracle = bf.Search(q, 3, 99);
+  ASSERT_EQ(hits.size(), 1u);
+  ASSERT_EQ(oracle.size(), 1u);
+  EXPECT_EQ(hits[0].score, oracle[0].score);
+  EXPECT_EQ(hits[0].pair.event, oracle[0].pair.event);
+}
+
+TEST(QuantizedSpaceTest, ConstantAndZeroColumnsDoNotDivideByZero) {
+  auto store = MakeStore(12, 8, 6, 13);
+  // A constant nonzero partner dimension and an all-zero event one:
+  // both quantize to range 0 (scale 0, codes 0).
+  Matrix& users = store->MatrixOf(graph::NodeType::kUser);
+  for (size_t r = 0; r < users.rows(); ++r) users.At(r, 3) = 0.5f;
+  Matrix& events = store->MatrixOf(graph::NodeType::kEvent);
+  for (size_t r = 0; r < events.rows(); ++r) events.At(r, 1) = 0.0f;
+
+  GemModel model(store.get(), "GEM");
+  TransformedSpace space(model, AllPairs(12, 8));
+  for (auto force : {QuantizedSpace::Options::Force::kInt8,
+                     QuantizedSpace::Options::Force::kInt16}) {
+    CheckEpsilonBound(space, model, force, 4);
+  }
+}
+
+TEST(QuantizedSpaceTest, AllZeroStoreQuantizes) {
+  auto store = std::make_unique<embedding::EmbeddingStore>(
+      4, std::array<uint32_t, 5>{5, 4, 1, 1, 1});
+  store->MatrixOf(graph::NodeType::kUser).Fill(0.0f);
+  store->MatrixOf(graph::NodeType::kEvent).Fill(0.0f);
+  GemModel model(store.get(), "GEM");
+  TransformedSpace space(model, AllPairs(5, 4));
+  SpaceIndex index(&space);
+  QuantizedSpace quant(&index);
+  BatchTaSearch batch(&quant);
+  BatchTaSearch::Workspace ws;
+  std::vector<float> q;
+  space.QueryVector(model, 0, &q);
+  std::vector<SearchHit> hits;
+  BatchQuery query{q.data(), 4, 0};
+  batch.SearchBatch(&query, 1, &hits, nullptr, &ws);
+  EXPECT_EQ(hits.size(), 4u);  // n caps the 16 non-excluded pairs
+  for (const auto& h : hits) EXPECT_EQ(h.score, 0.0f);
+}
+
+TEST(QuantizedSpaceTest, EpsilonBoundsApproximationErrorBothPrecisions) {
+  auto store = MakeStore(30, 15, 8, 14);
+  GemModel model(store.get(), "GEM");
+  TransformedSpace space(model, AllPairs(30, 15));
+  for (auto force : {QuantizedSpace::Options::Force::kInt8,
+                     QuantizedSpace::Options::Force::kInt16}) {
+    CheckEpsilonBound(space, model, force, 6);
+  }
+}
+
+TEST(QuantizedSpaceTest, ForcedPrecisionIsHonoredAndAutoSelects) {
+  auto store = MakeStore(10, 6, 4, 15);
+  GemModel model(store.get(), "GEM");
+  TransformedSpace space(model, AllPairs(10, 6));
+  SpaceIndex index(&space);
+  QuantizedSpace q8(&index, {QuantizedSpace::Options::Force::kInt8});
+  EXPECT_EQ(q8.precision(), QuantizedSpace::Precision::kInt8);
+  QuantizedSpace q16(&index, {QuantizedSpace::Options::Force::kInt16});
+  EXPECT_EQ(q16.precision(), QuantizedSpace::Precision::kInt16);
+  QuantizedSpace qa(&index);
+  EXPECT_GE(qa.int8_relative_error_estimate(), 0.0f);
+  EXPECT_TRUE(std::isfinite(qa.int8_relative_error_estimate()));
+}
+
+}  // namespace
+}  // namespace gemrec::recommend

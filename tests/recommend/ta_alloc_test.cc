@@ -14,7 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include "recommend/batch_ta_search.h"
 #include "recommend/gem_model.h"
+#include "recommend/quantized_space.h"
 #include "recommend/space_transform.h"
 #include "recommend/ta_search.h"
 
@@ -108,6 +110,60 @@ TEST(TaAllocTest, SteadyStateSearchIntoAllocatesNothing) {
   EXPECT_EQ(after - before, 0u)
       << "steady-state SearchInto performed " << (after - before)
       << " heap allocations over 1250 queries";
+}
+
+/// Same contract for the quantized batch path: once the Workspace and
+/// the result vectors are warm, SearchBatch must not touch the heap —
+/// across both precisions, since they use different scratch buffers.
+TEST(TaAllocTest, SteadyStateSearchBatchAllocatesNothing) {
+  constexpr uint32_t kUsers = 25;
+  constexpr uint32_t kEvents = 20;
+  constexpr uint32_t kDim = 8;
+  constexpr size_t kBatch = 25;
+
+  auto store = std::make_unique<embedding::EmbeddingStore>(
+      kDim, std::array<uint32_t, 5>{kUsers, kEvents, 1, 1, 1});
+  Rng rng(18);
+  store->MatrixOf(graph::NodeType::kUser).FillAbsGaussian(&rng, 0.2, 0.3);
+  store->MatrixOf(graph::NodeType::kEvent)
+      .FillAbsGaussian(&rng, 0.2, 0.3);
+  GemModel model(store.get(), "GEM");
+  std::vector<CandidatePair> pairs;
+  for (uint32_t x = 0; x < kEvents; ++x) {
+    for (uint32_t u = 0; u < kUsers; ++u) pairs.push_back({x, u});
+  }
+  TransformedSpace space(model, pairs);
+  SpaceIndex index(&space);
+
+  std::vector<std::vector<float>> queries(kUsers);
+  std::vector<BatchQuery> batch_queries(kBatch);
+  for (uint32_t u = 0; u < kUsers; ++u) {
+    space.QueryVector(model, u, &queries[u]);
+    batch_queries[u] = BatchQuery{queries[u].data(), 10, u};
+  }
+
+  for (auto force : {QuantizedSpace::Options::Force::kInt8,
+                     QuantizedSpace::Options::Force::kInt16}) {
+    QuantizedSpace quant(&index, {force});
+    BatchTaSearch batch(&quant);
+    BatchTaSearch::Workspace ws;
+    std::vector<std::vector<SearchHit>> results(kBatch);
+    BatchSearchStats stats;
+    // Warm-up: grows workspace buffers and result capacities.
+    batch.SearchBatch(batch_queries.data(), kBatch, results.data(),
+                      &stats, &ws);
+
+    const size_t before = g_allocations.load(std::memory_order_relaxed);
+    for (int round = 0; round < 50; ++round) {
+      batch.SearchBatch(batch_queries.data(), kBatch, results.data(),
+                        &stats, &ws);
+      ASSERT_FALSE(results[0].empty());
+    }
+    const size_t after = g_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "steady-state SearchBatch performed " << (after - before)
+        << " heap allocations over 50 batches of " << kBatch;
+  }
 }
 
 }  // namespace

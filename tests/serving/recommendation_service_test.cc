@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "recommend/brute_force.h"
 #include "serving/snapshot_builder.h"
 
 namespace gemrec::serving {
@@ -51,6 +52,12 @@ TEST(RecommendationServiceTest, QueryMatchesDirectTaSearch) {
 
   ServiceOptions options;
   options.num_workers = 2;
+  // Exact-TA mode (`--exact-ta`): answers must be float-identical to a
+  // direct TaSearch on the snapshot. The batched path re-ranks with the
+  // full-width dot product instead of TA's three partial sums, so its
+  // equally-exact scores can differ in the last ulp — it gets its own
+  // brute-force comparison below.
+  options.use_batch_ta = false;
   RecommendationService service(options);
   service.Publish(snapshot);
 
@@ -72,6 +79,61 @@ TEST(RecommendationServiceTest, QueryMatchesDirectTaSearch) {
       EXPECT_EQ(response.items[i].score, expected[i].score);
     }
   }
+}
+
+TEST(RecommendationServiceTest, BatchedQueryMatchesBruteForceExactly) {
+  // Default mode: the quantized batched retrieval with exact fp32
+  // re-rank must be score-identical to brute force (it runs the same
+  // full-width kernel over the same points).
+  auto store = RandomStore(20, 15, 8, 1);
+  auto snapshot = MakeSnapshot(*store, 20, 15);
+  ASSERT_NE(snapshot->batch_searcher(), nullptr);
+
+  ServiceOptions options;
+  options.num_workers = 2;
+  RecommendationService service(options);
+  service.Publish(snapshot);
+
+  recommend::BruteForceSearch oracle(&snapshot->space());
+  std::vector<float> q;
+  for (ebsn::UserId u = 0; u < 20; ++u) {
+    QueryRequest request;
+    request.user = u;
+    request.n = 7;
+    request.bypass_cache = true;
+    const QueryResponse response = service.Query(request);
+    EXPECT_FALSE(response.cache_hit);
+    EXPECT_GT(response.stats.points_examined, 0u) << "u=" << u;
+
+    snapshot->QueryVector(u, &q);
+    const auto expected = oracle.Search(q, 7, u);
+    ASSERT_EQ(response.items.size(), expected.size()) << "u=" << u;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(response.items[i].score, expected[i].score)
+          << "u=" << u << " rank " << i;
+    }
+  }
+}
+
+TEST(RecommendationServiceTest, ExactTaSnapshotWithoutQuantizedCompanion) {
+  // A snapshot built with build_quantized=false must still serve under
+  // a batch-enabled service (per-query TA fallback).
+  auto store = RandomStore(12, 10, 6, 22);
+  SnapshotOptions snapshot_options;
+  snapshot_options.top_k_events_per_partner = 0;
+  snapshot_options.build_quantized = false;
+  auto snapshot = std::make_shared<ModelSnapshot>(*store, AllEvents(10),
+                                                  12, snapshot_options);
+  EXPECT_EQ(snapshot->batch_searcher(), nullptr);
+  EXPECT_EQ(snapshot->quantized(), nullptr);
+
+  RecommendationService service(ServiceOptions{});
+  service.Publish(snapshot);
+  QueryRequest request;
+  request.user = 3;
+  request.n = 5;
+  const QueryResponse response = service.Query(request);
+  EXPECT_EQ(response.items.size(), 5u);
 }
 
 TEST(RecommendationServiceTest, RepeatQueryHitsTheCache) {
@@ -130,10 +192,12 @@ TEST(RecommendationServiceTest, SwapInvalidatesCacheAndBumpsEpoch) {
   EXPECT_EQ(after.epoch, 2u);
   EXPECT_FALSE(after.cache_hit)
       << "cache returned an entry computed on a retired snapshot";
-  // The new snapshot really is the one answering.
+  // The new snapshot really is the one answering. Brute force on the
+  // new space is bitwise-identical to the batched path's fp32 re-rank.
   std::vector<float> q;
   snapshot_b->QueryVector(2, &q);
-  const auto expected = snapshot_b->searcher().Search(q, 6, 2);
+  recommend::BruteForceSearch oracle(&snapshot_b->space());
+  const auto expected = oracle.Search(q, 6, 2);
   ASSERT_EQ(after.items.size(), expected.size());
   for (size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(after.items[i].score, expected[i].score);

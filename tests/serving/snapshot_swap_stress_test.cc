@@ -23,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include "recommend/brute_force.h"
 #include "serving/recommendation_service.h"
 #include "serving/snapshot_builder.h"
 
@@ -54,11 +55,17 @@ std::vector<ebsn::EventId> AllEvents() {
 
 /// Epoch-indexed archive of every published snapshot, so query
 /// threads can recompute any response's expected items exactly.
+///
+/// The epoch is passed explicitly (it is only stamped onto the
+/// snapshot inside Publish) so the publisher can archive BEFORE
+/// publishing: the instant Publish returns, a racing query thread may
+/// see the new epoch and look it up here, and recording first makes
+/// that lookup always succeed.
 class SnapshotArchive {
  public:
-  void Record(std::shared_ptr<const ModelSnapshot> snapshot) {
+  void Record(uint64_t epoch,
+              std::shared_ptr<const ModelSnapshot> snapshot) {
     std::lock_guard<std::mutex> lock(mu_);
-    const uint64_t epoch = snapshot->epoch();
     if (by_epoch_.size() <= epoch) by_epoch_.resize(epoch + 1);
     by_epoch_[epoch] = std::move(snapshot);
   }
@@ -73,12 +80,13 @@ class SnapshotArchive {
   std::vector<std::shared_ptr<const ModelSnapshot>> by_epoch_;
 };
 
-TEST(SnapshotSwapStressTest, QueriesRaceSwapsWithCacheChurn) {
+void RunChurn(bool use_batch_ta) {
   ServiceOptions options;
   options.num_workers = 3;
   options.max_batch = 8;
   options.cache_capacity = 32;  // tiny: constant LRU churn
   options.cache_shards = 4;
+  options.use_batch_ta = use_batch_ta;
   RecommendationService service(options);
 
   SnapshotOptions snapshot_options;
@@ -86,11 +94,15 @@ TEST(SnapshotSwapStressTest, QueriesRaceSwapsWithCacheChurn) {
   SnapshotBuilder builder(*RandomStore(17), AllEvents(), kNumUsers,
                           snapshot_options);
 
+  // This test is the only publisher, so epochs are deterministic: the
+  // initial publish gets epoch 1, swap s gets epoch s + 2. Each
+  // snapshot is archived under its predicted epoch before Publish, and
+  // the prediction is checked against Publish's return value.
   SnapshotArchive archive;
   {
     auto first = builder.Build();
-    service.Publish(first);
-    archive.Record(std::move(first));
+    archive.Record(1, first);
+    ASSERT_EQ(service.Publish(std::move(first)), 1u);
   }
 
   std::atomic<uint32_t> failures{0};
@@ -112,8 +124,11 @@ TEST(SnapshotSwapStressTest, QueriesRaceSwapsWithCacheChurn) {
         break;
       }
       auto next = builder.Build();
-      service.Publish(next);
-      archive.Record(std::move(next));
+      archive.Record(s + 2, next);
+      if (service.Publish(std::move(next)) != s + 2) {
+        failures.fetch_add(1);
+        break;
+      }
       std::this_thread::yield();
     }
     swapping_done.store(true, std::memory_order_release);
@@ -150,8 +165,15 @@ TEST(SnapshotSwapStressTest, QueriesRaceSwapsWithCacheChurn) {
           continue;
         }
         snapshot->QueryVector(request.user, &q);
+        // Mode-matched oracle, both exact: the batched path re-ranks
+        // with the full-width dot (bitwise equal to brute force), the
+        // per-query path assembles TA's three partial sums.
         const auto expected =
-            snapshot->searcher().Search(q, request.n, request.user);
+            use_batch_ta
+                ? recommend::BruteForceSearch(&snapshot->space())
+                      .Search(q, request.n, request.user)
+                : snapshot->searcher().Search(q, request.n,
+                                              request.user);
         if (expected.size() != response.items.size()) {
           failures.fetch_add(1);
           continue;
@@ -186,6 +208,14 @@ TEST(SnapshotSwapStressTest, QueriesRaceSwapsWithCacheChurn) {
   request.n = 10;
   request.bypass_cache = true;
   EXPECT_EQ(service.Query(request).epoch, kSwaps + 1);
+}
+
+TEST(SnapshotSwapStressTest, QueriesRaceSwapsWithCacheChurn) {
+  RunChurn(/*use_batch_ta=*/true);
+}
+
+TEST(SnapshotSwapStressTest, QueriesRaceSwapsWithCacheChurnExactTa) {
+  RunChurn(/*use_batch_ta=*/false);
 }
 
 TEST(SnapshotSwapStressTest, RetiredSnapshotsAreReclaimed) {
