@@ -17,9 +17,11 @@
 // a live server's metrics.
 
 #include <csignal>
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -49,6 +51,7 @@
 #include "recommend/explain.h"
 #include "recommend/filters.h"
 #include "recommend/recommender.h"
+#include "serving/ingestion_queue.h"
 #include "serving/model_reloader.h"
 #include "serving/recommendation_service.h"
 #include "serving/snapshot_builder.h"
@@ -165,9 +168,23 @@ int Usage() {
       "                   [--workers W] [--max-in-flight M]\n"
       "                   [--idle-timeout-ms MS] [--reload FILE]\n"
       "                   [--reload-interval SEC] [--stats-interval SEC]\n"
+      "                   [--ingest-dir DIR] [--publish-every N]\n"
+      "                   [--publish-interval-ms MS] [--max-pending P]\n"
+      "                   [--checkpoint-every N]\n"
       "                   (epoll TCP server speaking the framed binary\n"
       "                   protocol; SIGINT/SIGTERM drains gracefully;\n"
-      "                   --stats-interval dumps metrics periodically)\n"
+      "                   --stats-interval dumps metrics periodically;\n"
+      "                   --ingest-dir enables the write path: attend/\n"
+      "                   new-event frames are journaled to DIR, folded\n"
+      "                   into the staging store, and published as delta\n"
+      "                   snapshots; acknowledged writes survive SIGKILL\n"
+      "                   and are replayed on restart)\n"
+      "  gemrec ingest    HOST:PORT --attend USER:EVENT [--new-user]\n"
+      "  gemrec ingest    HOST:PORT --new-event X --data DIR\n"
+      "                   (stream a write to a live --ingest-dir server:\n"
+      "                   an attendance nudge / cold-user fold-in, or a\n"
+      "                   cold event with TF-IDF signals from DIR;\n"
+      "                   prints the durable journal seq on success)\n"
       "  gemrec stats     HOST:PORT\n"
       "                   (scrape a live server's counters and latency\n"
       "                   histograms; prints text exposition format)\n");
@@ -436,7 +453,39 @@ int ServeListen(const Args& args, const std::string& listen_spec,
   net_options.idle_timeout =
       std::chrono::milliseconds(args.GetInt("idle-timeout-ms", 60000));
 
-  net::NetServer server(service, net_options);
+  // --ingest-dir enables the write path: a journaled ingestion queue
+  // over the same builder, recovered (checkpoint + journal replay)
+  // before the listener opens, so the first served snapshot already
+  // contains every previously acknowledged write.
+  std::optional<serving::IngestionQueue> ingest;
+  if (const auto ingest_dir = args.Get("ingest-dir");
+      ingest_dir && *ingest_dir != "true") {
+    if (::mkdir(ingest_dir->c_str(), 0755) != 0 && errno != EEXIST) {
+      return Fail("mkdir " + *ingest_dir + ": " + std::strerror(errno));
+    }
+    serving::IngestionQueueOptions iq;
+    iq.journal_path = *ingest_dir + "/journal";
+    iq.checkpoint_base = *ingest_dir + "/checkpoint";
+    iq.max_pending =
+        static_cast<size_t>(args.GetInt("max-pending", 1024));
+    iq.publish_threshold =
+        static_cast<size_t>(args.GetInt("publish-every", 64));
+    iq.publish_interval =
+        std::chrono::milliseconds(args.GetInt("publish-interval-ms", 200));
+    iq.checkpoint_every =
+        static_cast<size_t>(args.GetInt("checkpoint-every", 4096));
+    ingest.emplace(service, builder, iq);
+    if (const Status s = ingest->Start(); !s.ok()) {
+      return Fail("ingestion recovery: " + s.ToString());
+    }
+    std::printf("ingestion on: journal=%s replayed=%llu%s\n",
+                iq.journal_path.c_str(),
+                static_cast<unsigned long long>(ingest->replayed()),
+                ingest->recovered_clean() ? "" : " (torn tail dropped)");
+  }
+
+  net::NetServer server(service, net_options,
+                        ingest ? &*ingest : nullptr);
   if (const Status s = server.Start(); !s.ok()) {
     return Fail(s.ToString());
   }
@@ -452,6 +501,10 @@ int ServeListen(const Args& args, const std::string& listen_spec,
   // Optional freshness loop: republish from the artifact every
   // --reload-interval seconds through the crash-safe reload path,
   // under whatever live connections exist.
+  // With ingestion on, reloads must go through the queue's control
+  // path (ReloadBase re-applies the journaled tail onto the fresh
+  // base); a bare ModelReloader would race the ingest thread's
+  // exclusive builder ownership and silently drop folded-in records.
   const auto reload_path = args.Get("reload");
   std::thread reload_thread;
   if (reload_path && *reload_path != "true") {
@@ -467,8 +520,9 @@ int ServeListen(const Args& args, const std::string& listen_spec,
           continue;
         }
         next = std::chrono::steady_clock::now() + interval;
-        if (const Status s = reloader.ReloadWithRetry(*reload_path);
-            !s.ok()) {
+        const Status s = ingest ? ingest->ReloadBase(*reload_path)
+                                : reloader.ReloadWithRetry(*reload_path);
+        if (!s.ok()) {
           std::fprintf(stderr, "reload failed (still serving): %s\n",
                        s.ToString().c_str());
         }
@@ -503,6 +557,9 @@ int ServeListen(const Args& args, const std::string& listen_spec,
   if (reload_thread.joinable()) reload_thread.join();
   if (stats_thread.joinable()) stats_thread.join();
   server.Stop();
+  // After the listener is gone no new writes can arrive; drain what
+  // was accepted (journal + apply + ack + final publish) before exit.
+  if (ingest) ingest->Shutdown();
 
   const net::NetStats net_stats = server.stats();
   std::printf("drained after %llu connections; final metrics:\n",
@@ -635,6 +692,81 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+/// `gemrec ingest host:port` — stream one write to a live
+/// `gemrec serve --listen --ingest-dir` server: an attendance
+/// (--attend USER:EVENT, with --new-user folding in a cold user
+/// vector) or a cold event (--new-event X, TF-IDF signals computed
+/// from --data exactly as the offline `gemrec foldin` does). Blocks
+/// for the kIngestAck: success means the record is journaled durably
+/// and will appear in search results by the next delta publish.
+int CmdIngest(int argc, char** argv) {
+  if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+    return Fail("usage: gemrec ingest HOST:PORT --attend USER:EVENT "
+                "[--new-user] | --new-event X --data DIR");
+  }
+  std::string host;
+  uint16_t port = 0;
+  if (const Status s = net::ParseHostPort(argv[2], &host, &port);
+      !s.ok()) {
+    return Fail(s.ToString());
+  }
+  const Args args(argc, argv);
+
+  auto client = net::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status().ToString());
+
+  Result<net::IngestOutcome> outcome =
+      Status::InvalidArgument("one of --attend or --new-event required");
+  if (const auto attend = args.Get("attend");
+      attend && *attend != "true") {
+    const auto colon = attend->find(':');
+    if (colon == std::string::npos) {
+      return Fail("--attend expects USER:EVENT");
+    }
+    const auto user = static_cast<ebsn::UserId>(
+        std::atoll(attend->substr(0, colon).c_str()));
+    const auto event = static_cast<ebsn::EventId>(
+        std::atoll(attend->substr(colon + 1).c_str()));
+    outcome = client.value()->Attend(user, event, args.Has("new-user"));
+  } else if (const auto event_arg = args.Get("new-event");
+             event_arg && *event_arg != "true") {
+    const auto dir = args.Get("data");
+    if (!dir) return Fail("--new-event requires --data for signals");
+    auto world = LoadWorld(*dir);
+    if (!world.ok()) return Fail(world.status().ToString());
+    const auto event =
+        static_cast<ebsn::EventId>(std::atoll(event_arg->c_str()));
+    if (event >= world->dataset.num_events()) {
+      return Fail("event id out of range");
+    }
+    std::vector<std::vector<ebsn::WordId>> docs(
+        world->dataset.num_events());
+    for (uint32_t x = 0; x < world->dataset.num_events(); ++x) {
+      docs[x] = world->dataset.event(x).words;
+    }
+    const auto tfidf =
+        ebsn::ComputeTfIdf(docs, world->dataset.vocab_size());
+    embedding::NewEventSignals signals;
+    for (const auto& ww : tfidf[event]) {
+      signals.words.push_back({ww.word, static_cast<float>(ww.weight)});
+    }
+    signals.region = world->graphs->event_region[event];
+    signals.start_time = world->dataset.event(event).start_time;
+    outcome = client.value()->PublishNewEvent(event, signals);
+  }
+
+  if (!outcome.ok()) return Fail(outcome.status().ToString());
+  if (!outcome.value().ok) {
+    return Fail("server refused (" +
+                std::string(net::ErrorCodeName(outcome.value().error)) +
+                "): " + outcome.value().error_message);
+  }
+  std::printf("acknowledged: journal seq %llu (durable; retrievable "
+              "after the next delta publish)\n",
+              static_cast<unsigned long long>(outcome.value().seq));
+  return 0;
+}
+
 /// `gemrec stats host:port` — scrape a live `gemrec serve --listen`
 /// server's metrics over the kStats wire pair and print the same text
 /// exposition the serve modes dump locally.
@@ -668,6 +800,7 @@ int Main(int argc, char** argv) {
   if (command == "recommend") return CmdRecommend(args);
   if (command == "foldin") return CmdFoldin(args);
   if (command == "serve") return CmdServe(args);
+  if (command == "ingest") return CmdIngest(argc, argv);
   if (command == "stats") return CmdStats(argc, argv);
   return Usage();
 }

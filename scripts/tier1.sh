@@ -2,12 +2,19 @@
 # Tier-1 verification (see ROADMAP.md): default build + full ctest,
 # then a ThreadSanitizer pass over the concurrency-bearing suites
 # (thread pool / hogwild trainer / adaptive sampler / TA search /
-# serving engine snapshot-swap stress / network front-end), then an
-# UndefinedBehaviorSanitizer pass over the persistence/fault suites
-# (serialization, fault injection, online fold-in — the paths that
-# parse untrusted bytes or sample from possibly-empty domains) plus
-# the quantized retrieval stack (integer scale/zero-point math and the
-# batched serve path).
+# serving engine snapshot-swap stress / ingestion write path / network
+# front-end), then an UndefinedBehaviorSanitizer pass over the
+# persistence/fault suites (serialization, fault injection, the ingest
+# journal, online fold-in — the paths that parse untrusted bytes or
+# sample from possibly-empty domains) plus the quantized retrieval
+# stack (integer scale/zero-point math and the batched serve path).
+#
+# The ingest suites ride the existing binaries: serving_test carries
+# the journal unit tests, the online/offline differential and the
+# writer-vs-query-vs-reload stress (TSan + UBSan); net_test carries the
+# ingest wire codecs and the server write-path bridge (TSan); and
+# fault_test carries the SIGKILL/truncation/corruption journal harness
+# (UBSan only — fault_test forks children and stays out of TSan).
 #
 # Usage: scripts/tier1.sh [--no-tsan] [--no-ubsan]
 #

@@ -153,6 +153,53 @@ Result<obs::MetricsSnapshot> Client::Stats() {
   return snapshot;
 }
 
+Status Client::SendAttendance(ebsn::UserId user, ebsn::EventId event,
+                              bool new_user) {
+  std::vector<uint8_t> bytes;
+  AppendAttendanceFrame(user, event, new_user, &bytes);
+  return SendAll(bytes.data(), bytes.size());
+}
+
+Status Client::SendNewEvent(ebsn::EventId event,
+                            const embedding::NewEventSignals& signals) {
+  std::vector<uint8_t> bytes;
+  AppendNewEventFrame(event, signals, &bytes);
+  return SendAll(bytes.data(), bytes.size());
+}
+
+Result<IngestOutcome> Client::ReceiveIngestAck() {
+  GEMREC_ASSIGN_OR_RETURN(Frame frame, ReceiveFrame());
+  IngestOutcome outcome;
+  switch (frame.type) {
+    case MessageType::kIngestAck:
+      GEMREC_RETURN_IF_ERROR(DecodeIngestAck(
+          frame.payload.data(), frame.payload.size(), &outcome.seq));
+      outcome.ok = true;
+      return outcome;
+    case MessageType::kError:
+      GEMREC_RETURN_IF_ERROR(
+          DecodeError(frame.payload.data(), frame.payload.size(),
+                      &outcome.error, &outcome.error_message));
+      outcome.ok = false;
+      return outcome;
+    default:
+      return Status::Internal("unexpected frame type " +
+                              std::to_string(static_cast<int>(frame.type)));
+  }
+}
+
+Result<IngestOutcome> Client::Attend(ebsn::UserId user, ebsn::EventId event,
+                                     bool new_user) {
+  GEMREC_RETURN_IF_ERROR(SendAttendance(user, event, new_user));
+  return ReceiveIngestAck();
+}
+
+Result<IngestOutcome> Client::PublishNewEvent(
+    ebsn::EventId event, const embedding::NewEventSignals& signals) {
+  GEMREC_RETURN_IF_ERROR(SendNewEvent(event, signals));
+  return ReceiveIngestAck();
+}
+
 Status Client::Ping() {
   std::vector<uint8_t> bytes;
   AppendFrame(MessageType::kPing, nullptr, 0, &bytes);

@@ -31,6 +31,16 @@ struct QueryOutcome {
   std::string error_message;
 };
 
+/// One write-path reply: the journal sequence number of a durable,
+/// applied record, or the server's typed refusal (kOverloaded when the
+/// ingest queue shed the write, kBadRequest for bogus ids/signals).
+struct IngestOutcome {
+  bool ok = false;
+  uint64_t seq = 0;                        // valid when ok
+  ErrorCode error = ErrorCode::kInternal;  // valid when !ok
+  std::string error_message;
+};
+
 /// Blocking client for the wire.h protocol — the reference peer used
 /// by tests, the bench load generator, and one-liner scripting against
 /// `gemrec serve --listen`. One socket, strictly request/response;
@@ -57,6 +67,22 @@ class Client {
 
   /// Reads the next response/error frame.
   Result<QueryOutcome> Receive();
+
+  /// Write path. Attend reports "user registered for event" (new_user
+  /// folds in a cold user vector seeded by the event); PublishNewEvent
+  /// streams a just-published event's fold-in signals. Both block for
+  /// the kIngestAck — the record is durable and retrievable-after-
+  /// next-publish once they return ok. The Send/Receive halves are
+  /// split for pipelining, like queries.
+  Result<IngestOutcome> Attend(ebsn::UserId user, ebsn::EventId event,
+                               bool new_user = false);
+  Result<IngestOutcome> PublishNewEvent(
+      ebsn::EventId event, const embedding::NewEventSignals& signals);
+  Status SendAttendance(ebsn::UserId user, ebsn::EventId event,
+                        bool new_user = false);
+  Status SendNewEvent(ebsn::EventId event,
+                      const embedding::NewEventSignals& signals);
+  Result<IngestOutcome> ReceiveIngestAck();
 
   /// Round-trips a ping frame (health check).
   Status Ping();

@@ -24,6 +24,10 @@ struct NetStats {
   uint64_t active_connections = 0;
   uint64_t requests = 0;   // CRC-clean query frames decoded
   uint64_t responses = 0;  // response frames queued for write
+  /// Write path: attendance/new-event frames received, and the acks
+  /// queued after the record was journaled and applied.
+  uint64_t ingest_requests = 0;
+  uint64_t ingest_acks = 0;
   /// Ping frames answered with a pong (health checks were previously
   /// invisible to operators).
   uint64_t pings = 0;
@@ -61,6 +65,8 @@ struct NetMetrics {
   obs::Gauge* active_connections = nullptr;
   obs::Counter* requests = nullptr;
   obs::Counter* responses = nullptr;
+  obs::Counter* ingest_requests = nullptr;
+  obs::Counter* ingest_acks = nullptr;
   obs::Counter* pings = nullptr;
   obs::Counter* stats_requests = nullptr;
   obs::Counter* overload_sheds = nullptr;
@@ -89,6 +95,12 @@ struct NetMetrics {
     responses = registry->GetCounter(
         "gemrec_net_responses_total",
         "Query response frames queued for write.");
+    ingest_requests = registry->GetCounter(
+        "gemrec_net_ingest_requests_total",
+        "Attendance/new-event frames received.");
+    ingest_acks = registry->GetCounter(
+        "gemrec_net_ingest_acks_total",
+        "Ingest ack frames queued after a durable, applied write.");
     pings = registry->GetCounter("gemrec_net_pings_total",
                                  "Ping frames answered with a pong.");
     stats_requests = registry->GetCounter(
@@ -136,6 +148,8 @@ struct NetMetrics {
         std::max<int64_t>(0, active_connections->Value()));
     s.requests = requests->Value();
     s.responses = responses->Value();
+    s.ingest_requests = ingest_requests->Value();
+    s.ingest_acks = ingest_acks->Value();
     s.pings = pings->Value();
     s.stats_requests = stats_requests->Value();
     s.overload_sheds = overload_sheds->Value();

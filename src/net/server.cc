@@ -52,8 +52,9 @@ Status ParseHostPort(const std::string& spec, std::string* host,
 }
 
 NetServer::NetServer(serving::RecommendationService* service,
-                     const ServerOptions& options)
-    : service_(service), options_(options) {
+                     const ServerOptions& options,
+                     serving::IngestionQueue* ingest)
+    : service_(service), ingest_(ingest), options_(options) {
   GEMREC_CHECK(service_ != nullptr);
   // One registry for the whole serve stack: socket metrics live next
   // to the service's own, so a single stats scrape sees both.
@@ -399,10 +400,75 @@ void NetServer::HandleFrame(Connection* conn, const Frame& frame) {
           });
       return;
     }
+    case MessageType::kAttendance:
+    case MessageType::kNewEvent: {
+      metrics_.ingest_requests->Increment();
+      if (draining_) {
+        metrics_.drain_rejects->Increment();
+        SendError(conn, ErrorCode::kShuttingDown, "server draining");
+        return;
+      }
+      if (ingest_ == nullptr) {
+        metrics_.bad_requests->Increment();
+        SendError(conn, ErrorCode::kBadRequest,
+                  "ingestion disabled on this server");
+        return;
+      }
+      serving::IngestRecord record;
+      const Status s =
+          frame.type == MessageType::kAttendance
+              ? DecodeAttendance(frame.payload.data(),
+                                 frame.payload.size(), &record)
+              : DecodeNewEvent(frame.payload.data(), frame.payload.size(),
+                               &record);
+      if (!s.ok()) {
+        metrics_.bad_requests->Increment();
+        SendError(conn, ErrorCode::kBadRequest, s.message());
+        return;
+      }
+      // Write-side admission control lives in the queue itself
+      // (max_pending); a full queue answers kOverloaded immediately —
+      // the fail-fast twin of the read path's in-flight budget.
+      const uint64_t conn_id = conn->id;
+      const auto received_at = std::chrono::steady_clock::now();
+      ++total_in_flight_;
+      ++conn->in_flight;
+      std::shared_ptr<CompletionQueue> cq = completions_;
+      const serving::IngestAdmission admission = ingest_->SubmitAsync(
+          std::move(record),
+          [cq, conn_id, received_at](Status status, uint64_t seq) {
+            std::lock_guard<std::mutex> lock(cq->mu);
+            if (cq->closed) return;
+            const bool was_empty = cq->items.empty();
+            Completion completion;
+            completion.conn_id = conn_id;
+            completion.received_at = received_at;
+            completion.is_ingest = true;
+            completion.ingest_status = std::move(status);
+            completion.ingest_seq = seq;
+            cq->items.push_back(std::move(completion));
+            if (was_empty && cq->loop != nullptr) cq->loop->Wakeup();
+          });
+      if (admission != serving::IngestAdmission::kAccepted) {
+        // The ack callback never fires for a refused submission.
+        --total_in_flight_;
+        --conn->in_flight;
+        if (admission == serving::IngestAdmission::kQueueFull) {
+          metrics_.overload_sheds->Increment();
+          SendError(conn, ErrorCode::kOverloaded, "ingest queue full");
+        } else {
+          metrics_.drain_rejects->Increment();
+          SendError(conn, ErrorCode::kShuttingDown,
+                    "ingestion shutting down");
+        }
+      }
+      return;
+    }
     case MessageType::kQueryResponse:
     case MessageType::kPong:
     case MessageType::kError:
     case MessageType::kStatsResponse:
+    case MessageType::kIngestAck:
       break;
   }
   metrics_.bad_requests->Increment();
@@ -468,6 +534,37 @@ void NetServer::DrainCompletions() {
     }
     GEMREC_CHECK(conn->in_flight > 0);
     --conn->in_flight;
+    if (completion.is_ingest) {
+      if (completion.ingest_status.ok()) {
+        AppendIngestAckFrame(completion.ingest_seq, &conn->write_buf);
+        metrics_.ingest_acks->Increment();
+        const auto elapsed =
+            std::chrono::steady_clock::now() - completion.received_at;
+        metrics_.round_trip_us->Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count()));
+        AfterQueue(conn);
+      } else {
+        // Typed mapping: caller mistakes are kBadRequest, anything the
+        // server did to itself (journal I/O, apply) is kInternal.
+        const StatusCode code = completion.ingest_status.code();
+        const ErrorCode wire_code =
+            (code == StatusCode::kInvalidArgument ||
+             code == StatusCode::kOutOfRange)
+                ? ErrorCode::kBadRequest
+                : ErrorCode::kInternal;
+        if (wire_code == ErrorCode::kBadRequest) {
+          metrics_.bad_requests->Increment();
+        }
+        SendError(conn, wire_code, completion.ingest_status.message());
+      }
+      if (conn->dead) {
+        CloseConnection(conn);
+      } else {
+        UpdateInterest(conn);
+      }
+      continue;
+    }
     if (completion.response.rejected) {
       // The service refused the request racing its own Shutdown; the
       // client gets the same typed error as an up-front drain refusal

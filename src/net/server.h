@@ -16,6 +16,7 @@
 #include "net/event_loop.h"
 #include "net/net_stats.h"
 #include "net/wire.h"
+#include "serving/ingestion_queue.h"
 #include "serving/recommendation_service.h"
 
 namespace gemrec::net {
@@ -79,9 +80,15 @@ struct ServerOptions {
 /// joins the thread.
 class NetServer {
  public:
-  /// `service` must outlive the server.
+  /// `service` (and `ingest`, when given) must outlive the server.
+  /// With an ingestion queue attached, kAttendance/kNewEvent frames
+  /// bridge into IngestionQueue::SubmitAsync and are answered with
+  /// kIngestAck frames once durable and applied; without one they get
+  /// kBadRequest ("ingestion disabled"), so a read-only server keeps
+  /// its exact pre-write-path behaviour.
   NetServer(serving::RecommendationService* service,
-            const ServerOptions& options);
+            const ServerOptions& options,
+            serving::IngestionQueue* ingest = nullptr);
   ~NetServer();
 
   NetServer(const NetServer&) = delete;
@@ -148,6 +155,11 @@ class NetServer {
     serving::QueryResponse response;
     /// When the query frame was decoded (round-trip histogram anchor).
     std::chrono::steady_clock::time_point received_at;
+    /// Ingest acks ride the same queue: `is_ingest` selects the
+    /// ack/error encoding instead of the query-response one.
+    bool is_ingest = false;
+    Status ingest_status;
+    uint64_t ingest_seq = 0;
   };
   struct CompletionQueue {
     std::mutex mu;
@@ -173,6 +185,8 @@ class NetServer {
   Connection* FindConnection(uint64_t id);
 
   serving::RecommendationService* service_;
+  /// Write path; nullptr = ingestion disabled (read-only server).
+  serving::IngestionQueue* ingest_;
   ServerOptions options_;
   EventLoop loop_;
   int listen_fd_ = -1;

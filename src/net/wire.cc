@@ -59,6 +59,11 @@ constexpr size_t kQueryRequestPayload = 17;   // user, n, filter_hash, flags
 constexpr size_t kQueryResponseFixed = 13;    // epoch, flags, count
 constexpr size_t kQueryResponseStride = 12;   // event, partner, score
 constexpr size_t kErrorFixed = 2;             // code; message is the rest
+constexpr uint8_t kAttendanceFlagNewUser = 1u << 0;
+constexpr size_t kAttendancePayload = 9;      // user, event, flags
+constexpr size_t kNewEventFixed = 20;         // event, region, time, count
+constexpr size_t kNewEventWordStride = 8;     // word id, weight bits
+constexpr size_t kIngestAckPayload = 8;       // seq
 
 }  // namespace
 
@@ -324,6 +329,97 @@ Status DecodeStatsResponse(const uint8_t* payload, size_t n,
   if (pos != n) {
     return Status::InvalidArgument("stats response trailing bytes");
   }
+  return Status::Ok();
+}
+
+void AppendAttendanceFrame(ebsn::UserId user, ebsn::EventId event,
+                           bool new_user, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  payload.reserve(kAttendancePayload);
+  PutU32(user, &payload);
+  PutU32(event, &payload);
+  payload.push_back(new_user ? kAttendanceFlagNewUser : 0);
+  AppendFrame(MessageType::kAttendance, payload.data(), payload.size(), out);
+}
+
+Status DecodeAttendance(const uint8_t* payload, size_t n,
+                        serving::IngestRecord* out) {
+  if (n != kAttendancePayload) {
+    return Status::InvalidArgument("attendance payload must be " +
+                                   std::to_string(kAttendancePayload) +
+                                   " bytes, got " + std::to_string(n));
+  }
+  const uint8_t flags = payload[8];
+  if ((flags & ~kAttendanceFlagNewUser) != 0) {
+    return Status::InvalidArgument("unknown attendance flags");
+  }
+  *out = serving::IngestRecord{};
+  out->kind = serving::IngestKind::kAttendance;
+  out->user = GetU32(payload);
+  out->event = GetU32(payload + 4);
+  out->new_user = (flags & kAttendanceFlagNewUser) != 0;
+  return Status::Ok();
+}
+
+void AppendNewEventFrame(ebsn::EventId event,
+                         const embedding::NewEventSignals& signals,
+                         std::vector<uint8_t>* out) {
+  GEMREC_CHECK(signals.words.size() <= kMaxIngestWords)
+      << "new event carries " << signals.words.size() << " words";
+  std::vector<uint8_t> payload;
+  payload.reserve(kNewEventFixed + kNewEventWordStride * signals.words.size());
+  PutU32(event, &payload);
+  PutU32(signals.region, &payload);
+  PutU64(static_cast<uint64_t>(signals.start_time), &payload);
+  PutU32(static_cast<uint32_t>(signals.words.size()), &payload);
+  for (const auto& [word, weight] : signals.words) {
+    PutU32(word, &payload);
+    PutU32(FloatBits(weight), &payload);
+  }
+  AppendFrame(MessageType::kNewEvent, payload.data(), payload.size(), out);
+}
+
+Status DecodeNewEvent(const uint8_t* payload, size_t n,
+                      serving::IngestRecord* out) {
+  if (n < kNewEventFixed) {
+    return Status::InvalidArgument("new event payload too short");
+  }
+  const uint32_t count = GetU32(payload + 16);
+  if (count > kMaxIngestWords) {
+    return Status::InvalidArgument(
+        "new event word count " + std::to_string(count) + " exceeds " +
+        std::to_string(kMaxIngestWords));
+  }
+  if (n != kNewEventFixed + kNewEventWordStride * size_t{count}) {
+    return Status::InvalidArgument("new event payload length mismatch");
+  }
+  *out = serving::IngestRecord{};
+  out->kind = serving::IngestKind::kNewEvent;
+  out->event = GetU32(payload);
+  out->signals.region = GetU32(payload + 4);
+  out->signals.start_time = static_cast<int64_t>(GetU64(payload + 8));
+  out->signals.words.reserve(count);
+  const uint8_t* p = payload + kNewEventFixed;
+  for (uint32_t i = 0; i < count; ++i, p += kNewEventWordStride) {
+    out->signals.words.emplace_back(GetU32(p), BitsFloat(GetU32(p + 4)));
+  }
+  return Status::Ok();
+}
+
+void AppendIngestAckFrame(uint64_t seq, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  payload.reserve(kIngestAckPayload);
+  PutU64(seq, &payload);
+  AppendFrame(MessageType::kIngestAck, payload.data(), payload.size(), out);
+}
+
+Status DecodeIngestAck(const uint8_t* payload, size_t n, uint64_t* seq) {
+  if (n != kIngestAckPayload) {
+    return Status::InvalidArgument("ingest ack payload must be " +
+                                   std::to_string(kIngestAckPayload) +
+                                   " bytes, got " + std::to_string(n));
+  }
+  *seq = GetU64(payload);
   return Status::Ok();
 }
 

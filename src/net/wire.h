@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "serving/ingest_journal.h"
 #include "serving/recommendation_service.h"
 
 namespace gemrec::net {
@@ -38,6 +39,9 @@ inline constexpr size_t kMaxPayload = 1u << 20;  // 1 MiB
 /// Largest top-n a query may request; keeps every response frame well
 /// under kMaxPayload (13 + 12n bytes of payload).
 inline constexpr uint32_t kMaxTopN = 4096;
+/// Largest word list a kNewEvent frame may carry (20 + 8w payload
+/// bytes, so the cap keeps new-event frames well under kMaxPayload).
+inline constexpr uint32_t kMaxIngestWords = 4096;
 
 enum class MessageType : uint8_t {
   kQueryRequest = 1,
@@ -51,6 +55,16 @@ enum class MessageType : uint8_t {
   /// while draining or overloaded — that is when operators need it.
   kStatsRequest = 6,
   kStatsResponse = 7,
+  /// Write path (wire v1 extension; old clients never send these and
+  /// old servers answer them with kBadRequest, keeping both directions
+  /// compatible). kAttendance carries "user registered for event",
+  /// kNewEvent a just-published event's fold-in signals; the server
+  /// answers each with kIngestAck (the record's journal sequence
+  /// number) once the write is durable and applied, or with a typed
+  /// kError (kOverloaded under write-side admission control).
+  kAttendance = 8,
+  kNewEvent = 9,
+  kIngestAck = 10,
 };
 
 /// Typed application errors carried in kError frames. These travel to
@@ -110,6 +124,28 @@ void AppendStatsResponseFrame(const obs::MetricsSnapshot& snapshot,
                               std::vector<uint8_t>* out);
 Status DecodeStatsResponse(const uint8_t* payload, size_t n,
                            obs::MetricsSnapshot* out);
+
+/// Ingest frames. kAttendance payload (9 bytes): u32 user, u32 event,
+/// u8 flags (bit0 = new user → cold-user fold-in instead of a nudge).
+/// kNewEvent payload (20 + 8w bytes): u32 event, u32 region
+/// (ebsn::kInvalidId when unknown), i64 start_time, u32 word count
+/// (<= kMaxIngestWords), then per word u32 id + u32 float bits of its
+/// weight. kIngestAck payload (8 bytes): u64 journal sequence number.
+/// The decoders fill a serving::IngestRecord ready for the ingestion
+/// queue (seq stays 0 — the queue assigns it).
+void AppendAttendanceFrame(ebsn::UserId user, ebsn::EventId event,
+                           bool new_user, std::vector<uint8_t>* out);
+Status DecodeAttendance(const uint8_t* payload, size_t n,
+                        serving::IngestRecord* out);
+
+void AppendNewEventFrame(ebsn::EventId event,
+                         const embedding::NewEventSignals& signals,
+                         std::vector<uint8_t>* out);
+Status DecodeNewEvent(const uint8_t* payload, size_t n,
+                      serving::IngestRecord* out);
+
+void AppendIngestAckFrame(uint64_t seq, std::vector<uint8_t>* out);
+Status DecodeIngestAck(const uint8_t* payload, size_t n, uint64_t* seq);
 
 /// Incremental frame parser — the receive half of a connection's state
 /// machine. Feed() accepts bytes in arbitrary fragments (a frame may

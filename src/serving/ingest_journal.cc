@@ -1,0 +1,577 @@
+#include "serving/ingest_journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/atomic_file.h"
+#include "common/crc32c.h"
+#include "common/logging.h"
+#include "embedding/serialization.h"
+
+namespace gemrec::serving {
+namespace {
+
+constexpr uint32_t kJournalMagic = 0x314C4A47u;  // "GJL1" little-endian
+constexpr uint32_t kJournalVersion = 1;
+constexpr size_t kJournalHeaderSize = 12;
+constexpr size_t kRecordFixed = 9;  // seq + kind
+constexpr size_t kAttendanceBody = 9;
+constexpr size_t kNewEventFixed = 20;
+constexpr size_t kWordStride = 8;
+/// Sanity cap on one record's payload — far above any real record
+/// (the wire layer already bounds word lists), so a corrupt length
+/// field cannot make the reader allocate gigabytes.
+constexpr uint32_t kMaxRecordPayload = 1u << 20;
+
+size_t g_write_chunk = 0;
+std::function<void(size_t)>* g_write_observer = nullptr;
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+Status SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY);
+  if (dir_fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open directory", dir));
+  }
+  const int rc = ::fsync(dir_fd);
+  ::close(dir_fd);
+  if (rc != 0) {
+    return Status::IoError(ErrnoMessage("fsync failed on directory", dir));
+  }
+  return Status::Ok();
+}
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+uint32_t FloatBits(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+float BitsFloat(uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+constexpr uint8_t kAttendanceFlagNewUser = 1u << 0;
+
+std::vector<uint8_t> EncodeHeader() {
+  std::vector<uint8_t> out;
+  out.reserve(kJournalHeaderSize);
+  PutU32(kJournalMagic, &out);
+  PutU32(kJournalVersion, &out);
+  PutU32(Crc32c(out.data(), 8), &out);
+  return out;
+}
+
+Status CheckHeader(const uint8_t* data, size_t n) {
+  if (n < kJournalHeaderSize) {
+    return Status::InvalidArgument("ingest journal shorter than its header");
+  }
+  if (GetU32(data) != kJournalMagic) {
+    return Status::InvalidArgument("ingest journal bad magic");
+  }
+  if (GetU32(data + 4) != kJournalVersion) {
+    return Status::InvalidArgument("ingest journal unsupported version " +
+                                   std::to_string(GetU32(data + 4)));
+  }
+  if (GetU32(data + 8) != Crc32c(data, 8)) {
+    return Status::InvalidArgument("ingest journal header CRC mismatch");
+  }
+  return Status::Ok();
+}
+
+/// Decodes one record payload (already CRC-verified). Strict: length
+/// mismatches and unknown kinds fail, so a record that parses is a
+/// record the writer produced.
+Status DecodeRecordPayload(const uint8_t* p, size_t n, IngestRecord* out) {
+  if (n < kRecordFixed) {
+    return Status::InvalidArgument("ingest record payload too short");
+  }
+  out->seq = GetU64(p);
+  const uint8_t kind = p[8];
+  p += kRecordFixed;
+  n -= kRecordFixed;
+  switch (kind) {
+    case static_cast<uint8_t>(IngestKind::kAttendance): {
+      if (n != kAttendanceBody) {
+        return Status::InvalidArgument("attendance record length mismatch");
+      }
+      out->kind = IngestKind::kAttendance;
+      out->user = GetU32(p);
+      out->event = GetU32(p + 4);
+      const uint8_t flags = p[8];
+      if ((flags & ~kAttendanceFlagNewUser) != 0) {
+        return Status::InvalidArgument("attendance record unknown flags");
+      }
+      out->new_user = (flags & kAttendanceFlagNewUser) != 0;
+      out->signals = {};
+      return Status::Ok();
+    }
+    case static_cast<uint8_t>(IngestKind::kNewEvent): {
+      if (n < kNewEventFixed) {
+        return Status::InvalidArgument("new-event record too short");
+      }
+      out->kind = IngestKind::kNewEvent;
+      out->user = 0;
+      out->new_user = false;
+      out->event = GetU32(p);
+      out->signals.region = GetU32(p + 4);
+      out->signals.start_time = static_cast<int64_t>(GetU64(p + 8));
+      const uint32_t words = GetU32(p + 16);
+      if (n != kNewEventFixed + kWordStride * size_t{words}) {
+        return Status::InvalidArgument("new-event record length mismatch");
+      }
+      out->signals.words.clear();
+      out->signals.words.reserve(words);
+      const uint8_t* w = p + kNewEventFixed;
+      for (uint32_t i = 0; i < words; ++i, w += kWordStride) {
+        out->signals.words.emplace_back(GetU32(w), BitsFloat(GetU32(w + 4)));
+      }
+      return Status::Ok();
+    }
+    default:
+      return Status::InvalidArgument("ingest record unknown kind " +
+                                     std::to_string(kind));
+  }
+}
+
+struct ScanResult {
+  std::vector<IngestRecord> records;
+  size_t valid_bytes = kJournalHeaderSize;
+  uint64_t last_seq = 0;
+  bool clean = true;
+};
+
+/// Walks the records after a validated header. The first record that
+/// is incomplete, CRC-dirty or unparseable ends the valid prefix.
+ScanResult ScanRecords(const uint8_t* data, size_t n) {
+  ScanResult result;
+  size_t pos = kJournalHeaderSize;
+  while (pos < n) {
+    const size_t avail = n - pos;
+    if (avail < 4) break;
+    const uint32_t len = GetU32(data + pos);
+    if (len > kMaxRecordPayload) break;
+    const size_t total = 4 + size_t{len} + 4;
+    if (avail < total) break;
+    const uint32_t want = Crc32c(data + pos, 4 + len);
+    if (want != GetU32(data + pos + 4 + len)) break;
+    IngestRecord record;
+    if (!DecodeRecordPayload(data + pos + 4, len, &record).ok()) break;
+    result.last_seq = std::max(result.last_seq, record.seq);
+    result.records.push_back(std::move(record));
+    pos += total;
+    result.valid_bytes = pos;
+  }
+  result.clean = result.valid_bytes == n;
+  return result;
+}
+
+Result<std::vector<uint8_t>> ReadWholeFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open", path));
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[64 * 1024];
+  while (true) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      const Status s = Status::IoError(ErrnoMessage("read failed on", path));
+      ::close(fd);
+      return s;
+    }
+    if (r == 0) break;
+    bytes.insert(bytes.end(), buf, buf + r);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+}  // namespace
+
+void IngestJournal::EncodeRecord(const IngestRecord& record,
+                                 std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  payload.reserve(kRecordFixed + kNewEventFixed +
+                  kWordStride * record.signals.words.size());
+  PutU64(record.seq, &payload);
+  payload.push_back(static_cast<uint8_t>(record.kind));
+  switch (record.kind) {
+    case IngestKind::kAttendance:
+      PutU32(record.user, &payload);
+      PutU32(record.event, &payload);
+      payload.push_back(record.new_user ? kAttendanceFlagNewUser : 0);
+      break;
+    case IngestKind::kNewEvent:
+      PutU32(record.event, &payload);
+      PutU32(record.signals.region, &payload);
+      PutU64(static_cast<uint64_t>(record.signals.start_time), &payload);
+      PutU32(static_cast<uint32_t>(record.signals.words.size()), &payload);
+      for (const auto& [word, weight] : record.signals.words) {
+        PutU32(word, &payload);
+        PutU32(FloatBits(weight), &payload);
+      }
+      break;
+  }
+  GEMREC_CHECK(payload.size() <= kMaxRecordPayload);
+  const size_t start = out->size();
+  PutU32(static_cast<uint32_t>(payload.size()), out);
+  out->insert(out->end(), payload.begin(), payload.end());
+  PutU32(Crc32c(out->data() + start, 4 + payload.size()), out);
+}
+
+Result<IngestJournal> IngestJournal::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open journal", path));
+  }
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    const Status s = Status::IoError(ErrnoMessage("lseek failed on", path));
+    ::close(fd);
+    return s;
+  }
+  if (size == 0) {
+    // Fresh journal: a durable header before the first append, so a
+    // crash right after Open leaves a well-formed (empty) file.
+    const std::vector<uint8_t> header = EncodeHeader();
+    IngestJournal journal(fd, path, header.size(), 0);
+    if (Status s = journal.WriteAll(header.data(), header.size()); !s.ok()) {
+      return s;
+    }
+    if (::fdatasync(fd) != 0) {
+      return Status::IoError(ErrnoMessage("fdatasync failed on", path));
+    }
+    GEMREC_RETURN_IF_ERROR(SyncParentDir(path));
+    return journal;
+  }
+
+  auto bytes_or = ReadWholeFile(path);
+  if (!bytes_or.ok()) {
+    ::close(fd);
+    return bytes_or.status();
+  }
+  std::vector<uint8_t> bytes = std::move(bytes_or).value();
+  if (Status s = CheckHeader(bytes.data(), bytes.size()); !s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  ScanResult scan = ScanRecords(bytes.data(), bytes.size());
+  if (!scan.clean) {
+    // Torn/corrupt tail from a crashed predecessor: cut it so new
+    // records append after the last valid one. Every byte dropped here
+    // belongs to a record that was never fsynced-and-acknowledged.
+    GEMREC_LOG(Warning) << "ingest journal " << path << " drops "
+                        << (bytes.size() - scan.valid_bytes)
+                        << " torn tail bytes ("
+                        << scan.records.size() << " valid records kept)";
+    if (::ftruncate(fd, static_cast<off_t>(scan.valid_bytes)) != 0) {
+      const Status s =
+          Status::IoError(ErrnoMessage("ftruncate failed on", path));
+      ::close(fd);
+      return s;
+    }
+    if (::fdatasync(fd) != 0) {
+      const Status s =
+          Status::IoError(ErrnoMessage("fdatasync failed on", path));
+      ::close(fd);
+      return s;
+    }
+  }
+  if (::lseek(fd, static_cast<off_t>(scan.valid_bytes), SEEK_SET) < 0) {
+    const Status s = Status::IoError(ErrnoMessage("lseek failed on", path));
+    ::close(fd);
+    return s;
+  }
+  return IngestJournal(fd, path, scan.valid_bytes, scan.last_seq);
+}
+
+IngestJournal::IngestJournal(IngestJournal&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      bytes_(other.bytes_),
+      last_seq_(other.last_seq_) {
+  other.fd_ = -1;
+}
+
+IngestJournal& IngestJournal::operator=(IngestJournal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    bytes_ = other.bytes_;
+    last_seq_ = other.last_seq_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+IngestJournal::~IngestJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status IngestJournal::WriteAll(const uint8_t* data, size_t n) {
+  size_t written = 0;
+  while (written < n) {
+    size_t chunk = n - written;
+    if (g_write_chunk > 0) chunk = std::min(chunk, g_write_chunk);
+    const ssize_t w = ::write(fd_, data + written, chunk);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("write failed on", path_));
+    }
+    written += static_cast<size_t>(w);
+    if (g_write_observer != nullptr) {
+      (*g_write_observer)(bytes_ + written);
+    }
+  }
+  return Status::Ok();
+}
+
+Status IngestJournal::Append(const std::vector<IngestRecord>& records) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("append on a closed journal");
+  }
+  if (records.empty()) return Status::Ok();
+  std::vector<uint8_t> buf;
+  for (const IngestRecord& record : records) {
+    GEMREC_CHECK(record.seq > last_seq_)
+        << "ingest journal seq must be monotonic: " << record.seq
+        << " after " << last_seq_;
+    EncodeRecord(record, &buf);
+  }
+  if (Status s = WriteAll(buf.data(), buf.size()); !s.ok()) {
+    // A partial batch may be on disk; roll the file back so the
+    // in-memory watermark and the bytes stay in sync (the records were
+    // never acknowledged). If even that fails, Open's scan drops the
+    // torn tail on the next start.
+    if (::ftruncate(fd_, static_cast<off_t>(bytes_)) == 0) {
+      ::lseek(fd_, static_cast<off_t>(bytes_), SEEK_SET);
+    }
+    return s;
+  }
+  // The durability point: ack only after this returns.
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError(ErrnoMessage("fdatasync failed on", path_));
+  }
+  bytes_ += buf.size();
+  for (const IngestRecord& record : records) {
+    last_seq_ = std::max(last_seq_, record.seq);
+  }
+  return Status::Ok();
+}
+
+Status IngestJournal::AppendOne(const IngestRecord& record) {
+  return Append({record});
+}
+
+Status IngestJournal::Reset() {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("reset on a closed journal");
+  }
+  GEMREC_ASSIGN_OR_RETURN(AtomicFile file, AtomicFile::Create(path_));
+  const std::vector<uint8_t> header = EncodeHeader();
+  GEMREC_RETURN_IF_ERROR(file.Append(header.data(), header.size()));
+  GEMREC_RETURN_IF_ERROR(file.Commit());
+  const int fd = ::open(path_.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot reopen journal", path_));
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    const Status s = Status::IoError(ErrnoMessage("lseek failed on", path_));
+    ::close(fd);
+    return s;
+  }
+  ::close(fd_);
+  fd_ = fd;
+  bytes_ = kJournalHeaderSize;
+  last_seq_ = 0;
+  return Status::Ok();
+}
+
+Result<IngestJournal::ReplayResult> IngestJournal::Replay(
+    const std::string& path, uint64_t after_seq) {
+  GEMREC_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadWholeFile(path));
+  GEMREC_RETURN_IF_ERROR(CheckHeader(bytes.data(), bytes.size()));
+  ScanResult scan = ScanRecords(bytes.data(), bytes.size());
+  ReplayResult result;
+  result.clean = scan.clean;
+  result.dropped_bytes = bytes.size() - scan.valid_bytes;
+  for (IngestRecord& record : scan.records) {
+    if (record.seq > after_seq) result.records.push_back(std::move(record));
+  }
+  return result;
+}
+
+void IngestJournal::SetWriteChunkForTesting(size_t bytes) {
+  g_write_chunk = bytes;
+}
+
+void IngestJournal::SetWriteObserverForTesting(
+    std::function<void(size_t)> observer) {
+  delete g_write_observer;
+  g_write_observer =
+      observer ? new std::function<void(size_t)>(std::move(observer))
+               : nullptr;
+}
+
+namespace {
+
+constexpr uint32_t kPoolMagic = 0x4C4F5047u;  // "GPOL" little-endian
+
+std::string CheckpointPath(const std::string& base, uint64_t seq) {
+  return base + "." + std::to_string(seq);
+}
+
+Status SavePoolSidecar(const std::string& path,
+                       const std::vector<ebsn::EventId>& pool) {
+  std::vector<uint8_t> bytes;
+  bytes.reserve(12 + 4 * pool.size());
+  PutU32(kPoolMagic, &bytes);
+  PutU32(static_cast<uint32_t>(pool.size()), &bytes);
+  for (const ebsn::EventId event : pool) PutU32(event, &bytes);
+  PutU32(Crc32c(bytes.data(), bytes.size()), &bytes);
+  GEMREC_ASSIGN_OR_RETURN(AtomicFile file, AtomicFile::Create(path));
+  GEMREC_RETURN_IF_ERROR(file.Append(bytes.data(), bytes.size()));
+  return file.Commit();
+}
+
+Result<std::vector<ebsn::EventId>> LoadPoolSidecar(const std::string& path) {
+  GEMREC_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadWholeFile(path));
+  if (bytes.size() < 12) {
+    return Status::InvalidArgument("pool sidecar too short: " + path);
+  }
+  if (GetU32(bytes.data()) != kPoolMagic) {
+    return Status::InvalidArgument("pool sidecar bad magic: " + path);
+  }
+  if (GetU32(bytes.data() + bytes.size() - 4) !=
+      Crc32c(bytes.data(), bytes.size() - 4)) {
+    return Status::InvalidArgument("pool sidecar CRC mismatch: " + path);
+  }
+  const uint32_t count = GetU32(bytes.data() + 4);
+  if (bytes.size() != 12 + 4 * size_t{count}) {
+    return Status::InvalidArgument("pool sidecar length mismatch: " + path);
+  }
+  std::vector<ebsn::EventId> pool;
+  pool.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    pool.push_back(GetU32(bytes.data() + 8 + 4 * size_t{i}));
+  }
+  return pool;
+}
+
+/// Lists the numeric suffixes of `<base>.<seq>` entries, newest first.
+std::vector<uint64_t> ListCheckpointSeqs(const std::string& base) {
+  namespace fs = std::filesystem;
+  const fs::path base_path(base);
+  const fs::path dir = base_path.parent_path().empty()
+                           ? fs::path(".")
+                           : base_path.parent_path();
+  const std::string prefix = base_path.filename().string() + ".";
+  std::vector<uint64_t> seqs;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix))
+      continue;
+    const std::string suffix = name.substr(prefix.size());
+    if (suffix.empty() ||
+        suffix.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const uint64_t seq = std::strtoull(suffix.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0') continue;
+    seqs.push_back(seq);
+  }
+  std::sort(seqs.rbegin(), seqs.rend());
+  return seqs;
+}
+
+}  // namespace
+
+Status SaveIngestCheckpoint(const std::string& base,
+                            const embedding::EmbeddingStore& store,
+                            const std::vector<ebsn::EventId>& event_pool,
+                            uint64_t seq) {
+  const std::string path = CheckpointPath(base, seq);
+  // Pool first: the store rename is the commit point, and a committed
+  // store must always find its pool.
+  GEMREC_RETURN_IF_ERROR(SavePoolSidecar(path + ".pool", event_pool));
+  return embedding::SaveEmbeddingStore(store, path);
+}
+
+Result<IngestCheckpoint> LoadIngestCheckpoint(const std::string& base) {
+  for (const uint64_t seq : ListCheckpointSeqs(base)) {
+    const std::string path = CheckpointPath(base, seq);
+    auto store = embedding::LoadEmbeddingStore(path);
+    if (!store.ok()) {
+      GEMREC_LOG(Warning) << "ingest checkpoint " << path
+                          << " unreadable, trying an older one: "
+                          << store.status().ToString();
+      continue;
+    }
+    auto pool = LoadPoolSidecar(path + ".pool");
+    if (!pool.ok()) {
+      GEMREC_LOG(Warning) << "ingest checkpoint " << path
+                          << " has an unreadable pool sidecar, trying an "
+                          << "older one: " << pool.status().ToString();
+      continue;
+    }
+    return IngestCheckpoint{std::move(store).value(),
+                            std::move(pool).value(), seq};
+  }
+  return Status::NotFound("no readable checkpoint under " + base + ".*");
+}
+
+void PruneIngestCheckpoints(const std::string& base, uint64_t keep_seq) {
+  namespace fs = std::filesystem;
+  for (const uint64_t seq : ListCheckpointSeqs(base)) {
+    if (seq >= keep_seq) continue;
+    std::error_code rm;
+    fs::remove(fs::path(CheckpointPath(base, seq)), rm);
+    fs::remove(fs::path(CheckpointPath(base, seq) + ".pool"), rm);
+  }
+}
+
+}  // namespace gemrec::serving

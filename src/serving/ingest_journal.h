@@ -1,0 +1,196 @@
+#ifndef GEMREC_SERVING_INGEST_JOURNAL_H_
+#define GEMREC_SERVING_INGEST_JOURNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "ebsn/types.h"
+#include "embedding/embedding_store.h"
+#include "embedding/online_update.h"
+
+namespace gemrec::serving {
+
+/// One acknowledged write of the streaming ingestion path. Two kinds
+/// mirror the two wire frames:
+///  * kAttendance — "user registered for event". With `new_user` set
+///    the user is cold (OffESNs-style cold-start-by-default) and gets a
+///    full FoldInColdUser seeded by this first event; otherwise her
+///    existing vector is nudged via UpdateUserWithAttendance.
+///  * kNewEvent — "event was just published" with its content/context
+///    signals; applied via FoldInColdEvent and added to the
+///    recommendable pool of subsequent delta publishes.
+enum class IngestKind : uint8_t {
+  kAttendance = 1,
+  kNewEvent = 2,
+};
+
+struct IngestRecord {
+  IngestKind kind = IngestKind::kAttendance;
+  /// Monotonic per-journal sequence number, assigned by the ingestion
+  /// queue at admission. 0 means "not yet assigned".
+  uint64_t seq = 0;
+
+  // kAttendance fields.
+  ebsn::UserId user = 0;
+  ebsn::EventId event = 0;  // also the new event id for kNewEvent
+  bool new_user = false;
+
+  // kNewEvent fields.
+  embedding::NewEventSignals signals;
+};
+
+/// Write-ahead journal for the ingestion queue — the GEMREC02 of the
+/// write path. Every record the server acknowledges is appended and
+/// fdatasync'd here *before* the fold-in touches the staging store, so
+/// a SIGKILL at any instruction loses no acknowledged write: startup
+/// replays the journal tail onto the staging store before the first
+/// publish.
+///
+/// On-disk layout (little-endian throughout, like GEMREC02 and GMNP):
+///
+///   [0, 4)   magic "GJL1"
+///   [4, 8)   format version (1)
+///   [8, 12)  CRC32C over bytes [0, 8)
+///   then zero or more records:
+///   [0, 4)   payload length N
+///   [4, 4+N) payload:
+///              u64 seq, u8 kind, then per kind:
+///                kAttendance: u32 user, u32 event, u8 flags (bit0 =
+///                             new_user)
+///                kNewEvent:   u32 event, u32 region, i64 start_time,
+///                             u32 word_count,
+///                             word_count x (u32 word, u32 float bits)
+///   [4+N, 8+N) CRC32C over bytes [0, 4+N) — covering the length
+///              field, so a flipped length byte is caught instead of
+///              sending the reader off to a bogus offset.
+///
+/// Torn/corrupt tails: a record whose bytes are incomplete (the
+/// process died mid-append) or whose CRC mismatches (bit rot) ends the
+/// readable prefix — it and everything after it are dropped, which by
+/// the ack-after-fsync protocol can only ever discard *unacknowledged*
+/// work. A corrupt file header, by contrast, is a hard error: it means
+/// every record is unreadable, and silently serving without them would
+/// lose acknowledged writes.
+///
+/// Not thread-safe: the ingestion queue's single ingest thread owns
+/// the open journal (Replay is static and read-only).
+class IngestJournal {
+ public:
+  /// Opens `path` for appending, creating an empty journal (header
+  /// only, durably) when the file does not exist. An existing file is
+  /// scanned: a torn/corrupt tail is truncated away so new appends
+  /// land after the last valid record.
+  static Result<IngestJournal> Open(const std::string& path);
+
+  IngestJournal(IngestJournal&& other) noexcept;
+  IngestJournal& operator=(IngestJournal&& other) noexcept;
+  IngestJournal(const IngestJournal&) = delete;
+  IngestJournal& operator=(const IngestJournal&) = delete;
+  ~IngestJournal();
+
+  /// Appends every record, then one fdatasync (group commit). After an
+  /// OK return the records survive SIGKILL/power loss; only then may
+  /// the caller acknowledge them.
+  Status Append(const std::vector<IngestRecord>& records);
+  Status AppendOne(const IngestRecord& record);
+
+  /// Atomically replaces the file with a fresh empty journal — called
+  /// after a checkpoint made the logged records redundant. The open
+  /// handle moves to the new file.
+  Status Reset();
+
+  /// Highest sequence number among valid records currently in the file
+  /// (0 when empty).
+  uint64_t last_seq() const { return last_seq_; }
+  const std::string& path() const { return path_; }
+  size_t bytes() const { return bytes_; }
+
+  struct ReplayResult {
+    /// Valid records with seq > the requested threshold, in file
+    /// (= append = ack) order.
+    std::vector<IngestRecord> records;
+    /// False when a torn or corrupt tail was dropped.
+    bool clean = true;
+    /// Bytes of the unreadable tail (0 when clean).
+    uint64_t dropped_bytes = 0;
+  };
+
+  /// Reads the journal and returns every valid record with
+  /// seq > after_seq — the recovery path (after_seq = the seq baked
+  /// into the newest checkpoint, so a crash between checkpoint and
+  /// journal truncation replays each record at most once). Fails on a
+  /// missing file or corrupt header; a torn/corrupt record tail is
+  /// reported via `clean`/`dropped_bytes`, never an error.
+  static Result<ReplayResult> Replay(const std::string& path,
+                                     uint64_t after_seq);
+
+  /// Serializes one record (length + payload + CRC) — exposed so
+  /// fault tests can compute exact record boundaries.
+  static void EncodeRecord(const IngestRecord& record,
+                           std::vector<uint8_t>* out);
+
+  /// --- Fault-injection hooks (tests/fault/ only; process-global) ---
+  /// Forces Append to hand bytes to write(2) in chunks of at most
+  /// `bytes` (0 restores whole-buffer writes), so the observer below
+  /// sees intermediate states inside one record.
+  static void SetWriteChunkForTesting(size_t bytes);
+  /// Invoked after every successful write(2) with the journal's
+  /// cumulative payload byte count; a harness can raise(SIGKILL)
+  /// inside it to model a crash mid-append. nullptr disables.
+  static void SetWriteObserverForTesting(
+      std::function<void(size_t bytes_written)> observer);
+
+ private:
+  IngestJournal(int fd, std::string path, size_t bytes, uint64_t last_seq)
+      : fd_(fd),
+        path_(std::move(path)),
+        bytes_(bytes),
+        last_seq_(last_seq) {}
+
+  Status WriteAll(const uint8_t* data, size_t n);
+
+  int fd_ = -1;
+  std::string path_;
+  size_t bytes_ = 0;  // valid bytes (header + records) in the file
+  uint64_t last_seq_ = 0;
+};
+
+/// Checkpoint naming: `<base>.<seq>` holds a GEMREC02 store whose
+/// contents include every journal record with seq <= seq, and
+/// `<base>.<seq>.pool` the recommendable event pool at that watermark
+/// (kNewEvent fold-ins extend the pool, and a recovered vector without
+/// pool membership would still be unservable). The seq rides in the
+/// filename so the checkpoint and its watermark commit in the same
+/// atomic rename; a crash between checkpoint save and journal
+/// truncation is harmless — recovery replays only records with
+/// seq > watermark (double-replay idempotence by construction). The
+/// pool sidecar is committed *before* the store, so any `<base>.<seq>`
+/// that exists has its pool alongside.
+struct IngestCheckpoint {
+  embedding::EmbeddingStore store;
+  std::vector<ebsn::EventId> event_pool;
+  uint64_t seq = 0;
+};
+
+Status SaveIngestCheckpoint(const std::string& base,
+                            const embedding::EmbeddingStore& store,
+                            const std::vector<ebsn::EventId>& event_pool,
+                            uint64_t seq);
+
+/// Finds the newest checkpoint `<base>.<seq>` whose store AND pool
+/// sidecar load cleanly; NotFound when none exists. Corrupt or torn
+/// checkpoints are skipped in favour of older ones.
+Result<IngestCheckpoint> LoadIngestCheckpoint(const std::string& base);
+
+/// Deletes checkpoints `<base>.<seq>` (and pool sidecars) with
+/// seq < keep_seq.
+void PruneIngestCheckpoints(const std::string& base, uint64_t keep_seq);
+
+}  // namespace gemrec::serving
+
+#endif  // GEMREC_SERVING_INGEST_JOURNAL_H_

@@ -8,35 +8,6 @@
 #include "embedding/serialization.h"
 
 namespace gemrec::serving {
-namespace {
-
-/// A loaded artifact must cover the serving pool: every recommendable
-/// event id and every user id must index into the new store. Publishing
-/// a too-small store would make QueryVector/TA walk out of bounds, so
-/// this is checked before the store reaches the builder.
-Status ValidateShape(const embedding::EmbeddingStore& store,
-                     const SnapshotBuilder& builder) {
-  const uint32_t num_events =
-      store.CountOf(graph::NodeType::kEvent);
-  for (const ebsn::EventId event : builder.event_pool()) {
-    if (event >= num_events) {
-      return Status::FailedPrecondition(
-          "reloaded store has " + std::to_string(num_events) +
-          " events but the serving pool references event " +
-          std::to_string(event));
-    }
-  }
-  const uint32_t num_users = store.CountOf(graph::NodeType::kUser);
-  if (builder.num_users() > num_users) {
-    return Status::FailedPrecondition(
-        "reloaded store has " + std::to_string(num_users) +
-        " users but the service serves " +
-        std::to_string(builder.num_users()));
-  }
-  return Status::Ok();
-}
-
-}  // namespace
 
 ModelReloader::ModelReloader(RecommendationService* service,
                              SnapshotBuilder* builder,
@@ -66,7 +37,7 @@ Status ModelReloader::ReloadFromFile(const std::string& path) {
   auto run = [&]() -> Status {
     auto store = embedding::LoadEmbeddingStore(path);
     if (!store.ok()) return store.status();
-    GEMREC_RETURN_IF_ERROR(ValidateShape(*store, *builder_));
+    GEMREC_RETURN_IF_ERROR(ValidateStoreShape(*store, *builder_));
     builder_->ResetStagingStore(std::move(store).value());
     service_->Publish(builder_->Build());
     return Status::Ok();

@@ -18,4 +18,25 @@ std::shared_ptr<ModelSnapshot> SnapshotBuilder::Build() const {
                                          options_);
 }
 
+Status ValidateStoreShape(const embedding::EmbeddingStore& store,
+                          const SnapshotBuilder& builder) {
+  const uint32_t num_events = store.CountOf(graph::NodeType::kEvent);
+  for (const ebsn::EventId event : builder.event_pool()) {
+    if (event >= num_events) {
+      return Status::FailedPrecondition(
+          "reloaded store has " + std::to_string(num_events) +
+          " events but the serving pool references event " +
+          std::to_string(event));
+    }
+  }
+  const uint32_t num_users = store.CountOf(graph::NodeType::kUser);
+  if (builder.num_users() > num_users) {
+    return Status::FailedPrecondition(
+        "reloaded store has " + std::to_string(num_users) +
+        " users but the service serves " +
+        std::to_string(builder.num_users()));
+  }
+  return Status::Ok();
+}
+
 }  // namespace gemrec::serving

@@ -83,6 +83,14 @@ class SnapshotBuilder {
   SnapshotOptions options_;
 };
 
+/// A loaded artifact must cover the serving pool: every recommendable
+/// event id and every user id must index into the new store, or
+/// QueryVector/TA would walk out of bounds once published. Checked by
+/// both reload paths (ModelReloader and IngestionQueue::ReloadBase)
+/// before a store reaches ResetStagingStore.
+Status ValidateStoreShape(const embedding::EmbeddingStore& store,
+                          const SnapshotBuilder& builder);
+
 }  // namespace gemrec::serving
 
 #endif  // GEMREC_SERVING_SNAPSHOT_BUILDER_H_

@@ -1,0 +1,561 @@
+// Crash-safety proofs for the streaming ingestion write path (DESIGN.md
+// §14): SIGKILL at every byte offset inside a journal append, every
+// prefix truncation, every single-byte corruption, the
+// crash-between-checkpoint-and-truncation double-replay window, and an
+// end-to-end kill of the full IngestionQueue stack. The invariant under
+// test throughout: an ACKNOWLEDGED write is never lost, and a torn or
+// corrupt tail only ever discards unacknowledged bytes.
+//
+// Own binary (fault_test): it forks children, kills them, and mutates
+// IngestJournal's process-global write hooks.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "serving/ingest_journal.h"
+#include "serving/ingestion_queue.h"
+#include "serving/recommendation_service.h"
+#include "serving/snapshot_builder.h"
+
+namespace gemrec::serving {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint32_t kUsers = 8;
+constexpr uint32_t kEventRows = 12;
+constexpr uint32_t kInitialEvents = 9;
+constexpr uint32_t kDim = 6;
+constexpr size_t kJournalHeader = 12;
+
+// Fold-in-capable store: full kTime matrix (TimeSlotsFor ids live in
+// [0, 33)) plus small location/word vocabularies.
+embedding::EmbeddingStore IngestStore(uint64_t seed) {
+  embedding::EmbeddingStore store(
+      kDim, std::array<uint32_t, 5>{kUsers, kEventRows, 4, 33, 20});
+  Rng rng(seed);
+  for (size_t t = 0; t < embedding::EmbeddingStore::kNumTypes; ++t) {
+    store.MatrixOf(static_cast<graph::NodeType>(t))
+        .FillAbsGaussian(&rng, 0.2, 0.3);
+  }
+  return store;
+}
+
+std::vector<ebsn::EventId> InitialPool() {
+  std::vector<ebsn::EventId> events(kInitialEvents);
+  for (uint32_t x = 0; x < kInitialEvents; ++x) events[x] = x;
+  return events;
+}
+
+// Deterministic record stream shared by the crashing child and the
+// parent's offline reference (1-based).
+IngestRecord RecordAt(uint64_t i) {
+  IngestRecord r;
+  r.seq = i;
+  if (i % 4 == 0) {
+    r.kind = IngestKind::kNewEvent;
+    r.event = static_cast<ebsn::EventId>(kInitialEvents +
+                                         (i / 4 - 1) % (kEventRows -
+                                                        kInitialEvents));
+    r.signals.region = static_cast<uint32_t>(i % 4);
+    r.signals.start_time = 1700000000 + static_cast<int64_t>(i) * 3600;
+    r.signals.words = {{static_cast<uint32_t>(i % 20), 1.0f},
+                       {static_cast<uint32_t>((i * 7 + 1) % 20), 0.5f}};
+  } else {
+    r.kind = IngestKind::kAttendance;
+    r.user = static_cast<ebsn::UserId>((i * 3) % kUsers);
+    r.event = static_cast<ebsn::EventId>((i * 5) % kInitialEvents);
+    r.new_user = (i % 5 == 2);
+  }
+  return r;
+}
+
+void ExpectStoresBitExact(const embedding::EmbeddingStore& a,
+                          const embedding::EmbeddingStore& b) {
+  ASSERT_EQ(a.dim(), b.dim());
+  for (size_t t = 0; t < embedding::EmbeddingStore::kNumTypes; ++t) {
+    const auto type = static_cast<graph::NodeType>(t);
+    ASSERT_EQ(a.CountOf(type), b.CountOf(type));
+    for (uint32_t r = 0; r < a.CountOf(type); ++r) {
+      ASSERT_EQ(std::memcmp(a.VectorOf(type, r), b.VectorOf(type, r),
+                            a.dim() * sizeof(float)),
+                0)
+          << "node type " << t << " row " << r;
+    }
+  }
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+std::vector<uint64_t> ReadAckedSeqs(int fd) {
+  std::vector<uint64_t> seqs;
+  uint64_t seq = 0;
+  while (::read(fd, &seq, sizeof(seq)) == sizeof(seq)) {
+    seqs.push_back(seq);
+  }
+  return seqs;
+}
+
+class IngestJournalFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           ("gemrec_ingest_fault_" + std::to_string(::getpid()) + "_" +
+            info->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    IngestJournal::SetWriteChunkForTesting(0);
+    IngestJournal::SetWriteObserverForTesting(nullptr);
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(IngestJournalFaultTest, SigkillAtEveryOffsetLosesNoAckedAppend) {
+  // Children append records one at a time, reporting each successful
+  // (= fsynced) append through a pipe, while the write observer kills
+  // the process once the journal file offset crosses the threshold.
+  // Sweeping the threshold across several records' worth of bytes
+  // places the kill at every byte position inside an append.
+  constexpr uint64_t kRecords = 6;
+  size_t total = kJournalHeader;
+  for (uint64_t i = 1; i <= kRecords; ++i) {
+    std::vector<uint8_t> encoded;
+    IngestJournal::EncodeRecord(RecordAt(i), &encoded);
+    total += encoded.size();
+  }
+
+  for (size_t threshold = kJournalHeader + 1; threshold <= total + 1;
+       threshold += 7) {
+    const fs::path sub = dir_ / ("t" + std::to_string(threshold));
+    fs::create_directories(sub);
+    const std::string path = (sub / "journal").string();
+
+    int pipe_fds[2];
+    ASSERT_EQ(::pipe(pipe_fds), 0);
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      ::close(pipe_fds[0]);
+      auto journal = IngestJournal::Open(path);
+      if (!journal.ok()) _exit(2);
+      // Hooks armed only after Open so the kill always lands inside a
+      // record append, never the header write.
+      IngestJournal::SetWriteChunkForTesting(1);
+      IngestJournal::SetWriteObserverForTesting(
+          [threshold](size_t bytes_written) {
+            if (bytes_written >= threshold) raise(SIGKILL);
+          });
+      for (uint64_t i = 1; i <= kRecords; ++i) {
+        if (!journal->AppendOne(RecordAt(i)).ok()) _exit(3);
+        // Acked: the record is on disk past an fdatasync.
+        const uint64_t seq = i;
+        if (::write(pipe_fds[1], &seq, sizeof(seq)) !=
+            static_cast<ssize_t>(sizeof(seq))) {
+          _exit(4);
+        }
+      }
+      _exit(0);  // threshold beyond the file: no kill fired
+    }
+    ::close(pipe_fds[1]);
+    const std::vector<uint64_t> acked = ReadAckedSeqs(pipe_fds[0]);
+    ::close(pipe_fds[0]);
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+    if (WIFSIGNALED(wstatus)) {
+      ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+    } else {
+      ASSERT_EQ(WEXITSTATUS(wstatus), 0) << "child setup failed";
+    }
+
+    // Zero acknowledged-write loss: every acked seq replays, in order.
+    auto replay = IngestJournal::Replay(path, 0);
+    ASSERT_TRUE(replay.ok())
+        << "threshold " << threshold << ": " << replay.status().ToString();
+    ASSERT_GE(replay->records.size(), acked.size())
+        << "threshold " << threshold << " lost acked records";
+    for (size_t i = 0; i < replay->records.size(); ++i) {
+      ASSERT_EQ(replay->records[i].seq, i + 1)
+          << "threshold " << threshold;
+    }
+
+    // Recovery: Open truncates whatever tail the kill tore, and the
+    // journal accepts appends again.
+    auto reopened = IngestJournal::Open(path);
+    ASSERT_TRUE(reopened.ok())
+        << "threshold " << threshold << ": "
+        << reopened.status().ToString();
+    const uint64_t next = reopened->last_seq() + 1;
+    ASSERT_TRUE(reopened->AppendOne(RecordAt(next)).ok());
+    auto after = IngestJournal::Replay(path, 0);
+    ASSERT_TRUE(after.ok());
+    EXPECT_TRUE(after->clean) << "threshold " << threshold;
+    EXPECT_EQ(after->records.back().seq, next);
+  }
+}
+
+TEST_F(IngestJournalFaultTest, EveryPrefixTruncationDropsOnlyTheTail) {
+  const std::string path = (dir_ / "journal").string();
+  std::vector<size_t> boundaries = {kJournalHeader};
+  {
+    auto journal = IngestJournal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    for (uint64_t i = 1; i <= 3; ++i) {
+      ASSERT_TRUE(journal->AppendOne(RecordAt(i)).ok());
+      std::vector<uint8_t> encoded;
+      IngestJournal::EncodeRecord(RecordAt(i), &encoded);
+      boundaries.push_back(boundaries.back() + encoded.size());
+    }
+  }
+  const std::vector<uint8_t> good = ReadFileBytes(path);
+  ASSERT_EQ(good.size(), boundaries.back())
+      << "EncodeRecord and Append disagree on record sizes";
+
+  const std::string corrupt = (dir_ / "truncated").string();
+  for (size_t len = 0; len <= good.size(); ++len) {
+    WriteFileBytes(corrupt,
+                   std::vector<uint8_t>(good.begin(), good.begin() + len));
+    auto replay = IngestJournal::Replay(corrupt, 0);
+    if (len == 0) {
+      // Truncated to nothing: Replay has no header to trust, but Open
+      // legitimately re-initializes an empty file as a fresh journal.
+      EXPECT_FALSE(replay.ok());
+      auto fresh = IngestJournal::Open(corrupt);
+      ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+      EXPECT_EQ(fresh->last_seq(), 0u);
+      fs::remove(corrupt);  // drop the fresh header before the next len
+      continue;
+    }
+    if (len < kJournalHeader) {
+      // Partial header: hard error, never a silently-empty journal.
+      EXPECT_FALSE(replay.ok()) << "len " << len;
+      EXPECT_FALSE(IngestJournal::Open(corrupt).ok()) << "len " << len;
+      continue;
+    }
+    ASSERT_TRUE(replay.ok()) << "len " << len << ": "
+                             << replay.status().ToString();
+    size_t complete = 0;
+    size_t last_boundary = kJournalHeader;
+    for (size_t b = 1; b < boundaries.size(); ++b) {
+      if (boundaries[b] <= len) {
+        complete = b;
+        last_boundary = boundaries[b];
+      }
+    }
+    EXPECT_EQ(replay->records.size(), complete) << "len " << len;
+    EXPECT_EQ(replay->clean, len == last_boundary) << "len " << len;
+    EXPECT_EQ(replay->dropped_bytes, len - last_boundary) << "len " << len;
+  }
+
+  // Reopening a mid-record truncation restores appendability.
+  const size_t torn = boundaries[1] + 5;
+  WriteFileBytes(corrupt,
+                 std::vector<uint8_t>(good.begin(), good.begin() + torn));
+  auto reopened = IngestJournal::Open(corrupt);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->last_seq(), 1u);
+  ASSERT_TRUE(reopened->AppendOne(RecordAt(2)).ok());
+  auto after = IngestJournal::Replay(corrupt, 0);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->clean);
+  EXPECT_EQ(after->records.size(), 2u);
+}
+
+TEST_F(IngestJournalFaultTest, EveryByteCorruptionEndsTheValidPrefix) {
+  const std::string path = (dir_ / "journal").string();
+  std::vector<size_t> boundaries = {kJournalHeader};
+  {
+    auto journal = IngestJournal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    for (uint64_t i = 1; i <= 3; ++i) {
+      ASSERT_TRUE(journal->AppendOne(RecordAt(i)).ok());
+      std::vector<uint8_t> encoded;
+      IngestJournal::EncodeRecord(RecordAt(i), &encoded);
+      boundaries.push_back(boundaries.back() + encoded.size());
+    }
+  }
+  const std::vector<uint8_t> good = ReadFileBytes(path);
+
+  const std::string corrupt = (dir_ / "flipped").string();
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::vector<uint8_t> bytes = good;
+    bytes[i] ^= 0xFF;
+    WriteFileBytes(corrupt, bytes);
+    auto replay = IngestJournal::Replay(corrupt, 0);
+    if (i < kJournalHeader) {
+      EXPECT_FALSE(replay.ok()) << "byte " << i;
+      continue;
+    }
+    // The record containing the flipped byte (and everything after it)
+    // is dropped; records before it replay intact.
+    size_t intact = 0;
+    while (boundaries[intact + 1] <= i) ++intact;
+    ASSERT_TRUE(replay.ok()) << "byte " << i << ": "
+                             << replay.status().ToString();
+    EXPECT_EQ(replay->records.size(), intact) << "byte " << i;
+    EXPECT_FALSE(replay->clean) << "byte " << i;
+    for (size_t r = 0; r < replay->records.size(); ++r) {
+      EXPECT_EQ(replay->records[r].seq, r + 1) << "byte " << i;
+    }
+  }
+}
+
+TEST_F(IngestJournalFaultTest, CrashBetweenCheckpointAndTruncationReplaysOnce) {
+  // The double-replay window: a checkpoint lands on disk but the
+  // process dies before the journal reset. Recovery must apply each
+  // record exactly once — the checkpoint's watermark filters the
+  // journal records already baked into it.
+  const embedding::EmbeddingStore base = IngestStore(51);
+  SnapshotOptions snapshot_options;
+  snapshot_options.top_k_events_per_partner = 0;
+  IngestionQueueOptions iq;
+  iq.journal_path = (dir_ / "journal").string();
+  iq.checkpoint_base = (dir_ / "checkpoint").string();
+
+  // Timeline 1 applies records 1..3, then "crashes" right after the
+  // checkpoint save, before the journal truncation.
+  SnapshotBuilder builder1(base, InitialPool(), kUsers, snapshot_options);
+  {
+    RecommendationService service(ServiceOptions{});
+    IngestionQueue queue(&service, &builder1, iq);
+    ASSERT_TRUE(queue.Start().ok());
+    for (uint64_t i = 1; i <= 3; ++i) {
+      auto seq = queue.Submit(RecordAt(i));
+      ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+    }
+    queue.Flush();
+    queue.Shutdown();
+  }
+  ASSERT_TRUE(SaveIngestCheckpoint(iq.checkpoint_base,
+                                   *builder1.staging_store(),
+                                   builder1.event_pool(), 3)
+                  .ok());
+  // The journal still holds 1..3 — exactly the crash window.
+  {
+    auto replay = IngestJournal::Replay(iq.journal_path, 0);
+    ASSERT_TRUE(replay.ok());
+    ASSERT_EQ(replay->records.size(), 3u);
+  }
+
+  // Timeline 2 recovers: checkpoint loads, journal records 1..3 are
+  // filtered by the watermark — zero double-applies.
+  SnapshotBuilder builder2(base, InitialPool(), kUsers, snapshot_options);
+  {
+    RecommendationService service(ServiceOptions{});
+    IngestionQueue queue(&service, &builder2, iq);
+    ASSERT_TRUE(queue.Start().ok());
+    EXPECT_EQ(queue.replayed(), 0u)
+        << "watermark-covered records were double-applied";
+    ExpectStoresBitExact(*builder2.staging_store(),
+                         *builder1.staging_store());
+    for (uint64_t i = 4; i <= 6; ++i) {
+      auto seq = queue.Submit(RecordAt(i));
+      ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+      EXPECT_EQ(*seq, i) << "recovered seq counter restarted";
+    }
+    queue.Flush();
+    queue.Shutdown();
+  }
+
+  // Timeline 3 crashes again before any new checkpoint: recovery =
+  // checkpoint(3) + journal replay of 4..6 only.
+  SnapshotBuilder builder3(base, InitialPool(), kUsers, snapshot_options);
+  {
+    RecommendationService service(ServiceOptions{});
+    IngestionQueue queue(&service, &builder3, iq);
+    ASSERT_TRUE(queue.Start().ok());
+    EXPECT_EQ(queue.replayed(), 3u);
+    queue.Shutdown();
+  }
+  ExpectStoresBitExact(*builder3.staging_store(),
+                       *builder2.staging_store());
+
+  // Offline reference: records 1..6 applied exactly once.
+  SnapshotBuilder reference(base, InitialPool(), kUsers, snapshot_options);
+  std::vector<ebsn::EventId> pool = reference.event_pool();
+  for (uint64_t i = 1; i <= 6; ++i) {
+    const IngestRecord record = RecordAt(i);
+    if (record.kind == IngestKind::kNewEvent) {
+      ASSERT_TRUE(
+          reference.FoldInEvent(record.event, record.signals, iq.foldin)
+              .ok());
+      if (std::find(pool.begin(), pool.end(), record.event) ==
+          pool.end()) {
+        pool.push_back(record.event);
+        reference.set_event_pool(pool);
+      }
+    } else if (record.new_user) {
+      embedding::NewUserSignals signals;
+      signals.attended_events.push_back(record.event);
+      ASSERT_TRUE(
+          reference.FoldInUser(record.user, signals, iq.foldin).ok());
+    } else {
+      ASSERT_TRUE(
+          reference.RecordAttendance(record.user, record.event, iq.nudge)
+              .ok());
+    }
+  }
+  ExpectStoresBitExact(*builder3.staging_store(),
+                       *reference.staging_store());
+  EXPECT_EQ(builder3.event_pool(), reference.event_pool());
+}
+
+TEST_F(IngestJournalFaultTest, QueueKilledMidStreamRecoversEveryAckedWrite) {
+  // End-to-end: the full IngestionQueue stack (validation, group
+  // commit, fold-in, ack) is SIGKILLed while streaming; a fresh queue
+  // over the same journal must recover a contiguous record prefix that
+  // covers every ack the dead process emitted, and the recovered store
+  // must equal the offline application of that prefix.
+  constexpr uint64_t kRecords = 10;
+  SnapshotOptions snapshot_options;
+  snapshot_options.top_k_events_per_partner = 0;
+  ServiceOptions service_options;
+  service_options.num_workers = 1;
+
+  size_t total = kJournalHeader;
+  for (uint64_t i = 1; i <= kRecords; ++i) {
+    std::vector<uint8_t> encoded;
+    IngestJournal::EncodeRecord(RecordAt(i), &encoded);
+    total += encoded.size();
+  }
+
+  for (size_t threshold = kJournalHeader + 3; threshold <= total;
+       threshold += 41) {
+    const fs::path sub = dir_ / ("t" + std::to_string(threshold));
+    fs::create_directories(sub);
+    IngestionQueueOptions iq;
+    iq.journal_path = (sub / "journal").string();
+
+    int pipe_fds[2];
+    ASSERT_EQ(::pipe(pipe_fds), 0);
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      ::close(pipe_fds[0]);
+      const embedding::EmbeddingStore base = IngestStore(52);
+      SnapshotBuilder builder(base, InitialPool(), kUsers,
+                              snapshot_options);
+      RecommendationService service(service_options);
+      IngestionQueue queue(&service, &builder, iq);
+      if (!queue.Start().ok()) _exit(2);
+      IngestJournal::SetWriteChunkForTesting(1);
+      IngestJournal::SetWriteObserverForTesting(
+          [threshold](size_t bytes_written) {
+            if (bytes_written >= threshold) raise(SIGKILL);
+          });
+      const int ack_fd = pipe_fds[1];
+      for (uint64_t i = 1; i <= kRecords; ++i) {
+        // Ack callbacks run on the ingest thread, strictly after the
+        // group commit's fdatasync — so every seq read from the pipe
+        // names a durable record.
+        (void)queue.SubmitAsync(
+            RecordAt(i), [ack_fd](Status status, uint64_t seq) {
+              if (status.ok()) {
+                (void)::write(ack_fd, &seq, sizeof(seq));
+              }
+            });
+      }
+      queue.Flush();
+      _exit(0);
+    }
+    ::close(pipe_fds[1]);
+    const std::vector<uint64_t> acked = ReadAckedSeqs(pipe_fds[0]);
+    ::close(pipe_fds[0]);
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+    if (WIFSIGNALED(wstatus)) {
+      ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+    } else {
+      ASSERT_EQ(WEXITSTATUS(wstatus), 0) << "child setup failed";
+    }
+
+    // The journal holds a contiguous prefix 1..K covering every ack
+    // (K can exceed the acks: a record fully written but killed before
+    // its ack is unacknowledged, replaying it is allowed and correct).
+    auto replay = IngestJournal::Replay(iq.journal_path, 0);
+    ASSERT_TRUE(replay.ok())
+        << "threshold " << threshold << ": " << replay.status().ToString();
+    const uint64_t recovered = replay->records.size();
+    for (uint64_t i = 0; i < recovered; ++i) {
+      ASSERT_EQ(replay->records[i].seq, i + 1)
+          << "threshold " << threshold;
+    }
+    uint64_t max_acked = 0;
+    for (const uint64_t seq : acked) max_acked = std::max(max_acked, seq);
+    ASSERT_GE(recovered, max_acked)
+        << "threshold " << threshold << " lost an acknowledged write";
+
+    // Recovery replays onto a fresh base and must land bitwise on the
+    // offline application of the same prefix.
+    const embedding::EmbeddingStore base = IngestStore(52);
+    SnapshotBuilder builder(base, InitialPool(), kUsers,
+                            snapshot_options);
+    RecommendationService service(service_options);
+    IngestionQueue queue(&service, &builder, iq);
+    ASSERT_TRUE(queue.Start().ok());
+    EXPECT_EQ(queue.replayed(), recovered) << "threshold " << threshold;
+    queue.Shutdown();
+
+    SnapshotBuilder reference(base, InitialPool(), kUsers,
+                              snapshot_options);
+    std::vector<ebsn::EventId> pool = reference.event_pool();
+    for (uint64_t i = 1; i <= recovered; ++i) {
+      const IngestRecord record = RecordAt(i);
+      if (record.kind == IngestKind::kNewEvent) {
+        ASSERT_TRUE(
+            reference.FoldInEvent(record.event, record.signals, iq.foldin)
+                .ok());
+        if (std::find(pool.begin(), pool.end(), record.event) ==
+            pool.end()) {
+          pool.push_back(record.event);
+          reference.set_event_pool(pool);
+        }
+      } else if (record.new_user) {
+        embedding::NewUserSignals signals;
+        signals.attended_events.push_back(record.event);
+        ASSERT_TRUE(
+            reference.FoldInUser(record.user, signals, iq.foldin).ok());
+      } else {
+        ASSERT_TRUE(reference
+                        .RecordAttendance(record.user, record.event,
+                                          iq.nudge)
+                        .ok());
+      }
+    }
+    ExpectStoresBitExact(*builder.staging_store(),
+                         *reference.staging_store());
+  }
+}
+
+}  // namespace
+}  // namespace gemrec::serving

@@ -14,6 +14,7 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -24,6 +25,7 @@
 #include "common/rng.h"
 #include "embedding/serialization.h"
 #include "net/client.h"
+#include "serving/ingestion_queue.h"
 #include "serving/model_reloader.h"
 #include "serving/snapshot_builder.h"
 
@@ -505,6 +507,307 @@ TEST(NetServerTest, ParseHostPort) {
   EXPECT_FALSE(ParseHostPort("127.0.0.1:", &host, &port).ok());
   EXPECT_FALSE(ParseHostPort("127.0.0.1:99999", &host, &port).ok());
   EXPECT_FALSE(ParseHostPort("127.0.0.1:8x", &host, &port).ok());
+}
+
+// ---------------------------------------------------------------------
+// Write path: ingest frames bridged into the IngestionQueue, and wire
+// compatibility between ingest-enabled servers and pre-ingest clients.
+
+// Fold-in-capable store: the write path links events to TimeSlotsFor
+// slots in [0, 33), so kTime needs a full matrix (unlike the
+// query-only stores above).
+std::unique_ptr<embedding::EmbeddingStore> IngestCapableStore(
+    uint32_t num_users, uint32_t num_events, uint64_t seed) {
+  auto store = std::make_unique<embedding::EmbeddingStore>(
+      6, std::array<uint32_t, 5>{num_users, num_events, 4, 33, 20});
+  Rng rng(seed);
+  for (size_t t = 0; t < embedding::EmbeddingStore::kNumTypes; ++t) {
+    store->MatrixOf(static_cast<graph::NodeType>(t))
+        .FillAbsGaussian(&rng, 0.2, 0.3);
+  }
+  return store;
+}
+
+// Per-test scratch directory for the queue's journal.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : dir_(std::filesystem::temp_directory_path() /
+             ("gemrec_net_ingest_" + std::to_string(::getpid()) + "_" +
+              tag)) {
+    std::filesystem::create_directories(dir_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string Journal() const { return (dir_ / "journal").string(); }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+TEST(NetServerTest, IngestFramesWithoutQueueGetBadRequest) {
+  // A read-only server (no queue attached) must refuse write frames
+  // with a typed error and keep the connection serving — never crash
+  // or hang on the new message types.
+  auto store = RandomStore(5, 5, 4, 20);
+  RecommendationService service(ServiceOptions{});
+  service.Publish(MakeSnapshot(*store, 5, 5));
+  NetServer server(&service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = MustConnect(server);
+
+  auto attend = client->Attend(1, 2, false);
+  ASSERT_TRUE(attend.ok()) << attend.status().ToString();
+  EXPECT_FALSE(attend->ok);
+  EXPECT_EQ(attend->error, ErrorCode::kBadRequest);
+
+  embedding::NewEventSignals signals;
+  auto publish = client->PublishNewEvent(4, signals);
+  ASSERT_TRUE(publish.ok()) << publish.status().ToString();
+  EXPECT_FALSE(publish->ok);
+  EXPECT_EQ(publish->error, ErrorCode::kBadRequest);
+
+  // The connection survives and still answers queries.
+  QueryRequest request;
+  request.user = 1;
+  request.n = 3;
+  auto good = client->Query(request);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_TRUE(good->ok);
+  EXPECT_EQ(server.stats().ingest_requests, 2u);
+  EXPECT_EQ(server.stats().ingest_acks, 0u);
+}
+
+TEST(NetServerTest, IngestRoundTripAcksAndPublishes) {
+  constexpr uint32_t kUsers = 8;
+  constexpr uint32_t kEventRows = 10;
+  constexpr uint32_t kPool = 8;
+  auto store = IngestCapableStore(kUsers, kEventRows, 21);
+  serving::SnapshotOptions snapshot_options;
+  snapshot_options.top_k_events_per_partner = 0;
+  serving::SnapshotBuilder builder(*store, AllEvents(kPool), kUsers,
+                                   snapshot_options);
+  RecommendationService service(ServiceOptions{});
+  ScratchDir scratch("round_trip");
+  serving::IngestionQueueOptions iq;
+  iq.journal_path = scratch.Journal();
+  iq.publish_threshold = 1;
+  serving::IngestionQueue queue(&service, &builder, iq);
+  ASSERT_TRUE(queue.Start().ok());
+  NetServer server(&service, ServerOptions{}, &queue);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = MustConnect(server);
+
+  auto attend = client->Attend(2, 3, /*new_user=*/false);
+  ASSERT_TRUE(attend.ok()) << attend.status().ToString();
+  ASSERT_TRUE(attend->ok) << attend->error_message;
+  EXPECT_EQ(attend->seq, 1u);
+
+  embedding::NewEventSignals signals;
+  signals.region = 1;
+  signals.start_time = 1720000000;
+  signals.words = {{3, 1.0f}};
+  auto publish = client->PublishNewEvent(kPool, signals);
+  ASSERT_TRUE(publish.ok()) << publish.status().ToString();
+  ASSERT_TRUE(publish->ok) << publish->error_message;
+  EXPECT_EQ(publish->seq, 2u);
+
+  // Both writes become retrievable via a delta publish: the epoch
+  // moves past the recovery publish.
+  queue.Flush();
+  QueryRequest request;
+  request.user = 2;
+  request.n = 5;
+  request.bypass_cache = true;
+  auto outcome = client->Query(request);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_TRUE(outcome->ok) << outcome->error_message;
+  EXPECT_GE(outcome->response.epoch, 2u);
+
+  const NetStats stats = server.stats();
+  EXPECT_EQ(stats.ingest_requests, 2u);
+  EXPECT_EQ(stats.ingest_acks, 2u);
+
+  // The ingest metrics travel over the stats verb like everything else.
+  auto snapshot = client->Stats();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  const obs::MetricValue* accepted =
+      snapshot->Find("gemrec_ingest_accepted_total");
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(accepted->counter, 2u);
+
+  server.Stop();
+  queue.Shutdown();
+}
+
+TEST(NetServerTest, PreIngestClientVerbsWorkOnIngestEnabledServer) {
+  // Wire compatibility: a client that only speaks the original verbs
+  // (ping / query / stats) must be indistinguishable from before on a
+  // server with the write path attached.
+  constexpr uint32_t kUsers = 8;
+  auto store = IngestCapableStore(kUsers, 10, 22);
+  serving::SnapshotOptions snapshot_options;
+  snapshot_options.top_k_events_per_partner = 0;
+  serving::SnapshotBuilder builder(*store, AllEvents(8), kUsers,
+                                   snapshot_options);
+  RecommendationService service(ServiceOptions{});
+  ScratchDir scratch("compat");
+  serving::IngestionQueueOptions iq;
+  iq.journal_path = scratch.Journal();
+  serving::IngestionQueue queue(&service, &builder, iq);
+  ASSERT_TRUE(queue.Start().ok());
+  NetServer server(&service, ServerOptions{}, &queue);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = MustConnect(server);
+
+  EXPECT_TRUE(client->Ping().ok());
+  QueryRequest request;
+  request.user = 3;
+  request.n = 4;
+  request.bypass_cache = true;
+  auto outcome = client->Query(request);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_TRUE(outcome->ok) << outcome->error_message;
+  EXPECT_EQ(outcome->response.items.size(), 4u);
+  auto snapshot = client->Stats();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_NE(snapshot->Find("gemrec_net_requests_total"), nullptr);
+
+  server.Stop();
+  queue.Shutdown();
+}
+
+TEST(NetServerTest, InvalidIngestRecordGetsBadRequestAndConnectionSurvives) {
+  constexpr uint32_t kUsers = 8;
+  auto store = IngestCapableStore(kUsers, 10, 23);
+  serving::SnapshotOptions snapshot_options;
+  snapshot_options.top_k_events_per_partner = 0;
+  serving::SnapshotBuilder builder(*store, AllEvents(8), kUsers,
+                                   snapshot_options);
+  RecommendationService service(ServiceOptions{});
+  ScratchDir scratch("invalid");
+  serving::IngestionQueueOptions iq;
+  iq.journal_path = scratch.Journal();
+  serving::IngestionQueue queue(&service, &builder, iq);
+  ASSERT_TRUE(queue.Start().ok());
+  NetServer server(&service, ServerOptions{}, &queue);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = MustConnect(server);
+
+  // CRC-clean, well-formed frame whose user id is outside the store:
+  // validation rejects it on the ingest thread and the typed error
+  // rides the ack path back.
+  auto attend = client->Attend(kUsers + 100, 1, false);
+  ASSERT_TRUE(attend.ok()) << attend.status().ToString();
+  EXPECT_FALSE(attend->ok);
+  EXPECT_EQ(attend->error, ErrorCode::kBadRequest);
+
+  // A journal-order neighbour is unaffected: the connection and the
+  // queue both keep working.
+  auto good = client->Attend(1, 2, false);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  ASSERT_TRUE(good->ok) << good->error_message;
+  EXPECT_GE(good->seq, 1u);
+
+  server.Stop();
+  queue.Shutdown();
+}
+
+TEST(NetServerTest, IngestQueueFullShedsOverWireWithTypedOverloaded) {
+  constexpr uint32_t kUsers = 8;
+  auto store = IngestCapableStore(kUsers, 10, 24);
+  serving::SnapshotOptions snapshot_options;
+  snapshot_options.top_k_events_per_partner = 0;
+  serving::SnapshotBuilder builder(*store, AllEvents(8), kUsers,
+                                   snapshot_options);
+  RecommendationService service(ServiceOptions{});
+  ScratchDir scratch("queue_full");
+
+  // Park the ingest thread inside the first batch so admission fills
+  // deterministically (same technique as the in-process stress test).
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  serving::IngestionQueueOptions iq;
+  iq.journal_path = scratch.Journal();
+  iq.max_pending = 4;
+  iq.pre_batch_hook_for_testing = [&] {
+    entered.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  serving::IngestionQueue queue(&service, &builder, iq);
+  ASSERT_TRUE(queue.Start().ok());
+  NetServer server(&service, ServerOptions{}, &queue);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = MustConnect(server);
+
+  serving::IngestRecord parked;
+  parked.kind = serving::IngestKind::kAttendance;
+  parked.user = 0;
+  parked.event = 0;
+  ASSERT_EQ(queue.SubmitAsync(parked, [](Status, uint64_t) {}),
+            serving::IngestAdmission::kAccepted);
+  while (!entered.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Pipeline max_pending+1 writes: the first max_pending are admitted
+  // (acks blocked behind the parked batch), the last sheds with a
+  // typed OVERLOADED the client sees immediately.
+  for (size_t i = 0; i < iq.max_pending + 1; ++i) {
+    ASSERT_TRUE(client->SendAttendance(1, 2, false).ok()) << "i=" << i;
+  }
+  auto shed = client->ReceiveIngestAck();
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  ASSERT_FALSE(shed->ok);
+  EXPECT_EQ(shed->error, ErrorCode::kOverloaded);
+  EXPECT_EQ(server.stats().overload_sheds, 1u);
+
+  // Release the thread: every admitted write acks OK — admission
+  // control shed load, it never lost accepted work.
+  release.store(true);
+  for (size_t i = 0; i < iq.max_pending; ++i) {
+    auto ack = client->ReceiveIngestAck();
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    EXPECT_TRUE(ack->ok) << "i=" << i << ": " << ack->error_message;
+  }
+
+  server.Stop();
+  queue.Shutdown();
+}
+
+TEST(NetServerTest, UnknownFrameTypeGetsBadRequestAndConnectionSurvives) {
+  // Forward compatibility: the decoder passes unknown type bytes
+  // through (CRC-clean frames from a future wire extension), and the
+  // server answers kBadRequest instead of dropping the connection —
+  // exactly how pre-ingest servers treat kAttendance today.
+  auto store = RandomStore(5, 5, 4, 25);
+  RecommendationService service(ServiceOptions{});
+  service.Publish(MakeSnapshot(*store, 5, 5));
+  NetServer server(&service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = MustConnect(server);
+
+  const std::vector<uint8_t> bytes =
+      EncodeFrame(static_cast<MessageType>(200), {});
+  ASSERT_EQ(::send(client->fd(), bytes.data(), bytes.size(),
+                   MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size()));
+  auto outcome = client->Receive();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_FALSE(outcome->ok);
+  EXPECT_EQ(outcome->error, ErrorCode::kBadRequest);
+
+  QueryRequest request;
+  request.user = 1;
+  request.n = 3;
+  auto good = client->Query(request);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_TRUE(good->ok);
+  EXPECT_EQ(server.stats().bad_requests, 1u);
 }
 
 }  // namespace

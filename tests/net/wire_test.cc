@@ -355,5 +355,186 @@ TEST(WireTest, BadMagicAndVersionRejected) {
   }
 }
 
+TEST(WireTest, AttendancePayloadRoundTripBothFlagStates) {
+  for (const bool new_user : {false, true}) {
+    std::vector<uint8_t> bytes;
+    AppendAttendanceFrame(314159, 271828, new_user, &bytes);
+    FrameDecoder decoder;
+    ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok());
+    Frame frame;
+    ASSERT_TRUE(decoder.Next(&frame));
+    ASSERT_EQ(frame.type, MessageType::kAttendance);
+
+    serving::IngestRecord decoded;
+    ASSERT_TRUE(DecodeAttendance(frame.payload.data(),
+                                 frame.payload.size(), &decoded)
+                    .ok());
+    EXPECT_EQ(decoded.kind, serving::IngestKind::kAttendance);
+    EXPECT_EQ(decoded.user, 314159u);
+    EXPECT_EQ(decoded.event, 271828u);
+    EXPECT_EQ(decoded.new_user, new_user);
+    EXPECT_EQ(decoded.seq, 0u);  // the ingestion queue assigns it
+  }
+}
+
+TEST(WireTest, AttendanceValidation) {
+  std::vector<uint8_t> bytes;
+  AppendAttendanceFrame(1, 2, false, &bytes);
+  const uint8_t* payload = bytes.data() + kHeaderSize;
+  const size_t payload_size = bytes.size() - kHeaderSize - kTrailerSize;
+  ASSERT_EQ(payload_size, 9u);
+
+  serving::IngestRecord decoded;
+  // Exact length only: one byte short and one byte long both rejected.
+  EXPECT_FALSE(DecodeAttendance(payload, 8, &decoded).ok());
+  std::vector<uint8_t> padded(payload, payload + payload_size);
+  padded.push_back(0);
+  EXPECT_FALSE(
+      DecodeAttendance(padded.data(), padded.size(), &decoded).ok());
+  // Unknown flag bits are rejected, not silently dropped — they are
+  // reserved for future wire versions.
+  std::vector<uint8_t> bad_flags(payload, payload + payload_size);
+  bad_flags[8] |= 0x02;
+  EXPECT_FALSE(
+      DecodeAttendance(bad_flags.data(), bad_flags.size(), &decoded).ok());
+}
+
+TEST(WireTest, NewEventPayloadRoundTrip) {
+  embedding::NewEventSignals signals;
+  signals.region = 3;
+  signals.start_time = 1723456789;
+  signals.words = {{12, 0.5f}, {990, 1.75f}, {3, 0.0625f}};
+
+  std::vector<uint8_t> bytes;
+  AppendNewEventFrame(424242, signals, &bytes);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok());
+  Frame frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  ASSERT_EQ(frame.type, MessageType::kNewEvent);
+
+  serving::IngestRecord decoded;
+  ASSERT_TRUE(
+      DecodeNewEvent(frame.payload.data(), frame.payload.size(), &decoded)
+          .ok());
+  EXPECT_EQ(decoded.kind, serving::IngestKind::kNewEvent);
+  EXPECT_EQ(decoded.event, 424242u);
+  EXPECT_EQ(decoded.signals.region, signals.region);
+  EXPECT_EQ(decoded.signals.start_time, signals.start_time);
+  ASSERT_EQ(decoded.signals.words.size(), signals.words.size());
+  for (size_t i = 0; i < signals.words.size(); ++i) {
+    EXPECT_EQ(decoded.signals.words[i].first, signals.words[i].first);
+    // Weights travel as raw float bits — bitwise, not approximately.
+    EXPECT_EQ(std::memcmp(&decoded.signals.words[i].second,
+                          &signals.words[i].second, sizeof(float)),
+              0);
+  }
+}
+
+TEST(WireTest, NewEventEdgeCasesRoundTrip) {
+  // Empty word list, unknown region, pre-epoch start time.
+  embedding::NewEventSignals signals;
+  signals.region = ebsn::kInvalidId;
+  signals.start_time = -86400;
+  std::vector<uint8_t> bytes;
+  AppendNewEventFrame(7, signals, &bytes);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok());
+  Frame frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  serving::IngestRecord decoded;
+  ASSERT_TRUE(
+      DecodeNewEvent(frame.payload.data(), frame.payload.size(), &decoded)
+          .ok());
+  EXPECT_EQ(decoded.signals.region, ebsn::kInvalidId);
+  EXPECT_EQ(decoded.signals.start_time, -86400);
+  EXPECT_TRUE(decoded.signals.words.empty());
+}
+
+TEST(WireTest, NewEventValidation) {
+  embedding::NewEventSignals signals;
+  signals.words = {{1, 1.0f}, {2, 2.0f}};
+  std::vector<uint8_t> bytes;
+  AppendNewEventFrame(5, signals, &bytes);
+  const uint8_t* payload = bytes.data() + kHeaderSize;
+  const size_t payload_size = bytes.size() - kHeaderSize - kTrailerSize;
+  ASSERT_EQ(payload_size, 20u + 8u * signals.words.size());
+
+  serving::IngestRecord decoded;
+  // Truncated fixed part.
+  EXPECT_FALSE(DecodeNewEvent(payload, 19, &decoded).ok());
+  // Word count and byte length disagree (one word's bytes missing).
+  EXPECT_FALSE(
+      DecodeNewEvent(payload, payload_size - 8, &decoded).ok());
+  // Trailing garbage.
+  std::vector<uint8_t> padded(payload, payload + payload_size);
+  padded.push_back(0);
+  EXPECT_FALSE(
+      DecodeNewEvent(padded.data(), padded.size(), &decoded).ok());
+  // Word count over the cap is rejected from the count field alone.
+  std::vector<uint8_t> capped(payload, payload + payload_size);
+  const uint32_t too_many = kMaxIngestWords + 1;
+  std::memcpy(capped.data() + 16, &too_many, sizeof(too_many));
+  EXPECT_FALSE(
+      DecodeNewEvent(capped.data(), capped.size(), &decoded).ok());
+}
+
+TEST(WireTest, IngestAckRoundTripAndValidation) {
+  std::vector<uint8_t> bytes;
+  AppendIngestAckFrame(0xFEEDFACE12345678ull, &bytes);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok());
+  Frame frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  ASSERT_EQ(frame.type, MessageType::kIngestAck);
+
+  uint64_t seq = 0;
+  ASSERT_TRUE(
+      DecodeIngestAck(frame.payload.data(), frame.payload.size(), &seq)
+          .ok());
+  EXPECT_EQ(seq, 0xFEEDFACE12345678ull);
+  EXPECT_FALSE(DecodeIngestAck(frame.payload.data(), 7, &seq).ok());
+  std::vector<uint8_t> padded = frame.payload;
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeIngestAck(padded.data(), padded.size(), &seq).ok());
+}
+
+TEST(WireTest, IngestFramesEveryByteCorruptionRejected) {
+  // The CRC trailer protects the write path exactly as it does the
+  // query path: no single-byte corruption of an ingest frame may ever
+  // decode back into a frame (a lost write would otherwise become a
+  // *wrong* write).
+  embedding::NewEventSignals signals;
+  signals.region = 2;
+  signals.start_time = 1234567;
+  signals.words = {{5, 0.25f}};
+  std::vector<std::vector<uint8_t>> frames(2);
+  AppendAttendanceFrame(10, 20, true, &frames[0]);
+  AppendNewEventFrame(30, signals, &frames[1]);
+
+  for (const std::vector<uint8_t>& bytes : frames) {
+    for (size_t i = 0; i < bytes.size(); ++i) {
+      std::vector<uint8_t> corrupt = bytes;
+      corrupt[i] ^= 0xFF;
+      FrameDecoder decoder;
+      const Status fed = decoder.Feed(corrupt.data(), corrupt.size());
+      Frame frame;
+      if (decoder.Next(&frame)) {
+        ADD_FAILURE() << "corrupt byte " << i << " yielded a frame"
+                      << " (feed status: " << fed.ToString() << ")";
+      }
+    }
+  }
+}
+
+TEST(WireTest, ErrorCodeNamesAreStable) {
+  // The CLI prints these verbatim; renaming one breaks operator
+  // tooling that greps for them.
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kOverloaded), "Overloaded");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kBadRequest), "BadRequest");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kShuttingDown), "ShuttingDown");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kInternal), "Internal");
+}
+
 }  // namespace
 }  // namespace gemrec::net

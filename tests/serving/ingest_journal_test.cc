@@ -1,0 +1,330 @@
+// Unit coverage of the ingestion write-ahead journal and checkpoint
+// naming protocol: append/replay round-trips, reopen-and-append,
+// torn-tail truncation, reset, watermark filtering, and checkpoint
+// save/load/prune (including corrupt-newest fallback). The crashier
+// scenarios (SIGKILL mid-append, every-byte corruption) live in
+// tests/fault/ingest_journal_fault_test.cc.
+
+#include "serving/ingest_journal.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "embedding/embedding_store.h"
+
+namespace gemrec::serving {
+namespace {
+
+namespace fs = std::filesystem;
+
+IngestRecord Attendance(uint64_t seq, ebsn::UserId user,
+                        ebsn::EventId event, bool new_user = false) {
+  IngestRecord r;
+  r.kind = IngestKind::kAttendance;
+  r.seq = seq;
+  r.user = user;
+  r.event = event;
+  r.new_user = new_user;
+  return r;
+}
+
+IngestRecord NewEvent(uint64_t seq, ebsn::EventId event) {
+  IngestRecord r;
+  r.kind = IngestKind::kNewEvent;
+  r.seq = seq;
+  r.event = event;
+  r.signals.region = 2;
+  r.signals.start_time = 1700000000 + static_cast<int64_t>(seq) * 3600;
+  r.signals.words = {{1, 0.5f}, {7, 1.25f}, {3, 0.0625f}};
+  return r;
+}
+
+void ExpectRecordsEqual(const IngestRecord& a, const IngestRecord& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.user, b.user);
+  EXPECT_EQ(a.event, b.event);
+  EXPECT_EQ(a.new_user, b.new_user);
+  EXPECT_EQ(a.signals.region, b.signals.region);
+  EXPECT_EQ(a.signals.start_time, b.signals.start_time);
+  ASSERT_EQ(a.signals.words.size(), b.signals.words.size());
+  for (size_t i = 0; i < a.signals.words.size(); ++i) {
+    EXPECT_EQ(a.signals.words[i].first, b.signals.words[i].first);
+    // Bitwise: the fold-in replay must see the exact float.
+    EXPECT_EQ(std::memcmp(&a.signals.words[i].second,
+                          &b.signals.words[i].second, sizeof(float)),
+              0);
+  }
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+class IngestJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           ("gemrec_journal_" + std::to_string(::getpid()) + "_" +
+            info->name());
+    fs::create_directories(dir_);
+    path_ = (dir_ / "journal").string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST_F(IngestJournalTest, FreshJournalIsEmptyAndReplayable) {
+  auto journal = IngestJournal::Open(path_);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  EXPECT_EQ(journal->last_seq(), 0u);
+
+  auto replay = IngestJournal::Replay(path_, 0);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->records.empty());
+  EXPECT_TRUE(replay->clean);
+  EXPECT_EQ(replay->dropped_bytes, 0u);
+}
+
+TEST_F(IngestJournalTest, ReplayOfMissingFileFails) {
+  EXPECT_FALSE(IngestJournal::Replay(path_, 0).ok());
+}
+
+TEST_F(IngestJournalTest, AppendReplayRoundTripAllKinds) {
+  std::vector<IngestRecord> records = {
+      Attendance(1, 4, 9),
+      Attendance(2, 5, 9, /*new_user=*/true),
+      NewEvent(3, 17),
+      Attendance(4, 0, 0),
+  };
+  {
+    auto journal = IngestJournal::Open(path_);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    ASSERT_TRUE(journal->Append(records).ok());
+    EXPECT_EQ(journal->last_seq(), 4u);
+  }
+  auto replay = IngestJournal::Replay(path_, 0);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->clean);
+  ASSERT_EQ(replay->records.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    ExpectRecordsEqual(replay->records[i], records[i]);
+  }
+
+  // Watermark filtering: the recovery path replays only seq > after.
+  auto tail = IngestJournal::Replay(path_, 2);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->records.size(), 2u);
+  EXPECT_EQ(tail->records[0].seq, 3u);
+  EXPECT_EQ(tail->records[1].seq, 4u);
+}
+
+TEST_F(IngestJournalTest, ReopenAppendsAfterExistingRecords) {
+  {
+    auto journal = IngestJournal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->AppendOne(Attendance(1, 1, 1)).ok());
+  }
+  {
+    auto journal = IngestJournal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    EXPECT_EQ(journal->last_seq(), 1u);
+    ASSERT_TRUE(journal->AppendOne(NewEvent(2, 5)).ok());
+  }
+  auto replay = IngestJournal::Replay(path_, 0);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[0].seq, 1u);
+  EXPECT_EQ(replay->records[1].seq, 2u);
+}
+
+TEST_F(IngestJournalTest, TornTailIsDroppedAndTruncatedOnOpen) {
+  {
+    auto journal = IngestJournal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append({Attendance(1, 1, 1), NewEvent(2, 3)}).ok());
+  }
+  // Simulate a crash mid-append: half of record 3's bytes land.
+  std::vector<uint8_t> encoded;
+  IngestJournal::EncodeRecord(Attendance(3, 2, 2), &encoded);
+  std::vector<uint8_t> bytes = ReadFileBytes(path_);
+  bytes.insert(bytes.end(), encoded.begin(),
+               encoded.begin() + encoded.size() / 2);
+  WriteFileBytes(path_, bytes);
+
+  auto replay = IngestJournal::Replay(path_, 0);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_FALSE(replay->clean);
+  EXPECT_EQ(replay->dropped_bytes, encoded.size() / 2);
+  ASSERT_EQ(replay->records.size(), 2u);
+
+  // Open truncates the torn tail; new appends land after record 2 and
+  // the file is clean again.
+  {
+    auto journal = IngestJournal::Open(path_);
+    ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+    EXPECT_EQ(journal->last_seq(), 2u);
+    ASSERT_TRUE(journal->AppendOne(Attendance(3, 2, 2)).ok());
+  }
+  auto again = IngestJournal::Replay(path_, 0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->clean);
+  ASSERT_EQ(again->records.size(), 3u);
+  EXPECT_EQ(again->records[2].seq, 3u);
+}
+
+TEST_F(IngestJournalTest, CorruptHeaderIsAHardError) {
+  {
+    auto journal = IngestJournal::Open(path_);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->AppendOne(Attendance(1, 1, 1)).ok());
+  }
+  std::vector<uint8_t> bytes = ReadFileBytes(path_);
+  for (size_t i = 0; i < 12; ++i) {
+    std::vector<uint8_t> corrupt = bytes;
+    corrupt[i] ^= 0xFF;
+    WriteFileBytes(path_, corrupt);
+    EXPECT_FALSE(IngestJournal::Replay(path_, 0).ok())
+        << "header byte " << i;
+    EXPECT_FALSE(IngestJournal::Open(path_).ok()) << "header byte " << i;
+  }
+}
+
+TEST_F(IngestJournalTest, ResetEmptiesTheJournal) {
+  auto journal = IngestJournal::Open(path_);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE(journal->Append({Attendance(1, 1, 1), Attendance(2, 2, 2)}).ok());
+  ASSERT_TRUE(journal->Reset().ok());
+  EXPECT_EQ(journal->last_seq(), 0u);
+
+  auto replay = IngestJournal::Replay(path_, 0);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->records.empty());
+
+  // The moved handle keeps appending into the fresh file.
+  ASSERT_TRUE(journal->AppendOne(Attendance(3, 3, 3)).ok());
+  auto after = IngestJournal::Replay(path_, 0);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->records.size(), 1u);
+  EXPECT_EQ(after->records[0].seq, 3u);
+}
+
+embedding::EmbeddingStore SaltedStore(float salt) {
+  embedding::EmbeddingStore store(
+      4, std::array<uint32_t, 5>{3, 4, 1, 2, 5});
+  for (size_t t = 0; t < embedding::EmbeddingStore::kNumTypes; ++t) {
+    Matrix& m = store.MatrixOf(static_cast<graph::NodeType>(t));
+    for (size_t r = 0; r < m.rows(); ++r) {
+      for (size_t c = 0; c < m.cols(); ++c) {
+        m.At(r, c) = salt + 10.0f * static_cast<float>(r) +
+                     0.5f * static_cast<float>(c);
+      }
+    }
+  }
+  return store;
+}
+
+void ExpectStoresBitExact(const embedding::EmbeddingStore& a,
+                          const embedding::EmbeddingStore& b) {
+  ASSERT_EQ(a.dim(), b.dim());
+  for (size_t t = 0; t < embedding::EmbeddingStore::kNumTypes; ++t) {
+    const auto type = static_cast<graph::NodeType>(t);
+    ASSERT_EQ(a.CountOf(type), b.CountOf(type));
+    for (uint32_t r = 0; r < a.CountOf(type); ++r) {
+      ASSERT_EQ(std::memcmp(a.VectorOf(type, r), b.VectorOf(type, r),
+                            a.dim() * sizeof(float)),
+                0)
+          << "type " << t << " row " << r;
+    }
+  }
+}
+
+TEST_F(IngestJournalTest, CheckpointSaveLoadPickNewest) {
+  const std::string base = (dir_ / "checkpoint").string();
+  ASSERT_TRUE(
+      SaveIngestCheckpoint(base, SaltedStore(1.0f), {0, 1}, 5).ok());
+  ASSERT_TRUE(
+      SaveIngestCheckpoint(base, SaltedStore(2.0f), {0, 1, 3}, 9).ok());
+
+  auto loaded = LoadIngestCheckpoint(base);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->seq, 9u);
+  EXPECT_EQ(loaded->event_pool, (std::vector<ebsn::EventId>{0, 1, 3}));
+  ExpectStoresBitExact(loaded->store, SaltedStore(2.0f));
+}
+
+TEST_F(IngestJournalTest, LoadFallsBackPastCorruptNewestCheckpoint) {
+  const std::string base = (dir_ / "checkpoint").string();
+  ASSERT_TRUE(
+      SaveIngestCheckpoint(base, SaltedStore(1.0f), {0}, 5).ok());
+  ASSERT_TRUE(
+      SaveIngestCheckpoint(base, SaltedStore(2.0f), {0, 2}, 9).ok());
+
+  // Bit rot in the newest store: recovery must fall back to seq 5.
+  std::vector<uint8_t> bytes = ReadFileBytes(base + ".9");
+  bytes[bytes.size() / 2] ^= 0xFF;
+  WriteFileBytes(base + ".9", bytes);
+  auto loaded = LoadIngestCheckpoint(base);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->seq, 5u);
+  ExpectStoresBitExact(loaded->store, SaltedStore(1.0f));
+
+  // Same for a corrupt pool sidecar.
+  std::vector<uint8_t> pool = ReadFileBytes(base + ".5.pool");
+  pool.back() ^= 0xFF;
+  WriteFileBytes(base + ".5.pool", pool);
+  EXPECT_FALSE(LoadIngestCheckpoint(base).ok())
+      << "both checkpoints corrupt but one loaded";
+}
+
+TEST_F(IngestJournalTest, MissingCheckpointIsNotFound) {
+  const auto loaded = LoadIngestCheckpoint((dir_ / "none").string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IngestJournalTest, PruneRemovesOnlyOlderCheckpoints) {
+  const std::string base = (dir_ / "checkpoint").string();
+  for (const uint64_t seq : {3u, 7u, 11u}) {
+    ASSERT_TRUE(
+        SaveIngestCheckpoint(base, SaltedStore(1.0f), {0}, seq).ok());
+  }
+  PruneIngestCheckpoints(base, 11);
+  EXPECT_FALSE(fs::exists(base + ".3"));
+  EXPECT_FALSE(fs::exists(base + ".3.pool"));
+  EXPECT_FALSE(fs::exists(base + ".7"));
+  EXPECT_TRUE(fs::exists(base + ".11"));
+  EXPECT_TRUE(fs::exists(base + ".11.pool"));
+  auto loaded = LoadIngestCheckpoint(base);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->seq, 11u);
+}
+
+}  // namespace
+}  // namespace gemrec::serving
