@@ -4,6 +4,13 @@
 // front-end has a frozen baseline alongside BENCH_serving.json (which
 // measures the same engine without the socket layer in between).
 //
+// A second section sweeps the reactor count (1/2/4 event-loop threads,
+// fresh server each) at the 64-connection point, so the multi-reactor
+// front-end's scaling — and the client-minus-server p50 gap it is
+// supposed to shrink — is frozen per reactor count. On a single-core
+// container the sweep still runs but cannot show scaling; read it next
+// to "hardware_concurrency".
+//
 // Per connection count: each connection is one thread running a
 // blocking wire.h client issuing synchronous top-10 queries over a
 // rotating user set for a fixed duration; we record end-to-end QPS,
@@ -41,6 +48,7 @@ constexpr auto kWarmupPerConnection = 20;
 constexpr std::chrono::milliseconds kMeasureWindow{1500};
 
 struct RunResult {
+  uint32_t reactors = 1;
   uint32_t connections = 0;
   uint64_t queries = 0;
   double qps = 0;
@@ -177,8 +185,9 @@ RunResult RunLoad(net::NetServer* server, uint32_t num_users,
 
 void Run() {
   PrintNote("network serving layer load test: closed-loop top-10 "
-            "queries over loopback TCP at 1/8/64/256 connections; "
-            "writes BENCH_net.json");
+            "queries over loopback TCP at 1/8/64/256 connections, plus "
+            "a 1/2/4 reactor sweep at 64 connections; writes "
+            "BENCH_net.json");
 
   ebsn::SyntheticConfig config;
   config.num_users = 400;
@@ -236,6 +245,36 @@ void Run() {
   server.WaitUntilStopped();
   server.Stop();
 
+  // Reactor sweep: same engine, fresh front-end per reactor count, at
+  // the contended 64-connection point. client-minus-server p50 is the
+  // queueing the socket layer itself adds; more reactors should shrink
+  // it when cores are available.
+  constexpr uint32_t kSweepConnections = 64;
+  std::vector<RunResult> sweep;
+  for (uint32_t reactors : {1u, 2u, 4u}) {
+    net::ServerOptions sweep_options = server_options;
+    sweep_options.num_reactors = reactors;
+    net::NetServer sweep_server(&service, sweep_options);
+    const Status sweep_started = sweep_server.Start();
+    if (!sweep_started.ok()) {
+      std::cerr << "sweep server (reactors=" << reactors
+                << ") start failed: " << sweep_started.ToString() << "\n";
+      continue;
+    }
+    RunResult r = RunLoad(&sweep_server, city.dataset().num_users(),
+                          kSweepConnections);
+    r.reactors = reactors;
+    sweep.push_back(r);
+    std::cout << "reactors " << r.reactors << " @ " << r.connections
+              << " connections: " << r.qps << " qps  p50 " << r.p50_us
+              << "us  server p50 " << r.server_p50_us
+              << "us  client-minus-server p50 "
+              << (r.p50_us - r.server_p50_us) << "us\n";
+    sweep_server.RequestDrain();
+    sweep_server.WaitUntilStopped();
+    sweep_server.Stop();
+  }
+
   std::ofstream json("BENCH_net.json");
   json << "{\n"
        << "  \"bench\": \"net_throughput\",\n"
@@ -246,10 +285,15 @@ void Run() {
        << "  \"hardware_concurrency\": "
        << std::thread::hardware_concurrency() << ",\n"
        << "  \"runs\": [\n";
-  for (size_t i = 0; i < results.size(); ++i) {
-    const RunResult& r = results[i];
-    json << "    {\n"
-         << "      \"connections\": " << r.connections << ",\n"
+  const auto write_run = [&json](const RunResult& r, bool last,
+                                 bool with_reactors) {
+    json << "    {\n";
+    if (with_reactors) {
+      json << "      \"reactors\": " << r.reactors << ",\n"
+           << "      \"client_minus_server_p50_us\": "
+           << (r.p50_us - r.server_p50_us) << ",\n";
+    }
+    json << "      \"connections\": " << r.connections << ",\n"
          << "      \"queries\": " << r.queries << ",\n"
          << "      \"qps\": " << r.qps << ",\n"
          << "      \"p50_us\": " << r.p50_us << ",\n"
@@ -263,7 +307,16 @@ void Run() {
          << "      \"protocol_errors\": " << r.protocol_errors << ",\n"
          << "      \"transport_failures\": " << r.transport_failures
          << "\n"
-         << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+         << "    }" << (last ? "" : ",") << "\n";
+  };
+  for (size_t i = 0; i < results.size(); ++i) {
+    write_run(results[i], i + 1 == results.size(),
+              /*with_reactors=*/false);
+  }
+  json << "  ],\n"
+       << "  \"reactor_sweep\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    write_run(sweep[i], i + 1 == sweep.size(), /*with_reactors=*/true);
   }
   json << "  ]\n"
        << "}\n";

@@ -165,14 +165,16 @@ int Usage() {
       "                   exact fp32 re-rank unless --exact-ta or\n"
       "                   GEMREC_EXACT_TA=1 restores per-query TA)\n"
       "  gemrec serve     --data DIR --model FILE --listen HOST:PORT\n"
-      "                   [--workers W] [--max-in-flight M]\n"
+      "                   [--reactors R] [--workers W] [--max-in-flight M]\n"
       "                   [--idle-timeout-ms MS] [--reload FILE]\n"
       "                   [--reload-interval SEC] [--stats-interval SEC]\n"
       "                   [--ingest-dir DIR] [--publish-every N]\n"
       "                   [--publish-interval-ms MS] [--max-pending P]\n"
       "                   [--checkpoint-every N]\n"
-      "                   (epoll TCP server speaking the framed binary\n"
-      "                   protocol; SIGINT/SIGTERM drains gracefully;\n"
+      "                   (multi-reactor epoll TCP server speaking the\n"
+      "                   framed binary protocol, one SO_REUSEPORT\n"
+      "                   listener per reactor; --reactors defaults to\n"
+      "                   min(4, cores); SIGINT/SIGTERM drains gracefully;\n"
       "                   --stats-interval dumps metrics periodically;\n"
       "                   --ingest-dir enables the write path: attend/\n"
       "                   new-event frames are journaled to DIR, folded\n"
@@ -452,6 +454,12 @@ int ServeListen(const Args& args, const std::string& listen_spec,
       static_cast<uint32_t>(args.GetInt("max-in-flight", 256));
   net_options.idle_timeout =
       std::chrono::milliseconds(args.GetInt("idle-timeout-ms", 60000));
+  // One epoll reactor per core up to 4 by default — past that the
+  // service workers, not the front-end, are the bottleneck.
+  const unsigned hw = std::thread::hardware_concurrency();
+  net_options.num_reactors = static_cast<uint32_t>(args.GetInt(
+      "reactors",
+      static_cast<int64_t>(std::min(4u, std::max(1u, hw)))));
 
   // --ingest-dir enables the write path: a journaled ingestion queue
   // over the same builder, recovered (checkpoint + journal replay)
@@ -493,9 +501,10 @@ int ServeListen(const Args& args, const std::string& listen_spec,
   // A signal delivered before the server pointer was published only
   // set g_stop; convert it into a drain now.
   if (g_stop.load(std::memory_order_relaxed)) server.RequestDrain();
-  std::printf("listening on %s:%u (workers=%u, max-in-flight=%u); "
-              "SIGINT/SIGTERM drains and exits\n",
+  std::printf("listening on %s:%u (reactors=%u, workers=%u, "
+              "max-in-flight=%u); SIGINT/SIGTERM drains and exits\n",
               net_options.listen_address.c_str(), server.port(),
+              std::max(1u, net_options.num_reactors),
               service->options().num_workers, net_options.max_in_flight);
 
   // Optional freshness loop: republish from the artifact every

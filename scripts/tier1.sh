@@ -12,7 +12,9 @@
 # The ingest suites ride the existing binaries: serving_test carries
 # the journal unit tests, the online/offline differential and the
 # writer-vs-query-vs-reload stress (TSan + UBSan); net_test carries the
-# ingest wire codecs and the server write-path bridge (TSan); and
+# ingest wire codecs, the server write-path bridge, and the
+# multi-reactor front-end (per-reactor ownership, fd handoff, frame-id
+# pipelining, reload+drain stress) under BOTH TSan and UBSan; and
 # fault_test carries the SIGKILL/truncation/corruption journal harness
 # (UBSan only — fault_test forks children and stays out of TSan).
 #
@@ -68,7 +70,7 @@ if [[ "$RUN_UBSAN" == "1" ]]; then
   cmake -B build-ubsan -S . -DGEMREC_SANITIZE=undefined >/dev/null
   cmake --build build-ubsan -j "$(nproc)" --target \
     fault_test embedding_test common_test obs_test recommend_test \
-    serving_test
+    serving_test net_test
   # -fno-sanitize-recover=all: any UB (e.g. sampling an empty domain
   # during fold-in, misaligned loads while parsing corrupt artifacts)
   # aborts the binary and fails this stage.
@@ -83,6 +85,9 @@ if [[ "$RUN_UBSAN" == "1" ]]; then
   # casts and float->int rounding must all be defined.
   ./build-ubsan/tests/recommend_test
   ./build-ubsan/tests/serving_test
+  # Wire codec v1/v2 header parsing (u64 frame ids, length fields from
+  # untrusted bytes) and the reactor pointer<->epoll-tag casts.
+  ./build-ubsan/tests/net_test
 fi
 
 echo "== tier-1: OK =="

@@ -106,41 +106,63 @@ Result<Frame> Client::ReceiveFrame() {
   }
 }
 
-Status Client::Send(const serving::QueryRequest& request) {
+Status Client::SendTagged(const serving::QueryRequest& request,
+                          uint64_t frame_id) {
   std::vector<uint8_t> bytes;
-  AppendQueryRequestFrame(request, &bytes);
+  AppendQueryRequestFrame(request, FrameTag{true, frame_id}, &bytes);
   return SendAll(bytes.data(), bytes.size());
 }
 
-Result<QueryOutcome> Client::Receive() {
+Status Client::Send(const serving::QueryRequest& request) {
+  return SendTagged(request, next_frame_id_++);
+}
+
+Result<TaggedReply> Client::ReceiveAny() {
   GEMREC_ASSIGN_OR_RETURN(Frame frame, ReceiveFrame());
-  QueryOutcome outcome;
+  TaggedReply reply;
+  reply.frame_id = frame.frame_id;
+  reply.tagged = frame.tagged;
   switch (frame.type) {
     case MessageType::kQueryResponse:
-      GEMREC_RETURN_IF_ERROR(DecodeQueryResponse(
-          frame.payload.data(), frame.payload.size(), &outcome.response));
-      outcome.ok = true;
-      return outcome;
+      GEMREC_RETURN_IF_ERROR(
+          DecodeQueryResponse(frame.payload.data(), frame.payload.size(),
+                              &reply.outcome.response));
+      reply.outcome.ok = true;
+      return reply;
     case MessageType::kError:
       GEMREC_RETURN_IF_ERROR(
           DecodeError(frame.payload.data(), frame.payload.size(),
-                      &outcome.error, &outcome.error_message));
-      outcome.ok = false;
-      return outcome;
+                      &reply.outcome.error, &reply.outcome.error_message));
+      reply.outcome.ok = false;
+      return reply;
     default:
       return Status::Internal("unexpected frame type " +
                               std::to_string(static_cast<int>(frame.type)));
   }
 }
 
+Result<QueryOutcome> Client::Receive() {
+  GEMREC_ASSIGN_OR_RETURN(TaggedReply reply, ReceiveAny());
+  return std::move(reply.outcome);
+}
+
 Result<QueryOutcome> Client::Query(const serving::QueryRequest& request) {
-  GEMREC_RETURN_IF_ERROR(Send(request));
-  return Receive();
+  const uint64_t id = next_frame_id_++;
+  GEMREC_RETURN_IF_ERROR(SendTagged(request, id));
+  GEMREC_ASSIGN_OR_RETURN(TaggedReply reply, ReceiveAny());
+  // Lockstep: exactly one request is outstanding, so a tagged reply
+  // must echo its id (v1 peers answer untagged — nothing to check).
+  if (reply.tagged && reply.frame_id != id) {
+    return Status::Internal(
+        "frame id mismatch: sent " + std::to_string(id) + ", got " +
+        std::to_string(reply.frame_id));
+  }
+  return std::move(reply.outcome);
 }
 
 Result<obs::MetricsSnapshot> Client::Stats() {
   std::vector<uint8_t> bytes;
-  AppendStatsRequestFrame(&bytes);
+  AppendStatsRequestFrame(NextTag(), &bytes);
   GEMREC_RETURN_IF_ERROR(SendAll(bytes.data(), bytes.size()));
   GEMREC_ASSIGN_OR_RETURN(Frame frame, ReceiveFrame());
   if (frame.type != MessageType::kStatsResponse) {
@@ -156,14 +178,14 @@ Result<obs::MetricsSnapshot> Client::Stats() {
 Status Client::SendAttendance(ebsn::UserId user, ebsn::EventId event,
                               bool new_user) {
   std::vector<uint8_t> bytes;
-  AppendAttendanceFrame(user, event, new_user, &bytes);
+  AppendAttendanceFrame(user, event, new_user, NextTag(), &bytes);
   return SendAll(bytes.data(), bytes.size());
 }
 
 Status Client::SendNewEvent(ebsn::EventId event,
                             const embedding::NewEventSignals& signals) {
   std::vector<uint8_t> bytes;
-  AppendNewEventFrame(event, signals, &bytes);
+  AppendNewEventFrame(event, signals, NextTag(), &bytes);
   return SendAll(bytes.data(), bytes.size());
 }
 
@@ -202,11 +224,15 @@ Result<IngestOutcome> Client::PublishNewEvent(
 
 Status Client::Ping() {
   std::vector<uint8_t> bytes;
-  AppendFrame(MessageType::kPing, nullptr, 0, &bytes);
+  const FrameTag tag = NextTag();
+  AppendFrame(MessageType::kPing, nullptr, 0, tag, &bytes);
   GEMREC_RETURN_IF_ERROR(SendAll(bytes.data(), bytes.size()));
   GEMREC_ASSIGN_OR_RETURN(Frame frame, ReceiveFrame());
   if (frame.type != MessageType::kPong) {
     return Status::Internal("expected pong");
+  }
+  if (frame.tagged && frame.frame_id != tag.frame_id) {
+    return Status::Internal("pong echoed wrong frame id");
   }
   return Status::Ok();
 }

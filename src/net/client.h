@@ -41,11 +41,25 @@ struct IngestOutcome {
   std::string error_message;
 };
 
+/// One reply pulled off a pipelined connection: the frame id it
+/// answers (echoed by the server from the matching SendTagged), plus
+/// the outcome. `tagged` is false only when the peer answered with a
+/// legacy v1 frame (no id to match on).
+struct TaggedReply {
+  uint64_t frame_id = 0;
+  bool tagged = false;
+  QueryOutcome outcome;
+};
+
 /// Blocking client for the wire.h protocol — the reference peer used
 /// by tests, the bench load generator, and one-liner scripting against
-/// `gemrec serve --listen`. One socket, strictly request/response;
-/// Send/Receive are split so callers can pipeline several requests
-/// before reading replies (responses arrive in request order).
+/// `gemrec serve --listen`. One socket; speaks wire v2 (every request
+/// frame carries a u64 frame id the server echoes), so many requests
+/// may be in flight at once and complete OUT OF ORDER: issue ids with
+/// SendTagged, then match replies by TaggedReply::frame_id from
+/// ReceiveAny. The lockstep verbs (Query/Send/Receive/...) are thin
+/// wrappers that auto-assign ids and read one reply per request —
+/// byte-compatible with how v1 callers used them.
 ///
 /// Not thread-safe: one thread per client (open one client per
 /// connection, as bench/net_throughput does).
@@ -62,11 +76,19 @@ class Client {
   /// Send + Receive in one call.
   Result<QueryOutcome> Query(const serving::QueryRequest& request);
 
-  /// Writes one request frame (pipelining half).
+  /// Writes one request frame (pipelining half; auto-assigned id).
   Status Send(const serving::QueryRequest& request);
 
-  /// Reads the next response/error frame.
+  /// Reads the next response/error frame (whatever id it carries).
   Result<QueryOutcome> Receive();
+
+  /// Pipelining/multiplexing half-pair. SendTagged writes one v2 query
+  /// frame carrying the caller-chosen `frame_id`; ReceiveAny blocks
+  /// for the NEXT response or error frame — in completion order, not
+  /// send order — and surfaces its echoed id for the caller to match.
+  Status SendTagged(const serving::QueryRequest& request,
+                    uint64_t frame_id);
+  Result<TaggedReply> ReceiveAny();
 
   /// Write path. Attend reports "user registered for event" (new_user
   /// folds in a cold user vector seeded by the event); PublishNewEvent
@@ -101,9 +123,14 @@ class Client {
   Status SendAll(const uint8_t* data, size_t n);
   /// Blocks until one complete frame is decoded.
   Result<Frame> ReceiveFrame();
+  FrameTag NextTag() { return FrameTag{true, next_frame_id_++}; }
 
   int fd_ = -1;
   FrameDecoder decoder_;
+  /// Auto-assigned ids for the lockstep wrappers; SendTagged callers
+  /// choose their own id space (collisions with these are harmless —
+  /// the server echoes blindly, matching is entirely client-side).
+  uint64_t next_frame_id_ = 1;
 };
 
 }  // namespace gemrec::net

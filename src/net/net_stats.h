@@ -20,6 +20,13 @@ namespace gemrec::net {
 /// types it properly as a gauge).
 struct NetStats {
   uint64_t accepted = 0;
+  /// accept4 failures beyond the benign EAGAIN/EINTR/ECONNABORTED
+  /// trio — chiefly EMFILE/ENFILE fd exhaustion (each such failure
+  /// burns the reactor's reserved spare fd to refuse the pending
+  /// connection instead of spinning on a forever-readable listener).
+  uint64_t accept_errors = 0;
+  /// Connections refused (accepted then closed) at max_connections.
+  uint64_t conn_limit_rejects = 0;
   /// Gauge: connections currently open.
   uint64_t active_connections = 0;
   uint64_t requests = 0;   // CRC-clean query frames decoded
@@ -62,6 +69,8 @@ namespace internal {
 /// service) re-attaches to the same metrics.
 struct NetMetrics {
   obs::Counter* accepted = nullptr;
+  obs::Counter* accept_errors = nullptr;
+  obs::Counter* conn_limit_rejects = nullptr;
   obs::Gauge* active_connections = nullptr;
   obs::Counter* requests = nullptr;
   obs::Counter* responses = nullptr;
@@ -87,6 +96,13 @@ struct NetMetrics {
   void RegisterInto(obs::MetricsRegistry* registry) {
     accepted = registry->GetCounter("gemrec_net_accepted_total",
                                     "Connections accepted.");
+    accept_errors = registry->GetCounter(
+        "gemrec_net_accept_errors_total",
+        "accept4 failures (EMFILE/ENFILE and other non-transient "
+        "errors); the listener recovers via its reserved spare fd.");
+    conn_limit_rejects = registry->GetCounter(
+        "gemrec_net_conn_limit_rejects_total",
+        "Connections refused because max_connections was reached.");
     active_connections =
         registry->GetGauge("gemrec_net_active_connections",
                            "Connections currently open.");
@@ -144,6 +160,8 @@ struct NetMetrics {
   NetStats Snapshot() const {
     NetStats s;
     s.accepted = accepted->Value();
+    s.accept_errors = accept_errors->Value();
+    s.conn_limit_rejects = conn_limit_rejects->Value();
     s.active_connections = static_cast<uint64_t>(
         std::max<int64_t>(0, active_connections->Value()));
     s.requests = requests->Value();

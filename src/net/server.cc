@@ -2,33 +2,24 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
+#include "net/reactor.h"
 
 namespace gemrec::net {
 namespace {
 
-constexpr uint64_t kListenTag = 1;
 constexpr int kListenBacklog = 512;
-/// Upper bound on one Poll sleep so gauge-style bookkeeping (timeout
-/// sweeps, drain progress) never stalls for long.
-constexpr int kMaxPollMs = 500;
-
-int ToMillisCeil(std::chrono::steady_clock::duration d) {
-  const auto ms =
-      std::chrono::duration_cast<std::chrono::milliseconds>(d).count();
-  return static_cast<int>(std::max<int64_t>(0, ms)) +
-         (d > std::chrono::milliseconds(ms) ? 1 : 0);
-}
 
 }  // namespace
 
@@ -41,6 +32,13 @@ Status ParseHostPort(const std::string& spec, std::string* host,
   }
   *host = spec.substr(0, colon);
   if (host->empty()) *host = "127.0.0.1";
+  // All-digits only: strtoul alone would skip leading whitespace and
+  // accept a sign, quietly turning "host: 80" / "host:+80" into 80.
+  for (size_t i = colon + 1; i < spec.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(spec[i]))) {
+      return Status::InvalidArgument("invalid port in '" + spec + "'");
+    }
+  }
   char* end = nullptr;
   const unsigned long value =  // NOLINT(runtime/int)
       std::strtoul(spec.c_str() + colon + 1, &end, 10);
@@ -59,6 +57,7 @@ NetServer::NetServer(serving::RecommendationService* service,
   // One registry for the whole serve stack: socket metrics live next
   // to the service's own, so a single stats scrape sees both.
   metrics_.RegisterInto(service_->metrics());
+  options_.num_reactors = std::max(1u, options_.num_reactors);
   options_.max_in_flight = std::max(1u, options_.max_in_flight);
   options_.max_service_saturation =
       std::max<size_t>(1, options_.max_service_saturation);
@@ -82,19 +81,34 @@ Status NetServer::Start() {
                                    options_.listen_address + "'");
   }
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                          0);
-  if (fd < 0) {
+  const uint32_t n = options_.num_reactors;
+  bool handoff = options_.force_acceptor_handoff;
+
+  const int fd0 = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                           0);
+  if (fd0 < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
   }
   const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd0, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (!handoff && n > 1) {
+    // The first socket needs SO_REUSEPORT set BEFORE bind or the
+    // siblings' binds to the same port will fail. If the kernel
+    // refuses the option, fall back to the shared-acceptor topology.
+    if (::setsockopt(fd0, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) !=
+        0) {
+      GEMREC_LOG(Warning)
+          << "SO_REUSEPORT unavailable (" << std::strerror(errno)
+          << "); falling back to single acceptor with fd handoff";
+      handoff = true;
+    }
+  }
 
   // Ephemeral binds (port 0) cannot collide; fixed ports get a bounded
   // EADDRINUSE retry so a restart over a TIME_WAIT remnant succeeds.
   Status bind_status;
   for (uint32_t attempt = 0;; ++attempt) {
-    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+    if (::bind(fd0, reinterpret_cast<const sockaddr*>(&addr),
                sizeof(addr)) == 0) {
       bind_status = Status::Ok();
       break;
@@ -110,550 +124,111 @@ Status NetServer::Start() {
     std::this_thread::sleep_for(options_.bind_retry_delay);
   }
   if (!bind_status.ok()) {
-    ::close(fd);
+    ::close(fd0);
     return bind_status;
   }
-  if (::listen(fd, kListenBacklog) != 0) {
+  if (::listen(fd0, kListenBacklog) != 0) {
     const Status s =
         Status::IoError(std::string("listen: ") + std::strerror(errno));
-    ::close(fd);
+    ::close(fd0);
     return s;
   }
   sockaddr_in bound{};
   socklen_t bound_len = sizeof(bound);
-  GEMREC_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+  GEMREC_CHECK(::getsockname(fd0, reinterpret_cast<sockaddr*>(&bound),
                              &bound_len) == 0);
   bound_port_ = ntohs(bound.sin_port);
-  listen_fd_ = fd;
-  loop_.Add(listen_fd_, EPOLLIN, kListenTag);
 
-  completions_ = std::make_shared<CompletionQueue>();
-  completions_->loop = &loop_;
+  // Sibling listeners bind the RESOLVED port (a port-0 request already
+  // got its ephemeral port above), so the whole group shares one
+  // address and the kernel load-balances accepts across reactors.
+  std::vector<int> listen_fds(n, -1);
+  listen_fds[0] = fd0;
+  if (!handoff) {
+    sockaddr_in sibling = addr;
+    sibling.sin_port = htons(bound_port_);
+    for (uint32_t r = 1; r < n; ++r) {
+      const int fd = ::socket(
+          AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+      Status s;
+      if (fd < 0) {
+        s = Status::IoError(std::string("socket: ") +
+                            std::strerror(errno));
+      } else {
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+        if (::bind(fd, reinterpret_cast<const sockaddr*>(&sibling),
+                   sizeof(sibling)) != 0 ||
+            ::listen(fd, kListenBacklog) != 0) {
+          s = Status::IoError(std::string("reactor ") + std::to_string(r) +
+                              " listener: " + std::strerror(errno));
+        }
+      }
+      if (!s.ok()) {
+        if (fd >= 0) ::close(fd);
+        for (const int open_fd : listen_fds) {
+          if (open_fd >= 0) ::close(open_fd);
+        }
+        return s;
+      }
+      listen_fds[r] = fd;
+    }
+  }
 
+  Reactor::Shared shared;
+  shared.service = service_;
+  shared.ingest = ingest_;
+  shared.options = &options_;
+  shared.metrics = &metrics_;
+  shared.total_in_flight = &total_in_flight_;
+  shared.total_connections = &total_connections_;
+  reactors_.reserve(n);
+  for (uint32_t r = 0; r < n; ++r) {
+    reactors_.push_back(std::make_unique<Reactor>(r, shared));
+  }
+  std::vector<Reactor*> peers;
+  if (handoff && n > 1) {
+    peers.reserve(n);
+    for (const auto& reactor : reactors_) peers.push_back(reactor.get());
+  }
+  service_->metrics()
+      ->GetGauge("gemrec_net_reactors",
+                 "Reactor (event-loop) threads of the network front-end.")
+      ->Set(static_cast<int64_t>(n));
+  for (uint32_t r = 0; r < n; ++r) {
+    reactors_[r]->Start(listen_fds[r],
+                        r == 0 ? peers : std::vector<Reactor*>{});
+  }
   started_ = true;
-  running_.store(true, std::memory_order_release);
-  loop_thread_ = std::thread([this] { Loop(); });
   return Status::Ok();
 }
 
 void NetServer::RequestDrain() {
-  drain_requested_.store(true, std::memory_order_relaxed);
-  loop_.Wakeup();
+  for (const auto& reactor : reactors_) reactor->RequestDrain();
 }
 
 void NetServer::NotifyDrainFromSignal() {
-  // Only async-signal-safe operations: a lock-free atomic store and an
-  // eventfd write inside Wakeup.
-  drain_requested_.store(true, std::memory_order_relaxed);
-  loop_.Wakeup();
+  // Only async-signal-safe operations: reactors_ is immutable after
+  // Start, and each RequestDrain is a lock-free atomic store plus an
+  // eventfd write.
+  for (const auto& reactor : reactors_) reactor->RequestDrain();
 }
 
 void NetServer::WaitUntilStopped() {
-  std::unique_lock<std::mutex> lock(lifecycle_mu_);
-  stopped_cv_.wait(lock, [this] {
-    return !started_ || !running_.load(std::memory_order_acquire);
-  });
+  for (const auto& reactor : reactors_) reactor->WaitUntilStopped();
 }
 
 void NetServer::Stop() {
   if (!started_) return;
   RequestDrain();
-  if (loop_thread_.joinable()) loop_thread_.join();
+  for (const auto& reactor : reactors_) reactor->Join();
 }
 
-NetServer::Connection* NetServer::FindConnection(uint64_t id) {
-  const auto it = connections_.find(id);
-  return it == connections_.end() ? nullptr : it->second.get();
-}
-
-void NetServer::Loop() {
-  std::vector<epoll_event> events;
-  while (true) {
-    auto now = std::chrono::steady_clock::now();
-    if (drain_requested_.load(std::memory_order_relaxed) && !draining_) {
-      EnterDrain(now);
-    }
-    if (draining_ &&
-        (connections_.empty() || now >= drain_deadline_)) {
-      break;
-    }
-
-    const int n = loop_.Poll(PollTimeoutMs(now), &events);
-    for (int i = 0; i < n; ++i) {
-      const uint64_t tag = events[i].data.u64;
-      if (tag == EventLoop::kWakeupTag) {
-        loop_.DrainWakeup();
-        continue;
-      }
-      if (tag == kListenTag) {
-        HandleAccept();
-        continue;
-      }
-      Connection* conn = reinterpret_cast<Connection*>(tag);
-      if (events[i].events & (EPOLLHUP | EPOLLERR)) conn->dead = true;
-      if (!conn->dead && (events[i].events & EPOLLIN)) {
-        HandleReadable(conn);
-      }
-      if (!conn->dead && (events[i].events & EPOLLOUT)) {
-        FlushWrites(conn);
-      }
-      if (conn->dead) {
-        CloseConnection(conn);
-      } else {
-        UpdateInterest(conn);
-      }
-    }
-    DrainCompletions();
-    SweepTimeouts(std::chrono::steady_clock::now());
+bool NetServer::running() const {
+  for (const auto& reactor : reactors_) {
+    if (reactor->running()) return true;
   }
-
-  // Teardown: cut surviving connections (drain deadline passed or all
-  // work flushed), close the completion channel so late worker
-  // callbacks become no-ops, then announce the stop.
-  std::vector<uint64_t> ids;
-  ids.reserve(connections_.size());
-  for (const auto& [id, conn] : connections_) ids.push_back(id);
-  for (const uint64_t id : ids) {
-    if (Connection* conn = FindConnection(id)) CloseConnection(conn);
-  }
-  {
-    std::lock_guard<std::mutex> lock(completions_->mu);
-    completions_->closed = true;
-    completions_->loop = nullptr;
-  }
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  {
-    std::lock_guard<std::mutex> lock(lifecycle_mu_);
-    running_.store(false, std::memory_order_release);
-  }
-  stopped_cv_.notify_all();
-}
-
-void NetServer::EnterDrain(std::chrono::steady_clock::time_point now) {
-  draining_ = true;
-  drain_deadline_ = now + options_.drain_timeout;
-  if (listen_fd_ >= 0) {
-    loop_.Del(listen_fd_);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  // Stop reading everywhere; in-flight responses still flush. Idle
-  // connections fall to the sweep immediately below.
-  for (const auto& [id, conn] : connections_) {
-    conn->draining = true;
-    UpdateInterest(conn.get());
-  }
-  SweepTimeouts(now);
-}
-
-void NetServer::HandleAccept() {
-  while (true) {
-    const int fd =
-        ::accept4(listen_fd_, nullptr, nullptr,
-                  SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;  // EAGAIN (drained) or transient failure: try next round
-    }
-    if (connections_.size() >= options_.max_connections) {
-      GEMREC_LOG(Warning) << "connection limit "
-                          << options_.max_connections
-                          << " reached; refusing fd " << fd;
-      ::close(fd);
-      continue;
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    if (options_.so_sndbuf > 0) {
-      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
-                   sizeof(options_.so_sndbuf));
-    }
-    auto conn = std::make_unique<Connection>();
-    conn->id = next_conn_id_++;
-    conn->fd = fd;
-    conn->last_activity = std::chrono::steady_clock::now();
-    conn->interest = EPOLLIN;
-    loop_.Add(fd, EPOLLIN, reinterpret_cast<uint64_t>(conn.get()));
-    metrics_.accepted->Increment();
-    metrics_.active_connections->Add(1);
-    connections_.emplace(conn->id, std::move(conn));
-  }
-}
-
-void NetServer::HandleReadable(Connection* conn) {
-  uint8_t buf[64 * 1024];
-  const auto now = std::chrono::steady_clock::now();
-  while (!conn->dead && !conn->draining) {
-    const ssize_t r = ::recv(conn->fd, buf, sizeof(buf), 0);
-    if (r == 0) {  // peer closed its write half
-      conn->dead = true;
-      break;
-    }
-    if (r < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      if (errno == EINTR) continue;
-      conn->dead = true;
-      break;
-    }
-    metrics_.bytes_received->Increment(static_cast<uint64_t>(r));
-    conn->last_activity = now;
-    if (const Status s =
-            conn->decoder.Feed(buf, static_cast<size_t>(r));
-        !s.ok()) {
-      GEMREC_LOG(Debug) << "protocol error on conn " << conn->id << ": "
-                        << s.ToString();
-      metrics_.protocol_errors->Increment();
-      conn->dead = true;
-      break;
-    }
-    Frame frame;
-    while (!conn->dead && !conn->draining &&
-           conn->decoder.Next(&frame)) {
-      HandleFrame(conn, frame);
-    }
-    if (r < static_cast<ssize_t>(sizeof(buf))) break;  // socket drained
-  }
-  // Read-timeout anchor: a partial frame's clock starts when its first
-  // bytes arrive and resets once the frame completes.
-  if (!conn->dead && conn->decoder.mid_frame()) {
-    if (!conn->has_partial) {
-      conn->has_partial = true;
-      conn->partial_since = now;
-    }
-  } else {
-    conn->has_partial = false;
-  }
-}
-
-void NetServer::HandleFrame(Connection* conn, const Frame& frame) {
-  switch (frame.type) {
-    case MessageType::kPing: {
-      metrics_.pings->Increment();
-      AppendFrame(MessageType::kPong, nullptr, 0, &conn->write_buf);
-      AfterQueue(conn);
-      return;
-    }
-    case MessageType::kStatsRequest: {
-      if (const Status s =
-              DecodeStatsRequest(frame.payload.data(), frame.payload.size());
-          !s.ok()) {
-        metrics_.bad_requests->Increment();
-        SendError(conn, ErrorCode::kBadRequest, s.message());
-        return;
-      }
-      // Served unconditionally — no admission control, no drain
-      // refusal: an operator asking "why is this server shedding /
-      // draining" must get an answer from exactly that server.
-      metrics_.stats_requests->Increment();
-      AppendStatsResponseFrame(service_->metrics()->Snapshot(),
-                               &conn->write_buf);
-      AfterQueue(conn);
-      return;
-    }
-    case MessageType::kQueryRequest: {
-      metrics_.requests->Increment();
-      if (draining_) {
-        metrics_.drain_rejects->Increment();
-        SendError(conn, ErrorCode::kShuttingDown, "server draining");
-        return;
-      }
-      serving::QueryRequest request;
-      if (const Status s = DecodeQueryRequest(
-              frame.payload.data(), frame.payload.size(), &request);
-          !s.ok()) {
-        metrics_.bad_requests->Increment();
-        SendError(conn, ErrorCode::kBadRequest, s.message());
-        return;
-      }
-      // Admission control: the server's own budget of unanswered
-      // requests, then the service's real saturation gauges. Both
-      // gates shed with a typed error the client sees immediately —
-      // the request never enters a queue it would wait in unboundedly.
-      if (total_in_flight_ >= options_.max_in_flight ||
-          service_->QueueDepth() + service_->InFlight() >=
-              options_.max_service_saturation) {
-        metrics_.overload_sheds->Increment();
-        SendError(conn, ErrorCode::kOverloaded, "server overloaded");
-        return;
-      }
-      ++total_in_flight_;
-      ++conn->in_flight;
-      const uint64_t conn_id = conn->id;
-      // Round-trip anchor: decode time, so the histogram covers the
-      // service queue wait, the search and the hop back to this thread.
-      const auto received_at = std::chrono::steady_clock::now();
-      std::shared_ptr<CompletionQueue> cq = completions_;
-      service_->SubmitAsync(
-          request,
-          [cq, conn_id, received_at](serving::QueryResponse response) {
-            std::lock_guard<std::mutex> lock(cq->mu);
-            if (cq->closed) return;
-            const bool was_empty = cq->items.empty();
-            cq->items.push_back(
-                Completion{conn_id, std::move(response), received_at});
-            // One wakeup per burst: later completions piggyback on the
-            // pending eventfd tick.
-            if (was_empty && cq->loop != nullptr) cq->loop->Wakeup();
-          });
-      return;
-    }
-    case MessageType::kAttendance:
-    case MessageType::kNewEvent: {
-      metrics_.ingest_requests->Increment();
-      if (draining_) {
-        metrics_.drain_rejects->Increment();
-        SendError(conn, ErrorCode::kShuttingDown, "server draining");
-        return;
-      }
-      if (ingest_ == nullptr) {
-        metrics_.bad_requests->Increment();
-        SendError(conn, ErrorCode::kBadRequest,
-                  "ingestion disabled on this server");
-        return;
-      }
-      serving::IngestRecord record;
-      const Status s =
-          frame.type == MessageType::kAttendance
-              ? DecodeAttendance(frame.payload.data(),
-                                 frame.payload.size(), &record)
-              : DecodeNewEvent(frame.payload.data(), frame.payload.size(),
-                               &record);
-      if (!s.ok()) {
-        metrics_.bad_requests->Increment();
-        SendError(conn, ErrorCode::kBadRequest, s.message());
-        return;
-      }
-      // Write-side admission control lives in the queue itself
-      // (max_pending); a full queue answers kOverloaded immediately —
-      // the fail-fast twin of the read path's in-flight budget.
-      const uint64_t conn_id = conn->id;
-      const auto received_at = std::chrono::steady_clock::now();
-      ++total_in_flight_;
-      ++conn->in_flight;
-      std::shared_ptr<CompletionQueue> cq = completions_;
-      const serving::IngestAdmission admission = ingest_->SubmitAsync(
-          std::move(record),
-          [cq, conn_id, received_at](Status status, uint64_t seq) {
-            std::lock_guard<std::mutex> lock(cq->mu);
-            if (cq->closed) return;
-            const bool was_empty = cq->items.empty();
-            Completion completion;
-            completion.conn_id = conn_id;
-            completion.received_at = received_at;
-            completion.is_ingest = true;
-            completion.ingest_status = std::move(status);
-            completion.ingest_seq = seq;
-            cq->items.push_back(std::move(completion));
-            if (was_empty && cq->loop != nullptr) cq->loop->Wakeup();
-          });
-      if (admission != serving::IngestAdmission::kAccepted) {
-        // The ack callback never fires for a refused submission.
-        --total_in_flight_;
-        --conn->in_flight;
-        if (admission == serving::IngestAdmission::kQueueFull) {
-          metrics_.overload_sheds->Increment();
-          SendError(conn, ErrorCode::kOverloaded, "ingest queue full");
-        } else {
-          metrics_.drain_rejects->Increment();
-          SendError(conn, ErrorCode::kShuttingDown,
-                    "ingestion shutting down");
-        }
-      }
-      return;
-    }
-    case MessageType::kQueryResponse:
-    case MessageType::kPong:
-    case MessageType::kError:
-    case MessageType::kStatsResponse:
-    case MessageType::kIngestAck:
-      break;
-  }
-  metrics_.bad_requests->Increment();
-  SendError(conn, ErrorCode::kBadRequest, "unexpected message type");
-}
-
-void NetServer::SendError(Connection* conn, ErrorCode code,
-                          std::string_view msg) {
-  AppendErrorFrame(code, msg, &conn->write_buf);
-  AfterQueue(conn);
-}
-
-void NetServer::AfterQueue(Connection* conn) {
-  FlushWrites(conn);
-  if (!conn->dead && conn->pending_write() > options_.max_write_buffer) {
-    metrics_.slow_reader_disconnects->Increment();
-    conn->dead = true;
-  }
-}
-
-void NetServer::FlushWrites(Connection* conn) {
-  while (conn->pending_write() > 0) {
-    const ssize_t w =
-        ::send(conn->fd, conn->write_buf.data() + conn->write_pos,
-               conn->pending_write(), MSG_NOSIGNAL);
-    if (w > 0) {
-      conn->write_pos += static_cast<size_t>(w);
-      metrics_.bytes_sent->Increment(static_cast<uint64_t>(w));
-      conn->last_activity = std::chrono::steady_clock::now();
-      continue;
-    }
-    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    if (w < 0 && errno == EINTR) continue;
-    conn->dead = true;  // EPIPE/ECONNRESET/...
-    return;
-  }
-  if (conn->write_pos == conn->write_buf.size()) {
-    conn->write_buf.clear();
-    conn->write_pos = 0;
-  } else if (conn->write_pos > (64u << 10)) {
-    conn->write_buf.erase(
-        conn->write_buf.begin(),
-        conn->write_buf.begin() + static_cast<ptrdiff_t>(conn->write_pos));
-    conn->write_pos = 0;
-  }
-}
-
-void NetServer::DrainCompletions() {
-  std::vector<Completion> batch;
-  {
-    std::lock_guard<std::mutex> lock(completions_->mu);
-    batch.swap(completions_->items);
-  }
-  for (Completion& completion : batch) {
-    GEMREC_CHECK(total_in_flight_ > 0);
-    --total_in_flight_;
-    Connection* conn = FindConnection(completion.conn_id);
-    if (conn == nullptr || conn->dead) {
-      // The connection died (timeout, slow reader, protocol error)
-      // while its request was being served.
-      metrics_.orphaned_responses->Increment();
-      continue;
-    }
-    GEMREC_CHECK(conn->in_flight > 0);
-    --conn->in_flight;
-    if (completion.is_ingest) {
-      if (completion.ingest_status.ok()) {
-        AppendIngestAckFrame(completion.ingest_seq, &conn->write_buf);
-        metrics_.ingest_acks->Increment();
-        const auto elapsed =
-            std::chrono::steady_clock::now() - completion.received_at;
-        metrics_.round_trip_us->Record(static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
-                .count()));
-        AfterQueue(conn);
-      } else {
-        // Typed mapping: caller mistakes are kBadRequest, anything the
-        // server did to itself (journal I/O, apply) is kInternal.
-        const StatusCode code = completion.ingest_status.code();
-        const ErrorCode wire_code =
-            (code == StatusCode::kInvalidArgument ||
-             code == StatusCode::kOutOfRange)
-                ? ErrorCode::kBadRequest
-                : ErrorCode::kInternal;
-        if (wire_code == ErrorCode::kBadRequest) {
-          metrics_.bad_requests->Increment();
-        }
-        SendError(conn, wire_code, completion.ingest_status.message());
-      }
-      if (conn->dead) {
-        CloseConnection(conn);
-      } else {
-        UpdateInterest(conn);
-      }
-      continue;
-    }
-    if (completion.response.rejected) {
-      // The service refused the request racing its own Shutdown; the
-      // client gets the same typed error as an up-front drain refusal
-      // instead of an empty result it might mistake for a real answer.
-      metrics_.drain_rejects->Increment();
-      SendError(conn, ErrorCode::kShuttingDown, "service shutting down");
-    } else {
-      AppendQueryResponseFrame(completion.response, &conn->write_buf);
-      metrics_.responses->Increment();
-      const auto elapsed =
-          std::chrono::steady_clock::now() - completion.received_at;
-      metrics_.round_trip_us->Record(static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
-              .count()));
-      AfterQueue(conn);
-    }
-    if (conn->dead) {
-      CloseConnection(conn);
-    } else {
-      UpdateInterest(conn);
-    }
-  }
-}
-
-void NetServer::SweepTimeouts(std::chrono::steady_clock::time_point now) {
-  std::vector<uint64_t> doomed;
-  for (const auto& [id, conn] : connections_) {
-    if (conn->dead) {
-      doomed.push_back(id);
-      continue;
-    }
-    if (conn->draining) {
-      // Drain completion for this connection: everything answered and
-      // flushed — or the peer gets cut at the global drain deadline.
-      if (conn->in_flight == 0 && conn->pending_write() == 0) {
-        doomed.push_back(id);
-      }
-      continue;
-    }
-    if (conn->has_partial &&
-        now - conn->partial_since >= options_.read_timeout) {
-      metrics_.read_timeouts->Increment();
-      doomed.push_back(id);
-      continue;
-    }
-    if (!conn->has_partial && conn->in_flight == 0 &&
-        conn->pending_write() == 0 &&
-        now - conn->last_activity >= options_.idle_timeout) {
-      metrics_.idle_timeouts->Increment();
-      doomed.push_back(id);
-    }
-  }
-  for (const uint64_t id : doomed) {
-    if (Connection* conn = FindConnection(id)) CloseConnection(conn);
-  }
-}
-
-int NetServer::PollTimeoutMs(
-    std::chrono::steady_clock::time_point now) const {
-  auto deadline = now + std::chrono::milliseconds(kMaxPollMs);
-  for (const auto& [id, conn] : connections_) {
-    if (conn->draining) continue;
-    if (conn->has_partial) {
-      deadline =
-          std::min(deadline, conn->partial_since + options_.read_timeout);
-    } else if (conn->in_flight == 0 && conn->pending_write() == 0) {
-      deadline =
-          std::min(deadline, conn->last_activity + options_.idle_timeout);
-    }
-  }
-  if (draining_) deadline = std::min(deadline, drain_deadline_);
-  return std::min(kMaxPollMs, ToMillisCeil(deadline - now));
-}
-
-void NetServer::UpdateInterest(Connection* conn) {
-  uint32_t want = 0;
-  if (!conn->draining) want |= EPOLLIN;
-  if (conn->pending_write() > 0) want |= EPOLLOUT;
-  if (want != conn->interest) {
-    loop_.Mod(conn->fd, want, reinterpret_cast<uint64_t>(conn));
-    conn->interest = want;
-  }
-}
-
-void NetServer::CloseConnection(Connection* conn) {
-  loop_.Del(conn->fd);
-  ::close(conn->fd);
-  metrics_.active_connections->Sub(1);
-  connections_.erase(conn->id);  // destroys *conn
+  return false;
 }
 
 }  // namespace gemrec::net

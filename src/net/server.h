@@ -3,23 +3,20 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
-#include "net/event_loop.h"
 #include "net/net_stats.h"
 #include "net/wire.h"
 #include "serving/ingestion_queue.h"
 #include "serving/recommendation_service.h"
 
 namespace gemrec::net {
+
+class Reactor;
 
 struct ServerOptions {
   /// IPv4 address to bind; tests and the bench use 127.0.0.1.
@@ -32,10 +29,25 @@ struct ServerOptions {
   uint32_t bind_retries = 5;
   std::chrono::milliseconds bind_retry_delay{200};
 
+  /// Event-loop threads. Each reactor owns a SO_REUSEPORT listener on
+  /// the same port (the kernel load-balances accepts across them), a
+  /// private connection table with per-connection decode/write
+  /// buffers, and a private completion queue — no state is shared
+  /// between reactors beyond the atomic admission counters and the
+  /// registry metrics. 1 reproduces the old single-threaded front-end
+  /// exactly; `gemrec serve` defaults to min(4, hw_concurrency).
+  uint32_t num_reactors = 1;
+  /// Test hook: pretend SO_REUSEPORT is unavailable and exercise the
+  /// fallback — reactor 0 owns the only listener and hands accepted
+  /// fds to its peers round-robin through their eventfd-woken inboxes.
+  bool force_acceptor_handoff = false;
+
+  /// Across ALL reactors (enforced through one shared atomic).
   uint32_t max_connections = 1024;
   /// Admission budget: requests accepted onto the service but not yet
-  /// answered, across all connections. Beyond it, requests are shed
-  /// with a typed OVERLOADED error instead of queueing unboundedly.
+  /// answered, across all connections and reactors. Beyond it,
+  /// requests are shed with a typed OVERLOADED error instead of
+  /// queueing unboundedly.
   uint32_t max_in_flight = 256;
   /// Second admission gate: shed when the service itself reports this
   /// much saturation (queue depth + in-flight) — real backpressure
@@ -57,27 +69,34 @@ struct ServerOptions {
   int so_sndbuf = 0;
 };
 
-/// Epoll-based TCP front-end for RecommendationService: one event-loop
-/// thread multiplexes an acceptor plus every connection, speaking the
-/// wire.h framed protocol. Decoded queries bridge into
-/// RecommendationService::SubmitAsync; completions hop back to the
-/// loop thread through a wakeup queue and are flushed as response
-/// frames. The loop never blocks on the service and workers never
-/// touch a socket.
+/// Multi-reactor epoll TCP front-end for RecommendationService:
+/// num_reactors event-loop threads, each owning a SO_REUSEPORT
+/// listening socket plus the complete lifecycle of every connection
+/// the kernel hashes to it, speaking the wire.h framed protocol (v1
+/// lockstep and v2 pipelined frames mix freely per connection; every
+/// response echoes its request's version and frame id). Decoded
+/// queries bridge into RecommendationService::SubmitAsync; completions
+/// hop back to the OWNING reactor through its private wakeup queue —
+/// reactors never touch each other's connections, so the hot path has
+/// no cross-reactor lock. Workers never touch a socket.
 ///
 /// Overload behaviour is fail-fast by design: admission control (the
-/// in-flight budget plus the service's own saturation gauges) sheds
-/// excess requests with typed OVERLOADED errors, partial frames and
-/// silent connections are timed out, and peers that stop reading are
-/// disconnected once their write buffer hits the cap. A saturated
-/// server therefore answers or closes within the read timeout — it
-/// never queues unboundedly.
+/// shared in-flight budget plus the service's own saturation gauges)
+/// sheds excess requests with typed OVERLOADED errors, partial frames
+/// and silent connections are timed out, peers that stop reading are
+/// disconnected once their write buffer hits the cap, and an
+/// fd-exhausted listener refuses pending connections through a
+/// reserved spare fd instead of spinning. A saturated server therefore
+/// answers or closes within the read timeout — it never queues
+/// unboundedly.
 ///
 /// Shutdown: RequestDrain (or the async-signal-safe
-/// NotifyDrainFromSignal) stops the acceptor, lets in-flight requests
-/// finish and their responses flush (bounded by drain_timeout), then
-/// the loop exits. WaitUntilStopped blocks until then; Stop also
-/// joins the thread.
+/// NotifyDrainFromSignal) fans out to every reactor: acceptors close,
+/// in-flight requests finish and flush (bounded by drain_timeout), and
+/// draining connections keep READING so kPing/kStatsRequest probes are
+/// still answered — everything else gets a typed SHUTTING_DOWN.
+/// WaitUntilStopped blocks until every reactor exited; Stop also joins
+/// the threads.
 class NetServer {
  public:
   /// `service` (and `ingest`, when given) must outlive the server.
@@ -94,29 +113,33 @@ class NetServer {
   NetServer(const NetServer&) = delete;
   NetServer& operator=(const NetServer&) = delete;
 
-  /// Binds + listens + starts the event-loop thread.
+  /// Binds + listens (one SO_REUSEPORT socket per reactor, all on the
+  /// same resolved port) + starts the reactor threads.
   Status Start();
 
   /// Bound port (after a successful Start; resolves port 0 requests).
   uint16_t port() const { return bound_port_; }
 
-  /// Begins graceful drain: stop accepting, refuse new work with
-  /// SHUTTING_DOWN, flush in-flight responses, then stop.
+  /// Begins graceful drain on every reactor: stop accepting, refuse
+  /// new work with SHUTTING_DOWN (stats/ping still answered), flush
+  /// in-flight responses, then stop.
   void RequestDrain();
 
   /// Async-signal-safe drain trigger for SIGINT/SIGTERM handlers.
   void NotifyDrainFromSignal();
 
-  /// Blocks until the event loop has exited (drain complete).
+  /// Blocks until every reactor has exited (drain complete).
   void WaitUntilStopped();
 
-  /// RequestDrain + join. Idempotent; also called by the destructor.
+  /// RequestDrain + join all reactors. Idempotent; also called by the
+  /// destructor.
   void Stop();
 
-  bool running() const {
-    return running_.load(std::memory_order_acquire);
-  }
+  /// True while at least one reactor thread is still running.
+  bool running() const;
 
+  /// Aggregate across all reactors (the registry counters are shared;
+  /// per-reactor gemrec_net_reactor{r}_* metrics break them down).
   NetStats stats() const { return metrics_.Snapshot(); }
 
   /// The registry everything is recorded into — the owning service's
@@ -124,97 +147,28 @@ class NetServer {
   obs::MetricsRegistry* metrics_registry() const;
 
  private:
-  struct Connection {
-    uint64_t id = 0;
-    int fd = -1;
-    FrameDecoder decoder;
-    /// Pending outbound bytes ([write_pos, buf.size()) unsent).
-    std::vector<uint8_t> write_buf;
-    size_t write_pos = 0;
-    size_t pending_write() const { return write_buf.size() - write_pos; }
-    /// Requests submitted to the service, responses not yet queued.
-    uint32_t in_flight = 0;
-    uint32_t interest = 0;    // currently registered epoll mask
-    bool draining = false;    // no further reads; close once flushed
-    /// Doomed: torn down by the dispatcher at a safe point (never
-    /// mid-callstack, so no use-after-free inside frame handling).
-    bool dead = false;
-    std::chrono::steady_clock::time_point last_activity;
-    /// Set while decoder.mid_frame(): when the current partial frame
-    /// started arriving (read-timeout anchor).
-    std::chrono::steady_clock::time_point partial_since;
-    bool has_partial = false;
-  };
-
-  /// Completed service responses travel worker -> loop through this
-  /// shared queue. shared_ptr-owned so a response that completes after
-  /// the server died is dropped safely instead of touching freed
-  /// state.
-  struct Completion {
-    uint64_t conn_id = 0;
-    serving::QueryResponse response;
-    /// When the query frame was decoded (round-trip histogram anchor).
-    std::chrono::steady_clock::time_point received_at;
-    /// Ingest acks ride the same queue: `is_ingest` selects the
-    /// ack/error encoding instead of the query-response one.
-    bool is_ingest = false;
-    Status ingest_status;
-    uint64_t ingest_seq = 0;
-  };
-  struct CompletionQueue {
-    std::mutex mu;
-    std::vector<Completion> items;
-    bool closed = false;
-    EventLoop* loop = nullptr;  // null once closed
-  };
-
-  void Loop();
-  void EnterDrain(std::chrono::steady_clock::time_point now);
-  void HandleAccept();
-  void HandleReadable(Connection* conn);
-  void HandleFrame(Connection* conn, const Frame& frame);
-  void SendError(Connection* conn, ErrorCode code, std::string_view msg);
-  /// Flush + slow-reader cap check after any frame lands in write_buf.
-  void AfterQueue(Connection* conn);
-  void FlushWrites(Connection* conn);
-  void DrainCompletions();
-  void SweepTimeouts(std::chrono::steady_clock::time_point now);
-  int PollTimeoutMs(std::chrono::steady_clock::time_point now) const;
-  void UpdateInterest(Connection* conn);
-  void CloseConnection(Connection* conn);
-  Connection* FindConnection(uint64_t id);
-
   serving::RecommendationService* service_;
   /// Write path; nullptr = ingestion disabled (read-only server).
   serving::IngestionQueue* ingest_;
   ServerOptions options_;
-  EventLoop loop_;
-  int listen_fd_ = -1;
   uint16_t bound_port_ = 0;
 
-  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
-  uint64_t next_conn_id_ = 1;
-  /// Loop-thread-only: total requests inside the service on behalf of
-  /// this server (the admission budget's numerator).
-  uint32_t total_in_flight_ = 0;
+  /// Shared admission state: every reactor admits against the same
+  /// budget, so the documented max_in_flight/max_connections limits
+  /// stay global regardless of how the kernel spreads connections.
+  std::atomic<uint32_t> total_in_flight_{0};
+  std::atomic<uint32_t> total_connections_{0};
 
-  std::shared_ptr<CompletionQueue> completions_;
-
-  std::atomic<bool> drain_requested_{false};
-  bool draining_ = false;
-  std::chrono::steady_clock::time_point drain_deadline_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
 
   internal::NetMetrics metrics_;
-
-  std::atomic<bool> running_{false};
-  std::mutex lifecycle_mu_;
-  std::condition_variable stopped_cv_;
-  std::thread loop_thread_;
   bool started_ = false;
 };
 
 /// Splits "host:port" (host may be empty -> 127.0.0.1). Fails on a
-/// missing/invalid port.
+/// missing/invalid port; the port substring must be all digits (no
+/// sign, no whitespace — strtoul's leniency let "host: 80" and
+/// "host:+80" slip through once).
 Status ParseHostPort(const std::string& spec, std::string* host,
                      uint16_t* port);
 

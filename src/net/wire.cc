@@ -78,19 +78,26 @@ const char* ErrorCodeName(ErrorCode code) {
 }
 
 void AppendFrame(MessageType type, const uint8_t* payload, size_t n,
-                 std::vector<uint8_t>* out) {
+                 const FrameTag& tag, std::vector<uint8_t>* out) {
   GEMREC_CHECK(n <= kMaxPayload)
       << "frame payload " << n << " exceeds kMaxPayload";
   const size_t start = out->size();
-  out->reserve(start + kHeaderSize + n + kTrailerSize);
+  const size_t header = tag.tagged ? kTaggedHeaderSize : kHeaderSize;
+  out->reserve(start + header + n + kTrailerSize);
   PutU32(kMagic, out);
-  out->push_back(kWireVersion);
+  out->push_back(tag.tagged ? kWireVersion : kWireVersionV1);
   out->push_back(static_cast<uint8_t>(type));
   PutU16(0, out);  // reserved
   PutU32(static_cast<uint32_t>(n), out);
+  if (tag.tagged) PutU64(tag.frame_id, out);
   if (n > 0) out->insert(out->end(), payload, payload + n);
-  const uint32_t crc = Crc32c(out->data() + start, kHeaderSize + n);
+  const uint32_t crc = Crc32c(out->data() + start, header + n);
   PutU32(crc, out);
+}
+
+void AppendFrame(MessageType type, const uint8_t* payload, size_t n,
+                 std::vector<uint8_t>* out) {
+  AppendFrame(type, payload, n, FrameTag{}, out);
 }
 
 std::vector<uint8_t> EncodeFrame(MessageType type,
@@ -100,7 +107,17 @@ std::vector<uint8_t> EncodeFrame(MessageType type,
   return out;
 }
 
+std::vector<uint8_t> EncodeTaggedFrame(MessageType type,
+                                       const std::vector<uint8_t>& payload,
+                                       uint64_t frame_id) {
+  std::vector<uint8_t> out;
+  AppendFrame(type, payload.data(), payload.size(),
+              FrameTag{true, frame_id}, &out);
+  return out;
+}
+
 void AppendQueryRequestFrame(const serving::QueryRequest& request,
+                             const FrameTag& tag,
                              std::vector<uint8_t>* out) {
   std::vector<uint8_t> payload;
   payload.reserve(kQueryRequestPayload);
@@ -109,7 +126,12 @@ void AppendQueryRequestFrame(const serving::QueryRequest& request,
   PutU64(request.filter_hash, &payload);
   payload.push_back(request.bypass_cache ? kRequestFlagBypassCache : 0);
   AppendFrame(MessageType::kQueryRequest, payload.data(), payload.size(),
-              out);
+              tag, out);
+}
+
+void AppendQueryRequestFrame(const serving::QueryRequest& request,
+                             std::vector<uint8_t>* out) {
+  AppendQueryRequestFrame(request, FrameTag{}, out);
 }
 
 Status DecodeQueryRequest(const uint8_t* payload, size_t n,
@@ -136,6 +158,7 @@ Status DecodeQueryRequest(const uint8_t* payload, size_t n,
 }
 
 void AppendQueryResponseFrame(const serving::QueryResponse& response,
+                              const FrameTag& tag,
                               std::vector<uint8_t>* out) {
   std::vector<uint8_t> payload;
   payload.reserve(kQueryResponseFixed +
@@ -149,7 +172,12 @@ void AppendQueryResponseFrame(const serving::QueryResponse& response,
     PutU32(FloatBits(item.score), &payload);
   }
   AppendFrame(MessageType::kQueryResponse, payload.data(), payload.size(),
-              out);
+              tag, out);
+}
+
+void AppendQueryResponseFrame(const serving::QueryResponse& response,
+                              std::vector<uint8_t>* out) {
+  AppendQueryResponseFrame(response, FrameTag{}, out);
 }
 
 Status DecodeQueryResponse(const uint8_t* payload, size_t n,
@@ -179,12 +207,18 @@ Status DecodeQueryResponse(const uint8_t* payload, size_t n,
 }
 
 void AppendErrorFrame(ErrorCode code, std::string_view message,
-                      std::vector<uint8_t>* out) {
+                      const FrameTag& tag, std::vector<uint8_t>* out) {
   std::vector<uint8_t> payload;
   payload.reserve(kErrorFixed + message.size());
   PutU16(static_cast<uint16_t>(code), &payload);
   payload.insert(payload.end(), message.begin(), message.end());
-  AppendFrame(MessageType::kError, payload.data(), payload.size(), out);
+  AppendFrame(MessageType::kError, payload.data(), payload.size(), tag,
+              out);
+}
+
+void AppendErrorFrame(ErrorCode code, std::string_view message,
+                      std::vector<uint8_t>* out) {
+  AppendErrorFrame(code, message, FrameTag{}, out);
 }
 
 Status DecodeError(const uint8_t* payload, size_t n, ErrorCode* code,
@@ -198,8 +232,13 @@ Status DecodeError(const uint8_t* payload, size_t n, ErrorCode* code,
   return Status::Ok();
 }
 
+void AppendStatsRequestFrame(const FrameTag& tag,
+                             std::vector<uint8_t>* out) {
+  AppendFrame(MessageType::kStatsRequest, nullptr, 0, tag, out);
+}
+
 void AppendStatsRequestFrame(std::vector<uint8_t>* out) {
-  AppendFrame(MessageType::kStatsRequest, nullptr, 0, out);
+  AppendStatsRequestFrame(FrameTag{}, out);
 }
 
 Status DecodeStatsRequest(const uint8_t* /*payload*/, size_t n) {
@@ -210,6 +249,7 @@ Status DecodeStatsRequest(const uint8_t* /*payload*/, size_t n) {
 }
 
 void AppendStatsResponseFrame(const obs::MetricsSnapshot& snapshot,
+                              const FrameTag& tag,
                               std::vector<uint8_t>* out) {
   std::vector<uint8_t> payload;
   PutU32(static_cast<uint32_t>(snapshot.metrics.size()), &payload);
@@ -243,7 +283,12 @@ void AppendStatsResponseFrame(const obs::MetricsSnapshot& snapshot,
     }
   }
   AppendFrame(MessageType::kStatsResponse, payload.data(), payload.size(),
-              out);
+              tag, out);
+}
+
+void AppendStatsResponseFrame(const obs::MetricsSnapshot& snapshot,
+                              std::vector<uint8_t>* out) {
+  AppendStatsResponseFrame(snapshot, FrameTag{}, out);
 }
 
 Status DecodeStatsResponse(const uint8_t* payload, size_t n,
@@ -333,13 +378,20 @@ Status DecodeStatsResponse(const uint8_t* payload, size_t n,
 }
 
 void AppendAttendanceFrame(ebsn::UserId user, ebsn::EventId event,
-                           bool new_user, std::vector<uint8_t>* out) {
+                           bool new_user, const FrameTag& tag,
+                           std::vector<uint8_t>* out) {
   std::vector<uint8_t> payload;
   payload.reserve(kAttendancePayload);
   PutU32(user, &payload);
   PutU32(event, &payload);
   payload.push_back(new_user ? kAttendanceFlagNewUser : 0);
-  AppendFrame(MessageType::kAttendance, payload.data(), payload.size(), out);
+  AppendFrame(MessageType::kAttendance, payload.data(), payload.size(),
+              tag, out);
+}
+
+void AppendAttendanceFrame(ebsn::UserId user, ebsn::EventId event,
+                           bool new_user, std::vector<uint8_t>* out) {
+  AppendAttendanceFrame(user, event, new_user, FrameTag{}, out);
 }
 
 Status DecodeAttendance(const uint8_t* payload, size_t n,
@@ -363,7 +415,7 @@ Status DecodeAttendance(const uint8_t* payload, size_t n,
 
 void AppendNewEventFrame(ebsn::EventId event,
                          const embedding::NewEventSignals& signals,
-                         std::vector<uint8_t>* out) {
+                         const FrameTag& tag, std::vector<uint8_t>* out) {
   GEMREC_CHECK(signals.words.size() <= kMaxIngestWords)
       << "new event carries " << signals.words.size() << " words";
   std::vector<uint8_t> payload;
@@ -376,7 +428,14 @@ void AppendNewEventFrame(ebsn::EventId event,
     PutU32(word, &payload);
     PutU32(FloatBits(weight), &payload);
   }
-  AppendFrame(MessageType::kNewEvent, payload.data(), payload.size(), out);
+  AppendFrame(MessageType::kNewEvent, payload.data(), payload.size(), tag,
+              out);
+}
+
+void AppendNewEventFrame(ebsn::EventId event,
+                         const embedding::NewEventSignals& signals,
+                         std::vector<uint8_t>* out) {
+  AppendNewEventFrame(event, signals, FrameTag{}, out);
 }
 
 Status DecodeNewEvent(const uint8_t* payload, size_t n,
@@ -406,11 +465,17 @@ Status DecodeNewEvent(const uint8_t* payload, size_t n,
   return Status::Ok();
 }
 
-void AppendIngestAckFrame(uint64_t seq, std::vector<uint8_t>* out) {
+void AppendIngestAckFrame(uint64_t seq, const FrameTag& tag,
+                          std::vector<uint8_t>* out) {
   std::vector<uint8_t> payload;
   payload.reserve(kIngestAckPayload);
   PutU64(seq, &payload);
-  AppendFrame(MessageType::kIngestAck, payload.data(), payload.size(), out);
+  AppendFrame(MessageType::kIngestAck, payload.data(), payload.size(), tag,
+              out);
+}
+
+void AppendIngestAckFrame(uint64_t seq, std::vector<uint8_t>* out) {
+  AppendIngestAckFrame(seq, FrameTag{}, out);
 }
 
 Status DecodeIngestAck(const uint8_t* payload, size_t n, uint64_t* seq) {
@@ -448,10 +513,11 @@ Status FrameDecoder::Parse() {
     if (GetU32(header) != kMagic) {
       return Status::InvalidArgument("bad frame magic");
     }
-    if (header[4] != kWireVersion) {
+    if (header[4] != kWireVersionV1 && header[4] != kWireVersion) {
       return Status::InvalidArgument("unsupported wire version " +
                                      std::to_string(header[4]));
     }
+    const bool tagged = header[4] == kWireVersion;
     if (GetU16(header + 6) != 0) {
       return Status::InvalidArgument("nonzero reserved header bytes");
     }
@@ -461,17 +527,20 @@ Status FrameDecoder::Parse() {
           "frame payload " + std::to_string(payload_size) +
           " exceeds limit " + std::to_string(kMaxPayload));
     }
-    const size_t total = kHeaderSize + payload_size + kTrailerSize;
+    const size_t header_size = tagged ? kTaggedHeaderSize : kHeaderSize;
+    const size_t total = header_size + payload_size + kTrailerSize;
     if (avail < total) break;
-    const uint32_t want = Crc32c(header, kHeaderSize + payload_size);
-    const uint32_t got = GetU32(header + kHeaderSize + payload_size);
+    const uint32_t want = Crc32c(header, header_size + payload_size);
+    const uint32_t got = GetU32(header + header_size + payload_size);
     if (want != got) {
       return Status::InvalidArgument("frame CRC mismatch");
     }
     Frame frame;
     frame.type = static_cast<MessageType>(header[5]);
-    frame.payload.assign(header + kHeaderSize,
-                         header + kHeaderSize + payload_size);
+    frame.tagged = tagged;
+    if (tagged) frame.frame_id = GetU64(header + kHeaderSize);
+    frame.payload.assign(header + header_size,
+                         header + header_size + payload_size);
     frames_.push_back(std::move(frame));
     pos_ += total;
   }

@@ -16,24 +16,40 @@
 namespace gemrec::net {
 
 /// Length-prefixed binary frame carried over TCP (all integers
-/// little-endian, matching the GEMREC02 artifact convention):
+/// little-endian, matching the GEMREC02 artifact convention). Two
+/// header layouts share the stream, selected by the version byte:
 ///
+/// v1 (kWireVersionV1 — lockstep, one request in flight):
 ///   [0, 4)        magic "GMNP"
-///   [4]           wire version (kWireVersion)
+///   [4]           wire version = 1
 ///   [5]           message type
 ///   [6, 8)        reserved, must be zero
 ///   [8, 12)       payload size N (<= kMaxPayload)
 ///   [12, 12+N)    payload
 ///   [12+N, 16+N)  CRC32C over bytes [0, 12+N)  (common/crc32c)
 ///
-/// The CRC covers header AND payload, so a flipped byte anywhere in a
-/// frame — including the length field itself — is rejected before the
-/// payload is interpreted. Header fields are validated as soon as the
-/// first 12 bytes arrive: a bad magic/version/size poisons the
-/// connection immediately instead of waiting for a bogus length.
+/// v2 (kWireVersion — pipelined): identical through byte 12, then a
+/// client-chosen u64 frame id the server echoes verbatim in the
+/// answering kQueryResponse/kIngestAck/kError/kPong/kStatsResponse,
+/// so one connection carries many in-flight requests completing out
+/// of order:
+///   [12, 20)      frame id (u64, chosen by the requester)
+///   [20, 20+N)    payload
+///   [20+N, 24+N)  CRC32C over bytes [0, 20+N)
+///
+/// Versions mix freely on one connection: every response reuses the
+/// version (and id) of the request it answers, so a v1-only peer
+/// never sees a v2 frame. The CRC covers header AND payload, so a
+/// flipped byte anywhere in a frame — including the length field
+/// itself — is rejected before the payload is interpreted. Header
+/// fields are validated as soon as the first 12 bytes arrive: a bad
+/// magic/version/size poisons the connection immediately instead of
+/// waiting for a bogus length.
 inline constexpr uint32_t kMagic = 0x504E4D47u;  // "GMNP" little-endian
-inline constexpr uint8_t kWireVersion = 1;
-inline constexpr size_t kHeaderSize = 12;
+inline constexpr uint8_t kWireVersionV1 = 1;
+inline constexpr uint8_t kWireVersion = 2;
+inline constexpr size_t kHeaderSize = 12;        // v1 header
+inline constexpr size_t kTaggedHeaderSize = 20;  // v2: v1 + u64 frame id
 inline constexpr size_t kTrailerSize = 4;
 inline constexpr size_t kMaxPayload = 1u << 20;  // 1 MiB
 /// Largest top-n a query may request; keeps every response frame well
@@ -80,32 +96,62 @@ enum class ErrorCode : uint16_t {
 
 const char* ErrorCodeName(ErrorCode code);
 
+/// The pipelining half of a frame's identity: whether it was a v2
+/// frame, and if so the u64 id the requester chose. A responder
+/// passes the request frame's tag() straight into the Append*
+/// overloads below so the answer travels in the same version, with
+/// the same id — v1 requests get v1 (untagged) answers.
+struct FrameTag {
+  bool tagged = false;
+  uint64_t frame_id = 0;
+};
+
 struct Frame {
   MessageType type = MessageType::kPing;
   std::vector<uint8_t> payload;
+  /// Set for v2 frames: the client-chosen id to echo back.
+  bool tagged = false;
+  uint64_t frame_id = 0;
+  FrameTag tag() const { return FrameTag{tagged, frame_id}; }
 };
 
-/// Appends one complete frame (header + payload + CRC trailer) to
+/// Appends one complete v1 frame (header + payload + CRC trailer) to
 /// `out`. Payload larger than kMaxPayload is a programming error.
 void AppendFrame(MessageType type, const uint8_t* payload, size_t n,
                  std::vector<uint8_t>* out);
+/// Tag-dispatched overload: emits a v2 frame carrying tag.frame_id
+/// when tag.tagged, a plain v1 frame otherwise.
+void AppendFrame(MessageType type, const uint8_t* payload, size_t n,
+                 const FrameTag& tag, std::vector<uint8_t>* out);
 std::vector<uint8_t> EncodeFrame(MessageType type,
                                  const std::vector<uint8_t>& payload);
+std::vector<uint8_t> EncodeTaggedFrame(MessageType type,
+                                       const std::vector<uint8_t>& payload,
+                                       uint64_t frame_id);
 
-/// Payload codecs. Encoders append a full frame; decoders take the
-/// payload bytes of an already-CRC-verified frame.
+/// Payload codecs. Encoders append a full frame (the FrameTag
+/// overloads choose v1/v2 framing; the tag-less legacy signatures emit
+/// v1); decoders take the payload bytes of an already-CRC-verified
+/// frame — the frame id, living in the header, never appears here.
 void AppendQueryRequestFrame(const serving::QueryRequest& request,
                              std::vector<uint8_t>* out);
+void AppendQueryRequestFrame(const serving::QueryRequest& request,
+                             const FrameTag& tag, std::vector<uint8_t>* out);
 Status DecodeQueryRequest(const uint8_t* payload, size_t n,
                           serving::QueryRequest* out);
 
 void AppendQueryResponseFrame(const serving::QueryResponse& response,
+                              std::vector<uint8_t>* out);
+void AppendQueryResponseFrame(const serving::QueryResponse& response,
+                              const FrameTag& tag,
                               std::vector<uint8_t>* out);
 Status DecodeQueryResponse(const uint8_t* payload, size_t n,
                            serving::QueryResponse* out);
 
 void AppendErrorFrame(ErrorCode code, std::string_view message,
                       std::vector<uint8_t>* out);
+void AppendErrorFrame(ErrorCode code, std::string_view message,
+                      const FrameTag& tag, std::vector<uint8_t>* out);
 Status DecodeError(const uint8_t* payload, size_t n, ErrorCode* code,
                    std::string* message);
 
@@ -118,9 +164,13 @@ Status DecodeError(const uint8_t* payload, size_t n, ErrorCode* code,
 /// histograms (buckets are sparse: only nonzero entries travel).
 /// Help strings stay server-side.
 void AppendStatsRequestFrame(std::vector<uint8_t>* out);
+void AppendStatsRequestFrame(const FrameTag& tag, std::vector<uint8_t>* out);
 Status DecodeStatsRequest(const uint8_t* payload, size_t n);
 
 void AppendStatsResponseFrame(const obs::MetricsSnapshot& snapshot,
+                              std::vector<uint8_t>* out);
+void AppendStatsResponseFrame(const obs::MetricsSnapshot& snapshot,
+                              const FrameTag& tag,
                               std::vector<uint8_t>* out);
 Status DecodeStatsResponse(const uint8_t* payload, size_t n,
                            obs::MetricsSnapshot* out);
@@ -135,16 +185,24 @@ Status DecodeStatsResponse(const uint8_t* payload, size_t n,
 /// queue (seq stays 0 — the queue assigns it).
 void AppendAttendanceFrame(ebsn::UserId user, ebsn::EventId event,
                            bool new_user, std::vector<uint8_t>* out);
+void AppendAttendanceFrame(ebsn::UserId user, ebsn::EventId event,
+                           bool new_user, const FrameTag& tag,
+                           std::vector<uint8_t>* out);
 Status DecodeAttendance(const uint8_t* payload, size_t n,
                         serving::IngestRecord* out);
 
 void AppendNewEventFrame(ebsn::EventId event,
                          const embedding::NewEventSignals& signals,
                          std::vector<uint8_t>* out);
+void AppendNewEventFrame(ebsn::EventId event,
+                         const embedding::NewEventSignals& signals,
+                         const FrameTag& tag, std::vector<uint8_t>* out);
 Status DecodeNewEvent(const uint8_t* payload, size_t n,
                       serving::IngestRecord* out);
 
 void AppendIngestAckFrame(uint64_t seq, std::vector<uint8_t>* out);
+void AppendIngestAckFrame(uint64_t seq, const FrameTag& tag,
+                          std::vector<uint8_t>* out);
 Status DecodeIngestAck(const uint8_t* payload, size_t n, uint64_t* seq);
 
 /// Incremental frame parser — the receive half of a connection's state

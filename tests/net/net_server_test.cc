@@ -8,10 +8,14 @@
 
 #include "net/server.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <array>
+#include <cerrno>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -507,6 +511,196 @@ TEST(NetServerTest, ParseHostPort) {
   EXPECT_FALSE(ParseHostPort("127.0.0.1:", &host, &port).ok());
   EXPECT_FALSE(ParseHostPort("127.0.0.1:99999", &host, &port).ok());
   EXPECT_FALSE(ParseHostPort("127.0.0.1:8x", &host, &port).ok());
+  // strtoul alone skips leading whitespace and accepts a sign, so
+  // these used to parse as port 80; the port must be all digits.
+  EXPECT_FALSE(ParseHostPort("127.0.0.1: 80", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("127.0.0.1:\t80", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("127.0.0.1:+80", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("127.0.0.1:-80", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("127.0.0.1:8 0", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("127.0.0.1: +80", &host, &port).ok());
+  // Leading zeros are still digits; this one is genuinely port 80.
+  ASSERT_TRUE(ParseHostPort("127.0.0.1:0080", &host, &port).ok());
+  EXPECT_EQ(port, 80);
+}
+
+TEST(NetServerTest, StatsAndPingStayReachableDuringDrain) {
+  // Regression: drain used to drop read interest on surviving
+  // connections, so an operator could not ask a draining server why it
+  // was draining. Reads must stay alive: ping/stats answered, all
+  // other verbs refused with a typed kShuttingDown.
+  auto store = RandomStore(10, 10, 6, 30);
+  RecommendationService service(ServiceOptions{});
+  // No snapshot published: the first query parks inside the service,
+  // holding its connection in-flight across the drain deterministically.
+  ServerOptions options;
+  options.drain_timeout = std::chrono::milliseconds(30000);
+  NetServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+  auto client = MustConnect(server);
+
+  QueryRequest parked;
+  parked.user = 3;
+  parked.n = 4;
+  ASSERT_TRUE(client->SendTagged(parked, 11).ok());
+  ASSERT_TRUE(WaitForStats(
+      server, [](const NetStats& s) { return s.requests >= 1; }));
+
+  server.RequestDrain();
+  // Drain is entered when the listener is gone: poll until a fresh
+  // connect is refused.
+  ClientOptions fast;
+  fast.connect_timeout = std::chrono::milliseconds(200);
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while (Client::Connect("127.0.0.1", port, fast).ok()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), until)
+        << "server still accepting after RequestDrain";
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Health checks and the stats scrape still round-trip ...
+  EXPECT_TRUE(client->Ping().ok());
+  auto snapshot = client->Stats();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_NE(snapshot->Find("gemrec_net_requests_total"), nullptr);
+
+  // ... while a new query is refused with a typed error echoing its id.
+  QueryRequest refused;
+  refused.user = 1;
+  refused.n = 2;
+  ASSERT_TRUE(client->SendTagged(refused, 22).ok());
+  auto reply = client->ReceiveAny();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->tagged);
+  EXPECT_EQ(reply->frame_id, 22u);
+  ASSERT_FALSE(reply->outcome.ok);
+  EXPECT_EQ(reply->outcome.error, ErrorCode::kShuttingDown);
+  EXPECT_GE(server.stats().drain_rejects, 1u);
+
+  // Unpark the in-flight query: it completes (id echoed), after which
+  // the connection has no work left and the drain finishes.
+  service.Publish(MakeSnapshot(*store, 10, 10));
+  auto answer = client->ReceiveAny();
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_TRUE(answer->tagged);
+  EXPECT_EQ(answer->frame_id, 11u);
+  EXPECT_TRUE(answer->outcome.ok) << answer->outcome.error_message;
+
+  server.WaitUntilStopped();
+  EXPECT_FALSE(server.running());
+  server.Stop();
+}
+
+TEST(NetServerTest, ConnectionLimitRefusalsAreCounted) {
+  // Regression: over-limit connections were silently closed — invisible
+  // in every counter, indistinguishable from a network blip.
+  auto store = RandomStore(5, 5, 4, 31);
+  RecommendationService service(ServiceOptions{});
+  service.Publish(MakeSnapshot(*store, 5, 5));
+  ServerOptions options;
+  options.max_connections = 2;
+  NetServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto a = MustConnect(server);
+  auto b = MustConnect(server);
+  ASSERT_TRUE(a->Ping().ok());
+  ASSERT_TRUE(b->Ping().ok());
+
+  // The third connect completes the TCP handshake (kernel backlog) but
+  // the server refuses it at accept: first read sees EOF.
+  auto c = MustConnect(server);
+  auto outcome = c->Receive();
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_TRUE(WaitForStats(server, [](const NetStats& s) {
+    return s.conn_limit_rejects == 1;
+  }));
+
+  // The refusal travels over the stats verb like every other counter.
+  auto snapshot = a->Stats();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  const obs::MetricValue* rejects =
+      snapshot->Find("gemrec_net_conn_limit_rejects_total");
+  ASSERT_NE(rejects, nullptr);
+  EXPECT_EQ(rejects->counter, 1u);
+
+  // Freeing a slot lifts the limit for the next connection.
+  a.reset();
+  EXPECT_TRUE(WaitForStats(server, [](const NetStats& s) {
+    return s.active_connections == 1;
+  }));
+  auto d = MustConnect(server);
+  EXPECT_TRUE(d->Ping().ok());
+}
+
+TEST(NetServerTest, EmfileAcceptStormIsSurvivedAndCounted) {
+  // Regression: an accept4 EMFILE with a level-triggered listener left
+  // the pending connection readable forever — the loop spun at 100%
+  // CPU re-failing accept, serving nobody. The server must burn its
+  // reserved spare fd to accept+refuse the connection, count the
+  // error, keep serving existing connections, and accept again once
+  // descriptors free up. Runs in its own process (gtest_discover_tests
+  // runs one TEST per ctest entry), so the rlimit games are isolated.
+  auto store = RandomStore(5, 5, 4, 32);
+  RecommendationService service(ServiceOptions{});
+  service.Publish(MakeSnapshot(*store, 5, 5));
+  NetServer server(&service, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto existing = MustConnect(server);
+  ASSERT_TRUE(existing->Ping().ok());
+
+  // A raw client socket created BEFORE descriptors run out: connect(2)
+  // needs no new fd in this process, so the doomed connection can
+  // still be attempted at the limit (client and server share one fd
+  // table here).
+  const int doomed = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(doomed, 0);
+  const timeval tv{5, 0};
+  ::setsockopt(doomed, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+
+  // Pin the fd table at its limit: cap RLIMIT_NOFILE just above the
+  // highest fd in use, then hoard every remaining slot.
+  rlimit old_limit{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  const int probe = ::dup(0);  // lowest free fd ≈ table high-water mark
+  ASSERT_GE(probe, 0);
+  ::close(probe);
+  rlimit tight = old_limit;
+  tight.rlim_cur = static_cast<rlim_t>(probe + 2);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+  std::vector<int> hoard;
+  for (int fd = ::dup(0); fd >= 0; fd = ::dup(0)) hoard.push_back(fd);
+  ASSERT_EQ(errno, EMFILE);
+
+  // The handshake completes in the kernel; the server's accept4 hits
+  // EMFILE, burns the spare to refuse us, and this socket sees EOF.
+  ASSERT_EQ(::connect(doomed, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  EXPECT_TRUE(WaitForStats(server, [](const NetStats& s) {
+    return s.accept_errors >= 1;
+  }));
+  uint8_t byte = 0;
+  EXPECT_EQ(::recv(doomed, &byte, 1, 0), 0);  // orderly refusal, not a hang
+  ::close(doomed);
+
+  // Existing connections were never collateral damage.
+  EXPECT_TRUE(existing->Ping().ok());
+
+  // Free the descriptors: the very next connection is accepted.
+  for (const int fd : hoard) ::close(fd);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  auto recovered = MustConnect(server);
+  EXPECT_TRUE(recovered->Ping().ok());
+  const NetStats stats = server.stats();
+  EXPECT_GE(stats.accept_errors, 1u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
 }
 
 // ---------------------------------------------------------------------

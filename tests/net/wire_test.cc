@@ -527,6 +527,139 @@ TEST(WireTest, IngestFramesEveryByteCorruptionRejected) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Wire v2: tagged frames carrying a client-chosen u64 frame id, mixed
+// freely with v1 frames on one stream (pipelining support).
+
+TEST(WireTest, TaggedFrameRoundTripAcrossIds) {
+  const uint64_t ids[] = {0, 1, 42, 0x8000000000000000ull,
+                          0xFFFFFFFFFFFFFFFFull};
+  uint32_t seed = 31;
+  for (const uint64_t id : ids) {
+    const std::vector<uint8_t> payload = RandomPayload(48, seed++);
+    const std::vector<uint8_t> bytes =
+        EncodeTaggedFrame(MessageType::kQueryRequest, payload, id);
+    ASSERT_EQ(bytes.size(), kTaggedHeaderSize + payload.size() +
+                                kTrailerSize);
+    EXPECT_EQ(bytes[4], kWireVersion);
+
+    FrameDecoder decoder;
+    ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok())
+        << "id=" << id;
+    Frame frame;
+    ASSERT_TRUE(decoder.Next(&frame)) << "id=" << id;
+    EXPECT_TRUE(frame.tagged);
+    EXPECT_EQ(frame.frame_id, id);
+    EXPECT_EQ(frame.payload, payload);
+    EXPECT_FALSE(decoder.Next(&frame));
+  }
+}
+
+TEST(WireTest, V1AndV2FramesInterleaveOnOneStream) {
+  // A v1 client and a v2 client are indistinguishable per-frame: one
+  // decoder must accept both versions back to back and surface
+  // `tagged` per frame, not per connection.
+  std::vector<uint8_t> stream;
+  const std::vector<uint8_t> a = RandomPayload(10, 1);
+  const std::vector<uint8_t> b = RandomPayload(20, 2);
+  AppendFrame(MessageType::kPing, a.data(), a.size(), &stream);
+  AppendFrame(MessageType::kQueryRequest, b.data(), b.size(),
+              FrameTag{true, 7}, &stream);
+  AppendFrame(MessageType::kPing, a.data(), a.size(), &stream);
+  AppendFrame(MessageType::kQueryRequest, b.data(), b.size(),
+              FrameTag{true, 0xDEADBEEFull}, &stream);
+
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(stream.data(), stream.size()).ok());
+  Frame frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_FALSE(frame.tagged);
+  EXPECT_EQ(frame.frame_id, 0u);
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_TRUE(frame.tagged);
+  EXPECT_EQ(frame.frame_id, 7u);
+  EXPECT_EQ(frame.payload, b);
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_FALSE(frame.tagged);
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_TRUE(frame.tagged);
+  EXPECT_EQ(frame.frame_id, 0xDEADBEEFull);
+  EXPECT_FALSE(decoder.Next(&frame));
+  EXPECT_FALSE(decoder.mid_frame());
+}
+
+TEST(WireTest, TaggedSplitDeliveryOneByteAtATime) {
+  const std::vector<uint8_t> payload = RandomPayload(29, 9);
+  const std::vector<uint8_t> bytes = EncodeTaggedFrame(
+      MessageType::kQueryResponse, payload, 0x1122334455667788ull);
+
+  FrameDecoder decoder;
+  Frame frame;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    ASSERT_TRUE(decoder.Feed(&bytes[i], 1).ok()) << "byte " << i;
+    if (i + 1 < bytes.size()) {
+      EXPECT_FALSE(decoder.Next(&frame)) << "frame early at byte " << i;
+    }
+  }
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_TRUE(frame.tagged);
+  EXPECT_EQ(frame.frame_id, 0x1122334455667788ull);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(WireTest, TaggedFrameEveryByteCorruptionRejected) {
+  // The frame id sits between length and payload, inside the CRC'd
+  // region: corrupting any of its 8 bytes (or anything else) must
+  // never yield a frame — a response must not be re-routed to the
+  // wrong in-flight request by a flipped id bit.
+  const std::vector<uint8_t> payload = RandomPayload(32, 77);
+  const std::vector<uint8_t> bytes = EncodeTaggedFrame(
+      MessageType::kQueryResponse, payload, 0xA5A5A5A5A5A5A5A5ull);
+
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<uint8_t> corrupt = bytes;
+    corrupt[i] ^= 0xFF;
+    FrameDecoder decoder;
+    const Status fed = decoder.Feed(corrupt.data(), corrupt.size());
+    Frame frame;
+    if (decoder.Next(&frame)) {
+      ADD_FAILURE() << "corrupt byte " << i << " yielded a frame"
+                    << " (feed status: " << fed.ToString() << ")";
+    }
+  }
+}
+
+TEST(WireTest, TaggedCodecsEchoTheTag) {
+  // Every request/response codec that takes a FrameTag emits a v2
+  // frame carrying it; the legacy signatures stay v1 (untagged).
+  const FrameTag tag{true, 424242};
+  std::vector<uint8_t> stream;
+  serving::QueryRequest request;
+  request.user = 3;
+  request.n = 5;
+  AppendQueryRequestFrame(request, tag, &stream);
+  serving::QueryResponse response;
+  response.epoch = 9;
+  AppendQueryResponseFrame(response, tag, &stream);
+  AppendErrorFrame(ErrorCode::kOverloaded, "busy", tag, &stream);
+  AppendStatsRequestFrame(tag, &stream);
+  AppendAttendanceFrame(1, 2, false, tag, &stream);
+  AppendIngestAckFrame(17, tag, &stream);
+  AppendQueryRequestFrame(request, &stream);  // legacy → v1
+
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(stream.data(), stream.size()).ok());
+  Frame frame;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(decoder.Next(&frame)) << "frame " << i;
+    EXPECT_TRUE(frame.tagged) << "frame " << i;
+    EXPECT_EQ(frame.frame_id, 424242u) << "frame " << i;
+  }
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_FALSE(frame.tagged);
+  EXPECT_FALSE(decoder.Next(&frame));
+}
+
 TEST(WireTest, ErrorCodeNamesAreStable) {
   // The CLI prints these verbatim; renaming one breaks operator
   // tooling that greps for them.
