@@ -1,0 +1,348 @@
+// Scatter-gather serving tier load test (not a paper table):
+// closed-loop clients over loopback TCP against a coordinator
+// NetServer whose CoordinatorBackend fans every query out to 1, 2 or
+// 4 REAL shard serve stacks (ShardGroup: per-shard ModelSnapshot
+// slices behind their own NetServers), at 64 connections per shard
+// count, written to BENCH_shard.json so the tier has a frozen
+// baseline alongside BENCH_net.json (the same front-end with a local
+// engine instead of a shard fan-out behind it).
+//
+// Per shard count we record end-to-end QPS, client p50/p90/p99
+// round-trip latency, and the coordinator-side round-trip percentiles
+// pulled from its own gemrec_net_round_trip_us histogram over the
+// kStats wire pair — client-minus-coordinator p50 is the loopback +
+// client overhead, and coordinator p50 itself carries the full
+// scatter-gather (fan-out, shard RPCs, threshold merge). The
+// partial-result and deadline-miss counters are recorded too; in a
+// healthy run both deltas must stay zero, so a nonzero value in the
+// frozen JSON flags an unhealthy baseline at a glance.
+//
+// Every server (coordinator and shards) binds 127.0.0.1 port 0, so
+// concurrent bench invocations cannot collide.
+//
+// Run from the repo root so BENCH_shard.json lands there:
+//   ./build/bench/shard_throughput
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "shard/coordinator.h"
+#include "shard/shard_group.h"
+
+namespace gemrec::bench {
+namespace {
+
+constexpr size_t kTopN = 10;
+constexpr uint32_t kConnections = 64;
+constexpr auto kWarmupPerConnection = 20;
+constexpr std::chrono::milliseconds kMeasureWindow{1500};
+
+struct RunResult {
+  uint32_t shards = 0;
+  uint64_t queries = 0;
+  double qps = 0;
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+  /// Coordinator-side round-trip percentiles for the same window —
+  /// what the scatter-gather itself costs, without loopback + client
+  /// overhead on top.
+  uint64_t coordinator_queries = 0;
+  double coordinator_p50_us = 0;
+  double coordinator_p90_us = 0;
+  double coordinator_p99_us = 0;
+  uint64_t partial_results = 0;
+  uint64_t deadline_misses = 0;
+  uint64_t transport_failures = 0;
+};
+
+/// Fetches a counter from the coordinator's merged stats snapshot;
+/// zero when absent or on any wire failure.
+uint64_t FetchCounter(net::Client* stats_client, const char* name) {
+  auto snapshot = stats_client->Stats();
+  if (!snapshot.ok()) return 0;
+  const obs::MetricValue* metric = snapshot->Find(name);
+  return metric == nullptr ? 0 : metric->counter;
+}
+
+/// Fetches the coordinator front-end's round-trip histogram over the
+/// wire; empty on any failure (the bench then reports zeros).
+obs::HistogramData FetchRoundTripHistogram(net::Client* stats_client) {
+  auto snapshot = stats_client->Stats();
+  if (!snapshot.ok()) return {};
+  const obs::MetricValue* metric =
+      snapshot->Find("gemrec_net_round_trip_us");
+  return metric == nullptr ? obs::HistogramData{} : metric->histogram;
+}
+
+RunResult RunLoad(net::NetServer* server, net::Client* stats_client,
+                  uint32_t num_users, uint32_t shards) {
+  std::vector<std::vector<double>> latencies(kConnections);
+  std::atomic<uint64_t> transport_failures{0};
+  std::atomic<uint32_t> warmed{0};
+  std::atomic<bool> go{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kConnections);
+  for (uint32_t c = 0; c < kConnections; ++c) {
+    threads.emplace_back([&, c] {
+      auto client =
+          net::Client::Connect("127.0.0.1", server->port(), {});
+      if (!client.ok()) {
+        transport_failures.fetch_add(1);
+        warmed.fetch_add(1, std::memory_order_release);
+        return;
+      }
+      serving::QueryRequest request;
+      request.n = kTopN;
+      // Rotating user set: repeat queries hit the coordinator's
+      // NetServer + shard-side ResultCaches, the realistic steady
+      // state the tier serves.
+      uint64_t i = c;
+      for (int w = 0; w < kWarmupPerConnection; ++w, ++i) {
+        request.user =
+            static_cast<ebsn::UserId>((i * 131) % num_users);
+        if (!(*client)->Query(request).ok()) {
+          transport_failures.fetch_add(1);
+          warmed.fetch_add(1, std::memory_order_release);
+          return;
+        }
+      }
+      warmed.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      auto& mine = latencies[c];
+      const auto deadline =
+          std::chrono::steady_clock::now() + kMeasureWindow;
+      while (std::chrono::steady_clock::now() < deadline) {
+        request.user =
+            static_cast<ebsn::UserId>((i++ * 131) % num_users);
+        const auto start = std::chrono::steady_clock::now();
+        auto outcome = (*client)->Query(request);
+        const auto stop = std::chrono::steady_clock::now();
+        if (!outcome.ok() || !(*outcome).ok) {
+          transport_failures.fetch_add(1);
+          return;
+        }
+        mine.push_back(
+            std::chrono::duration<double, std::micro>(stop - start)
+                .count());
+      }
+    });
+  }
+
+  // Baseline the coordinator-side counters and histogram after warmup
+  // so the measured window diff isolates exactly the timed queries.
+  while (warmed.load(std::memory_order_acquire) < kConnections) {
+    std::this_thread::yield();
+  }
+  const uint64_t partial_before =
+      FetchCounter(stats_client, "gemrec_shard_partial_results_total");
+  const uint64_t misses_before =
+      FetchCounter(stats_client, "gemrec_shard_deadline_misses_total");
+  const obs::HistogramData coordinator_before =
+      FetchRoundTripHistogram(stats_client);
+  const auto wall_start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  const obs::HistogramData coordinator_window =
+      FetchRoundTripHistogram(stats_client)
+          .MinusBaseline(coordinator_before);
+
+  std::vector<double> all;
+  for (const auto& mine : latencies) {
+    all.insert(all.end(), mine.begin(), mine.end());
+  }
+  std::sort(all.begin(), all.end());
+  RunResult result;
+  result.shards = shards;
+  result.queries = all.size();
+  result.qps = wall_seconds > 0 ? all.size() / wall_seconds : 0;
+  result.p50_us = obs::SamplePercentile(all, 0.50);
+  result.p90_us = obs::SamplePercentile(all, 0.90);
+  result.p99_us = obs::SamplePercentile(all, 0.99);
+  result.coordinator_queries = coordinator_window.count;
+  result.coordinator_p50_us = coordinator_window.Percentile(0.50);
+  result.coordinator_p90_us = coordinator_window.Percentile(0.90);
+  result.coordinator_p99_us = coordinator_window.Percentile(0.99);
+  result.partial_results =
+      FetchCounter(stats_client, "gemrec_shard_partial_results_total") -
+      partial_before;
+  result.deadline_misses =
+      FetchCounter(stats_client, "gemrec_shard_deadline_misses_total") -
+      misses_before;
+  result.transport_failures = transport_failures.load();
+  return result;
+}
+
+void Run() {
+  PrintNote("scatter-gather tier load test: closed-loop top-10 "
+            "queries over loopback TCP into a coordinator fanning out "
+            "to 1/2/4 real shard stacks, 64 connections per shard "
+            "count; writes BENCH_shard.json");
+
+  ebsn::SyntheticConfig config;
+  config.num_users = 400;
+  config.num_events = 300;
+  config.num_venues = 40;
+  config.num_topics = 6;
+  config.vocab_size = 500;
+  config.mean_events_per_user = 12.0;
+  config.mean_friends_per_user = 10.0;
+  config.seed = 4242;
+  CityBundle city = MakeCity(config);
+
+  auto options = embedding::TrainerOptions::GemA();
+  options.dim = 24;
+  auto trainer = TrainEmbedding(city, options, /*samples=*/150000);
+
+  std::vector<RunResult> results;
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    shard::ShardGroupOptions group_options;
+    group_options.num_shards = shards;
+    group_options.snapshot.top_k_events_per_partner = 20;
+    group_options.server.max_connections = 128;
+    group_options.server.max_in_flight = 512;
+    group_options.server.idle_timeout = std::chrono::milliseconds(60000);
+    shard::ShardGroup group(trainer->store(), city.split->test_events(),
+                            city.dataset().num_users(), group_options);
+    Status group_started = group.Start();
+    if (!group_started.ok()) {
+      std::cerr << "shard group (shards=" << shards
+                << ") start failed: " << group_started.ToString()
+                << "\n";
+      continue;
+    }
+
+    shard::CoordinatorOptions coordinator_options;
+    // Generous deadline: this bench freezes healthy-path latency, and
+    // nonzero partial/deadline deltas in the JSON flag an unhealthy
+    // run rather than being induced by a tight budget.
+    coordinator_options.router.shard_deadline =
+        std::chrono::milliseconds(2000);
+    shard::CoordinatorBackend coordinator(group.endpoints(),
+                                          coordinator_options);
+    Status coordinator_started = coordinator.Start();
+    if (!coordinator_started.ok()) {
+      std::cerr << "coordinator (shards=" << shards
+                << ") start failed: " << coordinator_started.ToString()
+                << "\n";
+      group.Stop();
+      continue;
+    }
+
+    net::ServerOptions server_options;
+    server_options.max_connections = 128;
+    server_options.max_in_flight = 512;
+    server_options.idle_timeout = std::chrono::milliseconds(60000);
+    net::NetServer server(&coordinator, server_options);
+    const Status started = server.Start();
+    if (!started.ok()) {
+      std::cerr << "coordinator front-end start failed: "
+                << started.ToString() << "\n";
+      coordinator.Stop();
+      group.Stop();
+      continue;
+    }
+
+    auto stats_client =
+        net::Client::Connect("127.0.0.1", server.port(), {});
+    if (!stats_client.ok()) {
+      std::cerr << "stats client connect failed: "
+                << stats_client.status().ToString() << "\n";
+      server.Stop();
+      coordinator.Stop();
+      group.Stop();
+      continue;
+    }
+
+    results.push_back(RunLoad(&server, stats_client.value().get(),
+                              city.dataset().num_users(), shards));
+    const RunResult& r = results.back();
+    std::cout << "shards " << r.shards << " @ " << kConnections
+              << " connections: " << r.qps << " qps  p50 " << r.p50_us
+              << "us  p90 " << r.p90_us << "us  p99 " << r.p99_us
+              << "us\n"
+              << "  coordinator-side (" << r.coordinator_queries
+              << " in histogram): p50 " << r.coordinator_p50_us
+              << "us  p90 " << r.coordinator_p90_us << "us  p99 "
+              << r.coordinator_p99_us
+              << "us  client-minus-coordinator p50 "
+              << (r.p50_us - r.coordinator_p50_us) << "us\n"
+              << "  partial-results " << r.partial_results
+              << "  deadline-misses " << r.deadline_misses
+              << "  transport-failures " << r.transport_failures
+              << "\n";
+
+    server.RequestDrain();
+    server.WaitUntilStopped();
+    server.Stop();
+    coordinator.Stop();
+    group.Stop();
+  }
+
+  std::ofstream json("BENCH_shard.json");
+  json << "{\n"
+       << "  \"bench\": \"shard_throughput\",\n"
+       << "  \"workload\": \"closed-loop top-" << kTopN
+       << " queries over loopback TCP into a scatter-gather "
+       << "coordinator, " << kConnections << " connections, "
+       << kMeasureWindow.count()
+       << "ms measured window per shard count\",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"runs\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    json << "    {\n"
+         << "      \"shards\": " << r.shards << ",\n"
+         << "      \"connections\": " << kConnections << ",\n"
+         << "      \"queries\": " << r.queries << ",\n"
+         << "      \"qps\": " << r.qps << ",\n"
+         << "      \"p50_us\": " << r.p50_us << ",\n"
+         << "      \"p90_us\": " << r.p90_us << ",\n"
+         << "      \"p99_us\": " << r.p99_us << ",\n"
+         << "      \"coordinator_queries\": " << r.coordinator_queries
+         << ",\n"
+         << "      \"coordinator_p50_us\": " << r.coordinator_p50_us
+         << ",\n"
+         << "      \"coordinator_p90_us\": " << r.coordinator_p90_us
+         << ",\n"
+         << "      \"coordinator_p99_us\": " << r.coordinator_p99_us
+         << ",\n"
+         << "      \"client_minus_coordinator_p50_us\": "
+         << (r.p50_us - r.coordinator_p50_us) << ",\n"
+         << "      \"partial_results\": " << r.partial_results << ",\n"
+         << "      \"deadline_misses\": " << r.deadline_misses << ",\n"
+         << "      \"transport_failures\": " << r.transport_failures
+         << "\n"
+         << "    }" << (i + 1 == results.size() ? "" : ",") << "\n";
+  }
+  json << "  ]\n"
+       << "}\n";
+  std::cout << "\nwrote BENCH_shard.json\n";
+}
+
+}  // namespace
+}  // namespace gemrec::bench
+
+int main() {
+  gemrec::bench::Run();
+  return 0;
+}

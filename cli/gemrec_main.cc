@@ -55,6 +55,9 @@
 #include "serving/model_reloader.h"
 #include "serving/recommendation_service.h"
 #include "serving/snapshot_builder.h"
+#include "shard/coordinator.h"
+#include "shard/partitioner.h"
+#include "shard/shard_router.h"
 
 namespace gemrec::cli {
 namespace {
@@ -181,6 +184,21 @@ int Usage() {
       "                   into the staging store, and published as delta\n"
       "                   snapshots; acknowledged writes survive SIGKILL\n"
       "                   and are replayed on restart)\n"
+      "                   (add --shard i/N to build and serve only\n"
+      "                   shard i's hash-slice of the candidate-pair\n"
+      "                   space, behind a gemrec coordinate tier)\n"
+      "  gemrec coordinate --shards HOST:P1,HOST:P2,... --listen H:P\n"
+      "                   [--shard-deadline-ms MS] [--breaker-threshold N]\n"
+      "                   [--breaker-backoff-ms MS] [--reactors R]\n"
+      "                   [--max-in-flight M]\n"
+      "                   (scatter-gather coordinator over gemrec serve\n"
+      "                   --shard instances: same wire protocol as\n"
+      "                   serve; merges per-shard top-k with their TA\n"
+      "                   thresholds, degrades to typed partial results\n"
+      "                   when a shard misses its deadline, and evicts/\n"
+      "                   re-probes dead shards breaker-style; gemrec\n"
+      "                   stats against it returns the merged registry\n"
+      "                   with per-shard {shard=\"i\"} rollups)\n"
       "  gemrec ingest    HOST:PORT --attend USER:EVENT [--new-user]\n"
       "  gemrec ingest    HOST:PORT --new-event X --data DIR\n"
       "                   (stream a write to a live --ingest-dir server:\n"
@@ -608,6 +626,15 @@ int CmdServe(const Args& args) {
   snapshot_options.top_k_events_per_partner =
       static_cast<uint32_t>(args.GetInt("top-k", 20));
   snapshot_options.build_quantized = !exact_ta;
+  // --shard i/N keeps only this instance's deterministic hash-slice of
+  // the candidate-pair space; a coordinator (gemrec coordinate) fans
+  // queries out over all N and merges.
+  if (const auto shard = args.Get("shard"); shard && *shard != "true") {
+    if (!shard::ParseShardSpec(*shard, &snapshot_options.shard)) {
+      return Fail("--shard expects i/N with 0 <= i < N, got '" + *shard +
+                  "'");
+    }
+  }
   serving::SnapshotBuilder builder(
       store.value(), world->split->test_events(),
       world->dataset.num_users(), snapshot_options);
@@ -698,6 +725,79 @@ int CmdServe(const Args& args) {
               obs::SamplePercentile(all, 0.90),
               obs::SamplePercentile(all, 0.99));
   DumpMetrics(&service);
+  return 0;
+}
+
+/// `gemrec coordinate --shards host:p1,host:p2 --listen host:port` —
+/// the scatter-gather tier: a CoordinatorBackend (ShardRouter fan-out
+/// + TA-bounded top-k merge) behind the same NetServer front-end that
+/// `gemrec serve --listen` uses, speaking the same wire protocol.
+/// Each shard should run `gemrec serve --listen --shard i/N` with the
+/// same model over the same event pool; i in the order the endpoints
+/// are listed here.
+int CmdCoordinate(const Args& args) {
+  const auto shards_spec = args.Get("shards");
+  const auto listen_spec = args.Get("listen");
+  if (!shards_spec || *shards_spec == "true" || !listen_spec ||
+      *listen_spec == "true") {
+    return Fail("--shards and --listen are required");
+  }
+  std::vector<shard::ShardEndpoint> endpoints;
+  if (const Status s = shard::ParseShardEndpoints(*shards_spec,
+                                                  &endpoints);
+      !s.ok()) {
+    return Fail(s.ToString());
+  }
+
+  shard::CoordinatorOptions coordinator_options;
+  coordinator_options.router.shard_deadline = std::chrono::milliseconds(
+      args.GetInt("shard-deadline-ms", 250));
+  coordinator_options.router.breaker_threshold = static_cast<uint32_t>(
+      args.GetInt("breaker-threshold", 3));
+  coordinator_options.router.breaker_backoff = std::chrono::milliseconds(
+      args.GetInt("breaker-backoff-ms", 250));
+  shard::CoordinatorBackend coordinator(endpoints, coordinator_options);
+  if (const Status s = coordinator.Start(); !s.ok()) {
+    return Fail(s.ToString());
+  }
+
+  net::ServerOptions net_options;
+  uint16_t port = 0;
+  if (const Status s = net::ParseHostPort(
+          *listen_spec, &net_options.listen_address, &port);
+      !s.ok()) {
+    return Fail(s.ToString());
+  }
+  net_options.port = port;
+  net_options.max_in_flight =
+      static_cast<uint32_t>(args.GetInt("max-in-flight", 256));
+  net_options.idle_timeout =
+      std::chrono::milliseconds(args.GetInt("idle-timeout-ms", 60000));
+  net_options.num_reactors =
+      static_cast<uint32_t>(args.GetInt("reactors", 1));
+
+  InstallStopHandlers();
+  net::NetServer server(&coordinator, net_options);
+  if (const Status s = server.Start(); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  g_net_server.store(&server, std::memory_order_relaxed);
+  if (g_stop.load(std::memory_order_relaxed)) server.RequestDrain();
+  std::printf("coordinating %zu shard(s) on %s:%u "
+              "(deadline=%lldms, breaker=%u); SIGINT/SIGTERM drains\n",
+              coordinator.num_shards(),
+              net_options.listen_address.c_str(), server.port(),
+              static_cast<long long>(
+                  coordinator_options.router.shard_deadline.count()),
+              coordinator_options.router.breaker_threshold);
+  server.WaitUntilStopped();
+  g_net_server.store(nullptr, std::memory_order_relaxed);
+  server.Stop();
+  coordinator.Stop();
+  const std::string text =
+      obs::RenderText(coordinator.metrics()->Snapshot());
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  std::fflush(stdout);
   return 0;
 }
 
@@ -809,6 +909,7 @@ int Main(int argc, char** argv) {
   if (command == "recommend") return CmdRecommend(args);
   if (command == "foldin") return CmdFoldin(args);
   if (command == "serve") return CmdServe(args);
+  if (command == "coordinate") return CmdCoordinate(args);
   if (command == "ingest") return CmdIngest(argc, argv);
   if (command == "stats") return CmdStats(argc, argv);
   return Usage();

@@ -17,6 +17,9 @@
 # pipelining, reload+drain stress) under BOTH TSan and UBSan; and
 # fault_test carries the SIGKILL/truncation/corruption journal harness
 # (UBSan only — fault_test forks children and stays out of TSan).
+# shard_test carries the scatter-gather serving tier (partitioner,
+# threshold merge, N-shard differential, kill/restart failure
+# semantics) under BOTH TSan and UBSan.
 #
 # Usage: scripts/tier1.sh [--no-tsan] [--no-ubsan]
 #
@@ -49,11 +52,11 @@ cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 if [[ "$RUN_TSAN" == "1" ]]; then
-  echo "== tier-1: ThreadSanitizer pass (common/embedding/recommend/serving/obs) =="
+  echo "== tier-1: ThreadSanitizer pass (common/embedding/recommend/serving/obs/shard) =="
   cmake -B build-tsan -S . -DGEMREC_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$(nproc)" --target \
     common_test embedding_test recommend_test serving_test net_test \
-    obs_test
+    obs_test shard_test
   export TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp"
   ./build-tsan/tests/common_test
   ./build-tsan/tests/embedding_test
@@ -63,6 +66,10 @@ if [[ "$RUN_TSAN" == "1" ]]; then
   # Striped lock-free metrics: writers vs the snapshot reader must be
   # race-free (RegistryTest.ConcurrentWritersAndSnapshotReader).
   ./build-tsan/tests/obs_test
+  # Scatter-gather tier: the router thread vs SubmitQuery/SubmitStats
+  # callers, breaker eviction vs completion callbacks, and ShardGroup's
+  # kill/restart against live coordinator traffic.
+  ./build-tsan/tests/shard_test
 fi
 
 if [[ "$RUN_UBSAN" == "1" ]]; then
@@ -70,7 +77,7 @@ if [[ "$RUN_UBSAN" == "1" ]]; then
   cmake -B build-ubsan -S . -DGEMREC_SANITIZE=undefined >/dev/null
   cmake --build build-ubsan -j "$(nproc)" --target \
     fault_test embedding_test common_test obs_test recommend_test \
-    serving_test net_test
+    serving_test net_test shard_test
   # -fno-sanitize-recover=all: any UB (e.g. sampling an empty domain
   # during fold-in, misaligned loads while parsing corrupt artifacts)
   # aborts the binary and fails this stage.
@@ -88,6 +95,9 @@ if [[ "$RUN_UBSAN" == "1" ]]; then
   # Wire codec v1/v2 header parsing (u64 frame ids, length fields from
   # untrusted bytes) and the reactor pointer<->epoll-tag casts.
   ./build-ubsan/tests/net_test
+  # Scatter-gather tier: the splitmix64 pair-hash shifts, the fp32 TA
+  # bound trailer parse, and the merge/certificate float comparisons.
+  ./build-ubsan/tests/shard_test
 fi
 
 echo "== tier-1: OK =="

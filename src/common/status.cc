@@ -19,6 +19,8 @@ const char* StatusCodeName(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kTimeout:
+      return "Timeout";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -17,6 +17,11 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kIoError,
+  /// A bounded wait elapsed before the operation completed. Distinct
+  /// from kIoError so callers with per-attempt deadlines (the shard
+  /// coordinator's per-RPC budget) can tell "the peer is slow" from
+  /// "the connection is broken" and only evict on the latter.
+  kTimeout,
   kInternal,
 };
 
@@ -52,6 +57,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -117,8 +118,7 @@ Status Client::Send(const serving::QueryRequest& request) {
   return SendTagged(request, next_frame_id_++);
 }
 
-Result<TaggedReply> Client::ReceiveAny() {
-  GEMREC_ASSIGN_OR_RETURN(Frame frame, ReceiveFrame());
+Result<TaggedReply> Client::DecodeReply(Frame frame) {
   TaggedReply reply;
   reply.frame_id = frame.frame_id;
   reply.tagged = frame.tagged;
@@ -128,6 +128,11 @@ Result<TaggedReply> Client::ReceiveAny() {
           DecodeQueryResponse(frame.payload.data(), frame.payload.size(),
                               &reply.outcome.response));
       reply.outcome.ok = true;
+      return reply;
+    case MessageType::kStatsResponse:
+      GEMREC_RETURN_IF_ERROR(DecodeStatsResponse(
+          frame.payload.data(), frame.payload.size(), &reply.stats));
+      reply.is_stats = true;
       return reply;
     case MessageType::kError:
       GEMREC_RETURN_IF_ERROR(
@@ -139,6 +144,70 @@ Result<TaggedReply> Client::ReceiveAny() {
       return Status::Internal("unexpected frame type " +
                               std::to_string(static_cast<int>(frame.type)));
   }
+}
+
+Result<TaggedReply> Client::ReceiveAny() {
+  GEMREC_ASSIGN_OR_RETURN(Frame frame, ReceiveFrame());
+  return DecodeReply(std::move(frame));
+}
+
+Result<Frame> Client::ReceiveFrameWithin(std::chrono::milliseconds timeout) {
+  Frame frame;
+  // Already-buffered frames are free — even a zero timeout drains them.
+  if (decoder_.Next(&frame)) return frame;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  uint8_t buf[16 * 1024];
+  while (true) {
+    // Drain what the kernel already holds BEFORE consulting the
+    // deadline: ReceiveAny(0ms) must surface replies that landed in
+    // the socket buffer since the caller's own poll (the coordinator's
+    // readable-fd drain), not just frames already fed to the decoder.
+    while (true) {
+      const ssize_t r = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+      if (r == 0) {
+        return Status::IoError("connection closed by server");
+      }
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        return Status::IoError(std::string("recv: ") +
+                               std::strerror(errno));
+      }
+      GEMREC_RETURN_IF_ERROR(decoder_.Feed(buf, static_cast<size_t>(r)));
+      if (decoder_.Next(&frame)) return frame;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return Status::Timeout("receive deadline (" +
+                             std::to_string(timeout.count()) +
+                             "ms) elapsed");
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                              now);
+    // +1: round up so a sub-millisecond remainder still waits instead
+    // of spinning poll(fd, 0) until the clock ticks over.
+    pollfd p{fd_, POLLIN, 0};
+    const int rc =
+        ::poll(&p, 1, static_cast<int>(remaining.count()) + 1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("poll: ") + std::strerror(errno));
+    }
+    // rc == 0 or readable: the loop head re-drains and re-checks the
+    // deadline either way.
+  }
+}
+
+Result<TaggedReply> Client::ReceiveAny(std::chrono::milliseconds timeout) {
+  GEMREC_ASSIGN_OR_RETURN(Frame frame, ReceiveFrameWithin(timeout));
+  return DecodeReply(std::move(frame));
+}
+
+Status Client::SendStatsRequest(uint64_t frame_id) {
+  std::vector<uint8_t> bytes;
+  AppendStatsRequestFrame(FrameTag{true, frame_id}, &bytes);
+  return SendAll(bytes.data(), bytes.size());
 }
 
 Result<QueryOutcome> Client::Receive() {

@@ -44,11 +44,16 @@ struct IngestOutcome {
 /// One reply pulled off a pipelined connection: the frame id it
 /// answers (echoed by the server from the matching SendTagged), plus
 /// the outcome. `tagged` is false only when the peer answered with a
-/// legacy v1 frame (no id to match on).
+/// legacy v1 frame (no id to match on). A kStatsResponse (answering
+/// SendStatsRequest on the same pipelined connection) arrives with
+/// `is_stats` set and `stats` filled; `outcome` is meaningful
+/// otherwise.
 struct TaggedReply {
   uint64_t frame_id = 0;
   bool tagged = false;
-  QueryOutcome outcome;
+  bool is_stats = false;
+  obs::MetricsSnapshot stats;  // valid when is_stats
+  QueryOutcome outcome;        // valid when !is_stats
 };
 
 /// Blocking client for the wire.h protocol — the reference peer used
@@ -90,6 +95,22 @@ class Client {
                     uint64_t frame_id);
   Result<TaggedReply> ReceiveAny();
 
+  /// Deadline-aware ReceiveAny: waits at most `timeout` for the next
+  /// reply, poll-based — independent of (and typically much shorter
+  /// than) the socket-level io_timeout. Returns Status::Timeout (NOT
+  /// IoError) when the deadline elapses with no complete frame; the
+  /// connection stays usable and buffered partial frames are kept, so
+  /// the caller may simply wait again. `timeout` <= 0 drains without
+  /// blocking: a buffered complete frame if one is ready, else
+  /// Timeout. This is the coordinator's per-shard-deadline primitive:
+  /// a parked shard costs exactly the deadline, never the io_timeout.
+  Result<TaggedReply> ReceiveAny(std::chrono::milliseconds timeout);
+
+  /// Writes one tagged kStatsRequest on the pipelined connection; the
+  /// kStatsResponse arrives through ReceiveAny with `is_stats` set
+  /// (completion order, like query replies).
+  Status SendStatsRequest(uint64_t frame_id);
+
   /// Write path. Attend reports "user registered for event" (new_user
   /// folds in a cold user vector seeded by the event); PublishNewEvent
   /// streams a just-published event's fold-in signals. Both block for
@@ -123,6 +144,10 @@ class Client {
   Status SendAll(const uint8_t* data, size_t n);
   /// Blocks until one complete frame is decoded.
   Result<Frame> ReceiveFrame();
+  /// Poll-based ReceiveFrame with a hard deadline (Status::Timeout).
+  Result<Frame> ReceiveFrameWithin(std::chrono::milliseconds timeout);
+  /// Maps one response/error/stats frame to a TaggedReply.
+  Result<TaggedReply> DecodeReply(Frame frame);
   FrameTag NextTag() { return FrameTag{true, next_frame_id_++}; }
 
   int fd_ = -1;

@@ -376,11 +376,30 @@ void Reactor::HandleFrame(Connection* conn, const Frame& frame) {
       }
       // Served unconditionally — no admission control, no drain
       // refusal: an operator asking "why is this server shedding /
-      // draining" must get an answer from exactly that server.
+      // draining" must get an answer from exactly that server. Routed
+      // through StatsAsync because a coordinator backend must fan the
+      // request out to its shards off-thread; a local service answers
+      // synchronously, so the completion is drained later this same
+      // loop iteration. Holds conn->in_flight (not the admission
+      // budget) so a draining connection survives until the answer
+      // flushes.
       metrics().stats_requests->Increment();
-      AppendStatsResponseFrame(shared_.service->metrics()->Snapshot(), tag,
-                               &conn->write_buf);
-      AfterQueue(conn);
+      ++conn->in_flight;
+      const uint64_t conn_id = conn->id;
+      std::shared_ptr<CompletionQueue> cq = completions_;
+      shared_.service->StatsAsync(
+          [cq, conn_id, tag](obs::MetricsSnapshot snapshot) {
+            std::lock_guard<std::mutex> lock(cq->mu);
+            if (cq->closed) return;
+            const bool was_empty = cq->items.empty();
+            Completion completion;
+            completion.conn_id = conn_id;
+            completion.tag = tag;
+            completion.is_stats = true;
+            completion.stats = std::move(snapshot);
+            cq->items.push_back(std::move(completion));
+            if (was_empty && cq->loop != nullptr) cq->loop->Wakeup();
+          });
       return;
     }
     case MessageType::kQueryRequest: {
@@ -562,9 +581,12 @@ void Reactor::DrainCompletions() {
     batch.swap(completions_->items);
   }
   for (Completion& completion : batch) {
-    const uint32_t prior = shared_.total_in_flight->fetch_sub(
-        1, std::memory_order_relaxed);
-    GEMREC_CHECK(prior > 0);
+    if (!completion.is_stats) {
+      // Stats answers never claimed the admission budget.
+      const uint32_t prior = shared_.total_in_flight->fetch_sub(
+          1, std::memory_order_relaxed);
+      GEMREC_CHECK(prior > 0);
+    }
     Connection* conn = FindConnection(completion.conn_id);
     if (conn == nullptr || conn->dead) {
       // The connection died (timeout, slow reader, protocol error)
@@ -574,6 +596,17 @@ void Reactor::DrainCompletions() {
     }
     GEMREC_CHECK(conn->in_flight > 0);
     --conn->in_flight;
+    if (completion.is_stats) {
+      AppendStatsResponseFrame(completion.stats, completion.tag,
+                               &conn->write_buf);
+      AfterQueue(conn);
+      if (conn->dead) {
+        CloseConnection(conn);
+      } else {
+        UpdateInterest(conn);
+      }
+      continue;
+    }
     if (completion.is_ingest) {
       if (completion.ingest_status.ok()) {
         AppendIngestAckFrame(completion.ingest_seq, completion.tag,
@@ -613,6 +646,13 @@ void Reactor::DrainCompletions() {
       // instead of an empty result it might mistake for a real answer.
       metrics().drain_rejects->Increment();
       SendError(conn, ErrorCode::kShuttingDown, "service shutting down",
+                completion.tag);
+    } else if (completion.response.overloaded) {
+      // OVERLOADED propagation: a coordinator whose shard answered
+      // kOverloaded relays the same typed signal instead of passing
+      // off a silently thinner answer as complete.
+      metrics().overload_sheds->Increment();
+      SendError(conn, ErrorCode::kOverloaded, "shard overloaded",
                 completion.tag);
     } else {
       AppendQueryResponseFrame(completion.response, completion.tag,

@@ -17,8 +17,9 @@
 #include "net/net_stats.h"
 #include "net/server.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "serving/ingestion_queue.h"
-#include "serving/recommendation_service.h"
+#include "serving/query_backend.h"
 
 namespace gemrec::net {
 
@@ -40,7 +41,7 @@ class Reactor {
   /// Dependencies shared across all reactors of one NetServer; every
   /// pointer must outlive the reactor.
   struct Shared {
-    serving::RecommendationService* service = nullptr;
+    serving::QueryBackend* service = nullptr;
     serving::IngestionQueue* ingest = nullptr;
     const ServerOptions* options = nullptr;
     internal::NetMetrics* metrics = nullptr;
@@ -121,6 +122,13 @@ class Reactor {
     bool is_ingest = false;
     Status ingest_status;
     uint64_t ingest_seq = 0;
+    /// Stats answers ride the queue too (QueryBackend::StatsAsync may
+    /// complete from another thread — a coordinator fans kStatsRequest
+    /// out to its shards). Stats completions hold conn->in_flight (a
+    /// draining connection must stay open until the answer flushes)
+    /// but never the total_in_flight admission budget.
+    bool is_stats = false;
+    obs::MetricsSnapshot stats;
   };
   struct CompletionQueue {
     std::mutex mu;

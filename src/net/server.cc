@@ -49,7 +49,7 @@ Status ParseHostPort(const std::string& spec, std::string* host,
   return Status::Ok();
 }
 
-NetServer::NetServer(serving::RecommendationService* service,
+NetServer::NetServer(serving::QueryBackend* service,
                      const ServerOptions& options,
                      serving::IngestionQueue* ingest)
     : service_(service), ingest_(ingest), options_(options) {

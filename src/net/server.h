@@ -12,7 +12,7 @@
 #include "net/net_stats.h"
 #include "net/wire.h"
 #include "serving/ingestion_queue.h"
-#include "serving/recommendation_service.h"
+#include "serving/query_backend.h"
 
 namespace gemrec::net {
 
@@ -69,7 +69,9 @@ struct ServerOptions {
   int so_sndbuf = 0;
 };
 
-/// Multi-reactor epoll TCP front-end for RecommendationService:
+/// Multi-reactor epoll TCP front-end for a serving::QueryBackend —
+/// either a local RecommendationService or a shard::CoordinatorBackend
+/// (the scatter-gather tier reuses this exact front-end):
 /// num_reactors event-loop threads, each owning a SO_REUSEPORT
 /// listening socket plus the complete lifecycle of every connection
 /// the kernel hashes to it, speaking the wire.h framed protocol (v1
@@ -105,8 +107,7 @@ class NetServer {
   /// kIngestAck frames once durable and applied; without one they get
   /// kBadRequest ("ingestion disabled"), so a read-only server keeps
   /// its exact pre-write-path behaviour.
-  NetServer(serving::RecommendationService* service,
-            const ServerOptions& options,
+  NetServer(serving::QueryBackend* service, const ServerOptions& options,
             serving::IngestionQueue* ingest = nullptr);
   ~NetServer();
 
@@ -147,7 +148,7 @@ class NetServer {
   obs::MetricsRegistry* metrics_registry() const;
 
  private:
-  serving::RecommendationService* service_;
+  serving::QueryBackend* service_;
   /// Write path; nullptr = ingestion disabled (read-only server).
   serving::IngestionQueue* ingest_;
   ServerOptions options_;

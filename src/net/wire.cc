@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "common/crc32c.h"
 #include "common/logging.h"
@@ -55,9 +56,12 @@ float BitsFloat(uint32_t bits) {
 
 constexpr uint8_t kRequestFlagBypassCache = 1u << 0;
 constexpr uint8_t kResponseFlagCacheHit = 1u << 0;
+/// v2-only: the merge is missing at least one shard (see wire.h).
+constexpr uint8_t kResponseFlagPartial = 1u << 1;
 constexpr size_t kQueryRequestPayload = 17;   // user, n, filter_hash, flags
 constexpr size_t kQueryResponseFixed = 13;    // epoch, flags, count
 constexpr size_t kQueryResponseStride = 12;   // event, partner, score
+constexpr size_t kQueryResponseBound = 4;     // fp32 ta_bound trailer (v2)
 constexpr size_t kErrorFixed = 2;             // code; message is the rest
 constexpr uint8_t kAttendanceFlagNewUser = 1u << 0;
 constexpr size_t kAttendancePayload = 9;      // user, event, flags
@@ -160,17 +164,25 @@ Status DecodeQueryRequest(const uint8_t* payload, size_t n,
 void AppendQueryResponseFrame(const serving::QueryResponse& response,
                               const FrameTag& tag,
                               std::vector<uint8_t>* out) {
+  // The partial flag and ta_bound trailer are v2-only: a v1 decoder
+  // rejects unknown flag bits and unexpected payload lengths, so the
+  // untagged (v1) encoder suppresses both.
+  const bool v2 = tag.tagged;
   std::vector<uint8_t> payload;
   payload.reserve(kQueryResponseFixed +
-                  kQueryResponseStride * response.items.size());
+                  kQueryResponseStride * response.items.size() +
+                  (v2 ? kQueryResponseBound : 0));
   PutU64(response.epoch, &payload);
-  payload.push_back(response.cache_hit ? kResponseFlagCacheHit : 0);
+  uint8_t flags = response.cache_hit ? kResponseFlagCacheHit : 0;
+  if (v2 && response.partial) flags |= kResponseFlagPartial;
+  payload.push_back(flags);
   PutU32(static_cast<uint32_t>(response.items.size()), &payload);
   for (const recommend::Recommendation& item : response.items) {
     PutU32(item.event, &payload);
     PutU32(item.partner, &payload);
     PutU32(FloatBits(item.score), &payload);
   }
+  if (v2) PutU32(FloatBits(response.ta_bound), &payload);
   AppendFrame(MessageType::kQueryResponse, payload.data(), payload.size(),
               tag, out);
 }
@@ -187,12 +199,23 @@ Status DecodeQueryResponse(const uint8_t* payload, size_t n,
   }
   out->epoch = GetU64(payload);
   const uint8_t flags = payload[8];
-  if ((flags & ~kResponseFlagCacheHit) != 0) {
+  if ((flags & ~(kResponseFlagCacheHit | kResponseFlagPartial)) != 0) {
     return Status::InvalidArgument("unknown query response flags");
   }
   out->cache_hit = (flags & kResponseFlagCacheHit) != 0;
+  out->partial = (flags & kResponseFlagPartial) != 0;
   const uint32_t count = GetU32(payload + 9);
-  if (n != kQueryResponseFixed + kQueryResponseStride * size_t{count}) {
+  // Two accepted shapes, disambiguated by length alone: the legacy
+  // item list, or the item list plus the 4-byte fp32 ta_bound trailer
+  // (12c and 12c' + 4 can never coincide). Legacy answers carry no
+  // bound — +inf, "this peer makes no completeness claim".
+  const size_t legacy = kQueryResponseFixed +
+                        kQueryResponseStride * size_t{count};
+  if (n == legacy) {
+    out->ta_bound = std::numeric_limits<float>::infinity();
+  } else if (n == legacy + kQueryResponseBound) {
+    out->ta_bound = BitsFloat(GetU32(payload + legacy));
+  } else {
     return Status::InvalidArgument("query response length mismatch");
   }
   out->items.clear();

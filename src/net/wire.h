@@ -140,6 +140,19 @@ void AppendQueryRequestFrame(const serving::QueryRequest& request,
 Status DecodeQueryRequest(const uint8_t* payload, size_t n,
                           serving::QueryRequest* out);
 
+/// Query responses carry two v2-only fields for the sharded
+/// scatter-gather tier, both inside the CRC-covered payload:
+///   * a `partial` flag bit (the answer is missing at least one
+///     shard's contribution), and
+///   * a 4-byte fp32 trailer after the item list with the responding
+///     search's TA unreturned-score bound (ta_bound).
+/// The tagged (v2) encoder emits both; the untagged (v1) encoder
+/// suppresses them, so v1 peers — whose decoders reject unknown flag
+/// bits — keep interoperating. The decoder accepts both shapes by
+/// length: 13 + 12*count is a legacy payload (ta_bound = +inf, "no
+/// completeness claim"), 13 + 12*count + 4 carries the bound. The two
+/// lengths can never collide across counts (12c + 4 = 12c' has no
+/// solution), so the framing stays unambiguous.
 void AppendQueryResponseFrame(const serving::QueryResponse& response,
                               std::vector<uint8_t>* out);
 void AppendQueryResponseFrame(const serving::QueryResponse& response,

@@ -1,6 +1,7 @@
 #include "recommend/batch_ta_search.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "common/logging.h"
@@ -193,6 +194,7 @@ void BatchTaSearch::SearchChunk(const BatchQuery* queries, size_t count,
                         index_->ResultsPossible(queries[q].exclude_partner));
     cur.epsilon2 = 2.0f * ws->qq[q].epsilon;
     cur.c_weight = ws->qq[q].c_weight;
+    cur.stop_bound = -std::numeric_limits<float>::infinity();
     cur.done = queries[q].n == 0 || cur.want == 0;
     ws->examined[q].clear();
     if (!cur.done) {
@@ -262,6 +264,9 @@ void BatchTaSearch::SearchChunk(const BatchQuery* queries, size_t count,
         // to be inside the examined set (DESIGN.md section 13).
         if (heap.size() >= cur.want &&
             heap.Threshold() >= ha + hb + hc + cur.epsilon2) {
+          // An unexamined pair's TRUE score is at most its approximate
+          // score (<= ha+hb+hc, list monotonicity) plus one epsilon.
+          cur.stop_bound = ha + hb + hc + 0.5f * cur.epsilon2;
           cur.done = true;
           break;
         }
@@ -332,6 +337,15 @@ void BatchTaSearch::SearchChunk(const BatchQuery* queries, size_t count,
           qs.examined_fraction =
               static_cast<double>(cur.examined) /
               static_cast<double>(num_points);
+          // Unreturned-score bound over TRUE scores: the widened-stop
+          // threshold covers unexamined pairs; when the exact re-rank
+          // filled all n slots, its n-th score covers examined pairs
+          // that were evicted.
+          qs.unreturned_bound = cur.stop_bound;
+          if (!entries.empty() && entries.size() >= queries[q].n) {
+            qs.unreturned_bound =
+                std::max(qs.unreturned_bound, entries.back().score);
+          }
         }
       }
     }

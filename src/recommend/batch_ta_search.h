@@ -91,6 +91,9 @@ class BatchTaSearch {
       size_t examined, sorted_accesses;  // this query's own counts
       float epsilon2;  // 2 * epsilon, the threshold widening
       float c_weight;
+      /// True-score bound on unexamined pairs, captured when the
+      /// widened threshold fires (-inf if the walk ran to exhaustion).
+      float stop_bound;
       bool done;
     };
     std::vector<uint8_t> event_q8, partner_q8;     // query codes, int8 mode

@@ -1,6 +1,7 @@
 #include "recommend/ta_search.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "common/logging.h"
@@ -169,12 +170,16 @@ void TaSearch::SearchInto(const std::vector<float>& query, size_t n,
                : 0.0f;
   };
 
+  // -inf until the threshold break fires; stays -inf on exhaustion
+  // (every pair was examined, so no unexamined pair needs a bound).
+  float stop_bound = -std::numeric_limits<float>::infinity();
   while (true) {
     const float ha = a_head();
     const float hb = b_head();
     const float hc = c_head();
     if (heap.size() >= want &&
         heap.Threshold() >= ha + hb + hc) {
+      stop_bound = ha + hb + hc;
       break;
     }
     if (a_group >= event_order.size() &&
@@ -222,6 +227,16 @@ void TaSearch::SearchInto(const std::vector<float>& query, size_t n,
         }
       }
     }
+  }
+
+  // Unreturned-score bound: the stop threshold covers unexamined pairs;
+  // a full heap's minimum covers examined-but-evicted pairs. (want < n
+  // never fills the heap beyond what exists, so the second term stays
+  // inactive exactly when nothing was evicted.)
+  local_stats.unreturned_bound = stop_bound;
+  if (heap.full()) {
+    local_stats.unreturned_bound =
+        std::max(local_stats.unreturned_bound, heap.Threshold());
   }
 
   const auto& entries = heap.SortDescendingInPlace();

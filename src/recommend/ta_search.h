@@ -2,6 +2,7 @@
 #define GEMREC_RECOMMEND_TA_SEARCH_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -27,6 +28,14 @@ struct SearchStats {
   size_t sorted_accesses = 0;
   /// points_examined / num_points.
   double examined_fraction = 0.0;
+  /// Sound upper bound on the score of every candidate pair NOT in the
+  /// returned list: max(TA stopping threshold at the break, and — when
+  /// the heap filled to n — the n-th returned score, which bounds pairs
+  /// that were examined but dropped). -inf when the search ran the
+  /// space to exhaustion with a non-full heap (nothing was left out).
+  /// A sharded coordinator merges per-shard top-k lists and certifies
+  /// completeness when the merged k-th score >= every shard's bound.
+  float unreturned_bound = -std::numeric_limits<float>::infinity();
 };
 
 /// Fagin's Threshold Algorithm over the transformed event-partner

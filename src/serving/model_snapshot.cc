@@ -28,6 +28,15 @@ ModelSnapshot::ModelSnapshot(const embedding::EmbeddingStore& store,
   auto pairs = recommend::BuildCandidatePairs(
       model_, events_, num_users_, options.top_k_events_per_partner,
       options.build_pool);
+  // Shard filter AFTER the (deterministic) candidate build: every
+  // shard derives the identical full pair list and keeps its disjoint
+  // hash slice, so the N slices reassemble the single-instance space
+  // exactly.
+  if (!options.shard.unsharded()) {
+    std::erase_if(pairs, [&](const recommend::CandidatePair& p) {
+      return !shard::OwnsPair(options.shard, p.event, p.partner);
+    });
+  }
   space_ = std::make_unique<recommend::TransformedSpace>(model_,
                                                          std::move(pairs));
   // One grouping/sort pass shared by the exact and quantized searchers.

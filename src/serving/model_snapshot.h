@@ -14,6 +14,7 @@
 #include "recommend/space_index.h"
 #include "recommend/space_transform.h"
 #include "recommend/ta_search.h"
+#include "shard/partitioner.h"
 
 namespace gemrec::serving {
 
@@ -27,6 +28,12 @@ struct SnapshotOptions {
   /// time (the default serving retrieval). Disable to serve exact
   /// per-query TA only (`gemrec serve --exact-ta`).
   bool build_quantized = true;
+  /// Keep only this shard's deterministic pair-id-hash slice of the
+  /// candidate-pair space (`gemrec serve --shard i/N`). The default
+  /// spec keeps everything; the filter applies identically to the
+  /// exact and quantized searchers (both are built over the filtered
+  /// space).
+  shard::ShardSpec shard;
 };
 
 /// An immutable, self-contained serving model: a deep copy of the

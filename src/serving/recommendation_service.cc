@@ -248,9 +248,13 @@ void RecommendationService::CompleteMiss(
     response.items.push_back(recommend::Recommendation{
         hit.pair.event, hit.pair.partner, hit.score});
   }
+  // The search's unreturned-score bound travels with the response (a
+  // sharded coordinator needs it to certify merge completeness) and
+  // into the cache, so a future hit replays the same certificate.
+  response.ta_bound = response.stats.unreturned_bound;
   if (!request.bypass_cache) {
     const CacheKey key{request.user, request.n, request.filter_hash};
-    cache_.Insert(key, epoch, response.items);
+    cache_.Insert(key, epoch, response.items, response.ta_bound);
   }
   pending->Complete(std::move(response));
 }
@@ -271,7 +275,7 @@ void RecommendationService::ServeBatch(std::vector<PendingRequest>* batch,
     response.epoch = epoch;
     const CacheKey key{request.user, request.n, request.filter_hash};
     if (!request.bypass_cache &&
-        cache_.Lookup(key, epoch, &response.items)) {
+        cache_.Lookup(key, epoch, &response.items, &response.ta_bound)) {
       response.cache_hit = true;
       cache_hits_->Increment();
       pending.Complete(std::move(response));
@@ -310,7 +314,7 @@ void RecommendationService::ServeBatchQuantized(
     response.epoch = epoch;
     const CacheKey key{request.user, request.n, request.filter_hash};
     if (!request.bypass_cache &&
-        cache_.Lookup(key, epoch, &response.items)) {
+        cache_.Lookup(key, epoch, &response.items, &response.ta_bound)) {
       response.cache_hit = true;
       cache_hits_->Increment();
       pending.Complete(std::move(response));

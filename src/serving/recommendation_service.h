@@ -18,6 +18,7 @@
 #include "recommend/batch_ta_search.h"
 #include "recommend/recommender.h"
 #include "serving/model_snapshot.h"
+#include "serving/query_backend.h"
 #include "serving/result_cache.h"
 
 namespace gemrec::serving {
@@ -42,30 +43,8 @@ struct ServiceOptions {
   bool use_batch_ta = true;
 };
 
-/// One top-n query.
-struct QueryRequest {
-  ebsn::UserId user = 0;
-  uint32_t n = 10;
-  /// Identifies the filtered event pool the caller expects (cache-key
-  /// component; ModelSnapshot::pool_hash() of the pool it was built
-  /// over). 0 is a valid value — it simply keys the default pool.
-  uint64_t filter_hash = 0;
-  /// Skip cache lookup AND insertion (always recompute).
-  bool bypass_cache = false;
-};
-
-struct QueryResponse {
-  std::vector<recommend::Recommendation> items;
-  /// Epoch of the snapshot that produced (or validated) the items.
-  uint64_t epoch = 0;
-  bool cache_hit = false;
-  /// The service was shutting down and never served this request
-  /// (items is empty). The net layer maps this to a typed
-  /// ErrorCode::kShuttingDown instead of a response frame.
-  bool rejected = false;
-  /// Search instrumentation; zeroed for cache hits.
-  recommend::SearchStats stats;
-};
+// QueryRequest / QueryResponse moved to serving/query_backend.h (the
+// interface the net layer depends on); re-exported here transitively.
 
 /// Thin plain-value view over the service's registry metrics: the
 /// monotonic counters (never decrease) plus two instantaneous gauges
@@ -119,11 +98,11 @@ struct ServiceStats {
 /// apply OnlineUpdate fold-ins (FoldInColdEvent / FoldInColdUser /
 /// UpdateUserWithAttendance), build a ModelSnapshot from the staging
 /// store, Publish. Queries continue uninterrupted throughout.
-class RecommendationService {
+class RecommendationService : public QueryBackend {
  public:
   explicit RecommendationService(const ServiceOptions& options);
   /// Calls Shutdown().
-  ~RecommendationService();
+  ~RecommendationService() override;
 
   /// Graceful stop: drains the queue (every pending promise is
   /// fulfilled) and joins the workers. Idempotent and thread-safe with
@@ -147,15 +126,12 @@ class RecommendationService {
   /// Requests submitted before the first Publish wait in the queue.
   std::future<QueryResponse> Submit(const QueryRequest& request);
 
-  /// Callback fired (on the serving worker's thread) when the request
-  /// completes. Must not block: the network front-end hands completed
-  /// responses back to its event loop here.
-  using ResponseCallback = std::function<void(QueryResponse)>;
-
   /// Enqueues a query that completes via callback instead of a future
   /// — the zero-blocking bridge used by net::NetServer, whose epoll
-  /// thread can never wait on a future.
-  void SubmitAsync(const QueryRequest& request, ResponseCallback callback);
+  /// thread can never wait on a future. The callback fires on the
+  /// serving worker's thread (QueryBackend contract).
+  void SubmitAsync(const QueryRequest& request,
+                   ResponseCallback callback) override;
 
   /// Synchronous convenience wrapper (blocks the caller, not workers).
   QueryResponse Query(const QueryRequest& request);
@@ -163,10 +139,10 @@ class RecommendationService {
   /// Saturation gauges for admission control: how many requests sit
   /// unclaimed in the queue / are being served right now. Cheap relaxed
   /// reads — the net layer consults these on every request.
-  size_t QueueDepth() const {
+  size_t QueueDepth() const override {
     return static_cast<size_t>(std::max<int64_t>(0, queue_depth_->Value()));
   }
-  size_t InFlight() const {
+  size_t InFlight() const override {
     return static_cast<size_t>(std::max<int64_t>(0, in_flight_->Value()));
   }
 
@@ -181,7 +157,7 @@ class RecommendationService {
   /// with the layers wrapping it: NetServer registers its socket-level
   /// metrics here, so one kStatsRequest (or one --stats-interval dump)
   /// exposes the whole serve stack. Stable for the service's lifetime.
-  obs::MetricsRegistry* metrics() const { return registry_.get(); }
+  obs::MetricsRegistry* metrics() const override { return registry_.get(); }
 
  private:
   struct PendingRequest {

@@ -21,7 +21,8 @@ ResultCache::ResultCache(size_t capacity, size_t num_shards)
 }
 
 bool ResultCache::Lookup(const CacheKey& key, uint64_t epoch,
-                         std::vector<recommend::Recommendation>* out) {
+                         std::vector<recommend::Recommendation>* out,
+                         float* bound_out) {
   if (capacity_ == 0) return false;
   Shard& shard = ShardOf(key);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -35,11 +36,13 @@ bool ResultCache::Lookup(const CacheKey& key, uint64_t epoch,
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   *out = it->second->items;
+  if (bound_out != nullptr) *bound_out = it->second->bound;
   return true;
 }
 
 void ResultCache::Insert(const CacheKey& key, uint64_t epoch,
-                         const std::vector<recommend::Recommendation>& items) {
+                         const std::vector<recommend::Recommendation>& items,
+                         float bound) {
   if (capacity_ == 0) return;
   Shard& shard = ShardOf(key);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -51,10 +54,11 @@ void ResultCache::Insert(const CacheKey& key, uint64_t epoch,
     if (epoch < it->second->epoch) return;
     it->second->epoch = epoch;
     it->second->items = items;
+    it->second->bound = bound;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.push_front(Entry{key, epoch, items});
+  shard.lru.push_front(Entry{key, epoch, items, bound});
   shard.map[key] = shard.lru.begin();
   while (shard.lru.size() > shard.capacity) {
     shard.map.erase(shard.lru.back().key);

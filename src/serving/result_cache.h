@@ -49,15 +49,22 @@ class ResultCache {
 
   /// If present with a matching epoch, copies the list into `*out` and
   /// refreshes recency. An entry found with a stale epoch is erased.
+  /// `bound_out`, when non-null, receives the entry's stored
+  /// unreturned-score bound — cached hits must replay the bound the
+  /// original search certified, or a sharded coordinator would see
+  /// +inf/-inf garbage from hot shards and misjudge completeness.
   bool Lookup(const CacheKey& key, uint64_t epoch,
-              std::vector<recommend::Recommendation>* out);
+              std::vector<recommend::Recommendation>* out,
+              float* bound_out = nullptr);
 
   /// Inserts (or overwrites) the entry, evicting the shard's LRU tail
   /// beyond capacity. An insert carrying an epoch older than the
   /// resident entry's is dropped — a straggler from a retired snapshot
-  /// never downgrades a fresh result.
+  /// never downgrades a fresh result. `bound` is the search's
+  /// unreturned-score bound, replayed by later Lookup hits.
   void Insert(const CacheKey& key, uint64_t epoch,
-              const std::vector<recommend::Recommendation>& items);
+              const std::vector<recommend::Recommendation>& items,
+              float bound = 0.0f);
 
   /// Drops every entry (used by tests; swaps rely on epoch checks).
   void Clear();
@@ -70,6 +77,9 @@ class ResultCache {
     CacheKey key;
     uint64_t epoch = 0;
     std::vector<recommend::Recommendation> items;
+    /// Unreturned-score bound certified by the search that produced
+    /// `items` (SearchStats::unreturned_bound).
+    float bound = 0.0f;
   };
   /// Full-avalanche finalizer (splitmix64): every output bit depends
   /// on every input bit. Shard selection takes `hash % num_shards`, so

@@ -1,0 +1,83 @@
+#ifndef GEMREC_SHARD_PARTITIONER_H_
+#define GEMREC_SHARD_PARTITIONER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ebsn/types.h"
+
+namespace gemrec::shard {
+
+/// Which disjoint slice of the candidate-pair space one shard serves.
+///
+/// The partition is a pure function of the (event, partner) pair id —
+/// no coordination, no assignment tables: every shard process given
+/// the same model artifacts and the same `count` derives the same
+/// disjoint cover, and the union over index = 0..count-1 is exactly
+/// the unsharded space. `count <= 1` means "the whole space"
+/// (single-instance serving is the degenerate one-shard case).
+struct ShardSpec {
+  uint32_t index = 0;
+  uint32_t count = 1;
+
+  bool unsharded() const { return count <= 1; }
+  bool valid() const { return count >= 1 && index < count; }
+};
+
+/// Full-avalanche pair-id hash (splitmix64 finalizer, the same mix the
+/// result cache uses for shard selection). Modulo-`count` placement
+/// needs every output bit to depend on every input bit: the raw
+/// (event << 32 | partner) key varies only in the low word across
+/// partners of one event, and an unmixed modulo would send an event's
+/// whole partner row to shards in lockstep.
+inline uint64_t PairHash(ebsn::EventId event, ebsn::UserId partner) {
+  uint64_t h =
+      (static_cast<uint64_t>(event) << 32) | static_cast<uint64_t>(partner);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+/// True iff `spec` owns the pair. Deterministic; for a fixed pair the
+/// owning index is PairHash % count, so the N specs partition the
+/// space into disjoint ranges whose union is the whole space.
+inline bool OwnsPair(const ShardSpec& spec, ebsn::EventId event,
+                     ebsn::UserId partner) {
+  if (spec.unsharded()) return true;
+  return PairHash(event, partner) % spec.count == spec.index;
+}
+
+/// Parses "i/N" (e.g. "0/4") into a spec; returns false on malformed
+/// text, N == 0, or i >= N. "0/1" is the explicit unsharded spec.
+inline bool ParseShardSpec(const std::string& text, ShardSpec* out) {
+  const size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 ||
+      slash + 1 >= text.size()) {
+    return false;
+  }
+  uint64_t index = 0;
+  uint64_t count = 0;
+  for (size_t i = 0; i < slash; ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return false;
+    index = index * 10 + static_cast<uint64_t>(c - '0');
+    if (index > UINT32_MAX) return false;
+  }
+  for (size_t i = slash + 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return false;
+    count = count * 10 + static_cast<uint64_t>(c - '0');
+    if (count > UINT32_MAX) return false;
+  }
+  if (count == 0 || index >= count) return false;
+  out->index = static_cast<uint32_t>(index);
+  out->count = static_cast<uint32_t>(count);
+  return true;
+}
+
+}  // namespace gemrec::shard
+
+#endif  // GEMREC_SHARD_PARTITIONER_H_

@@ -1,0 +1,94 @@
+#include "shard/shard_group.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gemrec::shard {
+
+ShardGroup::ShardGroup(const embedding::EmbeddingStore& store,
+                       std::vector<ebsn::EventId> events,
+                       uint32_t num_users,
+                       const ShardGroupOptions& options)
+    : store_(store),
+      events_(std::move(events)),
+      num_users_(num_users),
+      options_(options) {
+  GEMREC_CHECK(options_.num_shards >= 1);
+  stacks_.resize(options_.num_shards);
+}
+
+ShardGroup::~ShardGroup() { Stop(); }
+
+Status ShardGroup::Start() {
+  GEMREC_CHECK(!started_) << "ShardGroup started twice";
+  for (uint32_t i = 0; i < options_.num_shards; ++i) {
+    GEMREC_RETURN_IF_ERROR(StartShard(i, options_.server.port));
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+Status ShardGroup::StartShard(uint32_t index, uint16_t port) {
+  Stack& stack = stacks_[index];
+  serving::SnapshotOptions snapshot_options = options_.snapshot;
+  snapshot_options.shard = ShardSpec{index, options_.num_shards};
+  auto snapshot = std::make_shared<serving::ModelSnapshot>(
+      store_, events_, num_users_, snapshot_options);
+  stack.service =
+      std::make_unique<serving::RecommendationService>(options_.service);
+  stack.service->Publish(std::move(snapshot));
+  net::ServerOptions server_options = options_.server;
+  server_options.port = port;
+  stack.server = std::make_unique<net::NetServer>(stack.service.get(),
+                                                  server_options);
+  const Status started = stack.server->Start();
+  if (!started.ok()) {
+    stack.server.reset();
+    stack.service.reset();
+    return started;
+  }
+  stack.port = stack.server->port();
+  return Status::Ok();
+}
+
+void ShardGroup::Stop() {
+  for (uint32_t i = 0; i < stacks_.size(); ++i) StopShard(i);
+  started_ = false;
+}
+
+void ShardGroup::StopShard(uint32_t index) {
+  Stack& stack = stacks_[index];
+  // Server before service: the server still submits into the service
+  // until its reactors have drained.
+  stack.server.reset();
+  if (stack.service) stack.service->Shutdown();
+  stack.service.reset();
+}
+
+Status ShardGroup::RestartShard(uint32_t index) {
+  GEMREC_CHECK(started_);
+  const uint16_t port = stacks_[index].port;
+  GEMREC_CHECK(port != 0) << "shard " << index << " never started";
+  StopShard(index);
+  // Rebind the SAME port (ServerOptions::bind_retries rides out a
+  // TIME_WAIT remnant) so a coordinator's fixed-endpoint breaker
+  // re-probe reconnects without reconfiguration.
+  return StartShard(index, port);
+}
+
+std::vector<ShardEndpoint> ShardGroup::endpoints() const {
+  std::vector<ShardEndpoint> out;
+  out.reserve(stacks_.size());
+  for (const Stack& stack : stacks_) {
+    out.push_back(
+        ShardEndpoint{options_.server.listen_address, stack.port});
+  }
+  return out;
+}
+
+uint16_t ShardGroup::port(uint32_t index) const {
+  return stacks_[index].port;
+}
+
+}  // namespace gemrec::shard

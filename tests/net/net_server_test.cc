@@ -1004,5 +1004,86 @@ TEST(NetServerTest, UnknownFrameTypeGetsBadRequestAndConnectionSurvives) {
   EXPECT_EQ(server.stats().bad_requests, 1u);
 }
 
+TEST(NetClientTest, ReceiveAnyTimeoutAgainstParkedServer) {
+  // A raw listener that accepts and then goes silent — the parked
+  // shard Client::ReceiveAny(timeout) exists for. The deadline must
+  // surface as the DISTINCT Status::Timeout (never IoError), cost the
+  // deadline (not the io_timeout), and leave the connection — and any
+  // buffered partial frame — fully usable afterwards.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len),
+            0);
+
+  ClientOptions options;
+  options.io_timeout = std::chrono::milliseconds(30000);  // NOT the cap
+  auto client =
+      Client::Connect("127.0.0.1", ntohs(addr.sin_port), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const int server_fd = ::accept(listen_fd, nullptr, nullptr);
+  ASSERT_GE(server_fd, 0);
+
+  QueryRequest request;
+  request.user = 1;
+  request.n = 3;
+  ASSERT_TRUE(client.value()->SendTagged(request, 42).ok());
+
+  const auto start = std::chrono::steady_clock::now();
+  auto reply = client.value()->ReceiveAny(std::chrono::milliseconds(100));
+  const auto elapsed = std::chrono::duration_cast<
+      std::chrono::milliseconds>(std::chrono::steady_clock::now() - start);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kTimeout)
+      << reply.status().ToString();
+  EXPECT_GE(elapsed.count(), 90);
+  EXPECT_LT(elapsed.count(), 10000);  // deadline, not io_timeout
+
+  // timeout <= 0 is the nonblocking drain: nothing buffered -> an
+  // immediate Timeout.
+  auto drained = client.value()->ReceiveAny(std::chrono::milliseconds(0));
+  ASSERT_FALSE(drained.ok());
+  EXPECT_EQ(drained.status().code(), StatusCode::kTimeout);
+
+  // Half a reply, then parked again: still Timeout (never a decode
+  // error), and the buffered prefix must survive the deadline.
+  serving::QueryResponse response;
+  response.epoch = 5;
+  response.ta_bound = -1.0f;
+  response.items.push_back(recommend::Recommendation{1, 2, 0.5f});
+  std::vector<uint8_t> bytes;
+  AppendQueryResponseFrame(response, FrameTag{true, 42}, &bytes);
+  const size_t half = bytes.size() / 2;
+  ASSERT_EQ(::send(server_fd, bytes.data(), half, MSG_NOSIGNAL),
+            static_cast<ssize_t>(half));
+  auto mid = client.value()->ReceiveAny(std::chrono::milliseconds(100));
+  ASSERT_FALSE(mid.ok());
+  EXPECT_EQ(mid.status().code(), StatusCode::kTimeout);
+
+  // Un-park: the rest of the frame completes the buffered prefix and
+  // the SAME connection delivers the reply.
+  ASSERT_EQ(::send(server_fd, bytes.data() + half, bytes.size() - half,
+                   MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size() - half));
+  auto done = client.value()->ReceiveAny(std::chrono::milliseconds(5000));
+  ASSERT_TRUE(done.ok()) << done.status().ToString();
+  EXPECT_EQ(done.value().frame_id, 42u);
+  ASSERT_TRUE(done.value().outcome.ok);
+  EXPECT_EQ(done.value().outcome.response.epoch, 5u);
+  EXPECT_EQ(done.value().outcome.response.ta_bound, -1.0f);
+
+  ::close(server_fd);
+  ::close(listen_fd);
+}
+
 }  // namespace
 }  // namespace gemrec::net

@@ -7,6 +7,7 @@
 #include "net/wire.h"
 
 #include <cstring>
+#include <limits>
 #include <random>
 #include <vector>
 
@@ -658,6 +659,97 @@ TEST(WireTest, TaggedCodecsEchoTheTag) {
   ASSERT_TRUE(decoder.Next(&frame));
   EXPECT_FALSE(frame.tagged);
   EXPECT_FALSE(decoder.Next(&frame));
+}
+
+TEST(WireTest, QueryResponseTaBoundAndPartialRoundTrip) {
+  // v2 responses carry the shard's TA stopping threshold (4-byte fp32
+  // trailer after the item list) and the partial flag — the
+  // coordinator's merge-completeness inputs. Bit-exact round-trip,
+  // including -inf (slice exhausted) and negative bounds.
+  const float bounds[] = {1.25f, -3.5f,
+                          -std::numeric_limits<float>::infinity()};
+  for (const float bound : bounds) {
+    for (const bool partial : {false, true}) {
+      serving::QueryResponse response;
+      response.epoch = 12;
+      response.partial = partial;
+      response.ta_bound = bound;
+      response.items.push_back(recommend::Recommendation{4, 9, 0.75f});
+      std::vector<uint8_t> bytes;
+      AppendQueryResponseFrame(response, FrameTag{true, 7}, &bytes);
+
+      FrameDecoder decoder;
+      ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok());
+      Frame frame;
+      ASSERT_TRUE(decoder.Next(&frame));
+      serving::QueryResponse decoded;
+      ASSERT_TRUE(DecodeQueryResponse(frame.payload.data(),
+                                      frame.payload.size(), &decoded)
+                      .ok());
+      EXPECT_EQ(decoded.partial, partial);
+      // Bit comparison: NaN-safe and catches any float munging.
+      uint32_t want_bits = 0, got_bits = 0;
+      std::memcpy(&want_bits, &bound, 4);
+      std::memcpy(&got_bits, &decoded.ta_bound, 4);
+      EXPECT_EQ(got_bits, want_bits);
+      ASSERT_EQ(decoded.items.size(), 1u);
+      EXPECT_EQ(decoded.items[0].score, 0.75f);
+    }
+  }
+}
+
+TEST(WireTest, QueryResponseV1SuppressesBoundAndPartial) {
+  // The legacy (untagged) encoder must emit the exact pre-v2 payload:
+  // no bound trailer, no partial bit — v1 peers reject unknown flags
+  // and fixed payload growth alike.
+  serving::QueryResponse response;
+  response.epoch = 3;
+  response.partial = true;  // must NOT survive a v1 encode
+  response.ta_bound = 0.5f;
+  response.items.push_back(recommend::Recommendation{1, 2, 0.9f});
+  std::vector<uint8_t> bytes;
+  AppendQueryResponseFrame(response, &bytes);  // legacy v1 signature
+
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(bytes.data(), bytes.size()).ok());
+  Frame frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_FALSE(frame.tagged);
+  serving::QueryResponse decoded;
+  ASSERT_TRUE(DecodeQueryResponse(frame.payload.data(),
+                                  frame.payload.size(), &decoded)
+                  .ok());
+  // Legacy-length payload decodes to the "unknown bound" defaults.
+  EXPECT_FALSE(decoded.partial);
+  EXPECT_EQ(decoded.ta_bound, std::numeric_limits<float>::infinity());
+  ASSERT_EQ(decoded.items.size(), 1u);
+  EXPECT_EQ(decoded.items[0].partner, 2u);
+}
+
+TEST(WireTest, ExtendedQueryResponseEveryByteCorruptionRejected) {
+  // The bound trailer is inside the CRC envelope like everything else:
+  // no single corrupted byte of the extended frame may decode.
+  serving::QueryResponse response;
+  response.epoch = 8;
+  response.partial = true;
+  response.ta_bound = -1.5f;
+  for (uint32_t i = 0; i < 5; ++i) {
+    response.items.push_back(
+        recommend::Recommendation{i, i + 1, 1.0f - 0.1f * i});
+  }
+  std::vector<uint8_t> bytes;
+  AppendQueryResponseFrame(response, FrameTag{true, 99}, &bytes);
+
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::vector<uint8_t> corrupt = bytes;
+    corrupt[i] ^= 0xFF;
+    FrameDecoder decoder;
+    (void)decoder.Feed(corrupt.data(), corrupt.size());
+    Frame frame;
+    if (decoder.Next(&frame)) {
+      ADD_FAILURE() << "corrupt byte " << i << " yielded a frame";
+    }
+  }
 }
 
 TEST(WireTest, ErrorCodeNamesAreStable) {

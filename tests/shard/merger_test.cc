@@ -1,0 +1,133 @@
+// Threshold-merge semantics: global descending order with the
+// documented deterministic tie-break, the completeness certificate
+// (merged k-th score vs the shards' returned TA bounds), partial /
+// overloaded degradation when a shard slot failed, and the
+// coordinator-level unreturned bound.
+
+#include "shard/merger.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace gemrec::shard {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+ShardAnswer Ok(uint32_t shard,
+               std::vector<recommend::Recommendation> items,
+               float ta_bound, uint64_t epoch = 1) {
+  ShardAnswer answer;
+  answer.shard = shard;
+  answer.ok = true;
+  answer.items = std::move(items);
+  answer.ta_bound = ta_bound;
+  answer.epoch = epoch;
+  return answer;
+}
+
+ShardAnswer Failed(uint32_t shard, bool overloaded = false) {
+  ShardAnswer answer;
+  answer.shard = shard;
+  answer.ok = false;
+  answer.overloaded = overloaded;
+  return answer;
+}
+
+TEST(MergerTest, MergesDescendingAcrossShards) {
+  const auto merged = MergeTopK(
+      {Ok(0, {{10, 1, 0.9f}, {11, 2, 0.5f}}, 0.4f),
+       Ok(1, {{20, 3, 0.7f}, {21, 4, 0.6f}}, 0.3f)},
+      3);
+  ASSERT_EQ(merged.items.size(), 3u);
+  EXPECT_EQ(merged.items[0].event, 10u);
+  EXPECT_EQ(merged.items[1].event, 20u);
+  EXPECT_EQ(merged.items[2].event, 21u);
+  EXPECT_FALSE(merged.partial);
+  EXPECT_TRUE(merged.certified);
+  EXPECT_EQ(merged.epoch, 1u);
+  // k-th = 0.6; one item (0.5) was dropped here, both shard bounds
+  // are below: coordinator bound = max(0.4, 0.3, kth-as-drop-bound).
+  EXPECT_EQ(merged.ta_bound, 0.6f);
+}
+
+TEST(MergerTest, ShortMergeKeepsEverythingAndCertifies) {
+  const auto merged = MergeTopK(
+      {Ok(0, {{1, 1, 0.9f}}, -kInf), Ok(1, {{2, 2, 0.8f}}, -kInf)}, 10);
+  ASSERT_EQ(merged.items.size(), 2u);
+  EXPECT_TRUE(merged.certified);  // nothing unreturned anywhere
+  EXPECT_FALSE(merged.partial);
+  EXPECT_EQ(merged.ta_bound, -kInf);
+}
+
+TEST(MergerTest, TiesBreakByEventThenPartner) {
+  const auto merged = MergeTopK(
+      {Ok(0, {{7, 9, 0.5f}, {7, 2, 0.5f}}, -kInf),
+       Ok(1, {{3, 5, 0.5f}}, -kInf)},
+      3);
+  ASSERT_EQ(merged.items.size(), 3u);
+  EXPECT_EQ(merged.items[0].event, 3u);   // lowest event first
+  EXPECT_EQ(merged.items[1].event, 7u);
+  EXPECT_EQ(merged.items[1].partner, 2u);  // then lowest partner
+  EXPECT_EQ(merged.items[2].partner, 9u);
+}
+
+TEST(MergerTest, FailedShardDegradesToPartial) {
+  const auto merged = MergeTopK(
+      {Ok(0, {{1, 1, 0.9f}, {2, 2, 0.8f}}, 0.1f), Failed(1)}, 2);
+  EXPECT_TRUE(merged.partial);
+  EXPECT_FALSE(merged.certified);  // shard 1's slice is missing
+  EXPECT_EQ(merged.ta_bound, kInf);
+  // The replying shard's answers survive intact.
+  ASSERT_EQ(merged.items.size(), 2u);
+  EXPECT_EQ(merged.items[0].event, 1u);
+  EXPECT_FALSE(merged.overloaded);
+}
+
+TEST(MergerTest, OverloadedShardPropagates) {
+  const auto merged = MergeTopK(
+      {Ok(0, {{1, 1, 0.9f}}, -kInf), Failed(1, /*overloaded=*/true)}, 5);
+  EXPECT_TRUE(merged.partial);
+  EXPECT_TRUE(merged.overloaded);
+}
+
+TEST(MergerTest, AllShardsFailedYieldsEmptyPartial) {
+  const auto merged = MergeTopK({Failed(0), Failed(1)}, 5);
+  EXPECT_TRUE(merged.partial);
+  EXPECT_TRUE(merged.items.empty());
+  EXPECT_FALSE(merged.certified);
+  EXPECT_EQ(merged.ta_bound, kInf);
+  EXPECT_EQ(merged.epoch, 0u);
+}
+
+TEST(MergerTest, UnknownBoundBlocksCertificateButNotMerge) {
+  // A legacy peer that sent no threshold (+inf): the merge is still
+  // produced and still complete in fact, but cannot be PROVEN
+  // complete, so no certificate and an unknown coordinator bound.
+  const auto merged = MergeTopK(
+      {Ok(0, {{1, 1, 0.9f}}, kInf), Ok(1, {{2, 2, 0.8f}}, -kInf)}, 1);
+  ASSERT_EQ(merged.items.size(), 1u);
+  EXPECT_FALSE(merged.partial);
+  EXPECT_FALSE(merged.certified);
+  EXPECT_EQ(merged.ta_bound, kInf);
+}
+
+TEST(MergerTest, EpochIsMaxOverRepliers) {
+  const auto merged =
+      MergeTopK({Ok(0, {}, -kInf, 3), Ok(1, {}, -kInf, 7)}, 1);
+  EXPECT_EQ(merged.epoch, 7u);
+}
+
+TEST(MergerTest, BoundOmitsKthWhenNothingDropped) {
+  // Exactly n items total: nothing dropped in the merge, so the
+  // coordinator bound is just the max shard bound, NOT the k-th score.
+  const auto merged = MergeTopK(
+      {Ok(0, {{1, 1, 0.9f}}, 0.2f), Ok(1, {{2, 2, 0.8f}}, 0.1f)}, 2);
+  ASSERT_EQ(merged.items.size(), 2u);
+  EXPECT_TRUE(merged.certified);
+  EXPECT_EQ(merged.ta_bound, 0.2f);
+}
+
+}  // namespace
+}  // namespace gemrec::shard

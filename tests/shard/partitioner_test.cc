@@ -1,0 +1,97 @@
+// Partitioner invariants the whole tier rests on: the shard slices
+// are a deterministic, DISJOINT and COMPLETE cover of the candidate-
+// pair space (exactly one owner per pair, for every shard count), the
+// hash spreads pairs evenly enough that N shards each get ~1/N of the
+// space, and the `i/N` CLI spec parser rejects every malformed form.
+
+#include "shard/partitioner.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gemrec::shard {
+namespace {
+
+TEST(PartitionerTest, DisjointCompleteCoverForEveryShardCount) {
+  for (const uint32_t count : {1u, 2u, 3u, 4u, 8u}) {
+    for (uint32_t event = 0; event < 60; ++event) {
+      for (uint32_t partner = 0; partner < 60; ++partner) {
+        uint32_t owners = 0;
+        for (uint32_t index = 0; index < count; ++index) {
+          if (OwnsPair(ShardSpec{index, count}, event, partner)) {
+            ++owners;
+          }
+        }
+        ASSERT_EQ(owners, 1u)
+            << "pair (" << event << "," << partner << ") owned by "
+            << owners << " shards of " << count;
+      }
+    }
+  }
+}
+
+TEST(PartitionerTest, HashIsDeterministic) {
+  EXPECT_EQ(PairHash(3, 5), PairHash(3, 5));
+  // (e, p) and (p, e) are DIFFERENT pairs and must hash independently
+  // (the packing is (event << 32) | partner, not symmetric).
+  EXPECT_NE(PairHash(3, 5), PairHash(5, 3));
+  EXPECT_NE(PairHash(0, 1), PairHash(1, 0));
+}
+
+TEST(PartitionerTest, SlicesAreRoughlyBalanced) {
+  // splitmix64 mixing: 4 shards over 250k pairs should each own close
+  // to 25% (a plain `(event^partner) % N` fails this badly).
+  constexpr uint32_t kShards = 4;
+  std::vector<size_t> owned(kShards, 0);
+  size_t total = 0;
+  for (uint32_t event = 0; event < 500; ++event) {
+    for (uint32_t partner = 0; partner < 500; ++partner) {
+      for (uint32_t index = 0; index < kShards; ++index) {
+        if (OwnsPair(ShardSpec{index, kShards}, event, partner)) {
+          ++owned[index];
+        }
+      }
+      ++total;
+    }
+  }
+  for (uint32_t index = 0; index < kShards; ++index) {
+    const double share =
+        static_cast<double>(owned[index]) / static_cast<double>(total);
+    EXPECT_GT(share, 0.23) << "shard " << index;
+    EXPECT_LT(share, 0.27) << "shard " << index;
+  }
+}
+
+TEST(PartitionerTest, UnshardedSpecOwnsEverything) {
+  const ShardSpec spec;  // default 0/1
+  EXPECT_TRUE(spec.unsharded());
+  EXPECT_TRUE(spec.valid());
+  EXPECT_TRUE(OwnsPair(spec, 123, 456));
+  EXPECT_FALSE((ShardSpec{0, 2}).unsharded());
+}
+
+TEST(PartitionerTest, ParseShardSpecAcceptsWellFormed) {
+  ShardSpec spec;
+  ASSERT_TRUE(ParseShardSpec("0/1", &spec));
+  EXPECT_EQ(spec.index, 0u);
+  EXPECT_EQ(spec.count, 1u);
+  ASSERT_TRUE(ParseShardSpec("3/4", &spec));
+  EXPECT_EQ(spec.index, 3u);
+  EXPECT_EQ(spec.count, 4u);
+  ASSERT_TRUE(ParseShardSpec("0/16", &spec));
+  EXPECT_EQ(spec.count, 16u);
+}
+
+TEST(PartitionerTest, ParseShardSpecRejectsMalformed) {
+  ShardSpec spec;
+  for (const char* bad :
+       {"", "/", "1/", "/4", "4/4", "5/4", "1/0", "0/0", "a/4", "1/b",
+        "1/4/2", "-1/4", "1 /4", "1/+4", "0x1/4"}) {
+    EXPECT_FALSE(ParseShardSpec(bad, &spec)) << "'" << bad << "'";
+  }
+}
+
+}  // namespace
+}  // namespace gemrec::shard

@@ -1,0 +1,170 @@
+// The tier's acceptance bar: scatter-gather over N real serve stacks
+// (ShardGroup: per-shard ModelSnapshot slices behind real NetServers,
+// a CoordinatorBackend fanning out over real sockets) returns the
+// SAME top-k as one unsharded instance — score-bitwise per rank, and
+// identity-exact whenever scores are distinct (ties are documented to
+// resolve by the merger's deterministic (event, partner) order, which
+// need not match the single instance's heap order) — for N in
+// {1, 2, 4}, over 25 seeded embedding spaces, in BOTH retrieval modes
+// (exact per-query TA and quantized batched TA with fp32 re-rank).
+// Also checks the threshold-merge soundness chain end-to-end: every
+// full merge's coordinator bound must sit at or below its k-th score.
+
+#include <array>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "embedding/embedding_store.h"
+#include "serving/model_snapshot.h"
+#include "serving/recommendation_service.h"
+#include "shard/coordinator.h"
+#include "shard/shard_group.h"
+
+namespace gemrec::shard {
+namespace {
+
+constexpr uint32_t kUsers = 36;
+constexpr uint32_t kEvents = 24;
+constexpr uint32_t kDim = 8;
+constexpr size_t kTopN = 10;
+
+std::unique_ptr<embedding::EmbeddingStore> RandomStore(uint64_t seed) {
+  auto store = std::make_unique<embedding::EmbeddingStore>(
+      kDim, std::array<uint32_t, 5>{kUsers, kEvents, 1, 1, 1});
+  Rng rng(seed);
+  store->MatrixOf(graph::NodeType::kUser).FillAbsGaussian(&rng, 0.2, 0.3);
+  store->MatrixOf(graph::NodeType::kEvent)
+      .FillAbsGaussian(&rng, 0.2, 0.3);
+  return store;
+}
+
+std::vector<ebsn::EventId> AllEvents() {
+  std::vector<ebsn::EventId> events(kEvents);
+  for (uint32_t x = 0; x < kEvents; ++x) events[x] = x;
+  return events;
+}
+
+serving::QueryResponse Ask(CoordinatorBackend* coordinator,
+                           ebsn::UserId user) {
+  serving::QueryRequest request;
+  request.user = user;
+  request.n = kTopN;
+  std::promise<serving::QueryResponse> promise;
+  auto future = promise.get_future();
+  coordinator->SubmitAsync(request,
+                           [&promise](serving::QueryResponse response) {
+                             promise.set_value(std::move(response));
+                           });
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready)
+      << "coordinator hung";
+  return future.get();
+}
+
+bool ScoresAllDistinct(const std::vector<recommend::Recommendation>& v) {
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i - 1].score == v[i].score) return false;
+  }
+  return true;
+}
+
+void RunSeed(uint64_t seed, bool quantized) {
+  const auto store = RandomStore(seed);
+
+  // Unsharded reference: a direct (no-socket) service over the full
+  // candidate space, same retrieval mode.
+  serving::SnapshotOptions snapshot_options;
+  snapshot_options.top_k_events_per_partner = 0;
+  snapshot_options.build_quantized = quantized;
+  serving::ServiceOptions service_options;
+  service_options.num_workers = 1;
+  service_options.use_batch_ta = quantized;
+  serving::RecommendationService reference(service_options);
+  reference.Publish(std::make_shared<serving::ModelSnapshot>(
+      *store, AllEvents(), kUsers, snapshot_options));
+
+  const std::vector<ebsn::UserId> users = {
+      0, static_cast<ebsn::UserId>(seed % kUsers),
+      static_cast<ebsn::UserId>((seed * 7 + 3) % kUsers), kUsers - 1};
+
+  for (const uint32_t num_shards : {1u, 2u, 4u}) {
+    ShardGroupOptions group_options;
+    group_options.num_shards = num_shards;
+    group_options.snapshot = snapshot_options;
+    group_options.service = service_options;
+    ShardGroup group(*store, AllEvents(), kUsers, group_options);
+    ASSERT_TRUE(group.Start().ok());
+
+    CoordinatorOptions coordinator_options;
+    coordinator_options.router.shard_deadline =
+        std::chrono::milliseconds(10000);  // differential: no misses
+    CoordinatorBackend coordinator(group.endpoints(),
+                                   coordinator_options);
+    ASSERT_TRUE(coordinator.Start().ok());
+
+    for (const ebsn::UserId user : users) {
+      serving::QueryRequest request;
+      request.user = user;
+      request.n = kTopN;
+      const serving::QueryResponse want = reference.Query(request);
+      const serving::QueryResponse got = Ask(&coordinator, user);
+
+      ASSERT_FALSE(got.partial)
+          << "seed " << seed << " shards " << num_shards;
+      ASSERT_EQ(got.items.size(), want.items.size())
+          << "seed " << seed << " shards " << num_shards << " user "
+          << user;
+      for (size_t i = 0; i < want.items.size(); ++i) {
+        uint32_t want_bits = 0, got_bits = 0;
+        std::memcpy(&want_bits, &want.items[i].score, 4);
+        std::memcpy(&got_bits, &got.items[i].score, 4);
+        ASSERT_EQ(got_bits, want_bits)
+            << "seed " << seed << " shards " << num_shards << " user "
+            << user << " rank " << i << ": " << got.items[i].score
+            << " vs " << want.items[i].score;
+      }
+      if (ScoresAllDistinct(want.items)) {
+        for (size_t i = 0; i < want.items.size(); ++i) {
+          EXPECT_EQ(got.items[i].event, want.items[i].event)
+              << "rank " << i;
+          EXPECT_EQ(got.items[i].partner, want.items[i].partner)
+              << "rank " << i;
+        }
+      }
+      // Soundness chain, observable at the coordinator: a full merge's
+      // unreturned bound never exceeds its k-th kept score.
+      if (got.items.size() == kTopN) {
+        EXPECT_LE(got.ta_bound, got.items.back().score)
+            << "seed " << seed << " shards " << num_shards;
+      }
+    }
+    coordinator.Stop();
+    group.Stop();
+  }
+}
+
+class ShardDifferentialTest
+    : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ShardDifferentialTest, MatchesSingleInstanceAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    RunSeed(seed, /*quantized=*/GetParam());
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, ShardDifferentialTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Quantized" : "ExactTa";
+                         });
+
+}  // namespace
+}  // namespace gemrec::shard
