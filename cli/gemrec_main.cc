@@ -29,6 +29,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,6 +51,7 @@
 #include "obs/metrics.h"
 #include "recommend/explain.h"
 #include "recommend/filters.h"
+#include "recommend/query_kinds.h"
 #include "recommend/recommender.h"
 #include "serving/ingestion_queue.h"
 #include "serving/model_reloader.h"
@@ -156,6 +158,14 @@ int Usage() {
       "  gemrec evaluate  --data DIR --model FILE [--cases N]\n"
       "  gemrec recommend --data DIR --model FILE --user U [--n N]\n"
       "                   [--top-k K] [--weekend] [--explain]\n"
+      "                   [--kind partner|group|reciprocal]\n"
+      "                   [--group ID,ID,...] [--agg sum|min]\n"
+      "                   (--kind group ranks events for user U\n"
+      "                   attending with the fixed --group partner set,\n"
+      "                   aggregated by --agg; --kind reciprocal ranks\n"
+      "                   (event, partner) pairs by the min of the two\n"
+      "                   directed scores, over U's friends when U has\n"
+      "                   any, else over all users)\n"
       "  gemrec foldin    --data DIR --model FILE --event X\n"
       "                   [--out FILE]   (online cold-event fold-in)\n"
       "  gemrec serve     --data DIR --model FILE [--queries Q]\n"
@@ -383,6 +393,73 @@ int CmdRecommend(const Args& args) {
     pool = recommend::FilterEvents(world->dataset, pool, filter);
   }
   if (pool.empty()) return Fail("no recommendable events after filters");
+
+  recommend::QueryKind kind = recommend::QueryKind::kPartner;
+  if (const auto kind_arg = args.Get("kind")) {
+    if (!recommend::ParseQueryKind(*kind_arg, &kind)) {
+      return Fail("--kind expects partner|group|reciprocal, got '" +
+                  *kind_arg + "'");
+    }
+  }
+
+  if (kind == recommend::QueryKind::kGroup) {
+    const auto group_arg = args.Get("group");
+    if (!group_arg || *group_arg == "true") {
+      return Fail("--kind group requires --group ID,ID,...");
+    }
+    std::vector<ebsn::UserId> members;
+    std::string token;
+    for (std::istringstream ss(*group_arg); std::getline(ss, token, ',');) {
+      if (token.empty()) continue;
+      const auto member =
+          static_cast<ebsn::UserId>(std::atoll(token.c_str()));
+      if (member >= world->dataset.num_users()) {
+        return Fail("group member " + token + " out of range");
+      }
+      members.push_back(member);
+    }
+    if (members.empty()) return Fail("--group lists no member ids");
+    recommend::GroupAggregator agg = recommend::GroupAggregator::kSum;
+    if (const auto agg_arg = args.Get("agg")) {
+      if (!recommend::ParseGroupAggregator(*agg_arg, &agg)) {
+        return Fail("--agg expects sum|min, got '" + *agg_arg + "'");
+      }
+    }
+    const size_t n = static_cast<size_t>(args.GetInt("n", 10));
+    for (const auto& r : recommend::GroupTopEvents(
+             model, pool, user, members, agg, n)) {
+      std::printf("event %6u  group(%zu) %s-score %.3f\n", r.event,
+                  members.size(), recommend::GroupAggregatorName(agg),
+                  r.score);
+    }
+    return 0;
+  }
+
+  if (kind == recommend::QueryKind::kReciprocal) {
+    // Candidate partners: the user's friends (reciprocal matching is a
+    // social workload); a friendless user falls back to everyone.
+    std::vector<ebsn::UserId> partners = world->dataset.FriendsOf(user);
+    if (partners.empty()) {
+      for (uint32_t v = 0; v < world->dataset.num_users(); ++v) {
+        if (v != user) partners.push_back(v);
+      }
+    }
+    std::vector<recommend::CandidatePair> pairs;
+    pairs.reserve(pool.size() * partners.size());
+    for (const ebsn::EventId x : pool) {
+      for (const ebsn::UserId v : partners) {
+        pairs.push_back(recommend::CandidatePair{x, v});
+      }
+    }
+    const recommend::TransformedSpace space(model, std::move(pairs));
+    const size_t n = static_cast<size_t>(args.GetInt("n", 10));
+    for (const auto& r :
+         recommend::ReciprocalTopPairs(model, space, user, n)) {
+      std::printf("event %6u  partner %6u  reciprocal score %.3f\n",
+                  r.event, r.partner, r.score);
+    }
+    return 0;
+  }
 
   recommend::RecommenderOptions rec_options;
   rec_options.top_k_events_per_partner =

@@ -21,6 +21,13 @@
 # threshold merge, N-shard differential, kill/restart failure
 # semantics) under BOTH TSan and UBSan.
 #
+# The query-kind suites (group/reciprocal wire codecs, serve-vs-oracle
+# differentials, shard merge certificates, sign-aware training) ride
+# recommend_test / serving_test / net_test / shard_test /
+# embedding_test, so they run under BOTH sanitizers automatically.
+# ebsn_test (dislike/group TSV parsing of untrusted bytes) and
+# eval_test (Recall@k / NDCG@k guard math) join the UBSan stage.
+#
 # Usage: scripts/tier1.sh [--no-tsan] [--no-ubsan]
 #
 # The net stage talks loopback TCP only and every test server binds
@@ -77,7 +84,7 @@ if [[ "$RUN_UBSAN" == "1" ]]; then
   cmake -B build-ubsan -S . -DGEMREC_SANITIZE=undefined >/dev/null
   cmake --build build-ubsan -j "$(nproc)" --target \
     fault_test embedding_test common_test obs_test recommend_test \
-    serving_test net_test shard_test
+    serving_test net_test shard_test ebsn_test eval_test
   # -fno-sanitize-recover=all: any UB (e.g. sampling an empty domain
   # during fold-in, misaligned loads while parsing corrupt artifacts)
   # aborts the binary and fails this stage.
@@ -98,6 +105,12 @@ if [[ "$RUN_UBSAN" == "1" ]]; then
   # Scatter-gather tier: the splitmix64 pair-hash shifts, the fp32 TA
   # bound trailer parse, and the merge/certificate float comparisons.
   ./build-ubsan/tests/shard_test
+  # Signed-record TSV parsing (dislikes.tsv / groups.tsv from untrusted
+  # bytes) and the synthetic scenario post-pass.
+  ./build-ubsan/tests/ebsn_test
+  # Recall@k / NDCG@k guard math: log discounts, clamped depths, and
+  # the packed (event, partner) u64 key shifts.
+  ./build-ubsan/tests/eval_test
 fi
 
 echo "== tier-1: OK =="

@@ -32,6 +32,16 @@ void Dataset::AddFriendship(UserId a, UserId b) {
   finalized_ = false;
 }
 
+void Dataset::AddDislike(UserId user, EventId event) {
+  dislikes_.push_back(Dislike{user, event});
+  finalized_ = false;
+}
+
+void Dataset::AddGroup(AttendanceGroup group) {
+  groups_.push_back(std::move(group));
+  finalized_ = false;
+}
+
 Status Dataset::Finalize() {
   for (const auto& att : attendances_) {
     if (att.user >= num_users_ || att.event >= events_.size()) {
@@ -41,6 +51,27 @@ Status Dataset::Finalize() {
   for (const auto& f : friendships_) {
     if (f.a >= num_users_ || f.b >= num_users_) {
       return Status::InvalidArgument("friendship references unknown user");
+    }
+  }
+  for (const auto& d : dislikes_) {
+    if (d.user >= num_users_ || d.event >= events_.size()) {
+      return Status::InvalidArgument("dislike references unknown id");
+    }
+  }
+  for (const auto& g : groups_) {
+    if (g.host >= num_users_ || g.event >= events_.size()) {
+      return Status::InvalidArgument("group references unknown id");
+    }
+    if (g.members.empty()) {
+      return Status::InvalidArgument("group has no members");
+    }
+    for (UserId m : g.members) {
+      if (m >= num_users_) {
+        return Status::InvalidArgument("group member is unknown");
+      }
+      if (m == g.host) {
+        return Status::InvalidArgument("group member repeats the host");
+      }
     }
   }
 
@@ -69,9 +100,23 @@ Status Dataset::Finalize() {
                   }),
       friendships_.end());
 
+  // Deduplicate dislikes.
+  std::sort(dislikes_.begin(), dislikes_.end(),
+            [](const Dislike& x, const Dislike& y) {
+              return x.user != y.user ? x.user < y.user
+                                      : x.event < y.event;
+            });
+  dislikes_.erase(
+      std::unique(dislikes_.begin(), dislikes_.end(),
+                  [](const Dislike& x, const Dislike& y) {
+                    return x.user == y.user && x.event == y.event;
+                  }),
+      dislikes_.end());
+
   user_events_.assign(num_users_, {});
   event_users_.assign(events_.size(), {});
   user_friends_.assign(num_users_, {});
+  user_dislikes_.assign(num_users_, {});
   for (const auto& att : attendances_) {
     user_events_[att.user].push_back(att.event);
     event_users_[att.event].push_back(att.user);
@@ -80,9 +125,13 @@ Status Dataset::Finalize() {
     user_friends_[f.a].push_back(f.b);
     user_friends_[f.b].push_back(f.a);
   }
+  for (const auto& d : dislikes_) {
+    user_dislikes_[d.user].push_back(d.event);
+  }
   for (auto& v : user_events_) std::sort(v.begin(), v.end());
   for (auto& v : event_users_) std::sort(v.begin(), v.end());
   for (auto& v : user_friends_) std::sort(v.begin(), v.end());
+  for (auto& v : user_dislikes_) std::sort(v.begin(), v.end());
 
   finalized_ = true;
   return Status::Ok();
@@ -116,6 +165,12 @@ const std::vector<UserId>& Dataset::FriendsOf(UserId u) const {
   return user_friends_[u];
 }
 
+const std::vector<EventId>& Dataset::DislikesOf(UserId u) const {
+  GEMREC_DCHECK(finalized_);
+  GEMREC_CHECK(u < num_users_);
+  return user_dislikes_[u];
+}
+
 bool Dataset::AreFriends(UserId a, UserId b) const {
   const auto& friends = FriendsOf(a);
   return std::binary_search(friends.begin(), friends.end(), b);
@@ -123,6 +178,11 @@ bool Dataset::AreFriends(UserId a, UserId b) const {
 
 bool Dataset::Attends(UserId u, EventId x) const {
   const auto& events = EventsOf(u);
+  return std::binary_search(events.begin(), events.end(), x);
+}
+
+bool Dataset::Dislikes(UserId u, EventId x) const {
+  const auto& events = DislikesOf(u);
   return std::binary_search(events.begin(), events.end(), x);
 }
 
@@ -157,6 +217,8 @@ DatasetStats Dataset::Stats() const {
   stats.num_venues = venues_.size();
   stats.num_attendances = attendances_.size();
   stats.num_friendships = friendships_.size();
+  stats.num_dislikes = dislikes_.size();
+  stats.num_groups = groups_.size();
   stats.vocab_size = vocab_size_;
   return stats;
 }

@@ -17,6 +17,8 @@ struct DatasetStats {
   size_t num_venues = 0;
   size_t num_attendances = 0;
   size_t num_friendships = 0;
+  size_t num_dislikes = 0;
+  size_t num_groups = 0;
   size_t vocab_size = 0;
 };
 
@@ -56,6 +58,14 @@ class Dataset {
   /// Records an undirected friendship; self-links are a checked error.
   void AddFriendship(UserId a, UserId b);
 
+  /// Records an explicit negative signal. Duplicates are merged by
+  /// Finalize().
+  void AddDislike(UserId user, EventId event);
+
+  /// Records a group signup; `group.members` must be non-empty and must
+  /// not contain the host (checked by Finalize()).
+  void AddGroup(AttendanceGroup group);
+
   /// Builds (or rebuilds) adjacency indexes: per-user attended events,
   /// per-event attendee lists, per-user friend lists. Deduplicates
   /// attendances and friendships. Must be called before the adjacency
@@ -83,6 +93,8 @@ class Dataset {
   const std::vector<Friendship>& friendships() const {
     return friendships_;
   }
+  const std::vector<Dislike>& dislikes() const { return dislikes_; }
+  const std::vector<AttendanceGroup>& groups() const { return groups_; }
 
   /// X_u — events user u attends (sorted). Requires Finalize().
   const std::vector<EventId>& EventsOf(UserId u) const;
@@ -93,8 +105,12 @@ class Dataset {
   /// Friends of u (sorted). Requires Finalize().
   const std::vector<UserId>& FriendsOf(UserId u) const;
 
+  /// Events user u explicitly disliked (sorted). Requires Finalize().
+  const std::vector<EventId>& DislikesOf(UserId u) const;
+
   bool AreFriends(UserId a, UserId b) const;
   bool Attends(UserId u, EventId x) const;
+  bool Dislikes(UserId u, EventId x) const;
 
   /// |X_u ∩ X_u'| — number of common events two users attended; the
   /// paper uses 1 + this as the user-user edge weight.
@@ -113,11 +129,14 @@ class Dataset {
   std::vector<Event> events_;
   std::vector<Attendance> attendances_;
   std::vector<Friendship> friendships_;
+  std::vector<Dislike> dislikes_;
+  std::vector<AttendanceGroup> groups_;
 
   bool finalized_ = false;
   std::vector<std::vector<EventId>> user_events_;
   std::vector<std::vector<UserId>> event_users_;
   std::vector<std::vector<UserId>> user_friends_;
+  std::vector<std::vector<EventId>> user_dislikes_;
 };
 
 }  // namespace gemrec::ebsn

@@ -69,6 +69,25 @@ Status SaveDataset(const Dataset& dataset, const std::string& dir) {
       f << fr.a << "\t" << fr.b << "\n";
     }
   }
+  // Signed / group records live in their own optional files so dataset
+  // directories written by older builds (which lack them) stay loadable
+  // and old builds simply ignore these extra files.
+  {
+    std::ofstream f;
+    GEMREC_RETURN_IF_ERROR(OpenForWrite(dir + "/dislikes.tsv", &f));
+    for (const auto& d : dataset.dislikes()) {
+      f << d.user << "\t" << d.event << "\n";
+    }
+  }
+  {
+    std::ofstream f;
+    GEMREC_RETURN_IF_ERROR(OpenForWrite(dir + "/groups.tsv", &f));
+    for (const auto& g : dataset.groups()) {
+      f << g.host << "\t" << g.event;
+      for (UserId m : g.members) f << "\t" << m;
+      f << "\n";
+    }
+  }
   return Status::Ok();
 }
 
@@ -122,6 +141,36 @@ Result<Dataset> LoadDataset(const std::string& dir) {
     UserId a;
     UserId b;
     while (f >> a >> b) dataset.AddFriendship(a, b);
+  }
+  // Optional files (introduced with the signed/group query kinds):
+  // absence means a pre-extension dataset directory, not corruption.
+  {
+    std::ifstream f(dir + "/dislikes.tsv");
+    if (f.is_open()) {
+      UserId u;
+      EventId x;
+      while (f >> u >> x) dataset.AddDislike(u, x);
+    }
+  }
+  {
+    std::ifstream f(dir + "/groups.tsv");
+    if (f.is_open()) {
+      std::string line;
+      while (std::getline(f, line)) {
+        if (line.empty()) continue;
+        std::istringstream ss(line);
+        AttendanceGroup g;
+        if (!(ss >> g.host >> g.event)) {
+          return Status::IoError("malformed groups.tsv line: " + line);
+        }
+        UserId m;
+        while (ss >> m) g.members.push_back(m);
+        if (g.members.empty()) {
+          return Status::IoError("malformed groups.tsv line: " + line);
+        }
+        dataset.AddGroup(std::move(g));
+      }
+    }
   }
   GEMREC_RETURN_IF_ERROR(dataset.Finalize());
   return dataset;

@@ -352,6 +352,81 @@ SyntheticData GenerateSynthetic(const SyntheticConfig& config) {
 
   const Status status = data.Finalize();
   GEMREC_CHECK(status.ok()) << status.ToString();
+
+  // ---- Signed / group scenarios (opt-in). ------------------------------
+  // A fresh, differently-seeded RNG keeps the core records above
+  // byte-identical whether or not these scenarios run.
+  if (config.mean_dislikes_per_user > 0.0 ||
+      config.group_attendance_prob > 0.0) {
+    Rng scenario_rng(config.seed ^ 0xd151ac3du);
+    // Records are collected first and appended in one batch: Add*
+    // invalidates the adjacency indexes the sampling below reads.
+    std::vector<Dislike> planted_dislikes;
+    std::vector<AttendanceGroup> planted_groups;
+
+    if (config.mean_dislikes_per_user > 0.0) {
+      for (uint32_t u = 0; u < config.num_users; ++u) {
+        const UserProfile& p = out.user_profiles[u];
+        const int count =
+            scenario_rng.Poisson(config.mean_dislikes_per_user);
+        for (int d = 0; d < count; ++d) {
+          // Accept events of the user's weakest topics: anti-interest
+          // is the planted signal sign-aware training should recover.
+          for (int attempt = 0; attempt < 16; ++attempt) {
+            const EventId x = static_cast<EventId>(
+                scenario_rng.UniformInt(config.num_events));
+            if (data.Attends(u, x)) continue;
+            const uint32_t t = static_cast<uint32_t>(data.event(x).topic);
+            if (p.topic_interest[t] * kTopics > 0.5 &&
+                !scenario_rng.Bernoulli(0.15)) {
+              continue;
+            }
+            planted_dislikes.push_back(Dislike{u, x});
+            break;
+          }
+        }
+      }
+    }
+
+    if (config.group_attendance_prob > 0.0 &&
+        config.max_group_members > 0) {
+      for (uint32_t x = 0; x < config.num_events; ++x) {
+        const auto& users = data.UsersOf(x);
+        if (users.size() < 3 ||
+            !scenario_rng.Bernoulli(config.group_attendance_prob)) {
+          continue;
+        }
+        const UserId host = users[scenario_rng.UniformInt(users.size())];
+        AttendanceGroup group;
+        group.host = host;
+        group.event = x;
+        // Prefer co-attending friends of the host; pad with other
+        // co-attendees so a friendless host still forms a group.
+        for (UserId f : data.FriendsOf(host)) {
+          if (group.members.size() >= config.max_group_members) break;
+          if (data.Attends(f, x)) group.members.push_back(f);
+        }
+        for (UserId v : users) {
+          if (group.members.size() >= config.max_group_members) break;
+          if (v == host) continue;
+          if (std::find(group.members.begin(), group.members.end(), v) ==
+              group.members.end()) {
+            group.members.push_back(v);
+          }
+        }
+        if (!group.members.empty()) {
+          planted_groups.push_back(std::move(group));
+        }
+      }
+    }
+
+    for (const Dislike& d : planted_dislikes) {
+      data.AddDislike(d.user, d.event);
+    }
+    for (AttendanceGroup& g : planted_groups) data.AddGroup(std::move(g));
+    const Status scenario_status = data.Finalize();
+    GEMREC_CHECK(scenario_status.ok()) << scenario_status.ToString();
+  }
   return out;
 }
 

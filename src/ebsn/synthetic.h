@@ -66,6 +66,22 @@ struct SyntheticConfig {
   /// but record the count for reporting.
   uint32_t min_events_per_user = 5;
 
+  /// --- Signed / group scenarios (both disabled by default). --------
+  /// These run AFTER the core generation pass on an independently
+  /// seeded RNG, so enabling them leaves every pre-existing record —
+  /// and thus every fixed-seed golden fixture — byte-identical.
+  ///
+  /// Expected dislikes per user. A dislike is drawn from events of the
+  /// user's WEAKEST topics (anti-interest), so sign-aware training has
+  /// a real planted signal to exploit.
+  double mean_dislikes_per_user = 0.0;
+  /// Probability an event with >= 3 attendees records a group signup:
+  /// a host plus co-attending friends (falls back to co-attendees when
+  /// the host has no friends at the event).
+  double group_attendance_prob = 0.0;
+  /// Group size cap (host excluded).
+  uint32_t max_group_members = 4;
+
   uint64_t seed = 42;
 
   /// Scaled-down analogue of the paper's Beijing dataset. `scale`

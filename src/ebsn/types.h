@@ -55,6 +55,24 @@ struct Friendship {
   UserId b = kInvalidId;
 };
 
+/// An explicit negative signal: `user` declined / downvoted `event`
+/// (the EBSN's "not interested" click). Unlike the unobserved pairs
+/// negative sampling draws, a dislike carries a definite sign, so the
+/// trainer can repel the pair directly (sign-aware negatives).
+struct Dislike {
+  UserId user = kInvalidId;
+  EventId event = kInvalidId;
+};
+
+/// A group signup: `host` registered for `event` together with
+/// `members` (friends joining through the same RSVP). Ground truth for
+/// the group query kind, where a whole partner set is scored at once.
+struct AttendanceGroup {
+  UserId host = kInvalidId;
+  EventId event = kInvalidId;
+  std::vector<UserId> members;
+};
+
 }  // namespace gemrec::ebsn
 
 #endif  // GEMREC_EBSN_TYPES_H_

@@ -54,4 +54,25 @@ void SgdEdgeStep(EmbeddingStore* store, const graph::BipartiteGraph& g,
   ReluInPlace(vj, dim);
 }
 
+void SgdSignedNegativeStep(EmbeddingStore* store, uint32_t user,
+                           uint32_t event, float learning_rate, float bias,
+                           float weight, SgdScratch* scratch) {
+  const uint32_t dim = store->dim();
+  float* vu = store->VectorOf(graph::NodeType::kUser, user);
+  float* vx = store->VectorOf(graph::NodeType::kEvent, event);
+
+  const float coeff =
+      weight * FastSigmoid(Dot(vu, vx, dim) - bias);
+
+  // Snapshot v_x so the v_u update sees pre-step values after v_x has
+  // already been moved.
+  float* vx_before = scratch->grad_i.data();
+  std::memcpy(vx_before, vx, dim * sizeof(float));
+
+  Axpy(-learning_rate * coeff, vu, vx, dim);
+  Axpy(-learning_rate * coeff, vx_before, vu, dim);
+  ReluInPlace(vx, dim);
+  ReluInPlace(vu, dim);
+}
+
 }  // namespace gemrec::embedding

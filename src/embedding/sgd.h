@@ -48,6 +48,23 @@ void SgdEdgeStep(EmbeddingStore* store, const graph::BipartiteGraph& g,
                  const std::vector<uint32_t>& noise_a, float learning_rate,
                  float bias, SgdScratch* scratch);
 
+/// Applies one sign-aware repulsion step for an explicit negative
+/// (user, event) pair — a recorded dislike, not a sampled unobserved
+/// pair:
+///
+///   v_u −= α w σ(v_uᵀv_x − bias) v_x
+///   v_x −= α w σ(v_uᵀv_x − bias) v_u
+///
+/// followed by the rectifier projection of both vectors. This is the
+/// noise term of Eqn 5 applied symmetrically with confidence weight
+/// `w` (dislikes carry a definite sign, unlike sampled noise, so both
+/// endpoints are pushed). Both updates use the pre-step values (the
+/// event vector is snapshotted into `scratch`), so the step has no
+/// within-step feedback.
+void SgdSignedNegativeStep(EmbeddingStore* store, uint32_t user,
+                           uint32_t event, float learning_rate, float bias,
+                           float weight, SgdScratch* scratch);
+
 }  // namespace gemrec::embedding
 
 #endif  // GEMREC_EMBEDDING_SGD_H_

@@ -77,6 +77,19 @@ JointTrainer::JointTrainer(const graph::EbsnGraphs* graphs,
   graph_sampler_.Build(weights);
 }
 
+void JointTrainer::SetSignedNegatives(
+    const std::vector<std::pair<uint32_t, uint32_t>>& dislikes) {
+  signed_negatives_.clear();
+  user_signed_negatives_.assign(graphs_->num_users, {});
+  for (const auto& [user, event] : dislikes) {
+    if (user >= graphs_->num_users || event >= graphs_->num_events) {
+      continue;
+    }
+    signed_negatives_.emplace_back(user, event);
+    user_signed_negatives_[user].push_back(event);
+  }
+}
+
 void JointTrainer::WorkerRun(uint64_t steps, Rng* rng,
                              SgdScratch* scratch) {
   // Generous redraw budget: the adaptive sampler's top-ranked noise
@@ -87,6 +100,10 @@ void JointTrainer::WorkerRun(uint64_t steps, Rng* rng,
   std::vector<uint32_t> noise_a;
   noise_b.reserve(options_.negatives_per_side);
   noise_a.reserve(options_.negatives_per_side);
+  // Evaluated once so a disabled configuration draws exactly the same
+  // random sequence as builds that predate sign-aware negatives.
+  const bool signed_active =
+      options_.signed_negative_prob > 0.0f && !signed_negatives_.empty();
 
   for (uint64_t step = 0; step < steps; ++step) {
     const graph::BipartiteGraph& g =
@@ -108,6 +125,17 @@ void JointTrainer::WorkerRun(uint64_t steps, Rng* rng,
         }
       }
       noise_b.push_back(k);
+    }
+    // Dislike-as-noise: on the user-event graph, a context user with
+    // recorded dislikes replaces their first sampled noise event with
+    // one of them — the repelled "negative" is then known-negative
+    // rather than merely unobserved.
+    if (signed_active && &g == graphs_->user_event.get()) {
+      const auto& dislikes = user_signed_negatives_[edge.a];
+      if (!dislikes.empty() &&
+          rng->Bernoulli(options_.signed_negative_prob)) {
+        noise_b[0] = dislikes[rng->UniformInt(dislikes.size())];
+      }
     }
 
     // Side-A noise for context v_j (bidirectional strategy only).
@@ -142,6 +170,14 @@ void JointTrainer::WorkerRun(uint64_t steps, Rng* rng,
         std::max(options_.min_rate_fraction, 1.0f - progress);
     SgdEdgeStep(store_.get(), g, edge, noise_b, noise_a, rate,
                 options_.bias, scratch);
+    // Explicit repulsion on a uniformly drawn dislike pair.
+    if (signed_active && rng->Bernoulli(options_.signed_negative_prob)) {
+      const auto& pair =
+          signed_negatives_[rng->UniformInt(signed_negatives_.size())];
+      SgdSignedNegativeStep(store_.get(), pair.first, pair.second, rate,
+                            options_.bias, options_.signed_negative_weight,
+                            scratch);
+    }
     noise_sampler_->OnGradientStep();
   }
 }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -61,6 +62,18 @@ struct TrainerOptions {
   /// the context node, so "negative" edges are actually unobserved.
   bool avoid_positive_noise = true;
 
+  /// Sign-aware negatives. When dislikes are installed (see
+  /// SetSignedNegatives) and this probability is > 0, each step
+  /// additionally applies, with this probability, one explicit
+  /// repulsion step on a uniformly drawn dislike pair — and user-event
+  /// steps whose context user has dislikes replace their first sampled
+  /// noise event with one of those dislikes. 0 disables both, which
+  /// keeps every pre-existing training path bit-identical.
+  float signed_negative_prob = 0.0f;
+  /// Confidence weight w of the explicit repulsion (dislikes carry a
+  /// definite sign, so w > 1 pushes harder than sampled noise).
+  float signed_negative_weight = 1.0f;
+
   /// The published configurations.
   static TrainerOptions GemA();  // bidirectional + adaptive + ∝|E|
   static TrainerOptions GemP();  // bidirectional + degree    + ∝|E|
@@ -88,6 +101,16 @@ class JointTrainer {
   /// Runs options.num_samples steps.
   void Train() { TrainChunk(options_.num_samples); }
 
+  /// Installs explicit negative (user, event) pairs for sign-aware
+  /// training. Pairs with out-of-range ids are dropped. Must not be
+  /// called while TrainChunk is running; takes effect from the next
+  /// chunk. No-op on training behaviour unless
+  /// options.signed_negative_prob > 0.
+  void SetSignedNegatives(
+      const std::vector<std::pair<uint32_t, uint32_t>>& dislikes);
+
+  size_t num_signed_negatives() const { return signed_negatives_.size(); }
+
   const EmbeddingStore& store() const { return *store_; }
   EmbeddingStore* mutable_store() { return store_.get(); }
   const TrainerOptions& options() const { return options_; }
@@ -106,6 +129,11 @@ class JointTrainer {
   std::unique_ptr<ThreadPool> pool_;
   AliasTable graph_sampler_;
   std::vector<const graph::BipartiteGraph*> active_graphs_;
+  /// Explicit negative pairs, flat for uniform draws plus per-user
+  /// adjacency for dislike-as-noise substitution. Read-only during
+  /// training (hogwild-safe).
+  std::vector<std::pair<uint32_t, uint32_t>> signed_negatives_;
+  std::vector<std::vector<uint32_t>> user_signed_negatives_;
   Rng root_rng_;
   uint64_t steps_done_ = 0;
   /// Shared step counter driving the learning-rate decay (threads

@@ -1,6 +1,8 @@
 #include "eval/metrics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "common/logging.h"
 
@@ -62,6 +64,40 @@ RankingReport RankingAccumulator::Report() const {
   report.mrr = reciprocal_sum / n;
   report.mean_rank = rank_sum / n;
   return report;
+}
+
+double RecallAtK(const std::vector<uint64_t>& ranked,
+                 const std::vector<uint64_t>& relevant, size_t k) {
+  if (relevant.empty() || k == 0 || ranked.empty()) return 0.0;
+  const std::unordered_set<uint64_t> truth(relevant.begin(),
+                                           relevant.end());
+  const size_t depth = std::min(k, ranked.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < depth; ++i) {
+    if (truth.count(ranked[i]) != 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double NdcgAtK(const std::vector<uint64_t>& ranked,
+               const std::vector<uint64_t>& relevant, size_t k) {
+  if (relevant.empty() || k == 0 || ranked.empty()) return 0.0;
+  const std::unordered_set<uint64_t> truth(relevant.begin(),
+                                           relevant.end());
+  const size_t depth = std::min(k, ranked.size());
+  double dcg = 0.0;
+  for (size_t i = 0; i < depth; ++i) {
+    if (truth.count(ranked[i]) != 0) {
+      dcg += 1.0 / std::log2(2.0 + static_cast<double>(i));
+    }
+  }
+  double idcg = 0.0;
+  const size_t ideal_hits = std::min(std::min(k, truth.size()),
+                                     ranked.size());
+  for (size_t i = 0; i < ideal_hits; ++i) {
+    idcg += 1.0 / std::log2(2.0 + static_cast<double>(i));
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
 }
 
 }  // namespace gemrec::eval

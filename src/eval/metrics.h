@@ -2,6 +2,7 @@
 #define GEMREC_EVAL_METRICS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace gemrec::eval {
@@ -38,6 +39,24 @@ class RankingAccumulator {
   std::vector<size_t> cutoffs_;
   std::vector<size_t> ranks_;
 };
+
+/// Set-based Recall@k over arbitrary item keys (event ids, packed
+/// (event, partner) pairs for the partner/reciprocal kinds, packed
+/// group signups): |top-k ∩ relevant| / |relevant|.
+///
+/// Degenerate inputs have DEFINED values instead of dividing by zero
+/// or reading past the list: empty `relevant` or k == 0 returns 0.0,
+/// and k > ranked.size() evaluates the whole list (recall cannot see
+/// items the ranker never produced).
+double RecallAtK(const std::vector<uint64_t>& ranked,
+                 const std::vector<uint64_t>& relevant, size_t k);
+
+/// Binary NDCG@k over the same inputs: DCG sums 1/log2(1+pos) over
+/// relevant items in the top-k; IDCG places min(k, |relevant|) hits at
+/// the top. Same guards as RecallAtK — empty `relevant` or k == 0
+/// returns 0.0, oversized k is clamped to the list.
+double NdcgAtK(const std::vector<uint64_t>& ranked,
+               const std::vector<uint64_t>& relevant, size_t k);
 
 }  // namespace gemrec::eval
 

@@ -647,6 +647,14 @@ void Reactor::DrainCompletions() {
       metrics().drain_rejects->Increment();
       SendError(conn, ErrorCode::kShuttingDown, "service shutting down",
                 completion.tag);
+    } else if (completion.response.bad_request) {
+      // Semantically invalid against the live snapshot (out-of-range
+      // user or group member) — only the backend can know. Same typed
+      // error the wire decoder sends for malformed payloads.
+      metrics().bad_requests->Increment();
+      SendError(conn, ErrorCode::kBadRequest,
+                "request invalid against the serving snapshot",
+                completion.tag);
     } else if (completion.response.overloaded) {
       // OVERLOADED propagation: a coordinator whose shard answered
       // kOverloaded relays the same typed signal instead of passing

@@ -59,6 +59,10 @@ constexpr uint8_t kResponseFlagCacheHit = 1u << 0;
 /// v2-only: the merge is missing at least one shard (see wire.h).
 constexpr uint8_t kResponseFlagPartial = 1u << 1;
 constexpr size_t kQueryRequestPayload = 17;   // user, n, filter_hash, flags
+/// Extended request layout (non-partner kinds): the 17 legacy bytes +
+/// u8 kind + u8 aggregator + u16 group count, then the member ids.
+constexpr size_t kQueryRequestExtended = 21;
+constexpr size_t kQueryRequestMemberStride = 4;
 constexpr size_t kQueryResponseFixed = 13;    // epoch, flags, count
 constexpr size_t kQueryResponseStride = 12;   // event, partner, score
 constexpr size_t kQueryResponseBound = 4;     // fp32 ta_bound trailer (v2)
@@ -124,11 +128,28 @@ void AppendQueryRequestFrame(const serving::QueryRequest& request,
                              const FrameTag& tag,
                              std::vector<uint8_t>* out) {
   std::vector<uint8_t> payload;
-  payload.reserve(kQueryRequestPayload);
+  const bool extended =
+      request.kind != recommend::QueryKind::kPartner;
+  payload.reserve(extended ? kQueryRequestExtended +
+                                 kQueryRequestMemberStride *
+                                     request.group.size()
+                           : kQueryRequestPayload);
   PutU32(request.user, &payload);
   PutU32(request.n, &payload);
   PutU64(request.filter_hash, &payload);
   payload.push_back(request.bypass_cache ? kRequestFlagBypassCache : 0);
+  // Partner requests keep the legacy 17-byte layout byte-for-byte;
+  // only the new kinds emit the extension (which a legacy decoder
+  // rejects with a typed error rather than misreading).
+  if (extended) {
+    payload.push_back(static_cast<uint8_t>(request.kind));
+    payload.push_back(static_cast<uint8_t>(request.aggregator));
+    GEMREC_CHECK(request.group.size() <= kMaxGroupMembers)
+        << "group of " << request.group.size() << " exceeds "
+        << kMaxGroupMembers;
+    PutU16(static_cast<uint16_t>(request.group.size()), &payload);
+    for (const ebsn::UserId m : request.group) PutU32(m, &payload);
+  }
   AppendFrame(MessageType::kQueryRequest, payload.data(), payload.size(),
               tag, out);
 }
@@ -140,9 +161,11 @@ void AppendQueryRequestFrame(const serving::QueryRequest& request,
 
 Status DecodeQueryRequest(const uint8_t* payload, size_t n,
                           serving::QueryRequest* out) {
-  if (n != kQueryRequestPayload) {
+  if (n != kQueryRequestPayload && n < kQueryRequestExtended) {
     return Status::InvalidArgument("query request payload must be " +
                                    std::to_string(kQueryRequestPayload) +
+                                   " or >= " +
+                                   std::to_string(kQueryRequestExtended) +
                                    " bytes, got " + std::to_string(n));
   }
   out->user = GetU32(payload);
@@ -153,6 +176,53 @@ Status DecodeQueryRequest(const uint8_t* payload, size_t n,
     return Status::InvalidArgument("unknown query request flags");
   }
   out->bypass_cache = (flags & kRequestFlagBypassCache) != 0;
+  out->kind = recommend::QueryKind::kPartner;
+  out->aggregator = recommend::GroupAggregator::kSum;
+  out->group.clear();
+  if (n > kQueryRequestPayload) {
+    // Extended layout. The kind byte must name a non-partner kind this
+    // decoder knows: kPartner has exactly one canonical (legacy)
+    // encoding, and a kind from the future is a typed error — the
+    // caller must learn it is not understood, never receive a
+    // silently-wrong partner answer.
+    const uint8_t kind_byte = payload[17];
+    const uint8_t agg_byte = payload[18];
+    const uint16_t count = GetU16(payload + 19);
+    if (kind_byte != static_cast<uint8_t>(recommend::QueryKind::kGroup) &&
+        kind_byte !=
+            static_cast<uint8_t>(recommend::QueryKind::kReciprocal)) {
+      return Status::InvalidArgument("unsupported query kind " +
+                                     std::to_string(kind_byte));
+    }
+    out->kind = static_cast<recommend::QueryKind>(kind_byte);
+    if (agg_byte >
+        static_cast<uint8_t>(recommend::GroupAggregator::kMin)) {
+      return Status::InvalidArgument("unknown group aggregator " +
+                                     std::to_string(agg_byte));
+    }
+    out->aggregator = static_cast<recommend::GroupAggregator>(agg_byte);
+    if (out->kind == recommend::QueryKind::kGroup) {
+      if (count == 0 || count > kMaxGroupMembers) {
+        return Status::InvalidArgument(
+            "group member count must be in [1, " +
+            std::to_string(kMaxGroupMembers) + "], got " +
+            std::to_string(count));
+      }
+    } else if (count != 0) {
+      return Status::InvalidArgument(
+          "non-group query carries group members");
+    }
+    if (n != kQueryRequestExtended +
+                 kQueryRequestMemberStride * static_cast<size_t>(count)) {
+      return Status::InvalidArgument(
+          "extended query request length mismatch");
+    }
+    out->group.reserve(count);
+    for (uint16_t i = 0; i < count; ++i) {
+      out->group.push_back(GetU32(payload + kQueryRequestExtended +
+                                  kQueryRequestMemberStride * i));
+    }
+  }
   if (out->n == 0 || out->n > kMaxTopN) {
     return Status::InvalidArgument("query n must be in [1, " +
                                    std::to_string(kMaxTopN) + "], got " +

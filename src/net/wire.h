@@ -58,6 +58,9 @@ inline constexpr uint32_t kMaxTopN = 4096;
 /// Largest word list a kNewEvent frame may carry (20 + 8w payload
 /// bytes, so the cap keeps new-event frames well under kMaxPayload).
 inline constexpr uint32_t kMaxIngestWords = 4096;
+/// Largest partner set a kGroup query request may carry (21 + 4g
+/// payload bytes in the extended request layout).
+inline constexpr uint32_t kMaxGroupMembers = 256;
 
 enum class MessageType : uint8_t {
   kQueryRequest = 1,
@@ -133,6 +136,21 @@ std::vector<uint8_t> EncodeTaggedFrame(MessageType type,
 /// overloads choose v1/v2 framing; the tag-less legacy signatures emit
 /// v1); decoders take the payload bytes of an already-CRC-verified
 /// frame — the frame id, living in the header, never appears here.
+///
+/// Query requests have two payload layouts, disambiguated by length:
+///   legacy (17 bytes): u32 user, u32 n, u64 filter_hash, u8 flags —
+///     always QueryKind::kPartner. Emitted whenever the request IS a
+///     partner query, so partner traffic stays byte-identical to every
+///     deployed peer.
+///   extended (21 + 4g bytes): the 17 legacy bytes, then u8 kind
+///     (must be a non-partner QueryKind the decoder knows — anything
+///     else is InvalidArgument, which the server answers with a typed
+///     kBadRequest), u8 aggregator, u16 group count g (kGroup: 1 ..
+///     kMaxGroupMembers; kReciprocal: 0), then g u32 member ids.
+///     A legacy decoder rejects the unexpected length outright, so a
+///     coordinator fanning a new kind out to an old shard gets a typed
+///     kBadRequest back and degrades to a typed partial — never a
+///     silently-wrong kPartner answer.
 void AppendQueryRequestFrame(const serving::QueryRequest& request,
                              std::vector<uint8_t>* out);
 void AppendQueryRequestFrame(const serving::QueryRequest& request,

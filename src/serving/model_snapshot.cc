@@ -23,8 +23,19 @@ ModelSnapshot::ModelSnapshot(const embedding::EmbeddingStore& store,
     : store_(store),
       model_(&store_, "gem-snapshot"),
       events_(std::move(events)),
+      shard_(options.shard),
       num_users_(num_users),
       pool_hash_(HashEventPool(events_)) {
+  // Group queries scan whole events, which the pair-granular shard
+  // filter below does not partition (every shard sees pairs of most
+  // events); their disjoint cover is this event-id-hash slice.
+  if (shard_.unsharded()) {
+    shard_events_ = events_;
+  } else {
+    for (const ebsn::EventId x : events_) {
+      if (shard::OwnsEvent(shard_, x)) shard_events_.push_back(x);
+    }
+  }
   auto pairs = recommend::BuildCandidatePairs(
       model_, events_, num_users_, options.top_k_events_per_partner,
       options.build_pool);

@@ -82,6 +82,17 @@ class ModelSnapshot {
     return batch_.get();
   }
   const std::vector<ebsn::EventId>& events() const { return events_; }
+  /// The shard spec this snapshot was built under (unsharded by
+  /// default). Group queries need it at query time: events are
+  /// partitioned by event-id hash, not baked into the pair space.
+  const shard::ShardSpec& shard_spec() const { return shard_; }
+  /// This shard's slice of the event pool under OwnsEvent — the scan
+  /// domain of group queries. Equals events() when unsharded; the N
+  /// slices are disjoint and their union is events(), so the shard
+  /// merger reassembles the single-instance group ranking exactly.
+  const std::vector<ebsn::EventId>& shard_events() const {
+    return shard_events_;
+  }
   uint32_t num_users() const { return num_users_; }
   size_t num_candidate_pairs() const { return space_->num_points(); }
   const embedding::EmbeddingStore& store() const { return store_; }
@@ -102,6 +113,8 @@ class ModelSnapshot {
   embedding::EmbeddingStore store_;  // deep copy; owned
   recommend::GemModel model_;        // points into store_
   std::vector<ebsn::EventId> events_;
+  shard::ShardSpec shard_;
+  std::vector<ebsn::EventId> shard_events_;
   uint32_t num_users_;
   uint64_t pool_hash_;
   std::unique_ptr<recommend::TransformedSpace> space_;

@@ -9,6 +9,7 @@
 
 #include "ebsn/types.h"
 #include "obs/metrics.h"
+#include "recommend/query_kinds.h"
 #include "recommend/recommender.h"
 #include "recommend/ta_search.h"
 
@@ -24,6 +25,16 @@ struct QueryRequest {
   uint64_t filter_hash = 0;
   /// Skip cache lookup AND insertion (always recompute).
   bool bypass_cache = false;
+  /// Which workload this query asks for (see recommend/query_kinds.h).
+  /// kPartner keeps the legacy wire encoding byte-for-byte; the other
+  /// kinds ride the extended v2 request payload.
+  recommend::QueryKind kind = recommend::QueryKind::kPartner;
+  /// kGroup only: how per-member pairwise terms fold.
+  recommend::GroupAggregator aggregator = recommend::GroupAggregator::kSum;
+  /// kGroup only: the fixed partner set G (1..kMaxGroupMembers ids).
+  /// Member order is semantic for kSum (float accumulation order) and
+  /// part of the cache key.
+  std::vector<ebsn::UserId> group;
 };
 
 struct QueryResponse {
@@ -35,6 +46,11 @@ struct QueryResponse {
   /// (items is empty). The net layer maps this to a typed
   /// ErrorCode::kShuttingDown instead of a response frame.
   bool rejected = false;
+  /// The request was semantically invalid against the live snapshot
+  /// (group member id out of range, say) — something the wire decoder
+  /// cannot know. The net layer maps this to ErrorCode::kBadRequest;
+  /// items is empty.
+  bool bad_request = false;
   /// A downstream shard answered OVERLOADED (coordinator only). The
   /// net layer maps this to ErrorCode::kOverloaded.
   bool overloaded = false;

@@ -30,6 +30,21 @@ RecommendationService::RecommendationService(const ServiceOptions& options)
   rejected_ = registry_->GetCounter(
       "gemrec_service_rejected_total",
       "Requests refused because they arrived during/after Shutdown.");
+  bad_requests_ = registry_->GetCounter(
+      "gemrec_service_bad_requests_total",
+      "Requests refused as semantically invalid against the live "
+      "snapshot (out-of-range user or group member, empty group).");
+  kind_partner_ = registry_->GetCounter(
+      "gemrec_query_kind_total{kind=\"partner\"}",
+      "Queries served by kind: joint event-partner ranking (Eqn 8).");
+  kind_group_ = registry_->GetCounter(
+      "gemrec_query_kind_total{kind=\"group\"}",
+      "Queries served by kind: group-event ranking (aggregated "
+      "pairwise terms over a fixed partner set).");
+  kind_reciprocal_ = registry_->GetCounter(
+      "gemrec_query_kind_total{kind=\"reciprocal\"}",
+      "Queries served by kind: reciprocal partner ranking "
+      "(min of the two directed scores).");
   queue_depth_ = registry_->GetGauge(
       "gemrec_service_queue_depth",
       "Requests enqueued but not yet claimed by a worker.");
@@ -253,7 +268,77 @@ void RecommendationService::CompleteMiss(
   // into the cache, so a future hit replays the same certificate.
   response.ta_bound = response.stats.unreturned_bound;
   if (!request.bypass_cache) {
-    const CacheKey key{request.user, request.n, request.filter_hash};
+    cache_.Insert(CacheKey::For(request), epoch, response.items,
+                  response.ta_bound);
+  }
+  pending->Complete(std::move(response));
+}
+
+/// Group and reciprocal queries, identical in both retrieval modes:
+/// group scoring has no sorted-list structure to prune with (the
+/// aggregate depends on the whole member set), so it scans the shard's
+/// event slice exhaustively; reciprocal refinement runs on the exact
+/// TA engine because its certificate compares reciprocal scores
+/// against the forward bound in the engine's own A+B score domain —
+/// the quantized path's flat re-rank domain differs by float rounding,
+/// which would make the strict-inequality stopping rule unsound.
+void RecommendationService::ServeSpecialKind(PendingRequest* pending,
+                                             const ModelSnapshot& snapshot,
+                                             WorkerState* state) {
+  const uint64_t epoch = snapshot.epoch();
+  const QueryRequest& request = pending->request;
+  QueryResponse response;
+  response.epoch = epoch;
+  const CacheKey key = CacheKey::For(request);
+  if (!request.bypass_cache &&
+      cache_.Lookup(key, epoch, &response.items, &response.ta_bound)) {
+    response.cache_hit = true;
+    cache_hits_->Increment();
+    pending->Complete(std::move(response));
+    return;
+  }
+
+  // Semantic validation the wire decoder cannot do: ids must resolve
+  // in the live snapshot's store. Typed bad_request, never a crash or
+  // a silently-empty answer.
+  const uint32_t user_rows =
+      snapshot.store().CountOf(graph::NodeType::kUser);
+  bool invalid = request.user >= user_rows;
+  if (request.kind == recommend::QueryKind::kGroup) {
+    invalid = invalid || request.group.empty();
+    for (const ebsn::UserId m : request.group) {
+      invalid = invalid || m >= user_rows;
+    }
+  }
+  if (invalid) {
+    bad_requests_->Increment();
+    response.bad_request = true;
+    pending->Complete(std::move(response));
+    return;
+  }
+
+  const auto search_start = std::chrono::steady_clock::now();
+  if (request.kind == recommend::QueryKind::kGroup) {
+    float bound = 0.0f;
+    response.items = recommend::GroupTopEvents(
+        snapshot.model(), snapshot.shard_events(), request.user,
+        request.group, request.aggregator, request.n, &bound);
+    response.stats.points_examined = snapshot.shard_events().size();
+    response.stats.examined_fraction =
+        snapshot.shard_events().empty() ? 0.0 : 1.0;
+    response.stats.unreturned_bound = bound;
+  } else {
+    float bound = 0.0f;
+    response.items = recommend::ReciprocalSearch(
+        snapshot.model(), snapshot.searcher(), snapshot.space(),
+        request.user, request.n, &state->recip, &bound, &response.stats);
+  }
+  ta_search_us_->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - search_start)
+          .count()));
+  response.ta_bound = response.stats.unreturned_bound;
+  if (!request.bypass_cache) {
     cache_.Insert(key, epoch, response.items, response.ta_bound);
   }
   pending->Complete(std::move(response));
@@ -267,13 +352,28 @@ void RecommendationService::ServeBatch(std::vector<PendingRequest>* batch,
     return;
   }
   const uint64_t epoch = snapshot.epoch();
+  const uint32_t user_rows = snapshot.store().CountOf(graph::NodeType::kUser);
   for (PendingRequest& pending : *batch) {
     const QueryRequest& request = pending.request;
     queries_->Increment();
+    KindCounter(request.kind)->Increment();
+    if (request.kind != recommend::QueryKind::kPartner) {
+      ServeSpecialKind(&pending, snapshot, state);
+      continue;
+    }
 
     QueryResponse response;
     response.epoch = epoch;
-    const CacheKey key{request.user, request.n, request.filter_hash};
+    // An out-of-range user would index past the user matrix when the
+    // query vector is built. Same typed bad_request contract as the
+    // special kinds.
+    if (request.user >= user_rows) {
+      bad_requests_->Increment();
+      response.bad_request = true;
+      pending.Complete(std::move(response));
+      continue;
+    }
+    const CacheKey key = CacheKey::For(request);
     if (!request.bypass_cache &&
         cache_.Lookup(key, epoch, &response.items, &response.ta_bound)) {
       response.cache_hit = true;
@@ -304,15 +404,29 @@ void RecommendationService::ServeBatchQuantized(
     std::vector<PendingRequest>* batch, const ModelSnapshot& snapshot,
     WorkerState* state) {
   const uint64_t epoch = snapshot.epoch();
+  const uint32_t user_rows = snapshot.store().CountOf(graph::NodeType::kUser);
   state->miss_index.clear();
   for (size_t i = 0; i < batch->size(); ++i) {
     PendingRequest& pending = (*batch)[i];
     const QueryRequest& request = pending.request;
     queries_->Increment();
+    KindCounter(request.kind)->Increment();
+    if (request.kind != recommend::QueryKind::kPartner) {
+      // Mode-independent kinds: served the same way as the exact path
+      // (never through the batch engine), cache handling included.
+      ServeSpecialKind(&pending, snapshot, state);
+      continue;
+    }
 
     QueryResponse response;
     response.epoch = epoch;
-    const CacheKey key{request.user, request.n, request.filter_hash};
+    if (request.user >= user_rows) {
+      bad_requests_->Increment();
+      response.bad_request = true;
+      pending.Complete(std::move(response));
+      continue;
+    }
+    const CacheKey key = CacheKey::For(request);
     if (!request.bypass_cache &&
         cache_.Lookup(key, epoch, &response.items, &response.ta_bound)) {
       response.cache_hit = true;

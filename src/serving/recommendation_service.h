@@ -16,6 +16,7 @@
 #include "ebsn/types.h"
 #include "obs/metrics.h"
 #include "recommend/batch_ta_search.h"
+#include "recommend/query_kinds.h"
 #include "recommend/recommender.h"
 #include "serving/model_snapshot.h"
 #include "serving/query_backend.h"
@@ -183,6 +184,7 @@ class RecommendationService : public QueryBackend {
   struct WorkerState {
     recommend::TaSearch::Scratch scratch;
     recommend::BatchTaSearch::Workspace batch_ws;
+    recommend::ReciprocalScratch recip;
     std::vector<float> query_vec;
     std::vector<recommend::SearchHit> hits;
     // Batched-path staging, indexed by cache-miss position.
@@ -203,6 +205,20 @@ class RecommendationService : public QueryBackend {
   void CompleteMiss(PendingRequest* pending, QueryResponse response,
                     const std::vector<recommend::SearchHit>& hits,
                     uint64_t epoch);
+  /// Group/reciprocal path, shared by the exact and quantized batch
+  /// modes (both serve these kinds identically — group scoring is an
+  /// exhaustive slice scan, reciprocal refinement pins to the exact TA
+  /// engine — so answers are mode-independent bit-for-bit).
+  void ServeSpecialKind(PendingRequest* pending,
+                        const ModelSnapshot& snapshot, WorkerState* state);
+  obs::Counter* KindCounter(recommend::QueryKind kind) {
+    switch (kind) {
+      case recommend::QueryKind::kGroup: return kind_group_;
+      case recommend::QueryKind::kReciprocal: return kind_reciprocal_;
+      case recommend::QueryKind::kPartner: break;
+    }
+    return kind_partner_;
+  }
 
   ServiceOptions options_;
 
@@ -228,6 +244,10 @@ class RecommendationService : public QueryBackend {
   obs::Counter* publishes_;
   obs::Counter* reload_failures_;
   obs::Counter* rejected_;
+  obs::Counter* bad_requests_;
+  obs::Counter* kind_partner_;
+  obs::Counter* kind_group_;
+  obs::Counter* kind_reciprocal_;
   obs::Gauge* queue_depth_;
   obs::Gauge* in_flight_;
   obs::Histogram* queue_wait_us_;

@@ -8,20 +8,60 @@
 #include <vector>
 
 #include "ebsn/types.h"
+#include "recommend/query_kinds.h"
 #include "recommend/recommender.h"
+#include "serving/query_backend.h"
 
 namespace gemrec::serving {
 
-/// Cache key of one top-n query: who asked, how many results, and
-/// which filtered event pool the snapshot was built over.
+/// Cache key of one top-n query: who asked, how many results, which
+/// filtered event pool the snapshot was built over — and which
+/// workload. The kind, aggregator and group-member digest are key
+/// components because every kind ranks a different objective over a
+/// different result shape: without them a kGroup answer (events, no
+/// partners) would replay for the same user's kPartner query and vice
+/// versa.
 struct CacheKey {
   ebsn::UserId user = 0;
   uint32_t n = 0;
   uint64_t filter_hash = 0;
+  recommend::QueryKind kind = recommend::QueryKind::kPartner;
+  recommend::GroupAggregator aggregator = recommend::GroupAggregator::kSum;
+  /// FNV-1a over the group member list, order-sensitive (member order
+  /// is semantic for the sum aggregator); 0 for groupless kinds.
+  uint64_t group_hash = 0;
+
+  /// Order-sensitive FNV-1a digest of a group member list.
+  static uint64_t HashGroup(const std::vector<ebsn::UserId>& members) {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const ebsn::UserId m : members) {
+      h ^= static_cast<uint64_t>(m);
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+  /// The cache key a request resolves to (the single place the
+  /// request -> key mapping is defined, so every lookup/insert site
+  /// agrees on what distinguishes two queries).
+  static CacheKey For(const QueryRequest& request) {
+    CacheKey key;
+    key.user = request.user;
+    key.n = request.n;
+    key.filter_hash = request.filter_hash;
+    key.kind = request.kind;
+    key.aggregator = request.aggregator;
+    key.group_hash = request.kind == recommend::QueryKind::kGroup
+                         ? HashGroup(request.group)
+                         : 0;
+    return key;
+  }
 
   bool operator==(const CacheKey& other) const {
     return user == other.user && n == other.n &&
-           filter_hash == other.filter_hash;
+           filter_hash == other.filter_hash && kind == other.kind &&
+           aggregator == other.aggregator &&
+           group_hash == other.group_hash;
   }
 };
 
@@ -90,6 +130,10 @@ class ResultCache {
     size_t operator()(const CacheKey& k) const {
       uint64_t h =
           k.filter_hash ^ ((static_cast<uint64_t>(k.user) << 32) | k.n);
+      h ^= k.group_hash;
+      h ^= (static_cast<uint64_t>(k.kind) << 8 |
+            static_cast<uint64_t>(k.aggregator))
+           << 48;
       h ^= h >> 33;
       h *= 0xff51afd7ed558ccdULL;
       h ^= h >> 33;

@@ -50,6 +50,18 @@ inline bool OwnsPair(const ShardSpec& spec, ebsn::EventId event,
   return PairHash(event, partner) % spec.count == spec.index;
 }
 
+/// Event-granular partition for workloads that rank whole events
+/// (group queries): every shard holds the full embedding store, so
+/// the split happens at query time by event id rather than at build
+/// time by pair id. Reuses PairHash with an out-of-band partner
+/// sentinel so the event cover is independent of the pair cover (an
+/// event's pairs may live on other shards than the event itself —
+/// both covers are disjoint and complete on their own).
+inline bool OwnsEvent(const ShardSpec& spec, ebsn::EventId event) {
+  if (spec.unsharded()) return true;
+  return PairHash(event, ebsn::kInvalidId) % spec.count == spec.index;
+}
+
 /// Parses "i/N" (e.g. "0/4") into a spec; returns false on malformed
 /// text, N == 0, or i >= N. "0/1" is the explicit unsharded spec.
 inline bool ParseShardSpec(const std::string& text, ShardSpec* out) {

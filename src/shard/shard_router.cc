@@ -79,6 +79,11 @@ ShardRouter::ShardRouter(std::vector<ShardEndpoint> shards,
       "gemrec_shard_partial_results_total",
       "Merged responses missing at least one shard's slice (deadline "
       "miss, breaker-open or dead shard).");
+  shard_bad_requests_total_ = registry_->GetCounter(
+      "gemrec_shard_bad_requests_total",
+      "Shard replies that were typed kBadRequest — usually a legacy "
+      "shard rejecting a query kind it predates; the merge degrades "
+      "to a typed partial.");
   deadline_misses_total_ = registry_->GetCounter(
       "gemrec_shard_deadline_misses_total",
       "Per-shard answers that missed the coordinator's shard_deadline.");
@@ -371,6 +376,12 @@ void ShardRouter::HandleReply(uint32_t index, net::TaggedReply reply,
       answer.ok = false;
       answer.overloaded =
           reply.outcome.error == net::ErrorCode::kOverloaded;
+      if (reply.outcome.error == net::ErrorCode::kBadRequest) {
+        // A legacy shard that predates the query-kind extension
+        // rejects the longer payload; its slice is simply missing and
+        // the merge becomes a typed partial.
+        shard_bad_requests_total_->Increment();
+      }
     }
     if (query.outstanding == 0) finished_.push_back(query_it->first);
     return;

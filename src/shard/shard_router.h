@@ -192,6 +192,7 @@ class ShardRouter {
 
   obs::Counter* queries_total_ = nullptr;
   obs::Counter* partial_results_total_ = nullptr;
+  obs::Counter* shard_bad_requests_total_ = nullptr;
   obs::Counter* deadline_misses_total_ = nullptr;
   obs::Counter* evictions_total_ = nullptr;
   obs::Counter* reconnects_total_ = nullptr;

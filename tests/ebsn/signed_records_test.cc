@@ -1,0 +1,253 @@
+// Coverage for the signed / group attendance records added for the
+// query-kind workloads: Dataset dislike and group validation, dedup
+// and adjacency; TSV persistence including legacy-directory tolerance
+// (a dataset dir written before these records existed must still
+// load); and the synthetic scenario post-pass — planted dislikes and
+// group attendances with the invariant that enabling them never
+// perturbs a single core record (fixed-seed goldens stay byte
+// identical).
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ebsn/dataset.h"
+#include "ebsn/io.h"
+#include "ebsn/synthetic.h"
+
+namespace gemrec::ebsn {
+namespace {
+
+Dataset MakeBase() {
+  Dataset d;
+  d.set_num_users(6);
+  d.set_vocab_size(10);
+  d.AddVenue(Venue{0, {39.9, 116.4}});
+  d.AddEvent(Event{0, 0, 1000, {1}, -1});
+  d.AddEvent(Event{1, 0, 2000, {2}, -1});
+  d.AddEvent(Event{2, 0, 3000, {3}, -1});
+  d.AddAttendance(0, 0);
+  d.AddAttendance(1, 0);
+  d.AddAttendance(2, 0);
+  d.AddFriendship(0, 1);
+  return d;
+}
+
+TEST(SignedRecordsTest, DislikesDedupAndBuildAdjacency) {
+  Dataset d = MakeBase();
+  d.AddDislike(0, 2);
+  d.AddDislike(0, 1);
+  d.AddDislike(0, 2);  // duplicate collapses
+  d.AddDislike(3, 0);
+  ASSERT_TRUE(d.Finalize().ok());
+
+  EXPECT_EQ(d.dislikes().size(), 3u);
+  EXPECT_EQ(d.DislikesOf(0), (std::vector<EventId>{1, 2}));  // sorted
+  EXPECT_EQ(d.DislikesOf(3), (std::vector<EventId>{0}));
+  EXPECT_TRUE(d.DislikesOf(5).empty());
+  EXPECT_TRUE(d.Dislikes(0, 2));
+  EXPECT_FALSE(d.Dislikes(0, 0));
+  EXPECT_FALSE(d.Dislikes(2, 2));
+  EXPECT_EQ(d.Stats().num_dislikes, 3u);
+}
+
+TEST(SignedRecordsTest, GroupsValidateAndCount) {
+  Dataset d = MakeBase();
+  d.AddGroup(AttendanceGroup{0, 0, {1, 2}});
+  d.AddGroup(AttendanceGroup{2, 1, {0}});
+  ASSERT_TRUE(d.Finalize().ok());
+  ASSERT_EQ(d.groups().size(), 2u);
+  EXPECT_EQ(d.groups()[0].host, 0u);
+  EXPECT_EQ(d.groups()[0].event, 0u);
+  EXPECT_EQ(d.groups()[0].members, (std::vector<UserId>{1, 2}));
+  EXPECT_EQ(d.Stats().num_groups, 2u);
+}
+
+TEST(SignedRecordsTest, OutOfRangeRecordsFailFinalize) {
+  {
+    Dataset d = MakeBase();
+    d.AddDislike(6, 0);  // user beyond num_users
+    EXPECT_FALSE(d.Finalize().ok());
+  }
+  {
+    Dataset d = MakeBase();
+    d.AddDislike(0, 3);  // event beyond num_events
+    EXPECT_FALSE(d.Finalize().ok());
+  }
+  {
+    Dataset d = MakeBase();
+    d.AddGroup(AttendanceGroup{0, 0, {}});  // empty members
+    EXPECT_FALSE(d.Finalize().ok());
+  }
+  {
+    Dataset d = MakeBase();
+    d.AddGroup(AttendanceGroup{0, 0, {0}});  // member == host
+    EXPECT_FALSE(d.Finalize().ok());
+  }
+  {
+    Dataset d = MakeBase();
+    d.AddGroup(AttendanceGroup{0, 3, {1}});  // event out of range
+    EXPECT_FALSE(d.Finalize().ok());
+  }
+  {
+    Dataset d = MakeBase();
+    d.AddGroup(AttendanceGroup{0, 0, {6}});  // member out of range
+    EXPECT_FALSE(d.Finalize().ok());
+  }
+}
+
+class SignedRecordsIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("gemrec_signed_io_test_" + std::to_string(::getpid()));
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string dir_;
+};
+
+TEST_F(SignedRecordsIoTest, RoundTripPreservesDislikesAndGroups) {
+  Dataset original = MakeBase();
+  original.AddDislike(1, 2);
+  original.AddDislike(4, 0);
+  original.AddGroup(AttendanceGroup{0, 0, {1, 2}});
+  original.AddGroup(AttendanceGroup{3, 2, {4, 5}});
+  ASSERT_TRUE(original.Finalize().ok());
+
+  ASSERT_TRUE(SaveDataset(original, dir_).ok());
+  auto loaded_or = LoadDataset(dir_);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const Dataset& loaded = loaded_or.value();
+
+  ASSERT_EQ(loaded.dislikes().size(), 2u);
+  EXPECT_TRUE(loaded.Dislikes(1, 2));
+  EXPECT_TRUE(loaded.Dislikes(4, 0));
+  ASSERT_EQ(loaded.groups().size(), 2u);
+  EXPECT_EQ(loaded.groups()[1].host, 3u);
+  EXPECT_EQ(loaded.groups()[1].event, 2u);
+  EXPECT_EQ(loaded.groups()[1].members, (std::vector<UserId>{4, 5}));
+}
+
+TEST_F(SignedRecordsIoTest, LegacyDirectoryWithoutNewFilesLoads) {
+  // A dataset directory written by a binary that predates
+  // dislikes.tsv/groups.tsv must load cleanly with empty records —
+  // absence is legacy, not corruption.
+  Dataset original = MakeBase();
+  ASSERT_TRUE(original.Finalize().ok());
+  ASSERT_TRUE(SaveDataset(original, dir_).ok());
+  std::filesystem::remove(std::filesystem::path(dir_) / "dislikes.tsv");
+  std::filesystem::remove(std::filesystem::path(dir_) / "groups.tsv");
+
+  auto loaded = LoadDataset(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->dislikes().empty());
+  EXPECT_TRUE(loaded->groups().empty());
+  EXPECT_TRUE(loaded->finalized());
+}
+
+TEST_F(SignedRecordsIoTest, MalformedGroupLineIsIoError) {
+  Dataset original = MakeBase();
+  ASSERT_TRUE(original.Finalize().ok());
+  ASSERT_TRUE(SaveDataset(original, dir_).ok());
+  {
+    std::ofstream out(std::filesystem::path(dir_) / "groups.tsv");
+    out << "0\t0\n";  // host + event but no members
+  }
+  EXPECT_FALSE(LoadDataset(dir_).ok());
+}
+
+SyntheticConfig ScenarioConfig(bool enable) {
+  SyntheticConfig config;
+  config.num_users = 80;
+  config.num_events = 60;
+  config.num_venues = 10;
+  config.num_topics = 4;
+  config.vocab_size = 200;
+  config.mean_events_per_user = 8.0;
+  config.mean_friends_per_user = 6.0;
+  config.seed = 321;
+  if (enable) {
+    config.mean_dislikes_per_user = 2.0;
+    config.group_attendance_prob = 0.5;
+    config.max_group_members = 4;
+  }
+  return config;
+}
+
+TEST(SyntheticScenarioTest, ScenariosProduceValidRecords) {
+  const Dataset data = GenerateSynthetic(ScenarioConfig(true)).dataset;
+  EXPECT_GT(data.dislikes().size(), 0u);
+  EXPECT_GT(data.groups().size(), 0u);
+
+  // A planted dislike never contradicts an attendance.
+  for (const Dislike& dislike : data.dislikes()) {
+    EXPECT_FALSE(data.Attends(dislike.user, dislike.event))
+        << "user " << dislike.user << " both attends and dislikes event "
+        << dislike.event;
+  }
+  // Group hosts and members all attend the group's event, member lists
+  // are bounded, and nobody hosts themselves as a member.
+  for (const AttendanceGroup& group : data.groups()) {
+    EXPECT_TRUE(data.Attends(group.host, group.event));
+    ASSERT_GE(group.members.size(), 1u);
+    ASSERT_LE(group.members.size(), 4u);
+    for (const UserId m : group.members) {
+      EXPECT_NE(m, group.host);
+      EXPECT_TRUE(data.Attends(m, group.event));
+    }
+  }
+}
+
+TEST(SyntheticScenarioTest, ScenariosNeverPerturbCoreRecords) {
+  // The scenario pass runs AFTER core generation on an independently
+  // seeded RNG, so turning it on must leave every pre-existing record
+  // byte-identical — this is what keeps fixed-seed goldens stable.
+  const Dataset off = GenerateSynthetic(ScenarioConfig(false)).dataset;
+  const Dataset on = GenerateSynthetic(ScenarioConfig(true)).dataset;
+
+  EXPECT_TRUE(off.dislikes().empty());
+  EXPECT_TRUE(off.groups().empty());
+
+  ASSERT_EQ(on.num_users(), off.num_users());
+  ASSERT_EQ(on.num_events(), off.num_events());
+  ASSERT_EQ(on.attendances().size(), off.attendances().size());
+  for (size_t i = 0; i < off.attendances().size(); ++i) {
+    EXPECT_EQ(on.attendances()[i].user, off.attendances()[i].user);
+    EXPECT_EQ(on.attendances()[i].event, off.attendances()[i].event);
+  }
+  ASSERT_EQ(on.friendships().size(), off.friendships().size());
+  for (size_t i = 0; i < off.friendships().size(); ++i) {
+    EXPECT_EQ(on.friendships()[i].a, off.friendships()[i].a);
+    EXPECT_EQ(on.friendships()[i].b, off.friendships()[i].b);
+  }
+  for (uint32_t x = 0; x < off.num_events(); ++x) {
+    EXPECT_EQ(on.event(x).venue, off.event(x).venue);
+    EXPECT_EQ(on.event(x).start_time, off.event(x).start_time);
+    EXPECT_EQ(on.event(x).words, off.event(x).words);
+  }
+}
+
+TEST(SyntheticScenarioTest, ScenariosAreDeterministicPerSeed) {
+  const Dataset a = GenerateSynthetic(ScenarioConfig(true)).dataset;
+  const Dataset b = GenerateSynthetic(ScenarioConfig(true)).dataset;
+  ASSERT_EQ(a.dislikes().size(), b.dislikes().size());
+  for (size_t i = 0; i < a.dislikes().size(); ++i) {
+    EXPECT_EQ(a.dislikes()[i].user, b.dislikes()[i].user);
+    EXPECT_EQ(a.dislikes()[i].event, b.dislikes()[i].event);
+  }
+  ASSERT_EQ(a.groups().size(), b.groups().size());
+  for (size_t i = 0; i < a.groups().size(); ++i) {
+    EXPECT_EQ(a.groups()[i].host, b.groups()[i].host);
+    EXPECT_EQ(a.groups()[i].event, b.groups()[i].event);
+    EXPECT_EQ(a.groups()[i].members, b.groups()[i].members);
+  }
+}
+
+}  // namespace
+}  // namespace gemrec::ebsn

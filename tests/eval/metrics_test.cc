@@ -89,5 +89,95 @@ TEST(MetricsDeathTest, MissingCutoffFatal) {
   EXPECT_DEATH(report.NdcgAt(7), "not evaluated");
 }
 
+// ---------------------------------------------------------------------
+// Set-based Recall@k / NDCG@k (the group/reciprocal evaluation
+// metrics). The guard contract: degenerate inputs return DEFINED
+// values — empty ground truth or k == 0 is 0.0, k beyond the ranked
+// list clamps to the list — never a divide-by-zero or an OOB read.
+
+TEST(SetMetricsTest, EmptyGroundTruthReturnsZero) {
+  const std::vector<uint64_t> ranked = {1, 2, 3};
+  EXPECT_EQ(RecallAtK(ranked, {}, 3), 0.0);
+  EXPECT_EQ(NdcgAtK(ranked, {}, 3), 0.0);
+}
+
+TEST(SetMetricsTest, ZeroKReturnsZero) {
+  const std::vector<uint64_t> ranked = {1, 2, 3};
+  const std::vector<uint64_t> relevant = {1};
+  EXPECT_EQ(RecallAtK(ranked, relevant, 0), 0.0);
+  EXPECT_EQ(NdcgAtK(ranked, relevant, 0), 0.0);
+}
+
+TEST(SetMetricsTest, EmptyRankingReturnsZero) {
+  const std::vector<uint64_t> relevant = {1, 2};
+  EXPECT_EQ(RecallAtK({}, relevant, 5), 0.0);
+  EXPECT_EQ(NdcgAtK({}, relevant, 5), 0.0);
+}
+
+TEST(SetMetricsTest, KBeyondCandidatesClampsToList) {
+  // Regression for the eval-side guard this PR adds: k much larger
+  // than the candidate list must evaluate the whole list, not read
+  // past it or divide by phantom positions.
+  const std::vector<uint64_t> ranked = {10, 20};
+  const std::vector<uint64_t> relevant = {20, 99};
+  EXPECT_EQ(RecallAtK(ranked, relevant, 1000), 0.5);
+  const double ndcg = NdcgAtK(ranked, relevant, 1000);
+  // DCG: hit at position 1 -> 1/log2(3); IDCG: min(k, |rel|, |ranked|)
+  // = 2 ideal hits.
+  const double expected =
+      (1.0 / std::log2(3.0)) / (1.0 / std::log2(2.0) + 1.0 / std::log2(3.0));
+  EXPECT_NEAR(ndcg, expected, 1e-12);
+}
+
+TEST(SetMetricsTest, PerfectRankingScoresOne) {
+  const std::vector<uint64_t> ranked = {7, 3, 9, 1};
+  const std::vector<uint64_t> relevant = {3, 7, 9, 1};
+  EXPECT_EQ(RecallAtK(ranked, relevant, 4), 1.0);
+  EXPECT_EQ(NdcgAtK(ranked, relevant, 4), 1.0);
+}
+
+TEST(SetMetricsTest, PartialOverlapCountsHitsOnly) {
+  const std::vector<uint64_t> ranked = {5, 6, 7, 8, 9};
+  const std::vector<uint64_t> relevant = {6, 9, 100};
+  // Top-3 contains {6}; |relevant| = 3.
+  EXPECT_NEAR(RecallAtK(ranked, relevant, 3), 1.0 / 3.0, 1e-12);
+  // Top-5 contains {6, 9}.
+  EXPECT_NEAR(RecallAtK(ranked, relevant, 5), 2.0 / 3.0, 1e-12);
+  EXPECT_GT(NdcgAtK(ranked, relevant, 5), 0.0);
+  EXPECT_LT(NdcgAtK(ranked, relevant, 5), 1.0);
+}
+
+TEST(SetMetricsTest, DuplicateRelevantIdsCollapse) {
+  // A sloppy ground-truth list with duplicates must not inflate the
+  // denominator: {4, 4, 8} is the set {4, 8}.
+  const std::vector<uint64_t> ranked = {4, 8};
+  const std::vector<uint64_t> relevant = {4, 4, 8};
+  EXPECT_EQ(RecallAtK(ranked, relevant, 2), 1.0);
+  EXPECT_EQ(NdcgAtK(ranked, relevant, 2), 1.0);
+}
+
+TEST(SetMetricsTest, EarlierHitsScoreHigherNdcg) {
+  const std::vector<uint64_t> early = {1, 50, 51, 52};
+  const std::vector<uint64_t> late = {50, 51, 52, 1};
+  const std::vector<uint64_t> relevant = {1};
+  EXPECT_GT(NdcgAtK(early, relevant, 4), NdcgAtK(late, relevant, 4));
+  // Recall is position-blind within the cutoff.
+  EXPECT_EQ(RecallAtK(early, relevant, 4), RecallAtK(late, relevant, 4));
+}
+
+TEST(SetMetricsTest, PackedPairKeysWorkForReciprocalAndGroup) {
+  // Reciprocal/group eval packs (event, partner) or (event, signup)
+  // into u64 keys; the metrics are agnostic to the packing as long as
+  // it is injective.
+  const auto pack = [](uint64_t event, uint64_t partner) {
+    return (event << 32) | partner;
+  };
+  const std::vector<uint64_t> ranked = {pack(1, 2), pack(1, 3), pack(2, 2)};
+  const std::vector<uint64_t> relevant = {pack(1, 3), pack(9, 9)};
+  EXPECT_EQ(RecallAtK(ranked, relevant, 3), 0.5);
+  // The same ids packed differently are different keys.
+  EXPECT_EQ(RecallAtK(ranked, {pack(3, 1)}, 3), 0.0);
+}
+
 }  // namespace
 }  // namespace gemrec::eval

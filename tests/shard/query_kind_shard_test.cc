@@ -1,0 +1,360 @@
+// Scatter-gather coverage for the non-partner query kinds: group (both
+// aggregators — min exercises the non-additive merge-certificate case)
+// and reciprocal answers from an N-shard tier must be bitwise-identical
+// to one unsharded instance for N in {1, 2, 4} over seeded spaces, and
+// a coordinator fanning the new kinds out to a LEGACY shard (one whose
+// decoder predates the extended request layout) must degrade to a
+// typed partial answer — counted in gemrec_shard_bad_requests_total —
+// never hang and never return a silently-wrong merge.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "embedding/embedding_store.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "serving/model_snapshot.h"
+#include "serving/recommendation_service.h"
+#include "shard/coordinator.h"
+#include "shard/shard_group.h"
+
+namespace gemrec::shard {
+namespace {
+
+constexpr uint32_t kUsers = 30;
+constexpr uint32_t kEvents = 22;
+constexpr uint32_t kDim = 8;
+constexpr size_t kTopN = 8;
+
+std::unique_ptr<embedding::EmbeddingStore> RandomStore(uint64_t seed) {
+  auto store = std::make_unique<embedding::EmbeddingStore>(
+      kDim, std::array<uint32_t, 5>{kUsers, kEvents, 1, 1, 1});
+  Rng rng(seed);
+  store->MatrixOf(graph::NodeType::kUser).FillAbsGaussian(&rng, 0.2, 0.3);
+  store->MatrixOf(graph::NodeType::kEvent)
+      .FillAbsGaussian(&rng, 0.2, 0.3);
+  return store;
+}
+
+std::vector<ebsn::EventId> AllEvents() {
+  std::vector<ebsn::EventId> events(kEvents);
+  for (uint32_t x = 0; x < kEvents; ++x) events[x] = x;
+  return events;
+}
+
+serving::QueryResponse Ask(CoordinatorBackend* coordinator,
+                           const serving::QueryRequest& request) {
+  std::promise<serving::QueryResponse> promise;
+  auto future = promise.get_future();
+  coordinator->SubmitAsync(request,
+                           [&promise](serving::QueryResponse response) {
+                             promise.set_value(std::move(response));
+                           });
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready)
+      << "coordinator hung";
+  return future.get();
+}
+
+void ExpectBitwiseEqual(const serving::QueryResponse& got,
+                        const serving::QueryResponse& want,
+                        const std::string& trace) {
+  ASSERT_EQ(got.items.size(), want.items.size()) << trace;
+  for (size_t i = 0; i < want.items.size(); ++i) {
+    EXPECT_EQ(got.items[i].event, want.items[i].event)
+        << trace << " rank " << i;
+    EXPECT_EQ(got.items[i].partner, want.items[i].partner)
+        << trace << " rank " << i;
+    uint32_t want_bits = 0, got_bits = 0;
+    std::memcpy(&want_bits, &want.items[i].score, 4);
+    std::memcpy(&got_bits, &got.items[i].score, 4);
+    EXPECT_EQ(got_bits, want_bits) << trace << " rank " << i << ": "
+                                   << got.items[i].score << " vs "
+                                   << want.items[i].score;
+  }
+}
+
+void RunSeed(uint64_t seed) {
+  const auto store = RandomStore(seed);
+  serving::SnapshotOptions snapshot_options;
+  snapshot_options.top_k_events_per_partner = 0;
+  serving::ServiceOptions service_options;
+  service_options.num_workers = 1;
+  serving::RecommendationService reference(service_options);
+  reference.Publish(std::make_shared<serving::ModelSnapshot>(
+      *store, AllEvents(), kUsers, snapshot_options));
+
+  const ebsn::UserId user = static_cast<ebsn::UserId>(seed % kUsers);
+  std::vector<serving::QueryRequest> requests;
+  for (const recommend::GroupAggregator agg :
+       {recommend::GroupAggregator::kSum, recommend::GroupAggregator::kMin}) {
+    serving::QueryRequest request;
+    request.user = user;
+    request.n = kTopN;
+    request.kind = recommend::QueryKind::kGroup;
+    request.aggregator = agg;
+    request.group = {static_cast<ebsn::UserId>((user + 1) % kUsers),
+                     static_cast<ebsn::UserId>((user + 5) % kUsers),
+                     static_cast<ebsn::UserId>((user + 11) % kUsers)};
+    requests.push_back(request);
+  }
+  {
+    serving::QueryRequest request;
+    request.user = user;
+    request.n = kTopN;
+    request.kind = recommend::QueryKind::kReciprocal;
+    requests.push_back(request);
+  }
+
+  for (const uint32_t num_shards : {1u, 2u, 4u}) {
+    ShardGroupOptions group_options;
+    group_options.num_shards = num_shards;
+    group_options.snapshot = snapshot_options;
+    group_options.service = service_options;
+    ShardGroup group(*store, AllEvents(), kUsers, group_options);
+    ASSERT_TRUE(group.Start().ok());
+
+    CoordinatorOptions coordinator_options;
+    coordinator_options.router.shard_deadline =
+        std::chrono::milliseconds(10000);
+    CoordinatorBackend coordinator(group.endpoints(), coordinator_options);
+    ASSERT_TRUE(coordinator.Start().ok());
+
+    for (const serving::QueryRequest& request : requests) {
+      const std::string trace =
+          std::string("seed ") + std::to_string(seed) + " shards " +
+          std::to_string(num_shards) + " kind " +
+          recommend::QueryKindName(request.kind) + "/" +
+          recommend::GroupAggregatorName(request.aggregator);
+      const serving::QueryResponse want = reference.Query(request);
+      const serving::QueryResponse got = Ask(&coordinator, request);
+      ASSERT_FALSE(got.partial) << trace;
+      ASSERT_FALSE(got.bad_request) << trace;
+      ExpectBitwiseEqual(got, want, trace);
+      // Merge-certificate soundness: a full merge's unreturned bound
+      // never exceeds its k-th kept score. For the min aggregator the
+      // per-shard bounds are genuine exhaustive-scan bounds, so this
+      // exercises the non-additive branch of the certificate.
+      if (got.items.size() == kTopN) {
+        EXPECT_LE(got.ta_bound, got.items.back().score) << trace;
+      }
+    }
+    coordinator.Stop();
+    group.Stop();
+  }
+}
+
+TEST(QueryKindShardDifferentialTest, MatchesSingleInstanceAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RunSeed(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+/// A pre-extension shard server: speaks the framing (v1 and v2) and
+/// answers partner queries, but its request decoder enforces the
+/// strict legacy 17-byte payload — any extended query-kind request
+/// comes back as a typed kBadRequest, exactly what a deployed binary
+/// built before this change does.
+class FakeLegacyShard {
+ public:
+  FakeLegacyShard() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    GEMREC_CHECK(listen_fd_ >= 0);
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    GEMREC_CHECK(::bind(listen_fd_,
+                        reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)) == 0);
+    GEMREC_CHECK(::listen(listen_fd_, 4) == 0);
+    socklen_t len = sizeof(addr);
+    GEMREC_CHECK(::getsockname(listen_fd_,
+                               reinterpret_cast<sockaddr*>(&addr),
+                               &len) == 0);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { Serve(); });
+  }
+
+  ~FakeLegacyShard() {
+    running_.store(false);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    thread_.join();
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void Serve() {
+    while (running_.load()) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;
+      const timeval tv{0, 100000};  // 100ms poll so Stop is prompt
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      HandleConnection(fd);
+      ::close(fd);
+    }
+  }
+
+  void HandleConnection(int fd) {
+    net::FrameDecoder decoder;
+    uint8_t buf[16 * 1024];
+    while (running_.load()) {
+      const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+      if (r == 0) return;  // peer closed
+      if (r < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+        return;
+      }
+      if (!decoder.Feed(buf, static_cast<size_t>(r)).ok()) return;
+      net::Frame frame;
+      std::vector<uint8_t> out;
+      while (decoder.Next(&frame)) {
+        Answer(frame, &out);
+      }
+      size_t sent = 0;
+      while (sent < out.size()) {
+        const ssize_t w =
+            ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+        if (w <= 0) return;
+        sent += static_cast<size_t>(w);
+      }
+    }
+  }
+
+  void Answer(const net::Frame& frame, std::vector<uint8_t>* out) {
+    switch (frame.type) {
+      case net::MessageType::kPing:
+        net::AppendFrame(net::MessageType::kPong, nullptr, 0, frame.tag(),
+                         out);
+        return;
+      case net::MessageType::kStatsRequest:
+        net::AppendStatsResponseFrame(obs::MetricsSnapshot{}, frame.tag(),
+                                      out);
+        return;
+      case net::MessageType::kQueryRequest: {
+        // The legacy decoder: exactly 17 payload bytes or bust.
+        if (frame.payload.size() != 17) {
+          net::AppendErrorFrame(net::ErrorCode::kBadRequest,
+                                "query request payload must be 17 bytes",
+                                frame.tag(), out);
+          return;
+        }
+        serving::QueryResponse response;  // empty but well-formed
+        response.epoch = 1;
+        net::AppendQueryResponseFrame(response, frame.tag(), out);
+        return;
+      }
+      default:
+        net::AppendErrorFrame(net::ErrorCode::kBadRequest,
+                              "unexpected message type", frame.tag(), out);
+        return;
+    }
+  }
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{true};
+  std::thread thread_;
+};
+
+uint64_t CounterValue(const obs::MetricsSnapshot& snapshot,
+                      const std::string& name) {
+  const obs::MetricValue* metric = snapshot.Find(name);
+  return metric == nullptr ? 0 : metric->counter;
+}
+
+TEST(QueryKindLegacyShardTest, ExtendedKindsDegradeToTypedPartial) {
+  const auto store = RandomStore(99);
+  serving::SnapshotOptions snapshot_options;
+  snapshot_options.top_k_events_per_partner = 0;
+
+  // One REAL full-space shard (1-of-1 slice) plus one legacy fake: the
+  // merge should carry the real shard's complete answer, flagged
+  // partial because the legacy slice is missing.
+  ShardGroupOptions group_options;
+  group_options.num_shards = 1;
+  group_options.snapshot = snapshot_options;
+  group_options.service.num_workers = 1;
+  ShardGroup group(*store, AllEvents(), kUsers, group_options);
+  ASSERT_TRUE(group.Start().ok());
+  FakeLegacyShard legacy;
+
+  std::vector<ShardEndpoint> endpoints = group.endpoints();
+  endpoints.push_back(ShardEndpoint{"127.0.0.1", legacy.port()});
+
+  CoordinatorOptions coordinator_options;
+  coordinator_options.router.shard_deadline =
+      std::chrono::milliseconds(5000);
+  CoordinatorBackend coordinator(endpoints, coordinator_options);
+  ASSERT_TRUE(coordinator.Start().ok());
+
+  // Reference: unsharded service over the same store.
+  serving::ServiceOptions service_options;
+  service_options.num_workers = 1;
+  serving::RecommendationService reference(service_options);
+  reference.Publish(std::make_shared<serving::ModelSnapshot>(
+      *store, AllEvents(), kUsers, snapshot_options));
+
+  serving::QueryRequest group_request;
+  group_request.user = 2;
+  group_request.n = kTopN;
+  group_request.kind = recommend::QueryKind::kGroup;
+  group_request.group = {4, 7};
+  serving::QueryRequest recip_request;
+  recip_request.user = 2;
+  recip_request.n = kTopN;
+  recip_request.kind = recommend::QueryKind::kReciprocal;
+
+  for (const serving::QueryRequest& request :
+       {group_request, recip_request}) {
+    const std::string trace =
+        std::string("kind ") + recommend::QueryKindName(request.kind);
+    const serving::QueryResponse got = Ask(&coordinator, request);
+    // Typed partial, never a hang, never bad_request at the client:
+    // the REAL shard covered its (full) slice.
+    EXPECT_TRUE(got.partial) << trace;
+    EXPECT_FALSE(got.bad_request) << trace;
+    const serving::QueryResponse want = reference.Query(request);
+    ExpectBitwiseEqual(got, want, trace);
+  }
+
+  EXPECT_GE(CounterValue(coordinator.metrics()->Snapshot(),
+                         "gemrec_shard_bad_requests_total"),
+            2u);
+
+  // Partner queries still round-trip through the legacy peer.
+  serving::QueryRequest partner_request;
+  partner_request.user = 2;
+  partner_request.n = kTopN;
+  const serving::QueryResponse partner = Ask(&coordinator, partner_request);
+  EXPECT_FALSE(partner.bad_request);
+  EXPECT_FALSE(partner.items.empty());
+
+  coordinator.Stop();
+  group.Stop();
+}
+
+}  // namespace
+}  // namespace gemrec::shard
